@@ -1,0 +1,323 @@
+// Benchmark harness: one benchmark per paper table/figure/claim, each
+// regenerating the artifact end-to-end. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks print the artifact once (so `go test -bench` output is
+// also the reproduction report) and then measure regeneration cost.
+package litegpu
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"litegpu/internal/experiments"
+	"litegpu/internal/inference"
+)
+
+// printOnce gates the one-time artifact printouts so repeated benchmark
+// iterations do not flood the output.
+var printOnce sync.Map
+
+func once(name string, f func(w io.Writer)) {
+	if _, done := printOnce.LoadOrStore(name, true); done {
+		return
+	}
+	fmt.Fprintf(os.Stdout, "\n===== %s =====\n", name)
+	f(os.Stdout)
+}
+
+// BenchmarkTable1 regenerates Table 1 (E-T1).
+func BenchmarkTable1(b *testing.B) {
+	once("Table 1", experiments.RenderTable1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) != 6 {
+			b.Fatal("Table 1 must have 6 rows")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the GPU-evolution timeline (E-F1).
+func BenchmarkFigure1(b *testing.B) {
+	once("Figure 1", experiments.RenderFigure1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Figure1(); len(rows) < 5 {
+			b.Fatal("Figure 1 timeline too short")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the deployment-example derivation (E-F2).
+func BenchmarkFigure2(b *testing.B) {
+	once("Figure 2", experiments.RenderFigure2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure2()
+		if r.ShorelineGain != 2 {
+			b.Fatalf("shoreline gain = %v", r.ShorelineGain)
+		}
+	}
+}
+
+// BenchmarkFigure3a regenerates the prefill study (E-F3a).
+func BenchmarkFigure3a(b *testing.B) {
+	opts := inference.DefaultOptions()
+	once("Figure 3a", func(w io.Writer) {
+		rows, err := experiments.Figure3a(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RenderFigure3(w, "Figure 3a: prompt prefill (normalized tokens/s/SM)", rows)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3a(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3b regenerates the decode study (E-F3b).
+func BenchmarkFigure3b(b *testing.B) {
+	opts := inference.DefaultOptions()
+	once("Figure 3b", func(w io.Writer) {
+		rows, err := experiments.Figure3b(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RenderFigure3(w, "Figure 3b: decode (normalized tokens/s/SM)", rows)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3b(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3bKVReplicationAblation regenerates Figure 3b under
+// Megatron-style KV-head replication instead of the paper's implicit
+// ideal sharding — quantifying that model assumption.
+func BenchmarkFigure3bKVReplicationAblation(b *testing.B) {
+	opts := inference.DefaultOptions()
+	opts.KVReplication = true
+	once("Figure 3b (KV-replication ablation)", func(w io.Writer) {
+		rows, err := experiments.Figure3b(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RenderFigure3(w, "Figure 3b under KV-head replication (ablation)", rows)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3b(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3bNoOverlapAblation regenerates Figure 3b with engines
+// serialized — quantifying the paper's overlap assumption.
+func BenchmarkFigure3bNoOverlapAblation(b *testing.B) {
+	opts := inference.DefaultOptions()
+	opts.NoOverlap = true
+	once("Figure 3b (no-overlap ablation)", func(w io.Writer) {
+		rows, err := experiments.Figure3b(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.RenderFigure3(w, "Figure 3b without stage overlap (ablation)", rows)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3b(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYieldClaim regenerates the Section 2 yield/cost claim (E-Y1).
+func BenchmarkYieldClaim(b *testing.B) {
+	once("Yield/cost claim", experiments.RenderYieldStudy)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.YieldStudy()
+		quarter := rows[2]
+		if quarter.YieldGain < 1.7 || quarter.YieldGain > 1.95 {
+			b.Fatalf("quarter-die yield gain = %v", quarter.YieldGain)
+		}
+	}
+}
+
+// BenchmarkShorelineClaim regenerates the Section 2 shoreline claim (E-S1).
+func BenchmarkShorelineClaim(b *testing.B) {
+	once("Shoreline claim", experiments.RenderShorelineStudy)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ShorelineStudy()
+		if rows[2].Gain != 2 {
+			b.Fatalf("4-way shoreline gain = %v", rows[2].Gain)
+		}
+	}
+}
+
+// BenchmarkNetworkEnergy regenerates the Section 3 fabric study (E-N1).
+func BenchmarkNetworkEnergy(b *testing.B) {
+	once("Network study", func(w io.Writer) { experiments.RenderNetworkStudy(w, 512) })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if adv := experiments.CircuitAdvantage(512); adv < 0.5 {
+			b.Fatalf("circuit advantage = %v", adv)
+		}
+	}
+}
+
+// BenchmarkPowerGranularity regenerates the Section 3 power study (E-P1).
+func BenchmarkPowerGranularity(b *testing.B) {
+	once("Power study", experiments.RenderPowerStudy)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.PowerStudy()
+		if len(rows) == 0 || rows[0].Result.Saving <= 0 {
+			b.Fatal("low-load saving missing")
+		}
+	}
+}
+
+// BenchmarkBlastRadius regenerates the Section 3 fault-tolerance study
+// (E-FT1), Monte Carlo included.
+func BenchmarkBlastRadius(b *testing.B) {
+	once("Blast radius study", func(w io.Writer) { experiments.RenderBlastRadiusStudy(w, 42) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.BlastRadiusStudy(42)
+		if len(rows) != 6 {
+			b.Fatal("blast study row count")
+		}
+	}
+}
+
+// BenchmarkGranularity regenerates the Section 3 allocation study (E-R1).
+func BenchmarkGranularity(b *testing.B) {
+	once("Granularity study", func(w io.Writer) { experiments.RenderGranularity(w, 42) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Granularity(42)
+		if r.Lite.MeanStranded >= r.Big.MeanStranded {
+			b.Fatal("granularity inversion")
+		}
+	}
+}
+
+// BenchmarkServingSim regenerates the Section 4 discrete-event
+// validation (E-SV1).
+func BenchmarkServingSim(b *testing.B) {
+	once("Serving simulation", func(w io.Writer) {
+		if err := experiments.RenderServingStudy(w, 42); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ServingStudy(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchSingle measures one configuration search (the paper's
+// inner loop).
+func BenchmarkSearchSingle(b *testing.B) {
+	opts := inference.DefaultOptions()
+	g := H100()
+	m := Models()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchBest(g, m, Decode, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateSingle measures one roofline evaluation (the unit of
+// work inside the search).
+func BenchmarkEstimateSingle(b *testing.B) {
+	opts := inference.DefaultOptions()
+	g := H100()
+	m := Models()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateConfig(g, m, Decode, 8, 64, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCO regenerates the Section 4 performance-per-dollar study
+// (E-C1).
+func BenchmarkTCO(b *testing.B) {
+	once("TCO study", experiments.RenderTCOStudy)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.TCOStudy()
+		if r.PerfPerDollarGain <= 1 {
+			b.Fatalf("perf/$ gain = %v", r.PerfPerDollarGain)
+		}
+	}
+}
+
+// BenchmarkStraggler regenerates the Section 3 synchronization study
+// (E-SD1).
+func BenchmarkStraggler(b *testing.B) {
+	once("Straggler study", func(w io.Writer) { experiments.RenderStragglerStudy(w, 42) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.StragglerStudy(42)
+		if len(rows) != 8 {
+			b.Fatal("straggler row count")
+		}
+	}
+}
+
+// BenchmarkMemoryPool regenerates the Section 3 disaggregated-memory
+// study (E-M1).
+func BenchmarkMemoryPool(b *testing.B) {
+	once("Memory pool study", experiments.RenderMemoryStudy)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.MemoryStudy()
+		if len(rows) != 4 {
+			b.Fatal("memory row count")
+		}
+	}
+}
+
+// BenchmarkTraining regenerates the training-scale extension study
+// (E-TR1).
+func BenchmarkTraining(b *testing.B) {
+	once("Training study", func(w io.Writer) {
+		if err := experiments.RenderTrainingStudy(w); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TrainingStudy()
+		if err != nil || len(rows) != 4 {
+			b.Fatalf("training study: %v (%d rows)", err, len(rows))
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Command litegpu-design explores the Lite-GPU design space: given a
+// parent GPU and a split factor, it derives the Lite-GPU spec and the
+// full hardware story — yield, manufacturing cost, shoreline bandwidth,
+// cooling, overclock headroom, reliability, and fabric energy.
+//
+// Usage:
+//
+//	litegpu-design [-gpu H100] [-split 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"litegpu"
+)
+
+func main() {
+	gpuName := flag.String("gpu", "H100", "parent GPU (a Table 1 name)")
+	split := flag.Int("split", 4, "number of Lite-GPUs per parent GPU")
+	flag.Parse()
+
+	parent, ok := litegpu.GPUByName(*gpuName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "litegpu-design: unknown GPU %q\n", *gpuName)
+		os.Exit(1)
+	}
+	if *split < 2 {
+		fmt.Fprintln(os.Stderr, "litegpu-design: split must be ≥ 2")
+		os.Exit(1)
+	}
+	d := litegpu.DesignCluster(parent, *split)
+
+	fmt.Printf("Lite-GPU design: %s split %d ways\n\n", parent.Name, d.Split)
+	fmt.Printf("parent: %v\n", d.Parent)
+	fmt.Printf("lite:   %v\n\n", d.Lite)
+	fmt.Printf("shoreline gain (bandwidth-to-compute headroom): %.2f×\n", d.ShorelineGain)
+	fmt.Printf("die yield gain:                                 %.2f×\n", d.YieldGain)
+	fmt.Printf("silicon cost saving per compute:                %.0f%%\n", d.SiliconCostSaving*100)
+	fmt.Printf("packaged cost saving per compute:               %.0f%%\n", d.PackageCostSaving*100)
+	fmt.Printf("cooling class per package:                      %v\n", d.Cooling)
+	fmt.Printf("sustained clock headroom on that cooling:       %.2f×\n", d.OverclockHeadroom)
+	fmt.Printf("availability gain (8-GPU instance, 1 spare):    %+.5f\n", d.AvailabilityGain)
+	fmt.Printf("circuit-vs-packet fabric energy advantage:      %.0f%%\n", d.CircuitEnergyAdvantage*100)
+}

@@ -1,0 +1,120 @@
+// Command litegpu-figures regenerates the paper's tables and figures and
+// the quantitative claims embedded in its prose.
+//
+// Usage:
+//
+//	litegpu-figures [flags] <artifact>...
+//
+// Artifacts: table1, fig1, fig2, fig3a, fig3b, yield, shoreline,
+// network, power, blast, granularity, tco, straggler, memory, training,
+// serving, all.
+//
+// Flags:
+//
+//	-seed N        RNG seed for the stochastic studies (default 42)
+//	-alpha DUR     per-step collective latency (default 1µs)
+//	-endpoints N   cluster scale for the network study (default 512)
+//	-kvrepl        use Megatron-style KV replication instead of the
+//	               paper's ideal KV sharding (ablation)
+//	-ring          force ring collectives (ablation)
+//	-nooverlap     serialize compute/memory/network per stage (ablation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"litegpu/internal/experiments"
+	"litegpu/internal/inference"
+	"litegpu/internal/units"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "RNG seed for stochastic studies")
+	alpha := flag.Duration("alpha", time.Microsecond, "per-step collective latency")
+	endpoints := flag.Int("endpoints", 512, "cluster scale for the network study")
+	kvRepl := flag.Bool("kvrepl", false, "model Megatron-style KV-head replication (ablation)")
+	ring := flag.Bool("ring", false, "force ring collectives (ablation)")
+	noOverlap := flag.Bool("nooverlap", false, "serialize engines per stage (ablation)")
+	flag.Parse()
+
+	opts := inference.DefaultOptions()
+	opts.Alpha = units.Seconds(alpha.Seconds())
+	opts.KVReplication = *kvRepl
+	opts.RingOnly = *ring
+	opts.NoOverlap = *noOverlap
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	w := os.Stdout
+	for _, artifact := range args {
+		if err := run(artifact, opts, *seed, *endpoints); err != nil {
+			fmt.Fprintf(os.Stderr, "litegpu-figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	_ = w
+}
+
+func run(artifact string, opts inference.Options, seed uint64, endpoints int) error {
+	w := os.Stdout
+	switch artifact {
+	case "table1":
+		experiments.RenderTable1(w)
+	case "fig1":
+		experiments.RenderFigure1(w)
+	case "fig2":
+		experiments.RenderFigure2(w)
+	case "fig3a":
+		rows, err := experiments.Figure3a(opts)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFigure3(w, "Figure 3a: prompt prefill (normalized tokens/s/SM)", rows)
+	case "fig3b":
+		rows, err := experiments.Figure3b(opts)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFigure3(w, "Figure 3b: decode (normalized tokens/s/SM)", rows)
+	case "yield":
+		experiments.RenderYieldStudy(w)
+	case "shoreline":
+		experiments.RenderShorelineStudy(w)
+	case "network":
+		experiments.RenderNetworkStudy(w, endpoints)
+	case "power":
+		experiments.RenderPowerStudy(w)
+	case "blast":
+		experiments.RenderBlastRadiusStudy(w, seed)
+	case "granularity":
+		experiments.RenderGranularity(w, seed)
+	case "serving":
+		return experiments.RenderServingStudy(w, seed)
+	case "tco":
+		experiments.RenderTCOStudy(w)
+	case "straggler":
+		experiments.RenderStragglerStudy(w, seed)
+	case "memory":
+		experiments.RenderMemoryStudy(w)
+	case "training":
+		return experiments.RenderTrainingStudy(w)
+	case "all":
+		for _, a := range []string{
+			"table1", "fig1", "fig2", "fig3a", "fig3b", "yield",
+			"shoreline", "network", "power", "blast", "granularity",
+			"tco", "straggler", "memory", "training", "serving",
+		} {
+			if err := run(a, opts, seed, endpoints); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown artifact %q", artifact)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command litegpu-serve runs the discrete-event LLM serving simulator
+// with Splitwise-style phase splitting on a synthetic workload.
+//
+// Usage:
+//
+//	litegpu-serve [flags]
+//
+// Example: compare an H100 deployment with its Lite-GPU replacement:
+//
+//	litegpu-serve -gpu H100 -model Llama3-70B -prefill-gpus 2 -decode-gpus 2
+//	litegpu-serve -gpu Lite -model Llama3-70B -prefill-gpus 8 -decode-gpus 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"litegpu"
+)
+
+func main() {
+	gpuName := flag.String("gpu", "H100", "GPU type (a Table 1 name)")
+	modelName := flag.String("model", "Llama3-70B", "model preset")
+	rate := flag.Float64("rate", 1.2, "request arrival rate (req/s)")
+	horizon := flag.Float64("horizon", 300, "simulated seconds")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	prefillInst := flag.Int("prefill-instances", 2, "prefill engine count")
+	prefillGPUs := flag.Int("prefill-gpus", 2, "GPUs (TP degree) per prefill engine")
+	decodeInst := flag.Int("decode-instances", 1, "decode engine count")
+	decodeGPUs := flag.Int("decode-gpus", 2, "GPUs (TP degree) per decode engine")
+	maxPrefill := flag.Int("max-prefill-batch", 4, "prompts fused per prefill pass")
+	maxDecode := flag.Int("max-decode-batch", 64, "continuous-batching cap")
+	workload := flag.String("workload", "coding", "workload shape: coding | conversation")
+	flag.Parse()
+
+	gpu, ok := litegpu.GPUByName(*gpuName)
+	if !ok {
+		fatalf("unknown GPU %q", *gpuName)
+	}
+	m, ok := litegpu.ModelByName(*modelName)
+	if !ok {
+		fatalf("unknown model %q", *modelName)
+	}
+	var gen litegpu.Workload
+	switch *workload {
+	case "coding":
+		gen = litegpu.CodingWorkload(*rate, *seed)
+	case "conversation":
+		gen = litegpu.ConversationWorkload(*rate, *seed)
+	default:
+		fatalf("unknown workload %q", *workload)
+	}
+	reqs, err := gen.Generate(litegpu.Seconds(*horizon))
+	if err != nil {
+		fatalf("generate workload: %v", err)
+	}
+
+	cfg := litegpu.ServeConfig{
+		GPU:              gpu,
+		Model:            m,
+		Opts:             litegpu.DefaultOptions(),
+		PrefillInstances: *prefillInst,
+		PrefillGPUs:      *prefillGPUs,
+		DecodeInstances:  *decodeInst,
+		DecodeGPUs:       *decodeGPUs,
+		MaxPrefillBatch:  *maxPrefill,
+		MaxDecodeBatch:   *maxDecode,
+	}
+	mets, err := litegpu.Serve(cfg, reqs, litegpu.Seconds(*horizon)+120)
+	if err != nil {
+		fatalf("simulate: %v", err)
+	}
+
+	fmt.Printf("deployment: %s × (%d×%d prefill + %d×%d decode), model %s\n",
+		gpu.Name, *prefillInst, *prefillGPUs, *decodeInst, *decodeGPUs, m.Name)
+	fmt.Printf("workload: %s @ %.2f req/s for %.0f s (seed %d)\n", *workload, *rate, *horizon, *seed)
+	fmt.Printf("arrived %d, completed %d, tokens generated %d\n",
+		mets.Arrived, mets.Completed, mets.TokensGenerated)
+	fmt.Printf("TTFT p50/p90/p99: %.0f / %.0f / %.0f ms (attainment %.1f%%)\n",
+		mets.TTFT.P50*1e3, mets.TTFT.P90*1e3, mets.TTFT.P99*1e3, mets.TTFTAttainment*100)
+	fmt.Printf("TBT  p50/p90/p99: %.1f / %.1f / %.1f ms (attainment %.1f%%)\n",
+		mets.TBT.P50*1e3, mets.TBT.P90*1e3, mets.TBT.P99*1e3, mets.TBTAttainment*100)
+	fmt.Printf("E2E  p50/p99: %.2f / %.2f s\n", mets.E2E.P50, mets.E2E.P99)
+	fmt.Printf("utilization: prefill %.1f%%, decode %.1f%%\n",
+		mets.PrefillUtilization*100, mets.DecodeUtilization*100)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "litegpu-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Fault tolerance: blast radius and hot-spare economics for an 8×H100
+// model instance versus its 32×Lite-GPU replacement, with Monte Carlo
+// validation over a 10-year mission.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+
+	"litegpu"
+)
+
+func main() {
+	const (
+		years  = 10
+		trials = 300
+		seed   = 2025
+	)
+	fmt.Println("Instance availability over a 10-year mission (24 h repair, 60 s spare takeover)")
+	fmt.Printf("%-6s %9s %7s %13s %11s %11s %9s\n",
+		"GPU", "instance", "spares", "blast radius", "analytic", "simulated", "failures")
+
+	type row struct {
+		gpu      litegpu.GPU
+		instance int
+		spares   int
+	}
+	rows := []row{
+		{litegpu.H100(), 8, 0},
+		{litegpu.H100(), 8, 1},
+		{litegpu.Lite(), 32, 0},
+		{litegpu.Lite(), 32, 1},
+		{litegpu.Lite(), 32, 2},
+	}
+	for _, r := range rows {
+		a := litegpu.SimulateAvailability(r.gpu, r.instance, r.spares, years, trials, seed)
+		fmt.Printf("%-6s %9d %7d %12.2f%% %11.7f %11.7f %9.1f\n",
+			r.gpu.Name, r.instance, r.spares, a.BlastRadius*100,
+			a.Analytic, a.Simulated, a.FailuresPerMission)
+	}
+
+	fmt.Println("\nThe Lite instance fails more often in aggregate (more packages) but:")
+	fmt.Println(" - each failure removes 4× less compute (blast radius 3.1% vs 12.5%), and")
+	fmt.Println(" - one spare costs 1/32 of the instance instead of 1/8, so at equal spare")
+	fmt.Println("   budget the Lite cluster holds more capacity in reserve.")
+}

@@ -1,0 +1,52 @@
+// Inference study: reproduce both panels of the paper's Figure 3 through
+// the public API and print the normalized bars.
+//
+//	go run ./examples/inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"litegpu"
+)
+
+func main() {
+	opts := litegpu.DefaultOptions()
+
+	prefill, err := litegpu.PrefillStudy(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printPanel("Figure 3a — prompt prefill (tokens/s/SM, normalized to H100)", prefill)
+
+	decode, err := litegpu.DecodeStudy(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printPanel("Figure 3b — decode (tokens/s/SM, normalized to H100)", decode)
+
+	fmt.Println("Reading the shapes:")
+	fmt.Println(" - prefill: all configs tie on Llama3-70B; base Lite degrades with model size")
+	fmt.Println("   (network-bound collectives); +NetBW compensates; +FLOPS wins when compute-bound.")
+	fmt.Println(" - decode: base Lite trails; +MemBW overtakes the H100 on Llama3-70B and GPT3-175B")
+	fmt.Println("   (the paper's shoreline-for-memory-bandwidth trade); +NetBW adds a further step.")
+}
+
+func printPanel(title string, rows []litegpu.Figure3Row) {
+	fmt.Println(title)
+	last := ""
+	for _, r := range rows {
+		if r.Model.Name != last {
+			last = r.Model.Name
+			fmt.Printf("  %s\n", last)
+		}
+		n := int(r.Normalized * 25)
+		if n > 42 {
+			n = 42
+		}
+		fmt.Printf("    %-18s %5.3f %s\n", r.GPU.Name, r.Normalized, strings.Repeat("#", n))
+	}
+	fmt.Println()
+}

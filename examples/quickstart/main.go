@@ -1,0 +1,48 @@
+// Quickstart: derive a Lite-GPU cluster design from an H100 and run the
+// paper's headline comparison for one model.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"litegpu"
+)
+
+func main() {
+	// Step 1: split the H100 four ways — the paper's running example.
+	design := litegpu.DesignCluster(litegpu.H100(), 4)
+	fmt.Println("== Lite-GPU design: H100 split 4 ways ==")
+	fmt.Printf("parent: %v\n", design.Parent)
+	fmt.Printf("lite:   %v\n", design.Lite)
+	fmt.Printf("shoreline (bandwidth-to-compute) gain: %.2f×\n", design.ShorelineGain)
+	fmt.Printf("die yield gain: %.2f×, silicon cost saving: %.0f%%\n",
+		design.YieldGain, design.SiliconCostSaving*100)
+	fmt.Printf("cooling: %v (clock headroom %.2f×)\n", design.Cooling, design.OverclockHeadroom)
+	fmt.Printf("per-package failure rate: %.2f%%/yr (H100: %.2f%%/yr)\n",
+		litegpu.GPUAnnualFailureRate(design.Lite)*100,
+		litegpu.GPUAnnualFailureRate(design.Parent)*100)
+
+	// Step 2: roofline the two clusters on Llama3-70B decode under the
+	// paper's SLOs.
+	fmt.Println("\n== Llama3-70B decode, best configurations (TBT ≤ 50 ms) ==")
+	m := litegpu.Models()[0]
+	opts := litegpu.DefaultOptions()
+	for _, gpu := range []litegpu.GPU{litegpu.H100(), litegpu.Lite()} {
+		best, err := litegpu.SearchBest(gpu, m, litegpu.Decode, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %v\n", gpu.Name+":", best)
+	}
+
+	// Step 3: what the Lite cluster buys back with its extra shoreline.
+	memBW, _ := litegpu.GPUByName("Lite+MemBW")
+	best, err := litegpu.SearchBest(memBW, m, litegpu.Decode, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %v\n", memBW.Name+":", best)
+}

@@ -1,0 +1,34 @@
+// Yield and cost: walk the die-size frontier from a full H100-class die
+// down to 1/16 splits, showing where the paper's quarter-die sweet spot
+// comes from.
+//
+//	go run ./examples/yieldcost
+package main
+
+import (
+	"fmt"
+
+	"litegpu"
+)
+
+func main() {
+	fmt.Println("Die-size frontier (300 mm wafer, N4-class node, D0 = 0.1 defects/cm²)")
+	fmt.Printf("%-9s %6s %11s %9s %11s %11s %11s\n",
+		"fraction", "mm²", "dies/wafer", "yield", "yield gain", "Si saving", "pkg saving")
+	for _, r := range litegpu.YieldStudy() {
+		fmt.Printf("%-9.4g %6.0f %11d %8.1f%% %10.2f× %10.0f%% %10.0f%%\n",
+			r.Fraction, float64(r.Area), r.DiesPerWafer, r.PoissonYield*100,
+			r.YieldGain, r.SiliconSaving*100, r.PackageSaving*100)
+	}
+
+	fmt.Println("\nShoreline at constant total silicon:")
+	fmt.Printf("%-7s %9s %15s %10s %14s\n", "split", "die mm²", "perimeter mm", "BW gain", "max BW/die")
+	for _, r := range litegpu.ShorelineStudy() {
+		fmt.Printf("%-7d %9.0f %15.0f %9.2f× %14v\n",
+			r.Split, float64(r.PerDieArea), float64(r.TotalPerimeter), r.Gain, r.MaxBandwidth)
+	}
+
+	fmt.Println("\nReading the frontier: silicon cost per compute keeps falling as dies")
+	fmt.Println("shrink (yield), but fixed per-package costs eventually dominate — the")
+	fmt.Println("full-package saving peaks near the paper's 1/4 split and then reverses.")
+}

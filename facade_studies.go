@@ -1,0 +1,65 @@
+package litegpu
+
+import (
+	"litegpu/internal/experiments"
+	"litegpu/internal/failure"
+	"litegpu/internal/power"
+)
+
+// YieldRow is one die-size point of the yield/cost study.
+type YieldRow = experiments.YieldRow
+
+// YieldStudy sweeps die-size fractions of the H100 die and returns the
+// yield/cost trajectory (Section 2 of the paper; the 0.25 row carries the
+// ~1.8× yield and ~50% silicon-cost claims).
+func YieldStudy() []YieldRow { return experiments.YieldStudy() }
+
+// ShorelineRow is one split-factor point of the shoreline study.
+type ShorelineRow = experiments.ShorelineRow
+
+// ShorelineStudy sweeps split factors at constant total silicon and
+// returns perimeter and bandwidth-to-compute gains.
+func ShorelineStudy() []ShorelineRow { return experiments.ShorelineStudy() }
+
+// Availability holds the reliability verdict for one deployment.
+type Availability struct {
+	// Analytic is the closed-form k-out-of-n availability.
+	Analytic float64
+	// Simulated is the Monte Carlo estimate.
+	Simulated float64
+	// FailuresPerMission is the mean unit-failure count per mission.
+	FailuresPerMission float64
+	// BlastRadius is the compute fraction one failure removes.
+	BlastRadius float64
+}
+
+// SimulateAvailability evaluates a model instance of instanceGPUs units
+// of the given GPU with the given hot-spare count, over a mission of the
+// given number of years, using `trials` Monte Carlo runs at the seed.
+func SimulateAvailability(gpu GPU, instanceGPUs, spares int, years float64, trials int, seed uint64) Availability {
+	p := failure.DefaultParams()
+	spec := failure.Spec{GPU: gpu, InstanceGPUs: instanceGPUs, Spares: spares}
+	res := failure.Simulate(spec, p, Seconds(years)*failure.Year, trials, seed)
+	return Availability{
+		Analytic:           failure.AnalyticAvailability(spec, p),
+		Simulated:          res.Availability,
+		FailuresPerMission: float64(res.Failures) / float64(trials),
+		BlastRadius:        spec.HardwareBlastRadius(),
+	}
+}
+
+// PowerComparison is the partial-load power verdict.
+type PowerComparison = power.PartialLoad
+
+// PowerAtLoad compares one parent GPU against its split-way Lite
+// replacement at the given serving load fraction (Section 3's
+// finer-granularity power management argument).
+func PowerAtLoad(parent GPU, split int, load float64) PowerComparison {
+	return power.Default().AtLoad(parent, split, load)
+}
+
+// GPUAnnualFailureRate returns the modeled annualized failure rate of
+// one package of the given GPU.
+func GPUAnnualFailureRate(gpu GPU) float64 {
+	return failure.DefaultParams().AFR(gpu)
+}

@@ -1,0 +1,60 @@
+package litegpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestYieldStudyFacade(t *testing.T) {
+	rows := YieldStudy()
+	if len(rows) != 5 {
+		t.Fatalf("yield rows = %d", len(rows))
+	}
+	if rows[2].Fraction != 0.25 || rows[2].YieldGain < 1.7 {
+		t.Errorf("quarter-die row wrong: %+v", rows[2])
+	}
+}
+
+func TestShorelineStudyFacade(t *testing.T) {
+	rows := ShorelineStudy()
+	if len(rows) != 5 || rows[2].Gain != 2 {
+		t.Errorf("shoreline rows wrong: %+v", rows)
+	}
+}
+
+func TestSimulateAvailabilityFacade(t *testing.T) {
+	a := SimulateAvailability(Lite(), 32, 1, 10, 100, 42)
+	if a.Analytic < 0.999 {
+		t.Errorf("analytic availability = %v", a.Analytic)
+	}
+	if math.Abs(a.Analytic-a.Simulated) > 0.01 {
+		t.Errorf("simulated %v far from analytic %v", a.Simulated, a.Analytic)
+	}
+	if a.BlastRadius != 1.0/32 {
+		t.Errorf("blast radius = %v", a.BlastRadius)
+	}
+	if a.FailuresPerMission <= 0 {
+		t.Error("no failures recorded over a 10-year mission")
+	}
+}
+
+func TestPowerAtLoadFacade(t *testing.T) {
+	r := PowerAtLoad(H100(), 4, 0.1)
+	if r.Saving <= 0.2 {
+		t.Errorf("10%% load saving = %v, want > 0.2", r.Saving)
+	}
+	if r.LiteWatts >= r.BigWatts {
+		t.Error("Lite group should win at 10% load")
+	}
+}
+
+func TestGPUAnnualFailureRateFacade(t *testing.T) {
+	h := GPUAnnualFailureRate(H100())
+	l := GPUAnnualFailureRate(Lite())
+	if l >= h {
+		t.Errorf("Lite AFR (%v) should be below H100 (%v)", l, h)
+	}
+	if h < 0.01 || h > 0.2 {
+		t.Errorf("H100 AFR = %v, implausible", h)
+	}
+}

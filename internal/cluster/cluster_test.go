@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/units"
+)
+
+func TestAllocateWholeUnits(t *testing.T) {
+	c := New(hw.H100(), 8) // 132 SMs per unit
+	got, ok := c.Allocate("a", 100)
+	if !ok || got != 1 {
+		t.Errorf("Allocate(100 SMs) = %d, %v; want 1 unit", got, ok)
+	}
+	got, ok = c.Allocate("b", 133)
+	if !ok || got != 2 {
+		t.Errorf("Allocate(133 SMs) = %d, %v; want 2 units", got, ok)
+	}
+	if c.Free() != 5 {
+		t.Errorf("free = %d, want 5", c.Free())
+	}
+}
+
+func TestAllocateRejections(t *testing.T) {
+	c := New(hw.H100(), 2)
+	if _, ok := c.Allocate("a", 0); ok {
+		t.Error("zero demand accepted")
+	}
+	if _, ok := c.Allocate("a", -5); ok {
+		t.Error("negative demand accepted")
+	}
+	if _, ok := c.Allocate("a", 132); !ok {
+		t.Fatal("valid allocation rejected")
+	}
+	if _, ok := c.Allocate("a", 132); ok {
+		t.Error("duplicate id accepted")
+	}
+	if _, ok := c.Allocate("b", 1000); ok {
+		t.Error("oversized allocation accepted")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	c := New(hw.H100(), 4)
+	c.Allocate("a", 264)
+	if !c.Release("a") {
+		t.Error("release of held id failed")
+	}
+	if c.Free() != 4 {
+		t.Errorf("free after release = %d, want 4", c.Free())
+	}
+	if c.Release("a") {
+		t.Error("double release succeeded")
+	}
+	if c.Release("never") {
+		t.Error("release of unknown id succeeded")
+	}
+}
+
+func TestUsage(t *testing.T) {
+	c := New(hw.H100(), 4) // 528 SMs total
+	c.Allocate("a", 66)    // gets 132, wastes 66
+	u := c.Usage()
+	if math.Abs(u.Allocated-132.0/528) > 1e-12 {
+		t.Errorf("allocated = %v", u.Allocated)
+	}
+	if math.Abs(u.Useful-66.0/528) > 1e-12 {
+		t.Errorf("useful = %v", u.Useful)
+	}
+	if math.Abs(u.Stranded-66.0/528) > 1e-12 {
+		t.Errorf("stranded = %v", u.Stranded)
+	}
+	empty := New(hw.H100(), 0)
+	if empty.Usage() != (Usage{}) {
+		t.Error("empty cluster usage should be zero")
+	}
+}
+
+func TestFragmentationAt(t *testing.T) {
+	// Demand of half a unit strands half of it.
+	if f := FragmentationAt(66, 132); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("frag(66,132) = %v, want 0.5", f)
+	}
+	// Exact fit strands nothing.
+	if f := FragmentationAt(132, 132); f != 0 {
+		t.Errorf("frag(132,132) = %v, want 0", f)
+	}
+	// A Lite unit (33 SMs) strands far less on the same demand.
+	big := FragmentationAt(66, 132)
+	lite := FragmentationAt(66, 33)
+	if lite >= big {
+		t.Errorf("lite frag %v should be below big frag %v", lite, big)
+	}
+	if FragmentationAt(0, 132) != 0 || FragmentationAt(10, 0) != 0 {
+		t.Error("degenerate fragmentation should be 0")
+	}
+}
+
+func TestPaperGranularityClaim(t *testing.T) {
+	// Equal-capacity clusters, job demands in fractional-GPU sizes: the
+	// Lite cluster strands less and serves more useful work.
+	bigRes, liteRes := GranularityStudy(hw.H100(), 16, 4, 200, 0.1, 2.5, 42)
+	if liteRes.MeanStranded >= bigRes.MeanStranded {
+		t.Errorf("lite stranding (%v) should be below big (%v)",
+			liteRes.MeanStranded, bigRes.MeanStranded)
+	}
+	if liteRes.MeanUseful <= bigRes.MeanUseful {
+		t.Errorf("lite useful utilization (%v) should exceed big (%v)",
+			liteRes.MeanUseful, bigRes.MeanUseful)
+	}
+	if bigRes.Placed+bigRes.Rejected != 200 || liteRes.Placed+liteRes.Rejected != 200 {
+		t.Error("job accounting mismatch")
+	}
+}
+
+func TestGranularityStudyDeterministic(t *testing.T) {
+	a1, l1 := GranularityStudy(hw.H100(), 8, 4, 50, 0.2, 1.5, 7)
+	a2, l2 := GranularityStudy(hw.H100(), 8, 4, 50, 0.2, 1.5, 7)
+	if a1 != a2 || l1 != l2 {
+		t.Error("same seed produced different study results")
+	}
+}
+
+func TestSimulateStreamReleasesCapacity(t *testing.T) {
+	c := New(hw.H100(), 1)
+	jobs := []Job{
+		{ID: "a", Arrival: 0, Duration: 10, DemandSMs: 132},
+		{ID: "b", Arrival: 20, Duration: 10, DemandSMs: 132},
+	}
+	res := SimulateStream(c, jobs, 100)
+	if res.Placed != 2 || res.Rejected != 0 {
+		t.Errorf("placed/rejected = %d/%d, want 2/0", res.Placed, res.Rejected)
+	}
+}
+
+func TestSimulateStreamRejectsWhenFull(t *testing.T) {
+	c := New(hw.H100(), 1)
+	jobs := []Job{
+		{ID: "a", Arrival: 0, Duration: 100, DemandSMs: 132},
+		{ID: "b", Arrival: 1, Duration: 100, DemandSMs: 132},
+	}
+	res := SimulateStream(c, jobs, units.Seconds(50))
+	if res.Placed != 1 || res.Rejected != 1 {
+		t.Errorf("placed/rejected = %d/%d, want 1/1", res.Placed, res.Rejected)
+	}
+}
+
+func TestStrandAccumulator(t *testing.T) {
+	var a StrandAccumulator
+	a.Add(10, Usage{Useful: 0.5, Stranded: 0.1})
+	a.Add(10, Usage{Useful: 0.7, Stranded: 0.3})
+	if math.Abs(a.Useful()-0.6) > 1e-12 {
+		t.Errorf("useful = %v, want 0.6", a.Useful())
+	}
+	if math.Abs(a.Stranded()-0.2) > 1e-12 {
+		t.Errorf("stranded = %v, want 0.2", a.Stranded())
+	}
+	a.Add(-5, Usage{Useful: 1}) // ignored
+	if math.Abs(a.Useful()-0.6) > 1e-12 {
+		t.Error("negative dt was not ignored")
+	}
+	var empty StrandAccumulator
+	if empty.Useful() != 0 || empty.Stranded() != 0 {
+		t.Error("empty accumulator should report 0")
+	}
+}
+
+// Property: allocation never over-grants or under-grants.
+func TestAllocationCoversDemandProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		demand := float64(raw%2000) + 1
+		c := New(hw.H100(), 64)
+		got, ok := c.Allocate("x", demand)
+		if !ok {
+			return true // too big for the cluster, fine
+		}
+		granted := float64(got * 132)
+		return granted >= demand && granted-demand < 132
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fragmentation is always in [0, 1) and smaller units never
+// fragment more.
+func TestFragmentationBoundsProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		demand := float64(raw%4000) + 1
+		big := FragmentationAt(demand, 132)
+		lite := FragmentationAt(demand, 33)
+		return big >= 0 && big < 1 && lite >= 0 && lite <= big+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

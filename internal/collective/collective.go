@@ -1,0 +1,200 @@
+// Package collective prices collective-communication operations with the
+// standard α–β (latency–bandwidth) machine model: a participant pays α
+// per message step and 1/β per byte on the wire. The inference study uses
+// it for the tensor-parallel all-reduces that dominate Lite-GPU network
+// demand; the network package reuses it for topology comparisons.
+package collective
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/units"
+)
+
+// Link characterizes the point-to-point channel between participants.
+type Link struct {
+	// Bandwidth is per-participant unidirectional injection bandwidth.
+	Bandwidth units.BytesPerSec
+	// Latency is the per-message-step latency (α).
+	Latency units.Seconds
+}
+
+// Op is a collective operation.
+type Op int
+
+// The collective operations the models use.
+const (
+	AllReduce Op = iota
+	AllGather
+	ReduceScatter
+	Broadcast
+	AllToAll
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case AllReduce:
+		return "all-reduce"
+	case AllGather:
+		return "all-gather"
+	case ReduceScatter:
+		return "reduce-scatter"
+	case Broadcast:
+		return "broadcast"
+	case AllToAll:
+		return "all-to-all"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Algorithm selects the schedule used to run a collective.
+type Algorithm int
+
+// The implemented schedules.
+const (
+	// Ring is the bandwidth-optimal schedule: 2(N−1) steps for
+	// all-reduce, each moving D/N bytes.
+	Ring Algorithm = iota
+	// Doubling is recursive halving/doubling: log₂N steps, bandwidth
+	// near-optimal, far fewer α terms — the small-message winner.
+	Doubling
+	// Tree is a binomial tree: latency-optimal for tiny payloads but
+	// moves the full payload every step.
+	Tree
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case Doubling:
+		return "doubling"
+	case Tree:
+		return "tree"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+func log2Ceil(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// Time returns the completion time of op over n participants with a
+// payload of size bytes (the full tensor size for all-reduce/broadcast;
+// the gathered size for all-gather; the total exchanged matrix for
+// all-to-all) using the given algorithm on the given link.
+//
+// n ≤ 1 or a non-positive payload costs nothing. A zero-bandwidth link
+// yields +Inf, letting an absent network dominate a roofline max() term.
+func Time(op Op, algo Algorithm, n int, bytes units.Bytes, l Link) units.Seconds {
+	if n <= 1 || bytes <= 0 {
+		return 0
+	}
+	if l.Bandwidth <= 0 {
+		return units.Seconds(math.Inf(1))
+	}
+	d := float64(bytes)
+	bw := float64(l.Bandwidth)
+	alpha := float64(l.Latency)
+	nf := float64(n)
+	steps2 := 2 * (nf - 1) // ring all-reduce steps
+	frac := (nf - 1) / nf  // bandwidth-optimal per-phase byte fraction
+	logn := log2Ceil(n)
+
+	var t float64
+	switch op {
+	case AllReduce:
+		switch algo {
+		case Ring:
+			t = steps2*alpha + 2*frac*d/bw
+		case Doubling:
+			t = 2*logn*alpha + 2*frac*d/bw
+		case Tree:
+			// Reduce up + broadcast down, full payload per step.
+			t = 2 * logn * (alpha + d/bw)
+		}
+	case AllGather, ReduceScatter:
+		switch algo {
+		case Ring:
+			t = (nf-1)*alpha + frac*d/bw
+		case Doubling:
+			t = logn*alpha + frac*d/bw
+		case Tree:
+			t = logn * (alpha + d/bw)
+		}
+	case Broadcast:
+		switch algo {
+		case Ring:
+			t = (nf-1)*alpha + d/bw // pipelined chain
+		default:
+			t = logn * (alpha + d/bw)
+		}
+	case AllToAll:
+		// Each participant exchanges d/n with every peer; schedule-
+		// independent to first order.
+		t = (nf-1)*alpha + frac*d/bw
+	}
+	return units.Seconds(t)
+}
+
+// Best returns the fastest schedule for op at this size and scale,
+// and its completion time. This mirrors what NCCL's tuner does: rings for
+// large payloads, logarithmic schedules for small ones.
+func Best(op Op, n int, bytes units.Bytes, l Link) (Algorithm, units.Seconds) {
+	bestAlgo := Ring
+	bestT := Time(op, Ring, n, bytes, l)
+	for _, a := range []Algorithm{Doubling, Tree} {
+		if t := Time(op, a, n, bytes, l); t < bestT {
+			bestAlgo, bestT = a, t
+		}
+	}
+	return bestAlgo, bestT
+}
+
+// BusBandwidth converts a measured completion time into the "bus
+// bandwidth" convention used by nccl-tests: the per-participant wire rate
+// a perfect implementation would need, 2·(n−1)/n·D/t for all-reduce and
+// (n−1)/n·D/t for all-gather/reduce-scatter/all-to-all, D/t otherwise.
+func BusBandwidth(op Op, n int, bytes units.Bytes, t units.Seconds) units.BytesPerSec {
+	if t <= 0 || n <= 1 {
+		return 0
+	}
+	d := float64(bytes)
+	nf := float64(n)
+	var wire float64
+	switch op {
+	case AllReduce:
+		wire = 2 * (nf - 1) / nf * d
+	case AllGather, ReduceScatter, AllToAll:
+		wire = (nf - 1) / nf * d
+	default:
+		wire = d
+	}
+	return units.BytesPerSec(wire / float64(t))
+}
+
+// WireBytes returns the bytes each participant sends for op with the
+// given payload under a bandwidth-optimal schedule. The inference model
+// uses it to attribute network-bound time per GPU.
+func WireBytes(op Op, n int, bytes units.Bytes) units.Bytes {
+	if n <= 1 || bytes <= 0 {
+		return 0
+	}
+	frac := float64(n-1) / float64(n)
+	switch op {
+	case AllReduce:
+		return units.Bytes(2 * frac * float64(bytes))
+	case AllGather, ReduceScatter, AllToAll:
+		return units.Bytes(frac * float64(bytes))
+	default:
+		return bytes
+	}
+}

@@ -1,0 +1,197 @@
+package collective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"litegpu/internal/units"
+)
+
+var testLink = Link{Bandwidth: 100 * units.GB, Latency: 1e-6}
+
+func TestTimeTrivialCases(t *testing.T) {
+	if got := Time(AllReduce, Ring, 1, units.Bytes(units.MB), testLink); got != 0 {
+		t.Errorf("n=1 all-reduce = %v, want 0", got)
+	}
+	if got := Time(AllReduce, Ring, 8, 0, testLink); got != 0 {
+		t.Errorf("zero-byte all-reduce = %v, want 0", got)
+	}
+	if got := Time(AllReduce, Ring, 8, units.Bytes(units.MB), Link{}); !math.IsInf(float64(got), 1) {
+		t.Errorf("zero-bandwidth all-reduce = %v, want +Inf", got)
+	}
+}
+
+func TestRingAllReduceFormula(t *testing.T) {
+	// 8 ranks, 8 MB, 100 GB/s, α = 1 µs:
+	// t = 2·7·1e-6 + 2·(7/8)·8e6/100e9 = 14e-6 + 140e-6 = 154 µs.
+	got := Time(AllReduce, Ring, 8, 8*units.MB, testLink)
+	want := 14e-6 + 2*(7.0/8.0)*8e6/100e9
+	if math.Abs(float64(got)-want) > 1e-12 {
+		t.Errorf("ring all-reduce = %v, want %v", got, want)
+	}
+}
+
+func TestDoublingAllReduceFormula(t *testing.T) {
+	// 8 ranks: 2·log2(8)=6 α terms, same bandwidth term as ring.
+	got := Time(AllReduce, Doubling, 8, 8*units.MB, testLink)
+	want := 6e-6 + 2*(7.0/8.0)*8e6/100e9
+	if math.Abs(float64(got)-want) > 1e-12 {
+		t.Errorf("doubling all-reduce = %v, want %v", got, want)
+	}
+}
+
+func TestTreeAllReduceFormula(t *testing.T) {
+	// Tree moves the full payload each of 2·log2(n) steps.
+	got := Time(AllReduce, Tree, 8, units.Bytes(units.MB), testLink)
+	want := 2 * 3 * (1e-6 + 1e6/100e9)
+	if math.Abs(float64(got)-want) > 1e-12 {
+		t.Errorf("tree all-reduce = %v, want %v", got, want)
+	}
+}
+
+func TestAllGatherFormula(t *testing.T) {
+	got := Time(AllGather, Ring, 4, 4*units.MB, testLink)
+	want := 3e-6 + (3.0/4.0)*4e6/100e9
+	if math.Abs(float64(got)-want) > 1e-12 {
+		t.Errorf("ring all-gather = %v, want %v", got, want)
+	}
+	// Reduce-scatter is symmetric.
+	if rs := Time(ReduceScatter, Ring, 4, 4*units.MB, testLink); rs != got {
+		t.Errorf("reduce-scatter %v ≠ all-gather %v", rs, got)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	ring := Time(Broadcast, Ring, 8, units.Bytes(units.MB), testLink)
+	tree := Time(Broadcast, Tree, 8, units.Bytes(units.MB), testLink)
+	if ring <= 0 || tree <= 0 {
+		t.Fatalf("broadcast times: ring %v, tree %v", ring, tree)
+	}
+	// Pipelined chain beats tree for large payloads.
+	big := 100 * units.MB
+	if Time(Broadcast, Ring, 8, units.Bytes(big), testLink) >= Time(Broadcast, Tree, 8, units.Bytes(big), testLink) {
+		t.Error("pipelined broadcast should beat tree at large payloads")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	got := Time(AllToAll, Ring, 8, 8*units.MB, testLink)
+	want := 7e-6 + (7.0/8.0)*8e6/100e9
+	if math.Abs(float64(got)-want) > 1e-12 {
+		t.Errorf("all-to-all = %v, want %v", got, want)
+	}
+}
+
+func TestBestSelectsRingForLargeDoublingForSmall(t *testing.T) {
+	// Large payload at high scale: ring and doubling tie on bandwidth,
+	// but doubling saves α steps, so Best must never pick worse than ring.
+	algo, tBig := Best(AllReduce, 32, 256*units.MB, testLink)
+	if tBig > Time(AllReduce, Ring, 32, 256*units.MB, testLink) {
+		t.Errorf("Best (%v) slower than ring", algo)
+	}
+	// Tiny payload: logarithmic schedule must win over ring.
+	algoSmall, _ := Best(AllReduce, 32, 256, testLink)
+	if algoSmall == Ring {
+		t.Error("Best picked ring for a 256-byte all-reduce at n=32")
+	}
+}
+
+func TestBusBandwidth(t *testing.T) {
+	// A ring all-reduce with zero α runs at exactly link bandwidth in the
+	// bus convention.
+	l := Link{Bandwidth: 100 * units.GB}
+	tt := Time(AllReduce, Ring, 8, 8*units.MB, l)
+	bus := BusBandwidth(AllReduce, 8, 8*units.MB, tt)
+	if math.Abs(float64(bus)-100*units.GB)/1e11 > 1e-9 {
+		t.Errorf("bus bandwidth = %v, want 100 GB/s", bus)
+	}
+	if BusBandwidth(AllReduce, 8, 8*units.MB, 0) != 0 {
+		t.Error("zero-time bus bandwidth should be 0")
+	}
+	if BusBandwidth(AllReduce, 1, 8*units.MB, 1) != 0 {
+		t.Error("single-rank bus bandwidth should be 0")
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	// All-reduce: 2·(n−1)/n·D.
+	got := WireBytes(AllReduce, 8, 8*units.MB)
+	want := units.Bytes(2 * 7.0 / 8.0 * 8e6)
+	if math.Abs(float64(got)-float64(want)) > 1e-6 {
+		t.Errorf("WireBytes all-reduce = %v, want %v", got, want)
+	}
+	if WireBytes(AllReduce, 1, 8*units.MB) != 0 {
+		t.Error("single-rank wire bytes should be 0")
+	}
+	if WireBytes(Broadcast, 8, units.Bytes(units.MB)) != units.Bytes(units.MB) {
+		t.Error("broadcast wire bytes should equal payload")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	ops := []Op{AllReduce, AllGather, ReduceScatter, Broadcast, AllToAll, Op(99)}
+	for _, o := range ops {
+		if o.String() == "" {
+			t.Errorf("empty string for op %d", int(o))
+		}
+	}
+	algos := []Algorithm{Ring, Doubling, Tree, Algorithm(99)}
+	for _, a := range algos {
+		if a.String() == "" {
+			t.Errorf("empty string for algorithm %d", int(a))
+		}
+	}
+}
+
+// Property: collective time grows monotonically with payload size.
+func TestTimeMonotoneInSizeProperty(t *testing.T) {
+	f := func(ra, rb uint32, rn uint8) bool {
+		a := units.Bytes(ra)
+		b := units.Bytes(rb)
+		if a > b {
+			a, b = b, a
+		}
+		n := int(rn%63) + 2
+		for _, algo := range []Algorithm{Ring, Doubling, Tree} {
+			if Time(AllReduce, algo, n, a, testLink) > Time(AllReduce, algo, n, b, testLink) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all-reduce costs at least as much as reduce-scatter (it is a
+// reduce-scatter plus an all-gather).
+func TestAllReduceDominatesReduceScatterProperty(t *testing.T) {
+	f := func(raw uint32, rn uint8) bool {
+		d := units.Bytes(raw)
+		n := int(rn%31) + 2
+		return Time(AllReduce, Ring, n, d, testLink) >= Time(ReduceScatter, Ring, n, d, testLink)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Best is never slower than any single algorithm.
+func TestBestOptimalityProperty(t *testing.T) {
+	f := func(raw uint32, rn uint8) bool {
+		d := units.Bytes(raw % 100000000)
+		n := int(rn%63) + 2
+		_, best := Best(AllReduce, n, d, testLink)
+		for _, a := range []Algorithm{Ring, Doubling, Tree} {
+			if best > Time(AllReduce, a, n, d, testLink) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package die
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/units"
+)
+
+// CostModel aggregates the components of per-package manufacturing cost.
+// Defaults follow public estimates for CoWoS-class advanced packaging:
+// packaging cost grows superlinearly with interposer area because large
+// interposers are themselves yield-limited, which is precisely the
+// scaling trap the paper argues Lite-GPUs escape.
+type CostModel struct {
+	Wafer Wafer
+	Yield YieldModel
+
+	// PackagingBase is the fixed packaging cost per package.
+	PackagingBase units.Dollars
+
+	// PackagingPerMM2 is the packaging cost per mm² of packaged silicon.
+	PackagingPerMM2 units.Dollars
+
+	// PackagingExponent makes packaging cost superlinear in area:
+	// cost = Base + PerMM2 · area^Exponent / 814^(Exponent−1), normalized
+	// so an H100-sized package pays exactly PerMM2·area. Exponent 1 is
+	// linear; 1.4 is the default reflecting interposer yield loss.
+	PackagingExponent float64
+
+	// TestPerDie is the per-die test and sort cost.
+	TestPerDie units.Dollars
+}
+
+// DefaultCostModel returns the calibration used by the studies: a 300 mm
+// N4-class wafer, Poisson yield at the default defect density, and
+// packaging parameters that put an H100-class package near its estimated
+// ~$300 packaging cost.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Wafer:             Wafer300N4(),
+		Yield:             Poisson{D0: DefaultDefectDensity},
+		PackagingBase:     30,
+		PackagingPerMM2:   0.35,
+		PackagingExponent: 1.4,
+		TestPerDie:        20,
+	}
+}
+
+// Breakdown itemizes the manufacturing cost of one good packaged die.
+type Breakdown struct {
+	Area         units.MM2
+	DiesPerWafer int
+	Yield        float64
+	GoodDies     float64 // expected good dies per wafer
+	SiliconCost  units.Dollars
+	Packaging    units.Dollars
+	Test         units.Dollars
+	Total        units.Dollars
+}
+
+// GoodDieCost returns the cost breakdown for one good packaged die of the
+// given area.
+func (c CostModel) GoodDieCost(area units.MM2) Breakdown {
+	b := Breakdown{Area: area}
+	b.DiesPerWafer = c.Wafer.DiesPerWafer(area)
+	b.Yield = c.Yield.Yield(area)
+	b.GoodDies = float64(b.DiesPerWafer) * b.Yield
+	if b.GoodDies > 0 {
+		b.SiliconCost = units.Dollars(float64(c.Wafer.Cost) / b.GoodDies)
+	} else {
+		b.SiliconCost = units.Dollars(math.Inf(1))
+	}
+	exp := c.PackagingExponent
+	if exp <= 0 {
+		exp = 1
+	}
+	// Normalize so that an 814 mm² package costs PerMM2·814 regardless of
+	// exponent; smaller packages then cost less than linearly predicted.
+	const refArea = 814.0
+	norm := math.Pow(refArea, exp-1)
+	b.Packaging = c.PackagingBase +
+		units.Dollars(float64(c.PackagingPerMM2)*math.Pow(float64(area), exp)/norm)
+	b.Test = c.TestPerDie
+	b.Total = b.SiliconCost + b.Packaging + b.Test
+	return b
+}
+
+// EquivalentComputeCost returns the cost of enough dies of the given area
+// to match the total silicon area of one reference die: it buys
+// ceil(refArea/area) small dies. The paper's "almost 50% reduction in
+// manufacturing cost" compares four quarter-dies against one H100-class
+// die this way.
+func (c CostModel) EquivalentComputeCost(refArea, area units.MM2) units.Dollars {
+	if area <= 0 {
+		return units.Dollars(math.Inf(1))
+	}
+	n := math.Ceil(float64(refArea) / float64(area))
+	return units.Dollars(n * float64(c.GoodDieCost(area).Total))
+}
+
+// CostReduction returns the fractional full-package manufacturing-cost
+// saving (silicon + packaging + test) of building refArea worth of compute
+// out of dies shrunk by frac.
+func (c CostModel) CostReduction(refArea units.MM2, frac float64) float64 {
+	big := float64(c.GoodDieCost(refArea).Total)
+	small := float64(c.EquivalentComputeCost(refArea, units.MM2(float64(refArea)*frac)))
+	if big <= 0 || math.IsInf(big, 0) {
+		return 0
+	}
+	return 1 - small/big
+}
+
+// SiliconCostReduction returns the fractional saving in silicon cost per
+// good die alone — the quantity behind the paper's "almost 50% reduction
+// in manufacturing cost" example, which cites a die-yield calculator and
+// therefore reflects wafer cost divided by good dies, before packaging.
+// SiliconCostReduction(814, 0.25) ≈ 0.5 at the default defect density.
+func (c CostModel) SiliconCostReduction(refArea units.MM2, frac float64) float64 {
+	big := float64(c.GoodDieCost(refArea).SiliconCost)
+	area := units.MM2(float64(refArea) * frac)
+	if area <= 0 {
+		return 0
+	}
+	n := math.Ceil(1 / frac)
+	small := n * float64(c.GoodDieCost(area).SiliconCost)
+	if big <= 0 || math.IsInf(big, 0) {
+		return 0
+	}
+	return 1 - small/big
+}
+
+// String renders the breakdown as a single line.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("%s die: %d/wafer, yield %.1f%%, silicon %s + pkg %s + test %s = %s",
+		b.Area, b.DiesPerWafer, b.Yield*100, b.SiliconCost, b.Packaging, b.Test, b.Total)
+}

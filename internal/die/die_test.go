@@ -1,0 +1,373 @@
+package die
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"litegpu/internal/units"
+)
+
+const h100Area units.MM2 = 814
+
+func TestDiesPerWafer(t *testing.T) {
+	w := Wafer300N4()
+	// H100-class dies: public teardowns put ~60–65 candidates per wafer.
+	n := w.DiesPerWafer(h100Area)
+	if n < 55 || n > 70 {
+		t.Errorf("DiesPerWafer(814) = %d, want ≈60–65", n)
+	}
+	// Quarter dies pack better than 4× due to edge effects.
+	q := w.DiesPerWafer(h100Area / 4)
+	if q <= 4*n {
+		t.Errorf("quarter dies per wafer = %d, want > 4×%d", q, n)
+	}
+}
+
+func TestDiesPerWaferEdgeCases(t *testing.T) {
+	w := Wafer300N4()
+	if n := w.DiesPerWafer(0); n != 0 {
+		t.Errorf("DiesPerWafer(0) = %d, want 0", n)
+	}
+	if n := w.DiesPerWafer(-5); n != 0 {
+		t.Errorf("DiesPerWafer(-5) = %d, want 0", n)
+	}
+	// A die larger than the wafer yields zero.
+	if n := w.DiesPerWafer(1e6); n != 0 {
+		t.Errorf("DiesPerWafer(huge) = %d, want 0", n)
+	}
+}
+
+func TestUsableRadius(t *testing.T) {
+	w := Wafer300N4()
+	if r := w.UsableRadius(); r != 147 {
+		t.Errorf("UsableRadius = %v, want 147", r)
+	}
+	bad := Wafer{Diameter: 10, EdgeExclusion: 10}
+	if r := bad.UsableRadius(); r != 0 {
+		t.Errorf("UsableRadius with over-large exclusion = %v, want 0", r)
+	}
+}
+
+func TestPoissonYield(t *testing.T) {
+	m := Poisson{D0: DefaultDefectDensity}
+	// 814 mm² = 8.14 cm² at 0.1/cm²: Y = exp(-0.814) ≈ 0.443.
+	if y := m.Yield(h100Area); math.Abs(y-math.Exp(-0.814)) > 1e-12 {
+		t.Errorf("Poisson yield = %v", y)
+	}
+	if y := m.Yield(0); y != 1 {
+		t.Errorf("Poisson yield of zero area = %v, want 1", y)
+	}
+}
+
+func TestPaperYieldClaim(t *testing.T) {
+	// Section 2: "the yield rate can be increased by 1.8× when a
+	// H100-like compute die area is reduced by 1/4th".
+	m := Poisson{D0: DefaultDefectDensity}
+	gain := YieldGain(m, h100Area, 0.25)
+	if gain < 1.7 || gain > 1.95 {
+		t.Errorf("quarter-die yield gain = %v, want ≈1.8", gain)
+	}
+}
+
+func TestPaperCostClaim(t *testing.T) {
+	// Section 2: "corresponding to almost 50% reduction in manufacturing
+	// cost". Four quarter-dies vs one full die, silicon cost per good die
+	// (the paper's cited die-yield-calculator methodology).
+	c := DefaultCostModel()
+	red := c.SiliconCostReduction(h100Area, 0.25)
+	if red < 0.40 || red > 0.60 {
+		t.Errorf("quarter-die silicon cost reduction = %.1f%%, want ≈50%%", red*100)
+	}
+	// The full-stack saving (with packaging and test, which have fixed
+	// per-package components) is smaller but still substantial.
+	full := c.CostReduction(h100Area, 0.25)
+	if full < 0.20 || full >= red {
+		t.Errorf("full-package cost reduction = %.1f%% (silicon-only %.1f%%)",
+			full*100, red*100)
+	}
+}
+
+func TestYieldModelsAgreeOnOrdering(t *testing.T) {
+	// For any area, Poisson ≤ Murphy ≤ Seeds (pessimistic → optimistic).
+	models := []YieldModel{
+		Poisson{D0: 0.1},
+		Murphy{D0: 0.1},
+		Seeds{D0: 0.1},
+	}
+	for _, area := range []units.MM2{100, 400, 814, 1600} {
+		p := models[0].Yield(area)
+		mu := models[1].Yield(area)
+		s := models[2].Yield(area)
+		if !(p <= mu+1e-12 && mu <= s+1e-12) {
+			t.Errorf("area %v: ordering violated: Poisson %v, Murphy %v, Seeds %v",
+				area, p, mu, s)
+		}
+	}
+}
+
+func TestNegativeBinomialLimits(t *testing.T) {
+	// Large alpha converges to Poisson.
+	nb := NegativeBinomial{D0: 0.1, Alpha: 1e6}
+	p := Poisson{D0: 0.1}
+	if diff := math.Abs(nb.Yield(814) - p.Yield(814)); diff > 1e-3 {
+		t.Errorf("NB(α→∞) differs from Poisson by %v", diff)
+	}
+	// Zero alpha falls back to the documented default of 2.
+	nbDefault := NegativeBinomial{D0: 0.1}
+	nb2 := NegativeBinomial{D0: 0.1, Alpha: 2}
+	if nbDefault.Yield(814) != nb2.Yield(814) {
+		t.Error("NB default alpha is not 2")
+	}
+}
+
+func TestRadialModel(t *testing.T) {
+	r := Radial{D0: 0.1, Gradient: 1.0, Wafer: Wafer300N4()}
+	p := Poisson{D0: 0.1}
+	// Radial degradation can only hurt relative to uniform density.
+	for _, area := range []units.MM2{100, 400, 814} {
+		if r.Yield(area) >= p.Yield(area) {
+			t.Errorf("area %v: radial yield %v not below uniform %v",
+				area, r.Yield(area), p.Yield(area))
+		}
+	}
+	// Zero gradient recovers (approximately) the uniform model.
+	flat := Radial{D0: 0.1, Gradient: 0, Wafer: Wafer300N4()}
+	if diff := math.Abs(flat.Yield(814) - p.Yield(814)); diff > 1e-9 {
+		t.Errorf("flat radial differs from Poisson by %v", diff)
+	}
+	// Degenerate cases.
+	if y := r.Yield(0); y != 1 {
+		t.Errorf("radial yield of zero area = %v, want 1", y)
+	}
+	if y := (Radial{D0: 0.1, Gradient: 1}).Yield(100); y != 0 {
+		t.Errorf("radial yield with zero-radius wafer = %v, want 0", y)
+	}
+	if y := r.Yield(1e6); y != 0 {
+		t.Errorf("radial yield of die larger than wafer = %v, want 0", y)
+	}
+}
+
+func TestRadialPenalizesLargeDiesMore(t *testing.T) {
+	r := Radial{D0: 0.1, Gradient: 1.5, Wafer: Wafer300N4()}
+	p := Poisson{D0: 0.1}
+	smallPenalty := r.Yield(100) / p.Yield(100)
+	largePenalty := r.Yield(814) / p.Yield(814)
+	if largePenalty >= smallPenalty {
+		t.Errorf("radial penalty: large %v vs small %v — larger dies should suffer more",
+			largePenalty, smallPenalty)
+	}
+}
+
+func TestYieldGainInfiniteWhenBaseZero(t *testing.T) {
+	// A die too large for the wafer has zero radial yield.
+	r := Radial{D0: 0.1, Gradient: 1, Wafer: Wafer300N4()}
+	if g := YieldGain(r, 1e6, 0.0001); !math.IsInf(g, 1) {
+		t.Errorf("YieldGain with zero base = %v, want +Inf", g)
+	}
+}
+
+func TestGoodDieCostComponents(t *testing.T) {
+	c := DefaultCostModel()
+	b := c.GoodDieCost(h100Area)
+	if b.DiesPerWafer <= 0 || b.Yield <= 0 || b.Yield > 1 {
+		t.Fatalf("bad breakdown: %+v", b)
+	}
+	if b.Total != b.SiliconCost+b.Packaging+b.Test {
+		t.Errorf("total %v ≠ sum of parts", b.Total)
+	}
+	// H100-class silicon cost lands in the publicly estimated range.
+	if b.SiliconCost < 400 || b.SiliconCost > 800 {
+		t.Errorf("H100 silicon cost = %v, want $400–800", b.SiliconCost)
+	}
+	if s := b.String(); len(s) == 0 {
+		t.Error("empty breakdown string")
+	}
+}
+
+func TestGoodDieCostZeroYield(t *testing.T) {
+	c := DefaultCostModel()
+	c.Yield = Radial{D0: 0.1, Gradient: 1, Wafer: Wafer300N4()}
+	b := c.GoodDieCost(1e6) // impossible die
+	if !math.IsInf(float64(b.SiliconCost), 1) {
+		t.Errorf("silicon cost with zero good dies = %v, want +Inf", b.SiliconCost)
+	}
+}
+
+func TestEquivalentComputeCost(t *testing.T) {
+	c := DefaultCostModel()
+	// Four quarter dies must be cheaper than one full die.
+	full := c.GoodDieCost(h100Area).Total
+	four := c.EquivalentComputeCost(h100Area, h100Area/4)
+	if four >= full {
+		t.Errorf("4×quarter (%v) not cheaper than 1×full (%v)", four, full)
+	}
+	if v := c.EquivalentComputeCost(h100Area, 0); !math.IsInf(float64(v), 1) {
+		t.Errorf("EquivalentComputeCost(_, 0) = %v, want +Inf", v)
+	}
+}
+
+func TestPackagingSuperlinearity(t *testing.T) {
+	c := DefaultCostModel()
+	full := c.GoodDieCost(h100Area).Packaging
+	quarter := c.GoodDieCost(h100Area / 4).Packaging
+	// Superlinear exponent ⇒ 4 quarter packages cost less than 1 full
+	// package even before yield enters.
+	if 4*float64(quarter) >= 1.2*float64(full) {
+		t.Errorf("packaging: 4×%v vs %v — expected clear sublinear total", quarter, full)
+	}
+}
+
+func TestPerimeter(t *testing.T) {
+	if p := Perimeter(100); p != 40 {
+		t.Errorf("Perimeter(100) = %v, want 40", p)
+	}
+	if p := Perimeter(0); p != 0 {
+		t.Errorf("Perimeter(0) = %v, want 0", p)
+	}
+	if p := Perimeter(-1); p != 0 {
+		t.Errorf("Perimeter(-1) = %v, want 0", p)
+	}
+}
+
+func TestPaperShorelineClaim(t *testing.T) {
+	// Section 2: "reducing the die area to 1/4th doubles the perimeter
+	// exposed to the four dies, yielding a cluster with 2× the
+	// bandwidth-to-compute ratio."
+	one := Perimeter(h100Area)
+	four := TotalPerimeter(h100Area, 4)
+	if ratio := float64(four) / float64(one); math.Abs(ratio-2) > 1e-9 {
+		t.Errorf("4-way shoreline ratio = %v, want 2", ratio)
+	}
+	if g := BandwidthToComputeGain(4); math.Abs(g-2) > 1e-12 {
+		t.Errorf("BandwidthToComputeGain(4) = %v, want 2", g)
+	}
+}
+
+func TestTotalPerimeterEdge(t *testing.T) {
+	if p := TotalPerimeter(814, 0); p != 0 {
+		t.Errorf("TotalPerimeter n=0 = %v", p)
+	}
+	if p := TotalPerimeter(0, 4); p != 0 {
+		t.Errorf("TotalPerimeter area=0 = %v", p)
+	}
+	if g := ShorelineGain(0); g != 0 {
+		t.Errorf("ShorelineGain(0) = %v", g)
+	}
+}
+
+func TestH100BandwidthDensity(t *testing.T) {
+	d := H100BandwidthDensity()
+	// (3352+450) GB/s over 4·√814 ≈ 114.1 mm ≈ 33.3 GB/s/mm.
+	got := float64(d) / units.GB
+	if got < 30 || got < 0 || got > 37 {
+		t.Errorf("H100 shoreline density = %.1f GB/s/mm, want ≈33", got)
+	}
+	// A Lite die at the same density supports ≥ its Table 1 bandwidth.
+	liteMax := MaxBandwidth(h100Area/4, d)
+	liteNeed := (1675.0 + 225.0) * units.GB // the most demanding variant
+	if float64(liteMax) < liteNeed {
+		t.Errorf("Lite shoreline supports %v, needs %v", liteMax, units.BytesPerSec(liteNeed))
+	}
+}
+
+func TestWaferString(t *testing.T) {
+	if s := Wafer300N4().String(); s == "" {
+		t.Error("empty wafer string")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	models := []YieldModel{
+		Poisson{}, Murphy{}, Seeds{}, NegativeBinomial{}, Radial{},
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		n := m.Name()
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate model name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// Property: yield decreases monotonically with area for every model.
+func TestYieldMonotoneProperty(t *testing.T) {
+	models := []YieldModel{
+		Poisson{D0: 0.1},
+		Murphy{D0: 0.1},
+		Seeds{D0: 0.1},
+		NegativeBinomial{D0: 0.1, Alpha: 2},
+	}
+	f := func(ra, rb uint16) bool {
+		a := units.MM2(float64(ra%2000) + 1)
+		b := units.MM2(float64(rb%2000) + 1)
+		if a > b {
+			a, b = b, a
+		}
+		for _, m := range models {
+			if m.Yield(a) < m.Yield(b)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: yields always fall in [0, 1].
+func TestYieldRangeProperty(t *testing.T) {
+	models := []YieldModel{
+		Poisson{D0: 0.3},
+		Murphy{D0: 0.3},
+		Seeds{D0: 0.3},
+		NegativeBinomial{D0: 0.3, Alpha: 3},
+		Radial{D0: 0.3, Gradient: 2, Wafer: Wafer300N4()},
+	}
+	f := func(raw uint16) bool {
+		area := units.MM2(float64(raw % 3000))
+		for _, m := range models {
+			y := m.Yield(area)
+			if y < 0 || y > 1 || math.IsNaN(y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: splitting finer never reduces total shoreline.
+func TestShorelineMonotoneProperty(t *testing.T) {
+	f := func(ra, rb uint8) bool {
+		n1 := int(ra%64) + 1
+		n2 := int(rb%64) + 1
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		return float64(TotalPerimeter(814, n1)) <= float64(TotalPerimeter(814, n2))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost per good die rises with defect density.
+func TestCostRisesWithDefectDensityProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		d1 := DefectDensity(float64(raw%50)/100 + 0.01)
+		d2 := d1 + 0.05
+		c1 := DefaultCostModel()
+		c1.Yield = Poisson{D0: d1}
+		c2 := DefaultCostModel()
+		c2.Yield = Poisson{D0: d2}
+		return float64(c1.GoodDieCost(814).Total) <= float64(c2.GoodDieCost(814).Total)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package die
+
+import (
+	"math"
+
+	"litegpu/internal/units"
+)
+
+// Shoreline models the paper's perimeter argument: a die's off-chip
+// bandwidth is limited by its perimeter ("shoreline"), and area grows
+// quadratically while perimeter grows linearly with side length. Splitting
+// one die into k equal dies multiplies total perimeter by √k at constant
+// total area — quartering doubles it, which is the 2× bandwidth-to-compute
+// headroom behind the Lite+MemBW and Lite+NetBW configurations.
+
+// Perimeter returns the perimeter of a square die of the given area.
+func Perimeter(area units.MM2) units.MM {
+	if area <= 0 {
+		return 0
+	}
+	return units.MM(4 * math.Sqrt(float64(area)))
+}
+
+// TotalPerimeter returns the combined perimeter of n equal square dies
+// that together cover totalArea.
+func TotalPerimeter(totalArea units.MM2, n int) units.MM {
+	if n <= 0 || totalArea <= 0 {
+		return 0
+	}
+	per := Perimeter(units.MM2(float64(totalArea) / float64(n)))
+	return units.MM(float64(per) * float64(n))
+}
+
+// ShorelineGain returns the total-perimeter multiplier from splitting one
+// die into n equal dies: √n exactly for square dies.
+func ShorelineGain(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Sqrt(float64(n))
+}
+
+// BandwidthDensity is achievable off-die bandwidth per millimetre of
+// shoreline. The H100 calibration point: 3352 GB/s HBM + 450 GB/s NVLink
+// over a 114 mm perimeter ≈ 33 GB/s/mm of realized density.
+type BandwidthDensity units.BytesPerSec // per mm
+
+// H100BandwidthDensity returns the realized H100 shoreline density.
+func H100BandwidthDensity() BandwidthDensity {
+	per := Perimeter(814)
+	total := (3352.0 + 450.0) * units.GB
+	return BandwidthDensity(total / float64(per))
+}
+
+// MaxBandwidth returns the total off-die bandwidth a die of the given
+// area supports at density d.
+func MaxBandwidth(area units.MM2, d BandwidthDensity) units.BytesPerSec {
+	return units.BytesPerSec(float64(Perimeter(area)) * float64(d))
+}
+
+// BandwidthToComputeGain returns the factor by which splitting a die into
+// n parts raises the cluster-level bandwidth-to-compute ratio, assuming
+// compute scales with area and bandwidth with shoreline. It equals
+// ShorelineGain(n) because total compute is unchanged.
+func BandwidthToComputeGain(n int) float64 { return ShorelineGain(n) }

@@ -1,0 +1,167 @@
+package die
+
+import (
+	"math"
+
+	"litegpu/internal/units"
+)
+
+// DefectDensity is the average defect density in defects per cm².
+// Leading-edge logic nodes in volume production run at roughly 0.1/cm²
+// (the value at which the paper's quarter-die example yields ~1.8×).
+type DefectDensity float64
+
+// DefaultDefectDensity is the N4/N5-class density used by the studies.
+const DefaultDefectDensity DefectDensity = 0.10
+
+// YieldModel maps die area to the fraction of manufactured dies that work.
+type YieldModel interface {
+	// Yield returns the probability that a die of the given area is
+	// defect-free, in [0, 1].
+	Yield(area units.MM2) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// mm² → cm² conversion for defect-density math.
+func areaCM2(a units.MM2) float64 { return float64(a) / 100 }
+
+// Poisson is the classic random-defect model Y = exp(−A·D0). It assumes
+// defects land independently and any defect kills the die — pessimistic
+// for clustered real-world defects but the canonical first-order model.
+type Poisson struct{ D0 DefectDensity }
+
+// Yield implements YieldModel.
+func (m Poisson) Yield(area units.MM2) float64 {
+	if area <= 0 {
+		return 1
+	}
+	return math.Exp(-areaCM2(area) * float64(m.D0))
+}
+
+// Name implements YieldModel.
+func (Poisson) Name() string { return "Poisson" }
+
+// Murphy is Murphy's model Y = ((1−e^(−A·D0))/(A·D0))², derived from a
+// triangular distribution of defect densities. It sits between Poisson
+// and Seeds and matched decades of fab data well.
+type Murphy struct{ D0 DefectDensity }
+
+// Yield implements YieldModel.
+func (m Murphy) Yield(area units.MM2) float64 {
+	ad := areaCM2(area) * float64(m.D0)
+	if ad <= 0 {
+		return 1
+	}
+	f := (1 - math.Exp(-ad)) / ad
+	return f * f
+}
+
+// Name implements YieldModel.
+func (Murphy) Name() string { return "Murphy" }
+
+// Seeds is the exponential-distribution model Y = 1/(1+A·D0), the most
+// optimistic classical model for large dies.
+type Seeds struct{ D0 DefectDensity }
+
+// Yield implements YieldModel.
+func (m Seeds) Yield(area units.MM2) float64 {
+	ad := areaCM2(area) * float64(m.D0)
+	if ad <= 0 {
+		return 1
+	}
+	return 1 / (1 + ad)
+}
+
+// Name implements YieldModel.
+func (Seeds) Name() string { return "Seeds" }
+
+// NegativeBinomial is the industry-standard clustered-defect model
+// Y = (1 + A·D0/α)^(−α) with clustering parameter α (typically 2–3).
+// As α → ∞ it converges to Poisson.
+type NegativeBinomial struct {
+	D0    DefectDensity
+	Alpha float64
+}
+
+// Yield implements YieldModel.
+func (m NegativeBinomial) Yield(area units.MM2) float64 {
+	ad := areaCM2(area) * float64(m.D0)
+	if ad <= 0 {
+		return 1
+	}
+	a := m.Alpha
+	if a <= 0 {
+		a = 2
+	}
+	return math.Pow(1+ad/a, -a)
+}
+
+// Name implements YieldModel.
+func (NegativeBinomial) Name() string { return "NegativeBinomial" }
+
+// Radial implements a radial yield-degradation model in the spirit of
+// Teets (IEEE Trans. Semiconductor Manufacturing, 1996), which the paper
+// cites: defect density grows toward the wafer edge, so larger dies —
+// which necessarily extend further outward and cannot avoid the degraded
+// rim — lose disproportionately. Local density at normalized radius
+// ρ = r/R is D(ρ) = D0·(1 + Gradient·ρ²); per-die yield uses the Poisson
+// kernel at the die-center density, and wafer-average yield integrates
+// die placements over the usable disc.
+type Radial struct {
+	D0 DefectDensity
+	// Gradient is the relative density increase at the wafer edge
+	// (e.g. 1.0 means the rim has twice the center density).
+	Gradient float64
+	// Wafer supplies the usable radius for the placement integral.
+	Wafer Wafer
+}
+
+// Yield implements YieldModel. It returns the wafer-averaged yield of
+// dies of the given area.
+func (m Radial) Yield(area units.MM2) float64 {
+	if area <= 0 {
+		return 1
+	}
+	r := m.Wafer.UsableRadius()
+	if r <= 0 {
+		return 0
+	}
+	side := math.Sqrt(float64(area))
+	// Integrate over die center positions on a ring decomposition.
+	// Die centers can sit from 0 out to r − side/2 (die fully on wafer).
+	maxC := r - side/2/math.Sqrt2 // conservative: half-diagonal inside
+	if maxC <= 0 {
+		return 0
+	}
+	const rings = 256
+	var weighted, weightSum float64
+	for i := 0; i < rings; i++ {
+		c := (float64(i) + 0.5) / rings * maxC
+		rho := c / r
+		d := float64(m.D0) * (1 + m.Gradient*rho*rho)
+		y := math.Exp(-areaCM2(area) * d)
+		// Ring weight ∝ circumference (area of the annulus).
+		w := c
+		weighted += y * w
+		weightSum += w
+	}
+	if weightSum == 0 {
+		return 0
+	}
+	return weighted / weightSum
+}
+
+// Name implements YieldModel.
+func (Radial) Name() string { return "Radial(Teets)" }
+
+// YieldGain returns the multiplicative yield advantage of a die shrunk by
+// the given area fraction under model m: Yield(A·frac)/Yield(A).
+// The paper's headline example is YieldGain(H100 area, 1/4) ≈ 1.8.
+func YieldGain(m YieldModel, area units.MM2, frac float64) float64 {
+	base := m.Yield(area)
+	if base == 0 {
+		return math.Inf(1)
+	}
+	return m.Yield(units.MM2(float64(area)*frac)) / base
+}

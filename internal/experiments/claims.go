@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"litegpu/internal/die"
+	"litegpu/internal/hw"
+	"litegpu/internal/units"
+)
+
+// YieldRow is one point of the yield/cost study: a die-size fraction with
+// per-model yields and the resulting cost economics.
+type YieldRow struct {
+	Fraction      float64 // of the H100 die area
+	Area          units.MM2
+	DiesPerWafer  int
+	PoissonYield  float64
+	MurphyYield   float64
+	SeedsYield    float64
+	RadialYield   float64
+	YieldGain     float64 // Poisson, vs full die
+	SiliconSaving float64 // silicon cost per compute vs full die
+	PackageSaving float64 // full package cost per compute vs full die
+}
+
+// YieldStudy sweeps die-size fractions of the H100 die and reports the
+// yield and cost trajectory, reproducing the Section 2 example at
+// fraction 0.25 (≈1.8× yield, ≈50% silicon cost saving).
+func YieldStudy() []YieldRow {
+	cm := die.DefaultCostModel()
+	w := cm.Wafer
+	ref := hw.H100().DieArea
+	poisson := die.Poisson{D0: die.DefaultDefectDensity}
+	murphy := die.Murphy{D0: die.DefaultDefectDensity}
+	seeds := die.Seeds{D0: die.DefaultDefectDensity}
+	radial := die.Radial{D0: die.DefaultDefectDensity, Gradient: 1.0, Wafer: w}
+
+	var rows []YieldRow
+	for _, frac := range []float64{1, 0.5, 0.25, 0.125, 0.0625} {
+		area := units.MM2(float64(ref) * frac)
+		rows = append(rows, YieldRow{
+			Fraction:      frac,
+			Area:          area,
+			DiesPerWafer:  w.DiesPerWafer(area),
+			PoissonYield:  poisson.Yield(area),
+			MurphyYield:   murphy.Yield(area),
+			SeedsYield:    seeds.Yield(area),
+			RadialYield:   radial.Yield(area),
+			YieldGain:     die.YieldGain(poisson, ref, frac),
+			SiliconSaving: cm.SiliconCostReduction(ref, frac),
+			PackageSaving: cm.CostReduction(ref, frac),
+		})
+	}
+	return rows
+}
+
+// RenderYieldStudy writes the yield/cost table.
+func RenderYieldStudy(w io.Writer) {
+	var rows [][]string
+	for _, r := range YieldStudy() {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.4g", r.Fraction),
+			fmt.Sprintf("%.0f", float64(r.Area)),
+			fmt.Sprintf("%d", r.DiesPerWafer),
+			fmt.Sprintf("%.1f%%", r.PoissonYield*100),
+			fmt.Sprintf("%.1f%%", r.MurphyYield*100),
+			fmt.Sprintf("%.1f%%", r.SeedsYield*100),
+			fmt.Sprintf("%.1f%%", r.RadialYield*100),
+			fmt.Sprintf("%.2f×", r.YieldGain),
+			fmt.Sprintf("%.0f%%", r.SiliconSaving*100),
+			fmt.Sprintf("%.0f%%", r.PackageSaving*100),
+		})
+	}
+	render(w, "Section 2 claim: yield and manufacturing cost vs die size (H100-class wafer, D0=0.1/cm²)",
+		[]string{"Fraction", "mm²", "Dies/wafer", "Poisson", "Murphy", "Seeds", "Radial", "Yield gain", "Si saving", "Pkg saving"},
+		rows)
+}
+
+// ShorelineRow is one point of the shoreline study.
+type ShorelineRow struct {
+	Split          int
+	PerDieArea     units.MM2
+	TotalPerimeter units.MM
+	Gain           float64           // bandwidth-to-compute multiplier
+	MaxBandwidth   units.BytesPerSec // per die at H100 shoreline density
+}
+
+// ShorelineStudy sweeps split factors of one H100 die and reports the
+// total shoreline and the per-die bandwidth it supports at the H100's
+// realized shoreline density — Section 2's 2×-bandwidth-at-quarter-die
+// claim is the Split=4 row.
+func ShorelineStudy() []ShorelineRow {
+	ref := hw.H100().DieArea
+	density := die.H100BandwidthDensity()
+	var rows []ShorelineRow
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		per := units.MM2(float64(ref) / float64(n))
+		rows = append(rows, ShorelineRow{
+			Split:          n,
+			PerDieArea:     per,
+			TotalPerimeter: die.TotalPerimeter(ref, n),
+			Gain:           die.BandwidthToComputeGain(n),
+			MaxBandwidth:   die.MaxBandwidth(per, density),
+		})
+	}
+	return rows
+}
+
+// RenderShorelineStudy writes the shoreline table.
+func RenderShorelineStudy(w io.Writer) {
+	var rows [][]string
+	for _, r := range ShorelineStudy() {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Split),
+			fmt.Sprintf("%.0f", float64(r.PerDieArea)),
+			fmt.Sprintf("%.0f", float64(r.TotalPerimeter)),
+			fmt.Sprintf("%.2f×", r.Gain),
+			r.MaxBandwidth.String(),
+		})
+	}
+	render(w, "Section 2 claim: shoreline (perimeter) vs split factor at constant total area",
+		[]string{"Split", "Die mm²", "Total perimeter mm", "BW:compute gain", "Max BW/die"},
+		rows)
+}

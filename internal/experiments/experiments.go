@@ -1,0 +1,56 @@
+// Package experiments regenerates every table and figure of the paper,
+// plus the quantitative claims embedded in its prose. Each experiment
+// returns typed rows (for tests and programmatic use) and renders a
+// human-readable report (for the litegpu-figures binary and the
+// benchmark harness).
+//
+// The per-experiment index lives in DESIGN.md; measured-vs-paper numbers
+// are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// render writes rows through a tabwriter with a title and header.
+func render(w io.Writer, title string, header []string, rows [][]string) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, h := range header {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// bar renders a unit-normalized value as an ASCII bar for figure-style
+// output.
+func bar(norm float64, width int) string {
+	n := int(norm * float64(width) / 1.6) // figures top out near 1.6
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

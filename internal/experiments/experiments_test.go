@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"litegpu/internal/inference"
+)
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("Table1 rows = %d, want 6", len(rows))
+	}
+	if rows[0].GPU.Name != "H100" || rows[5].GPU.Name != "Lite+MemBW+NetBW" {
+		t.Error("Table1 order wrong")
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable1(&buf)
+	out := buf.String()
+	for _, want := range []string{"2000", "3352", "112.5", "Lite+MemBW+NetBW"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1Rows(t *testing.T) {
+	rows := Figure1()
+	if len(rows) < 5 {
+		t.Fatalf("Figure1 rows = %d, want ≥5", len(rows))
+	}
+	var buf bytes.Buffer
+	RenderFigure1(&buf)
+	if !strings.Contains(buf.String(), "H100") {
+		t.Error("Figure 1 output missing H100")
+	}
+}
+
+func TestFigure2Claims(t *testing.T) {
+	r := Figure2()
+	if r.ShorelineGain != 2 {
+		t.Errorf("shoreline gain = %v, want 2", r.ShorelineGain)
+	}
+	if r.YieldGain < 1.7 || r.YieldGain > 1.95 {
+		t.Errorf("yield gain = %v, want ≈1.8", r.YieldGain)
+	}
+	if r.SiliconCostSaving < 0.4 || r.SiliconCostSaving > 0.6 {
+		t.Errorf("silicon saving = %v, want ≈0.5", r.SiliconCostSaving)
+	}
+	var buf bytes.Buffer
+	RenderFigure2(&buf)
+	if !strings.Contains(buf.String(), "Lite") {
+		t.Error("Figure 2 output malformed")
+	}
+}
+
+func TestFigure3PanelsComplete(t *testing.T) {
+	opts := inference.DefaultOptions()
+	fa, err := Figure3a(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Figure3b(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rows := range map[string][]Figure3Row{"3a": fa, "3b": fb} {
+		if len(rows) != 12 {
+			t.Errorf("figure %s rows = %d, want 12", name, len(rows))
+		}
+		for _, r := range rows {
+			if !r.Best.MeetsSLO {
+				t.Errorf("figure %s: %s/%s violates SLO", name, r.Model.Name, r.GPU.Name)
+			}
+			if r.Normalized <= 0 {
+				t.Errorf("figure %s: non-positive normalization", name)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure3(&buf, "test", fa)
+	if !strings.Contains(buf.String(), "Llama3-405B") {
+		t.Error("Figure 3 output missing model names")
+	}
+}
+
+func TestYieldStudyRows(t *testing.T) {
+	rows := YieldStudy()
+	if len(rows) != 5 {
+		t.Fatalf("yield rows = %d, want 5", len(rows))
+	}
+	// Yield increases monotonically as dies shrink.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PoissonYield <= rows[i-1].PoissonYield {
+			t.Error("yield not monotone in shrink")
+		}
+	}
+	// The quarter-die row carries the paper's claims.
+	q := rows[2]
+	if q.Fraction != 0.25 {
+		t.Fatalf("row 2 fraction = %v", q.Fraction)
+	}
+	if q.YieldGain < 1.7 || q.SiliconSaving < 0.4 {
+		t.Errorf("quarter-die claims off: gain %v, saving %v", q.YieldGain, q.SiliconSaving)
+	}
+	var buf bytes.Buffer
+	RenderYieldStudy(&buf)
+	if !strings.Contains(buf.String(), "Poisson") {
+		t.Error("yield output malformed")
+	}
+}
+
+func TestShorelineStudyRows(t *testing.T) {
+	rows := ShorelineStudy()
+	if rows[0].Gain != 1 || rows[2].Gain != 2 {
+		t.Errorf("shoreline gains wrong: %v", rows)
+	}
+	var buf bytes.Buffer
+	RenderShorelineStudy(&buf)
+	if !strings.Contains(buf.String(), "perimeter") {
+		t.Error("shoreline output malformed")
+	}
+}
+
+func TestNetworkStudyRows(t *testing.T) {
+	rows := NetworkStudy(512)
+	if len(rows) != 5 {
+		t.Fatalf("network rows = %d, want 5", len(rows))
+	}
+	// Flat circuit must be the cheapest-energy switched fabric.
+	var leafSpine, flat float64
+	for _, r := range rows {
+		switch {
+		case strings.HasPrefix(r.Topology.Name, "leaf-spine"):
+			leafSpine = r.EnergyPJBit
+		case strings.HasPrefix(r.Topology.Name, "flat-circuit"):
+			flat = r.EnergyPJBit
+		}
+	}
+	if flat >= leafSpine {
+		t.Errorf("flat-circuit energy (%v) should be below leaf-spine (%v)", flat, leafSpine)
+	}
+	if adv := CircuitAdvantage(512); adv < 0.5 {
+		t.Errorf("circuit advantage = %v, want ≥0.5", adv)
+	}
+	var buf bytes.Buffer
+	RenderNetworkStudy(&buf, 512)
+	if !strings.Contains(buf.String(), "pJ/bit") {
+		t.Error("network output malformed")
+	}
+}
+
+func TestPowerStudyRows(t *testing.T) {
+	rows := PowerStudy()
+	// Savings decrease with load.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Result.Saving > rows[i-1].Result.Saving+1e-9 {
+			t.Error("power saving should not grow with load")
+		}
+	}
+	cooling := CoolingStudy()
+	if len(cooling) != 6 {
+		t.Fatalf("cooling rows = %d", len(cooling))
+	}
+	if cooling[0].Cooling.String() != "liquid" {
+		t.Error("H100 should need liquid cooling")
+	}
+	for _, r := range cooling[1:] {
+		if r.Cooling.String() != "air" {
+			t.Errorf("%s should be air-cooled", r.GPU.Name)
+		}
+	}
+	var buf bytes.Buffer
+	RenderPowerStudy(&buf)
+	if !strings.Contains(buf.String(), "Cooling") {
+		t.Error("power output malformed")
+	}
+}
+
+func TestBlastRadiusStudyRows(t *testing.T) {
+	rows := BlastRadiusStudy(42)
+	if len(rows) != 6 {
+		t.Fatalf("blast rows = %d", len(rows))
+	}
+	// Monte Carlo tracks the analytic model.
+	for _, r := range rows {
+		if diff := r.Analytic - r.Simulated; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s spares=%d: analytic %v vs simulated %v",
+				r.Spec.GPU.Name, r.Spec.Spares, r.Analytic, r.Simulated)
+		}
+	}
+	var buf bytes.Buffer
+	RenderBlastRadiusStudy(&buf, 42)
+	if !strings.Contains(buf.String(), "Spares") {
+		t.Error("blast output malformed")
+	}
+}
+
+func TestGranularityResult(t *testing.T) {
+	r := Granularity(42)
+	if r.Lite.MeanStranded >= r.Big.MeanStranded {
+		t.Error("granularity study lost its headline result")
+	}
+	var buf bytes.Buffer
+	RenderGranularity(&buf, 42)
+	if !strings.Contains(buf.String(), "Stranded") {
+		t.Error("granularity output malformed")
+	}
+}
+
+func TestServingStudyHoldsSLOs(t *testing.T) {
+	r, err := ServingStudy(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.Completed == 0 {
+		t.Fatal("serving study completed nothing")
+	}
+	if r.Metrics.TTFTAttainment < 0.95 {
+		t.Errorf("TTFT attainment = %v", r.Metrics.TTFTAttainment)
+	}
+	if r.Metrics.TBTAttainment < 0.95 {
+		t.Errorf("TBT attainment = %v", r.Metrics.TBTAttainment)
+	}
+	var buf bytes.Buffer
+	if err := RenderServingStudy(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TTFT") {
+		t.Error("serving output malformed")
+	}
+}
+
+func TestBarRendering(t *testing.T) {
+	if bar(-1, 10) != "" {
+		t.Error("negative bar should be empty")
+	}
+	if got := bar(1.6, 10); len(got) != 10 {
+		t.Errorf("full bar length = %d", len(got))
+	}
+	if got := bar(100, 10); len(got) != 10 {
+		t.Errorf("clamped bar length = %d", len(got))
+	}
+}

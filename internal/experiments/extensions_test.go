@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTCOStudy(t *testing.T) {
+	r := TCOStudy()
+	// Lite wins perf/$ at equal throughput.
+	if r.PerfPerDollarGain <= 1.0 {
+		t.Errorf("Lite perf/$ gain = %v, want > 1", r.PerfPerDollarGain)
+	}
+	if r.PerfPerDollarGain > 2.0 {
+		t.Errorf("Lite perf/$ gain = %v, implausibly high", r.PerfPerDollarGain)
+	}
+	// Lite cooling capex is a fraction of the H100's (air vs liquid).
+	if r.Lite.CoolingCapex >= r.H100.CoolingCapex {
+		t.Error("Lite cooling capex should be below H100's")
+	}
+	// The share sweep is non-decreasing (the scaling warning).
+	for i := 1; i < len(r.ShareSweep); i++ {
+		if r.ShareSweep[i].NetworkShare < r.ShareSweep[i-1].NetworkShare-1e-9 {
+			t.Error("network share sweep not monotone")
+		}
+	}
+	var buf bytes.Buffer
+	RenderTCOStudy(&buf)
+	if !strings.Contains(buf.String(), "performance per dollar") {
+		t.Error("TCO output malformed")
+	}
+}
+
+func TestStragglerStudy(t *testing.T) {
+	rows := StragglerStudy(42)
+	if len(rows) != 8 {
+		t.Fatalf("straggler rows = %d, want 8", len(rows))
+	}
+	// Slowdown grows with gang size in every column.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Gaussian < rows[i-1].Gaussian-0.002 {
+			t.Error("gaussian column not monotone")
+		}
+		if rows[i].LogNormal < rows[i-1].LogNormal-0.002 {
+			t.Error("lognormal column not monotone")
+		}
+	}
+	// Monte Carlo tracks the closed form.
+	for _, r := range rows {
+		if diff := r.Gaussian - r.ClosedForm; diff > 0.005 || diff < -0.005 {
+			t.Errorf("gang %d: MC %v vs closed form %v", r.Gang, r.Gaussian, r.ClosedForm)
+		}
+	}
+	// Dropping two spares beats the plain lognormal gang at scale.
+	last := rows[len(rows)-1]
+	if last.DropTwo >= last.LogNormal {
+		t.Error("spare-dropping did not mitigate stragglers")
+	}
+	var buf bytes.Buffer
+	RenderStragglerStudy(&buf, 42)
+	if !strings.Contains(buf.String(), "Gang") {
+		t.Error("straggler output malformed")
+	}
+}
+
+func TestMemoryStudy(t *testing.T) {
+	rows := MemoryStudy()
+	if len(rows) != 4 {
+		t.Fatalf("memory rows = %d, want 4", len(rows))
+	}
+	// Pool capacity extends the feasible batch monotonically…
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MaxBatch <= rows[i-1].MaxBatch {
+			t.Error("pool did not extend max batch")
+		}
+	}
+	// …at the price of longer full-working-set step times (pool BW is
+	// the bottleneck when everything streams) — the capacity-vs-
+	// bandwidth tension the table exists to show.
+	if rows[len(rows)-1].StepTime <= rows[0].StepTime {
+		t.Error("expected step-time growth with spilled working set")
+	}
+	var buf bytes.Buffer
+	RenderMemoryStudy(&buf)
+	if !strings.Contains(buf.String(), "Pool GB") {
+		t.Error("memory output malformed")
+	}
+}
+
+func TestTrainingStudy(t *testing.T) {
+	rows, err := TrainingStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("training rows = %d, want 4", len(rows))
+	}
+	// H100 baseline normalizes to 1; base Lite trails; extra network
+	// bandwidth recovers most of it (training is prefill-like).
+	if rows[0].PerSMNormalized != 1 {
+		t.Error("baseline not normalized to 1")
+	}
+	if rows[1].PerSMNormalized >= 1 {
+		t.Errorf("base Lite training = %v, want < 1", rows[1].PerSMNormalized)
+	}
+	if rows[2].PerSMNormalized <= rows[1].PerSMNormalized {
+		t.Error("Lite+NetBW should beat base Lite in training")
+	}
+	// MFU stays in a plausible band everywhere.
+	for _, r := range rows {
+		if r.Estimate.MFU < 0.4 || r.Estimate.MFU > 0.95 {
+			t.Errorf("%s MFU = %v", r.Estimate.Config.GPU.Name, r.Estimate.MFU)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderTrainingStudy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MFU") {
+		t.Error("training output malformed")
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"litegpu/internal/die"
+	"litegpu/internal/hw"
+	"litegpu/internal/inference"
+	"litegpu/internal/model"
+	"litegpu/internal/units"
+)
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	GPU hw.GPU
+}
+
+// Table1 returns the GPU-configuration table.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, g := range hw.Table1() {
+		rows = append(rows, Table1Row{GPU: g})
+	}
+	return rows
+}
+
+// RenderTable1 writes Table 1 in the paper's layout.
+func RenderTable1(w io.Writer) {
+	var rows [][]string
+	for _, r := range Table1() {
+		g := r.GPU
+		rows = append(rows, []string{
+			g.Name,
+			fmt.Sprintf("%.0f", float64(g.FLOPS)/units.Tera),
+			fmt.Sprintf("%.0f", float64(g.Capacity)/units.GB),
+			fmt.Sprintf("%.0f", float64(g.MemBW)/units.GB),
+			fmt.Sprintf("%.1f", float64(g.NetBW)/units.GB),
+			fmt.Sprintf("%d", g.MaxGPUs),
+		})
+	}
+	render(w, "Table 1: GPU configurations",
+		[]string{"GPU type", "TFLOPS", "Cap. GB", "Mem BW GB/s", "Net BW GB/s", "#Max GPUs"},
+		rows)
+}
+
+// Figure1Row is one generation in the GPU-evolution timeline.
+type Figure1Row struct {
+	Gen hw.Generation
+}
+
+// Figure1 returns the evolution data behind the paper's Figure 1.
+func Figure1() []Figure1Row {
+	var rows []Figure1Row
+	for _, g := range hw.Evolution() {
+		rows = append(rows, Figure1Row{Gen: g})
+	}
+	return rows
+}
+
+// RenderFigure1 writes the GPU-evolution table.
+func RenderFigure1(w io.Writer) {
+	var rows [][]string
+	for _, r := range Figure1() {
+		g := r.Gen
+		rows = append(rows, []string{
+			g.Name,
+			fmt.Sprintf("%d", g.Year),
+			fmt.Sprintf("%.0fB", g.Transistors/1e9),
+			fmt.Sprintf("%d", g.Dies),
+			fmt.Sprintf("%.0f", float64(g.DieArea)),
+			fmt.Sprintf("%.0f", float64(g.TDP)),
+			fmt.Sprintf("%.0f", float64(g.HBM)/units.GB),
+			g.Packaging,
+		})
+	}
+	render(w, "Figure 1: Evolution of GPUs in AI clusters (single die → multi-die packages)",
+		[]string{"GPU", "Year", "Transistors", "Dies", "Die mm²", "TDP W", "HBM GB", "Packaging"},
+		rows)
+}
+
+// Figure2Result captures the example Lite-GPU deployment of Figure 2:
+// each H100 replaced by four Lite-GPUs, with the derived hardware
+// benefits.
+type Figure2Result struct {
+	H100, Lite          hw.GPU
+	ShorelineGain       float64 // total-perimeter multiplier
+	BandwidthPerCompute float64 // Lite vs H100 ratio headroom
+	YieldGain           float64
+	SiliconCostSaving   float64
+}
+
+// Figure2 derives the deployment example.
+func Figure2() Figure2Result {
+	h := hw.H100()
+	cm := die.DefaultCostModel()
+	return Figure2Result{
+		H100:                h,
+		Lite:                hw.Lite(),
+		ShorelineGain:       die.ShorelineGain(4),
+		BandwidthPerCompute: die.BandwidthToComputeGain(4),
+		YieldGain:           die.YieldGain(cm.Yield, h.DieArea, 0.25),
+		SiliconCostSaving:   cm.SiliconCostReduction(h.DieArea, 0.25),
+	}
+}
+
+// RenderFigure2 writes the deployment derivation.
+func RenderFigure2(w io.Writer) {
+	r := Figure2()
+	fmt.Fprintln(w, "Figure 2: Each H100 replaced by four Lite-GPUs")
+	fmt.Fprintf(w, "  H100:  %v\n", r.H100)
+	fmt.Fprintf(w, "  Lite:  %v (×4 per H100 socket)\n", r.Lite)
+	fmt.Fprintf(w, "  total shoreline: %.2f× → bandwidth-to-compute headroom %.2f×\n",
+		r.ShorelineGain, r.BandwidthPerCompute)
+	fmt.Fprintf(w, "  die yield: %.2f× higher; silicon cost per compute: %.0f%% lower\n\n",
+		r.YieldGain, r.SiliconCostSaving*100)
+}
+
+// Figure3Row is one bar of Figure 3: a (model, GPU-config) pair with its
+// best search result and H100-normalized efficiency.
+type Figure3Row struct {
+	Model      model.Transformer
+	GPU        hw.GPU
+	Best       inference.Estimate
+	Normalized float64 // tokens/s/SM relative to the H100 bar
+}
+
+// Figure3 runs the paper's search for one phase over the given GPU
+// configurations and all three paper models, normalizing each model's
+// bars to its H100 result.
+func Figure3(phase inference.Phase, configs []hw.GPU, opts inference.Options) ([]Figure3Row, error) {
+	var rows []Figure3Row
+	for _, m := range model.PaperModels() {
+		var base float64
+		for i, g := range configs {
+			res, err := inference.Search(g, m, phase, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", m.Name, g.Name, err)
+			}
+			if i == 0 {
+				base = res.Best.PerSM
+			}
+			rows = append(rows, Figure3Row{
+				Model:      m,
+				GPU:        g,
+				Best:       res.Best,
+				Normalized: res.Best.PerSM / base,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Figure3a runs the prefill study (H100, Lite, Lite+NetBW,
+// Lite+NetBW+FLOPS).
+func Figure3a(opts inference.Options) ([]Figure3Row, error) {
+	return Figure3(inference.Prefill, hw.PrefillConfigs(), opts)
+}
+
+// Figure3b runs the decode study (H100, Lite, Lite+MemBW,
+// Lite+MemBW+NetBW).
+func Figure3b(opts inference.Options) ([]Figure3Row, error) {
+	return Figure3(inference.Decode, hw.DecodeConfigs(), opts)
+}
+
+// RenderFigure3 writes one Figure 3 panel.
+func RenderFigure3(w io.Writer, title string, rows []Figure3Row) {
+	fmt.Fprintln(w, title)
+	var table [][]string
+	last := ""
+	for _, r := range rows {
+		name := ""
+		if r.Model.Name != last {
+			name = r.Model.Name
+			last = r.Model.Name
+		}
+		table = append(table, []string{
+			name,
+			r.GPU.Name,
+			fmt.Sprintf("%d", r.Best.GPUs),
+			fmt.Sprintf("%d", r.Best.Batch),
+			r.Best.Latency.String(),
+			fmt.Sprintf("%.2f", r.Best.PerSM),
+			fmt.Sprintf("%.3f", r.Normalized),
+			r.Best.Bound.String(),
+			bar(r.Normalized, 40),
+		})
+	}
+	render(w, "", []string{"Model", "Config", "GPUs", "Batch", "Latency", "tok/s/SM", "Norm.", "Bound", ""}, table)
+}

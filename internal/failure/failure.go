@@ -1,0 +1,276 @@
+// Package failure models the reliability of GPU clusters: per-package
+// failure processes whose rates scale with die area, the blast radius of
+// a failure under rigid model-instance deployment (one GPU down takes the
+// instance down, as the paper notes today's serving stacks impose), and
+// hot-spare policies that shrink effective downtime.
+//
+// It substantiates the paper's fault-tolerance argument: many small GPUs
+// fail more often in aggregate but each failure removes less capacity,
+// and because each spare unit is small and cheap, spare provisioning
+// costs proportionally less for the same availability.
+package failure
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/mathx"
+	"litegpu/internal/units"
+)
+
+// Year is one year in seconds, the natural unit for failure rates.
+const Year units.Seconds = 365.25 * 24 * 3600
+
+// Params describes the failure and repair processes.
+type Params struct {
+	// RefAFR is the annualized failure rate of a package with RefArea of
+	// silicon (H100-class packages see low-single-digit to ~9% AFRs in
+	// production fleets; 5% is the default).
+	RefAFR  float64
+	RefArea units.MM2
+
+	// BaseAFR is the area-independent per-package failure rate (fans,
+	// voltage regulators, connectors). It is what keeps a quarter-area
+	// GPU from being exactly 4× more reliable.
+	BaseAFR float64
+
+	// MTTR is the mean time to replace/repair a failed unit.
+	MTTR units.Seconds
+
+	// RecoveryTime is the service interruption when a hot spare takes
+	// over (state re-sharding, reload), much shorter than MTTR.
+	RecoveryTime units.Seconds
+}
+
+// DefaultParams returns the calibration used by the studies.
+func DefaultParams() Params {
+	return Params{
+		RefAFR:       0.05,
+		RefArea:      814,
+		BaseAFR:      0.005,
+		MTTR:         units.Seconds(24 * 3600),
+		RecoveryTime: 60,
+	}
+}
+
+// AFR returns the annualized failure rate of the given GPU: the base
+// package rate plus the silicon rate scaled by die area.
+func (p Params) AFR(g hw.GPU) float64 {
+	area := float64(g.DieArea) * float64(maxInt(g.DiesPerPackage, 1))
+	if p.RefArea <= 0 {
+		return p.BaseAFR
+	}
+	return p.BaseAFR + p.RefAFR*area/float64(p.RefArea)
+}
+
+// MTBF returns the mean time between failures of one unit.
+func (p Params) MTBF(g hw.GPU) units.Seconds {
+	afr := p.AFR(g)
+	if afr <= 0 {
+		return units.Seconds(math.Inf(1))
+	}
+	return units.Seconds(float64(Year) / afr)
+}
+
+// Spec describes a deployed model instance and its spare pool.
+type Spec struct {
+	// GPU is the unit type.
+	GPU hw.GPU
+	// InstanceGPUs is how many GPUs one model instance needs (the
+	// software blast radius: any one failing downs the instance until a
+	// spare covers it).
+	InstanceGPUs int
+	// Spares is the number of hot spares kept next to the instance.
+	Spares int
+}
+
+// HardwareBlastRadius returns the fraction of the instance's compute a
+// single package failure physically removes: 1/InstanceGPUs — the
+// quantity the paper argues Lite-GPUs shrink.
+func (s Spec) HardwareBlastRadius() float64 {
+	if s.InstanceGPUs <= 0 {
+		return 0
+	}
+	return 1 / float64(s.InstanceGPUs)
+}
+
+// SpareCostFraction returns the share of cluster hardware spent on
+// spares: Spares/(InstanceGPUs+Spares).
+func (s Spec) SpareCostFraction() float64 {
+	total := s.InstanceGPUs + s.Spares
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.Spares) / float64(total)
+}
+
+// AnalyticAvailability returns the steady-state probability that at most
+// `Spares` of the instance's units are down simultaneously, treating each
+// unit as an independent alternating renewal process with availability
+// a = MTBF/(MTBF+MTTR). This is the binomial k-out-of-n availability of
+// the instance with a shared spare pool.
+func AnalyticAvailability(s Spec, p Params) float64 {
+	n := s.InstanceGPUs + s.Spares
+	if n <= 0 {
+		return 0
+	}
+	mtbf := float64(p.MTBF(s.GPU))
+	a := mtbf / (mtbf + float64(p.MTTR))
+	// P(#down ≤ Spares) over n units.
+	q := 1 - a
+	var prob float64
+	for k := 0; k <= s.Spares; k++ {
+		prob += binomPMF(n, k, q)
+	}
+	return prob
+}
+
+func binomPMF(n, k int, q float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	// Compute C(n,k)·q^k·(1−q)^(n−k) in log space for stability.
+	lg := lgamma(n+1) - lgamma(k+1) - lgamma(n-k+1)
+	return math.Exp(lg + float64(k)*math.Log(q) + float64(n-k)*math.Log(1-q))
+}
+
+func lgamma(x int) float64 {
+	v, _ := math.Lgamma(float64(x))
+	return v
+}
+
+// Result summarizes a simulated mission.
+type Result struct {
+	// Availability is the fraction of mission time the instance served
+	// (at most `Spares` units down, counting takeover interruptions).
+	Availability float64
+	// EffectiveCapacity is the time-averaged served fraction of nominal
+	// instance compute (0 while down, 1 while covered).
+	EffectiveCapacity float64
+	// Failures is the number of unit failures observed.
+	Failures int
+	// LostGPUHours is the total unit-downtime in hours.
+	LostGPUHours float64
+}
+
+// Simulate runs a Monte Carlo mission of the given duration with
+// exponential unit lifetimes and deterministic repair, averaging over
+// trials. The spare pool is shared: the instance is down whenever more
+// units are in repair than spares exist, plus a RecoveryTime interruption
+// per covered failure (the cost of a spare taking over).
+func Simulate(s Spec, p Params, horizon units.Seconds, trials int, seed uint64) Result {
+	if s.InstanceGPUs <= 0 || trials <= 0 || horizon <= 0 {
+		return Result{}
+	}
+	rng := mathx.NewRNG(seed)
+	var agg Result
+	for trial := 0; trial < trials; trial++ {
+		r := simulateOnce(s, p, horizon, rng.Split())
+		agg.Availability += r.Availability
+		agg.EffectiveCapacity += r.EffectiveCapacity
+		agg.Failures += r.Failures
+		agg.LostGPUHours += r.LostGPUHours
+	}
+	f := float64(trials)
+	agg.Availability /= f
+	agg.EffectiveCapacity /= f
+	agg.LostGPUHours /= f
+	return agg
+}
+
+func simulateOnce(s Spec, p Params, horizon units.Seconds, rng *mathx.RNG) Result {
+	n := s.InstanceGPUs + s.Spares
+	rate := 1 / float64(p.MTBF(s.GPU)) // per second
+	// nextEvent[i] is the time of unit i's next transition; down[i]
+	// marks units in repair.
+	next := make([]float64, n)
+	down := make([]bool, n)
+	for i := range next {
+		next[i] = rng.Exponential(rate)
+	}
+	var (
+		t          float64
+		downCount  int
+		upTime     float64 // time with instance serving
+		interrupts int
+	)
+	h := float64(horizon)
+	for t < h {
+		// Find the earliest transition.
+		minI, minT := -1, math.Inf(1)
+		for i, ti := range next {
+			if ti < minT {
+				minI, minT = i, ti
+			}
+		}
+		if minT > h {
+			minT = h
+			minI = -1
+		}
+		dt := minT - t
+		if downCount <= s.Spares {
+			upTime += dt
+		}
+		t = minT
+		if minI < 0 {
+			break
+		}
+		if down[minI] {
+			down[minI] = false
+			downCount--
+			next[minI] = t + rng.Exponential(rate)
+		} else {
+			down[minI] = true
+			downCount++
+			interrupts++
+			next[minI] = t + float64(p.MTTR)
+		}
+	}
+	// Each covered failure still interrupts service for RecoveryTime.
+	recovery := float64(p.RecoveryTime) * float64(interrupts)
+	upTime = math.Max(upTime-recovery, 0)
+	res := Result{
+		Availability:      upTime / h,
+		EffectiveCapacity: upTime / h,
+		Failures:          interrupts,
+	}
+	res.LostGPUHours = float64(interrupts) * float64(p.MTTR) / 3600
+	return res
+}
+
+// Compare runs the paper's headline comparison: one H100-class instance
+// versus its Lite replacement (instance size × split) at equal spare-cost
+// fraction, returning both availabilities.
+type Comparison struct {
+	Big, Lite        Spec
+	BigAvailability  float64
+	LiteAvailability float64
+}
+
+// CompareSpares builds the comparison with the given spare counts and
+// evaluates both analytically.
+func CompareSpares(big hw.GPU, instance, split, bigSpares, liteSpares int, p Params) Comparison {
+	lite := big.Scale(1 / float64(split))
+	c := Comparison{
+		Big:  Spec{GPU: big, InstanceGPUs: instance, Spares: bigSpares},
+		Lite: Spec{GPU: lite, InstanceGPUs: instance * split, Spares: liteSpares},
+	}
+	c.BigAvailability = AnalyticAvailability(c.Big, p)
+	c.LiteAvailability = AnalyticAvailability(c.Lite, p)
+	return c
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("big %d+%d spares: %.5f vs lite %d+%d spares: %.5f",
+		c.Big.InstanceGPUs, c.Big.Spares, c.BigAvailability,
+		c.Lite.InstanceGPUs, c.Lite.Spares, c.LiteAvailability)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

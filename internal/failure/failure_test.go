@@ -1,0 +1,206 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/units"
+)
+
+func TestAFRScalesWithArea(t *testing.T) {
+	p := DefaultParams()
+	h := p.AFR(hw.H100())
+	l := p.AFR(hw.Lite())
+	// H100 AFR = base + ref = 0.055.
+	if math.Abs(h-0.055) > 1e-12 {
+		t.Errorf("H100 AFR = %v, want 0.055", h)
+	}
+	// Lite = base + ref/4 = 0.0175: less than 1/3 of the big GPU's.
+	if math.Abs(l-0.0175) > 1e-12 {
+		t.Errorf("Lite AFR = %v, want 0.0175", l)
+	}
+	// But 4 Lites fail more often in aggregate than 1 H100 (extra
+	// packages): 4×0.0175 = 0.07 > 0.055.
+	if 4*l <= h {
+		t.Errorf("aggregate Lite AFR (%v) should exceed H100 AFR (%v)", 4*l, h)
+	}
+}
+
+func TestMTBF(t *testing.T) {
+	p := DefaultParams()
+	// 5.5%/yr ⇒ MTBF ≈ 18.2 years.
+	mtbf := p.MTBF(hw.H100())
+	years := float64(mtbf) / float64(Year)
+	if math.Abs(years-1/0.055) > 1e-9 {
+		t.Errorf("MTBF = %v years, want %v", years, 1/0.055)
+	}
+	// Zero-rate params give infinite MTBF.
+	zero := Params{}
+	if !math.IsInf(float64(zero.MTBF(hw.H100())), 1) {
+		t.Error("zero AFR should give infinite MTBF")
+	}
+}
+
+func TestHardwareBlastRadius(t *testing.T) {
+	big := Spec{GPU: hw.H100(), InstanceGPUs: 8}
+	lite := Spec{GPU: hw.Lite(), InstanceGPUs: 32}
+	if big.HardwareBlastRadius() != 0.125 {
+		t.Errorf("H100 blast radius = %v, want 1/8", big.HardwareBlastRadius())
+	}
+	if lite.HardwareBlastRadius() != 1.0/32 {
+		t.Errorf("Lite blast radius = %v, want 1/32", lite.HardwareBlastRadius())
+	}
+	var zero Spec
+	if zero.HardwareBlastRadius() != 0 {
+		t.Error("zero spec blast radius should be 0")
+	}
+}
+
+func TestSpareCostFraction(t *testing.T) {
+	s := Spec{InstanceGPUs: 32, Spares: 2}
+	want := 2.0 / 34.0
+	if math.Abs(s.SpareCostFraction()-want) > 1e-12 {
+		t.Errorf("spare cost fraction = %v, want %v", s.SpareCostFraction(), want)
+	}
+	var zero Spec
+	if zero.SpareCostFraction() != 0 {
+		t.Error("zero spec spare fraction should be 0")
+	}
+}
+
+func TestAnalyticAvailabilityNoSpares(t *testing.T) {
+	p := DefaultParams()
+	s := Spec{GPU: hw.H100(), InstanceGPUs: 8}
+	// a^8 with a = MTBF/(MTBF+MTTR).
+	mtbf := float64(p.MTBF(hw.H100()))
+	a := mtbf / (mtbf + float64(p.MTTR))
+	want := math.Pow(a, 8)
+	got := AnalyticAvailability(s, p)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("availability = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyticAvailabilitySparesHelp(t *testing.T) {
+	p := DefaultParams()
+	prev := 0.0
+	for spares := 0; spares <= 3; spares++ {
+		s := Spec{GPU: hw.Lite(), InstanceGPUs: 32, Spares: spares}
+		a := AnalyticAvailability(s, p)
+		if a <= prev {
+			t.Errorf("availability with %d spares (%v) not above %d spares (%v)",
+				spares, a, spares-1, prev)
+		}
+		prev = a
+	}
+	// One spare already pushes a 32-unit Lite instance past 0.999.
+	one := AnalyticAvailability(Spec{GPU: hw.Lite(), InstanceGPUs: 32, Spares: 1}, p)
+	if one < 0.999 {
+		t.Errorf("32-unit Lite with 1 spare = %v, want ≥0.999", one)
+	}
+}
+
+func TestPaperSpareEconomics(t *testing.T) {
+	// The paper: Lite clusters suit hot spares because each spare is
+	// smaller and cheaper. At EQUAL spare-cost fraction (1 H100 spare ≈
+	// 4 Lite spares), the Lite instance achieves higher availability.
+	p := DefaultParams()
+	c := CompareSpares(hw.H100(), 8, 4, 1, 4, p)
+	bigFrac := c.Big.SpareCostFraction()
+	liteFrac := c.Lite.SpareCostFraction()
+	if math.Abs(bigFrac-liteFrac) > 1e-12 {
+		t.Fatalf("spare fractions differ: %v vs %v", bigFrac, liteFrac)
+	}
+	if c.LiteAvailability <= c.BigAvailability {
+		t.Errorf("Lite availability (%v) should beat big (%v) at equal spare cost",
+			c.LiteAvailability, c.BigAvailability)
+	}
+	if c.String() == "" {
+		t.Error("empty comparison string")
+	}
+	// And a FINER spare quantum is available: 1 Lite spare costs 1/32 of
+	// the instance versus 1/8 for the H100 spare, yet still beats the
+	// unspared H100 instance.
+	fine := CompareSpares(hw.H100(), 8, 4, 0, 1, p)
+	if fine.LiteAvailability <= fine.BigAvailability {
+		t.Errorf("1-Lite-spare availability (%v) should beat spare-less H100 (%v)",
+			fine.LiteAvailability, fine.BigAvailability)
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	p := DefaultParams()
+	p.RecoveryTime = 0 // analytic model has no takeover cost
+	s := Spec{GPU: hw.Lite(), InstanceGPUs: 16, Spares: 1}
+	want := AnalyticAvailability(s, p)
+	got := Simulate(s, p, 10*Year, 400, 42)
+	if math.Abs(got.Availability-want) > 0.005 {
+		t.Errorf("simulated availability %v vs analytic %v", got.Availability, want)
+	}
+}
+
+func TestSimulateDeterministicSeed(t *testing.T) {
+	p := DefaultParams()
+	s := Spec{GPU: hw.Lite(), InstanceGPUs: 8, Spares: 1}
+	a := Simulate(s, p, Year, 50, 7)
+	b := Simulate(s, p, Year, 50, 7)
+	if a != b {
+		t.Error("same seed produced different results")
+	}
+	c := Simulate(s, p, Year, 50, 8)
+	if a == c {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestSimulateDegenerate(t *testing.T) {
+	p := DefaultParams()
+	if r := Simulate(Spec{}, p, Year, 10, 1); r != (Result{}) {
+		t.Errorf("empty spec simulated to %+v", r)
+	}
+	if r := Simulate(Spec{GPU: hw.Lite(), InstanceGPUs: 4}, p, 0, 10, 1); r != (Result{}) {
+		t.Errorf("zero horizon simulated to %+v", r)
+	}
+	if r := Simulate(Spec{GPU: hw.Lite(), InstanceGPUs: 4}, p, Year, 0, 1); r != (Result{}) {
+		t.Errorf("zero trials simulated to %+v", r)
+	}
+}
+
+func TestSimulateSparesImproveAvailability(t *testing.T) {
+	p := DefaultParams()
+	horizon := 10 * Year
+	none := Simulate(Spec{GPU: hw.Lite(), InstanceGPUs: 32}, p, horizon, 200, 3)
+	one := Simulate(Spec{GPU: hw.Lite(), InstanceGPUs: 32, Spares: 1}, p, horizon, 200, 3)
+	if one.Availability <= none.Availability {
+		t.Errorf("spare did not improve availability: %v vs %v",
+			one.Availability, none.Availability)
+	}
+}
+
+func TestSimulateCountsFailures(t *testing.T) {
+	p := DefaultParams()
+	// 32 Lite units at 1.75%/yr for 10 years ⇒ ≈5.6 failures expected.
+	r := Simulate(Spec{GPU: hw.Lite(), InstanceGPUs: 32}, p, 10*Year, 300, 11)
+	perTrial := float64(r.Failures) / 300
+	if perTrial < 4 || perTrial > 7.5 {
+		t.Errorf("failures per 10-year mission = %v, want ≈5.6", perTrial)
+	}
+	if r.LostGPUHours <= 0 {
+		t.Error("no lost GPU-hours recorded")
+	}
+}
+
+func TestRecoveryTimePenalizesAvailability(t *testing.T) {
+	fast := DefaultParams()
+	fast.RecoveryTime = 0
+	slow := DefaultParams()
+	slow.RecoveryTime = units.Seconds(3600)
+	s := Spec{GPU: hw.Lite(), InstanceGPUs: 32, Spares: 2}
+	a := Simulate(s, fast, 10*Year, 200, 5)
+	b := Simulate(s, slow, 10*Year, 200, 5)
+	if b.Availability >= a.Availability {
+		t.Errorf("slow recovery (%v) should lower availability (%v)",
+			b.Availability, a.Availability)
+	}
+}

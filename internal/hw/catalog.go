@@ -1,0 +1,113 @@
+package hw
+
+import "litegpu/internal/units"
+
+// The Table 1 catalog. Values are verbatim from the paper:
+//
+//	GPU type            TFLOPS  Cap GB  MemBW GB/s  NetBW GB/s  #Max GPUs
+//	H100                2000    80      3352        450         8
+//	Lite                500     20      838         112.5       32
+//	Lite+NetBW          500     20      838         225         32
+//	Lite+NetBW+FLOPS    550     20      419         225         32
+//	Lite+MemBW          500     20      1675        112.5       32
+//	Lite+MemBW+NetBW    500     20      1675        225         32
+//
+// The H100 die/power/clock figures come from the Hopper whitepaper
+// (814 mm² die, 700 W SXM TDP, 132 SMs, 1.98 GHz boost); Lite variants
+// inherit one quarter of area, TDP and SMs.
+
+// H100 returns the paper's baseline GPU.
+func H100() GPU {
+	return GPU{
+		Name:           "H100",
+		FLOPS:          2000 * units.Tera,
+		Capacity:       80 * units.GB,
+		MemBW:          3352 * units.GB,
+		NetBW:          450 * units.GB,
+		SMs:            132,
+		MaxGPUs:        8,
+		DieArea:        814,
+		DiesPerPackage: 1,
+		TDP:            700,
+		BaseClock:      1.98 * units.Giga,
+	}
+}
+
+// Lite returns the basic Lite-GPU: an H100 scaled to one quarter in every
+// capability, exactly the "Lite" row of Table 1.
+func Lite() GPU {
+	return GPU{
+		Name:           "Lite",
+		FLOPS:          500 * units.Tera,
+		Capacity:       20 * units.GB,
+		MemBW:          838 * units.GB,
+		NetBW:          112.5 * units.GB,
+		SMs:            33,
+		MaxGPUs:        32,
+		DieArea:        814.0 / 4,
+		DiesPerPackage: 1,
+		TDP:            175,
+		BaseClock:      1.98 * units.Giga,
+	}
+}
+
+// LiteNetBW returns Lite with network bandwidth doubled to 225 GB/s,
+// spending part of the extra shoreline on networking.
+func LiteNetBW() GPU {
+	return Lite().WithNetBW(225 * units.GB).WithName("Lite+NetBW")
+}
+
+// LiteNetBWFLOPS returns Lite+NetBW with compute raised to 550 TFLOPS via
+// overclocking (easier cooling) and memory bandwidth halved to 419 GB/s —
+// Table 1's deliberate FLOPS-for-bandwidth trade.
+func LiteNetBWFLOPS() GPU {
+	g := LiteNetBW().
+		WithFLOPS(550 * units.Tera).
+		WithMemBW(419 * units.GB).
+		WithName("Lite+NetBW+FLOPS")
+	return g
+}
+
+// LiteMemBW returns Lite with memory bandwidth doubled to 1675 GB/s,
+// spending the extra shoreline on HBM interfaces.
+func LiteMemBW() GPU {
+	return Lite().WithMemBW(1675 * units.GB).WithName("Lite+MemBW")
+}
+
+// LiteMemBWNetBW returns Lite with both memory (1675 GB/s) and network
+// (225 GB/s) bandwidth doubled.
+func LiteMemBWNetBW() GPU {
+	return LiteMemBW().WithNetBW(225 * units.GB).WithName("Lite+MemBW+NetBW")
+}
+
+// Table1 returns the six configurations of Table 1 in paper order.
+func Table1() []GPU {
+	return []GPU{
+		H100(),
+		Lite(),
+		LiteNetBW(),
+		LiteNetBWFLOPS(),
+		LiteMemBW(),
+		LiteMemBWNetBW(),
+	}
+}
+
+// PrefillConfigs returns the configurations plotted in Figure 3a.
+func PrefillConfigs() []GPU {
+	return []GPU{H100(), Lite(), LiteNetBW(), LiteNetBWFLOPS()}
+}
+
+// DecodeConfigs returns the configurations plotted in Figure 3b.
+func DecodeConfigs() []GPU {
+	return []GPU{H100(), Lite(), LiteMemBW(), LiteMemBWNetBW()}
+}
+
+// ByName returns the cataloged configuration with the given name.
+func ByName(name string) (GPU, bool) {
+	for _, g := range Table1() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GPU{}, false
+}

@@ -1,0 +1,69 @@
+package hw
+
+import "litegpu/internal/units"
+
+// Generation is one entry in the "evolution of GPUs in AI clusters"
+// timeline the paper's Figure 1 sketches: successive datacenter GPUs pack
+// more transistors and more dies into one increasingly complex package.
+type Generation struct {
+	Name        string
+	Year        int
+	ProcessNM   float64   // marketing node, nm
+	Transistors float64   // per package
+	Dies        int       // compute dies per package
+	DieArea     units.MM2 // per compute die
+	TDP         units.Watts
+	HBM         units.Bytes
+	Packaging   string // packaging technology
+}
+
+// Evolution returns the GPU-generation timeline behind Figure 1, from the
+// single-die P100 to the dual-die Blackwell parts whose packaging and
+// cooling issues motivate the paper.
+func Evolution() []Generation {
+	return []Generation{
+		{
+			Name: "P100", Year: 2016, ProcessNM: 16,
+			Transistors: 15.3e9, Dies: 1, DieArea: 610,
+			TDP: 300, HBM: 16 * units.GB, Packaging: "CoWoS",
+		},
+		{
+			Name: "V100", Year: 2017, ProcessNM: 12,
+			Transistors: 21.1e9, Dies: 1, DieArea: 815,
+			TDP: 300, HBM: 32 * units.GB, Packaging: "CoWoS",
+		},
+		{
+			Name: "A100", Year: 2020, ProcessNM: 7,
+			Transistors: 54.2e9, Dies: 1, DieArea: 826,
+			TDP: 400, HBM: 80 * units.GB, Packaging: "CoWoS",
+		},
+		{
+			Name: "H100", Year: 2022, ProcessNM: 4,
+			Transistors: 80e9, Dies: 1, DieArea: 814,
+			TDP: 700, HBM: 80 * units.GB, Packaging: "CoWoS-S",
+		},
+		{
+			Name: "B200", Year: 2024, ProcessNM: 4,
+			Transistors: 208e9, Dies: 2, DieArea: 800,
+			TDP: 1000, HBM: 192 * units.GB, Packaging: "CoWoS-L dual-die",
+		},
+		{
+			Name: "GB200 NVL72", Year: 2024, ProcessNM: 4,
+			Transistors: 416e9, Dies: 4, DieArea: 800,
+			TDP: 2700, HBM: 384 * units.GB, Packaging: "superchip (2×B200+Grace)",
+		},
+	}
+}
+
+// TransistorGrowth returns the multiplicative transistor growth of the
+// last generation over the first — the scaling squeeze Figure 1 depicts.
+func TransistorGrowth(gens []Generation) float64 {
+	if len(gens) < 2 {
+		return 1
+	}
+	first, last := gens[0], gens[len(gens)-1]
+	if first.Transistors <= 0 {
+		return 1
+	}
+	return last.Transistors / first.Transistors
+}

@@ -1,0 +1,195 @@
+// Package hw describes GPU hardware: the spec sheet quantities the
+// litegpu models consume (compute throughput, memory capacity and
+// bandwidth, network bandwidth, SM count, die geometry, power), the
+// Table 1 configuration catalog from the paper, and the derivation
+// operators that turn a parent GPU into Lite-GPU variants.
+package hw
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/units"
+)
+
+// GPU is a single GPU package specification. The five headline fields
+// (FLOPS, Capacity, MemBW, NetBW, MaxGPUs) mirror Table 1 of the paper;
+// the remainder support the die, power, and reliability models.
+type GPU struct {
+	// Name identifies the configuration, e.g. "H100" or "Lite+NetBW".
+	Name string
+
+	// FLOPS is peak dense compute throughput at the modeled precision
+	// (FP8 for the Table 1 values).
+	FLOPS units.FLOPSRate
+
+	// Capacity is HBM capacity.
+	Capacity units.Bytes
+
+	// MemBW is HBM bandwidth.
+	MemBW units.BytesPerSec
+
+	// NetBW is unidirectional off-package network bandwidth.
+	NetBW units.BytesPerSec
+
+	// SMs is the number of streaming multiprocessors; the paper's
+	// efficiency metric normalizes throughput by total SMs.
+	SMs int
+
+	// MaxGPUs is the largest cluster size the paper's search considers
+	// for this GPU type.
+	MaxGPUs int
+
+	// DieArea is the compute die area per die.
+	DieArea units.MM2
+
+	// DiesPerPackage is the number of compute dies in the package
+	// (1 for H100 and Lite-GPUs, 2 for Blackwell-class parts).
+	DiesPerPackage int
+
+	// TDP is the package thermal design power.
+	TDP units.Watts
+
+	// BaseClock is the sustained boost clock at TDP.
+	BaseClock units.Hertz
+}
+
+// Validate reports the first inconsistency in the spec, or nil.
+func (g GPU) Validate() error {
+	switch {
+	case g.Name == "":
+		return fmt.Errorf("hw: GPU has empty name")
+	case g.FLOPS <= 0:
+		return fmt.Errorf("hw: %s: non-positive FLOPS", g.Name)
+	case g.Capacity <= 0:
+		return fmt.Errorf("hw: %s: non-positive capacity", g.Name)
+	case g.MemBW <= 0:
+		return fmt.Errorf("hw: %s: non-positive memory bandwidth", g.Name)
+	case g.NetBW < 0:
+		return fmt.Errorf("hw: %s: negative network bandwidth", g.Name)
+	case g.SMs <= 0:
+		return fmt.Errorf("hw: %s: non-positive SM count", g.Name)
+	case g.MaxGPUs <= 0:
+		return fmt.Errorf("hw: %s: non-positive max cluster size", g.Name)
+	case g.DiesPerPackage < 0:
+		return fmt.Errorf("hw: %s: negative dies per package", g.Name)
+	}
+	return nil
+}
+
+// FLOPSPerSM returns per-SM compute throughput, the denominator of the
+// paper's tokens/s/SM efficiency metric.
+func (g GPU) FLOPSPerSM() units.FLOPSRate {
+	if g.SMs == 0 {
+		return 0
+	}
+	return g.FLOPS / units.FLOPSRate(g.SMs)
+}
+
+// MemBWPerFLOPS returns the memory bandwidth-to-compute ratio in
+// bytes per FLOP. Lite-GPUs raise this ratio via extra shoreline.
+func (g GPU) MemBWPerFLOPS() float64 {
+	if g.FLOPS == 0 {
+		return math.Inf(1)
+	}
+	return float64(g.MemBW) / float64(g.FLOPS)
+}
+
+// NetBWPerFLOPS returns the network bandwidth-to-compute ratio in
+// bytes per FLOP.
+func (g GPU) NetBWPerFLOPS() float64 {
+	if g.FLOPS == 0 {
+		return math.Inf(1)
+	}
+	return float64(g.NetBW) / float64(g.FLOPS)
+}
+
+// PowerDensity returns TDP divided by total die area (W/mm²), the
+// quantity that drives cooling difficulty in the power model.
+func (g GPU) PowerDensity() float64 {
+	area := float64(g.DieArea) * float64(maxInt(g.DiesPerPackage, 1))
+	if area == 0 {
+		return 0
+	}
+	return float64(g.TDP) / area
+}
+
+// Scale returns a copy of g with compute, memory, network, SM count, die
+// area, and TDP multiplied by frac, and MaxGPUs divided by frac. This is
+// the paper's Lite-GPU construction: Scale(1/4) applied to an H100 yields
+// the "Lite" row of Table 1 (with MaxGPUs going 8 → 32).
+//
+// Die area scales linearly with compute here because a Lite-GPU is a
+// smaller instance of the same microarchitecture at the same process node.
+func (g GPU) Scale(frac float64) GPU {
+	if frac <= 0 {
+		panic("hw: Scale requires a positive fraction")
+	}
+	s := g
+	s.Name = fmt.Sprintf("%s×%.3g", g.Name, frac)
+	s.FLOPS = units.FLOPSRate(float64(g.FLOPS) * frac)
+	s.Capacity = units.Bytes(float64(g.Capacity) * frac)
+	s.MemBW = units.BytesPerSec(float64(g.MemBW) * frac)
+	s.NetBW = units.BytesPerSec(float64(g.NetBW) * frac)
+	s.SMs = int(math.Round(float64(g.SMs) * frac))
+	s.MaxGPUs = int(math.Round(float64(g.MaxGPUs) / frac))
+	s.DieArea = units.MM2(float64(g.DieArea) * frac)
+	s.TDP = units.Watts(float64(g.TDP) * frac)
+	return s
+}
+
+// WithName returns a copy of g renamed to name.
+func (g GPU) WithName(name string) GPU {
+	g.Name = name
+	return g
+}
+
+// WithNetBW returns a copy of g with network bandwidth set to bw.
+func (g GPU) WithNetBW(bw units.BytesPerSec) GPU {
+	g.NetBW = bw
+	return g
+}
+
+// WithMemBW returns a copy of g with memory bandwidth set to bw.
+func (g GPU) WithMemBW(bw units.BytesPerSec) GPU {
+	g.MemBW = bw
+	return g
+}
+
+// WithFLOPS returns a copy of g with peak compute set to f.
+func (g GPU) WithFLOPS(f units.FLOPSRate) GPU {
+	g.FLOPS = f
+	return g
+}
+
+// Overclock returns a copy of g with compute throughput and TDP scaled by
+// factor (> 1 overclocks, < 1 down-clocks). Dynamic power grows faster
+// than linearly with frequency because voltage rises with it; the power
+// model owns the precise curve, so here TDP uses the conventional
+// first-order f³ dynamic scaling on the dynamic fraction of TDP.
+func (g GPU) Overclock(factor float64) GPU {
+	if factor <= 0 {
+		panic("hw: Overclock requires a positive factor")
+	}
+	s := g
+	s.FLOPS = units.FLOPSRate(float64(g.FLOPS) * factor)
+	s.BaseClock = units.Hertz(float64(g.BaseClock) * factor)
+	const dynamicFraction = 0.7 // typical dynamic share of GPU TDP
+	dyn := float64(g.TDP) * dynamicFraction * factor * factor * factor
+	static := float64(g.TDP) * (1 - dynamicFraction)
+	s.TDP = units.Watts(dyn + static)
+	return s
+}
+
+// String renders the Table 1 row for g.
+func (g GPU) String() string {
+	return fmt.Sprintf("%s: %s, %s HBM @ %s, net %s, %d SMs, ≤%d GPUs",
+		g.Name, g.FLOPS, g.Capacity, g.MemBW, g.NetBW, g.SMs, g.MaxGPUs)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,310 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"litegpu/internal/units"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// The six rows of Table 1, verbatim.
+	want := []struct {
+		name   string
+		tflops float64
+		capGB  float64
+		memGBs float64
+		netGBs float64
+		maxG   int
+	}{
+		{"H100", 2000, 80, 3352, 450, 8},
+		{"Lite", 500, 20, 838, 112.5, 32},
+		{"Lite+NetBW", 500, 20, 838, 225, 32},
+		{"Lite+NetBW+FLOPS", 550, 20, 419, 225, 32},
+		{"Lite+MemBW", 500, 20, 1675, 112.5, 32},
+		{"Lite+MemBW+NetBW", 500, 20, 1675, 225, 32},
+	}
+	got := Table1()
+	if len(got) != len(want) {
+		t.Fatalf("Table1 has %d rows, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Name != w.name {
+			t.Errorf("row %d: name %q, want %q", i, g.Name, w.name)
+		}
+		if math.Abs(float64(g.FLOPS)-w.tflops*units.Tera) > 1 {
+			t.Errorf("%s: FLOPS = %v, want %v TFLOPS", w.name, g.FLOPS, w.tflops)
+		}
+		if math.Abs(float64(g.Capacity)-w.capGB*units.GB) > 1 {
+			t.Errorf("%s: capacity = %v, want %v GB", w.name, g.Capacity, w.capGB)
+		}
+		if math.Abs(float64(g.MemBW)-w.memGBs*units.GB) > 1 {
+			t.Errorf("%s: mem BW = %v, want %v GB/s", w.name, g.MemBW, w.memGBs)
+		}
+		if math.Abs(float64(g.NetBW)-w.netGBs*units.GB) > 1 {
+			t.Errorf("%s: net BW = %v, want %v GB/s", w.name, g.NetBW, w.netGBs)
+		}
+		if g.MaxGPUs != w.maxG {
+			t.Errorf("%s: max GPUs = %d, want %d", w.name, g.MaxGPUs, w.maxG)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", w.name, err)
+		}
+	}
+}
+
+func TestLiteIsQuarterH100(t *testing.T) {
+	h, l := H100(), Lite()
+	if got := float64(l.FLOPS) / float64(h.FLOPS); got != 0.25 {
+		t.Errorf("FLOPS ratio = %v, want 0.25", got)
+	}
+	if got := float64(l.Capacity) / float64(h.Capacity); got != 0.25 {
+		t.Errorf("capacity ratio = %v, want 0.25", got)
+	}
+	if got := float64(l.NetBW) / float64(h.NetBW); got != 0.25 {
+		t.Errorf("net BW ratio = %v, want 0.25", got)
+	}
+	// 838/3352 = 0.25 exactly
+	if got := float64(l.MemBW) / float64(h.MemBW); got != 0.25 {
+		t.Errorf("mem BW ratio = %v, want 0.25", got)
+	}
+	// 4 Lite-GPUs have the SM count of one H100.
+	if l.SMs*4 != h.SMs {
+		t.Errorf("SMs: 4×%d ≠ %d", l.SMs, h.SMs)
+	}
+	// The Lite cluster max matches total SMs of the H100 cluster max.
+	if l.SMs*l.MaxGPUs != h.SMs*h.MaxGPUs {
+		t.Errorf("max-cluster SMs: %d ≠ %d", l.SMs*l.MaxGPUs, h.SMs*h.MaxGPUs)
+	}
+}
+
+func TestScale(t *testing.T) {
+	h := H100()
+	q := h.Scale(0.25)
+	if math.Abs(float64(q.FLOPS)-float64(h.FLOPS)/4) > 1 {
+		t.Errorf("Scale FLOPS = %v", q.FLOPS)
+	}
+	if q.SMs != 33 {
+		t.Errorf("Scale SMs = %d, want 33", q.SMs)
+	}
+	if q.MaxGPUs != 32 {
+		t.Errorf("Scale MaxGPUs = %d, want 32", q.MaxGPUs)
+	}
+	if math.Abs(float64(q.DieArea)-814.0/4) > 1e-9 {
+		t.Errorf("Scale DieArea = %v", q.DieArea)
+	}
+	if math.Abs(float64(q.TDP)-175) > 1e-9 {
+		t.Errorf("Scale TDP = %v", q.TDP)
+	}
+}
+
+func TestScalePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Scale(0) did not panic")
+		}
+	}()
+	H100().Scale(0)
+}
+
+func TestWithers(t *testing.T) {
+	g := H100().WithNetBW(1).WithMemBW(2).WithFLOPS(3).WithName("x")
+	if g.NetBW != 1 || g.MemBW != 2 || g.FLOPS != 3 || g.Name != "x" {
+		t.Errorf("withers failed: %+v", g)
+	}
+	// Original is unchanged (value semantics).
+	if H100().NetBW == 1 {
+		t.Error("WithNetBW mutated the catalog value")
+	}
+}
+
+func TestOverclock(t *testing.T) {
+	g := H100()
+	oc := g.Overclock(1.1)
+	if math.Abs(float64(oc.FLOPS)/float64(g.FLOPS)-1.1) > 1e-9 {
+		t.Errorf("Overclock FLOPS ratio = %v", float64(oc.FLOPS)/float64(g.FLOPS))
+	}
+	if oc.TDP <= g.TDP {
+		t.Errorf("Overclock did not raise TDP: %v → %v", g.TDP, oc.TDP)
+	}
+	// Down-clocking lowers power.
+	dc := g.Overclock(0.5)
+	if dc.TDP >= g.TDP {
+		t.Errorf("down-clock did not lower TDP: %v → %v", g.TDP, dc.TDP)
+	}
+}
+
+func TestOverclockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Overclock(-1) did not panic")
+		}
+	}()
+	H100().Overclock(-1)
+}
+
+func TestRatios(t *testing.T) {
+	h := H100()
+	// H100: 3352/2e6 GB per TFLOP = 0.001676 B/FLOP.
+	want := 3352.0 * units.GB / (2000 * units.Tera)
+	if got := h.MemBWPerFLOPS(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MemBWPerFLOPS = %v, want %v", got, want)
+	}
+	// Lite+MemBW doubles the ratio vs H100.
+	lm := LiteMemBW()
+	if got := lm.MemBWPerFLOPS() / h.MemBWPerFLOPS(); math.Abs(got-2) > 0.01 {
+		t.Errorf("Lite+MemBW ratio gain = %v, want ≈2", got)
+	}
+	var zero GPU
+	if !math.IsInf(zero.MemBWPerFLOPS(), 1) {
+		t.Error("zero GPU MemBWPerFLOPS should be +Inf")
+	}
+	if !math.IsInf(zero.NetBWPerFLOPS(), 1) {
+		t.Error("zero GPU NetBWPerFLOPS should be +Inf")
+	}
+}
+
+func TestFLOPSPerSM(t *testing.T) {
+	h := H100()
+	want := float64(h.FLOPS) / 132
+	if got := float64(h.FLOPSPerSM()); math.Abs(got-want) > 1 {
+		t.Errorf("FLOPSPerSM = %v, want %v", got, want)
+	}
+	var zero GPU
+	if zero.FLOPSPerSM() != 0 {
+		t.Error("zero GPU FLOPSPerSM should be 0")
+	}
+}
+
+func TestPowerDensityLiteIsNotWorse(t *testing.T) {
+	h, l := H100(), Lite()
+	// Same W/mm² by construction (both scale linearly)…
+	if math.Abs(h.PowerDensity()-l.PowerDensity()) > 1e-9 {
+		t.Errorf("power density: H100 %v vs Lite %v", h.PowerDensity(), l.PowerDensity())
+	}
+	// …but the Lite package dissipates 4× less total heat.
+	if float64(l.TDP)*4 != float64(h.TDP) {
+		t.Errorf("TDP: 4×%v ≠ %v", l.TDP, h.TDP)
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	good := H100()
+	bad := []GPU{
+		{},
+		good.WithName(""),
+		good.WithFLOPS(0),
+		func() GPU { g := good; g.Capacity = 0; return g }(),
+		func() GPU { g := good; g.MemBW = -1; return g }(),
+		func() GPU { g := good; g.NetBW = -1; return g }(),
+		func() GPU { g := good; g.SMs = 0; return g }(),
+		func() GPU { g := good; g.MaxGPUs = 0; return g }(),
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad spec %d passed validation: %+v", i, g)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec failed validation: %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	g, ok := ByName("Lite+MemBW")
+	if !ok || g.Name != "Lite+MemBW" {
+		t.Errorf("ByName(Lite+MemBW) = %v, %v", g, ok)
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName(nonexistent) reported success")
+	}
+}
+
+func TestConfigLists(t *testing.T) {
+	p := PrefillConfigs()
+	if len(p) != 4 || p[0].Name != "H100" || p[3].Name != "Lite+NetBW+FLOPS" {
+		t.Errorf("PrefillConfigs = %v", p)
+	}
+	d := DecodeConfigs()
+	if len(d) != 4 || d[2].Name != "Lite+MemBW" || d[3].Name != "Lite+MemBW+NetBW" {
+		t.Errorf("DecodeConfigs = %v", d)
+	}
+}
+
+func TestStringContainsEssentials(t *testing.T) {
+	s := H100().String()
+	for _, want := range []string{"H100", "2 PFLOP/s", "80 GB", "132 SMs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEvolution(t *testing.T) {
+	gens := Evolution()
+	if len(gens) < 5 {
+		t.Fatalf("Evolution has %d generations, want ≥5", len(gens))
+	}
+	// Years and transistor counts are non-decreasing (the Figure 1 trend).
+	for i := 1; i < len(gens); i++ {
+		if gens[i].Year < gens[i-1].Year {
+			t.Errorf("generation %s predates %s", gens[i].Name, gens[i-1].Name)
+		}
+		if gens[i].Transistors < gens[i-1].Transistors {
+			t.Errorf("transistors shrank from %s to %s", gens[i-1].Name, gens[i].Name)
+		}
+	}
+	// H100 appears and has 1 die; the last generation packs multiple dies.
+	foundH100 := false
+	for _, g := range gens {
+		if g.Name == "H100" {
+			foundH100 = true
+			if g.Dies != 1 {
+				t.Errorf("H100 dies = %d, want 1", g.Dies)
+			}
+		}
+	}
+	if !foundH100 {
+		t.Error("Evolution missing H100")
+	}
+	if last := gens[len(gens)-1]; last.Dies < 2 {
+		t.Errorf("latest generation %s has %d dies, want ≥2", last.Name, last.Dies)
+	}
+	if g := TransistorGrowth(gens); g < 10 {
+		t.Errorf("TransistorGrowth = %v, want >10×", g)
+	}
+	if g := TransistorGrowth(nil); g != 1 {
+		t.Errorf("TransistorGrowth(nil) = %v, want 1", g)
+	}
+}
+
+// Property: Scale(a).Scale(b) compute equals Scale(a*b) compute.
+func TestScaleCompositionProperty(t *testing.T) {
+	f := func(ra, rb uint8) bool {
+		a := float64(ra)/256 + 0.1
+		b := float64(rb)/256 + 0.1
+		g := H100()
+		lhs := g.Scale(a).Scale(b)
+		rhs := g.Scale(a * b)
+		return math.Abs(float64(lhs.FLOPS)-float64(rhs.FLOPS)) < 1e-3*float64(rhs.FLOPS)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling preserves the bandwidth-to-compute ratio.
+func TestScalePreservesRatiosProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		frac := float64(raw)/256 + 0.05
+		g := H100()
+		s := g.Scale(frac)
+		return math.Abs(s.MemBWPerFLOPS()-g.MemBWPerFLOPS()) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

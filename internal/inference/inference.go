@@ -1,0 +1,411 @@
+// Package inference implements the paper's case study (Section 4): a
+// roofline model of LLM inference on clusters of H100s or Lite-GPUs.
+//
+// The methodology follows the paper exactly: compute stages are modeled
+// individually (projection, MLP, fused FlashAttention); compute, memory
+// I/O and network I/O overlap within each stage; tensor parallelism
+// distributes execution across the cluster; and a search sweeps all batch
+// sizes and GPU counts per GPU type under Splitwise-derived latency SLOs
+// (TTFT ≤ 1 s, TBT ≤ 50 ms, 1500-token prompts), reporting the
+// configuration with the highest throughput per SM.
+package inference
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"litegpu/internal/collective"
+	"litegpu/internal/hw"
+	"litegpu/internal/mathx"
+	"litegpu/internal/model"
+	"litegpu/internal/roofline"
+	"litegpu/internal/units"
+)
+
+// Phase selects the inference phase being modeled. The paper evaluates
+// the two phases on separate clusters (Splitwise-style phase splitting).
+type Phase int
+
+// The two LLM inference phases.
+const (
+	// Prefill processes the whole prompt and emits the first token;
+	// it is compute-bound and constrained by TTFT.
+	Prefill Phase = iota
+	// Decode emits one token per request per step, reading the whole KV
+	// cache; it is memory-bound and constrained by TBT.
+	Decode
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	if p == Prefill {
+		return "prefill"
+	}
+	return "decode"
+}
+
+// Options parameterizes the study. DefaultOptions reproduces the paper's
+// settings.
+type Options struct {
+	// Prec sets element sizes; default FP8 end-to-end matching Table 1.
+	Prec model.Precision
+
+	// PromptLen is the prompt length in tokens (paper: 1500, the median
+	// of a production coding workload).
+	PromptLen int
+
+	// DecodeContext is the KV length decode steps attend to; defaults to
+	// PromptLen.
+	DecodeContext int
+
+	// TTFTLimit and TBTLimit are the Splitwise-derived SLOs.
+	TTFTLimit units.Seconds
+	TBTLimit  units.Seconds
+
+	// Alpha is the per-step collective latency (launch + hop); it is the
+	// non-overlappable part of each all-reduce.
+	Alpha units.Seconds
+
+	// RingOnly forces ring collectives instead of picking the best
+	// schedule per message — an ablation for latency-sensitive decode.
+	RingOnly bool
+
+	// NoOverlap serializes compute, memory, and network within each
+	// stage — an ablation quantifying what the paper's overlap
+	// assumption is worth.
+	NoOverlap bool
+
+	// KVReplication switches tensor-parallel KV handling from the
+	// paper's implicit ideal sharding to real Megatron-style KV-head
+	// replication when TP exceeds the KV-head count — an ablation that
+	// shows how much of the Lite cluster's headroom the paper's model
+	// assumption is worth on GQA models at high TP.
+	KVReplication bool
+
+	// MaxBatch caps the batch-size sweep.
+	MaxBatch int
+}
+
+// DefaultOptions returns the paper's study parameters.
+func DefaultOptions() Options {
+	return Options{
+		Prec:          model.FP8(),
+		PromptLen:     1500,
+		DecodeContext: 1500,
+		TTFTLimit:     1.0,
+		TBTLimit:      0.050,
+		Alpha:         1e-6,
+		MaxBatch:      4096,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Prec == (model.Precision{}) {
+		o.Prec = d.Prec
+	}
+	if o.PromptLen <= 0 {
+		o.PromptLen = d.PromptLen
+	}
+	if o.DecodeContext <= 0 {
+		o.DecodeContext = o.PromptLen
+	}
+	if o.TTFTLimit <= 0 {
+		o.TTFTLimit = d.TTFTLimit
+	}
+	if o.TBTLimit <= 0 {
+		o.TBTLimit = d.TBTLimit
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = d.MaxBatch
+	}
+	return o
+}
+
+// ErrDoesNotFit reports that weights plus KV cache exceed cluster HBM.
+var ErrDoesNotFit = errors.New("inference: model + KV cache exceed cluster memory")
+
+// Estimate is the modeled performance of one (GPU type, model, phase,
+// cluster size, batch) configuration.
+type Estimate struct {
+	GPU   hw.GPU
+	Model model.Transformer
+	Phase Phase
+	GPUs  int
+	Batch int
+
+	// Latency is TTFT for prefill (whole-batch prompt processing) or TBT
+	// for decode (one generation step).
+	Latency units.Seconds
+
+	// Throughput is tokens/s: prompt tokens ingested for prefill,
+	// tokens generated for decode.
+	Throughput float64
+
+	// PerSM is Throughput divided by total SMs — the paper's efficiency
+	// metric (Figure 3's y-axis before normalization).
+	PerSM float64
+
+	// MemPerGPU is the per-GPU HBM footprint (weights + KV).
+	MemPerGPU units.Bytes
+
+	// MeetsSLO reports whether Latency is within the phase's limit.
+	MeetsSLO bool
+
+	// Bound is the resource limiting the largest share of time.
+	Bound roofline.Bound
+
+	// BoundShares is the full time-share attribution.
+	BoundShares map[roofline.Bound]float64
+}
+
+// String renders the estimate as one report line.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s %s %s: G=%d B=%d lat=%v tok/s=%.0f tok/s/SM=%.2f (%s-bound)",
+		e.GPU.Name, e.Model.Name, e.Phase, e.GPUs, e.Batch,
+		e.Latency, e.Throughput, e.PerSM, e.Bound)
+}
+
+// Run models one configuration. It returns ErrDoesNotFit when the
+// weights plus KV cache exceed aggregate HBM, and shard-validation errors
+// for illegal TP degrees.
+func Run(gpu hw.GPU, m model.Transformer, phase Phase, gpus, batch int, opts Options) (Estimate, error) {
+	opts = opts.withDefaults()
+	if err := gpu.Validate(); err != nil {
+		return Estimate{}, err
+	}
+
+	var shard model.Shard
+	switch phase {
+	case Prefill:
+		shard = model.Shard{
+			TP: gpus, Batch: batch,
+			SeqIn: opts.PromptLen, KVLen: opts.PromptLen,
+			Causal: true, Prec: opts.Prec,
+			IdealKV: !opts.KVReplication,
+		}
+	case Decode:
+		shard = model.Shard{
+			TP: gpus, Batch: batch,
+			SeqIn: 1, KVLen: opts.DecodeContext,
+			Prec:    opts.Prec,
+			IdealKV: !opts.KVReplication,
+		}
+	default:
+		return Estimate{}, fmt.Errorf("inference: unknown phase %d", int(phase))
+	}
+	if err := shard.Validate(m); err != nil {
+		return Estimate{}, err
+	}
+
+	// Memory feasibility: per-GPU weights + full-context KV for the batch.
+	kvTokens := batch * shard.KVLen
+	memPerGPU := m.ShardWeightBytes(shard) +
+		units.Bytes(float64(kvTokens)*float64(m.ShardKVBytesPerToken(shard)))
+	if memPerGPU > gpu.Capacity {
+		return Estimate{}, fmt.Errorf("%w: need %v per GPU, have %v (%s G=%d B=%d)",
+			ErrDoesNotFit, memPerGPU, gpu.Capacity, m.Name, gpus, batch)
+	}
+
+	stages, err := m.LayerStages(shard)
+	if err != nil {
+		return Estimate{}, err
+	}
+	device := roofline.Device{Compute: gpu.FLOPS, MemBW: gpu.MemBW, NetBW: gpu.NetBW}
+	link := collective.Link{Bandwidth: gpu.NetBW, Latency: opts.Alpha}
+
+	var total units.Seconds
+	shares := make(map[roofline.Bound]float64)
+	layers := float64(m.Layers)
+	runStage := func(rs roofline.Stage, repeat float64) {
+		var r roofline.Result
+		if opts.NoOverlap {
+			r = roofline.RunSerial(rs, device)
+		} else {
+			r = roofline.Run(rs, device)
+		}
+		total += units.Seconds(float64(r.Total) * repeat)
+		shares[r.Bound] += float64(r.Total) * repeat
+	}
+	for _, st := range stages {
+		rs := roofline.Stage{Name: st.Name, FLOPs: st.FLOPs, MemBytes: st.MemBytes}
+		if st.AllReduce > 0 && gpus > 1 {
+			rs.NetBytes, rs.Latency = allReduceParts(gpus, st.AllReduce, link, opts.RingOnly)
+		}
+		runStage(rs, layers)
+	}
+	head := m.LMHead(shard)
+	runStage(roofline.Stage{Name: head.Name, FLOPs: head.FLOPs, MemBytes: head.MemBytes}, 1)
+
+	e := Estimate{
+		GPU: gpu, Model: m, Phase: phase,
+		GPUs: gpus, Batch: batch,
+		Latency:     total,
+		MemPerGPU:   memPerGPU,
+		BoundShares: normalizeShares(shares, float64(total)),
+	}
+	switch phase {
+	case Prefill:
+		e.Throughput = float64(batch*opts.PromptLen) * units.PerSecond(total)
+		e.MeetsSLO = total <= opts.TTFTLimit
+	case Decode:
+		e.Throughput = float64(batch) * units.PerSecond(total)
+		e.MeetsSLO = total <= opts.TBTLimit
+	}
+	e.PerSM = e.Throughput / float64(gpus*gpu.SMs)
+	e.Bound = dominantBound(e.BoundShares)
+	return e, nil
+}
+
+// allReduceParts decomposes the chosen all-reduce schedule into the wire
+// bytes that can overlap with compute/memory (NetBytes against the
+// device's network ceiling) and the per-step latency sum that cannot
+// (Latency, additive).
+func allReduceParts(n int, payload units.Bytes, l collective.Link, ringOnly bool) (units.Bytes, units.Seconds) {
+	algo := collective.Ring
+	if !ringOnly {
+		algo, _ = collective.Best(collective.AllReduce, n, payload, l)
+	}
+	wire := collective.WireBytes(collective.AllReduce, n, payload)
+	// Recover the α term: total minus the bandwidth term.
+	totalT := collective.Time(collective.AllReduce, algo, n, payload, l)
+	bwT := wire.Over(l.Bandwidth)
+	latency := totalT - bwT
+	if latency < 0 {
+		latency = 0
+	}
+	if algo == collective.Tree {
+		// Tree moves the full payload every step; represent its larger
+		// wire cost faithfully.
+		steps := 2 * math.Ceil(math.Log2(float64(n)))
+		wire = units.Bytes(steps * float64(payload))
+		latency = units.Seconds(steps * float64(l.Latency))
+	}
+	return wire, latency
+}
+
+func normalizeShares(shares map[roofline.Bound]float64, total float64) map[roofline.Bound]float64 {
+	out := make(map[roofline.Bound]float64, len(shares))
+	if total <= 0 {
+		return out
+	}
+	for b, v := range shares {
+		out[b] = v / total
+	}
+	return out
+}
+
+func dominantBound(shares map[roofline.Bound]float64) roofline.Bound {
+	best := roofline.ComputeBound
+	bestV := math.Inf(-1)
+	for _, b := range []roofline.Bound{
+		roofline.ComputeBound, roofline.MemoryBound,
+		roofline.NetworkBound, roofline.LatencyBound,
+	} {
+		if v, ok := shares[b]; ok && v > bestV {
+			best, bestV = b, v
+		}
+	}
+	return best
+}
+
+// MaxFeasibleBatch returns the largest batch whose KV cache fits next to
+// the weights on a cluster of the given size, or 0 when even the weights
+// do not fit.
+func MaxFeasibleBatch(gpu hw.GPU, m model.Transformer, phase Phase, gpus int, opts Options) int {
+	opts = opts.withDefaults()
+	kvLen := opts.PromptLen
+	if phase == Decode {
+		kvLen = opts.DecodeContext
+	}
+	shard := model.Shard{
+		TP: gpus, Batch: 1, SeqIn: 1, KVLen: kvLen, Prec: opts.Prec,
+		IdealKV: !opts.KVReplication,
+	}
+	if err := shard.Validate(m); err != nil {
+		return 0
+	}
+	free := float64(gpu.Capacity) - float64(m.ShardWeightBytes(shard))
+	if free <= 0 {
+		return 0
+	}
+	perReq := float64(kvLen) * float64(m.ShardKVBytesPerToken(shard))
+	if perReq <= 0 {
+		return 0
+	}
+	return int(free / perReq)
+}
+
+// SearchResult is the outcome of the paper's configuration search for one
+// (GPU type, model, phase) triple.
+type SearchResult struct {
+	Best Estimate
+	// Evaluated counts the feasible configurations examined.
+	Evaluated int
+}
+
+// Search sweeps cluster sizes (legal TP degrees up to the GPU type's
+// maximum) and batch sizes (powers of two plus the capacity boundary),
+// and returns the feasible configuration with the highest tokens/s/SM —
+// exactly the paper's procedure, including its observation that fewer
+// GPUs than the maximum may win.
+func Search(gpu hw.GPU, m model.Transformer, phase Phase, opts Options) (SearchResult, error) {
+	opts = opts.withDefaults()
+	if err := gpu.Validate(); err != nil {
+		return SearchResult{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return SearchResult{}, err
+	}
+	var res SearchResult
+	found := false
+	for _, g := range mathx.Divisors(m.Heads) {
+		if g > gpu.MaxGPUs {
+			continue
+		}
+		maxB := MaxFeasibleBatch(gpu, m, phase, g, opts)
+		if maxB <= 0 {
+			continue
+		}
+		if maxB > opts.MaxBatch {
+			maxB = opts.MaxBatch
+		}
+		for _, b := range batchSweep(maxB) {
+			est, err := Run(gpu, m, phase, g, b, opts)
+			if err != nil {
+				if errors.Is(err, ErrDoesNotFit) {
+					continue
+				}
+				return SearchResult{}, err
+			}
+			if !est.MeetsSLO {
+				continue
+			}
+			res.Evaluated++
+			if !found || est.PerSM > res.Best.PerSM {
+				res.Best = est
+				found = true
+			}
+		}
+	}
+	if !found {
+		return res, fmt.Errorf("inference: no feasible configuration for %s on %s (%s)",
+			m.Name, gpu.Name, phase)
+	}
+	return res, nil
+}
+
+// batchSweep returns powers of two up to maxB, always including maxB
+// itself (the capacity boundary, where decode throughput typically
+// peaks).
+func batchSweep(maxB int) []int {
+	var bs []int
+	for b := 1; b <= maxB; b *= 2 {
+		bs = append(bs, b)
+	}
+	if len(bs) == 0 || bs[len(bs)-1] != maxB {
+		bs = append(bs, maxB)
+	}
+	return bs
+}

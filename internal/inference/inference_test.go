@@ -1,0 +1,454 @@
+package inference
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/model"
+	"litegpu/internal/roofline"
+)
+
+func TestPhaseString(t *testing.T) {
+	if Prefill.String() != "prefill" || Decode.String() != "decode" {
+		t.Error("phase strings wrong")
+	}
+}
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	o := DefaultOptions()
+	if o.PromptLen != 1500 {
+		t.Errorf("PromptLen = %d, want 1500", o.PromptLen)
+	}
+	if o.TTFTLimit != 1.0 {
+		t.Errorf("TTFTLimit = %v, want 1 s", o.TTFTLimit)
+	}
+	if o.TBTLimit != 0.050 {
+		t.Errorf("TBTLimit = %v, want 50 ms", o.TBTLimit)
+	}
+	if o.Prec != model.FP8() {
+		t.Errorf("Prec = %+v, want FP8", o.Prec)
+	}
+}
+
+func TestWithDefaultsFillsZeroValues(t *testing.T) {
+	var o Options
+	filled := o.withDefaults()
+	if filled.PromptLen != 1500 || filled.TBTLimit != 0.050 || filled.MaxBatch <= 0 {
+		t.Errorf("withDefaults left zeros: %+v", filled)
+	}
+	// Non-zero values survive.
+	o.PromptLen = 99
+	if o.withDefaults().PromptLen != 99 {
+		t.Error("withDefaults overwrote explicit PromptLen")
+	}
+	// DecodeContext defaults to PromptLen.
+	if o.withDefaults().DecodeContext != 99 {
+		t.Error("DecodeContext did not default to PromptLen")
+	}
+}
+
+func TestRunPrefillH100SanityNumbers(t *testing.T) {
+	// Single H100, Llama3-70B, single prompt: the forward pass is
+	// ≈ 2·70e9·1500 FLOP ≈ 213 TFLOP; at 2 PFLOPS that is ≥ 107 ms.
+	est, err := Run(hw.H100(), model.Llama3_70B(), Prefill, 1, 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Latency < 0.100 || est.Latency > 0.150 {
+		t.Errorf("TTFT = %v, want ≈107–130 ms", est.Latency)
+	}
+	if est.Bound != roofline.ComputeBound {
+		t.Errorf("bound = %v, want compute", est.Bound)
+	}
+	// Throughput ≈ 1500 / TTFT.
+	want := 1500 * (1 / float64(est.Latency))
+	if math.Abs(est.Throughput-want) > 1 {
+		t.Errorf("throughput = %v, want %v", est.Throughput, want)
+	}
+	if est.PerSM <= 0 || est.PerSM > 120 {
+		t.Errorf("PerSM = %v out of plausible range", est.PerSM)
+	}
+	if !est.MeetsSLO {
+		t.Error("107 ms TTFT should meet the 1 s SLO")
+	}
+}
+
+func TestRunDecodeMemoryBound(t *testing.T) {
+	// Small-batch decode is weight-bandwidth-bound.
+	est, err := Run(hw.H100(), model.Llama3_70B(), Decode, 8, 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Bound != roofline.MemoryBound {
+		t.Errorf("bound = %v, want memory", est.Bound)
+	}
+	// TBT lower bound: weights over aggregate bandwidth = 70 GB / 26.8 TB/s ≈ 2.6 ms.
+	if est.Latency < 0.0025 || est.Latency > 0.010 {
+		t.Errorf("TBT = %v, want ≈3–6 ms", est.Latency)
+	}
+}
+
+func TestRunRejectsOversizedConfigs(t *testing.T) {
+	// Llama3-405B (405 GB at FP8) cannot fit one 80 GB H100.
+	_, err := Run(hw.H100(), model.Llama3_405B(), Decode, 1, 1, DefaultOptions())
+	if !errors.Is(err, ErrDoesNotFit) {
+		t.Errorf("err = %v, want ErrDoesNotFit", err)
+	}
+	// Nor 4 of them.
+	_, err = Run(hw.H100(), model.Llama3_405B(), Decode, 4, 1, DefaultOptions())
+	if !errors.Is(err, ErrDoesNotFit) {
+		t.Errorf("err = %v, want ErrDoesNotFit", err)
+	}
+	// 8 fit.
+	if _, err = Run(hw.H100(), model.Llama3_405B(), Decode, 8, 1, DefaultOptions()); err != nil {
+		t.Errorf("8×H100 should fit 405B: %v", err)
+	}
+}
+
+func TestRunRejectsIllegalTP(t *testing.T) {
+	if _, err := Run(hw.H100(), model.Llama3_70B(), Prefill, 5, 1, DefaultOptions()); err == nil {
+		t.Error("TP=5 with 64 heads accepted")
+	}
+	var bad hw.GPU
+	if _, err := Run(bad, model.Llama3_70B(), Prefill, 1, 1, DefaultOptions()); err == nil {
+		t.Error("invalid GPU accepted")
+	}
+	if _, err := Run(hw.H100(), model.Llama3_70B(), Phase(9), 1, 1, DefaultOptions()); err == nil {
+		t.Error("unknown phase accepted")
+	}
+}
+
+func TestMaxFeasibleBatch(t *testing.T) {
+	opts := DefaultOptions()
+	// H100 ×8 on Llama3-70B decode: (640−70) GB over 1500·163 840 B ≈ 2300.
+	b := MaxFeasibleBatch(hw.H100(), model.Llama3_70B(), Decode, 8, opts)
+	if b < 2000 || b > 2600 {
+		t.Errorf("max batch = %d, want ≈2300", b)
+	}
+	// 405B on 4×H100: weights alone do not fit.
+	if b := MaxFeasibleBatch(hw.H100(), model.Llama3_405B(), Decode, 4, opts); b != 0 {
+		t.Errorf("max batch for oversized model = %d, want 0", b)
+	}
+	// Illegal TP yields 0.
+	if b := MaxFeasibleBatch(hw.H100(), model.Llama3_70B(), Decode, 5, opts); b != 0 {
+		t.Errorf("max batch for TP=5 = %d, want 0", b)
+	}
+}
+
+func TestBatchSweep(t *testing.T) {
+	bs := batchSweep(10)
+	want := []int{1, 2, 4, 8, 10}
+	if len(bs) != len(want) {
+		t.Fatalf("batchSweep(10) = %v, want %v", bs, want)
+	}
+	for i := range bs {
+		if bs[i] != want[i] {
+			t.Fatalf("batchSweep(10) = %v, want %v", bs, want)
+		}
+	}
+	// Exact power of two does not duplicate.
+	bs = batchSweep(8)
+	if bs[len(bs)-1] != 8 || bs[len(bs)-2] == 8 {
+		t.Errorf("batchSweep(8) = %v", bs)
+	}
+}
+
+func TestSearchFindsFeasibleConfig(t *testing.T) {
+	res, err := Search(hw.H100(), model.Llama3_70B(), Decode, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.MeetsSLO {
+		t.Error("search returned an SLO-violating config")
+	}
+	if res.Best.Latency > 0.050 {
+		t.Errorf("decode TBT = %v exceeds 50 ms", res.Best.Latency)
+	}
+	if res.Evaluated == 0 {
+		t.Error("search evaluated nothing")
+	}
+}
+
+func TestSearchErrorsWhenNothingFits(t *testing.T) {
+	// A GPU too small for the model at any legal scale.
+	tiny := hw.Lite()
+	tiny.Capacity = 1e9 // 1 GB
+	if _, err := Search(tiny, model.Llama3_405B(), Decode, DefaultOptions()); err == nil {
+		t.Error("search succeeded on an impossible configuration")
+	}
+	var bad hw.GPU
+	if _, err := Search(bad, model.Llama3_70B(), Decode, DefaultOptions()); err == nil {
+		t.Error("search accepted invalid GPU")
+	}
+	var badModel model.Transformer
+	if _, err := Search(hw.H100(), badModel, Decode, DefaultOptions()); err == nil {
+		t.Error("search accepted invalid model")
+	}
+}
+
+func TestSearchMayPreferFewerGPUs(t *testing.T) {
+	// The paper: "the search may return that running a model with less
+	// GPUs than the maximum yields better throughput per SM." H100
+	// prefill on Llama3-70B lands below the 8-GPU maximum.
+	res, err := Search(hw.H100(), model.Llama3_70B(), Prefill, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.GPUs >= 8 {
+		t.Errorf("best prefill uses %d GPUs; expected fewer than the maximum", res.Best.GPUs)
+	}
+}
+
+// TestFigure3aShapes asserts the qualitative results of Figure 3a.
+func TestFigure3aShapes(t *testing.T) {
+	opts := DefaultOptions()
+	norm := func(g hw.GPU, m model.Transformer) float64 {
+		base, err := Search(hw.H100(), m, Prefill, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Search(g, m, Prefill, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Best.PerSM / base.Best.PerSM
+	}
+
+	// (1) On Llama3-70B all configurations perform similarly.
+	for _, g := range hw.PrefillConfigs() {
+		n := norm(g, model.Llama3_70B())
+		if n < 0.90 || n > 1.20 {
+			t.Errorf("70B prefill %s normalized = %.3f, want ≈1", g.Name, n)
+		}
+	}
+
+	// (2) Base Lite degrades as the model grows (network bottleneck).
+	lite70 := norm(hw.Lite(), model.Llama3_70B())
+	lite175 := norm(hw.Lite(), model.GPT3_175B())
+	lite405 := norm(hw.Lite(), model.Llama3_405B())
+	if !(lite405 < lite175 && lite175 < lite70) {
+		t.Errorf("Lite prefill should degrade with size: 70B %.3f, 175B %.3f, 405B %.3f",
+			lite70, lite175, lite405)
+	}
+	if lite405 > 0.80 {
+		t.Errorf("Lite on 405B = %.3f, expected clear degradation (<0.8)", lite405)
+	}
+
+	// (3) Extra network bandwidth compensates.
+	for _, m := range model.PaperModels() {
+		if nb, base := norm(hw.LiteNetBW(), m), norm(hw.Lite(), m); nb <= base {
+			t.Errorf("%s: Lite+NetBW (%.3f) should beat Lite (%.3f)", m.Name, nb, base)
+		}
+	}
+
+	// (4) Overclocking helps compute-bound prefill further.
+	for _, m := range model.PaperModels() {
+		fl, nb := norm(hw.LiteNetBWFLOPS(), m), norm(hw.LiteNetBW(), m)
+		if fl <= nb {
+			t.Errorf("%s: Lite+NetBW+FLOPS (%.3f) should beat Lite+NetBW (%.3f)", m.Name, fl, nb)
+		}
+	}
+
+	// (5) On the small model the overclocked variant beats the H100.
+	if fl := norm(hw.LiteNetBWFLOPS(), model.Llama3_70B()); fl <= 1.0 {
+		t.Errorf("Lite+NetBW+FLOPS on 70B = %.3f, want > 1", fl)
+	}
+}
+
+// TestFigure3bShapes asserts the qualitative results of Figure 3b.
+func TestFigure3bShapes(t *testing.T) {
+	opts := DefaultOptions()
+	norm := func(g hw.GPU, m model.Transformer) float64 {
+		base, err := Search(hw.H100(), m, Decode, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Search(g, m, Decode, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Best.PerSM / base.Best.PerSM
+	}
+
+	// (1) Base Lite never beats the H100 cluster in decode.
+	for _, m := range model.PaperModels() {
+		if n := norm(hw.Lite(), m); n >= 1.0 {
+			t.Errorf("%s: base Lite decode = %.3f, want < 1", m.Name, n)
+		}
+	}
+
+	// (2) The largest model degrades the most on base Lite.
+	lite70 := norm(hw.Lite(), model.Llama3_70B())
+	lite405 := norm(hw.Lite(), model.Llama3_405B())
+	if lite405 >= lite70 {
+		t.Errorf("405B Lite (%.3f) should degrade below 70B Lite (%.3f)", lite405, lite70)
+	}
+	if lite405 > 0.75 {
+		t.Errorf("405B Lite decode = %.3f, expected clear degradation", lite405)
+	}
+
+	// (3) Doubling memory bandwidth lifts decode everywhere, and past
+	// the H100 for the 70B and GPT-3 models.
+	for _, m := range model.PaperModels() {
+		mem, base := norm(hw.LiteMemBW(), m), norm(hw.Lite(), m)
+		if mem <= base {
+			t.Errorf("%s: Lite+MemBW (%.3f) should beat Lite (%.3f)", m.Name, mem, base)
+		}
+	}
+	if n := norm(hw.LiteMemBW(), model.Llama3_70B()); n <= 1.0 {
+		t.Errorf("70B Lite+MemBW = %.3f, want > 1", n)
+	}
+	if n := norm(hw.LiteMemBW(), model.GPT3_175B()); n <= 1.0 {
+		t.Errorf("GPT3 Lite+MemBW = %.3f, want > 1", n)
+	}
+
+	// (4) GPT-3 gains the most from memory bandwidth (its MHA KV cache
+	// dominates decode traffic) — the tallest bar in Figure 3b.
+	gain175 := norm(hw.LiteMemBW(), model.GPT3_175B())
+	gain70 := norm(hw.LiteMemBW(), model.Llama3_70B())
+	if gain175 <= gain70 {
+		t.Errorf("GPT3 MemBW gain (%.3f) should exceed 70B gain (%.3f)", gain175, gain70)
+	}
+	if gain175 < 1.3 {
+		t.Errorf("GPT3 Lite+MemBW = %.3f, want ≈1.5", gain175)
+	}
+
+	// (5) Adding network bandwidth on top helps further.
+	for _, m := range model.PaperModels() {
+		nb, mem := norm(hw.LiteMemBWNetBW(), m), norm(hw.LiteMemBW(), m)
+		if nb <= mem {
+			t.Errorf("%s: Lite+MemBW+NetBW (%.3f) should beat Lite+MemBW (%.3f)", m.Name, nb, mem)
+		}
+	}
+}
+
+func TestKVReplicationAblation(t *testing.T) {
+	// With real KV-head replication, the 32-way Llama3-405B decode loses
+	// batch capacity and throughput versus the paper's ideal sharding.
+	ideal := DefaultOptions()
+	repl := DefaultOptions()
+	repl.KVReplication = true
+
+	ri, err := Search(hw.Lite(), model.Llama3_405B(), Decode, ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Search(hw.Lite(), model.Llama3_405B(), Decode, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Best.PerSM >= ri.Best.PerSM {
+		t.Errorf("replication (%.2f/SM) should underperform ideal sharding (%.2f/SM)",
+			rr.Best.PerSM, ri.Best.PerSM)
+	}
+	// MHA models are unaffected (KV heads ≥ any TP degree used).
+	gi, err := Search(hw.Lite(), model.GPT3_175B(), Decode, ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Search(hw.Lite(), model.GPT3_175B(), Decode, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gi.Best.PerSM-gr.Best.PerSM)/gi.Best.PerSM > 1e-9 {
+		t.Errorf("GPT-3 should be unaffected by KV replication: %.3f vs %.3f",
+			gi.Best.PerSM, gr.Best.PerSM)
+	}
+}
+
+func TestNoOverlapAblation(t *testing.T) {
+	// Serializing engines can only slow things down.
+	overlap := DefaultOptions()
+	serial := DefaultOptions()
+	serial.NoOverlap = true
+	a, err := Run(hw.H100(), model.Llama3_70B(), Decode, 8, 64, overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(hw.H100(), model.Llama3_70B(), Decode, 8, 64, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Latency <= a.Latency {
+		t.Errorf("no-overlap TBT %v should exceed overlap TBT %v", b.Latency, a.Latency)
+	}
+}
+
+func TestRingOnlyAblation(t *testing.T) {
+	// Ring-only collectives cost more α steps at high TP.
+	best := DefaultOptions()
+	ring := DefaultOptions()
+	ring.RingOnly = true
+	a, err := Run(hw.Lite(), model.GPT3_175B(), Decode, 32, 64, best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(hw.Lite(), model.GPT3_175B(), Decode, 32, 64, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Latency < a.Latency {
+		t.Errorf("ring-only TBT %v should be ≥ best-algorithm TBT %v", b.Latency, a.Latency)
+	}
+}
+
+func TestBoundSharesSumToOne(t *testing.T) {
+	est, err := Run(hw.Lite(), model.Llama3_70B(), Decode, 8, 128, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range est.BoundShares {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("bound shares sum to %v, want 1", sum)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	est, err := Run(hw.H100(), model.Llama3_70B(), Prefill, 4, 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.String() == "" {
+		t.Error("empty estimate string")
+	}
+}
+
+func TestThroughputScalesWithClusterAtFixedWork(t *testing.T) {
+	// Prefill throughput per SM should stay roughly flat between 1 and 2
+	// GPUs in a compute-bound regime (network cost stays small).
+	opts := DefaultOptions()
+	a, err := Run(hw.H100(), model.Llama3_70B(), Prefill, 1, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(hw.H100(), model.Llama3_70B(), Prefill, 2, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := b.PerSM / a.PerSM; rel < 0.85 || rel > 1.1 {
+		t.Errorf("PerSM ratio 2 GPUs vs 1 = %.3f, want ≈1", rel)
+	}
+}
+
+func TestDecodeLatencyGrowsWithBatch(t *testing.T) {
+	opts := DefaultOptions()
+	prev, err := Run(hw.H100(), model.Llama3_70B(), Decode, 8, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{16, 256, 2048} {
+		cur, err := Run(hw.H100(), model.Llama3_70B(), Decode, 8, b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Latency < prev.Latency {
+			t.Errorf("TBT at B=%d (%v) below B-smaller (%v)", b, cur.Latency, prev.Latency)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,245 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seeded generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDistinctSeeds(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("distinct seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) hit only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(99)
+	child := r.Split()
+	// The child stream must differ from the parent's continued stream.
+	differ := false
+	for i := 0; i < 20; i++ {
+		if r.Uint64() != child.Uint64() {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Error("split stream tracks parent stream")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(5)
+	const rate = 2.0
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("exponential mean = %v, want ≈%v", mean, 1/rate)
+	}
+}
+
+func TestExponentialNonNegative(t *testing.T) {
+	r := NewRNG(6)
+	for i := 0; i < 10000; i++ {
+		if v := r.Exponential(3); v < 0 {
+			t.Fatalf("Exponential draw %v < 0", v)
+		}
+	}
+}
+
+func TestExponentialZeroRate(t *testing.T) {
+	r := NewRNG(1)
+	if v := r.Exponential(0); !math.IsInf(v, 1) {
+		t.Errorf("Exponential(0) = %v, want +Inf", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(8)
+	const mu, sigma = 5.0, 2.0
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(mu, sigma)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-mu) > 0.03 {
+		t.Errorf("normal mean = %v, want ≈%v", mean, mu)
+	}
+	if math.Abs(sd-sigma) > 0.03 {
+		t.Errorf("normal stddev = %v, want ≈%v", sd, sigma)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRNG(9)
+	const mu, sigma = 1.0, 0.5
+	const n = 100001
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.LogNormal(mu, sigma)
+	}
+	med := Percentile(xs, 0.5)
+	want := math.Exp(mu)
+	if math.Abs(med-want)/want > 0.03 {
+		t.Errorf("lognormal median = %v, want ≈%v", med, want)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(10)
+	for _, mean := range []float64{0.5, 4, 20, 200} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean)/math.Max(mean, 1) > 0.05 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := NewRNG(2)
+	if v := r.Poisson(0); v != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", v)
+	}
+	if v := r.Poisson(-1); v != 0 {
+		t.Errorf("Poisson(-1) = %d, want 0", v)
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	r := NewRNG(12)
+	const scale = 3.0
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Weibull(1, scale)
+	}
+	mean := sum / n
+	// Weibull(shape=1, scale) has mean = scale.
+	if math.Abs(mean-scale)/scale > 0.02 {
+		t.Errorf("Weibull(1,%v) mean = %v, want ≈%v", scale, mean, scale)
+	}
+}
+
+func TestWeibullInvalidParams(t *testing.T) {
+	r := NewRNG(1)
+	if v := r.Weibull(0, 1); !math.IsInf(v, 1) {
+		t.Errorf("Weibull(0,1) = %v, want +Inf", v)
+	}
+	if v := r.Weibull(1, 0); !math.IsInf(v, 1) {
+		t.Errorf("Weibull(1,0) = %v, want +Inf", v)
+	}
+}
+
+func TestLogNormalParams(t *testing.T) {
+	mu, sigma := LogNormalParams(1500, 6000)
+	if math.Abs(math.Exp(mu)-1500) > 1e-9 {
+		t.Errorf("median mismatch: exp(mu) = %v", math.Exp(mu))
+	}
+	// Check that the p99 of the resulting distribution is near 6000.
+	const z99 = 2.3263478740408408
+	p99 := math.Exp(mu + z99*sigma)
+	if math.Abs(p99-6000)/6000 > 1e-9 {
+		t.Errorf("p99 mismatch: got %v", p99)
+	}
+}
+
+func TestLogNormalParamsDegenerate(t *testing.T) {
+	mu, sigma := LogNormalParams(100, 50) // p99 < median: degenerate
+	if sigma != 0 {
+		t.Errorf("sigma = %v, want 0 for degenerate input", sigma)
+	}
+	if math.Abs(math.Exp(mu)-100) > 1e-9 {
+		t.Errorf("exp(mu) = %v, want 100", math.Exp(mu))
+	}
+}
+
+// Property: Weibull draws are always non-negative for valid parameters.
+func TestWeibullNonNegativeProperty(t *testing.T) {
+	r := NewRNG(77)
+	f := func(rawShape, rawScale uint8) bool {
+		shape := float64(rawShape)/32 + 0.1
+		scale := float64(rawScale)/16 + 0.1
+		return r.Weibull(shape, scale) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

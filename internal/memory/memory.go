@@ -1,0 +1,129 @@
+// Package memory models the disaggregated-memory option of the paper's
+// Section 3: Lite-GPUs have a fraction of a big GPU's HBM, so workloads
+// whose KV caches outgrow local memory can either shrink the batch or
+// spill cold cache to a shared pool reached over the optical fabric.
+//
+// The model captures the trade the paper poses ("do we need
+// memory-sharing across multiple Lite-GPUs to be an option?"): decode
+// traffic is split between local HBM and the remote pool, the step time
+// takes the slower of the two paths (they stream concurrently), and
+// capacity becomes local + pool quota. The result quantifies when a
+// pool turns infeasible batches feasible and what bandwidth the pool
+// must offer before it stops being the bottleneck.
+package memory
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/units"
+)
+
+// Pool describes a disaggregated memory pool shared by a GPU group.
+type Pool struct {
+	// Capacity is the pool capacity available to the group.
+	Capacity units.Bytes
+	// BandwidthPerGPU is each GPU's read bandwidth into the pool
+	// (bounded by its network port in a CPO design).
+	BandwidthPerGPU units.BytesPerSec
+	// Latency is the additional access latency per step; prefetching
+	// (the paper's masking technique) hides all but this residue.
+	Latency units.Seconds
+}
+
+// CPOPool returns a pool reached over co-packaged optics at the basic
+// Lite-GPU port rate.
+func CPOPool(capacity units.Bytes) Pool {
+	return Pool{
+		Capacity:        capacity,
+		BandwidthPerGPU: 112.5 * units.GB,
+		Latency:         2e-6,
+	}
+}
+
+// Placement describes how a per-step working set is split.
+type Placement struct {
+	// LocalBytes and RemoteBytes are the per-GPU bytes streamed from
+	// HBM and from the pool each step.
+	LocalBytes  units.Bytes
+	RemoteBytes units.Bytes
+}
+
+// StepTime returns the memory time of one decode step with the given
+// placement on the given GPU: HBM and pool stream concurrently, so the
+// step takes the slower of the two, plus the residual pool latency when
+// any remote traffic exists.
+func StepTime(g hw.GPU, p Pool, pl Placement) units.Seconds {
+	local := pl.LocalBytes.Over(g.MemBW)
+	remote := pl.RemoteBytes.Over(p.BandwidthPerGPU)
+	t := local
+	if remote > t {
+		t = remote
+	}
+	if pl.RemoteBytes > 0 {
+		t += p.Latency
+	}
+	return t
+}
+
+// Split returns the placement that spills exactly the overflow: weights
+// and hot KV stay local, the remainder goes to the pool. workingSet is
+// the total per-GPU bytes touched per step; resident is the per-GPU
+// bytes that must stay local (weights).
+func Split(g hw.GPU, workingSet, resident units.Bytes) (Placement, error) {
+	if resident > g.Capacity {
+		return Placement{}, fmt.Errorf("memory: resident set %v exceeds HBM %v", resident, g.Capacity)
+	}
+	if workingSet < resident {
+		workingSet = resident
+	}
+	localBudget := g.Capacity
+	if workingSet <= localBudget {
+		return Placement{LocalBytes: workingSet}, nil
+	}
+	return Placement{
+		LocalBytes:  localBudget,
+		RemoteBytes: workingSet - localBudget,
+	}, nil
+}
+
+// EffectiveBandwidth returns the aggregate streaming rate of a placement
+// on the GPU+pool pair: bytes per step over step time.
+func EffectiveBandwidth(g hw.GPU, p Pool, pl Placement) units.BytesPerSec {
+	t := StepTime(g, p, pl)
+	if t <= 0 {
+		return 0
+	}
+	return units.BytesPerSec(float64(pl.LocalBytes+pl.RemoteBytes) / float64(t))
+}
+
+// MaxBatch returns the largest decode batch a group of n GPUs supports
+// with the pool attached: per-GPU weights stay local; KV fills the rest
+// of HBM and then the pool quota.
+func MaxBatch(g hw.GPU, p Pool, n int, weightsPerGPU, kvPerRequestPerGPU units.Bytes) int {
+	if n <= 0 || kvPerRequestPerGPU <= 0 {
+		return 0
+	}
+	localFree := float64(g.Capacity) - float64(weightsPerGPU)
+	if localFree < 0 {
+		return 0
+	}
+	poolPerGPU := float64(p.Capacity) / float64(n)
+	return int((localFree + poolPerGPU) / float64(kvPerRequestPerGPU))
+}
+
+// BreakEvenBandwidth returns the pool bandwidth per GPU at which a
+// spilled working set streams as fast as an all-local one: the pool must
+// carry its share at HBM pace, i.e. remote/local byte ratio times HBM
+// bandwidth.
+func BreakEvenBandwidth(g hw.GPU, pl Placement) units.BytesPerSec {
+	if pl.RemoteBytes <= 0 {
+		return 0
+	}
+	if pl.LocalBytes <= 0 {
+		return units.BytesPerSec(math.Inf(1))
+	}
+	ratio := float64(pl.RemoteBytes) / float64(pl.LocalBytes)
+	return units.BytesPerSec(ratio * float64(g.MemBW))
+}

@@ -1,0 +1,178 @@
+package memory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/units"
+)
+
+func TestSplitAllLocal(t *testing.T) {
+	g := hw.Lite() // 20 GB
+	pl, err := Split(g, 10*units.GB, 5*units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.RemoteBytes != 0 || pl.LocalBytes != 10*units.GB {
+		t.Errorf("placement = %+v, want all local", pl)
+	}
+}
+
+func TestSplitSpillsOverflow(t *testing.T) {
+	g := hw.Lite()
+	pl, err := Split(g, 30*units.GB, 5*units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.LocalBytes != g.Capacity {
+		t.Errorf("local = %v, want full HBM", pl.LocalBytes)
+	}
+	if pl.RemoteBytes != 10*units.GB {
+		t.Errorf("remote = %v, want 10 GB", pl.RemoteBytes)
+	}
+}
+
+func TestSplitRejectsOversizedResident(t *testing.T) {
+	if _, err := Split(hw.Lite(), 50*units.GB, 25*units.GB); err == nil {
+		t.Error("resident set beyond HBM accepted")
+	}
+}
+
+func TestSplitClampsWorkingSet(t *testing.T) {
+	pl, err := Split(hw.Lite(), units.Bytes(units.GB), 5*units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.LocalBytes != 5*units.GB {
+		t.Errorf("working set below resident should clamp: %+v", pl)
+	}
+}
+
+func TestStepTimeConcurrentPaths(t *testing.T) {
+	g := hw.Lite() // 838 GB/s HBM
+	p := CPOPool(units.Bytes(units.TB))
+	// 8.38 GB local = 10 ms; 1.125 GB remote = 10 ms; concurrent ⇒ 10 ms + latency.
+	pl := Placement{LocalBytes: 8.38 * units.GB, RemoteBytes: 1.125 * units.GB}
+	got := StepTime(g, p, pl)
+	want := 0.010 + float64(p.Latency)
+	if math.Abs(float64(got)-want) > 1e-6 {
+		t.Errorf("step time = %v, want ≈%v", got, want)
+	}
+	// All-local placement pays no pool latency.
+	local := Placement{LocalBytes: 8.38 * units.GB}
+	if lt := StepTime(g, p, local); math.Abs(float64(lt)-0.010) > 1e-9 {
+		t.Errorf("local step time = %v, want 10 ms", lt)
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	g := hw.Lite()
+	p := CPOPool(units.Bytes(units.TB))
+	// Balanced placement: effective BW approaches HBM + pool rates.
+	pl := Placement{LocalBytes: 8.38 * units.GB, RemoteBytes: 1.125 * units.GB}
+	eff := EffectiveBandwidth(g, p, pl)
+	if float64(eff) <= float64(g.MemBW) {
+		t.Errorf("effective BW %v should exceed HBM alone %v", eff, g.MemBW)
+	}
+	if EffectiveBandwidth(g, p, Placement{}) != 0 {
+		t.Error("empty placement should have zero bandwidth")
+	}
+}
+
+func TestMaxBatchPoolExtendsCapacity(t *testing.T) {
+	g := hw.Lite()
+	weights := 15 * units.GB
+	kvPerReq := 0.25 * units.GB
+	// Without pool: (20−15)/0.25 = 20 requests per GPU.
+	none := MaxBatch(g, Pool{}, 8, units.Bytes(weights), units.Bytes(kvPerReq))
+	if none != 20 {
+		t.Errorf("poolless max batch = %d, want 20", none)
+	}
+	// With a 40 GB pool over 8 GPUs: +5 GB/GPU ⇒ +20 requests.
+	pool := CPOPool(40 * units.GB)
+	with := MaxBatch(g, pool, 8, units.Bytes(weights), units.Bytes(kvPerReq))
+	if with != 40 {
+		t.Errorf("pooled max batch = %d, want 40", with)
+	}
+}
+
+func TestMaxBatchDegenerate(t *testing.T) {
+	g := hw.Lite()
+	if MaxBatch(g, Pool{}, 0, 1, 1) != 0 {
+		t.Error("zero GPUs should yield 0")
+	}
+	if MaxBatch(g, Pool{}, 4, 1, 0) != 0 {
+		t.Error("zero KV per request should yield 0")
+	}
+	if MaxBatch(g, Pool{}, 4, 25*units.GB, 1) != 0 {
+		t.Error("weights beyond HBM should yield 0")
+	}
+}
+
+func TestBreakEvenBandwidth(t *testing.T) {
+	g := hw.Lite()
+	// Spilling 10% of traffic needs 10% of HBM bandwidth from the pool.
+	pl := Placement{LocalBytes: 10 * units.GB, RemoteBytes: units.Bytes(units.GB)}
+	want := 0.1 * float64(g.MemBW)
+	if got := BreakEvenBandwidth(g, pl); math.Abs(float64(got)-want) > 1 {
+		t.Errorf("break-even BW = %v, want %v", got, units.BytesPerSec(want))
+	}
+	if BreakEvenBandwidth(g, Placement{LocalBytes: 1}) != 0 {
+		t.Error("no-remote break-even should be 0")
+	}
+	if !math.IsInf(float64(BreakEvenBandwidth(g, Placement{RemoteBytes: 1})), 1) {
+		t.Error("all-remote break-even should be +Inf")
+	}
+}
+
+// Property: no placement streams faster than the combined HBM + pool
+// bandwidth. (Spilling overflow to the pool can legitimately BEAT an
+// all-local placement — the two paths stream concurrently, which is the
+// bandwidth-aggregation upside of disaggregation — but never beyond the
+// physical sum.)
+func TestCombinedBandwidthCeilingProperty(t *testing.T) {
+	g := hw.Lite()
+	p := CPOPool(units.Bytes(units.TB))
+	f := func(rawLocal, rawRemote uint16) bool {
+		pl := Placement{
+			LocalBytes:  units.Bytes(float64(rawLocal)+1) * 1e6,
+			RemoteBytes: units.Bytes(float64(rawRemote)) * 1e6,
+		}
+		total := float64(pl.LocalBytes + pl.RemoteBytes)
+		floor := total / (float64(g.MemBW) + float64(p.BandwidthPerGPU))
+		return float64(StepTime(g, p, pl)) >= floor-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpillingCanAggregateBandwidth(t *testing.T) {
+	// The disaggregation upside: a placement that keeps HBM saturated
+	// and streams the overflow from the pool finishes sooner than
+	// squeezing everything through HBM.
+	g := hw.Lite()
+	p := CPOPool(units.Bytes(units.TB))
+	split := Placement{LocalBytes: 30 * units.GB, RemoteBytes: 4 * units.GB}
+	allLocal := Placement{LocalBytes: 34 * units.GB}
+	if StepTime(g, p, split) >= StepTime(g, p, allLocal) {
+		t.Errorf("concurrent split (%v) should beat all-local (%v)",
+			StepTime(g, p, split), StepTime(g, p, allLocal))
+	}
+}
+
+// Property: step time is monotone in both traffic components.
+func TestStepTimeMonotoneProperty(t *testing.T) {
+	g := hw.Lite()
+	p := CPOPool(units.Bytes(units.TB))
+	f := func(a, b uint16) bool {
+		pl1 := Placement{LocalBytes: units.Bytes(a) * 1e6, RemoteBytes: units.Bytes(b) * 1e6}
+		pl2 := Placement{LocalBytes: pl1.LocalBytes * 2, RemoteBytes: pl1.RemoteBytes * 2}
+		return StepTime(g, p, pl2) >= StepTime(g, p, pl1)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

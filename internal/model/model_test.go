@@ -1,0 +1,393 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"litegpu/internal/units"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range []Transformer{
+		Llama3_70B(), GPT3_175B(), Llama3_405B(), Llama3_8B(),
+	} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestParamCounts(t *testing.T) {
+	// Each preset's computed parameter count must land near its
+	// advertised size.
+	tests := []struct {
+		m      Transformer
+		wantB  float64
+		within float64 // relative tolerance
+	}{
+		{Llama3_70B(), 70.6, 0.02},
+		{GPT3_175B(), 175, 0.02},
+		{Llama3_405B(), 405, 0.02},
+		{Llama3_8B(), 8.0, 0.05},
+	}
+	for _, tt := range tests {
+		got := tt.m.Params() / 1e9
+		if math.Abs(got-tt.wantB)/tt.wantB > tt.within {
+			t.Errorf("%s: %0.1fB params, want ≈%vB", tt.m.Name, got, tt.wantB)
+		}
+	}
+}
+
+func TestValidateRejectsBadArchitectures(t *testing.T) {
+	good := Llama3_70B()
+	bad := []Transformer{
+		{},
+		func() Transformer { m := good; m.Layers = 0; return m }(),
+		func() Transformer { m := good; m.Heads = 60; return m }(),  // headDim mismatch
+		func() Transformer { m := good; m.KVHeads = 7; return m }(), // not a divisor
+		func() Transformer { m := good; m.UpProjections = 3; return m }(),
+		func() Transformer { m := good; m.Vocab = 0; return m }(),
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad architecture %d passed validation", i)
+		}
+	}
+}
+
+func TestWeightBytesPrecision(t *testing.T) {
+	m := Llama3_70B()
+	fp8 := m.WeightBytes(FP8())
+	bf16 := m.WeightBytes(BF16())
+	if math.Abs(float64(bf16)/float64(fp8)-2) > 1e-9 {
+		t.Errorf("BF16 weights not 2× FP8: %v vs %v", bf16, fp8)
+	}
+	// 70B params at 1 byte ≈ 70 GB.
+	if g := float64(fp8) / units.GB; g < 69 || g > 72 {
+		t.Errorf("70B FP8 weights = %.1f GB, want ≈70", g)
+	}
+}
+
+func TestKVBytesPerToken(t *testing.T) {
+	// Llama3-70B: 80 layers × 2 × 8 heads × 128 dims × 1 B = 163 840 B.
+	got := Llama3_70B().KVBytesPerToken(FP8())
+	if got != 163840 {
+		t.Errorf("KVBytesPerToken = %v, want 163840", float64(got))
+	}
+	// GPT-3's MHA multiplies this by 96/8 per layer (and 96/80 layers):
+	// the root of its memory-bound decode in Figure 3b.
+	gpt := GPT3_175B().KVBytesPerToken(FP8())
+	if ratio := float64(gpt) / float64(got); ratio < 10 {
+		t.Errorf("GPT-3/Llama-70B KV ratio = %.1f, want >10", ratio)
+	}
+}
+
+func TestShardValidate(t *testing.T) {
+	m := Llama3_70B() // 64 heads, 8 KV heads
+	valid := []int{1, 2, 4, 8, 16, 32, 64}
+	for _, tp := range valid {
+		s := Shard{TP: tp, Batch: 1, SeqIn: 1, KVLen: 1, Prec: FP8()}
+		if err := s.Validate(m); err != nil {
+			t.Errorf("TP=%d should be valid: %v", tp, err)
+		}
+	}
+	// TP must divide heads.
+	s := Shard{TP: 3, Batch: 1, SeqIn: 1, KVLen: 1, Prec: FP8()}
+	if err := s.Validate(m); err == nil {
+		t.Error("TP=3 with 64 heads should be invalid")
+	}
+	// Structural errors.
+	for _, bad := range []Shard{
+		{TP: 0, Batch: 1, SeqIn: 1, KVLen: 1},
+		{TP: 1, Batch: 0, SeqIn: 1, KVLen: 1},
+		{TP: 1, Batch: 1, SeqIn: 0, KVLen: 1},
+		{TP: 1, Batch: 1, SeqIn: 10, KVLen: 5},
+	} {
+		if err := bad.Validate(m); err == nil {
+			t.Errorf("shard %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestKVReplication(t *testing.T) {
+	m := Llama3_70B() // 8 KV heads
+	tests := []struct {
+		tp        int
+		perShard  int
+		replicate float64
+	}{
+		{1, 8, 1},
+		{4, 2, 1},
+		{8, 1, 1},
+		{16, 1, 2},
+		{32, 1, 4},
+	}
+	for _, tt := range tests {
+		s := Shard{TP: tt.tp, Batch: 1, SeqIn: 1, KVLen: 1, Prec: FP8()}
+		if got := s.KVHeadsPerShard(m); got != tt.perShard {
+			t.Errorf("TP=%d: KVHeadsPerShard = %d, want %d", tt.tp, got, tt.perShard)
+		}
+		if got := s.KVReplication(m); got != tt.replicate {
+			t.Errorf("TP=%d: KVReplication = %v, want %v", tt.tp, got, tt.replicate)
+		}
+	}
+}
+
+func TestLayerStagesMatchNaiveFLOPs(t *testing.T) {
+	// At TP=1, total stage FLOPs per token must approach the classic
+	// 2·params estimate plus the attention context term.
+	m := Llama3_70B()
+	s := Shard{TP: 1, Batch: 1, SeqIn: 1, KVLen: 1, Prec: FP8()}
+	stages, err := m.LayerStages(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, st := range stages {
+		total += float64(st.FLOPs)
+	}
+	total *= float64(m.Layers)
+	naive := float64(m.FLOPsPerToken())
+	// At KVLen=1 the attention term is tiny, so within 1%.
+	if math.Abs(total-naive)/naive > 0.01 {
+		t.Errorf("stage FLOPs %v vs naive 2·params %v", total, naive)
+	}
+}
+
+func TestLayerStagesTPDividesWork(t *testing.T) {
+	m := GPT3_175B() // MHA: no replication anywhere up to 96
+	mk := func(tp int) []Stage {
+		s := Shard{TP: tp, Batch: 4, SeqIn: 1500, KVLen: 1500, Causal: true, Prec: FP8()}
+		stages, err := m.LayerStages(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stages
+	}
+	one := mk(1)
+	eight := mk(8)
+	for i := range one {
+		ratio := float64(one[i].FLOPs) / float64(eight[i].FLOPs)
+		if math.Abs(ratio-8) > 1e-6 {
+			t.Errorf("stage %s: TP=8 FLOP ratio = %v, want 8", one[i].Name, ratio)
+		}
+	}
+}
+
+func TestKVReplicationInflatesWork(t *testing.T) {
+	// With Llama (8 KV heads), TP=32 replicates each KV head 4×, so QKV
+	// FLOPs shrink less than 32× vs TP=1.
+	m := Llama3_70B()
+	s1 := Shard{TP: 1, Batch: 1, SeqIn: 128, KVLen: 128, Causal: true, Prec: FP8()}
+	s32 := Shard{TP: 32, Batch: 1, SeqIn: 128, KVLen: 128, Causal: true, Prec: FP8()}
+	st1, err := m.LayerStages(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st32, err := m.LayerStages(s32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(st1[0].FLOPs) / float64(st32[0].FLOPs)
+	if ratio >= 32 {
+		t.Errorf("qkv TP=32 speedup = %v, should be <32 due to KV replication", ratio)
+	}
+	if ratio < 16 {
+		t.Errorf("qkv TP=32 speedup = %v, unexpectedly small", ratio)
+	}
+}
+
+func TestAllReducePayloads(t *testing.T) {
+	m := Llama3_70B()
+	s := Shard{TP: 8, Batch: 2, SeqIn: 100, KVLen: 100, Causal: true, Prec: FP8()}
+	stages, err := m.LayerStages(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly two stages carry all-reduces: proj and mlp.
+	var withAR []string
+	var payload units.Bytes
+	for _, st := range stages {
+		if st.AllReduce > 0 {
+			withAR = append(withAR, st.Name)
+			payload = st.AllReduce
+		}
+	}
+	if len(withAR) != 2 || withAR[0] != "proj" || withAR[1] != "mlp" {
+		t.Errorf("all-reduce stages = %v, want [proj mlp]", withAR)
+	}
+	// Payload = B·S·d·1 byte regardless of TP.
+	want := units.Bytes(2 * 100 * 8192)
+	if payload != want {
+		t.Errorf("all-reduce payload = %v, want %v", payload, want)
+	}
+}
+
+func TestCausalHalvesAttention(t *testing.T) {
+	m := Llama3_70B()
+	base := Shard{TP: 1, Batch: 1, SeqIn: 1000, KVLen: 1000, Prec: FP8()}
+	causal := base
+	causal.Causal = true
+	full, err := m.LayerStages(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := m.LayerStages(causal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(half[1].FLOPs) / float64(full[1].FLOPs)
+	// Mean attended length is (L+1)/2 ≈ 0.5·L for causal.
+	if math.Abs(ratio-0.5005) > 0.01 {
+		t.Errorf("causal attention ratio = %v, want ≈0.5", ratio)
+	}
+}
+
+func TestDecodeAttentionScalesWithContext(t *testing.T) {
+	m := GPT3_175B()
+	mk := func(kv int) Stage {
+		s := Shard{TP: 8, Batch: 16, SeqIn: 1, KVLen: kv, Prec: FP8()}
+		stages, err := m.LayerStages(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stages[1]
+	}
+	a := mk(1000)
+	b := mk(2000)
+	if r := float64(b.FLOPs) / float64(a.FLOPs); math.Abs(r-2) > 1e-6 {
+		t.Errorf("attention FLOPs context scaling = %v, want 2", r)
+	}
+	if r := float64(b.MemBytes) / float64(a.MemBytes); r < 1.9 {
+		t.Errorf("attention bytes context scaling = %v, want ≈2", r)
+	}
+}
+
+func TestLayerStagesErrors(t *testing.T) {
+	m := Llama3_70B()
+	if _, err := m.LayerStages(Shard{TP: 3, Batch: 1, SeqIn: 1, KVLen: 1, Prec: FP8()}); err == nil {
+		t.Error("invalid TP accepted")
+	}
+	var bad Transformer
+	if _, err := bad.LayerStages(Shard{TP: 1, Batch: 1, SeqIn: 1, KVLen: 1, Prec: FP8()}); err == nil {
+		t.Error("invalid architecture accepted")
+	}
+}
+
+func TestLMHead(t *testing.T) {
+	m := Llama3_70B()
+	s := Shard{TP: 8, Batch: 4, SeqIn: 1, KVLen: 1, Prec: FP8()}
+	head := m.LMHead(s)
+	wantFLOPs := 2.0 * 4 * 8192 * 128256 / 8
+	if math.Abs(float64(head.FLOPs)-wantFLOPs) > 1 {
+		t.Errorf("LMHead FLOPs = %v, want %v", head.FLOPs, wantFLOPs)
+	}
+	if head.AllReduce != 0 {
+		t.Error("LMHead should not carry an all-reduce")
+	}
+}
+
+func TestShardWeightBytes(t *testing.T) {
+	m := Llama3_70B()
+	p := FP8()
+	// TP=1 matches the unsharded weight count.
+	s1 := Shard{TP: 1, Batch: 1, SeqIn: 1, KVLen: 1, Prec: p}
+	if got, want := m.ShardWeightBytes(s1), m.WeightBytes(p); math.Abs(float64(got)-float64(want)) > 1e-6*float64(want) {
+		t.Errorf("TP=1 shard weights %v ≠ total %v", got, want)
+	}
+	// TP=8: aggregate equals total (8 KV heads split evenly).
+	s8 := Shard{TP: 8, Batch: 1, SeqIn: 1, KVLen: 1, Prec: p}
+	agg := 8 * float64(m.ShardWeightBytes(s8))
+	if math.Abs(agg-float64(m.WeightBytes(p)))/float64(m.WeightBytes(p)) > 1e-9 {
+		t.Errorf("TP=8 aggregate weights %v ≠ total %v", agg, m.WeightBytes(p))
+	}
+	// TP=32 aggregates to MORE than total (KV replication).
+	s32 := Shard{TP: 32, Batch: 1, SeqIn: 1, KVLen: 1, Prec: p}
+	agg32 := 32 * float64(m.ShardWeightBytes(s32))
+	if agg32 <= float64(m.WeightBytes(p)) {
+		t.Error("TP=32 aggregate should exceed unsharded weights (KV replication)")
+	}
+}
+
+func TestShardKVBytesPerToken(t *testing.T) {
+	m := Llama3_70B()
+	p := FP8()
+	// TP=8: per-GPU KV is 1/8 of total.
+	s := Shard{TP: 8, Batch: 1, SeqIn: 1, KVLen: 1, Prec: p}
+	got := float64(m.ShardKVBytesPerToken(s))
+	want := float64(m.KVBytesPerToken(p)) / 8
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("TP=8 shard KV/token = %v, want %v", got, want)
+	}
+	// TP=32: per-GPU KV is 1/8 of total (not 1/32) — replication.
+	s32 := Shard{TP: 32, Batch: 1, SeqIn: 1, KVLen: 1, Prec: p}
+	got32 := float64(m.ShardKVBytesPerToken(s32))
+	if math.Abs(got32-want) > 1e-9 {
+		t.Errorf("TP=32 shard KV/token = %v, want %v (one KV head per shard)", got32, want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if m, ok := ByName("GPT3-175B"); !ok || m.Layers != 96 {
+		t.Errorf("ByName(GPT3-175B) = %v, %v", m, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestPaperModels(t *testing.T) {
+	ms := PaperModels()
+	if len(ms) != 3 || ms[0].Name != "Llama3-70B" || ms[2].Name != "Llama3-405B" {
+		t.Errorf("PaperModels = %v", ms)
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	s := Llama3_405B().String()
+	if s == "" {
+		t.Error("empty model string")
+	}
+}
+
+// Property: stage FLOPs and bytes scale linearly with batch size.
+func TestStagesBatchLinearityProperty(t *testing.T) {
+	m := Llama3_70B()
+	f := func(raw uint8) bool {
+		b := int(raw%32) + 1
+		s1 := Shard{TP: 4, Batch: b, SeqIn: 64, KVLen: 64, Causal: true, Prec: FP8()}
+		s2 := s1
+		s2.Batch = 2 * b
+		st1, err1 := m.LayerStages(s1)
+		st2, err2 := m.LayerStages(s2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range st1 {
+			if math.Abs(float64(st2[i].FLOPs)/float64(st1[i].FLOPs)-2) > 1e-9 {
+				return false
+			}
+			if st2[i].AllReduce != 2*st1[i].AllReduce {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-GPU weight bytes never increase with TP degree.
+func TestShardWeightsMonotoneProperty(t *testing.T) {
+	m := Llama3_405B()
+	tps := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	for i := 1; i < len(tps); i++ {
+		a := Shard{TP: tps[i-1], Batch: 1, SeqIn: 1, KVLen: 1, Prec: FP8()}
+		b := Shard{TP: tps[i], Batch: 1, SeqIn: 1, KVLen: 1, Prec: FP8()}
+		if m.ShardWeightBytes(b) > m.ShardWeightBytes(a) {
+			t.Errorf("per-GPU weights grew from TP=%d to TP=%d", tps[i-1], tps[i])
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package model
+
+import (
+	"fmt"
+
+	"litegpu/internal/units"
+)
+
+// Shard describes one tensor-parallel execution pass over a model:
+// the TP degree, how many requests run together, how many tokens each
+// request contributes to this pass, and how much KV context attention
+// reads. Prefill of a 1500-token prompt is {SeqIn: 1500, KVLen: 1500,
+// Causal: true}; one decode step at context 1500 is {SeqIn: 1, KVLen:
+// 1500}.
+type Shard struct {
+	TP     int
+	Batch  int
+	SeqIn  int  // tokens processed this pass, per request
+	KVLen  int  // context length attended, per request (≥ SeqIn for prefill)
+	Causal bool // halve attention work for causal prefill
+	Prec   Precision
+
+	// IdealKV makes the KV cache shard perfectly even when TP exceeds
+	// the KV-head count, as if attention were also split along the head
+	// dimension. The paper's model implicitly assumes this (its 32-way
+	// Llama configurations shard 8 KV heads); real Megatron-style
+	// deployments instead replicate KV heads, which IdealKV=false models.
+	IdealKV bool
+}
+
+// Validate reports the first inconsistency between the shard and the
+// architecture, or nil. A TP degree is legal when it divides the query
+// heads and is compatible with the KV heads: fewer shards than KV heads
+// must divide them evenly; more shards than KV heads must be a multiple
+// (each KV head is then replicated, the standard Megatron fallback the
+// paper's 32-GPU Llama configurations require).
+func (s Shard) Validate(t Transformer) error {
+	switch {
+	case s.TP <= 0:
+		return fmt.Errorf("model: non-positive TP degree %d", s.TP)
+	case s.Batch <= 0:
+		return fmt.Errorf("model: non-positive batch %d", s.Batch)
+	case s.SeqIn <= 0:
+		return fmt.Errorf("model: non-positive SeqIn %d", s.SeqIn)
+	case s.KVLen < s.SeqIn:
+		return fmt.Errorf("model: KVLen %d < SeqIn %d", s.KVLen, s.SeqIn)
+	case t.Heads%s.TP != 0:
+		return fmt.Errorf("model: TP %d does not divide %d heads", s.TP, t.Heads)
+	}
+	if s.TP <= t.KVHeads {
+		if t.KVHeads%s.TP != 0 {
+			return fmt.Errorf("model: TP %d does not divide %d KV heads", s.TP, t.KVHeads)
+		}
+	} else if s.TP%t.KVHeads != 0 {
+		return fmt.Errorf("model: TP %d not a multiple of %d KV heads", s.TP, t.KVHeads)
+	}
+	return nil
+}
+
+// KVHeadsPerShard returns how many KV heads each shard stores under
+// replication semantics: the even split when TP ≤ KVHeads, otherwise 1
+// (replicated).
+func (s Shard) KVHeadsPerShard(t Transformer) int {
+	if s.TP <= t.KVHeads {
+		return t.KVHeads / s.TP
+	}
+	return 1
+}
+
+// kvHeadsPerShardF returns the (possibly fractional) per-shard KV-head
+// count the cost model uses: KVHeads/TP under IdealKV, replication-aware
+// otherwise.
+func (s Shard) kvHeadsPerShardF(t Transformer) float64 {
+	if s.IdealKV {
+		return float64(t.KVHeads) / float64(s.TP)
+	}
+	return float64(s.KVHeadsPerShard(t))
+}
+
+// KVReplication returns the factor by which KV storage is inflated by
+// replication: TP/KVHeads when TP exceeds KVHeads (and IdealKV is off),
+// else 1.
+func (s Shard) KVReplication(t Transformer) float64 {
+	if !s.IdealKV && s.TP > t.KVHeads {
+		return float64(s.TP) / float64(t.KVHeads)
+	}
+	return 1
+}
+
+// Stage is the per-GPU cost of one compute stage: floating-point work,
+// HBM traffic, and the payload of the tensor-parallel all-reduce that
+// follows the stage (zero when none does). The roofline engine turns
+// these into time against a device's ceilings.
+type Stage struct {
+	Name      string
+	FLOPs     units.FLOPs
+	MemBytes  units.Bytes
+	AllReduce units.Bytes // full tensor payload; 0 when no collective follows
+}
+
+// effAttend returns the average number of context positions each query
+// token attends to. Causal prefill of S new tokens over a KV window of L
+// has token i attending L−S+i+1 positions; the mean is L − (S−1)/2.
+func (s Shard) effAttend() float64 {
+	l := float64(s.KVLen)
+	if !s.Causal {
+		return l
+	}
+	return l - (float64(s.SeqIn)-1)/2
+}
+
+// LayerStages returns the per-GPU costs of one transformer layer under
+// the shard: QKV projection, fused attention, output projection, and MLP
+// — the stage list the paper's methodology names ("projection, MLP, and
+// fused FlashAttention").
+func (t Transformer) LayerStages(s Shard) ([]Stage, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(t); err != nil {
+		return nil, err
+	}
+	g := float64(s.TP)
+	b := float64(s.Batch)
+	sq := float64(s.SeqIn)
+	d := float64(t.DModel)
+	hd := float64(t.HeadDim)
+	heads := float64(t.Heads)
+	kvShard := s.kvHeadsPerShardF(t)
+	wB := float64(s.Prec.Weight)
+	kB := float64(s.Prec.KV)
+	aB := float64(s.Prec.Activation)
+	tokens := b * sq // tokens in this pass
+
+	// QKV projection. Q is column-parallel over query heads (perfect /g
+	// split); K and V are computed per stored KV head, so replication
+	// shows up as extra per-shard work and weights.
+	qFLOPs := 2 * tokens * d * d / g
+	kvFLOPs := 2 * tokens * d * (2 * kvShard * hd)
+	qkv := Stage{
+		Name:  "qkv",
+		FLOPs: units.FLOPs(qFLOPs + kvFLOPs),
+		MemBytes: units.Bytes(
+			(d*d/g+2*d*kvShard*hd)*wB + // weights
+				tokens*d*aB + // full input activations per shard
+				tokens*(d/g+2*kvShard*hd)*aB + // Q/K/V outputs
+				tokens*2*kvShard*hd*kB), // KV-cache append
+	}
+
+	// Fused attention (FlashAttention): QKᵀ and PV, reading the KV cache
+	// once. No S×L intermediate traffic — that is what fusion buys.
+	att := float64(s.effAttend())
+	attn := Stage{
+		Name:  "attention",
+		FLOPs: units.FLOPs(4 * b * sq * att * hd * heads / g),
+		MemBytes: units.Bytes(
+			b*att*2*kvShard*hd*kB + // KV cache read
+				tokens*(d/g)*aB*2), // Q read + O write
+	}
+
+	// Output projection, row-parallel, followed by all-reduce #1.
+	proj := Stage{
+		Name:  "proj",
+		FLOPs: units.FLOPs(2 * tokens * d * d / g),
+		MemBytes: units.Bytes(
+			d*d/g*wB +
+				tokens*(d/g)*aB + // sharded input
+				tokens*d*aB), // full output (post-reduce operand)
+		AllReduce: units.Bytes(tokens * d * aB),
+	}
+
+	// MLP (UpProjections input matrices + down projection), followed by
+	// all-reduce #2.
+	upMats := float64(t.UpProjections)
+	ffn := float64(t.FFNDim)
+	mlp := Stage{
+		Name:  "mlp",
+		FLOPs: units.FLOPs(2 * tokens * d * ffn * (upMats + 1) / g),
+		MemBytes: units.Bytes(
+			(upMats+1)*d*ffn/g*wB +
+				tokens*d*aB + // input
+				2*tokens*ffn/g*aB + // intermediate write+read
+				tokens*d*aB), // output
+		AllReduce: units.Bytes(tokens * d * aB),
+	}
+
+	return []Stage{qkv, attn, proj, mlp}, nil
+}
+
+// LMHead returns the per-GPU cost of the final vocabulary projection.
+// Both prefill and decode need logits for exactly one position per
+// request. The vocab-parallel all-gather of logits is tiny relative to
+// the matmul and is omitted (documented simplification).
+func (t Transformer) LMHead(s Shard) Stage {
+	g := float64(s.TP)
+	b := float64(s.Batch)
+	d := float64(t.DModel)
+	v := float64(t.Vocab)
+	return Stage{
+		Name:  "lmhead",
+		FLOPs: units.FLOPs(2 * b * d * v / g),
+		MemBytes: units.Bytes(
+			d*v/g*float64(s.Prec.Weight) +
+				b*(d+v/g)*float64(s.Prec.Activation)),
+	}
+}
+
+// ShardWeightBytes returns the per-GPU weight footprint under the shard,
+// including the KV-projection replication overhead when TP > KVHeads.
+func (t Transformer) ShardWeightBytes(s Shard) units.Bytes {
+	g := float64(s.TP)
+	wB := float64(s.Prec.Weight)
+	d := float64(t.DModel)
+	hd := float64(t.HeadDim)
+	kvShard := s.kvHeadsPerShardF(t)
+	perLayer := d*d/g + // Q
+		d*d/g + // O
+		2*d*kvShard*hd + // K, V (replication-aware)
+		(float64(t.UpProjections)+1)*d*float64(t.FFNDim)/g
+	return units.Bytes((float64(t.Layers)*perLayer + t.EmbeddingParams()/g) * wB)
+}
+
+// ShardKVBytesPerToken returns the per-GPU KV-cache bytes appended per
+// token of one request under the shard.
+func (t Transformer) ShardKVBytesPerToken(s Shard) units.Bytes {
+	return units.Bytes(float64(t.Layers) * 2 * s.kvHeadsPerShardF(t) *
+		float64(t.HeadDim) * float64(s.Prec.KV))
+}
+
+// FLOPsPerToken returns the classic ≈2·params estimate of forward-pass
+// work per token (matmuls only, no attention context term), used for
+// sanity checks against the stage accounting.
+func (t Transformer) FLOPsPerToken() units.FLOPs {
+	perLayer := t.AttentionParamsPerLayer() + t.MLPParamsPerLayer()
+	return units.FLOPs(2 * float64(t.Layers) * perLayer)
+}

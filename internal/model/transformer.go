@@ -1,0 +1,183 @@
+// Package model describes transformer LLM architectures and accounts for
+// the compute (FLOPs), memory traffic (bytes), and collective-communication
+// payloads of running them — per stage, per layer, under tensor
+// parallelism — exactly the quantities the paper's roofline study feeds
+// into its performance model ("We model important metrics including FLOPS,
+// memory accesses, and the network traffic of collectives").
+package model
+
+import (
+	"fmt"
+
+	"litegpu/internal/units"
+)
+
+// Transformer is a decoder-only transformer architecture. Only the
+// dimensions that drive FLOP/byte accounting appear; layer norms, biases,
+// and rotary embeddings contribute <0.1% of both and are deliberately
+// omitted (documented model simplification).
+type Transformer struct {
+	Name    string
+	Layers  int
+	DModel  int // hidden size
+	Heads   int // query heads
+	KVHeads int // key/value heads (== Heads for MHA, fewer for GQA)
+	HeadDim int // per-head dimension; Heads·HeadDim == DModel for these models
+	FFNDim  int // MLP intermediate size
+
+	// UpProjections is the number of input-side MLP matrices: 1 for
+	// classic GELU MLPs (GPT-3), 2 for gated SwiGLU (Llama). The output
+	// projection adds one more matrix in both cases.
+	UpProjections int
+
+	Vocab int
+
+	// TiedEmbeddings marks models that share the input embedding and
+	// output head matrices (GPT-3 does; Llama 3 does not).
+	TiedEmbeddings bool
+}
+
+// Validate reports the first structural inconsistency, or nil.
+func (t Transformer) Validate() error {
+	switch {
+	case t.Name == "":
+		return fmt.Errorf("model: empty name")
+	case t.Layers <= 0, t.DModel <= 0, t.Heads <= 0, t.KVHeads <= 0,
+		t.HeadDim <= 0, t.FFNDim <= 0, t.Vocab <= 0:
+		return fmt.Errorf("model: %s: non-positive dimension", t.Name)
+	case t.UpProjections < 1 || t.UpProjections > 2:
+		return fmt.Errorf("model: %s: UpProjections must be 1 or 2", t.Name)
+	case t.Heads%t.KVHeads != 0:
+		return fmt.Errorf("model: %s: heads (%d) not a multiple of KV heads (%d)",
+			t.Name, t.Heads, t.KVHeads)
+	case t.Heads*t.HeadDim != t.DModel:
+		return fmt.Errorf("model: %s: heads×headDim (%d) ≠ dModel (%d)",
+			t.Name, t.Heads*t.HeadDim, t.DModel)
+	}
+	return nil
+}
+
+// AttentionParamsPerLayer returns the parameter count of one layer's
+// attention block: Q and output projections (d×d each) plus K and V
+// projections (d×kvHeads·headDim each).
+func (t Transformer) AttentionParamsPerLayer() float64 {
+	d := float64(t.DModel)
+	kv := float64(t.KVHeads * t.HeadDim)
+	return d*d + d*d + 2*d*kv
+}
+
+// MLPParamsPerLayer returns the parameter count of one layer's MLP:
+// UpProjections input matrices plus one down projection.
+func (t Transformer) MLPParamsPerLayer() float64 {
+	return float64(t.UpProjections+1) * float64(t.DModel) * float64(t.FFNDim)
+}
+
+// EmbeddingParams returns the parameter count of the embedding table(s):
+// one vocab×d matrix, or two when input and output are untied.
+func (t Transformer) EmbeddingParams() float64 {
+	n := float64(t.Vocab) * float64(t.DModel)
+	if t.TiedEmbeddings {
+		return n
+	}
+	return 2 * n
+}
+
+// Params returns the total parameter count.
+func (t Transformer) Params() float64 {
+	perLayer := t.AttentionParamsPerLayer() + t.MLPParamsPerLayer()
+	return float64(t.Layers)*perLayer + t.EmbeddingParams()
+}
+
+// WeightBytes returns the bytes of weights at the given precision.
+func (t Transformer) WeightBytes(p Precision) units.Bytes {
+	return units.Bytes(t.Params() * float64(p.Weight))
+}
+
+// KVBytesPerToken returns the KV-cache bytes appended per generated or
+// prefilled token of one request, across all layers (K and V, all KV
+// heads), before any tensor-parallel sharding.
+func (t Transformer) KVBytesPerToken(p Precision) units.Bytes {
+	return units.Bytes(float64(t.Layers) * 2 * float64(t.KVHeads) *
+		float64(t.HeadDim) * float64(p.KV))
+}
+
+// String summarizes the architecture.
+func (t Transformer) String() string {
+	return fmt.Sprintf("%s: %d layers, d=%d, %d/%d heads, ffn=%d, %.1fB params",
+		t.Name, t.Layers, t.DModel, t.Heads, t.KVHeads, t.FFNDim, t.Params()/1e9)
+}
+
+// Precision sets the bytes per element for the three storage classes the
+// model touches. The paper's Table 1 quotes FP8 peaks, so the default is
+// one byte everywhere; switch Weight/KV/Activation to 2 for BF16 studies.
+type Precision struct {
+	Weight     int // bytes per weight parameter
+	KV         int // bytes per KV-cache element
+	Activation int // bytes per activation element (also collective payloads)
+}
+
+// FP8 is the default end-to-end 8-bit precision matching Table 1.
+func FP8() Precision { return Precision{Weight: 1, KV: 1, Activation: 1} }
+
+// BF16 is the 16-bit alternative.
+func BF16() Precision { return Precision{Weight: 2, KV: 2, Activation: 2} }
+
+// Presets --------------------------------------------------------------------
+
+// Llama3_70B returns the Llama 3 70B architecture (GQA, SwiGLU).
+func Llama3_70B() Transformer {
+	return Transformer{
+		Name: "Llama3-70B", Layers: 80, DModel: 8192,
+		Heads: 64, KVHeads: 8, HeadDim: 128,
+		FFNDim: 28672, UpProjections: 2, Vocab: 128256,
+	}
+}
+
+// GPT3_175B returns the GPT-3 175B architecture (MHA, GELU MLP, tied
+// embeddings). Its 96 KV heads give it the paper's "proportionally longer
+// memory-bound stages" in decode.
+func GPT3_175B() Transformer {
+	return Transformer{
+		Name: "GPT3-175B", Layers: 96, DModel: 12288,
+		Heads: 96, KVHeads: 96, HeadDim: 128,
+		FFNDim: 49152, UpProjections: 1, Vocab: 50257,
+		TiedEmbeddings: true,
+	}
+}
+
+// Llama3_405B returns the Llama 3.1 405B architecture (GQA, SwiGLU).
+func Llama3_405B() Transformer {
+	return Transformer{
+		Name: "Llama3-405B", Layers: 126, DModel: 16384,
+		Heads: 128, KVHeads: 8, HeadDim: 128,
+		FFNDim: 53248, UpProjections: 2, Vocab: 128256,
+	}
+}
+
+// Llama3_8B returns the Llama 3 8B architecture, used by the serving
+// examples for single-GPU and small-cluster scenarios.
+func Llama3_8B() Transformer {
+	return Transformer{
+		Name: "Llama3-8B", Layers: 32, DModel: 4096,
+		Heads: 32, KVHeads: 8, HeadDim: 128,
+		FFNDim: 14336, UpProjections: 2, Vocab: 128256,
+	}
+}
+
+// PaperModels returns the three models evaluated in Figure 3, in paper
+// order.
+func PaperModels() []Transformer {
+	return []Transformer{Llama3_70B(), GPT3_175B(), Llama3_405B()}
+}
+
+// ByName returns the preset with the given name.
+func ByName(name string) (Transformer, bool) {
+	for _, m := range []Transformer{
+		Llama3_70B(), GPT3_175B(), Llama3_405B(), Llama3_8B(),
+	} {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Transformer{}, false
+}

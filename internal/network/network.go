@@ -1,0 +1,344 @@
+// Package network models the interconnect fabrics a Lite-GPU cluster
+// could use: link technologies (copper, pluggable optics, co-packaged
+// optics), switching disciplines (electrical packet switches vs optical
+// circuit switches), and topologies (direct-connect groups, single
+// switches, two-tier leaf–spine fabrics, and flat circuit-switched
+// networks in the style of Sirius).
+//
+// It substantiates the paper's Section 3 networking claims: co-packaged
+// optics brings per-bit energy near copper levels at tens-of-meters
+// reach, and circuit switching is ≥50% more energy-efficient than packet
+// switching with lower latency and higher-radix growth.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/units"
+)
+
+// LinkTech is a physical-layer technology for GPU-to-GPU links.
+type LinkTech struct {
+	Name string
+	// EnergyPerBit is transceiver energy, in joules per bit, paid once
+	// per endpoint traversal (so twice per link: out and in).
+	EnergyPerBit float64
+	// Reach is the usable cable length.
+	Reach float64 // meters
+	// PortBW is the per-port unidirectional bandwidth.
+	PortBW units.BytesPerSec
+	// PortCost is the per-port transceiver cost.
+	PortCost units.Dollars
+}
+
+// Copper returns NVLink-class electrical signaling: cheap and efficient
+// but limited to about a rack.
+func Copper() LinkTech {
+	return LinkTech{
+		Name:         "copper",
+		EnergyPerBit: 5e-12, // ≈5 pJ/bit serdes
+		Reach:        3,
+		PortBW:       100 * units.GB,
+		PortCost:     80,
+	}
+}
+
+// PluggableOptics returns today's pluggable transceivers (800G class):
+// long reach but power-hungry, with the full electrical path between
+// ASIC and module.
+func PluggableOptics() LinkTech {
+	return LinkTech{
+		Name:         "pluggable optics",
+		EnergyPerBit: 18e-12, // ≈15 W per 800 Gb/s module
+		Reach:        500,
+		PortBW:       100 * units.GB,
+		PortCost:     600,
+	}
+}
+
+// CoPackagedOptics returns CPO as the paper anticipates it: optical
+// engines millimetres from the die, cutting the electrical path and
+// its energy, with tens-of-meters reach.
+func CoPackagedOptics() LinkTech {
+	return LinkTech{
+		Name:         "co-packaged optics",
+		EnergyPerBit: 5e-12,
+		Reach:        50,
+		PortBW:       200 * units.GB,
+		PortCost:     250,
+	}
+}
+
+// Switch is a switching element.
+type Switch struct {
+	Name string
+	// EnergyPerBit is the per-bit energy of traversing the switch
+	// (buffering, arbitration, serdes for packet switches; essentially
+	// insertion loss for optical circuit switches).
+	EnergyPerBit float64
+	// Latency is the per-traversal latency.
+	Latency units.Seconds
+	// Radix is the port count at full bandwidth.
+	Radix int
+	// Cost is the per-switch cost.
+	Cost units.Dollars
+	// Circuit marks optical circuit switches, which carry no per-packet
+	// processing but need reconfiguration to change connectivity.
+	Circuit bool
+	// ReconfigTime is the time to establish a new circuit (0 for packet
+	// switches, which forward anything immediately).
+	ReconfigTime units.Seconds
+}
+
+// PacketSwitch returns an electrical packet switch (Tomahawk-class:
+// 51.2 Tb/s, ≈550 W ⇒ ≈10 pJ/bit through the ASIC plus serdes).
+func PacketSwitch() Switch {
+	return Switch{
+		Name:         "packet switch",
+		EnergyPerBit: 12e-12,
+		Latency:      600e-9,
+		Radix:        64,
+		Cost:         8000,
+	}
+}
+
+// CircuitSwitch returns an optical circuit switch in the style the paper
+// cites (Sirius / TPUv4 OCS): passive per-bit transport, higher radix,
+// but connectivity must be scheduled.
+func CircuitSwitch() Switch {
+	return Switch{
+		Name:         "circuit switch",
+		EnergyPerBit: 1e-12,
+		Latency:      50e-9,
+		Radix:        128,
+		Cost:         5000,
+		Circuit:      true,
+		ReconfigTime: 10e-6,
+	}
+}
+
+// Topology is a network design connecting a set of GPU endpoints.
+type Topology struct {
+	Name      string
+	Endpoints int
+	Link      LinkTech
+	Switch    Switch // zero value for switchless designs
+	Switches  int
+	// Hops is the worst-case number of switch traversals between two
+	// endpoints (0 for direct connect).
+	Hops int
+	// PortsPerEndpoint is how many fabric ports each endpoint uses.
+	PortsPerEndpoint int
+	// Oversubscription is the ratio of worst-case offered load to
+	// bisection capacity (1 = non-blocking).
+	Oversubscription float64
+}
+
+// DirectConnect returns a full mesh over n endpoints — the paper's
+// "direct-connect topology within that group of Lite-GPUs" option that
+// approximates the original single-GPU locality but gives up blast-radius
+// benefits.
+func DirectConnect(n int, link LinkTech) Topology {
+	return Topology{
+		Name:             fmt.Sprintf("direct-connect(%d)", n),
+		Endpoints:        n,
+		Link:             link,
+		Hops:             0,
+		PortsPerEndpoint: n - 1,
+		Oversubscription: 1,
+	}
+}
+
+// SingleSwitch returns a star over one switch; n must not exceed the
+// switch radix.
+func SingleSwitch(n int, link LinkTech, sw Switch) Topology {
+	return Topology{
+		Name:             fmt.Sprintf("single-switch(%d)", n),
+		Endpoints:        n,
+		Link:             link,
+		Switch:           sw,
+		Switches:         1,
+		Hops:             1,
+		PortsPerEndpoint: 1,
+		Oversubscription: 1,
+	}
+}
+
+// LeafSpine returns a non-blocking two-tier fabric: leaves with half
+// their radix down, spines interconnecting every leaf.
+func LeafSpine(n int, link LinkTech, sw Switch) Topology {
+	down := sw.Radix / 2
+	if down < 1 {
+		down = 1
+	}
+	leaves := ceilDiv(n, down)
+	spines := ceilDiv(leaves*down, sw.Radix)
+	return Topology{
+		Name:             fmt.Sprintf("leaf-spine(%d)", n),
+		Endpoints:        n,
+		Link:             link,
+		Switch:           sw,
+		Switches:         leaves + spines,
+		Hops:             3, // leaf → spine → leaf
+		PortsPerEndpoint: 1,
+		Oversubscription: 1,
+	}
+}
+
+// Clos returns a folded-Clos (fat-tree) fabric with the minimum tier
+// count that reaches n endpoints non-blocking on the switch radix:
+// tiers T satisfy n ≤ radix·(radix/2)^(T−1). Ports and switch boxes both
+// scale with (2T−1), which is where the paper's warning — networking
+// cost growing into a bottleneck with scale — comes from.
+func Clos(n int, link LinkTech, sw Switch) Topology {
+	r := sw.Radix
+	if r < 2 {
+		r = 2
+	}
+	tiers := 1
+	reach := float64(r)
+	for reach < float64(n) && tiers < 8 {
+		tiers++
+		reach *= float64(r) / 2
+	}
+	stageFactor := 2*tiers - 1
+	return Topology{
+		Name:             fmt.Sprintf("clos-%dt(%d)", tiers, n),
+		Endpoints:        n,
+		Link:             link,
+		Switch:           sw,
+		Switches:         ceilDiv(n, r) * stageFactor,
+		Hops:             stageFactor,
+		PortsPerEndpoint: stageFactor, // fabric transceivers per endpoint path
+		Oversubscription: 1,
+	}
+}
+
+// FlatCircuit returns a single-tier optical-circuit fabric in the style
+// of Sirius: parallel high-radix OCS planes with connectivity
+// time-multiplexed across circuits rather than packet-switched, keeping
+// every path one optical hop even past a single switch's radix.
+func FlatCircuit(n int, link LinkTech, sw Switch) Topology {
+	return Topology{
+		Name:             fmt.Sprintf("flat-circuit(%d)", n),
+		Endpoints:        n,
+		Link:             link,
+		Switch:           sw,
+		Switches:         ceilDiv(n, sw.Radix),
+		Hops:             1,
+		PortsPerEndpoint: 1,
+		Oversubscription: 1,
+	}
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// EnergyPerBit returns the end-to-end energy of moving one bit across the
+// topology's worst-case path: a transceiver at each endpoint plus every
+// switch traversal. Packet switches terminate the optical signal, so each
+// hop pays the switch ASIC energy plus an O-E-O transceiver pair; optical
+// circuit switches pass light through, paying only insertion energy —
+// the physical basis of the paper's circuit-switching efficiency claim.
+func (t Topology) EnergyPerBit() float64 {
+	// Source + destination transceivers.
+	e := 2 * t.Link.EnergyPerBit
+	perHop := t.Switch.EnergyPerBit
+	if !t.Switch.Circuit {
+		perHop += 2 * t.Link.EnergyPerBit
+	}
+	return e + float64(t.Hops)*perHop
+}
+
+// PathLatency returns the worst-case propagation-free path latency:
+// switch traversals only (cable flight time depends on layout and is the
+// same across the disciplines compared here).
+func (t Topology) PathLatency() units.Seconds {
+	return units.Seconds(float64(t.Hops) * float64(t.Switch.Latency))
+}
+
+// FabricPower returns the network power draw at the given total offered
+// traffic (sum over endpoints of injection rate).
+func (t Topology) FabricPower(traffic units.BytesPerSec) units.Watts {
+	bitsPerSec := float64(traffic) * 8
+	return units.Watts(bitsPerSec * t.EnergyPerBit())
+}
+
+// Cost returns fabric hardware cost: endpoint ports plus switch boxes
+// (switch port transceivers are folded into the per-switch cost for
+// packet/circuit boxes; direct-connect pays two ports per link).
+func (t Topology) Cost() units.Dollars {
+	ports := float64(t.Endpoints * t.PortsPerEndpoint)
+	c := ports * float64(t.Link.PortCost)
+	if t.Hops == 0 {
+		// Each mesh link terminates on two endpoints; PortsPerEndpoint
+		// already counts both ends.
+		return units.Dollars(c)
+	}
+	return units.Dollars(c + float64(t.Switches)*float64(t.Switch.Cost))
+}
+
+// BisectionBW returns the worst-case bandwidth across a bisection of the
+// fabric.
+func (t Topology) BisectionBW() units.BytesPerSec {
+	if t.Endpoints < 2 {
+		return 0
+	}
+	half := float64(t.Endpoints / 2)
+	per := float64(t.Link.PortBW) * float64(t.PortsPerEndpoint)
+	if t.Hops == 0 {
+		// Each of the n/2 endpoints has links to the other half:
+		// (n/2)·(n−n/2) links cross the cut.
+		links := half * float64(t.Endpoints-t.Endpoints/2)
+		return units.BytesPerSec(links * float64(t.Link.PortBW))
+	}
+	over := t.Oversubscription
+	if over <= 0 {
+		over = 1
+	}
+	return units.BytesPerSec(half * per / over)
+}
+
+// CircuitEnergyAdvantage returns the fractional per-bit energy saving of
+// a circuit-switched fabric over a packet-switched one at the same scale
+// and link technology — the paper's "more than 50% better energy
+// efficiency" claim (Sirius).
+func CircuitEnergyAdvantage(n int, link LinkTech) float64 {
+	pkt := FlatCircuit(n, link, PacketSwitch()) // same shape, packet boxes
+	pkt.Name = "flat-packet"
+	cir := FlatCircuit(n, link, CircuitSwitch())
+	pe := pkt.EnergyPerBit()
+	if pe <= 0 {
+		return 0
+	}
+	return 1 - cir.EnergyPerBit()/pe
+}
+
+// RequiredReach returns the cable reach a cluster of the given size
+// needs to connect every endpoint to a mid-row switch location, assuming
+// ~32 accelerators per rack and 1.2 m of row per rack — the scale
+// argument for optics once a Lite-GPU cluster outgrows a rack.
+func RequiredReach(endpoints int) float64 {
+	racks := math.Ceil(float64(endpoints) / 32)
+	if racks <= 1 {
+		return 2 // within rack
+	}
+	return racks * 1.2
+}
+
+// Feasible reports whether the link technology can physically cable the
+// topology at datacenter scale.
+func (t Topology) Feasible() bool {
+	if t.Switch.Radix > 0 && t.Switches > 0 && t.PortsPerEndpoint > 0 {
+		need := ceilDiv(t.Endpoints, t.Switches)
+		if need > t.Switch.Radix {
+			return false
+		}
+	}
+	return t.Link.Reach >= RequiredReach(t.Endpoints)
+}

@@ -1,0 +1,258 @@
+package network
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"litegpu/internal/units"
+)
+
+func TestLinkTechOrdering(t *testing.T) {
+	// Energy: copper ≈ CPO < pluggable. Reach: copper < CPO < pluggable.
+	cu, cpo, plug := Copper(), CoPackagedOptics(), PluggableOptics()
+	if cu.EnergyPerBit > plug.EnergyPerBit {
+		t.Error("copper should beat pluggable optics on energy")
+	}
+	if cpo.EnergyPerBit > plug.EnergyPerBit {
+		t.Error("CPO should beat pluggable optics on energy")
+	}
+	if !(cu.Reach < cpo.Reach && cpo.Reach < plug.Reach) {
+		t.Errorf("reach ordering wrong: %v %v %v", cu.Reach, cpo.Reach, plug.Reach)
+	}
+}
+
+func TestPaperCircuitSwitchingClaim(t *testing.T) {
+	// Section 3: circuit switching presents "more than 50% better energy
+	// efficiency" over packet switching.
+	adv := CircuitEnergyAdvantage(512, CoPackagedOptics())
+	if adv < 0.50 {
+		t.Errorf("circuit energy advantage = %.1f%%, want >50%%", adv*100)
+	}
+	if adv >= 1 {
+		t.Errorf("circuit energy advantage = %v, impossible", adv)
+	}
+}
+
+func TestCircuitSwitchLowerLatencyMoreRadix(t *testing.T) {
+	// The paper's other two circuit-switching benefits.
+	cs, ps := CircuitSwitch(), PacketSwitch()
+	if cs.Latency >= ps.Latency {
+		t.Error("circuit switch should have lower latency")
+	}
+	if cs.Radix <= ps.Radix {
+		t.Error("circuit switch should offer more ports at high bandwidth")
+	}
+}
+
+func TestDirectConnect(t *testing.T) {
+	d := DirectConnect(4, Copper())
+	if d.PortsPerEndpoint != 3 {
+		t.Errorf("quad mesh ports = %d, want 3", d.PortsPerEndpoint)
+	}
+	if d.Hops != 0 || d.Switches != 0 {
+		t.Error("direct connect should have no switches")
+	}
+	// Energy is exactly two transceivers.
+	if e := d.EnergyPerBit(); math.Abs(e-2*Copper().EnergyPerBit) > 1e-18 {
+		t.Errorf("direct energy = %v", e)
+	}
+	if d.PathLatency() != 0 {
+		t.Error("direct connect should have zero switch latency")
+	}
+}
+
+func TestSingleSwitch(t *testing.T) {
+	s := SingleSwitch(32, CoPackagedOptics(), PacketSwitch())
+	if s.Switches != 1 || s.Hops != 1 {
+		t.Errorf("single switch topology wrong: %+v", s)
+	}
+	// One switch traversal of energy plus two endpoint + two switch-side
+	// transceivers.
+	want := 4*CoPackagedOptics().EnergyPerBit + PacketSwitch().EnergyPerBit
+	if e := s.EnergyPerBit(); math.Abs(e-want) > 1e-18 {
+		t.Errorf("single-switch energy = %v, want %v", e, want)
+	}
+}
+
+func TestLeafSpine(t *testing.T) {
+	ls := LeafSpine(512, CoPackagedOptics(), PacketSwitch())
+	// 512 endpoints at 32 down-ports per leaf = 16 leaves; 512 uplinks
+	// need 8 spines of radix 64.
+	if ls.Switches != 16+8 {
+		t.Errorf("leaf-spine switches = %d, want 24", ls.Switches)
+	}
+	if ls.Hops != 3 {
+		t.Errorf("leaf-spine hops = %d, want 3", ls.Hops)
+	}
+	// More hops ⇒ more energy than single switch.
+	ss := SingleSwitch(64, CoPackagedOptics(), PacketSwitch())
+	if ls.EnergyPerBit() <= ss.EnergyPerBit() {
+		t.Error("leaf-spine should cost more energy per bit than one switch")
+	}
+}
+
+func TestFlatCircuitScalesSwitchCount(t *testing.T) {
+	fc := FlatCircuit(512, CoPackagedOptics(), CircuitSwitch())
+	if fc.Switches != 4 { // 512 / radix 128
+		t.Errorf("flat-circuit switches = %d, want 4", fc.Switches)
+	}
+	if fc.Hops != 1 {
+		t.Errorf("flat-circuit hops = %d, want 1", fc.Hops)
+	}
+}
+
+func TestFabricPower(t *testing.T) {
+	topo := SingleSwitch(32, CoPackagedOptics(), PacketSwitch())
+	// 1 TB/s of traffic at e J/bit.
+	p := topo.FabricPower(units.BytesPerSec(units.TB))
+	want := 8e12 * topo.EnergyPerBit()
+	if math.Abs(float64(p)-want) > 1e-9 {
+		t.Errorf("fabric power = %v, want %v W", p, want)
+	}
+}
+
+func TestCost(t *testing.T) {
+	d := DirectConnect(4, Copper())
+	// 4 endpoints × 3 ports × $80.
+	if c := d.Cost(); c != 960 {
+		t.Errorf("mesh cost = %v, want $960", c)
+	}
+	s := SingleSwitch(32, Copper(), PacketSwitch())
+	want := 32*80.0 + 8000
+	if c := s.Cost(); float64(c) != want {
+		t.Errorf("single-switch cost = %v, want %v", c, want)
+	}
+}
+
+func TestBisectionBW(t *testing.T) {
+	link := Copper() // 100 GB/s ports
+	// 4-node mesh: 2×2 links across the cut = 4 × 100 GB/s.
+	d := DirectConnect(4, link)
+	if bw := d.BisectionBW(); math.Abs(float64(bw)-4*100*units.GB) > 1 {
+		t.Errorf("mesh bisection = %v, want 400 GB/s", bw)
+	}
+	// Non-blocking single switch over 32: half the endpoints inject.
+	s := SingleSwitch(32, link, PacketSwitch())
+	if bw := s.BisectionBW(); math.Abs(float64(bw)-16*100*units.GB) > 1 {
+		t.Errorf("switch bisection = %v, want 1.6 TB/s", bw)
+	}
+	if bw := DirectConnect(1, link).BisectionBW(); bw != 0 {
+		t.Errorf("single-endpoint bisection = %v, want 0", bw)
+	}
+}
+
+func TestRequiredReach(t *testing.T) {
+	if r := RequiredReach(8); r != 2 {
+		t.Errorf("one-rack reach = %v, want 2", r)
+	}
+	if r := RequiredReach(512); r <= 2 {
+		t.Errorf("512-endpoint reach = %v, want multi-rack scale", r)
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	// Copper cannot cable a 1024-endpoint flat fabric.
+	big := FlatCircuit(1024, Copper(), CircuitSwitch())
+	if big.Feasible() {
+		t.Error("1024-endpoint copper fabric should be infeasible")
+	}
+	// CPO can (50 m reach).
+	bigCPO := FlatCircuit(1024, CoPackagedOptics(), CircuitSwitch())
+	if !bigCPO.Feasible() {
+		t.Error("1024-endpoint CPO fabric should be feasible")
+	}
+	// A single switch cannot serve more endpoints than its radix.
+	overloaded := SingleSwitch(256, CoPackagedOptics(), PacketSwitch())
+	if overloaded.Feasible() {
+		t.Error("256 endpoints on one radix-64 switch should be infeasible")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	if ceilDiv(10, 3) != 4 || ceilDiv(9, 3) != 3 || ceilDiv(1, 0) != 0 {
+		t.Error("ceilDiv wrong")
+	}
+}
+
+// Property: adding hops never reduces energy per bit.
+func TestEnergyMonotoneInHopsProperty(t *testing.T) {
+	f := func(rh uint8) bool {
+		h := int(rh % 8)
+		a := Topology{Link: CoPackagedOptics(), Switch: PacketSwitch(), Hops: h}
+		b := Topology{Link: CoPackagedOptics(), Switch: PacketSwitch(), Hops: h + 1}
+		return a.EnergyPerBit() <= b.EnergyPerBit()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fabric power is linear in traffic.
+func TestFabricPowerLinearProperty(t *testing.T) {
+	topo := LeafSpine(256, CoPackagedOptics(), PacketSwitch())
+	f := func(raw uint32) bool {
+		tr := units.BytesPerSec(raw)
+		p1 := topo.FabricPower(tr)
+		p2 := topo.FabricPower(2 * tr)
+		return math.Abs(2*float64(p1)-float64(p2)) <= 1e-9*math.Max(float64(p2), 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: circuit advantage holds across scales and link technologies.
+func TestCircuitAdvantageProperty(t *testing.T) {
+	links := []LinkTech{Copper(), PluggableOptics(), CoPackagedOptics()}
+	f := func(rn uint16, rl uint8) bool {
+		n := int(rn%4096) + 2
+		link := links[int(rl)%len(links)]
+		adv := CircuitEnergyAdvantage(n, link)
+		return adv > 0 && adv < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosTierScaling(t *testing.T) {
+	sw := PacketSwitch() // radix 64
+	// Within one radix: one tier, one switch stage.
+	small := Clos(64, CoPackagedOptics(), sw)
+	if small.Hops != 1 || small.PortsPerEndpoint != 1 {
+		t.Errorf("64-endpoint Clos = %+v, want single tier", small)
+	}
+	// Beyond the radix: two tiers, 3 switch stages on the path.
+	mid := Clos(2048, CoPackagedOptics(), sw)
+	if mid.Hops != 3 || mid.PortsPerEndpoint != 3 {
+		t.Errorf("2048-endpoint Clos = %+v, want 2 tiers (3 stages)", mid)
+	}
+	// Far beyond: three tiers, 5 stages.
+	big := Clos(32768, CoPackagedOptics(), sw)
+	if big.Hops != 5 {
+		t.Errorf("32768-endpoint Clos hops = %d, want 5", big.Hops)
+	}
+	// Cost per endpoint grows with tier count.
+	costPer := func(t Topology) float64 { return float64(t.Cost()) / float64(t.Endpoints) }
+	if !(costPer(small) < costPer(mid) && costPer(mid) < costPer(big)) {
+		t.Errorf("Clos cost per endpoint not growing: %v %v %v",
+			costPer(small), costPer(mid), costPer(big))
+	}
+	// Degenerate radix is clamped rather than dividing by zero.
+	weird := Clos(8, CoPackagedOptics(), Switch{Radix: 0, Cost: 1})
+	if weird.Switches <= 0 {
+		t.Errorf("zero-radix Clos = %+v", weird)
+	}
+}
+
+func TestClosEnergyExceedsFlat(t *testing.T) {
+	// A multi-tier packet Clos pays O-E-O at every stage; the flat
+	// circuit fabric does not — the combined CPO + OCS story.
+	clos := Clos(2048, CoPackagedOptics(), PacketSwitch())
+	flat := FlatCircuit(2048, CoPackagedOptics(), CircuitSwitch())
+	if clos.EnergyPerBit() <= 2*flat.EnergyPerBit() {
+		t.Errorf("Clos energy (%v) should be well above flat circuit (%v)",
+			clos.EnergyPerBit(), flat.EnergyPerBit())
+	}
+}

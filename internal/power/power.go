@@ -1,0 +1,223 @@
+// Package power models GPU package power and cooling: DVFS (dynamic
+// voltage-frequency scaling), leakage, air- vs liquid-cooling limits,
+// overclocking headroom, and cluster-level power under partial load.
+//
+// It substantiates three of the paper's arguments: (1) smaller packages
+// dissipate less total heat and can stay on air cooling with headroom to
+// overclock (the Lite+FLOPS configurations); (2) a group of Lite-GPUs can
+// be power-managed at finer granularity than one big GPU — idle members
+// can be gated entirely rather than down-clocking every SM; and (3) the
+// energy-per-area of a Lite rack drops even as device count rises.
+package power
+
+import (
+	"math"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/units"
+)
+
+// Model holds the DVFS and leakage parameters shared by the studies.
+type Model struct {
+	// DynamicFraction is the share of TDP that is activity-dependent
+	// (the rest is leakage and always-on infrastructure).
+	DynamicFraction float64
+	// MinClock is the lowest DVFS point as a fraction of base clock.
+	MinClock float64
+	// GatedWatts is the residual draw of a fully power-gated package.
+	GatedWatts units.Watts
+	// VoltageSlope relates clock to voltage: V(f)/V0 = 1 + VoltageSlope·(f−1).
+	// Dynamic power scales as f·V², leakage roughly as V.
+	VoltageSlope float64
+}
+
+// Default returns parameters representative of recent datacenter GPUs:
+// ~70% dynamic share, 40% minimum DVFS point, 10 W gated residual, and a
+// voltage curve where ±10% clock moves voltage ±~7%.
+func Default() Model {
+	return Model{
+		DynamicFraction: 0.70,
+		MinClock:        0.40,
+		GatedWatts:      10,
+		VoltageSlope:    0.7,
+	}
+}
+
+// voltage returns V(f)/V0, clamped at the retention floor.
+func (m Model) voltage(clock float64) float64 {
+	v := 1 + m.VoltageSlope*(clock-1)
+	if v < 0.6 {
+		v = 0.6
+	}
+	return v
+}
+
+// Package returns the power of one GPU package running at the given
+// relative clock (1 = base) and utilization (fraction of issue slots
+// active). Clock is clamped to [MinClock, ∞); utilization to [0, 1].
+func (m Model) Package(g hw.GPU, clock, util float64) units.Watts {
+	clock = math.Max(clock, m.MinClock)
+	util = math.Min(math.Max(util, 0), 1)
+	v := m.voltage(clock)
+	dyn := float64(g.TDP) * m.DynamicFraction * util * clock * v * v
+	static := float64(g.TDP) * (1 - m.DynamicFraction) * v
+	return units.Watts(dyn + static)
+}
+
+// Gated returns the residual power of a power-gated package.
+func (m Model) Gated() units.Watts { return m.GatedWatts }
+
+// Cooling identifies a cooling technology.
+type Cooling int
+
+// The cooling classes the paper discusses.
+const (
+	// Air is conventional forced-air heatsink cooling.
+	Air Cooling = iota
+	// Liquid is direct-to-chip liquid cooling, required by the densest
+	// packages (the paper notes liquid racks dominate B200 clusters).
+	Liquid
+)
+
+// String implements fmt.Stringer.
+func (c Cooling) String() string {
+	if c == Air {
+		return "air"
+	}
+	return "liquid"
+}
+
+// CoolingLimits bounds what a cooling class can extract from one package.
+type CoolingLimits struct {
+	// MaxPackage is the total heat a heatsink of practical size removes.
+	MaxPackage units.Watts
+	// MaxDensity is the heat flux limit in W/mm² at the die.
+	MaxDensity float64
+}
+
+// Limits returns the practical envelope of each cooling class. The
+// binding constraint for large packages is total heat through a
+// practically-sized heatsink (MaxPackage); the die-level flux limit is
+// looser because small dies spread laterally into the lid.
+func Limits(c Cooling) CoolingLimits {
+	if c == Air {
+		return CoolingLimits{MaxPackage: 350, MaxDensity: 1.3}
+	}
+	return CoolingLimits{MaxPackage: 1500, MaxDensity: 2.5}
+}
+
+// Required returns the least-capable cooling class that can hold the GPU
+// at TDP, and whether even liquid suffices.
+func Required(g hw.GPU) (Cooling, bool) {
+	for _, c := range []Cooling{Air, Liquid} {
+		lim := Limits(c)
+		if g.TDP <= lim.MaxPackage && g.PowerDensity() <= lim.MaxDensity {
+			return c, true
+		}
+	}
+	return Liquid, false
+}
+
+// OverclockHeadroom returns the maximum sustained clock factor (≥ 1 when
+// any headroom exists) the cooling class allows at full utilization,
+// found by inverting the DVFS power curve against the cooling envelope.
+func (m Model) OverclockHeadroom(g hw.GPU, c Cooling) float64 {
+	lim := Limits(c)
+	budget := math.Min(float64(lim.MaxPackage), lim.MaxDensity*float64(g.DieArea)*float64(maxInt(g.DiesPerPackage, 1)))
+	lo, hi := m.MinClock, 3.0
+	if float64(m.Package(g, hi, 1)) < budget {
+		return hi
+	}
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if float64(m.Package(g, mid, 1)) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// PartialLoad compares the paper's finer-granularity power-management
+// example: serving a load that needs only the given fraction of one big
+// GPU's compute, using (a) the big GPU down-clocked as far as the load
+// allows versus (b) `split` Lite-GPUs where the unneeded members are
+// power-gated and the rest run just fast enough.
+type PartialLoad struct {
+	BigWatts   units.Watts
+	LiteWatts  units.Watts
+	LiteActive int
+	// Saving is 1 − Lite/Big.
+	Saving float64
+}
+
+// AtLoad evaluates the comparison at the given load fraction (0–1].
+// The big GPU down-clocks as far as the DVFS floor allows and idles the
+// slack (all SMs stay powered — the paper's granularity complaint). The
+// Lite group chooses the number of active members and their uniform
+// clock that minimizes power, gating the rest entirely — "down-clocking
+// only a portion of SMs in a larger GPU", realized across packages.
+func (m Model) AtLoad(big hw.GPU, split int, load float64) PartialLoad {
+	load = math.Min(math.Max(load, 0), 1)
+	lite := big.Scale(1 / float64(split))
+
+	var r PartialLoad
+	r.BigWatts = m.deviceAtLoad(big, load)
+
+	// Lite group: best active count k; the active members share the load
+	// evenly, each carrying load·split/k of its own capacity.
+	best := float64(split) * float64(m.Gated())
+	bestK := 0
+	for k := 1; k <= split; k++ {
+		share := load * float64(split) / float64(k)
+		if share > 1 {
+			continue // k members cannot carry the load
+		}
+		w := float64(k)*float64(m.deviceAtLoad(lite, share)) +
+			float64(split-k)*float64(m.Gated())
+		if bestK == 0 || w < best {
+			best, bestK = w, k
+		}
+	}
+	if load == 0 {
+		bestK, best = 0, float64(split)*float64(m.Gated())
+	}
+	r.LiteActive = bestK
+	r.LiteWatts = units.Watts(best)
+	if r.BigWatts > 0 {
+		r.Saving = 1 - float64(r.LiteWatts)/float64(r.BigWatts)
+	}
+	return r
+}
+
+// deviceAtLoad returns the power of one device carrying the given
+// fraction of its own capacity: clocked at max(load, MinClock) and
+// utilized load/clock.
+func (m Model) deviceAtLoad(g hw.GPU, load float64) units.Watts {
+	if load <= 0 {
+		return m.Package(g, m.MinClock, 0)
+	}
+	clock := math.Max(load, m.MinClock)
+	return m.Package(g, clock, load/clock)
+}
+
+// EnergyPerArea compares rack-level heat: watts per mm² of rack-silicon
+// for n packages of the given GPU. The paper: "the number of devices per
+// area is increased, however, the energy per unit area is decreased" —
+// at package level the Lite group dissipates the same total but each
+// package is separately and easily coolable.
+func EnergyPerArea(g hw.GPU, n int) float64 {
+	area := float64(g.DieArea) * float64(maxInt(g.DiesPerPackage, 1)) * float64(n)
+	if area == 0 {
+		return 0
+	}
+	return float64(g.TDP) * float64(n) / area
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"litegpu/internal/hw"
+)
+
+func TestPackageAtBase(t *testing.T) {
+	m := Default()
+	// Full utilization at base clock = TDP.
+	p := m.Package(hw.H100(), 1, 1)
+	if math.Abs(float64(p)-700) > 1e-9 {
+		t.Errorf("H100 at base/full = %v, want 700 W", p)
+	}
+}
+
+func TestPackageIdleStatic(t *testing.T) {
+	m := Default()
+	// Zero utilization leaves only leakage at the operating voltage.
+	p := m.Package(hw.H100(), 1, 0)
+	want := 700 * (1 - m.DynamicFraction)
+	if math.Abs(float64(p)-want) > 1e-9 {
+		t.Errorf("idle power = %v, want %v", p, want)
+	}
+}
+
+func TestPackageClampsInputs(t *testing.T) {
+	m := Default()
+	// Clock below MinClock clamps; utilization above 1 clamps.
+	low := m.Package(hw.H100(), 0.01, 1)
+	atMin := m.Package(hw.H100(), m.MinClock, 1)
+	if low != atMin {
+		t.Errorf("clock clamp failed: %v vs %v", low, atMin)
+	}
+	over := m.Package(hw.H100(), 1, 5)
+	full := m.Package(hw.H100(), 1, 1)
+	if over != full {
+		t.Errorf("util clamp failed: %v vs %v", over, full)
+	}
+}
+
+func TestDownClockingSavesPower(t *testing.T) {
+	m := Default()
+	full := m.Package(hw.H100(), 1, 1)
+	half := m.Package(hw.H100(), 0.5, 1)
+	if half >= full {
+		t.Errorf("down-clock did not save power: %v vs %v", half, full)
+	}
+	// Cubic-ish: half clock should save well over the linear 50%.
+	if float64(half) > 0.55*float64(full) {
+		t.Errorf("half clock = %v, expected superlinear saving vs %v", half, full)
+	}
+}
+
+func TestCoolingRequired(t *testing.T) {
+	// H100 at 700 W exceeds the air envelope.
+	c, ok := Required(hw.H100())
+	if !ok || c != Liquid {
+		t.Errorf("H100 cooling = %v ok=%v, want liquid", c, ok)
+	}
+	// Lite at 175 W is air-coolable — a core paper claim.
+	c, ok = Required(hw.Lite())
+	if !ok || c != Air {
+		t.Errorf("Lite cooling = %v ok=%v, want air", c, ok)
+	}
+}
+
+func TestCoolingStrings(t *testing.T) {
+	if Air.String() != "air" || Liquid.String() != "liquid" {
+		t.Error("cooling strings wrong")
+	}
+}
+
+func TestOverclockHeadroomLiteVsH100(t *testing.T) {
+	m := Default()
+	// Lite on air has real overclock headroom — enough to cover the
+	// Table 1 Lite+FLOPS configuration (550/500 = 1.10×).
+	liteHead := m.OverclockHeadroom(hw.Lite(), Air)
+	if liteHead < 1.10 {
+		t.Errorf("Lite air overclock headroom = %.3f, want ≥1.10", liteHead)
+	}
+	// H100 on air cannot even hold base clock (it throttles).
+	h100Head := m.OverclockHeadroom(hw.H100(), Air)
+	if h100Head >= 1.0 {
+		t.Errorf("H100 air headroom = %.3f, expected <1 (throttling)", h100Head)
+	}
+	// Liquid buys the H100 headroom back.
+	if m.OverclockHeadroom(hw.H100(), Liquid) <= h100Head {
+		t.Error("liquid should raise H100 headroom")
+	}
+}
+
+func TestAtLoadFinerGranularityWins(t *testing.T) {
+	m := Default()
+	// At 25% load, one Lite-GPU runs at full tilt while three are gated;
+	// the H100 must keep all SMs powered. The paper's example.
+	r := m.AtLoad(hw.H100(), 4, 0.25)
+	if r.LiteActive < 1 || r.LiteActive > 3 {
+		t.Errorf("active Lite-GPUs = %d, want 1–3", r.LiteActive)
+	}
+	if r.LiteWatts >= r.BigWatts {
+		t.Errorf("Lite group (%v) should beat big GPU (%v) at 25%% load",
+			r.LiteWatts, r.BigWatts)
+	}
+	if r.Saving < 0.15 {
+		t.Errorf("saving = %.1f%%, want ≥15%%", r.Saving*100)
+	}
+	// The saving grows as load shrinks (more members gated).
+	low := m.AtLoad(hw.H100(), 4, 0.10)
+	if low.Saving <= r.Saving {
+		t.Errorf("saving at 10%% load (%.1f%%) should exceed 25%% load (%.1f%%)",
+			low.Saving*100, r.Saving*100)
+	}
+}
+
+func TestAtLoadFullLoadParity(t *testing.T) {
+	m := Default()
+	// At 100% load both run everything at base clock; the Lite group
+	// pays no penalty (same silicon, same voltage).
+	r := m.AtLoad(hw.H100(), 4, 1.0)
+	if r.LiteActive != 4 {
+		t.Errorf("active = %d, want 4", r.LiteActive)
+	}
+	rel := math.Abs(float64(r.LiteWatts)-float64(r.BigWatts)) / float64(r.BigWatts)
+	if rel > 0.01 {
+		t.Errorf("full-load parity violated: lite %v vs big %v", r.LiteWatts, r.BigWatts)
+	}
+}
+
+func TestAtLoadZero(t *testing.T) {
+	m := Default()
+	r := m.AtLoad(hw.H100(), 4, 0)
+	if r.LiteActive != 0 {
+		t.Errorf("active at zero load = %d", r.LiteActive)
+	}
+	// All gated: 4 × GatedWatts.
+	if math.Abs(float64(r.LiteWatts)-4*float64(m.GatedWatts)) > 1e-9 {
+		t.Errorf("gated group = %v, want %v", r.LiteWatts, 4*float64(m.GatedWatts))
+	}
+	if r.LiteWatts >= r.BigWatts {
+		t.Error("gated group should beat idling big GPU")
+	}
+}
+
+func TestEnergyPerArea(t *testing.T) {
+	// Same silicon, same density: per-area power is identical; the win
+	// is per-package heat.
+	h := EnergyPerArea(hw.H100(), 8)
+	l := EnergyPerArea(hw.Lite(), 32)
+	if math.Abs(h-l) > 1e-9 {
+		t.Errorf("energy/area: H100 %v vs Lite %v, want equal", h, l)
+	}
+	if EnergyPerArea(hw.GPU{}, 4) != 0 {
+		t.Error("zero-area GPU should yield 0")
+	}
+}
+
+func TestGated(t *testing.T) {
+	m := Default()
+	if m.Gated() != m.GatedWatts {
+		t.Error("Gated() mismatch")
+	}
+}
+
+// Property: package power is monotone in both clock and utilization.
+func TestPackageMonotoneProperty(t *testing.T) {
+	m := Default()
+	g := hw.H100()
+	f := func(rc1, rc2, ru1, ru2 uint8) bool {
+		c1 := float64(rc1)/255*1.5 + 0.4
+		c2 := float64(rc2)/255*1.5 + 0.4
+		u1 := float64(ru1) / 255
+		u2 := float64(ru2) / 255
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		return m.Package(g, c1, u1) <= m.Package(g, c2, u2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Lite group never burns more than the big GPU plus gating
+// residuals at any load.
+func TestAtLoadNeverMuchWorseProperty(t *testing.T) {
+	m := Default()
+	f := func(raw uint8) bool {
+		load := float64(raw) / 255
+		r := m.AtLoad(hw.H100(), 4, load)
+		slack := 4 * float64(m.GatedWatts)
+		return float64(r.LiteWatts) <= float64(r.BigWatts)+slack+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: overclock headroom grows with cooling capability.
+func TestHeadroomOrderingProperty(t *testing.T) {
+	m := Default()
+	for _, g := range []hw.GPU{hw.H100(), hw.Lite(), hw.LiteMemBW()} {
+		if m.OverclockHeadroom(g, Air) > m.OverclockHeadroom(g, Liquid) {
+			t.Errorf("%s: air headroom exceeds liquid", g.Name)
+		}
+	}
+}

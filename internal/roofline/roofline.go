@@ -1,0 +1,162 @@
+// Package roofline implements the roofline performance model (Williams,
+// Waterman, Patterson, CACM 2009) extended with a network ceiling: a
+// stage's execution time is the maximum of its compute, memory, and
+// network times when engines overlap, or their sum when they do not.
+// The paper's methodology is exactly this model: "Compute, memory I/O,
+// and network I/O can overlap within each stage."
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/units"
+)
+
+// Device is the set of ceilings a stage runs against.
+type Device struct {
+	Compute units.FLOPSRate
+	MemBW   units.BytesPerSec
+	NetBW   units.BytesPerSec
+}
+
+// Stage is one unit of work: floating-point operations, bytes moved over
+// HBM, and bytes moved over the network, plus a fixed latency term that
+// models non-overlappable costs (kernel launch, collective α terms).
+type Stage struct {
+	Name     string
+	FLOPs    units.FLOPs
+	MemBytes units.Bytes
+	NetBytes units.Bytes
+	Latency  units.Seconds
+}
+
+// Bound identifies which ceiling limits a stage.
+type Bound int
+
+// The possible limiting resources.
+const (
+	ComputeBound Bound = iota
+	MemoryBound
+	NetworkBound
+	LatencyBound
+)
+
+// String implements fmt.Stringer.
+func (b Bound) String() string {
+	switch b {
+	case ComputeBound:
+		return "compute"
+	case MemoryBound:
+		return "memory"
+	case NetworkBound:
+		return "network"
+	case LatencyBound:
+		return "latency"
+	default:
+		return fmt.Sprintf("Bound(%d)", int(b))
+	}
+}
+
+// Result is the timing verdict for one stage.
+type Result struct {
+	Stage       Stage
+	ComputeTime units.Seconds
+	MemTime     units.Seconds
+	NetTime     units.Seconds
+	Total       units.Seconds
+	Bound       Bound
+}
+
+// Run evaluates one stage on a device with full overlap: the stage takes
+// as long as its slowest engine, plus the fixed latency term.
+func Run(s Stage, d Device) Result {
+	r := Result{Stage: s}
+	r.ComputeTime = s.FLOPs.Over(d.Compute)
+	r.MemTime = s.MemBytes.Over(d.MemBW)
+	r.NetTime = s.NetBytes.Over(d.NetBW)
+	r.Total = r.ComputeTime
+	r.Bound = ComputeBound
+	if r.MemTime > r.Total {
+		r.Total = r.MemTime
+		r.Bound = MemoryBound
+	}
+	if r.NetTime > r.Total {
+		r.Total = r.NetTime
+		r.Bound = NetworkBound
+	}
+	if s.Latency > r.Total {
+		r.Bound = LatencyBound
+	}
+	r.Total += s.Latency
+	return r
+}
+
+// RunSerial evaluates one stage with no overlap: engine times add.
+// Used by ablations that quantify what overlap is worth.
+func RunSerial(s Stage, d Device) Result {
+	r := Run(s, d)
+	r.Total = r.ComputeTime + r.MemTime + r.NetTime + s.Latency
+	return r
+}
+
+// Pipeline sums per-stage results over a sequence of stages, with overlap.
+type Pipeline struct {
+	Results []Result
+	Total   units.Seconds
+}
+
+// RunAll evaluates all stages with overlap and accumulates the total.
+func RunAll(stages []Stage, d Device) Pipeline {
+	p := Pipeline{Results: make([]Result, 0, len(stages))}
+	for _, s := range stages {
+		r := Run(s, d)
+		p.Results = append(p.Results, r)
+		p.Total += r.Total
+	}
+	return p
+}
+
+// BoundShare returns the fraction of total time attributed to stages
+// limited by each resource — the bottleneck profile reported alongside
+// Figure 3 style results.
+func (p Pipeline) BoundShare() map[Bound]float64 {
+	shares := make(map[Bound]float64)
+	if p.Total <= 0 {
+		return shares
+	}
+	for _, r := range p.Results {
+		shares[r.Bound] += float64(r.Total) / float64(p.Total)
+	}
+	return shares
+}
+
+// ArithmeticIntensity returns FLOPs per HBM byte for a stage, the x-axis
+// of the classic roofline plot.
+func ArithmeticIntensity(s Stage) float64 {
+	if s.MemBytes <= 0 {
+		return math.Inf(1)
+	}
+	return float64(s.FLOPs) / float64(s.MemBytes)
+}
+
+// RidgePoint returns the arithmetic intensity at which a device moves
+// from memory-bound to compute-bound: peak FLOPS divided by memory
+// bandwidth.
+func RidgePoint(d Device) float64 {
+	if d.MemBW <= 0 {
+		return math.Inf(1)
+	}
+	return float64(d.Compute) / float64(d.MemBW)
+}
+
+// AttainableFLOPS returns the classic roofline ceiling for a kernel of
+// the given arithmetic intensity on the device:
+// min(peak, intensity × memory bandwidth).
+func AttainableFLOPS(d Device, intensity float64) units.FLOPSRate {
+	byBW := units.FLOPSRate(intensity * float64(d.MemBW))
+	if byBW < d.Compute {
+		return byBW
+	}
+	return d.Compute
+}

@@ -1,0 +1,207 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"litegpu/internal/units"
+)
+
+var h100ish = Device{
+	Compute: 2000 * units.Tera,
+	MemBW:   3352 * units.GB,
+	NetBW:   450 * units.GB,
+}
+
+func TestRunComputeBound(t *testing.T) {
+	s := Stage{Name: "gemm", FLOPs: 2000 * units.Tera, MemBytes: units.Bytes(units.GB)}
+	r := Run(s, h100ish)
+	if r.Bound != ComputeBound {
+		t.Errorf("bound = %v, want compute", r.Bound)
+	}
+	if math.Abs(float64(r.Total)-1) > 1e-9 {
+		t.Errorf("total = %v, want 1 s", r.Total)
+	}
+}
+
+func TestRunMemoryBound(t *testing.T) {
+	s := Stage{Name: "decode", FLOPs: units.FLOPs(units.Tera), MemBytes: 3352 * units.GB}
+	r := Run(s, h100ish)
+	if r.Bound != MemoryBound {
+		t.Errorf("bound = %v, want memory", r.Bound)
+	}
+	if math.Abs(float64(r.Total)-1) > 1e-9 {
+		t.Errorf("total = %v, want 1 s", r.Total)
+	}
+}
+
+func TestRunNetworkBound(t *testing.T) {
+	s := Stage{Name: "allreduce", NetBytes: 450 * units.GB}
+	r := Run(s, h100ish)
+	if r.Bound != NetworkBound {
+		t.Errorf("bound = %v, want network", r.Bound)
+	}
+	if math.Abs(float64(r.Total)-1) > 1e-9 {
+		t.Errorf("total = %v, want 1 s", r.Total)
+	}
+}
+
+func TestRunLatencyBound(t *testing.T) {
+	s := Stage{Name: "tiny", FLOPs: 1, Latency: 1}
+	r := Run(s, h100ish)
+	if r.Bound != LatencyBound {
+		t.Errorf("bound = %v, want latency", r.Bound)
+	}
+	if float64(r.Total) < 1 {
+		t.Errorf("total %v should include latency", r.Total)
+	}
+}
+
+func TestLatencyIsAdditive(t *testing.T) {
+	s := Stage{FLOPs: 2000 * units.Tera, Latency: 0.5}
+	r := Run(s, h100ish)
+	if math.Abs(float64(r.Total)-1.5) > 1e-9 {
+		t.Errorf("total = %v, want 1.5 (compute 1 + latency 0.5)", r.Total)
+	}
+}
+
+func TestRunSerialSums(t *testing.T) {
+	s := Stage{
+		FLOPs:    2000 * units.Tera, // 1 s
+		MemBytes: 3352 * units.GB,   // 1 s
+		NetBytes: 450 * units.GB,    // 1 s
+	}
+	overlap := Run(s, h100ish)
+	serial := RunSerial(s, h100ish)
+	if math.Abs(float64(overlap.Total)-1) > 1e-9 {
+		t.Errorf("overlap total = %v, want 1", overlap.Total)
+	}
+	if math.Abs(float64(serial.Total)-3) > 1e-9 {
+		t.Errorf("serial total = %v, want 3", serial.Total)
+	}
+}
+
+func TestZeroDeviceGivesInfiniteTime(t *testing.T) {
+	s := Stage{FLOPs: 1, MemBytes: 1, NetBytes: 1}
+	r := Run(s, Device{})
+	if !math.IsInf(float64(r.Total), 1) {
+		t.Errorf("total on zero device = %v, want +Inf", r.Total)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	stages := []Stage{
+		{Name: "a", FLOPs: 2000 * units.Tera},
+		{Name: "b", MemBytes: 3352 * units.GB},
+	}
+	p := RunAll(stages, h100ish)
+	if len(p.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(p.Results))
+	}
+	if math.Abs(float64(p.Total)-2) > 1e-9 {
+		t.Errorf("pipeline total = %v, want 2", p.Total)
+	}
+	shares := p.BoundShare()
+	if math.Abs(shares[ComputeBound]-0.5) > 1e-9 || math.Abs(shares[MemoryBound]-0.5) > 1e-9 {
+		t.Errorf("bound shares = %v, want 50/50", shares)
+	}
+}
+
+func TestBoundShareEmpty(t *testing.T) {
+	var p Pipeline
+	if shares := p.BoundShare(); len(shares) != 0 {
+		t.Errorf("empty pipeline shares = %v", shares)
+	}
+}
+
+func TestArithmeticIntensity(t *testing.T) {
+	s := Stage{FLOPs: 100, MemBytes: 50}
+	if ai := ArithmeticIntensity(s); ai != 2 {
+		t.Errorf("intensity = %v, want 2", ai)
+	}
+	if ai := ArithmeticIntensity(Stage{FLOPs: 1}); !math.IsInf(ai, 1) {
+		t.Errorf("intensity with no bytes = %v, want +Inf", ai)
+	}
+}
+
+func TestRidgePoint(t *testing.T) {
+	// H100: 2000e12 / 3352e9 ≈ 597 FLOP/B.
+	rp := RidgePoint(h100ish)
+	if math.Abs(rp-2000e12/3352e9) > 1e-6 {
+		t.Errorf("ridge point = %v", rp)
+	}
+	if !math.IsInf(RidgePoint(Device{Compute: 1}), 1) {
+		t.Error("ridge point with zero BW should be +Inf")
+	}
+}
+
+func TestAttainableFLOPS(t *testing.T) {
+	// Below the ridge: bandwidth-limited.
+	low := AttainableFLOPS(h100ish, 10)
+	if math.Abs(float64(low)-10*3352e9) > 1 {
+		t.Errorf("attainable at AI=10: %v", low)
+	}
+	// Above the ridge: peak.
+	high := AttainableFLOPS(h100ish, 10000)
+	if high != h100ish.Compute {
+		t.Errorf("attainable at AI=10000: %v, want peak", high)
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	for _, b := range []Bound{ComputeBound, MemoryBound, NetworkBound, LatencyBound, Bound(42)} {
+		if b.String() == "" {
+			t.Errorf("empty string for bound %d", int(b))
+		}
+	}
+}
+
+// Property: overlap total equals max of engine times plus latency.
+func TestOverlapIsMaxProperty(t *testing.T) {
+	f := func(fl, mb, nb uint32) bool {
+		s := Stage{
+			FLOPs:    units.FLOPs(fl),
+			MemBytes: units.Bytes(mb),
+			NetBytes: units.Bytes(nb),
+		}
+		r := Run(s, h100ish)
+		want := math.Max(float64(r.ComputeTime), math.Max(float64(r.MemTime), float64(r.NetTime)))
+		return math.Abs(float64(r.Total)-want) < 1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serial execution is never faster than overlapped execution.
+func TestSerialDominatesOverlapProperty(t *testing.T) {
+	f := func(fl, mb, nb uint32) bool {
+		s := Stage{
+			FLOPs:    units.FLOPs(fl),
+			MemBytes: units.Bytes(mb),
+			NetBytes: units.Bytes(nb),
+		}
+		return RunSerial(s, h100ish).Total >= Run(s, h100ish).Total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: attainable FLOPS never exceeds peak and is monotone in intensity.
+func TestAttainableFLOPSProperty(t *testing.T) {
+	f := func(ra, rb uint16) bool {
+		a := float64(ra) / 10
+		b := float64(rb) / 10
+		if a > b {
+			a, b = b, a
+		}
+		fa := AttainableFLOPS(h100ish, a)
+		fb := AttainableFLOPS(h100ish, b)
+		return fa <= fb && fb <= h100ish.Compute
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

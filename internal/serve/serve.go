@@ -1,0 +1,360 @@
+// Package serve is a discrete-event simulator of LLM serving on GPU
+// clusters, with Splitwise-style phase splitting: dedicated prefill
+// engines batch incoming prompts, dedicated decode engines run continuous
+// batching over active generations (the deployment style the paper's case
+// study assumes when it evaluates the two phases on separate clusters).
+//
+// The simulator consumes the same analytical stage model the Figure 3
+// study uses (internal/inference), so it cross-validates the roofline
+// numbers under queueing, mixed request lengths, and bursty arrivals —
+// and exposes the latency SLO attainment the closed-form search cannot
+// see.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/inference"
+	"litegpu/internal/mathx"
+	"litegpu/internal/model"
+	"litegpu/internal/trace"
+	"litegpu/internal/units"
+)
+
+// Config describes the serving deployment.
+type Config struct {
+	GPU   hw.GPU
+	Model model.Transformer
+	Opts  inference.Options
+
+	// PrefillInstances×PrefillGPUs and DecodeInstances×DecodeGPUs size
+	// the two pools (GPUs per instance is the tensor-parallel degree).
+	PrefillInstances int
+	PrefillGPUs      int
+	DecodeInstances  int
+	DecodeGPUs       int
+
+	// MaxPrefillBatch caps how many prompts one prefill pass fuses.
+	MaxPrefillBatch int
+	// MaxDecodeBatch caps continuous-batching occupancy (further capped
+	// by KV-cache capacity).
+	MaxDecodeBatch int
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c Config) Validate() error {
+	if err := c.GPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.PrefillInstances <= 0 || c.DecodeInstances <= 0:
+		return fmt.Errorf("serve: need at least one instance per pool")
+	case c.PrefillGPUs <= 0 || c.DecodeGPUs <= 0:
+		return fmt.Errorf("serve: need at least one GPU per instance")
+	case c.MaxPrefillBatch <= 0 || c.MaxDecodeBatch <= 0:
+		return fmt.Errorf("serve: batch caps must be positive")
+	}
+	return nil
+}
+
+// Metrics summarizes a simulated serving run.
+type Metrics struct {
+	Arrived   int
+	Completed int
+	// TTFT is time-to-first-token (arrival → prefill completion) over
+	// completed-prefill requests, seconds.
+	TTFT mathx.Summary
+	// TBT is the mean time-between-tokens per completed request, seconds.
+	TBT mathx.Summary
+	// E2E is arrival → last token, seconds.
+	E2E mathx.Summary
+	// TTFTAttainment and TBTAttainment are the fractions of requests
+	// meeting the paper's SLOs.
+	TTFTAttainment float64
+	TBTAttainment  float64
+	// PrefillUtilization and DecodeUtilization are busy-time fractions.
+	PrefillUtilization float64
+	DecodeUtilization  float64
+	// TokensGenerated counts decoded tokens.
+	TokensGenerated int
+}
+
+type activeReq struct {
+	req       trace.Request
+	remaining int
+	decodeAt  float64 // decode admission time
+}
+
+type prefillEngine struct {
+	freeAt float64
+	busy   float64
+	batch  []trace.Request
+}
+
+type decodeEngine struct {
+	active  []*activeReq
+	stepEnd float64 // 0 when idle
+	busy    float64
+}
+
+// Run simulates serving the request stream until the horizon. Requests
+// still in flight at the horizon are not counted as completed.
+func Run(cfg Config, reqs []trace.Request, horizon units.Seconds) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	opts := cfg.Opts
+	// Cap decode occupancy by KV capacity.
+	maxKV := inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Decode, cfg.DecodeGPUs, opts)
+	if maxKV <= 0 {
+		return Metrics{}, fmt.Errorf("serve: %s does not fit on %d×%s for decode",
+			cfg.Model.Name, cfg.DecodeGPUs, cfg.GPU.Name)
+	}
+	decodeCap := cfg.MaxDecodeBatch
+	if decodeCap > maxKV {
+		decodeCap = maxKV
+	}
+	if inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Prefill, cfg.PrefillGPUs, opts) < 1 {
+		return Metrics{}, fmt.Errorf("serve: %s does not fit on %d×%s for prefill",
+			cfg.Model.Name, cfg.PrefillGPUs, cfg.GPU.Name)
+	}
+
+	sorted := append([]trace.Request(nil), reqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+
+	prefills := make([]prefillEngine, cfg.PrefillInstances)
+	decodes := make([]decodeEngine, cfg.DecodeInstances)
+	var prefillQ, decodeQ []trace.Request
+	decodeAdmit := make(map[int]float64) // request ID → decode admission time
+
+	var (
+		m          Metrics
+		ttfts      []float64
+		tbts       []float64
+		e2es       []float64
+		ttftOK     int
+		tbtOK      int
+		arrivalIdx int
+	)
+	h := float64(horizon)
+
+	prefillTime := newPrefillTimer(cfg, opts)
+	decodeTime := newDecodeTimer(cfg, opts)
+
+	dispatchPrefill := func(now float64) {
+		for i := range prefills {
+			e := &prefills[i]
+			if e.freeAt > now || len(prefillQ) == 0 {
+				continue
+			}
+			n := cfg.MaxPrefillBatch
+			if n > len(prefillQ) {
+				n = len(prefillQ)
+			}
+			// Shrink the batch until its KV footprint fits (a batch of
+			// one always fits; Run validated that above).
+			dt := math.Inf(1)
+			for ; n >= 1; n-- {
+				if dt = prefillTime(prefillQ[:n]); !math.IsInf(dt, 1) {
+					break
+				}
+			}
+			if n < 1 {
+				continue
+			}
+			batch := prefillQ[:n]
+			prefillQ = prefillQ[n:]
+			e.batch = append([]trace.Request(nil), batch...)
+			e.freeAt = now + dt
+			e.busy += dt
+		}
+	}
+	startDecodeStep := func(now float64, e *decodeEngine) {
+		// Admit from the queue up to capacity, then step if non-empty.
+		for len(e.active) < decodeCap && len(decodeQ) > 0 {
+			r := decodeQ[0]
+			decodeQ = decodeQ[1:]
+			decodeAdmit[r.ID] = now
+			e.active = append(e.active, &activeReq{req: r, remaining: r.OutputTokens, decodeAt: now})
+		}
+		if len(e.active) == 0 {
+			e.stepEnd = 0
+			return
+		}
+		dt := decodeTime(len(e.active))
+		e.stepEnd = now + dt
+		e.busy += dt
+	}
+
+	for {
+		// Next event: arrival, prefill completion, or decode step end.
+		next := math.Inf(1)
+		if arrivalIdx < len(sorted) {
+			next = float64(sorted[arrivalIdx].Arrival)
+		}
+		for i := range prefills {
+			if len(prefills[i].batch) > 0 && prefills[i].freeAt < next {
+				next = prefills[i].freeAt
+			}
+		}
+		for i := range decodes {
+			if decodes[i].stepEnd > 0 && decodes[i].stepEnd < next {
+				next = decodes[i].stepEnd
+			}
+		}
+		if math.IsInf(next, 1) || next > h {
+			break
+		}
+		now := next
+
+		// Arrivals at `now`.
+		for arrivalIdx < len(sorted) && float64(sorted[arrivalIdx].Arrival) <= now {
+			prefillQ = append(prefillQ, sorted[arrivalIdx])
+			m.Arrived++
+			arrivalIdx++
+		}
+
+		// Prefill completions.
+		for i := range prefills {
+			e := &prefills[i]
+			if len(e.batch) == 0 || e.freeAt > now {
+				continue
+			}
+			for _, r := range e.batch {
+				ttft := now - float64(r.Arrival)
+				ttfts = append(ttfts, ttft)
+				if units.Seconds(ttft) <= pickSLO(opts.TTFTLimit, 1.0) {
+					ttftOK++
+				}
+				decodeQ = append(decodeQ, r)
+			}
+			e.batch = nil
+		}
+
+		// Decode step completions.
+		for i := range decodes {
+			e := &decodes[i]
+			if e.stepEnd == 0 || e.stepEnd > now {
+				continue
+			}
+			var still []*activeReq
+			for _, a := range e.active {
+				a.remaining--
+				m.TokensGenerated++
+				if a.remaining > 0 {
+					still = append(still, a)
+					continue
+				}
+				m.Completed++
+				dur := now - a.decodeAt
+				tbt := dur / float64(a.req.OutputTokens)
+				tbts = append(tbts, tbt)
+				if units.Seconds(tbt) <= pickSLO(opts.TBTLimit, 0.050) {
+					tbtOK++
+				}
+				e2es = append(e2es, now-float64(a.req.Arrival))
+			}
+			e.active = still
+			e.stepEnd = 0
+		}
+
+		// Dispatch work freed or newly queued.
+		dispatchPrefill(now)
+		for i := range decodes {
+			if decodes[i].stepEnd == 0 {
+				startDecodeStep(now, &decodes[i])
+			}
+		}
+	}
+
+	m.TTFT = mathx.Summarize(ttfts)
+	m.TBT = mathx.Summarize(tbts)
+	m.E2E = mathx.Summarize(e2es)
+	if len(ttfts) > 0 {
+		m.TTFTAttainment = float64(ttftOK) / float64(len(ttfts))
+	}
+	if len(tbts) > 0 {
+		m.TBTAttainment = float64(tbtOK) / float64(len(tbts))
+	}
+	var pBusy, dBusy float64
+	for i := range prefills {
+		pBusy += prefills[i].busy
+	}
+	for i := range decodes {
+		dBusy += decodes[i].busy
+	}
+	if h > 0 {
+		m.PrefillUtilization = pBusy / (h * float64(cfg.PrefillInstances))
+		m.DecodeUtilization = dBusy / (h * float64(cfg.DecodeInstances))
+	}
+	return m, nil
+}
+
+func pickSLO(v units.Seconds, def units.Seconds) units.Seconds {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// newPrefillTimer returns a memoized batch-prefill duration function.
+// Durations come from the analytical model at the batch's mean prompt
+// length (stage costs are near-linear in total tokens), quantized to
+// 64-token buckets for cache efficiency.
+func newPrefillTimer(cfg Config, opts inference.Options) func([]trace.Request) float64 {
+	type key struct{ b, lenBucket int }
+	cache := make(map[key]float64)
+	return func(batch []trace.Request) float64 {
+		if len(batch) == 0 {
+			return 0
+		}
+		var total int
+		for _, r := range batch {
+			total += r.PromptTokens
+		}
+		mean := total / len(batch)
+		if mean < 1 {
+			mean = 1
+		}
+		k := key{len(batch), (mean + 63) / 64}
+		if v, ok := cache[k]; ok {
+			return v
+		}
+		o := opts
+		o.PromptLen = k.lenBucket * 64
+		est, err := inference.Run(cfg.GPU, cfg.Model, inference.Prefill, cfg.PrefillGPUs, len(batch), o)
+		v := math.Inf(1)
+		if err == nil {
+			v = float64(est.Latency)
+		}
+		cache[k] = v
+		return v
+	}
+}
+
+// newDecodeTimer returns a memoized decode-step duration function keyed
+// by batch size, evaluated at the configured decode context length.
+func newDecodeTimer(cfg Config, opts inference.Options) func(int) float64 {
+	cache := make(map[int]float64)
+	return func(b int) float64 {
+		if b <= 0 {
+			return 0
+		}
+		if v, ok := cache[b]; ok {
+			return v
+		}
+		est, err := inference.Run(cfg.GPU, cfg.Model, inference.Decode, cfg.DecodeGPUs, b, opts)
+		v := math.Inf(1)
+		if err == nil {
+			v = float64(est.Latency)
+		}
+		cache[b] = v
+		return v
+	}
+}

@@ -1,0 +1,150 @@
+// Package straggler quantifies the synchronization penalty the paper
+// flags for more-distributed clusters: "Lite-GPUs would result in more
+// distributed systems in the datacenter... These can potentially amplify
+// issues such as synchronization and straggling GPUs."
+//
+// A tensor-parallel gang advances at the pace of its slowest member:
+// per-step time is the maximum of G draws from the per-GPU step-time
+// distribution. The expected maximum grows with G — slowly for
+// light-tailed jitter, sharply for heavy tails — which is exactly the
+// amplification at stake when one H100 gang of 8 becomes a Lite gang of
+// 32. The package provides a Monte Carlo estimator plus the closed form
+// for exponential-tailed jitter, and the mitigation analysis for
+// over-provisioning (run G+k, drop the k slowest — the paper's hot-spare
+// utilization question).
+package straggler
+
+import (
+	"math"
+	"sort"
+
+	"litegpu/internal/mathx"
+)
+
+// Jitter describes per-step per-GPU time variation: each GPU's step time
+// is Base · (1 + X) with X drawn per step.
+type Jitter struct {
+	// CV is the coefficient of variation of the per-GPU step time
+	// (production GPU kernels typically show 1–5%).
+	CV float64
+	// Tail selects the distribution shape.
+	Tail Tail
+}
+
+// Tail selects a jitter distribution.
+type Tail int
+
+// The jitter shapes studied.
+const (
+	// Gaussian is light-tailed jitter (clock/thermal noise).
+	Gaussian Tail = iota
+	// Exponential is heavier-tailed (interference, ECC retries).
+	Exponential
+	// LogNormal models occasional long stalls (page faults, thermal
+	// throttling events).
+	LogNormal
+)
+
+// String implements fmt.Stringer.
+func (t Tail) String() string {
+	switch t {
+	case Gaussian:
+		return "gaussian"
+	case Exponential:
+		return "exponential"
+	case LogNormal:
+		return "lognormal"
+	default:
+		return "unknown"
+	}
+}
+
+// draw returns one (1 + X) factor, ≥ some small positive floor.
+func (j Jitter) draw(rng *mathx.RNG) float64 {
+	var x float64
+	switch j.Tail {
+	case Gaussian:
+		x = rng.Normal(0, j.CV)
+	case Exponential:
+		// Exponential with mean CV, shifted to zero mean.
+		x = rng.Exponential(1/j.CV) - j.CV
+	case LogNormal:
+		// Lognormal with unit median scaled to the requested CV.
+		sigma := math.Sqrt(math.Log(1 + j.CV*j.CV))
+		x = rng.LogNormal(-sigma*sigma/2, sigma) - 1
+	}
+	v := 1 + x
+	if v < 0.5 {
+		v = 0.5
+	}
+	return v
+}
+
+// GangSlowdown estimates E[max of g draws] / E[one draw]: the factor by
+// which gang synchronization inflates step time over a single device,
+// by Monte Carlo with the given number of steps.
+func GangSlowdown(g int, j Jitter, steps int, seed uint64) float64 {
+	if g <= 0 || steps <= 0 {
+		return 0
+	}
+	rng := mathx.NewRNG(seed)
+	var sumMax, sumOne float64
+	for s := 0; s < steps; s++ {
+		worst := 0.0
+		for i := 0; i < g; i++ {
+			v := j.draw(rng)
+			sumOne += v
+			if v > worst {
+				worst = v
+			}
+		}
+		sumMax += worst
+	}
+	meanOne := sumOne / float64(steps*g)
+	meanMax := sumMax / float64(steps)
+	if meanOne <= 0 {
+		return 0
+	}
+	return meanMax / meanOne
+}
+
+// ExpectedMaxGaussian returns the closed-form approximation of the gang
+// slowdown under Gaussian jitter, using Blom's order-statistic formula
+// E[max of g N(0,1)] ≈ Φ⁻¹((g − 0.375)/(g + 0.25)); the slowdown is
+// 1 + CV·E[max]. Exposed for cross-checking the Monte Carlo estimator.
+func ExpectedMaxGaussian(g int, cv float64) float64 {
+	if g <= 1 {
+		return 1
+	}
+	p := (float64(g) - 0.375) / (float64(g) + 0.25)
+	z := math.Sqrt2 * math.Erfinv(2*p-1)
+	return 1 + cv*z
+}
+
+// DropSlowest estimates the slowdown when the gang runs g+k members and
+// each step waits only for the fastest g (the paper's hot-spare
+// utilization idea applied to stragglers: spare members absorb the tail).
+// Returned is E[g-th order statistic of g+k draws] / E[one draw].
+func DropSlowest(g, k int, j Jitter, steps int, seed uint64) float64 {
+	if g <= 0 || steps <= 0 || k < 0 {
+		return 0
+	}
+	rng := mathx.NewRNG(seed)
+	n := g + k
+	draws := make([]float64, n)
+	var sumKth, sumOne float64
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			draws[i] = j.draw(rng)
+			sumOne += draws[i]
+		}
+		sort.Float64s(draws)
+		sumKth += draws[g-1] // g-th smallest: the slowest member we wait for
+	}
+	meanOne := sumOne / float64(steps*n)
+	meanKth := sumKth / float64(steps)
+	if meanOne <= 0 {
+		return 0
+	}
+	return meanKth / meanOne
+}

@@ -1,0 +1,131 @@
+package straggler
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGangSlowdownGrowsWithGangSize(t *testing.T) {
+	j := Jitter{CV: 0.03, Tail: Gaussian}
+	prev := 1.0
+	for _, g := range []int{1, 2, 8, 32, 128} {
+		s := GangSlowdown(g, j, 20000, 42)
+		if s < prev-0.005 {
+			t.Errorf("slowdown at gang %d (%v) below smaller gang (%v)", g, s, prev)
+		}
+		prev = s
+	}
+	// A gang of one is (statistically) no slower than a lone GPU.
+	if one := GangSlowdown(1, j, 20000, 42); math.Abs(one-1) > 0.01 {
+		t.Errorf("gang-of-1 slowdown = %v, want ≈1", one)
+	}
+}
+
+func TestGangSlowdownMatchesGaussianAsymptotic(t *testing.T) {
+	// Monte Carlo vs the √(2 ln g) closed form at CV=3%.
+	j := Jitter{CV: 0.03, Tail: Gaussian}
+	for _, g := range []int{8, 32} {
+		mc := GangSlowdown(g, j, 50000, 7)
+		cf := ExpectedMaxGaussian(g, 0.03)
+		if math.Abs(mc-cf) > 0.01 {
+			t.Errorf("gang %d: MC %v vs closed form %v", g, mc, cf)
+		}
+	}
+}
+
+func TestHeavierTailsAmplifyMore(t *testing.T) {
+	const g = 32
+	gauss := GangSlowdown(g, Jitter{CV: 0.05, Tail: Gaussian}, 30000, 3)
+	exp := GangSlowdown(g, Jitter{CV: 0.05, Tail: Exponential}, 30000, 3)
+	logn := GangSlowdown(g, Jitter{CV: 0.05, Tail: LogNormal}, 30000, 3)
+	if exp <= gauss {
+		t.Errorf("exponential tail (%v) should amplify more than gaussian (%v)", exp, gauss)
+	}
+	if logn <= gauss {
+		t.Errorf("lognormal tail (%v) should amplify more than gaussian (%v)", logn, gauss)
+	}
+}
+
+func TestPaperAmplificationClaim(t *testing.T) {
+	// The paper: replacing an 8-GPU gang with a 32-GPU gang amplifies
+	// straggling — but the increment is modest for light-tailed jitter
+	// (√(2 ln g) growth), which is the quantitative point worth making.
+	j := Jitter{CV: 0.03, Tail: Gaussian}
+	s8 := GangSlowdown(8, j, 50000, 11)
+	s32 := GangSlowdown(32, j, 50000, 11)
+	if s32 <= s8 {
+		t.Fatalf("32-gang (%v) not slower than 8-gang (%v)", s32, s8)
+	}
+	// The amplification from 8→32 stays under 3 percentage points at 3% CV.
+	if s32-s8 > 0.03 {
+		t.Errorf("8→32 amplification = %.4f, expected < 0.03", s32-s8)
+	}
+}
+
+func TestDropSlowestRecoversSlowdown(t *testing.T) {
+	// Running spares and waiting only for the fastest g members cuts the
+	// straggler penalty — quantifying the paper's hot-spare utilization
+	// idea.
+	j := Jitter{CV: 0.05, Tail: LogNormal}
+	full := GangSlowdown(32, j, 30000, 5)
+	dropped := DropSlowest(32, 2, j, 30000, 5)
+	if dropped >= full {
+		t.Errorf("drop-2 slowdown (%v) should be below full-gang (%v)", dropped, full)
+	}
+	// No spares equals the plain gang (same estimator).
+	zero := DropSlowest(32, 0, j, 30000, 5)
+	if math.Abs(zero-full) > 0.01 {
+		t.Errorf("drop-0 (%v) should equal full gang (%v)", zero, full)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	j := Jitter{CV: 0.05, Tail: Gaussian}
+	if GangSlowdown(0, j, 100, 1) != 0 {
+		t.Error("zero gang should return 0")
+	}
+	if GangSlowdown(4, j, 0, 1) != 0 {
+		t.Error("zero steps should return 0")
+	}
+	if DropSlowest(0, 1, j, 100, 1) != 0 {
+		t.Error("zero gang drop should return 0")
+	}
+	if DropSlowest(4, -1, j, 100, 1) != 0 {
+		t.Error("negative spares should return 0")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	j := Jitter{CV: 0.04, Tail: Exponential}
+	a := GangSlowdown(16, j, 5000, 9)
+	b := GangSlowdown(16, j, 5000, 9)
+	if a != b {
+		t.Error("same seed produced different slowdowns")
+	}
+}
+
+func TestExpectedMaxGaussianEdge(t *testing.T) {
+	if ExpectedMaxGaussian(1, 0.05) != 1 {
+		t.Error("g=1 closed form should be 1")
+	}
+	if ExpectedMaxGaussian(0, 0.05) != 1 {
+		t.Error("g=0 closed form should be 1")
+	}
+}
+
+func TestTailStrings(t *testing.T) {
+	for _, tail := range []Tail{Gaussian, Exponential, LogNormal, Tail(9)} {
+		if tail.String() == "" {
+			t.Error("empty tail string")
+		}
+	}
+}
+
+func TestDrawFloor(t *testing.T) {
+	// Draws never go below the 0.5 floor even with huge CV.
+	j := Jitter{CV: 2.0, Tail: Gaussian}
+	s := GangSlowdown(4, j, 5000, 13)
+	if s <= 0 || math.IsNaN(s) {
+		t.Errorf("slowdown with huge CV = %v", s)
+	}
+}

@@ -1,0 +1,221 @@
+// Package tco models total cost of ownership for GPU clusters and the
+// paper's "primary metric for cloud operators": performance per dollar.
+//
+// Section 4 of the paper argues that even performance parity suffices
+// because Lite-GPUs manufacture cheaper — but warns that "the additional
+// cost of networking needs consideration, and while it may be initially
+// a fraction of the GPU cost, it can turn into a bottleneck with
+// increased scale." This package quantifies both sides: capex (silicon,
+// HBM, packaging, fabric) plus opex (energy) amortized over a service
+// life, divided by modeled throughput.
+package tco
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/die"
+	"litegpu/internal/hw"
+	"litegpu/internal/network"
+	"litegpu/internal/power"
+	"litegpu/internal/units"
+)
+
+// Costs parameterizes the TCO model.
+type Costs struct {
+	// Die prices compute silicon.
+	Die die.CostModel
+
+	// HBMPerGB is the memory cost per GB (stacked HBM3-class).
+	HBMPerGB units.Dollars
+
+	// BoardFixed is the per-package cost of PCB, connectors, mechanical
+	// and assembly that does not scale with the part.
+	BoardFixed units.Dollars
+
+	// BoardPerWatt prices power delivery and local cooling hardware,
+	// which scale with package TDP.
+	BoardPerWatt units.Dollars
+
+	// AirCoolingPerKW and LiquidCoolingPerKW are facility cooling capex
+	// per kW of IT load; liquid plant is several times dearer, which is
+	// part of the Lite-GPU saving (the paper: Lite racks can stay on
+	// air).
+	AirCoolingPerKW    units.Dollars
+	LiquidCoolingPerKW units.Dollars
+
+	// EnergyPerKWh is the blended datacenter electricity price.
+	EnergyPerKWh units.Dollars
+
+	// PUE is power usage effectiveness (total facility / IT power).
+	PUE float64
+
+	// LifeYears is the amortization window.
+	LifeYears float64
+
+	// UtilizationFactor is the average fraction of peak throughput a
+	// production cluster sustains.
+	UtilizationFactor float64
+}
+
+// DefaultCosts returns the calibration used by the studies: $12/GB HBM,
+// $75 + $0.30/W board and power delivery, $80/kW air and $400/kW liquid
+// cooling plant, $0.10/kWh at PUE 1.25, 4-year life, 60% sustained
+// utilization.
+func DefaultCosts() Costs {
+	return Costs{
+		Die:                die.DefaultCostModel(),
+		HBMPerGB:           12,
+		BoardFixed:         75,
+		BoardPerWatt:       0.30,
+		AirCoolingPerKW:    80,
+		LiquidCoolingPerKW: 400,
+		EnergyPerKWh:       0.10,
+		PUE:                1.25,
+		LifeYears:          4,
+		UtilizationFactor:  0.60,
+	}
+}
+
+// GPUCost returns the manufacturing cost of one packaged GPU: good die,
+// HBM stacks, board and power delivery.
+func (c Costs) GPUCost(g hw.GPU) units.Dollars {
+	dm := c.Die
+	if dm.Yield == nil {
+		dm = die.DefaultCostModel()
+	}
+	silicon := dm.GoodDieCost(g.DieArea).Total
+	if g.DiesPerPackage > 1 {
+		silicon = units.Dollars(float64(silicon) * float64(g.DiesPerPackage))
+	}
+	hbm := units.Dollars(float64(g.Capacity) / units.GB * float64(c.HBMPerGB))
+	board := c.BoardFixed + units.Dollars(float64(c.BoardPerWatt)*float64(g.TDP))
+	return silicon + hbm + board
+}
+
+// SiliconAndPackageCost returns the die + advanced-packaging + test cost
+// alone — the component the paper's "substantially lower cost" claim
+// addresses, before HBM and board parity dilute it.
+func (c Costs) SiliconAndPackageCost(g hw.GPU) units.Dollars {
+	dm := c.Die
+	if dm.Yield == nil {
+		dm = die.DefaultCostModel()
+	}
+	total := dm.GoodDieCost(g.DieArea).Total
+	if g.DiesPerPackage > 1 {
+		total = units.Dollars(float64(total) * float64(g.DiesPerPackage))
+	}
+	return total
+}
+
+// ClusterSpec describes a deployment for TCO purposes.
+type ClusterSpec struct {
+	GPU  hw.GPU
+	GPUs int
+	// Fabric connects the GPUs; its cost and energy are attributed to
+	// the cluster.
+	Fabric network.Topology
+	// Throughput is the modeled sustained output (tokens/s at peak).
+	Throughput float64
+	// NetTrafficPerGPU is the average injection rate per GPU used for
+	// fabric energy (collectives).
+	NetTrafficPerGPU units.BytesPerSec
+
+	// ScaleUpPerGPU prices a separate scale-up domain per GPU (e.g. the
+	// NVLink backplane inside an H100 node). Lite-GPU designs with one
+	// flat fabric leave it zero — collapsing the two network tiers is
+	// part of their cost story.
+	ScaleUpPerGPU units.Dollars
+}
+
+// Breakdown itemizes cluster TCO.
+type Breakdown struct {
+	GPUCapex     units.Dollars
+	FabricCapex  units.Dollars
+	CoolingCapex units.Dollars
+	EnergyOpex   units.Dollars
+	Total        units.Dollars
+	// NetworkShare is FabricCapex / (GPUCapex + FabricCapex).
+	NetworkShare float64
+	// CostPerMTokens is dollars per million output tokens over the
+	// service life at the sustained utilization factor.
+	CostPerMTokens units.Dollars
+}
+
+// TCO computes the cluster cost breakdown.
+func (c Costs) TCO(s ClusterSpec) Breakdown {
+	var b Breakdown
+	if s.GPUs > 0 {
+		b.GPUCapex = units.Dollars(float64(c.GPUCost(s.GPU)) * float64(s.GPUs))
+	}
+	b.FabricCapex = s.Fabric.Cost() +
+		units.Dollars(float64(s.ScaleUpPerGPU)*float64(s.GPUs))
+
+	// Facility cooling plant, priced by the cooling class the package
+	// needs at TDP.
+	coolRate := c.AirCoolingPerKW
+	if class, _ := power.Required(s.GPU); class == power.Liquid {
+		coolRate = c.LiquidCoolingPerKW
+	}
+	b.CoolingCapex = units.Dollars(
+		float64(s.GPU.TDP) * float64(s.GPUs) / 1000 * float64(coolRate))
+
+	// Energy: GPUs at TDP×utilization plus fabric at the offered load,
+	// times PUE, over the service life.
+	hours := c.LifeYears * 365.25 * 24
+	gpuPower := float64(s.GPU.TDP) * float64(s.GPUs) * c.UtilizationFactor
+	fabricPower := float64(s.Fabric.FabricPower(
+		units.BytesPerSec(float64(s.NetTrafficPerGPU) * float64(s.GPUs))))
+	kwh := (gpuPower + fabricPower) / 1000 * hours * c.PUE
+	b.EnergyOpex = units.Dollars(kwh * float64(c.EnergyPerKWh))
+
+	b.Total = b.GPUCapex + b.FabricCapex + b.CoolingCapex + b.EnergyOpex
+	if cap := float64(b.GPUCapex + b.FabricCapex); cap > 0 {
+		b.NetworkShare = float64(b.FabricCapex) / cap
+	}
+	if s.Throughput > 0 && c.UtilizationFactor > 0 {
+		tokens := s.Throughput * c.UtilizationFactor * hours * 3600
+		b.CostPerMTokens = units.Dollars(float64(b.Total) / tokens * 1e6)
+	} else {
+		b.CostPerMTokens = units.Dollars(math.Inf(1))
+	}
+	return b
+}
+
+// PerfPerDollar returns throughput per total dollar — the paper's
+// headline operator metric.
+func (c Costs) PerfPerDollar(s ClusterSpec) float64 {
+	b := c.TCO(s)
+	if b.Total <= 0 {
+		return 0
+	}
+	return s.Throughput / float64(b.Total)
+}
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("GPUs %v + fabric %v (%.1f%% of capex) + cooling %v + energy %v = %v (%v per Mtok)",
+		b.GPUCapex, b.FabricCapex, b.NetworkShare*100, b.CoolingCapex, b.EnergyOpex, b.Total, b.CostPerMTokens)
+}
+
+// NetworkShareSweep returns the fabric share of capex as a Lite cluster
+// scales, the paper's warning quantified: flat circuit fabric over CPO,
+// one port per GPU.
+type SharePoint struct {
+	Endpoints    int
+	NetworkShare float64
+}
+
+// NetworkShareSweep evaluates the capex share of networking at the given
+// cluster sizes for the given GPU, using a conventional folded-Clos
+// fabric whose tier count grows with scale — the paper's warning that
+// networking cost "can turn into a bottleneck with increased scale".
+func (c Costs) NetworkShareSweep(g hw.GPU, sizes []int) []SharePoint {
+	var pts []SharePoint
+	for _, n := range sizes {
+		fabric := network.Clos(n, network.CoPackagedOptics(), network.PacketSwitch())
+		b := c.TCO(ClusterSpec{GPU: g, GPUs: n, Fabric: fabric})
+		pts = append(pts, SharePoint{Endpoints: n, NetworkShare: b.NetworkShare})
+	}
+	return pts
+}

@@ -1,0 +1,219 @@
+package tco
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/network"
+	"litegpu/internal/units"
+)
+
+func TestSiliconAndPackageLiteCheaper(t *testing.T) {
+	// The paper's manufacturing claim targets die + packaging: four
+	// quarter dies must be substantially cheaper than one big die.
+	c := DefaultCosts()
+	h := float64(c.SiliconAndPackageCost(hw.H100()))
+	l := float64(c.SiliconAndPackageCost(hw.Lite()))
+	if 4*l >= h {
+		t.Fatalf("4×Lite silicon (%v) should undercut H100 silicon (%v)", 4*l, h)
+	}
+	if saving := 1 - 4*l/h; saving < 0.20 {
+		t.Errorf("silicon+package saving = %.1f%%, want ≥20%%", saving*100)
+	}
+}
+
+func TestGPUCostFullBOMNearParity(t *testing.T) {
+	// Full BOM includes HBM (identical in aggregate) and board costs, so
+	// the honest saving is smaller: 4×Lite lands at or below the H100
+	// but within a tight band — the dilution EXPERIMENTS.md reports.
+	c := DefaultCosts()
+	h := float64(c.GPUCost(hw.H100()))
+	l := 4 * float64(c.GPUCost(hw.Lite()))
+	if l >= h {
+		t.Errorf("4×Lite BOM (%v) should not exceed 1×H100 BOM (%v)", l, h)
+	}
+	if l < 0.7*h {
+		t.Errorf("4×Lite BOM (%v) implausibly cheap vs H100 (%v)", l, h)
+	}
+	// H100 lands in the publicly estimated BOM band (not sale price).
+	if h < 1500 || h > 4500 {
+		t.Errorf("H100 BOM = %v, want $1.5k–4.5k", h)
+	}
+}
+
+func TestGPUCostMultiDie(t *testing.T) {
+	c := DefaultCosts()
+	single := hw.H100()
+	dual := single
+	dual.DiesPerPackage = 2
+	if c.GPUCost(dual) <= c.GPUCost(single) {
+		t.Error("dual-die package should cost more")
+	}
+	if c.SiliconAndPackageCost(dual) <= c.SiliconAndPackageCost(single) {
+		t.Error("dual-die silicon should cost more")
+	}
+}
+
+func TestGPUCostNilYieldGuard(t *testing.T) {
+	var c Costs // zero value: no yield model set
+	if v := c.GPUCost(hw.H100()); v <= 0 || math.IsInf(float64(v), 0) {
+		t.Errorf("zero-value Costs GPUCost = %v", v)
+	}
+}
+
+func TestTCOBreakdownAddsUp(t *testing.T) {
+	c := DefaultCosts()
+	fabric := network.FlatCircuit(32, network.CoPackagedOptics(), network.CircuitSwitch())
+	b := c.TCO(ClusterSpec{
+		GPU:              hw.Lite(),
+		GPUs:             32,
+		Fabric:           fabric,
+		Throughput:       50000,
+		NetTrafficPerGPU: 50 * units.GB,
+	})
+	if b.Total != b.GPUCapex+b.FabricCapex+b.CoolingCapex+b.EnergyOpex {
+		t.Errorf("total %v ≠ sum of parts", b.Total)
+	}
+	if b.NetworkShare <= 0 || b.NetworkShare >= 1 {
+		t.Errorf("network share = %v", b.NetworkShare)
+	}
+	if math.IsInf(float64(b.CostPerMTokens), 0) || b.CostPerMTokens <= 0 {
+		t.Errorf("cost per Mtok = %v", b.CostPerMTokens)
+	}
+	if b.String() == "" {
+		t.Error("empty breakdown string")
+	}
+}
+
+func TestCoolingCapexClassMatters(t *testing.T) {
+	c := DefaultCosts()
+	// H100 (liquid) pays the liquid rate; Lite (air) pays the air rate —
+	// at equal total TDP the H100 cluster's cooling plant costs 5× more.
+	h := c.TCO(ClusterSpec{GPU: hw.H100(), GPUs: 8})
+	l := c.TCO(ClusterSpec{GPU: hw.Lite(), GPUs: 32})
+	if h.CoolingCapex <= l.CoolingCapex {
+		t.Errorf("H100 cooling capex (%v) should exceed Lite (%v)", h.CoolingCapex, l.CoolingCapex)
+	}
+	ratio := float64(h.CoolingCapex) / float64(l.CoolingCapex)
+	if math.Abs(ratio-5) > 1e-9 {
+		t.Errorf("cooling capex ratio = %v, want 5 (rate ratio at equal TDP)", ratio)
+	}
+}
+
+func TestTCOZeroThroughput(t *testing.T) {
+	c := DefaultCosts()
+	b := c.TCO(ClusterSpec{GPU: hw.Lite(), GPUs: 4})
+	if !math.IsInf(float64(b.CostPerMTokens), 1) {
+		t.Errorf("cost per Mtok with zero throughput = %v, want +Inf", b.CostPerMTokens)
+	}
+}
+
+func TestPaperPerfPerDollarClaim(t *testing.T) {
+	// Section 4: "even matching performance of today's clusters may lead
+	// to sufficient improvement in performance per cost." Equal
+	// throughput, equal aggregate silicon, fair fabrics for each scale:
+	// the Lite cluster must win perf/$ — via cheaper dies, air cooling,
+	// and the cheaper circuit fabric.
+	c := DefaultCosts()
+	const tokens = 800000.0
+	// H100: NVLink copper backplane per 8-GPU node (7 mesh ports/GPU)
+	// plus a pluggable-optics Clos across nodes. Lite: one flat CPO
+	// circuit fabric covering both roles.
+	nvlinkPerGPU := units.Dollars(7 * float64(network.Copper().PortCost))
+	h100 := ClusterSpec{
+		GPU:              hw.H100(),
+		GPUs:             64,
+		Fabric:           network.Clos(64, network.PluggableOptics(), network.PacketSwitch()),
+		ScaleUpPerGPU:    nvlinkPerGPU,
+		Throughput:       tokens,
+		NetTrafficPerGPU: 100 * units.GB,
+	}
+	lite := ClusterSpec{
+		GPU:              hw.Lite(),
+		GPUs:             256,
+		Fabric:           network.FlatCircuit(256, network.CoPackagedOptics(), network.CircuitSwitch()),
+		Throughput:       tokens,
+		NetTrafficPerGPU: 50 * units.GB,
+	}
+	ph := c.PerfPerDollar(h100)
+	pl := c.PerfPerDollar(lite)
+	if pl <= ph {
+		t.Fatalf("Lite perf/$ (%v) should beat H100 (%v)", pl, ph)
+	}
+	if adv := pl / ph; adv < 1.05 || adv > 2.0 {
+		t.Errorf("Lite perf/$ advantage = %.2f×, want a plausible 1.05–2×", adv)
+	}
+}
+
+func TestNetworkShareGrowsWithScale(t *testing.T) {
+	// The paper's warning: networking "can turn into a bottleneck with
+	// increased scale". On a folded-Clos fabric the capex share is
+	// non-decreasing in cluster size (tier count steps up).
+	// Sweep from the scale where switch boxes amortize (one full radix).
+	c := DefaultCosts()
+	sizes := []int{64, 512, 8192, 65536}
+	pts := c.NetworkShareSweep(hw.Lite(), sizes)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].NetworkShare < pts[i-1].NetworkShare-1e-9 {
+			t.Errorf("network share shrank from %d to %d endpoints: %v → %v",
+				pts[i-1].Endpoints, pts[i].Endpoints,
+				pts[i-1].NetworkShare, pts[i].NetworkShare)
+		}
+	}
+	if pts[len(pts)-1].NetworkShare <= pts[0].NetworkShare+0.05 {
+		t.Errorf("share did not grow across the sweep: %v → %v",
+			pts[0].NetworkShare, pts[len(pts)-1].NetworkShare)
+	}
+	// The warning is Lite-specific: at the same scale the H100 cluster's
+	// fabric share is far smaller because its GPUs cost more.
+	h100 := c.NetworkShareSweep(hw.H100(), sizes)
+	for i := range pts {
+		if h100[i].NetworkShare >= pts[i].NetworkShare {
+			t.Errorf("at %d endpoints H100 fabric share (%v) should be below Lite's (%v)",
+				sizes[i], h100[i].NetworkShare, pts[i].NetworkShare)
+		}
+	}
+}
+
+func TestPerfPerDollarZeroTotal(t *testing.T) {
+	var c Costs
+	if p := c.PerfPerDollar(ClusterSpec{}); p != 0 {
+		t.Errorf("degenerate perf/$ = %v, want 0", p)
+	}
+}
+
+// Property: TCO is monotone in cluster size at fixed throughput.
+func TestTCOMonotoneInSizeProperty(t *testing.T) {
+	c := DefaultCosts()
+	f := func(raw uint8) bool {
+		n := int(raw%64) + 2
+		mk := func(n int) Breakdown {
+			fabric := network.FlatCircuit(n, network.CoPackagedOptics(), network.CircuitSwitch())
+			return c.TCO(ClusterSpec{GPU: hw.Lite(), GPUs: n, Fabric: fabric, Throughput: 1000})
+		}
+		return float64(mk(n).Total) <= float64(mk(n+1).Total)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: perf/$ is linear in throughput at fixed hardware.
+func TestPerfPerDollarLinearProperty(t *testing.T) {
+	c := DefaultCosts()
+	fabric := network.FlatCircuit(32, network.CoPackagedOptics(), network.CircuitSwitch())
+	f := func(raw uint16) bool {
+		tp := float64(raw) + 1
+		s1 := ClusterSpec{GPU: hw.Lite(), GPUs: 32, Fabric: fabric, Throughput: tp}
+		s2 := s1
+		s2.Throughput = 2 * tp
+		p1 := c.PerfPerDollar(s1)
+		p2 := c.PerfPerDollar(s2)
+		return math.Abs(p2-2*p1) < 1e-9*math.Max(p2, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateReproducible(t *testing.T) {
+	g := CodingWorkload(2.0, 42)
+	a, err := g.Generate(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Generate(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d requests", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestGenerateRate(t *testing.T) {
+	g := CodingWorkload(5.0, 7)
+	reqs, err := g.Generate(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(reqs, 2000)
+	if math.Abs(s.MeanRate-5.0)/5.0 > 0.05 {
+		t.Errorf("mean rate = %v, want ≈5", s.MeanRate)
+	}
+}
+
+func TestPromptMedianMatchesPaper(t *testing.T) {
+	// The paper pins the coding-workload median prompt at 1500 tokens.
+	g := CodingWorkload(10, 3)
+	reqs, err := g.Generate(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(reqs, 5000)
+	if math.Abs(s.PromptMedian-1500)/1500 > 0.05 {
+		t.Errorf("prompt median = %v, want ≈1500", s.PromptMedian)
+	}
+	// Heavy tail reaches well past the median but within the cap.
+	if s.PromptP99 < 3000 || s.PromptP99 > float64(g.MaxTokens) {
+		t.Errorf("prompt p99 = %v, want (3000, %d]", s.PromptP99, g.MaxTokens)
+	}
+}
+
+func TestArrivalsMonotone(t *testing.T) {
+	g := ConversationWorkload(3, 11)
+	reqs, err := g.Generate(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+		if reqs[i].ID != i {
+			t.Fatalf("IDs not sequential at %d", i)
+		}
+	}
+}
+
+func TestTokenBounds(t *testing.T) {
+	g := CodingWorkload(10, 5)
+	reqs, err := g.Generate(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if r.PromptTokens < 1 || r.PromptTokens > g.MaxTokens {
+			t.Fatalf("prompt tokens %d out of [1, %d]", r.PromptTokens, g.MaxTokens)
+		}
+		if r.OutputTokens < 1 || r.OutputTokens > g.MaxTokens {
+			t.Fatalf("output tokens %d out of [1, %d]", r.OutputTokens, g.MaxTokens)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Generator{
+		{},
+		{Rate: -1, PromptMedian: 100, OutputMedian: 10, MaxTokens: 100},
+		{Rate: 1, PromptMedian: 0, OutputMedian: 10, MaxTokens: 100},
+		{Rate: 1, PromptMedian: 100, OutputMedian: 10, MaxTokens: 0},
+		{Rate: 1, PromptMedian: 100, OutputMedian: 10, MaxTokens: 100, BurstFactor: 0.5},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad generator %d validated", i)
+		}
+		if _, err := g.Generate(10); err == nil {
+			t.Errorf("bad generator %d generated", i)
+		}
+	}
+	if err := CodingWorkload(1, 0).Validate(); err != nil {
+		t.Errorf("good generator rejected: %v", err)
+	}
+}
+
+func TestBurstyGeneratorProducesMoreVariance(t *testing.T) {
+	smooth := CodingWorkload(5, 9)
+	bursty := CodingWorkload(5, 9)
+	bursty.BurstFactor = 6
+	bursty.BurstFraction = 0.2
+	bursty.BurstDwell = 20
+
+	countPerBin := func(g Generator) []float64 {
+		reqs, err := g.Generate(2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bins := make([]float64, 200)
+		for _, r := range reqs {
+			idx := int(float64(r.Arrival) / 10)
+			if idx >= 0 && idx < len(bins) {
+				bins[idx]++
+			}
+		}
+		return bins
+	}
+	varOf := func(xs []float64) float64 {
+		var sum, sumSq float64
+		for _, x := range xs {
+			sum += x
+			sumSq += x * x
+		}
+		n := float64(len(xs))
+		mean := sum / n
+		return sumSq/n - mean*mean
+	}
+	if varOf(countPerBin(bursty)) <= varOf(countPerBin(smooth)) {
+		t.Error("bursty stream should have higher arrival variance")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 100)
+	if s.Requests != 0 || s.MeanRate != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeTotals(t *testing.T) {
+	reqs := []Request{
+		{PromptTokens: 100, OutputTokens: 10},
+		{PromptTokens: 200, OutputTokens: 20},
+	}
+	s := Summarize(reqs, 10)
+	if s.TotalPrompt != 300 || s.TotalOutput != 30 {
+		t.Errorf("totals = %d/%d, want 300/30", s.TotalPrompt, s.TotalOutput)
+	}
+	if s.MeanRate != 0.2 {
+		t.Errorf("rate = %v, want 0.2", s.MeanRate)
+	}
+}

@@ -1,0 +1,187 @@
+// Package training extends the paper's inference case study to the
+// training scale it gestures at ("AI clusters come at different scales
+// for training and inference, with training clusters being
+// orders-of-magnitude larger, e.g., 16,000 vs 8 GPUs for Llama 3.1
+// 405B"): a roofline model of one data-parallel × tensor-parallel
+// training step, with the gradient all-reduce partially overlapped with
+// the backward pass.
+//
+// The question it answers: when every H100 in a 16k-GPU training
+// cluster becomes four Lite-GPUs (64k GPUs), how much step time do the
+// extra tensor-parallel collectives and the wider data-parallel
+// all-reduce cost, and what does MFU look like?
+package training
+
+import (
+	"fmt"
+
+	"litegpu/internal/collective"
+	"litegpu/internal/hw"
+	"litegpu/internal/model"
+	"litegpu/internal/roofline"
+	"litegpu/internal/units"
+)
+
+// Config describes a training deployment.
+type Config struct {
+	GPU   hw.GPU
+	Model model.Transformer
+
+	// TP is the tensor-parallel degree (GPUs per model replica shard
+	// group); DP is the data-parallel replica count. Total GPUs = TP·DP.
+	TP, DP int
+
+	// MicroBatch is sequences per replica per step; SeqLen is tokens per
+	// sequence.
+	MicroBatch int
+	SeqLen     int
+
+	// Prec sets element sizes; gradients travel at GradBytes per
+	// parameter (2 for BF16/FP16 gradients, the common choice even with
+	// FP8 weights).
+	Prec      model.Precision
+	GradBytes int
+
+	// Alpha is the per-step collective latency.
+	Alpha units.Seconds
+
+	// GradOverlap is the fraction of the data-parallel gradient
+	// all-reduce hidden under the backward pass (bucketed overlap;
+	// 0 = fully exposed, 1 = fully hidden).
+	GradOverlap float64
+
+	// TPOverlap is the fraction of tensor-parallel collective time
+	// hidden under compute (sequence-parallel overlap and async
+	// collectives in modern stacks hide roughly half; the studies use
+	// 0.5). Zero means fully exposed.
+	TPOverlap float64
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c Config) Validate() error {
+	if err := c.GPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.TP <= 0 || c.DP <= 0:
+		return fmt.Errorf("training: TP and DP must be positive")
+	case c.MicroBatch <= 0 || c.SeqLen <= 0:
+		return fmt.Errorf("training: batch and sequence length must be positive")
+	case c.GradOverlap < 0 || c.GradOverlap > 1:
+		return fmt.Errorf("training: GradOverlap must be in [0,1]")
+	case c.TPOverlap < 0 || c.TPOverlap > 1:
+		return fmt.Errorf("training: TPOverlap must be in [0,1]")
+	}
+	return nil
+}
+
+// Estimate is the modeled cost of one training step.
+type Estimate struct {
+	Config Config
+
+	// StepTime is the end-to-end time of one optimizer step.
+	StepTime units.Seconds
+	// ComputeTime is the forward+backward engine time.
+	ComputeTime units.Seconds
+	// TPTime is the tensor-parallel collective time inside the step.
+	TPTime units.Seconds
+	// GradTime is the exposed (non-overlapped) data-parallel gradient
+	// all-reduce time.
+	GradTime units.Seconds
+
+	// TokensPerSec is global training throughput.
+	TokensPerSec float64
+	// PerSM is TokensPerSec per SM — the paper's efficiency metric
+	// carried over to training.
+	PerSM float64
+	// MFU is model FLOPs utilization: ideal FLOPs (6·params·tokens)
+	// over achieved FLOPs.
+	MFU float64
+}
+
+// Step models one training step. The backward pass costs twice the
+// forward pass (standard two-matmul gradient accounting), and each
+// layer's two tensor-parallel all-reduces run in both directions.
+func Step(c Config) (Estimate, error) {
+	if c.GradBytes == 0 {
+		c.GradBytes = 2
+	}
+	if c.Prec == (model.Precision{}) {
+		c.Prec = model.FP8()
+	}
+	if err := c.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	shard := model.Shard{
+		TP: c.TP, Batch: c.MicroBatch,
+		SeqIn: c.SeqLen, KVLen: c.SeqLen,
+		Causal: true, Prec: c.Prec, IdealKV: true,
+	}
+	if err := shard.Validate(c.Model); err != nil {
+		return Estimate{}, err
+	}
+	stages, err := c.Model.LayerStages(shard)
+	if err != nil {
+		return Estimate{}, err
+	}
+	device := roofline.Device{Compute: c.GPU.FLOPS, MemBW: c.GPU.MemBW, NetBW: c.GPU.NetBW}
+	link := collective.Link{Bandwidth: c.GPU.NetBW, Latency: c.Alpha}
+
+	var compute, tpTime units.Seconds
+	layers := float64(c.Model.Layers)
+	for _, st := range stages {
+		// Forward engine time (overlapped compute/memory).
+		fwd := roofline.Run(roofline.Stage{FLOPs: st.FLOPs, MemBytes: st.MemBytes}, device)
+		// Backward: 2× the matmul work and roughly 2× the traffic.
+		bwd := roofline.Run(roofline.Stage{FLOPs: 2 * st.FLOPs, MemBytes: 2 * st.MemBytes}, device)
+		compute += units.Seconds(layers * float64(fwd.Total+bwd.Total))
+		if st.AllReduce > 0 && c.TP > 1 {
+			_, t := collective.Best(collective.AllReduce, c.TP, st.AllReduce, link)
+			// Two directions (forward activations, backward grads),
+			// partially hidden under compute.
+			tpTime += units.Seconds(layers * 2 * float64(t) * (1 - c.TPOverlap))
+		}
+	}
+	head := c.Model.LMHead(shard)
+	hr := roofline.Run(roofline.Stage{FLOPs: 3 * head.FLOPs, MemBytes: 2 * head.MemBytes}, device)
+	compute += hr.Total
+
+	// Data-parallel gradient all-reduce over per-GPU shard gradients.
+	var gradExposed units.Seconds
+	if c.DP > 1 {
+		shardParams := float64(c.Model.ShardWeightBytes(shard)) / float64(c.Prec.Weight)
+		payload := units.Bytes(shardParams * float64(c.GradBytes))
+		_, t := collective.Best(collective.AllReduce, c.DP, payload, link)
+		gradExposed = units.Seconds(float64(t) * (1 - c.GradOverlap))
+	}
+
+	e := Estimate{
+		Config:      c,
+		ComputeTime: compute,
+		TPTime:      tpTime,
+		GradTime:    gradExposed,
+		StepTime:    compute + tpTime + gradExposed,
+	}
+	tokens := float64(c.DP) * float64(c.MicroBatch) * float64(c.SeqLen)
+	e.TokensPerSec = tokens * units.PerSecond(e.StepTime)
+	totalSMs := float64(c.TP*c.DP) * float64(c.GPU.SMs)
+	if totalSMs > 0 {
+		e.PerSM = e.TokensPerSec / totalSMs
+	}
+	ideal := 6 * c.Model.Params() * tokens
+	achieved := float64(c.GPU.FLOPS) * float64(c.TP*c.DP) * float64(e.StepTime)
+	if achieved > 0 {
+		e.MFU = ideal / achieved
+	}
+	return e, nil
+}
+
+// String renders the estimate.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s %s TP=%d DP=%d: step %v (compute %v, TP %v, grad %v), %.0f tok/s, MFU %.1f%%",
+		e.Config.GPU.Name, e.Config.Model.Name, e.Config.TP, e.Config.DP,
+		e.StepTime, e.ComputeTime, e.TPTime, e.GradTime, e.TokensPerSec, e.MFU*100)
+}

@@ -1,0 +1,183 @@
+package training
+
+import (
+	"math"
+	"testing"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/model"
+)
+
+func h100Cfg() Config {
+	return Config{
+		GPU:         hw.H100(),
+		Model:       model.Llama3_405B(),
+		TP:          8,
+		DP:          2048, // 16 384 GPUs — the paper's Llama 3.1 405B scale
+		MicroBatch:  1,
+		SeqLen:      4096,
+		Alpha:       1e-6,
+		GradOverlap: 0.9,
+		TPOverlap:   0.5,
+	}
+}
+
+func liteCfg() Config {
+	c := h100Cfg()
+	c.GPU = hw.Lite()
+	c.TP = 32 // 65 536 GPUs
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if err := h100Cfg().Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.GPU = hw.GPU{} },
+		func(c *Config) { c.Model = model.Transformer{} },
+		func(c *Config) { c.TP = 0 },
+		func(c *Config) { c.DP = 0 },
+		func(c *Config) { c.MicroBatch = 0 },
+		func(c *Config) { c.SeqLen = 0 },
+		func(c *Config) { c.GradOverlap = 1.5 },
+		func(c *Config) { c.TPOverlap = -0.1 },
+	}
+	for i, mutate := range bad {
+		c := h100Cfg()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestStepSanity(t *testing.T) {
+	e, err := Step(h100Cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.StepTime <= 0 {
+		t.Fatal("non-positive step time")
+	}
+	if e.StepTime != e.ComputeTime+e.TPTime+e.GradTime {
+		t.Error("step time != sum of parts")
+	}
+	// MFU in the plausible band for large-scale FP8 training.
+	if e.MFU < 0.25 || e.MFU > 0.95 {
+		t.Errorf("MFU = %v, want 25–95%%", e.MFU)
+	}
+	if e.String() == "" {
+		t.Error("empty estimate string")
+	}
+}
+
+func TestStepRejectsIllegalTP(t *testing.T) {
+	c := h100Cfg()
+	c.TP = 5
+	if _, err := Step(c); err == nil {
+		t.Error("TP=5 accepted for 128 heads")
+	}
+	var zero Config
+	if _, err := Step(zero); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestBackwardCostsTwiceForward(t *testing.T) {
+	// With TP=1 and DP=1 there are no collectives: the step is pure
+	// compute, and fwd+bwd = 3× forward FLOPs ⇒ step ≈ 3× a
+	// forward-dominated prefill at the same shape.
+	c := Config{
+		GPU: hw.H100(), Model: model.Llama3_8B(),
+		TP: 1, DP: 1, MicroBatch: 1, SeqLen: 2048,
+	}
+	e, err := Step(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TPTime != 0 || e.GradTime != 0 {
+		t.Error("collective time without parallelism")
+	}
+	// Ideal matmul time: 3× the classic 2·(non-embedding params) per
+	// token, at peak FLOPS.
+	ideal := 3 * float64(model.Llama3_8B().FLOPsPerToken()) * 2048 / 2e15
+	ratio := float64(e.StepTime) / ideal
+	if ratio < 1.0 || ratio > 1.5 {
+		t.Errorf("step/ideal ratio = %v, want 1–1.5 (memory + attention overheads)", ratio)
+	}
+}
+
+func TestLiteTrainingNearParity(t *testing.T) {
+	// The extension's headline: replacing 16k H100s with 64k Lite-GPUs
+	// costs some collective time but stays within ~25% per-SM throughput.
+	h, err := Step(h100Cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Step(liteCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := l.PerSM / h.PerSM
+	if ratio >= 1.0 {
+		t.Errorf("Lite training per-SM ratio = %v; collectives should cost something", ratio)
+	}
+	if ratio < 0.70 {
+		t.Errorf("Lite training per-SM ratio = %v; degradation implausibly large", ratio)
+	}
+}
+
+func TestGradOverlapMatters(t *testing.T) {
+	exposed := h100Cfg()
+	exposed.GradOverlap = 0
+	hidden := h100Cfg()
+	hidden.GradOverlap = 1
+	a, err := Step(exposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Step(hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StepTime <= b.StepTime {
+		t.Error("exposing the gradient all-reduce should cost step time")
+	}
+	if b.GradTime != 0 {
+		t.Error("fully hidden gradient all-reduce should cost nothing")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := h100Cfg()
+	c.Prec = model.Precision{}
+	c.GradBytes = 0
+	e, err := Step(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(float64(e.StepTime)) || e.StepTime <= 0 {
+		t.Errorf("defaults not applied: %v", e.StepTime)
+	}
+}
+
+func TestThroughputScalesWithDP(t *testing.T) {
+	small := h100Cfg()
+	small.DP = 256
+	big := h100Cfg()
+	big.DP = 512
+	a, err := Step(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Step(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling DP nearly doubles throughput (the gradient all-reduce
+	// grows only in its (n−1)/n factor).
+	if r := b.TokensPerSec / a.TokensPerSec; r < 1.8 || r > 2.05 {
+		t.Errorf("DP doubling throughput ratio = %v, want ≈2", r)
+	}
+}

@@ -1,0 +1,239 @@
+// Package units defines the physical quantities used throughout the
+// litegpu models: data sizes, rates, compute throughput, time, power,
+// energy, cost, and silicon geometry.
+//
+// All quantities are float64-based named types so that model code reads
+// unambiguously (a units.Bytes cannot be confused with a units.FLOPs)
+// while remaining zero-cost. Conversion constants follow vendor datasheet
+// convention: storage and bandwidth are decimal (1 GB = 1e9 bytes), which
+// is how GPU HBM capacity and NVLink bandwidth are quoted.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decimal (SI) size constants, the convention used by GPU datasheets.
+const (
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+	PB = 1e15
+)
+
+// Binary (IEC) size constants for contexts that need them.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+	TiB = 1 << 40
+)
+
+// SI magnitude multipliers for rates and compute throughput.
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+	Tera = 1e12
+	Peta = 1e15
+	Exa  = 1e18
+)
+
+// Bytes is a data size in bytes.
+type Bytes float64
+
+// BytesPerSec is a data rate in bytes per second.
+type BytesPerSec float64
+
+// FLOPs is an amount of floating-point work (operations, not a rate).
+type FLOPs float64
+
+// FLOPSRate is compute throughput in floating-point operations per second.
+type FLOPSRate float64
+
+// Seconds is a duration in seconds. A plain float64 representation is used
+// instead of time.Duration because model timescales span nanoseconds to
+// years and frequently appear in ratios.
+type Seconds float64
+
+// Watts is power.
+type Watts float64
+
+// Joules is energy.
+type Joules float64
+
+// Dollars is cost in US dollars.
+type Dollars float64
+
+// MM2 is silicon area in square millimetres.
+type MM2 float64
+
+// MM is a length in millimetres.
+type MM float64
+
+// Hertz is frequency.
+type Hertz float64
+
+// Common derived helpers ----------------------------------------------------
+
+// Over returns the time to move b bytes at rate r. It returns +Inf for a
+// zero or negative rate so that an absent resource naturally dominates a
+// max() roofline term, and 0 for non-positive b.
+func (b Bytes) Over(r BytesPerSec) Seconds {
+	if b <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(b) / float64(r))
+}
+
+// Over returns the time to execute f floating-point operations at rate r,
+// with the same boundary conventions as Bytes.Over.
+func (f FLOPs) Over(r FLOPSRate) Seconds {
+	if f <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(f) / float64(r))
+}
+
+// PerSecond converts a per-item duration into an items-per-second rate.
+// It returns 0 when the duration is non-positive or infinite.
+func PerSecond(d Seconds) float64 {
+	fd := float64(d)
+	if fd <= 0 || math.IsInf(fd, 0) || math.IsNaN(fd) {
+		return 0
+	}
+	return 1 / fd
+}
+
+// Energy returns the energy consumed by drawing p for d.
+func Energy(p Watts, d Seconds) Joules {
+	return Joules(float64(p) * float64(d))
+}
+
+// String renders a size with an auto-selected decimal unit, e.g. "80 GB".
+func (b Bytes) String() string { return siFormat(float64(b), "B") }
+
+// String renders a rate, e.g. "3.35 TB/s".
+func (r BytesPerSec) String() string { return siFormat(float64(r), "B/s") }
+
+// String renders work, e.g. "213 TFLOP".
+func (f FLOPs) String() string { return siFormat(float64(f), "FLOP") }
+
+// String renders compute throughput, e.g. "2 PFLOP/s".
+func (r FLOPSRate) String() string { return siFormat(float64(r), "FLOP/s") }
+
+// String renders a duration with an auto-selected sub-second unit.
+func (s Seconds) String() string {
+	v := float64(s)
+	av := math.Abs(v)
+	switch {
+	case math.IsInf(v, 0):
+		return fmt.Sprintf("%v s", v)
+	case av == 0:
+		return "0 s"
+	case av < 1e-6:
+		return trimFmt(v*1e9, "ns")
+	case av < 1e-3:
+		return trimFmt(v*1e6, "µs")
+	case av < 1:
+		return trimFmt(v*1e3, "ms")
+	case av < 120:
+		return trimFmt(v, "s")
+	case av < 7200:
+		return trimFmt(v/60, "min")
+	default:
+		return trimFmt(v/3600, "h")
+	}
+}
+
+// String renders power, e.g. "700 W" or "1.2 kW".
+func (w Watts) String() string { return siFormat(float64(w), "W") }
+
+// String renders energy, e.g. "15 J" or "3.4 kJ".
+func (j Joules) String() string { return siFormat(float64(j), "J") }
+
+// String renders a dollar amount, e.g. "$2,310.50".
+func (d Dollars) String() string {
+	v := float64(d)
+	sign := ""
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	return fmt.Sprintf("%s$%s", sign, groupThousands(v))
+}
+
+// String renders an area, e.g. "814 mm²".
+func (a MM2) String() string { return trimFmt(float64(a), "mm²") }
+
+// String renders a length, e.g. "114.1 mm".
+func (l MM) String() string { return trimFmt(float64(l), "mm") }
+
+// String renders a frequency, e.g. "1.98 GHz".
+func (h Hertz) String() string { return siFormat(float64(h), "Hz") }
+
+// siFormat renders v with the largest SI prefix that keeps the mantissa at
+// or above 1, using up to three significant decimals.
+func siFormat(v float64, unit string) string {
+	av := math.Abs(v)
+	if av == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Sprintf("%v %s", v, unit)
+	}
+	prefixes := []struct {
+		mul  float64
+		name string
+	}{
+		{Exa, "E"}, {Peta, "P"}, {Tera, "T"}, {Giga, "G"},
+		{Mega, "M"}, {Kilo, "k"}, {1, ""},
+	}
+	for _, p := range prefixes {
+		if av >= p.mul {
+			return trimFmt(v/p.mul, p.name+unit)
+		}
+	}
+	// Below 1: render small values plainly.
+	return trimFmt(v, unit)
+}
+
+// trimFmt prints v with up to 3 decimals, trimming trailing zeros.
+func trimFmt(v float64, unit string) string {
+	s := fmt.Sprintf("%.3f", v)
+	// Trim trailing zeros and a dangling decimal point.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + " " + unit
+}
+
+// groupThousands renders v with comma thousand separators and two decimals.
+func groupThousands(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	dot := len(s) - 3
+	intPart, frac := s[:dot], s[dot:]
+	if len(intPart) <= 3 {
+		return intPart + frac
+	}
+	var out []byte
+	lead := len(intPart) % 3
+	if lead > 0 {
+		out = append(out, intPart[:lead]...)
+	}
+	for i := lead; i < len(intPart); i += 3 {
+		if len(out) > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, intPart[i:i+3]...)
+	}
+	return string(out) + frac
+}

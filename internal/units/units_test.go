@@ -1,0 +1,144 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesOver(t *testing.T) {
+	tests := []struct {
+		name string
+		b    Bytes
+		r    BytesPerSec
+		want Seconds
+	}{
+		{"one GB at one GB/s", GB, GB, 1},
+		{"half rate", GB, 2 * GB, 0.5},
+		{"zero bytes", 0, GB, 0},
+		{"negative bytes", -5, GB, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.b.Over(tt.r); got != tt.want {
+				t.Errorf("Over() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBytesOverZeroRate(t *testing.T) {
+	got := Bytes(GB).Over(0)
+	if !math.IsInf(float64(got), 1) {
+		t.Errorf("Over(0) = %v, want +Inf", got)
+	}
+	got = Bytes(GB).Over(-1)
+	if !math.IsInf(float64(got), 1) {
+		t.Errorf("Over(-1) = %v, want +Inf", got)
+	}
+}
+
+func TestFLOPsOver(t *testing.T) {
+	if got := FLOPs(2 * Tera).Over(FLOPSRate(1 * Tera)); got != 2 {
+		t.Errorf("Over = %v, want 2", got)
+	}
+	if got := FLOPs(0).Over(FLOPSRate(Tera)); got != 0 {
+		t.Errorf("Over zero work = %v, want 0", got)
+	}
+	if got := FLOPs(Tera).Over(0); !math.IsInf(float64(got), 1) {
+		t.Errorf("Over zero rate = %v, want +Inf", got)
+	}
+}
+
+func TestPerSecond(t *testing.T) {
+	if got := PerSecond(0.5); got != 2 {
+		t.Errorf("PerSecond(0.5) = %v, want 2", got)
+	}
+	if got := PerSecond(0); got != 0 {
+		t.Errorf("PerSecond(0) = %v, want 0", got)
+	}
+	if got := PerSecond(Seconds(math.Inf(1))); got != 0 {
+		t.Errorf("PerSecond(Inf) = %v, want 0", got)
+	}
+	if got := PerSecond(Seconds(math.NaN())); got != 0 {
+		t.Errorf("PerSecond(NaN) = %v, want 0", got)
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	if got := Energy(700, 10); got != 7000 {
+		t.Errorf("Energy = %v, want 7000", got)
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{Bytes(80 * GB).String(), "80 GB"},
+		{Bytes(1536).String(), "1.536 kB"},
+		{BytesPerSec(3352 * GB).String(), "3.352 TB/s"},
+		{FLOPSRate(2 * Peta).String(), "2 PFLOP/s"},
+		{FLOPs(213.4 * Tera).String(), "213.4 TFLOP"},
+		{Seconds(0.0134).String(), "13.4 ms"},
+		{Seconds(42e-6).String(), "42 µs"},
+		{Seconds(3e-9).String(), "3 ns"},
+		{Seconds(0).String(), "0 s"},
+		{Seconds(90).String(), "90 s"},
+		{Seconds(600).String(), "10 min"},
+		{Seconds(7200).String(), "2 h"},
+		{Watts(700).String(), "700 W"},
+		{Watts(1200).String(), "1.2 kW"},
+		{Joules(0.5).String(), "0.5 J"},
+		{Dollars(2310.5).String(), "$2,310.50"},
+		{Dollars(-45).String(), "-$45.00"},
+		{Dollars(1234567.891).String(), "$1,234,567.89"},
+		{MM2(814).String(), "814 mm²"},
+		{Hertz(1.98 * Giga).String(), "1.98 GHz"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+// Property: Over is inverse-linear in rate — doubling the rate halves the time.
+func TestOverRateScalingProperty(t *testing.T) {
+	f := func(rawBytes uint32, rawRate uint32) bool {
+		b := Bytes(float64(rawBytes) + 1)
+		r := BytesPerSec(float64(rawRate) + 1)
+		t1 := b.Over(r)
+		t2 := b.Over(2 * r)
+		return math.Abs(float64(t1)-2*float64(t2)) <= 1e-12*math.Abs(float64(t1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Over is linear in the amount of data.
+func TestOverSizeScalingProperty(t *testing.T) {
+	f := func(rawBytes uint32, rawRate uint32) bool {
+		b := Bytes(float64(rawBytes) + 1)
+		r := BytesPerSec(float64(rawRate) + 1)
+		t1 := b.Over(r)
+		t2 := (2 * b).Over(r)
+		return math.Abs(2*float64(t1)-float64(t2)) <= 1e-12*math.Abs(float64(t2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PerSecond inverts positive finite durations.
+func TestPerSecondInverseProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		d := Seconds(float64(raw)/1e6 + 1e-9)
+		rate := PerSecond(d)
+		return math.Abs(rate*float64(d)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
