@@ -8,6 +8,7 @@
 package litegpu
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"testing"
 
 	"litegpu/internal/experiments"
+	"litegpu/internal/hw"
 	"litegpu/internal/inference"
 )
 
@@ -78,6 +80,21 @@ func BenchmarkFigure3a(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure3a(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3aSequentialBaseline runs the prefill study pinned to
+// one worker — the baseline against which BenchmarkFigure3a (which fans
+// the 12-bar grid over the sweep pool) shows its speedup. On a ≥4-core
+// machine the parallel variant is expected to run ≥2× faster; the two
+// produce byte-identical rows (see TestFigure3ParallelMatchesSequential).
+func BenchmarkFigure3aSequentialBaseline(b *testing.B) {
+	opts := inference.DefaultOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3Sequential(inference.Prefill, hw.PrefillConfigs(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -232,6 +249,100 @@ func BenchmarkServingSim(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.ServingStudy(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3bSequentialBaseline is the one-worker baseline for
+// BenchmarkFigure3b.
+func BenchmarkFigure3bSequentialBaseline(b *testing.B) {
+	opts := inference.DefaultOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3Sequential(inference.Decode, hw.DecodeConfigs(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSweepSpec is the grid the sweep benchmarks run: 6 GPU types × 1
+// model × 1 workload × 2 rates = 12 independent serving simulations.
+func benchSweepSpec(workers int) SweepSpec {
+	m, _ := ModelByName("Llama3-8B")
+	return SweepSpec{
+		Models:    []Transformer{m},
+		Workloads: []SweepWorkload{{Name: "coding", Make: CodingWorkload}},
+		Rates:     []float64{1, 4},
+		Horizon:   120,
+		Drain:     60,
+		Seed:      42,
+		Workers:   workers,
+	}
+}
+
+// BenchmarkSweepGrid measures the public serving sweep fanned over the
+// GOMAXPROCS worker pool.
+func BenchmarkSweepGrid(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells, err := Sweep(context.Background(), benchSweepSpec(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 12 {
+			b.Fatalf("cells = %d", len(cells))
+		}
+	}
+}
+
+// BenchmarkSweepGridSequentialBaseline is the one-worker baseline for
+// BenchmarkSweepGrid; on ≥4 cores the pooled variant should be ≥2×
+// faster while returning byte-identical cells.
+func BenchmarkSweepGridSequentialBaseline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(context.Background(), benchSweepSpec(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingGrid measures the experiments-layer deployment × rate
+// grid over the worker pool, with its sequential baseline below.
+func BenchmarkServingGrid(b *testing.B) {
+	once("Serving grid", func(w io.Writer) {
+		if err := experiments.RenderServingGrid(w, 42); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ServingGrid(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingGridSequentialBaseline is the one-worker baseline for
+// BenchmarkServingGrid.
+func BenchmarkServingGridSequentialBaseline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ServingGridSequential(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCapacity measures one full capacity-planning search
+// (doubling + two bisections over the serving simulator).
+func BenchmarkPlanCapacity(b *testing.B) {
+	m, _ := ModelByName("Llama3-8B")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanCapacity(H100(), m, CodingWorkload(0, 7), 20, CapacitySLO{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,7 +7,7 @@
 //
 // Artifacts: table1, fig1, fig2, fig3a, fig3b, yield, shoreline,
 // network, power, blast, granularity, tco, straggler, memory, training,
-// serving, all.
+// serving, servinggrid, all.
 //
 // Flags:
 //
@@ -95,6 +95,8 @@ func run(artifact string, opts inference.Options, seed uint64, endpoints int) er
 		experiments.RenderGranularity(w, seed)
 	case "serving":
 		return experiments.RenderServingStudy(w, seed)
+	case "servinggrid":
+		return experiments.RenderServingGrid(w, seed)
 	case "tco":
 		experiments.RenderTCOStudy(w)
 	case "straggler":
@@ -108,6 +110,7 @@ func run(artifact string, opts inference.Options, seed uint64, endpoints int) er
 			"table1", "fig1", "fig2", "fig3a", "fig3b", "yield",
 			"shoreline", "network", "power", "blast", "granularity",
 			"tco", "straggler", "memory", "training", "serving",
+			"servinggrid",
 		} {
 			if err := run(a, opts, seed, endpoints); err != nil {
 				return err

@@ -9,6 +9,13 @@
 //
 //	litegpu-serve -gpu H100 -model Llama3-70B -prefill-gpus 2 -decode-gpus 2
 //	litegpu-serve -gpu Lite -model Llama3-70B -prefill-gpus 8 -decode-gpus 8
+//
+// With -plan, the instance-count flags are ignored (they are what the
+// planner searches over) and the capacity planner sizes the cheapest
+// deployment meeting the SLO targets instead; -horizon, the batch caps,
+// and explicitly-set -prefill-gpus/-decode-gpus TP degrees are honored:
+//
+//	litegpu-serve -plan -gpu Lite -model Llama3-8B -rate 20 -ttft-attainment 0.99
 package main
 
 import (
@@ -32,6 +39,11 @@ func main() {
 	maxPrefill := flag.Int("max-prefill-batch", 4, "prompts fused per prefill pass")
 	maxDecode := flag.Int("max-decode-batch", 64, "continuous-batching cap")
 	workload := flag.String("workload", "coding", "workload shape: coding | conversation")
+	plan := flag.Bool("plan", false, "size the cheapest deployment meeting the SLO targets instead of simulating fixed pools")
+	ttftAttain := flag.Float64("ttft-attainment", 0.99, "plan mode: required fraction of requests meeting the TTFT limit")
+	tbtAttain := flag.Float64("tbt-attainment", 0.99, "plan mode: required fraction of requests meeting the TBT limit")
+	minCompletion := flag.Float64("min-completion", 0.95, "plan mode: required fraction of arrived requests completing")
+	maxInstances := flag.Int("max-instances", 64, "plan mode: per-pool instance-count search ceiling")
 	flag.Parse()
 
 	gpu, ok := litegpu.GPUByName(*gpuName)
@@ -51,6 +63,52 @@ func main() {
 	default:
 		fatalf("unknown workload %q", *workload)
 	}
+	if *plan {
+		slo := litegpu.CapacitySLO{
+			TTFTAttainment: *ttftAttain,
+			TBTAttainment:  *tbtAttain,
+			MinCompletion:  *minCompletion,
+		}
+		gen.Rate = *rate
+		req := litegpu.CapacityRequest{
+			GPU:             gpu,
+			Model:           m,
+			Opts:            litegpu.DefaultOptions(),
+			Workload:        gen,
+			Horizon:         litegpu.Seconds(*horizon),
+			MaxPrefillBatch: *maxPrefill,
+			MaxDecodeBatch:  *maxDecode,
+			MaxInstances:    *maxInstances,
+		}
+		// The instance-count flags are what the planner searches over,
+		// but an explicitly-set TP degree is a constraint to respect;
+		// left unset, the planner picks the smallest degree that fits.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "prefill-gpus":
+				req.PrefillGPUs = *prefillGPUs
+			case "decode-gpus":
+				req.DecodeGPUs = *decodeGPUs
+			}
+		})
+		p, err := litegpu.PlanCapacityRequest(req, slo)
+		if err != nil {
+			fatalf("plan: %v", err)
+		}
+		c := p.Config
+		fmt.Printf("capacity plan: %s serving %s at %.2f req/s (%s workload, seed %d)\n",
+			gpu.Name, m.Name, *rate, *workload, *seed)
+		fmt.Printf("  deployment: %d×%d-GPU prefill + %d×%d-GPU decode = %d GPUs\n",
+			c.PrefillInstances, c.PrefillGPUs, c.DecodeInstances, c.DecodeGPUs, p.TotalGPUs)
+		fmt.Printf("  SLO check: TTFT attainment %.1f%% (target %.1f%%), TBT attainment %.1f%% (target %.1f%%)\n",
+			p.Metrics.TTFTAttainment*100, *ttftAttain*100,
+			p.Metrics.TBTAttainment*100, *tbtAttain*100)
+		fmt.Printf("  completed %d/%d, dropped %d, tokens %d\n",
+			p.Metrics.Completed, p.Metrics.Arrived, p.Metrics.Dropped, p.Metrics.TokensGenerated)
+		fmt.Printf("  TCO: %v\n", p.Cost)
+		return
+	}
+
 	reqs, err := gen.Generate(litegpu.Seconds(*horizon))
 	if err != nil {
 		fatalf("generate workload: %v", err)
@@ -75,8 +133,8 @@ func main() {
 	fmt.Printf("deployment: %s × (%d×%d prefill + %d×%d decode), model %s\n",
 		gpu.Name, *prefillInst, *prefillGPUs, *decodeInst, *decodeGPUs, m.Name)
 	fmt.Printf("workload: %s @ %.2f req/s for %.0f s (seed %d)\n", *workload, *rate, *horizon, *seed)
-	fmt.Printf("arrived %d, completed %d, tokens generated %d\n",
-		mets.Arrived, mets.Completed, mets.TokensGenerated)
+	fmt.Printf("arrived %d, completed %d, dropped %d, tokens generated %d\n",
+		mets.Arrived, mets.Completed, mets.Dropped, mets.TokensGenerated)
 	fmt.Printf("TTFT p50/p90/p99: %.0f / %.0f / %.0f ms (attainment %.1f%%)\n",
 		mets.TTFT.P50*1e3, mets.TTFT.P90*1e3, mets.TTFT.P99*1e3, mets.TTFTAttainment*100)
 	fmt.Printf("TBT  p50/p90/p99: %.1f / %.1f / %.1f ms (attainment %.1f%%)\n",

@@ -1,0 +1,114 @@
+// Command litegpu-sweep runs the concurrent serving sweep: it crosses
+// GPU types × models × workloads × arrival rates, simulates a phase-split
+// deployment for every cell over a worker pool, and prints the grid.
+//
+// Usage:
+//
+//	litegpu-sweep [flags]
+//
+// Examples:
+//
+//	litegpu-sweep                                  # full Table 1 × paper models grid
+//	litegpu-sweep -gpus H100,Lite -models Llama3-8B -rates 0.5,2,8
+//	litegpu-sweep -workers 1                       # sequential baseline (same output)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"litegpu"
+)
+
+func main() {
+	gpuList := flag.String("gpus", "", "comma-separated Table 1 GPU names (default: all six)")
+	modelList := flag.String("models", "", "comma-separated model presets (default: the three paper models)")
+	workloadList := flag.String("workloads", "coding,conversation", "workload shapes: coding | conversation")
+	rateList := flag.String("rates", "0.5,1.5", "comma-separated arrival rates (req/s)")
+	horizon := flag.Float64("horizon", 300, "arrival window in simulated seconds")
+	drain := flag.Float64("drain", 120, "extra simulated seconds for in-flight requests to finish")
+	seed := flag.Uint64("seed", 42, "base workload seed (each cell derives its own)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	flag.Parse()
+
+	spec := litegpu.SweepSpec{
+		Horizon: litegpu.Seconds(*horizon),
+		Drain:   litegpu.Seconds(*drain),
+		Seed:    *seed,
+		Workers: *workers,
+	}
+	for _, name := range splitList(*gpuList) {
+		g, ok := litegpu.GPUByName(name)
+		if !ok {
+			fatalf("unknown GPU %q", name)
+		}
+		spec.GPUs = append(spec.GPUs, g)
+	}
+	for _, name := range splitList(*modelList) {
+		m, ok := litegpu.ModelByName(name)
+		if !ok {
+			fatalf("unknown model %q", name)
+		}
+		spec.Models = append(spec.Models, m)
+	}
+	for _, name := range splitList(*workloadList) {
+		switch name {
+		case "coding":
+			spec.Workloads = append(spec.Workloads, litegpu.SweepWorkload{Name: name, Make: litegpu.CodingWorkload})
+		case "conversation":
+			spec.Workloads = append(spec.Workloads, litegpu.SweepWorkload{Name: name, Make: litegpu.ConversationWorkload})
+		default:
+			fatalf("unknown workload %q", name)
+		}
+	}
+	for _, s := range splitList(*rateList) {
+		r, err := strconv.ParseFloat(s, 64)
+		if err != nil || r <= 0 {
+			fatalf("bad rate %q", s)
+		}
+		spec.Rates = append(spec.Rates, r)
+	}
+
+	cells, err := litegpu.Sweep(context.Background(), spec)
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att.")
+	for _, c := range cells {
+		if c.Err != "" {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\tinfeasible: %s\t\t\t\t\t\t\n", c.GPU, c.Model, c.Workload, c.Rate, c.Err)
+			continue
+		}
+		m := c.Metrics
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%d×%dP+%d×%dD\t%d/%d\t%d\t%.0f ms\t%.1f ms\t%.1f%%\t%.1f%%\n",
+			c.GPU, c.Model, c.Workload, c.Rate,
+			c.Config.PrefillInstances, c.Config.PrefillGPUs,
+			c.Config.DecodeInstances, c.Config.DecodeGPUs,
+			m.Completed, m.Arrived, m.Dropped,
+			m.TTFT.P99*1e3, m.TBT.P99*1e3,
+			m.TTFTAttainment*100, m.TBTAttainment*100)
+	}
+	tw.Flush()
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "litegpu-sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,235 @@
+package litegpu
+
+import (
+	"context"
+	"fmt"
+
+	"litegpu/internal/inference"
+	"litegpu/internal/mathx"
+	"litegpu/internal/serve"
+	"litegpu/internal/sweep"
+)
+
+// SweepWorkload names a workload family for the serving sweep; Make
+// builds the generator for one cell's rate and derived seed.
+type SweepWorkload struct {
+	Name string
+	Make func(rate float64, seed uint64) Workload
+}
+
+// DefaultSweepWorkloads returns the two production workload shapes the
+// paper evaluates.
+func DefaultSweepWorkloads() []SweepWorkload {
+	return []SweepWorkload{
+		{Name: "coding", Make: CodingWorkload},
+		{Name: "conversation", Make: ConversationWorkload},
+	}
+}
+
+// SweepSpec parameterizes Sweep. Zero-value fields take the defaults
+// noted on each.
+type SweepSpec struct {
+	// GPUs defaults to the full Table 1 catalog.
+	GPUs []GPU
+	// Models defaults to the three paper models.
+	Models []Transformer
+	// Workloads defaults to DefaultSweepWorkloads.
+	Workloads []SweepWorkload
+	// Rates (req/s) defaults to {0.5, 1.5}.
+	Rates []float64
+
+	// Horizon is the arrival window (default 300 s); the simulation runs
+	// Drain (default 120 s) past it so in-flight requests can finish.
+	Horizon Seconds
+	Drain   Seconds
+
+	// Seed is the base workload seed; every cell derives its own stream
+	// from (Seed, cell index), so results are byte-identical at any
+	// worker count.
+	Seed uint64
+
+	// Opts defaults to DefaultOptions.
+	Opts Options
+
+	// PrefillInstances and DecodeInstances size each deployment's pools
+	// (default 1 each); the tensor-parallel degree per instance is
+	// auto-sized to the smallest cluster the model fits on.
+	PrefillInstances int
+	DecodeInstances  int
+	// MaxPrefillBatch and MaxDecodeBatch default to 4 and 64.
+	MaxPrefillBatch int
+	MaxDecodeBatch  int
+
+	// Workers caps the worker pool (0 = GOMAXPROCS; 1 = sequential).
+	Workers int
+}
+
+func (s SweepSpec) withDefaults() SweepSpec {
+	if len(s.GPUs) == 0 {
+		s.GPUs = Table1()
+	}
+	if len(s.Models) == 0 {
+		s.Models = Models()
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = DefaultSweepWorkloads()
+	}
+	if len(s.Rates) == 0 {
+		s.Rates = []float64{0.5, 1.5}
+	}
+	if s.Horizon <= 0 {
+		s.Horizon = 300
+	}
+	if s.Drain <= 0 {
+		s.Drain = 120
+	}
+	if s.Opts == (Options{}) {
+		s.Opts = DefaultOptions()
+	}
+	if s.PrefillInstances <= 0 {
+		s.PrefillInstances = 1
+	}
+	if s.DecodeInstances <= 0 {
+		s.DecodeInstances = 1
+	}
+	if s.MaxPrefillBatch <= 0 {
+		s.MaxPrefillBatch = 4
+	}
+	if s.MaxDecodeBatch <= 0 {
+		s.MaxDecodeBatch = 64
+	}
+	return s
+}
+
+// SweepCell is one point of the sweep grid: a (GPU, model, workload,
+// rate) combination with its simulated serving metrics. Err is non-empty
+// when the combination is infeasible (e.g. the model does not fit the
+// GPU type's largest legal cluster); such cells carry zero Metrics.
+type SweepCell struct {
+	GPU      string
+	Model    string
+	Workload string
+	Rate     float64
+
+	// Config is the auto-sized deployment the cell simulated.
+	Config ServeConfig
+	// Metrics is the serving outcome.
+	Metrics ServeMetrics
+	// Err records an infeasible combination.
+	Err string
+}
+
+// Sweep crosses GPU types × models × workloads × arrival rates and
+// simulates a phase-split serving deployment for every combination,
+// fanning the grid over a worker pool. Cell order is the nested
+// enumeration order of the spec slices, and each cell's workload seed
+// derives from its grid index — so the returned slice is byte-identical
+// whether it ran on one worker or many.
+//
+// Infeasible combinations are reported per cell via SweepCell.Err rather
+// than failing the sweep.
+func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
+	spec = spec.withDefaults()
+	type point struct {
+		gpu      GPU
+		model    Transformer
+		workload SweepWorkload
+		rate     float64
+	}
+	var points []point
+	for _, g := range spec.GPUs {
+		for _, m := range spec.Models {
+			for _, w := range spec.Workloads {
+				for _, r := range spec.Rates {
+					points = append(points, point{gpu: g, model: m, workload: w, rate: r})
+				}
+			}
+		}
+	}
+	// The request stream depends only on (workload, rate): every GPU and
+	// model at the same workload point faces the identical trace, so
+	// cross-hardware comparisons within the grid are noise-free. The
+	// seed position is the cell index modulo the workload×rate block.
+	traceBlock := len(spec.Workloads) * len(spec.Rates)
+
+	return sweep.RunN(ctx, spec.Workers, points,
+		func(_ context.Context, idx int, p point) (SweepCell, error) {
+			c := SweepCell{GPU: p.gpu.Name, Model: p.model.Name, Workload: p.workload.Name, Rate: p.rate}
+			pTP, err := inference.MinFeasibleTP(p.gpu, p.model, Prefill, spec.Opts)
+			if err != nil {
+				c.Err = err.Error()
+				return c, nil
+			}
+			dTP, err := inference.MinFeasibleTP(p.gpu, p.model, Decode, spec.Opts)
+			if err != nil {
+				c.Err = err.Error()
+				return c, nil
+			}
+			c.Config = ServeConfig{
+				GPU: p.gpu, Model: p.model, Opts: spec.Opts,
+				PrefillInstances: spec.PrefillInstances, PrefillGPUs: pTP,
+				DecodeInstances: spec.DecodeInstances, DecodeGPUs: dTP,
+				MaxPrefillBatch: spec.MaxPrefillBatch, MaxDecodeBatch: spec.MaxDecodeBatch,
+			}
+			gen := p.workload.Make(p.rate, mathx.DeriveSeed(spec.Seed, uint64(idx%traceBlock)))
+			reqs, err := gen.Generate(spec.Horizon)
+			if err != nil {
+				return SweepCell{}, fmt.Errorf("litegpu: sweep cell %d (%s/%s/%s@%.2f): %w",
+					idx, c.GPU, c.Model, c.Workload, c.Rate, err)
+			}
+			mets, err := serve.Run(c.Config, reqs, spec.Horizon+spec.Drain)
+			if err != nil {
+				c.Err = err.Error()
+				return c, nil
+			}
+			c.Metrics = mets
+			return c, nil
+		})
+}
+
+// Capacity planning -----------------------------------------------------------
+
+// CapacitySLO sets the attainment targets a capacity plan must meet; see
+// serve.SLO for field semantics and defaults.
+type CapacitySLO = serve.SLO
+
+// CapacityPlan is a feasible deployment with its simulated metrics and
+// TCO readout; see serve.Plan.
+type CapacityPlan = serve.Plan
+
+// CapacityRequest is the full capacity-search parameterization (GPU,
+// model, workload, horizon, per-instance TP degrees, batch caps, search
+// ceiling); see serve.PlanRequest for field semantics and defaults.
+type CapacityRequest = serve.PlanRequest
+
+// PlanCapacityRequest runs the capacity planner with full control over
+// every knob. PlanCapacity and PlanCapacityOpts are conveniences over it.
+func PlanCapacityRequest(req CapacityRequest, slos CapacitySLO) (CapacityPlan, error) {
+	return serve.PlanCapacity(req, slos)
+}
+
+// PlanCapacity sizes the cheapest phase-split deployment of the given
+// GPU type that serves the workload at `rate` requests/s while meeting
+// the SLO attainment targets, by binary-searching prefill and decode
+// instance counts over the serving simulator. The returned plan carries
+// the full TCO breakdown, including dollars per million tokens.
+//
+// The workload's Rate field is overridden with `rate`; its Seed is used
+// as-is. Latency limits come from DefaultOptions (TTFT ≤ 1 s, TBT ≤
+// 50 ms); use PlanCapacityOpts for custom limits or sizing knobs.
+func PlanCapacity(gpu GPU, m Transformer, w Workload, rate float64, slos CapacitySLO) (CapacityPlan, error) {
+	return PlanCapacityOpts(gpu, m, w, rate, slos, DefaultOptions(), 0)
+}
+
+// PlanCapacityOpts is PlanCapacity with explicit inference Options and a
+// per-pool instance-count ceiling (0 = default 64).
+func PlanCapacityOpts(gpu GPU, m Transformer, w Workload, rate float64, slos CapacitySLO, opts Options, maxInstances int) (CapacityPlan, error) {
+	w.Rate = rate
+	return PlanCapacityRequest(CapacityRequest{
+		GPU:          gpu,
+		Model:        m,
+		Opts:         opts,
+		Workload:     w,
+		MaxInstances: maxInstances,
+	}, slos)
+}

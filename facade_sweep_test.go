@@ -1,0 +1,141 @@
+package litegpu
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"litegpu/internal/units"
+)
+
+// smallSweepSpec keeps sweep tests fast: two GPU types, the smallest
+// model, one workload family, two rates, a short horizon.
+func smallSweepSpec() SweepSpec {
+	m, _ := ModelByName("Llama3-8B")
+	return SweepSpec{
+		GPUs:      []GPU{H100(), Lite()},
+		Models:    []Transformer{m},
+		Workloads: []SweepWorkload{{Name: "coding", Make: CodingWorkload}},
+		Rates:     []float64{0.5, 2.0},
+		Horizon:   60,
+		Drain:     60,
+		Seed:      42,
+	}
+}
+
+func TestSweepGridShapeAndOrder(t *testing.T) {
+	cells, err := Sweep(context.Background(), smallSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 2 GPUs × 1 model × 1 workload × 2 rates = 4", len(cells))
+	}
+	want := []struct {
+		gpu  string
+		rate float64
+	}{
+		{"H100", 0.5}, {"H100", 2.0}, {"Lite", 0.5}, {"Lite", 2.0},
+	}
+	for i, c := range cells {
+		if c.GPU != want[i].gpu || c.Rate != want[i].rate {
+			t.Errorf("cell %d = (%s, %.1f), want (%s, %.1f)", i, c.GPU, c.Rate, want[i].gpu, want[i].rate)
+		}
+		if c.Err != "" {
+			t.Errorf("cell %d unexpectedly infeasible: %s", i, c.Err)
+		}
+		if c.Metrics.Arrived == 0 || c.Metrics.Completed == 0 {
+			t.Errorf("cell %d served nothing", i)
+		}
+		if c.Config.PrefillGPUs < 1 || c.Config.DecodeGPUs < 1 {
+			t.Errorf("cell %d not auto-sized: %+v", i, c.Config)
+		}
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the reproducibility contract:
+// the sweep grid must be byte-identical at GOMAXPROCS=1 and at full
+// parallelism, because per-cell seeds derive from the cell index rather
+// than from scheduling order.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := smallSweepSpec()
+
+	spec.Workers = 1
+	seq, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec.Workers = 0 // GOMAXPROCS-sized pool
+	par, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("sweep at full parallelism diverges from sequential sweep")
+	}
+
+	// Also pin the runtime itself to one proc, the literal GOMAXPROCS=1
+	// configuration.
+	old := runtime.GOMAXPROCS(1)
+	single, err := Sweep(context.Background(), SweepSpec{
+		GPUs: spec.GPUs, Models: spec.Models, Workloads: spec.Workloads,
+		Rates: spec.Rates, Horizon: spec.Horizon, Drain: spec.Drain, Seed: spec.Seed,
+	})
+	runtime.GOMAXPROCS(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, single) {
+		t.Error("sweep under GOMAXPROCS=1 diverges from worker-pinned sequential sweep")
+	}
+}
+
+func TestSweepInfeasibleCellReported(t *testing.T) {
+	tiny := Lite()
+	tiny.Capacity = units.Bytes(2 * units.GB)
+	tiny.MaxGPUs = 1 // Llama3-8B weights cannot fit 2 GB with no TP to shard across
+	tiny.Name = "Lite-tiny"
+	spec := smallSweepSpec()
+	spec.GPUs = []GPU{tiny}
+	spec.Rates = []float64{0.5}
+	cells, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(cells))
+	}
+	if cells[0].Err == "" {
+		t.Error("infeasible cell carries no error")
+	}
+	if cells[0].Metrics.Arrived != 0 {
+		t.Error("infeasible cell carries metrics")
+	}
+}
+
+func TestSweepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Sweep(ctx, smallSweepSpec()); err == nil {
+		t.Error("cancelled sweep returned no error")
+	}
+}
+
+func TestPlanCapacityFacade(t *testing.T) {
+	m, _ := ModelByName("Llama3-8B")
+	plan, err := PlanCapacity(H100(), m, CodingWorkload(0, 7), 4.0, CapacitySLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Metrics.TTFTAttainment < 0.99 || plan.Metrics.TBTAttainment < 0.99 {
+		t.Errorf("plan misses SLO: %+v", plan.Metrics)
+	}
+	if plan.TotalGPUs < 2 {
+		t.Errorf("TotalGPUs = %d, want at least one GPU per pool", plan.TotalGPUs)
+	}
+	if plan.Cost.CostPerMTokens <= 0 {
+		t.Error("no $/Mtok readout")
+	}
+}

@@ -1,0 +1,3 @@
+module litegpu
+
+go 1.22

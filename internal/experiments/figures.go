@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,6 +9,7 @@ import (
 	"litegpu/internal/hw"
 	"litegpu/internal/inference"
 	"litegpu/internal/model"
+	"litegpu/internal/sweep"
 	"litegpu/internal/units"
 )
 
@@ -127,26 +129,45 @@ type Figure3Row struct {
 
 // Figure3 runs the paper's search for one phase over the given GPU
 // configurations and all three paper models, normalizing each model's
-// bars to its H100 result.
+// bars to its H100 result. Every bar is an independent inference.Search,
+// so the grid fans out over a sweep worker pool; results are identical
+// to the sequential loop regardless of worker count.
 func Figure3(phase inference.Phase, configs []hw.GPU, opts inference.Options) ([]Figure3Row, error) {
-	var rows []Figure3Row
+	return figure3(phase, configs, opts, 0)
+}
+
+// Figure3Sequential is Figure3 pinned to one worker — the baseline the
+// speedup benchmarks and determinism tests compare against.
+func Figure3Sequential(phase inference.Phase, configs []hw.GPU, opts inference.Options) ([]Figure3Row, error) {
+	return figure3(phase, configs, opts, 1)
+}
+
+func figure3(phase inference.Phase, configs []hw.GPU, opts inference.Options, workers int) ([]Figure3Row, error) {
+	type bar struct {
+		m model.Transformer
+		g hw.GPU
+	}
+	var points []bar
 	for _, m := range model.PaperModels() {
-		var base float64
-		for i, g := range configs {
-			res, err := inference.Search(g, m, phase, opts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", m.Name, g.Name, err)
-			}
-			if i == 0 {
-				base = res.Best.PerSM
-			}
-			rows = append(rows, Figure3Row{
-				Model:      m,
-				GPU:        g,
-				Best:       res.Best,
-				Normalized: res.Best.PerSM / base,
-			})
+		for _, g := range configs {
+			points = append(points, bar{m: m, g: g})
 		}
+	}
+	rows, err := sweep.RunN(context.Background(), workers, points,
+		func(_ context.Context, _ int, p bar) (Figure3Row, error) {
+			res, err := inference.Search(p.g, p.m, phase, opts)
+			if err != nil {
+				return Figure3Row{}, fmt.Errorf("experiments: %s on %s: %w", p.m.Name, p.g.Name, err)
+			}
+			return Figure3Row{Model: p.m, GPU: p.g, Best: res.Best}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Normalize each model's bars to its first (H100) column, which is
+	// only known once the whole grid is in.
+	for i := range rows {
+		rows[i].Normalized = rows[i].Best.PerSM / rows[i-i%len(configs)].Best.PerSM
 	}
 	return rows, nil
 }

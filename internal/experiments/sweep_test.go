@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/inference"
+)
+
+// TestFigure3ParallelMatchesSequential pins the sweep port: fanning the
+// Figure 3 grid over the worker pool must not change a single field of
+// any row relative to the sequential loop.
+func TestFigure3ParallelMatchesSequential(t *testing.T) {
+	opts := inference.DefaultOptions()
+	for _, tc := range []struct {
+		name    string
+		phase   inference.Phase
+		configs []hw.GPU
+	}{
+		{"prefill", inference.Prefill, hw.PrefillConfigs()},
+		{"decode", inference.Decode, hw.DecodeConfigs()},
+	} {
+		seq, err := Figure3Sequential(tc.phase, tc.configs, opts)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", tc.name, err)
+		}
+		par, err := Figure3(tc.phase, tc.configs, opts)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: parallel Figure 3 diverges from sequential", tc.name)
+		}
+	}
+}
+
+func TestServingGridParallelMatchesSequential(t *testing.T) {
+	seq, err := ServingGridSequential(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ServingGrid(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel serving grid diverges from sequential")
+	}
+	if len(seq) != 6 {
+		t.Errorf("grid has %d cells, want 6", len(seq))
+	}
+	for _, c := range seq {
+		if c.Metrics.Arrived == 0 || c.Metrics.Completed == 0 {
+			t.Errorf("cell %s @ %.1f served nothing", c.Label, c.Rate)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,10 +9,12 @@ import (
 	"litegpu/internal/failure"
 	"litegpu/internal/hw"
 	"litegpu/internal/inference"
+	"litegpu/internal/mathx"
 	"litegpu/internal/model"
 	"litegpu/internal/network"
 	"litegpu/internal/power"
 	"litegpu/internal/serve"
+	"litegpu/internal/sweep"
 	"litegpu/internal/trace"
 	"litegpu/internal/units"
 )
@@ -285,6 +288,103 @@ func RenderServingStudy(w io.Writer, seed uint64) error {
 		units.Seconds(m.TBT.P50), units.Seconds(m.TBT.P99), m.TBTAttainment*100)
 	fmt.Fprintf(w, "  utilization: prefill %.1f%%, decode %.1f%%\n\n",
 		m.PrefillUtilization*100, m.DecodeUtilization*100)
+	return nil
+}
+
+// ServingGridCell is one (deployment, rate) point of the serving grid.
+type ServingGridCell struct {
+	Label   string
+	Rate    float64
+	Config  serve.Config
+	Metrics serve.Metrics
+}
+
+// ServingGrid crosses the paper's two serving deployments — an H100
+// phase-split cluster and its 4×-Lite replacement — with a range of
+// arrival rates, running every simulation concurrently over the sweep
+// pool. Each cell's workload seed derives from (seed, cell index) so the
+// grid is byte-identical at any worker count.
+func ServingGrid(seed uint64) ([]ServingGridCell, error) {
+	return servingGrid(seed, 0)
+}
+
+// ServingGridSequential is ServingGrid pinned to one worker — the
+// baseline for the speedup benchmark and determinism tests.
+func ServingGridSequential(seed uint64) ([]ServingGridCell, error) {
+	return servingGrid(seed, 1)
+}
+
+func servingGrid(seed uint64, workers int) ([]ServingGridCell, error) {
+	opts := inference.DefaultOptions()
+	deployments := []struct {
+		label string
+		cfg   serve.Config
+	}{
+		{"H100 2×2P+1×2D", serve.Config{
+			GPU: hw.H100(), Model: model.Llama3_70B(), Opts: opts,
+			PrefillInstances: 2, PrefillGPUs: 2,
+			DecodeInstances: 1, DecodeGPUs: 2,
+			MaxPrefillBatch: 4, MaxDecodeBatch: 64,
+		}},
+		{"Lite 2×8P+1×8D", serve.Config{
+			GPU: hw.Lite(), Model: model.Llama3_70B(), Opts: opts,
+			PrefillInstances: 2, PrefillGPUs: 8,
+			DecodeInstances: 1, DecodeGPUs: 8,
+			MaxPrefillBatch: 4, MaxDecodeBatch: 64,
+		}},
+	}
+	rates := []float64{0.6, 1.2, 2.4}
+
+	var cells []ServingGridCell
+	for _, d := range deployments {
+		for _, r := range rates {
+			cells = append(cells, ServingGridCell{Label: d.label, Rate: r, Config: d.cfg})
+		}
+	}
+	return sweep.RunN(context.Background(), workers, cells,
+		func(_ context.Context, idx int, c ServingGridCell) (ServingGridCell, error) {
+			// Seed by rate position, not flat cell index: the deployments
+			// being compared at one rate must face the identical request
+			// stream, or their metric differences would partly be trace
+			// noise rather than hardware.
+			gen := trace.CodingWorkload(c.Rate, mathx.DeriveSeed(seed, uint64(idx%len(rates))))
+			reqs, err := gen.Generate(300)
+			if err != nil {
+				return ServingGridCell{}, err
+			}
+			m, err := serve.Run(c.Config, reqs, 420)
+			if err != nil {
+				return ServingGridCell{}, fmt.Errorf("experiments: %s @ %.1f req/s: %w", c.Label, c.Rate, err)
+			}
+			c.Metrics = m
+			return c, nil
+		})
+}
+
+// RenderServingGrid writes the deployment × rate comparison.
+func RenderServingGrid(w io.Writer, seed uint64) error {
+	cells, err := ServingGrid(seed)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, c := range cells {
+		m := c.Metrics
+		rows = append(rows, []string{
+			c.Label,
+			fmt.Sprintf("%.1f", c.Rate),
+			fmt.Sprintf("%d/%d", m.Completed, m.Arrived),
+			fmt.Sprintf("%d", m.Dropped),
+			fmt.Sprintf("%.0f ms", m.TTFT.P99*1e3),
+			fmt.Sprintf("%.1f ms", m.TBT.P99*1e3),
+			fmt.Sprintf("%.1f%%", m.TTFTAttainment*100),
+			fmt.Sprintf("%.1f%%", m.TBTAttainment*100),
+			fmt.Sprintf("%.0f%%/%.0f%%", m.PrefillUtilization*100, m.DecodeUtilization*100),
+		})
+	}
+	render(w, "Section 4: serving grid — phase-split deployments × arrival rates (coding workload)",
+		[]string{"Deployment", "req/s", "Done", "Drop", "TTFT p99", "TBT p99", "TTFT att.", "TBT att.", "Util P/D"},
+		rows)
 	return nil
 }
 

@@ -337,6 +337,30 @@ func MaxFeasibleBatch(gpu hw.GPU, m model.Transformer, phase Phase, gpus int, op
 	return int(free / perReq)
 }
 
+// MinFeasibleTP returns the smallest legal tensor-parallel degree (a
+// divisor of the model's head count, within the GPU type's cluster
+// limit) on which the model fits with room for at least one request's KV
+// cache in the given phase. The serving sweep and capacity planner use
+// it to auto-size instances. It returns an error when no degree fits.
+func MinFeasibleTP(gpu hw.GPU, m model.Transformer, phase Phase, opts Options) (int, error) {
+	if err := gpu.Validate(); err != nil {
+		return 0, err
+	}
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	for _, g := range mathx.Divisors(m.Heads) {
+		if g > gpu.MaxGPUs {
+			break
+		}
+		if MaxFeasibleBatch(gpu, m, phase, g, opts) >= 1 {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("inference: %s does not fit any %s cluster for %s (max %d GPUs)",
+		m.Name, gpu.Name, phase, gpu.MaxGPUs)
+}
+
 // SearchResult is the outcome of the paper's configuration search for one
 // (GPU type, model, phase) triple.
 type SearchResult struct {

@@ -124,6 +124,19 @@ func (r *RNG) Weibull(shape, scale float64) float64 {
 	return scale * math.Pow(-math.Log(1-u), 1/shape)
 }
 
+// DeriveSeed deterministically derives an independent-looking child seed
+// from a base seed and a point index. Parallel sweeps use it to give
+// every grid cell its own RNG stream keyed by the cell's position, so a
+// sweep's results are byte-identical no matter how many workers ran it
+// or in what order. The mixing is the SplitMix64 output function applied
+// to the (base, index) pair, matching the quality of RNG.Split.
+func DeriveSeed(base uint64, index uint64) uint64 {
+	z := base + 0x9E3779B97F4A7C15*(index+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // LogNormalParams converts a desired median and p99 into (mu, sigma) for
 // LogNormal. The median of a lognormal is exp(mu) and quantiles scale with
 // sigma; this helper lets trace generators pin published medians directly.

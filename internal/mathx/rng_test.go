@@ -243,3 +243,26 @@ func TestWeibullNonNegativeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDeriveSeedDistinctAndStable(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for base := uint64(0); base < 4; base++ {
+		for i := uint64(0); i < 1000; i++ {
+			s := DeriveSeed(base, i)
+			if s != DeriveSeed(base, i) {
+				t.Fatal("DeriveSeed not deterministic")
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("collision: seed %d from (base=%d,i=%d) and earlier key %d", s, base, i, prev)
+			}
+			seen[s] = base*1000 + i
+		}
+	}
+	// Derived streams should look independent: consecutive indices must
+	// not yield consecutive generator states.
+	a := NewRNG(DeriveSeed(42, 0)).Float64()
+	b := NewRNG(DeriveSeed(42, 1)).Float64()
+	if a == b {
+		t.Error("adjacent indices produced identical first draws")
+	}
+}

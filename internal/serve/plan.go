@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"fmt"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/inference"
+	"litegpu/internal/model"
+	"litegpu/internal/network"
+	"litegpu/internal/tco"
+	"litegpu/internal/trace"
+	"litegpu/internal/units"
+)
+
+// SLO is the attainment contract a capacity plan must meet. The latency
+// limits themselves come from the inference Options (TTFTLimit,
+// TBTLimit); the SLO sets what fraction of requests must meet them.
+type SLO struct {
+	// TTFTAttainment and TBTAttainment are the required fractions of
+	// requests meeting the TTFT / TBT limits (default 0.99 each).
+	TTFTAttainment float64
+	TBTAttainment  float64
+	// MinCompletion is the required fraction of arrived requests that
+	// finish within the simulation (default 0.95) — it catches decode
+	// underprovisioning that per-completed-request attainment alone
+	// cannot see, because backlogged requests never produce a sample.
+	MinCompletion float64
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.TTFTAttainment <= 0 {
+		s.TTFTAttainment = 0.99
+	}
+	if s.TBTAttainment <= 0 {
+		s.TBTAttainment = 0.99
+	}
+	if s.MinCompletion <= 0 {
+		s.MinCompletion = 0.95
+	}
+	return s
+}
+
+// PlanRequest parameterizes the capacity search.
+type PlanRequest struct {
+	GPU   hw.GPU
+	Model model.Transformer
+	Opts  inference.Options
+
+	// Workload generates the request stream the plan must serve; its
+	// Rate and Seed fields are used as-is.
+	Workload trace.Generator
+
+	// Horizon is the arrival window in seconds (default 300). The
+	// simulation runs a drain window past it so in-flight requests can
+	// finish.
+	Horizon units.Seconds
+	// Drain extends the simulation past the arrival horizon (default 120).
+	Drain units.Seconds
+
+	// PrefillGPUs and DecodeGPUs set the tensor-parallel degree per
+	// instance; zero means the smallest degree the model fits on.
+	PrefillGPUs int
+	DecodeGPUs  int
+
+	// MaxPrefillBatch and MaxDecodeBatch default to 4 and 64.
+	MaxPrefillBatch int
+	MaxDecodeBatch  int
+
+	// MaxInstances caps the per-pool search (default 64).
+	MaxInstances int
+}
+
+// Plan is a feasible deployment returned by PlanCapacity.
+type Plan struct {
+	Config  Config
+	Metrics Metrics
+	// TotalGPUs is the full accelerator count across both pools.
+	TotalGPUs int
+	// Cost is the TCO breakdown of the deployment at the simulated
+	// sustained throughput, over a folded-Clos CPO fabric; its
+	// CostPerMTokens field is the $/Mtoken readout.
+	Cost tco.Breakdown
+}
+
+// PlanCapacity answers the operator's sizing question: how many prefill
+// and decode instances of the given GPU does it take to serve the
+// workload at its arrival rate while meeting the SLO attainment targets?
+//
+// It doubles both pool sizes until the deployment is feasible, then
+// binary-searches each pool down independently (prefill first, against a
+// generous decode pool; then decode, against the chosen prefill pool) —
+// attainment is monotone in each pool size, which makes the bisection
+// sound. The returned plan is the cheapest deployment the search visits,
+// priced through the TCO model.
+func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
+	slo = slo.withDefaults()
+	if req.Horizon <= 0 {
+		req.Horizon = 300
+	}
+	if req.Drain <= 0 {
+		req.Drain = 120
+	}
+	if req.MaxPrefillBatch <= 0 {
+		req.MaxPrefillBatch = 4
+	}
+	if req.MaxDecodeBatch <= 0 {
+		req.MaxDecodeBatch = 64
+	}
+	if req.MaxInstances <= 0 {
+		req.MaxInstances = 64
+	}
+	if req.PrefillGPUs <= 0 {
+		g, err := inference.MinFeasibleTP(req.GPU, req.Model, inference.Prefill, req.Opts)
+		if err != nil {
+			return Plan{}, err
+		}
+		req.PrefillGPUs = g
+	}
+	if req.DecodeGPUs <= 0 {
+		g, err := inference.MinFeasibleTP(req.GPU, req.Model, inference.Decode, req.Opts)
+		if err != nil {
+			return Plan{}, err
+		}
+		req.DecodeGPUs = g
+	}
+
+	reqs, err := req.Workload.Generate(req.Horizon)
+	if err != nil {
+		return Plan{}, err
+	}
+	if len(reqs) == 0 {
+		return Plan{}, fmt.Errorf("serve: workload generated no requests over %v", req.Horizon)
+	}
+	simHorizon := req.Horizon + req.Drain
+
+	// attempt memoizes on (p, d): the growth phase, the two bisections,
+	// and the final joint check can revisit a pair, and every evaluation
+	// is a full discrete-event simulation of the whole request stream.
+	type attemptResult struct {
+		m  Metrics
+		ok bool
+	}
+	tried := make(map[[2]int]attemptResult)
+	attempt := func(p, d int) (Metrics, bool, error) {
+		if r, seen := tried[[2]int{p, d}]; seen {
+			return r.m, r.ok, nil
+		}
+		cfg := Config{
+			GPU: req.GPU, Model: req.Model, Opts: req.Opts,
+			PrefillInstances: p, PrefillGPUs: req.PrefillGPUs,
+			DecodeInstances: d, DecodeGPUs: req.DecodeGPUs,
+			MaxPrefillBatch: req.MaxPrefillBatch, MaxDecodeBatch: req.MaxDecodeBatch,
+		}
+		m, err := Run(cfg, reqs, simHorizon)
+		if err != nil {
+			return Metrics{}, false, err
+		}
+		ok := m.Dropped == 0 &&
+			m.TTFTAttainment >= slo.TTFTAttainment &&
+			m.TBTAttainment >= slo.TBTAttainment &&
+			m.Arrived > 0 &&
+			float64(m.Completed) >= slo.MinCompletion*float64(m.Arrived)
+		tried[[2]int{p, d}] = attemptResult{m: m, ok: ok}
+		return m, ok, nil
+	}
+
+	// Grow both pools until feasible.
+	p, d := 1, 1
+	var m Metrics
+	for {
+		var ok bool
+		var err error
+		m, ok, err = attempt(p, d)
+		if err != nil {
+			return Plan{}, err
+		}
+		if ok {
+			break
+		}
+		if p >= req.MaxInstances && d >= req.MaxInstances {
+			return Plan{}, fmt.Errorf(
+				"serve: no deployment within %d instances per pool meets the SLO for %s on %s at %.2f req/s",
+				req.MaxInstances, req.Model.Name, req.GPU.Name, req.Workload.Rate)
+		}
+		p = min(p*2, req.MaxInstances)
+		d = min(d*2, req.MaxInstances)
+	}
+
+	// Shrink prefill against the feasible decode pool, then decode
+	// against the minimal prefill pool.
+	pMin, err := bisectMin(1, p, func(x int) (bool, error) {
+		_, ok, err := attempt(x, d)
+		return ok, err
+	})
+	if err != nil {
+		return Plan{}, err
+	}
+	dMin, err := bisectMin(1, d, func(x int) (bool, error) {
+		_, ok, err := attempt(pMin, x)
+		return ok, err
+	})
+	if err != nil {
+		return Plan{}, err
+	}
+	m, ok, err := attempt(pMin, dMin)
+	if err != nil {
+		return Plan{}, err
+	}
+	// The two one-dimensional searches interact weakly; if the joint
+	// minimum misses the SLO, step the pools back up until it holds.
+	for !ok {
+		if pMin < p {
+			pMin++
+		} else if dMin < d {
+			dMin++
+		} else {
+			break
+		}
+		m, ok, err = attempt(pMin, dMin)
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	if !ok {
+		return Plan{}, fmt.Errorf("serve: capacity search failed to converge for %s on %s",
+			req.Model.Name, req.GPU.Name)
+	}
+
+	plan := Plan{
+		Config: Config{
+			GPU: req.GPU, Model: req.Model, Opts: req.Opts,
+			PrefillInstances: pMin, PrefillGPUs: req.PrefillGPUs,
+			DecodeInstances: dMin, DecodeGPUs: req.DecodeGPUs,
+			MaxPrefillBatch: req.MaxPrefillBatch, MaxDecodeBatch: req.MaxDecodeBatch,
+		},
+		Metrics:   m,
+		TotalGPUs: pMin*req.PrefillGPUs + dMin*req.DecodeGPUs,
+	}
+	costs := tco.DefaultCosts()
+	throughput := float64(m.TokensGenerated) / float64(simHorizon)
+	plan.Cost = costs.TCO(tco.ClusterSpec{
+		GPU:        req.GPU,
+		GPUs:       plan.TotalGPUs,
+		Fabric:     network.Clos(plan.TotalGPUs, network.CoPackagedOptics(), network.PacketSwitch()),
+		Throughput: throughput,
+	})
+	return plan, nil
+}
+
+// bisectMin returns the smallest x in [lo, hi] with ok(x) true, assuming
+// ok is monotone non-decreasing and ok(hi) is true.
+func bisectMin(lo, hi int, ok func(int) (bool, error)) (int, error) {
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/inference"
+	"litegpu/internal/model"
+	"litegpu/internal/trace"
+)
+
+func planRequest(rate float64) PlanRequest {
+	return PlanRequest{
+		GPU:      hw.H100(),
+		Model:    model.Llama3_8B(),
+		Opts:     inference.DefaultOptions(),
+		Workload: trace.CodingWorkload(rate, 7),
+		Horizon:  120,
+		Drain:    60,
+	}
+}
+
+func TestPlanCapacityMeetsSLO(t *testing.T) {
+	slo := SLO{TTFTAttainment: 0.99, TBTAttainment: 0.99, MinCompletion: 0.95}
+	plan, err := PlanCapacity(planRequest(20), slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := plan.Metrics
+	if m.TTFTAttainment < slo.TTFTAttainment {
+		t.Errorf("TTFT attainment %v below target %v", m.TTFTAttainment, slo.TTFTAttainment)
+	}
+	if m.TBTAttainment < slo.TBTAttainment {
+		t.Errorf("TBT attainment %v below target %v", m.TBTAttainment, slo.TBTAttainment)
+	}
+	if m.Dropped != 0 {
+		t.Errorf("plan drops %d requests", m.Dropped)
+	}
+	if float64(m.Completed) < slo.MinCompletion*float64(m.Arrived) {
+		t.Errorf("completed %d of %d, below the completion floor", m.Completed, m.Arrived)
+	}
+	if want := plan.Config.PrefillInstances*plan.Config.PrefillGPUs +
+		plan.Config.DecodeInstances*plan.Config.DecodeGPUs; plan.TotalGPUs != want {
+		t.Errorf("TotalGPUs = %d, want %d", plan.TotalGPUs, want)
+	}
+	if plan.Cost.Total <= 0 {
+		t.Error("TCO breakdown missing")
+	}
+	if plan.Cost.CostPerMTokens <= 0 {
+		t.Error("cost-per-Mtoken readout missing")
+	}
+}
+
+func TestPlanCapacityIsMinimal(t *testing.T) {
+	// Shrinking either pool of the returned plan by one instance must
+	// break the SLO — otherwise the planner is not returning the
+	// cheapest deployment its search space contains.
+	req := planRequest(250)
+	slo := SLO{TTFTAttainment: 0.99, TBTAttainment: 0.99, MinCompletion: 0.95}
+	plan, err := PlanCapacity(req, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := req.Workload.Generate(req.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := func(p, d int) bool {
+		cfg := plan.Config
+		cfg.PrefillInstances, cfg.DecodeInstances = p, d
+		m, err := Run(cfg, reqs, req.Horizon+req.Drain)
+		if err != nil {
+			return false
+		}
+		return m.Dropped == 0 &&
+			m.TTFTAttainment >= slo.TTFTAttainment &&
+			m.TBTAttainment >= slo.TBTAttainment &&
+			float64(m.Completed) >= slo.MinCompletion*float64(m.Arrived)
+	}
+	p, d := plan.Config.PrefillInstances, plan.Config.DecodeInstances
+	if p > 1 && feasible(p-1, d) {
+		t.Errorf("plan %d×P+%d×D is not minimal: %d×P also meets the SLO", p, d, p-1)
+	}
+	if d > 1 && feasible(p, d-1) {
+		t.Errorf("plan %d×P+%d×D is not minimal: %d×D also meets the SLO", p, d, d-1)
+	}
+	if p == 1 && d == 1 {
+		t.Fatal("rate 250 should need more than the floor deployment; search never ran")
+	}
+}
+
+func TestPlanCapacityDeterministic(t *testing.T) {
+	a, err := PlanCapacity(planRequest(20), SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanCapacity(planRequest(20), SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config != b.Config || a.TotalGPUs != b.TotalGPUs {
+		t.Errorf("repeated plans differ: %+v vs %+v", a.Config, b.Config)
+	}
+	if a.Metrics != b.Metrics {
+		t.Error("repeated plan metrics differ")
+	}
+}
+
+func TestPlanCapacityReportsInfeasible(t *testing.T) {
+	req := planRequest(500)
+	req.MaxInstances = 1
+	_, err := PlanCapacity(req, SLO{})
+	if err == nil {
+		t.Fatal("expected an infeasibility error")
+	}
+	if !strings.Contains(err.Error(), "no deployment") {
+		t.Errorf("err = %v, want a no-deployment diagnosis", err)
+	}
+}
+
+func TestPlanCapacityRejectsOversizedModel(t *testing.T) {
+	req := planRequest(1)
+	lite := hw.Lite()
+	lite.MaxGPUs = 1
+	lite.Capacity = lite.Capacity / 8 // 2.5 GB: Llama3-8B weights cannot fit
+	req.GPU = lite
+	if _, err := PlanCapacity(req, SLO{}); err == nil {
+		t.Fatal("expected a does-not-fit error")
+	}
+}
+
+func TestMinFeasibleTPAutoSizing(t *testing.T) {
+	opts := inference.DefaultOptions()
+	// Llama3-405B cannot fit one H100 but fits a TP group.
+	tp, err := inference.MinFeasibleTP(hw.H100(), model.Llama3_405B(), inference.Decode, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp <= 1 {
+		t.Errorf("405B min TP on H100 = %d, want > 1", tp)
+	}
+	if inference.MaxFeasibleBatch(hw.H100(), model.Llama3_405B(), inference.Decode, tp, opts) < 1 {
+		t.Error("reported TP does not actually fit")
+	}
+}

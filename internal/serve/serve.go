@@ -67,6 +67,11 @@ func (c Config) Validate() error {
 type Metrics struct {
 	Arrived   int
 	Completed int
+	// Dropped counts requests rejected because their prompt's KV
+	// footprint can never fit a prefill pass even in a batch of one —
+	// without this they would starve in the prefill queue forever,
+	// silently depressing utilization and inflating nothing.
+	Dropped int
 	// TTFT is time-to-first-token (arrival → prefill completion) over
 	// completed-prefill requests, seconds.
 	TTFT mathx.Summary
@@ -89,6 +94,7 @@ type activeReq struct {
 	req       trace.Request
 	remaining int
 	decodeAt  float64 // decode admission time
+	firstAt   float64 // first-token emission time
 }
 
 type prefillEngine struct {
@@ -150,29 +156,33 @@ func Run(cfg Config, reqs []trace.Request, horizon units.Seconds) (Metrics, erro
 	dispatchPrefill := func(now float64) {
 		for i := range prefills {
 			e := &prefills[i]
-			if e.freeAt > now || len(prefillQ) == 0 {
-				continue
-			}
-			n := cfg.MaxPrefillBatch
-			if n > len(prefillQ) {
-				n = len(prefillQ)
-			}
-			// Shrink the batch until its KV footprint fits (a batch of
-			// one always fits; Run validated that above).
-			dt := math.Inf(1)
-			for ; n >= 1; n-- {
-				if dt = prefillTime(prefillQ[:n]); !math.IsInf(dt, 1) {
-					break
+			for e.freeAt <= now && len(prefillQ) > 0 {
+				n := cfg.MaxPrefillBatch
+				if n > len(prefillQ) {
+					n = len(prefillQ)
 				}
+				// Shrink the batch until its KV footprint fits. Run
+				// validated the model fits at the nominal prompt length,
+				// but an individual oversized prompt can still exceed
+				// capacity alone (n reaches 0): drop it rather than let
+				// it starve at the head of the queue forever.
+				dt := math.Inf(1)
+				for ; n >= 1; n-- {
+					if dt = prefillTime(prefillQ[:n]); !math.IsInf(dt, 1) {
+						break
+					}
+				}
+				if n < 1 {
+					prefillQ = prefillQ[1:]
+					m.Dropped++
+					continue
+				}
+				batch := prefillQ[:n]
+				prefillQ = prefillQ[n:]
+				e.batch = append([]trace.Request(nil), batch...)
+				e.freeAt = now + dt
+				e.busy += dt
 			}
-			if n < 1 {
-				continue
-			}
-			batch := prefillQ[:n]
-			prefillQ = prefillQ[n:]
-			e.batch = append([]trace.Request(nil), batch...)
-			e.freeAt = now + dt
-			e.busy += dt
 		}
 	}
 	startDecodeStep := func(now float64, e *decodeEngine) {
@@ -247,13 +257,23 @@ func Run(cfg Config, reqs []trace.Request, horizon units.Seconds) (Metrics, erro
 			for _, a := range e.active {
 				a.remaining--
 				m.TokensGenerated++
+				if a.remaining == a.req.OutputTokens-1 {
+					a.firstAt = now
+				}
 				if a.remaining > 0 {
 					still = append(still, a)
 					continue
 				}
 				m.Completed++
-				dur := now - a.decodeAt
-				tbt := dur / float64(a.req.OutputTokens)
+				// Time-between-tokens is defined over the gaps between
+				// consecutive tokens: n tokens have n-1 intervals
+				// spanning first token → last token. A single-token
+				// output has no inter-token gap, so its one step
+				// duration stands in for the interval.
+				tbt := now - a.decodeAt
+				if a.req.OutputTokens > 1 {
+					tbt = (now - a.firstAt) / float64(a.req.OutputTokens-1)
+				}
 				tbts = append(tbts, tbt)
 				if units.Seconds(tbt) <= pickSLO(opts.TBTLimit, 0.050) {
 					tbtOK++

@@ -92,12 +92,62 @@ func TestSingleRequestTBTMatchesAnalyticalModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// An uncontended request emits one token per consecutive step, so
+	// its 49 inter-token intervals each span exactly one analytical
+	// decode-step latency.
 	want, err := inference.Run(cfg.GPU, cfg.Model, inference.Decode, 1, 1, cfg.Opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rel := math.Abs(mets.TBT.Mean-float64(want.Latency)) / float64(want.Latency); rel > 0.01 {
 		t.Errorf("simulated TBT %v vs analytical %v", mets.TBT.Mean, want.Latency)
+	}
+}
+
+func TestSingleTokenOutputTBTGuard(t *testing.T) {
+	// One output token has zero inter-token intervals; the TBT sample
+	// must fall back to the lone step duration, not divide by zero.
+	cfg := smallConfig()
+	mets, err := Run(cfg, oneRequest(1500, 1), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mets.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", mets.Completed)
+	}
+	step, err := inference.Run(cfg.GPU, cfg.Model, inference.Decode, 1, 1, cfg.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(mets.TBT.Mean, 0) || math.IsNaN(mets.TBT.Mean) {
+		t.Fatalf("TBT mean = %v for single-token output", mets.TBT.Mean)
+	}
+	if rel := math.Abs(mets.TBT.Mean-float64(step.Latency)) / float64(step.Latency); rel > 0.01 {
+		t.Errorf("single-token TBT %v vs step latency %v", mets.TBT.Mean, step.Latency)
+	}
+}
+
+func TestOversizedPromptIsDroppedNotStarved(t *testing.T) {
+	// A prompt whose KV cache alone exceeds GPU capacity can never fit a
+	// prefill pass: it must be counted in Dropped, and requests queued
+	// behind it must still be served.
+	cfg := smallConfig()
+	reqs := []trace.Request{
+		{ID: 0, Arrival: 0, PromptTokens: 5_000_000, OutputTokens: 5},
+		{ID: 1, Arrival: 0.5, PromptTokens: 800, OutputTokens: 5},
+	}
+	mets, err := Run(cfg, reqs, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mets.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", mets.Dropped)
+	}
+	if mets.Completed != 1 {
+		t.Errorf("Completed = %d, want 1 (the feasible request behind the oversized one)", mets.Completed)
+	}
+	if mets.Arrived != 2 {
+		t.Errorf("Arrived = %d, want 2", mets.Arrived)
 	}
 }
 
@@ -236,6 +286,70 @@ func TestNoRequests(t *testing.T) {
 	}
 	if mets.Arrived != 0 || mets.Completed != 0 {
 		t.Errorf("empty run produced %+v", mets)
+	}
+}
+
+func TestHorizonBeforeFirstArrival(t *testing.T) {
+	// Every request arrives after the horizon: the simulation must end
+	// immediately with empty metrics rather than spin or count phantom
+	// arrivals.
+	reqs := []trace.Request{
+		{ID: 0, Arrival: 100, PromptTokens: 500, OutputTokens: 5},
+		{ID: 1, Arrival: 200, PromptTokens: 500, OutputTokens: 5},
+	}
+	mets, err := Run(smallConfig(), reqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mets.Arrived != 0 || mets.Completed != 0 || mets.Dropped != 0 || mets.TokensGenerated != 0 {
+		t.Errorf("pre-arrival horizon produced activity: %+v", mets)
+	}
+	if mets.PrefillUtilization != 0 || mets.DecodeUtilization != 0 {
+		t.Errorf("idle run reports utilization: %+v", mets)
+	}
+}
+
+func TestDecodeCapClampedByKVCapacity(t *testing.T) {
+	// Llama3-70B on one H100 leaves ~10 GB for KV, far below what a
+	// 100k-request decode batch would need. A config with an absurd
+	// MaxDecodeBatch must behave identically to one capped at the KV
+	// limit, proving the clamp is what actually bounds occupancy.
+	base := Config{
+		GPU:              hw.H100(),
+		Model:            model.Llama3_70B(),
+		Opts:             inference.DefaultOptions(),
+		PrefillInstances: 1,
+		PrefillGPUs:      1,
+		DecodeInstances:  1,
+		DecodeGPUs:       1,
+		MaxPrefillBatch:  4,
+		MaxDecodeBatch:   100000,
+	}
+	maxKV := inference.MaxFeasibleBatch(base.GPU, base.Model, inference.Decode, base.DecodeGPUs, base.Opts)
+	if maxKV <= 0 || maxKV >= base.MaxDecodeBatch {
+		t.Fatalf("test premise broken: maxKV = %d", maxKV)
+	}
+	clamped := base
+	clamped.MaxDecodeBatch = maxKV
+
+	gen := trace.CodingWorkload(2.0, 11)
+	reqs, err := gen.Generate(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mAbsurd, err := Run(base, reqs, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mClamped, err := Run(clamped, reqs, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mAbsurd != mClamped {
+		t.Errorf("KV clamp not effective: absurd cap %+v vs clamped %+v", mAbsurd, mClamped)
+	}
+	if mAbsurd.Completed == 0 {
+		t.Error("clamped run served nothing")
 	}
 }
 

@@ -1,0 +1,111 @@
+// Package sweep runs embarrassingly-parallel design-space explorations
+// over a goroutine worker pool while keeping results byte-for-byte
+// reproducible: results come back in input order regardless of worker
+// count or scheduling, and anything stochastic derives its seed from the
+// point's index (via mathx.DeriveSeed), never from which worker ran it.
+//
+// It is the concurrency substrate under the Figure 3 studies, the
+// serving-study grid, litegpu.Sweep, and the capacity planner.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Run evaluates fn over every point using a worker pool sized by
+// GOMAXPROCS. See RunN.
+func Run[P, R any](ctx context.Context, points []P, fn func(ctx context.Context, idx int, p P) (R, error)) ([]R, error) {
+	return RunN(ctx, 0, points, fn)
+}
+
+// RunN evaluates fn(ctx, i, points[i]) for every point over a pool of
+// `workers` goroutines (workers <= 0 means GOMAXPROCS) and returns the
+// results in input order.
+//
+// Error handling is deterministic: if any evaluations fail, RunN returns
+// the error of the lowest-indexed failing point — the same error a
+// sequential loop would hit first — alongside a nil result slice.
+// Remaining points are cancelled via the derived context once any
+// failure is observed, so fn implementations that honor ctx stop early;
+// a point already claimed by a worker always runs to completion.
+func RunN[P, R any](ctx context.Context, workers int, points []P, fn func(ctx context.Context, idx int, p P) (R, error)) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return []R{}, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	results := make([]R, len(points))
+	errs := make([]error, len(points))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+	)
+	// claim hands out point indices strictly in order, so the set of
+	// unclaimed points is always a suffix — the invariant behind the
+	// deterministic lowest-index error below.
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(points) {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				r, err := fn(ctx, i, points[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every claimed point ran to completion, and claims are in index
+	// order; so the lowest-indexed recorded error is exactly the first
+	// error a sequential loop over points would have returned.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	mu.Lock()
+	done := next >= len(points)
+	mu.Unlock()
+	if !done {
+		// Workers stopped early without any point failing: the parent
+		// context was cancelled.
+		return nil, context.Cause(ctx)
+	}
+	return results, nil
+}

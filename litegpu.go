@@ -15,11 +15,20 @@
 //     single-configuration Estimate,
 //   - the discrete-event serving simulator (Serve) and workload
 //     generators,
+//   - the concurrent design-space sweep (Sweep), which crosses Table 1
+//     GPU types × models × workloads × arrival rates over a worker pool
+//     and returns serving metrics per cell,
+//   - the capacity planner (PlanCapacity), which binary-searches prefill
+//     and decode instance counts over the serving simulator until the
+//     TTFT/TBT attainment targets hold, returning the cheapest feasible
+//     deployment with a TCO ($/Mtoken) readout,
 //   - the Section 2/3 claim studies (Yield, Shoreline, Network, Power,
 //     BlastRadius, Granularity).
 //
 // All stochastic entry points take explicit seeds; every result is
-// reproducible byte-for-byte.
+// reproducible byte-for-byte — parallel sweeps derive per-cell seeds
+// from the cell's grid index, so results are identical at any
+// GOMAXPROCS.
 package litegpu
 
 import (
@@ -239,5 +248,8 @@ func WriteReport(w io.Writer, seed uint64) error {
 	if err := experiments.RenderTrainingStudy(w); err != nil {
 		return err
 	}
-	return experiments.RenderServingStudy(w, seed)
+	if err := experiments.RenderServingStudy(w, seed); err != nil {
+		return err
+	}
+	return experiments.RenderServingGrid(w, seed)
 }
