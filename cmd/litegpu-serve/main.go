@@ -10,12 +10,32 @@
 //	litegpu-serve -gpu H100 -model Llama3-70B -prefill-gpus 2 -decode-gpus 2
 //	litegpu-serve -gpu Lite -model Llama3-70B -prefill-gpus 8 -decode-gpus 8
 //
+// With -afr, GPU failure injection is enabled: instances die at the
+// area-scaled annualized failure rate, in-flight requests requeue (or
+// drop with -drop-on-failure), and -spares hot spares restore capacity
+// after a takeover delay. -failure-timescale accelerates the failure
+// clock so a minutes-long run exhibits months of reliability dynamics:
+//
+//	litegpu-serve -afr 0.09 -spares 2
+//	litegpu-serve -afr 0.09 -spares 2 -failure-timescale 1e6
+//
+// With -second-gpu, a second pool of that GPU type serves the same
+// trace side by side (instance counts as the main pool, tensor
+// parallelism auto-sized), with -router picking round-robin or
+// join-shortest-queue:
+//
+//	litegpu-serve -gpu H100 -second-gpu Lite -router jsq
+//
 // With -plan, the instance-count flags are ignored (they are what the
 // planner searches over) and the capacity planner sizes the cheapest
 // deployment meeting the SLO targets instead; -horizon, the batch caps,
-// and explicitly-set -prefill-gpus/-decode-gpus TP degrees are honored:
+// and explicitly-set -prefill-gpus/-decode-gpus TP degrees are honored.
+// Combined with -afr the plan becomes availability-aware: a hot-spare
+// count joins the search (target -min-availability) and is priced into
+// the TCO:
 //
 //	litegpu-serve -plan -gpu Lite -model Llama3-8B -rate 20 -ttft-attainment 0.99
+//	litegpu-serve -plan -gpu Lite -model Llama3-8B -rate 20 -afr 0.09 -min-availability 0.99999
 package main
 
 import (
@@ -39,10 +59,17 @@ func main() {
 	maxPrefill := flag.Int("max-prefill-batch", 4, "prompts fused per prefill pass")
 	maxDecode := flag.Int("max-decode-batch", 64, "continuous-batching cap")
 	workload := flag.String("workload", "coding", "workload shape: coding | conversation")
+	afr := flag.Float64("afr", 0, "enable failure injection at this reference-package annualized failure rate (e.g. 0.09; 0 = off)")
+	spares := flag.Int("spares", 0, "hot spares per pool under failure injection")
+	timescale := flag.Float64("failure-timescale", 1, "failure-clock acceleration factor (rates ×k; repair stays real time)")
+	dropOnFailure := flag.Bool("drop-on-failure", false, "drop in-flight requests when their instance dies instead of requeueing")
+	secondGPU := flag.String("second-gpu", "", "add a second pool of this GPU type serving the same trace (heterogeneous cluster)")
+	router := flag.String("router", "rr", "arrival router across pools: rr (round-robin) | jsq (join-shortest-queue)")
 	plan := flag.Bool("plan", false, "size the cheapest deployment meeting the SLO targets instead of simulating fixed pools")
 	ttftAttain := flag.Float64("ttft-attainment", 0.99, "plan mode: required fraction of requests meeting the TTFT limit")
 	tbtAttain := flag.Float64("tbt-attainment", 0.99, "plan mode: required fraction of requests meeting the TBT limit")
 	minCompletion := flag.Float64("min-completion", 0.95, "plan mode: required fraction of arrived requests completing")
+	minAvailability := flag.Float64("min-availability", 0.999, "plan mode with -afr: required analytic availability of the spared deployment")
 	maxInstances := flag.Int("max-instances", 64, "plan mode: per-pool instance-count search ceiling")
 	flag.Parse()
 
@@ -63,11 +90,47 @@ func main() {
 	default:
 		fatalf("unknown workload %q", *workload)
 	}
+	failures := litegpu.ServeFailureConfig{}
+	if *afr > 0 {
+		failures = litegpu.ServeFailureConfig{
+			Enabled:   true,
+			Params:    litegpu.DefaultFailureParams(*afr),
+			Spares:    *spares,
+			TimeScale: *timescale,
+			Seed:      *seed,
+		}
+		if *dropOnFailure {
+			failures.Policy = litegpu.DropOnFailure
+		}
+	}
+	var routerPolicy litegpu.ServeRouterPolicy
+	switch *router {
+	case "rr", "round-robin":
+		routerPolicy = litegpu.RoundRobin
+	case "jsq", "join-shortest-queue":
+		routerPolicy = litegpu.JoinShortestQueue
+	default:
+		fatalf("unknown router %q (want rr or jsq)", *router)
+	}
 	if *plan {
+		if *secondGPU != "" {
+			fatalf("-plan sizes a single homogeneous pool; it cannot be combined with -second-gpu")
+		}
+		// The spare count and router are planner outputs / serving-only
+		// knobs: reject explicit settings rather than silently ignore.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "spares":
+				fatalf("-plan searches the spare count itself (see -min-availability); -spares only applies without -plan")
+			case "router", "drop-on-failure":
+				fatalf("-%s only applies without -plan", f.Name)
+			}
+		})
 		slo := litegpu.CapacitySLO{
-			TTFTAttainment: *ttftAttain,
-			TBTAttainment:  *tbtAttain,
-			MinCompletion:  *minCompletion,
+			TTFTAttainment:  *ttftAttain,
+			TBTAttainment:   *tbtAttain,
+			MinCompletion:   *minCompletion,
+			MinAvailability: *minAvailability,
 		}
 		gen.Rate = *rate
 		req := litegpu.CapacityRequest{
@@ -79,6 +142,7 @@ func main() {
 			MaxPrefillBatch: *maxPrefill,
 			MaxDecodeBatch:  *maxDecode,
 			MaxInstances:    *maxInstances,
+			Failures:        failures,
 		}
 		// The instance-count flags are what the planner searches over,
 		// but an explicitly-set TP degree is a constraint to respect;
@@ -98,13 +162,21 @@ func main() {
 		c := p.Config
 		fmt.Printf("capacity plan: %s serving %s at %.2f req/s (%s workload, seed %d)\n",
 			gpu.Name, m.Name, *rate, *workload, *seed)
-		fmt.Printf("  deployment: %d×%d-GPU prefill + %d×%d-GPU decode = %d GPUs\n",
-			c.PrefillInstances, c.PrefillGPUs, c.DecodeInstances, c.DecodeGPUs, p.TotalGPUs)
+		spareNote := ""
+		if p.Spares > 0 {
+			spareNote = fmt.Sprintf(" + %d spares", p.Spares)
+		}
+		fmt.Printf("  deployment: %d×%d-GPU prefill + %d×%d-GPU decode%s = %d GPUs\n",
+			c.PrefillInstances, c.PrefillGPUs, c.DecodeInstances, c.DecodeGPUs, spareNote, p.TotalGPUs)
 		fmt.Printf("  SLO check: TTFT attainment %.1f%% (target %.1f%%), TBT attainment %.1f%% (target %.1f%%)\n",
 			p.Metrics.TTFTAttainment*100, *ttftAttain*100,
 			p.Metrics.TBTAttainment*100, *tbtAttain*100)
 		fmt.Printf("  completed %d/%d, dropped %d, tokens %d\n",
 			p.Metrics.Completed, p.Metrics.Arrived, p.Metrics.Dropped, p.Metrics.TokensGenerated)
+		if failures.Enabled {
+			fmt.Printf("  reliability: %d hot spares for %.6f availability (target %.6f), blast radius %.1f%%\n",
+				p.Spares, p.Availability, *minAvailability, p.Metrics.BlastRadius*100)
+		}
 		fmt.Printf("  TCO: %v\n", p.Cost)
 		return
 	}
@@ -125,23 +197,69 @@ func main() {
 		MaxPrefillBatch:  *maxPrefill,
 		MaxDecodeBatch:   *maxDecode,
 	}
-	mets, err := litegpu.Serve(cfg, reqs, litegpu.Seconds(*horizon)+120)
+	cc := litegpu.ServeClusterConfig{
+		Pools:    []litegpu.ServePool{{Name: gpu.Name, Config: cfg}},
+		Router:   routerPolicy,
+		Failures: failures,
+	}
+	if *secondGPU != "" {
+		g2, ok := litegpu.GPUByName(*secondGPU)
+		if !ok {
+			fatalf("unknown GPU %q", *secondGPU)
+		}
+		opts := litegpu.DefaultOptions()
+		pTP, err := litegpu.MinFeasibleTP(g2, m, litegpu.Prefill, opts)
+		if err != nil {
+			fatalf("second pool: %v", err)
+		}
+		dTP, err := litegpu.MinFeasibleTP(g2, m, litegpu.Decode, opts)
+		if err != nil {
+			fatalf("second pool: %v", err)
+		}
+		cfg2 := cfg
+		cfg2.GPU = g2
+		cfg2.PrefillGPUs = pTP
+		cfg2.DecodeGPUs = dTP
+		cc.Pools = append(cc.Pools, litegpu.ServePool{Name: g2.Name, Config: cfg2})
+	}
+
+	cm, err := litegpu.ServeCluster(cc, reqs, litegpu.Seconds(*horizon)+120)
 	if err != nil {
 		fatalf("simulate: %v", err)
 	}
 
-	fmt.Printf("deployment: %s × (%d×%d prefill + %d×%d decode), model %s\n",
-		gpu.Name, *prefillInst, *prefillGPUs, *decodeInst, *decodeGPUs, m.Name)
 	fmt.Printf("workload: %s @ %.2f req/s for %.0f s (seed %d)\n", *workload, *rate, *horizon, *seed)
-	fmt.Printf("arrived %d, completed %d, dropped %d, tokens generated %d\n",
-		mets.Arrived, mets.Completed, mets.Dropped, mets.TokensGenerated)
-	fmt.Printf("TTFT p50/p90/p99: %.0f / %.0f / %.0f ms (attainment %.1f%%)\n",
-		mets.TTFT.P50*1e3, mets.TTFT.P90*1e3, mets.TTFT.P99*1e3, mets.TTFTAttainment*100)
-	fmt.Printf("TBT  p50/p90/p99: %.1f / %.1f / %.1f ms (attainment %.1f%%)\n",
-		mets.TBT.P50*1e3, mets.TBT.P90*1e3, mets.TBT.P99*1e3, mets.TBTAttainment*100)
-	fmt.Printf("E2E  p50/p99: %.2f / %.2f s\n", mets.E2E.P50, mets.E2E.P99)
-	fmt.Printf("utilization: prefill %.1f%%, decode %.1f%%\n",
-		mets.PrefillUtilization*100, mets.DecodeUtilization*100)
+	if failures.Enabled {
+		fmt.Printf("failure injection: AFR %.2f ×%.0f, %d spares/pool, policy %s\n",
+			*afr, *timescale, *spares, map[bool]string{false: "requeue", true: "drop"}[*dropOnFailure])
+	}
+	for i, pm := range cm.Pools {
+		pc := cc.Pools[i].Config // RunCluster reports pools in input order
+		fmt.Printf("pool %s: %d×%d prefill + %d×%d decode, model %s\n",
+			pm.Name, pc.PrefillInstances, pc.PrefillGPUs, pc.DecodeInstances, pc.DecodeGPUs, m.Name)
+		printMetrics("  ", pm.Metrics, failures.Enabled)
+	}
+	if len(cm.Pools) > 1 {
+		fmt.Printf("cluster total (router %s):\n", *router)
+		printMetrics("  ", cm.Total, failures.Enabled)
+	}
+}
+
+func printMetrics(indent string, mets litegpu.ServeMetrics, withFailures bool) {
+	fmt.Printf("%sarrived %d, completed %d, dropped %d, tokens generated %d\n",
+		indent, mets.Arrived, mets.Completed, mets.Dropped, mets.TokensGenerated)
+	fmt.Printf("%sTTFT p50/p90/p99: %.0f / %.0f / %.0f ms (attainment %.1f%%)\n",
+		indent, mets.TTFT.P50*1e3, mets.TTFT.P90*1e3, mets.TTFT.P99*1e3, mets.TTFTAttainment*100)
+	fmt.Printf("%sTBT  p50/p90/p99: %.1f / %.1f / %.1f ms (attainment %.1f%%)\n",
+		indent, mets.TBT.P50*1e3, mets.TBT.P90*1e3, mets.TBT.P99*1e3, mets.TBTAttainment*100)
+	fmt.Printf("%sE2E  p50/p99: %.2f / %.2f s\n", indent, mets.E2E.P50, mets.E2E.P99)
+	fmt.Printf("%sutilization: prefill %.1f%%, decode %.1f%%\n",
+		indent, mets.PrefillUtilization*100, mets.DecodeUtilization*100)
+	if withFailures {
+		fmt.Printf("%sreliability: availability %.4f, %d failures, %d requeued, %d dropped-on-failure, goodput %.1f tok/s, blast radius %.1f%%\n",
+			indent, mets.Availability, mets.FailureEvents, mets.Requeued, mets.DroppedOnFailure,
+			mets.Goodput, mets.BlastRadius*100)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -11,6 +11,12 @@
 //	litegpu-sweep                                  # full Table 1 × paper models grid
 //	litegpu-sweep -gpus H100,Lite -models Llama3-8B -rates 0.5,2,8
 //	litegpu-sweep -workers 1                       # sequential baseline (same output)
+//	litegpu-sweep -afr 0.09 -failure-timescale 1e6 # add a failure-injection axis
+//
+// With -afr, every grid point is simulated twice — clean and with GPU
+// failure injection at the given reference AFR (optionally accelerated
+// by -failure-timescale, with -spares hot spares per pool) — and the
+// availability/failure columns show the contrast.
 package main
 
 import (
@@ -34,6 +40,9 @@ func main() {
 	drain := flag.Float64("drain", 120, "extra simulated seconds for in-flight requests to finish")
 	seed := flag.Uint64("seed", 42, "base workload seed (each cell derives its own)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	afr := flag.Float64("afr", 0, "add a failure-mode axis at this reference-package annualized failure rate (0 = clean grid only)")
+	spares := flag.Int("spares", 1, "hot spares per pool in the failure mode")
+	timescale := flag.Float64("failure-timescale", 1, "failure-clock acceleration in the failure mode")
 	flag.Parse()
 
 	spec := litegpu.SweepSpec{
@@ -74,26 +83,51 @@ func main() {
 		spec.Rates = append(spec.Rates, r)
 	}
 
+	withFailures := *afr > 0
+	if withFailures {
+		spec.FailureModes = []litegpu.SweepFailureMode{
+			{Name: "none"},
+			{Name: fmt.Sprintf("afr=%.2f×%.0g", *afr, *timescale), Failures: litegpu.ServeFailureConfig{
+				Enabled:   true,
+				Params:    litegpu.DefaultFailureParams(*afr),
+				Spares:    *spares,
+				TimeScale: *timescale,
+			}},
+		}
+	}
+
 	cells, err := litegpu.Sweep(context.Background(), spec)
 	if err != nil {
 		fatalf("sweep: %v", err)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att.")
+	failCols := "\tFailures\tAvail/Ev"
+	if !withFailures {
+		failCols = ""
+	}
+	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att."+failCols)
 	for _, c := range cells {
 		if c.Err != "" {
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\tinfeasible: %s\t\t\t\t\t\t\n", c.GPU, c.Model, c.Workload, c.Rate, c.Err)
+			row := fmt.Sprintf("%s\t%s\t%s\t%.2f\tinfeasible: %s\t\t\t\t\t\t", c.GPU, c.Model, c.Workload, c.Rate, c.Err)
+			if withFailures {
+				row += fmt.Sprintf("\t%s\t", c.Failure)
+			}
+			fmt.Fprintln(tw, row)
 			continue
 		}
 		m := c.Metrics
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%d×%dP+%d×%dD\t%d/%d\t%d\t%.0f ms\t%.1f ms\t%.1f%%\t%.1f%%\n",
+		row := fmt.Sprintf("%s\t%s\t%s\t%.2f\t%d×%dP+%d×%dD\t%d/%d\t%d\t%.0f ms\t%.1f ms\t%.1f%%\t%.1f%%",
 			c.GPU, c.Model, c.Workload, c.Rate,
 			c.Config.PrefillInstances, c.Config.PrefillGPUs,
 			c.Config.DecodeInstances, c.Config.DecodeGPUs,
 			m.Completed, m.Arrived, m.Dropped,
 			m.TTFT.P99*1e3, m.TBT.P99*1e3,
 			m.TTFTAttainment*100, m.TBTAttainment*100)
+		if withFailures {
+			row += fmt.Sprintf("\t%s\t%.3f/%d", c.Failure, m.Availability, m.FailureEvents)
+		}
+		fmt.Fprintln(tw, row)
 	}
 	tw.Flush()
 }

@@ -1,0 +1,75 @@
+package litegpu
+
+import "testing"
+
+// TestServeWithFailuresBlastRadius is the paper's headline serving
+// claim: at equal aggregate throughput and paper-calibrated AFRs, the
+// Lite-GPU deployment loses a smaller capacity fraction per failure
+// event than the big-GPU deployment.
+func TestServeWithFailuresBlastRadius(t *testing.T) {
+	res, err := ServeWithFailures(FailureServingSpec{RefAFR: 0.09, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, lite := res.Big.Metrics, res.Lite.Metrics
+	if lite.BlastRadius >= big.BlastRadius {
+		t.Errorf("Lite blast radius %v not below big-GPU %v", lite.BlastRadius, big.BlastRadius)
+	}
+	// Equal silicon must mean comparable served throughput on the
+	// identical trace.
+	if big.Completed == 0 {
+		t.Fatal("big deployment served nothing")
+	}
+	if ratio := float64(lite.Completed) / float64(big.Completed); ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("Lite/big completion ratio %v, want ≈1 (equal aggregate throughput)", ratio)
+	}
+	// The Lite side shards into more, smaller instances.
+	bigInst := res.Big.Config.PrefillInstances + res.Big.Config.DecodeInstances
+	liteInst := res.Lite.Config.PrefillInstances + res.Lite.Config.DecodeInstances
+	if liteInst <= bigInst {
+		t.Errorf("Lite deployment has %d instances vs big %d; want more", liteInst, bigInst)
+	}
+	if res.Big.Config.TotalGPUs()*4 != res.Lite.Config.TotalGPUs() {
+		t.Errorf("silicon mismatch: big %d GPUs ×4 vs lite %d", res.Big.Config.TotalGPUs(), res.Lite.Config.TotalGPUs())
+	}
+}
+
+// TestServeWithFailuresAccelerated stresses the same pair under an
+// accelerated failure clock so failures actually land inside the
+// window: the finer-grained Lite deployment — smaller blast radius,
+// Split× more spares for the same spare silicon — must keep more of its
+// capacity and goodput in service. (The run is fully deterministic at
+// this seed; the margin is wide — ~0.8 vs ~0.2 availability — so this
+// is not a tuned knife-edge.)
+func TestServeWithFailuresAccelerated(t *testing.T) {
+	res, err := ServeWithFailures(FailureServingSpec{RefAFR: 0.09, TimeScale: 2e6, Horizon: 600, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, lite := res.Big.Metrics, res.Lite.Metrics
+	if big.FailureEvents == 0 || lite.FailureEvents == 0 {
+		t.Fatalf("accelerated clock produced no failures (big %d, lite %d)", big.FailureEvents, lite.FailureEvents)
+	}
+	if lite.Availability <= big.Availability {
+		t.Errorf("Lite availability %v not above big-GPU %v under failures (big events %d, lite events %d)",
+			lite.Availability, big.Availability, big.FailureEvents, lite.FailureEvents)
+	}
+	if lite.Goodput <= big.Goodput {
+		t.Errorf("Lite goodput %v not above big-GPU %v under failures", lite.Goodput, big.Goodput)
+	}
+}
+
+func TestServeWithFailuresDeterministic(t *testing.T) {
+	spec := FailureServingSpec{TimeScale: 4e6, Seed: 7}
+	a, err := ServeWithFailures(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServeWithFailures(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated ServeWithFailures runs diverge")
+	}
+}

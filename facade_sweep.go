@@ -26,6 +26,20 @@ func DefaultSweepWorkloads() []SweepWorkload {
 	}
 }
 
+// SweepFailureMode is one failure-axis setting of the sweep: a label
+// plus a failure-injection config (Seed is overridden per cell so the
+// grid stays byte-identical at any worker count).
+type SweepFailureMode struct {
+	Name     string
+	Failures ServeFailureConfig
+}
+
+// DefaultSweepFailureModes returns the single clean mode — sweeps only
+// grow a failure axis when asked.
+func DefaultSweepFailureModes() []SweepFailureMode {
+	return []SweepFailureMode{{Name: "none"}}
+}
+
 // SweepSpec parameterizes Sweep. Zero-value fields take the defaults
 // noted on each.
 type SweepSpec struct {
@@ -37,6 +51,10 @@ type SweepSpec struct {
 	Workloads []SweepWorkload
 	// Rates (req/s) defaults to {0.5, 1.5}.
 	Rates []float64
+	// FailureModes defaults to the single clean mode; add entries (e.g.
+	// an accelerated-AFR config with hot spares) to cross the grid with
+	// failure injection.
+	FailureModes []SweepFailureMode
 
 	// Horizon is the arrival window (default 300 s); the simulation runs
 	// Drain (default 120 s) past it so in-flight requests can finish.
@@ -77,6 +95,9 @@ func (s SweepSpec) withDefaults() SweepSpec {
 	if len(s.Rates) == 0 {
 		s.Rates = []float64{0.5, 1.5}
 	}
+	if len(s.FailureModes) == 0 {
+		s.FailureModes = DefaultSweepFailureModes()
+	}
 	if s.Horizon <= 0 {
 		s.Horizon = 300
 	}
@@ -102,14 +123,16 @@ func (s SweepSpec) withDefaults() SweepSpec {
 }
 
 // SweepCell is one point of the sweep grid: a (GPU, model, workload,
-// rate) combination with its simulated serving metrics. Err is non-empty
-// when the combination is infeasible (e.g. the model does not fit the
-// GPU type's largest legal cluster); such cells carry zero Metrics.
+// rate, failure-mode) combination with its simulated serving metrics.
+// Err is non-empty when the combination is infeasible (e.g. the model
+// does not fit the GPU type's largest legal cluster); such cells carry
+// zero Metrics.
 type SweepCell struct {
 	GPU      string
 	Model    string
 	Workload string
 	Rate     float64
+	Failure  string
 
 	// Config is the auto-sized deployment the cell simulated.
 	Config ServeConfig
@@ -135,26 +158,31 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 		model    Transformer
 		workload SweepWorkload
 		rate     float64
+		failure  SweepFailureMode
 	}
 	var points []point
 	for _, g := range spec.GPUs {
 		for _, m := range spec.Models {
 			for _, w := range spec.Workloads {
 				for _, r := range spec.Rates {
-					points = append(points, point{gpu: g, model: m, workload: w, rate: r})
+					for _, f := range spec.FailureModes {
+						points = append(points, point{gpu: g, model: m, workload: w, rate: r, failure: f})
+					}
 				}
 			}
 		}
 	}
-	// The request stream depends only on (workload, rate): every GPU and
-	// model at the same workload point faces the identical trace, so
-	// cross-hardware comparisons within the grid are noise-free. The
-	// seed position is the cell index modulo the workload×rate block.
+	// The request stream depends only on (workload, rate): every GPU,
+	// model, and failure mode at the same workload point faces the
+	// identical trace, so cross-hardware (and clean-vs-faulty)
+	// comparisons within the grid are noise-free. The seed position is
+	// the workload×rate coordinate of the cell.
 	traceBlock := len(spec.Workloads) * len(spec.Rates)
+	failureModes := len(spec.FailureModes)
 
 	return sweep.RunN(ctx, spec.Workers, points,
 		func(_ context.Context, idx int, p point) (SweepCell, error) {
-			c := SweepCell{GPU: p.gpu.Name, Model: p.model.Name, Workload: p.workload.Name, Rate: p.rate}
+			c := SweepCell{GPU: p.gpu.Name, Model: p.model.Name, Workload: p.workload.Name, Rate: p.rate, Failure: p.failure.Name}
 			pTP, err := inference.MinFeasibleTP(p.gpu, p.model, Prefill, spec.Opts)
 			if err != nil {
 				c.Err = err.Error()
@@ -171,18 +199,24 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 				DecodeInstances: spec.DecodeInstances, DecodeGPUs: dTP,
 				MaxPrefillBatch: spec.MaxPrefillBatch, MaxDecodeBatch: spec.MaxDecodeBatch,
 			}
-			gen := p.workload.Make(p.rate, mathx.DeriveSeed(spec.Seed, uint64(idx%traceBlock)))
+			gen := p.workload.Make(p.rate, mathx.DeriveSeed(spec.Seed, uint64((idx/failureModes)%traceBlock)))
 			reqs, err := gen.Generate(spec.Horizon)
 			if err != nil {
 				return SweepCell{}, fmt.Errorf("litegpu: sweep cell %d (%s/%s/%s@%.2f): %w",
 					idx, c.GPU, c.Model, c.Workload, c.Rate, err)
 			}
-			mets, err := serve.Run(c.Config, reqs, spec.Horizon+spec.Drain)
+			cc := ServeClusterConfig{
+				Pools:    []ServePool{{Name: c.GPU, Config: c.Config}},
+				Failures: p.failure.Failures,
+			}
+			// Each cell's failure processes get their own derived stream.
+			cc.Failures.Seed = mathx.DeriveSeed(spec.Seed^0xfa11, uint64(idx))
+			cm, err := serve.RunCluster(cc, reqs, spec.Horizon+spec.Drain)
 			if err != nil {
 				c.Err = err.Error()
 				return c, nil
 			}
-			c.Metrics = mets
+			c.Metrics = cm.Pools[0].Metrics
 			return c, nil
 		})
 }

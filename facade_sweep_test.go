@@ -139,3 +139,60 @@ func TestPlanCapacityFacade(t *testing.T) {
 		t.Error("no $/Mtok readout")
 	}
 }
+
+// TestSweepFailureAxis crosses the small grid with an accelerated
+// failure mode and checks the axis is plumbed end to end: cell order
+// gains the innermost failure coordinate, clean cells stay pristine,
+// injected cells observe failures, and the grid remains byte-identical
+// across worker counts.
+func TestSweepFailureAxis(t *testing.T) {
+	spec := smallSweepSpec()
+	spec.Rates = []float64{2.0}
+	spec.FailureModes = []SweepFailureMode{
+		{Name: "none"},
+		{Name: "stress", Failures: ServeFailureConfig{Enabled: true, Spares: 1, TimeScale: 8e6}},
+	}
+	cells, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 2 GPUs × 1 model × 1 workload × 1 rate × 2 modes = 4", len(cells))
+	}
+	sawFailure := false
+	for i, c := range cells {
+		wantMode := spec.FailureModes[i%2].Name
+		if c.Failure != wantMode {
+			t.Errorf("cell %d failure mode %q, want %q (failure axis must be innermost)", i, c.Failure, wantMode)
+		}
+		switch c.Failure {
+		case "none":
+			if c.Metrics.FailureEvents != 0 || c.Metrics.Availability != 1 {
+				t.Errorf("clean cell %d reports failure activity: %+v", i, c.Metrics)
+			}
+		default:
+			if c.Metrics.FailureEvents > 0 {
+				sawFailure = true
+			}
+			if c.Metrics.Availability >= 1 && c.Metrics.FailureEvents > 0 {
+				t.Errorf("cell %d saw %d failures but availability %v", i, c.Metrics.FailureEvents, c.Metrics.Availability)
+			}
+		}
+		// Clean and stressed cells at one grid point share the trace.
+		if i%2 == 1 && cells[i-1].Metrics.Arrived != c.Metrics.Arrived {
+			t.Errorf("cell %d arrivals %d differ from clean twin %d", i, c.Metrics.Arrived, cells[i-1].Metrics.Arrived)
+		}
+	}
+	if !sawFailure {
+		t.Error("no stressed cell observed a failure; the accelerated clock is miscalibrated")
+	}
+
+	spec.Workers = 1
+	seq, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells, seq) {
+		t.Error("failure-axis sweep diverges between parallel and sequential runs")
+	}
+}

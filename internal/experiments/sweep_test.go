@@ -47,12 +47,26 @@ func TestServingGridParallelMatchesSequential(t *testing.T) {
 	if !reflect.DeepEqual(seq, par) {
 		t.Error("parallel serving grid diverges from sequential")
 	}
-	if len(seq) != 6 {
-		t.Errorf("grid has %d cells, want 6", len(seq))
+	if len(seq) != 12 {
+		t.Errorf("grid has %d cells, want 2 deployments × 3 rates × 2 failure modes = 12", len(seq))
 	}
+	sawFailure := false
 	for _, c := range seq {
 		if c.Metrics.Arrived == 0 || c.Metrics.Completed == 0 {
-			t.Errorf("cell %s @ %.1f served nothing", c.Label, c.Rate)
+			t.Errorf("cell %s @ %.1f (%s) served nothing", c.Label, c.Rate, c.Failure)
 		}
+		switch c.Failure {
+		case "none":
+			if c.Metrics.Availability != 1 || c.Metrics.FailureEvents != 0 {
+				t.Errorf("clean cell %s @ %.1f reports failure activity: %+v", c.Label, c.Rate, c.Metrics)
+			}
+		default:
+			if c.Metrics.FailureEvents > 0 {
+				sawFailure = true
+			}
+		}
+	}
+	if !sawFailure {
+		t.Error("no failure-mode cell observed a failure; the accelerated clock is miscalibrated")
 	}
 }

@@ -291,19 +291,43 @@ func RenderServingStudy(w io.Writer, seed uint64) error {
 	return nil
 }
 
-// ServingGridCell is one (deployment, rate) point of the serving grid.
+// ServingGridCell is one (deployment, rate, failure-mode) point of the
+// serving grid.
 type ServingGridCell struct {
 	Label   string
 	Rate    float64
+	Failure string
 	Config  serve.Config
 	Metrics serve.Metrics
 }
 
+// GridFailureMode is one failure-axis setting of the serving grid.
+type GridFailureMode struct {
+	Name     string
+	Failures serve.FailureConfig
+}
+
+// GridFailureModes returns the grid's failure axis: a clean baseline and
+// an accelerated-AFR mode (default calibration sped up 3×10⁵×, one hot
+// spare) that makes instance deaths and spare takeovers visible inside
+// the seven-minute simulation window.
+func GridFailureModes() []GridFailureMode {
+	return []GridFailureMode{
+		{Name: "none"},
+		{Name: "afr×3e5+1sp", Failures: serve.FailureConfig{
+			Enabled:   true,
+			Spares:    1,
+			TimeScale: 3e5,
+		}},
+	}
+}
+
 // ServingGrid crosses the paper's two serving deployments — an H100
 // phase-split cluster and its 4×-Lite replacement — with a range of
-// arrival rates, running every simulation concurrently over the sweep
-// pool. Each cell's workload seed derives from (seed, cell index) so the
-// grid is byte-identical at any worker count.
+// arrival rates and the failure-mode axis, running every simulation
+// concurrently over the sweep pool. Each cell's workload seed derives
+// from (seed, rate index) and its failure seed from (seed, cell index),
+// so the grid is byte-identical at any worker count.
 func ServingGrid(seed uint64) ([]ServingGridCell, error) {
 	return servingGrid(seed, 0)
 }
@@ -334,29 +358,47 @@ func servingGrid(seed uint64, workers int) ([]ServingGridCell, error) {
 		}},
 	}
 	rates := []float64{0.6, 1.2, 2.4}
+	modes := GridFailureModes()
 
-	var cells []ServingGridCell
+	type gridPoint struct {
+		cell ServingGridCell
+		mode GridFailureMode
+	}
+	var points []gridPoint
 	for _, d := range deployments {
 		for _, r := range rates {
-			cells = append(cells, ServingGridCell{Label: d.label, Rate: r, Config: d.cfg})
+			for _, fm := range modes {
+				points = append(points, gridPoint{
+					cell: ServingGridCell{Label: d.label, Rate: r, Failure: fm.Name, Config: d.cfg},
+					mode: fm,
+				})
+			}
 		}
 	}
-	return sweep.RunN(context.Background(), workers, cells,
-		func(_ context.Context, idx int, c ServingGridCell) (ServingGridCell, error) {
+	return sweep.RunN(context.Background(), workers, points,
+		func(_ context.Context, idx int, p gridPoint) (ServingGridCell, error) {
+			c := p.cell
 			// Seed by rate position, not flat cell index: the deployments
-			// being compared at one rate must face the identical request
-			// stream, or their metric differences would partly be trace
-			// noise rather than hardware.
-			gen := trace.CodingWorkload(c.Rate, mathx.DeriveSeed(seed, uint64(idx%len(rates))))
+			// and failure modes being compared at one rate must face the
+			// identical request stream, or their metric differences would
+			// partly be trace noise rather than hardware.
+			gen := trace.CodingWorkload(c.Rate, mathx.DeriveSeed(seed, uint64((idx/len(modes))%len(rates))))
 			reqs, err := gen.Generate(300)
 			if err != nil {
 				return ServingGridCell{}, err
 			}
-			m, err := serve.Run(c.Config, reqs, 420)
-			if err != nil {
-				return ServingGridCell{}, fmt.Errorf("experiments: %s @ %.1f req/s: %w", c.Label, c.Rate, err)
+			cc := serve.ClusterConfig{
+				Pools:    []serve.Pool{{Name: c.Label, Config: c.Config}},
+				Failures: p.mode.Failures,
 			}
-			c.Metrics = m
+			// The failure processes get their own per-cell stream so the
+			// grid stays byte-identical at any worker count.
+			cc.Failures.Seed = mathx.DeriveSeed(seed^0xfa11, uint64(idx))
+			cm, err := serve.RunCluster(cc, reqs, 420)
+			if err != nil {
+				return ServingGridCell{}, fmt.Errorf("experiments: %s @ %.1f req/s (%s): %w", c.Label, c.Rate, c.Failure, err)
+			}
+			c.Metrics = cm.Pools[0].Metrics
 			return c, nil
 		})
 }
@@ -373,17 +415,19 @@ func RenderServingGrid(w io.Writer, seed uint64) error {
 		rows = append(rows, []string{
 			c.Label,
 			fmt.Sprintf("%.1f", c.Rate),
+			c.Failure,
 			fmt.Sprintf("%d/%d", m.Completed, m.Arrived),
 			fmt.Sprintf("%d", m.Dropped),
 			fmt.Sprintf("%.0f ms", m.TTFT.P99*1e3),
 			fmt.Sprintf("%.1f ms", m.TBT.P99*1e3),
 			fmt.Sprintf("%.1f%%", m.TTFTAttainment*100),
 			fmt.Sprintf("%.1f%%", m.TBTAttainment*100),
+			fmt.Sprintf("%.3f/%d", m.Availability, m.FailureEvents),
 			fmt.Sprintf("%.0f%%/%.0f%%", m.PrefillUtilization*100, m.DecodeUtilization*100),
 		})
 	}
-	render(w, "Section 4: serving grid — phase-split deployments × arrival rates (coding workload)",
-		[]string{"Deployment", "req/s", "Done", "Drop", "TTFT p99", "TBT p99", "TTFT att.", "TBT att.", "Util P/D"},
+	render(w, "Section 4: serving grid — phase-split deployments × arrival rates × failure modes (coding workload)",
+		[]string{"Deployment", "req/s", "Failures", "Done", "Drop", "TTFT p99", "TBT p99", "TTFT att.", "TBT att.", "Avail/Ev", "Util P/D"},
 		rows)
 	return nil
 }

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"litegpu/internal/failure"
+	"litegpu/internal/hw"
+	"litegpu/internal/inference"
+	"litegpu/internal/model"
+	"litegpu/internal/trace"
+	"litegpu/internal/units"
+)
+
+// acceleratedFailures returns a failure config hot enough that a
+// minutes-long window reliably sees several instance failures: the
+// default AFR calibration sped up 8×10⁶×, i.e. an H100-class unit fails
+// roughly every 70 simulated seconds. Repair takes 300 s, so without a
+// spare an instance that dies mid-window mostly stays dead; with spares
+// the 5 s takeover is the only interruption.
+func acceleratedFailures(spares int) FailureConfig {
+	p := failure.DefaultParams()
+	p.MTTR = 300
+	p.RecoveryTime = 5
+	return FailureConfig{
+		Enabled:   true,
+		Params:    p,
+		Spares:    spares,
+		TimeScale: 8e6,
+		Seed:      99,
+	}
+}
+
+func clusterOf(cfgs ...Config) ClusterConfig {
+	var cc ClusterConfig
+	for _, c := range cfgs {
+		cc.Pools = append(cc.Pools, Pool{Config: c})
+	}
+	return cc
+}
+
+func codingTrace(t *testing.T, rate float64, seed uint64, horizon units.Seconds) []trace.Request {
+	t.Helper()
+	reqs, err := trace.CodingWorkload(rate, seed).Generate(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestSinglePoolClusterMatchesRun(t *testing.T) {
+	// RunCluster with one pool and no failures IS Run: pool metrics and
+	// the aggregate must both match field-for-field.
+	cfg := smallConfig()
+	reqs := codingTrace(t, 1.0, 7, 200)
+	m, err := Run(cfg, reqs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := RunCluster(clusterOf(cfg), reqs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Pools) != 1 {
+		t.Fatalf("pools = %d, want 1", len(cm.Pools))
+	}
+	if cm.Pools[0].Metrics != m {
+		t.Errorf("pool metrics diverge from Run:\n%+v\nvs\n%+v", cm.Pools[0].Metrics, m)
+	}
+	if cm.Total != m {
+		t.Errorf("single-pool aggregate diverges from Run:\n%+v\nvs\n%+v", cm.Total, m)
+	}
+	if cm.Pools[0].Name != cfg.GPU.Name {
+		t.Errorf("pool name defaulted to %q, want GPU name %q", cm.Pools[0].Name, cfg.GPU.Name)
+	}
+}
+
+func TestNoFailuresReportsIdealReliability(t *testing.T) {
+	m, err := Run(smallConfig(), codingTrace(t, 0.5, 42, 120), 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Availability != 1 {
+		t.Errorf("Availability = %v with no failure injection, want 1", m.Availability)
+	}
+	if m.FailureEvents != 0 || m.Requeued != 0 || m.DroppedOnFailure != 0 {
+		t.Errorf("phantom failure activity: %+v", m)
+	}
+	if m.Goodput <= 0 {
+		t.Error("Goodput not reported")
+	}
+	// 1 prefill + 1 decode instance, 1 GPU each: either failure removes
+	// half the deployment.
+	if math.Abs(m.BlastRadius-0.5) > 1e-12 {
+		t.Errorf("BlastRadius = %v, want 0.5", m.BlastRadius)
+	}
+}
+
+// failureTrace is the stream the failure tests share: decode-heavy
+// conversation traffic busy enough (~90% decode utilization) that an
+// instance death almost always catches requests in flight, simulated
+// with no drain window so a dead instance's backlog cannot quietly
+// catch up before the horizon.
+func failureTrace(t *testing.T) []trace.Request {
+	t.Helper()
+	reqs, err := trace.ConversationWorkload(4.0, 11).Generate(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestFailureInjectionDegradesService(t *testing.T) {
+	cfg := smallConfig()
+	reqs := failureTrace(t)
+	clean, err := Run(cfg, reqs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := clusterOf(cfg)
+	cc.Failures = acceleratedFailures(0)
+	faulty, err := RunCluster(cc, reqs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := faulty.Total
+	if m.FailureEvents == 0 {
+		t.Fatal("accelerated failure clock produced no failures")
+	}
+	if m.Availability >= 1 || m.Availability <= 0 {
+		t.Errorf("Availability = %v, want in (0, 1) with failures and no spares", m.Availability)
+	}
+	if m.Completed >= clean.Completed {
+		t.Errorf("failures did not reduce completions: %d with vs %d without", m.Completed, clean.Completed)
+	}
+	if m.Goodput >= clean.Goodput {
+		t.Errorf("failures did not reduce goodput: %v vs %v", m.Goodput, clean.Goodput)
+	}
+	if m.Requeued == 0 {
+		t.Error("requeue policy never requeued in-flight work despite failures")
+	}
+	if m.DroppedOnFailure != 0 {
+		t.Errorf("requeue policy dropped %d requests", m.DroppedOnFailure)
+	}
+}
+
+func TestDropPolicyDropsInFlight(t *testing.T) {
+	cfg := smallConfig()
+	reqs := failureTrace(t)
+	cc := clusterOf(cfg)
+	cc.Failures = acceleratedFailures(0)
+	cc.Failures.Policy = DropOnFailure
+	cm, err := RunCluster(cc, reqs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Total.DroppedOnFailure == 0 {
+		t.Error("drop policy never dropped despite failures")
+	}
+	if cm.Total.Requeued != 0 {
+		t.Errorf("drop policy requeued %d requests", cm.Total.Requeued)
+	}
+	// Oversized-prompt drops are a separate channel and must stay zero
+	// here.
+	if cm.Total.Dropped != 0 {
+		t.Errorf("failure drops leaked into Dropped: %d", cm.Total.Dropped)
+	}
+}
+
+func TestHotSparesRestoreCapacity(t *testing.T) {
+	cfg := smallConfig()
+	reqs := failureTrace(t)
+	run := func(spares int) Metrics {
+		cc := clusterOf(cfg)
+		cc.Failures = acceleratedFailures(spares)
+		cm, err := RunCluster(cc, reqs, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cm.Total
+	}
+	none := run(0)
+	two := run(2)
+	if none.FailureEvents == 0 {
+		t.Fatal("no failures fired")
+	}
+	if two.Availability <= none.Availability {
+		t.Errorf("2 spares availability %v not above 0 spares %v", two.Availability, none.Availability)
+	}
+	if two.Completed <= none.Completed {
+		t.Errorf("2 spares completed %d < 0 spares %d", two.Completed, none.Completed)
+	}
+}
+
+func TestFailureRunIsDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	reqs := codingTrace(t, 1.5, 3, 200)
+	cc := clusterOf(cfg)
+	cc.Failures = acceleratedFailures(1)
+	a, err := RunCluster(cc, reqs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCluster(cc, reqs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("repeated failure runs diverge:\n%+v\nvs\n%+v", a.Total, b.Total)
+	}
+}
+
+func TestHeterogeneousPoolsServeOneTrace(t *testing.T) {
+	// An H100 pool and its Lite replacement serve the same stream side
+	// by side; every request lands in exactly one pool and the aggregate
+	// accounts for all of them.
+	h100 := smallConfig()
+	lite := smallConfig()
+	lite.GPU = hw.Lite()
+	lite.PrefillGPUs = 4
+	lite.DecodeGPUs = 4
+	reqs := codingTrace(t, 2.0, 17, 300)
+	for _, router := range []RouterPolicy{RoundRobin, JoinShortestQueue} {
+		cc := clusterOf(h100, lite)
+		cc.Router = router
+		cm, err := RunCluster(cc, reqs, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cm.Pools[0].Metrics.Arrived + cm.Pools[1].Metrics.Arrived; got != len(reqs) {
+			t.Errorf("router %v: pools saw %d arrivals, want %d", router, got, len(reqs))
+		}
+		if cm.Total.Arrived != len(reqs) {
+			t.Errorf("router %v: aggregate arrivals %d, want %d", router, cm.Total.Arrived, len(reqs))
+		}
+		for i, pm := range cm.Pools {
+			if pm.Metrics.Arrived == 0 {
+				t.Errorf("router %v: pool %d starved", router, i)
+			}
+			if pm.Metrics.Completed == 0 {
+				t.Errorf("router %v: pool %d completed nothing", router, i)
+			}
+		}
+		if cm.Total.Completed != cm.Pools[0].Metrics.Completed+cm.Pools[1].Metrics.Completed {
+			t.Errorf("router %v: aggregate completions do not sum", router)
+		}
+	}
+}
+
+func TestRoundRobinSplitsEvenly(t *testing.T) {
+	cfg := smallConfig()
+	reqs := codingTrace(t, 2.0, 23, 200)
+	cc := clusterOf(cfg, cfg)
+	cc.Router = RoundRobin
+	cm, err := RunCluster(cc, reqs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := cm.Pools[0].Metrics.Arrived, cm.Pools[1].Metrics.Arrived
+	if diff := a - b; diff < -1 || diff > 1 {
+		t.Errorf("round-robin split %d/%d, want within 1", a, b)
+	}
+}
+
+func TestJSQAvoidsSlowPool(t *testing.T) {
+	// One pool has triple the decode instances of the other. At a rate
+	// that saturates a single decode engine, JSQ must send the wider
+	// pool more work (round-robin would stay blind at 50/50).
+	slow := smallConfig()
+	fast := smallConfig()
+	fast.DecodeInstances = 3
+	reqs := codingTrace(t, 8.0, 29, 200)
+
+	ccJSQ := clusterOf(slow, fast)
+	ccJSQ.Router = JoinShortestQueue
+	jsq, err := RunCluster(ccJSQ, reqs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsq.Pools[1].Metrics.Arrived <= jsq.Pools[0].Metrics.Arrived {
+		t.Errorf("JSQ sent %d to the 3×-decode pool vs %d to the 1× pool; want more to the wide pool",
+			jsq.Pools[1].Metrics.Arrived, jsq.Pools[0].Metrics.Arrived)
+	}
+}
+
+func TestJSQRoutesAroundFailures(t *testing.T) {
+	// Same two pools under an accelerated failure clock: JSQ should not
+	// collapse; every arrival still lands somewhere and aggregates hold.
+	cfg := smallConfig()
+	cc := clusterOf(cfg, cfg)
+	cc.Router = JoinShortestQueue
+	cc.Failures = acceleratedFailures(1)
+	reqs := codingTrace(t, 2.0, 31, 300)
+	cm, err := RunCluster(cc, reqs, 420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Total.FailureEvents == 0 {
+		t.Fatal("no failures fired")
+	}
+	if cm.Total.Arrived != len(reqs) {
+		t.Errorf("arrivals %d, want %d", cm.Total.Arrived, len(reqs))
+	}
+	if cm.Total.Completed == 0 {
+		t.Error("cluster served nothing under failures")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := RunCluster(ClusterConfig{}, nil, 10); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	bad := smallConfig()
+	bad.MaxDecodeBatch = 0
+	if _, err := RunCluster(clusterOf(bad), nil, 10); err == nil {
+		t.Error("invalid pool accepted")
+	}
+	big := smallConfig()
+	big.Model = model.Llama3_405B()
+	if _, err := RunCluster(clusterOf(big), nil, 10); err == nil {
+		t.Error("oversized model accepted")
+	}
+}
+
+func TestBlastRadiusScalesWithInstanceCount(t *testing.T) {
+	// The paper's serving-level fault-tolerance claim in miniature: at
+	// equal aggregate compute, a deployment of many small instances
+	// loses a smaller capacity fraction per failure than one of few big
+	// instances.
+	big := smallConfig() // 1×1P + 1×1D H100
+	lite := smallConfig()
+	lite.GPU = hw.Lite()
+	lite.PrefillInstances = 4 // 4×1P + 4×1D quarter-GPUs
+	lite.DecodeInstances = 4
+	if inference.MaxFeasibleBatch(lite.GPU, lite.Model, inference.Decode, 1, lite.Opts) < 1 {
+		t.Skip("Llama3-8B no longer fits one Lite GPU")
+	}
+	reqs := codingTrace(t, 0.5, 5, 120)
+	mBig, err := Run(big, reqs, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLite, err := Run(lite, reqs, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mLite.BlastRadius >= mBig.BlastRadius {
+		t.Errorf("Lite blast radius %v not below big-GPU %v", mLite.BlastRadius, mBig.BlastRadius)
+	}
+	if math.Abs(mLite.BlastRadius-0.125) > 1e-12 {
+		t.Errorf("8-instance blast radius = %v, want 1/8", mLite.BlastRadius)
+	}
+}

@@ -1,0 +1,663 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"litegpu/internal/failure"
+	"litegpu/internal/inference"
+	"litegpu/internal/mathx"
+	"litegpu/internal/sim"
+	"litegpu/internal/trace"
+	"litegpu/internal/units"
+)
+
+// Same-timestamp event ordering, reproducing the phased scan of the
+// pre-sim serve loop: all arrivals, then prefill completions in engine
+// order, then decode completions in engine order, then failure
+// machinery, then exactly one dispatch pass. Within each band an
+// instance's offset is poolIndexBase(pool)+instance, so pool 0's
+// engines order before pool 1's; ClusterConfig validation caps pools
+// at maxPoolInstances instances to keep offsets inside their band.
+const (
+	prioArrival  = 0
+	prioPrefill  = 1 << 20 // + global prefill engine index
+	prioDecode   = 2 << 20 // + global decode engine index
+	prioFailure  = 3 << 20 // + global instance index
+	prioDispatch = 1 << 30
+)
+
+type activeReq struct {
+	req       trace.Request
+	remaining int
+	decodeAt  float64 // decode admission time (first admission; survives requeues)
+	firstAt   float64 // first-token emission time
+	admitted  bool
+	emitted   bool
+}
+
+// instanceState is the failure-facing side of an engine: every prefill
+// or decode instance is a unit that can be down, waiting for a spare,
+// or serving.
+type instanceState struct {
+	up      bool
+	downAt  float64
+	downSec float64 // accumulated instance downtime, seconds
+	failRNG *mathx.RNG
+	rate    float64 // instance failure rate per simulated second
+	prio    int     // unique per-instance offset added to a priority band
+	doneEv  sim.EventID
+}
+
+type prefillEngine struct {
+	instanceState
+	freeAt float64
+	busy   float64
+	batch  []trace.Request
+}
+
+type decodeEngine struct {
+	instanceState
+	active  []*activeReq
+	stepEnd float64 // 0 when idle
+	busy    float64
+}
+
+// poolSim is one serving pool's live state.
+type poolSim struct {
+	name      string
+	cfg       Config
+	spares    int
+	prefills  []prefillEngine
+	decodes   []decodeEngine
+	prefillQ  []trace.Request
+	decodeQ   []*activeReq
+	decodeCap int
+
+	prefillTime func([]trace.Request) float64
+	decodeTime  func(int) float64
+
+	// afrPerGPU and flopsPerGPU weight this pool's instances in
+	// cluster-total reliability aggregates: failure odds scale with
+	// per-GPU AFR, capacity with per-GPU compute. Within a pool both
+	// are uniform, so per-pool metrics never see them.
+	afrPerGPU   float64
+	flopsPerGPU float64
+
+	// Spare shelf and the FIFO of down instances waiting for one.
+	// Instances are identified pool-locally: prefill i is i, decode j is
+	// PrefillInstances+j.
+	spareFree int
+	waiting   []int
+
+	m          Metrics
+	goodTokens int
+	ttfts      []float64
+	tbts       []float64
+	e2es       []float64
+	ttftOK     int
+	tbtOK      int
+}
+
+func (p *poolSim) instance(id int) *instanceState {
+	if id < len(p.prefills) {
+		return &p.prefills[id].instanceState
+	}
+	return &p.decodes[id-len(p.prefills)].instanceState
+}
+
+func (p *poolSim) instanceGPUs(id int) int {
+	if id < len(p.prefills) {
+		return p.cfg.PrefillGPUs
+	}
+	return p.cfg.DecodeGPUs
+}
+
+type clusterSim struct {
+	eng   *sim.Engine
+	cc    ClusterConfig
+	pools []*poolSim
+	h     float64
+
+	rrNext          int
+	dispatchPending bool
+
+	failMTTR     float64
+	failRecovery float64
+}
+
+func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
+	s := &clusterSim{
+		eng: sim.New(cc.Failures.Seed),
+		cc:  cc,
+		h:   horizon,
+	}
+	fp := cc.Failures.params()
+	scale := cc.Failures.timeScale()
+	s.failMTTR = float64(fp.MTTR)
+	s.failRecovery = float64(fp.RecoveryTime)
+
+	globalInstance := 0
+	for pi, pool := range cc.Pools {
+		cfg := pool.Config
+		opts := cfg.Opts
+		maxKV := inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Decode, cfg.DecodeGPUs, opts)
+		if maxKV <= 0 {
+			return nil, fmt.Errorf("serve: %s does not fit on %d×%s for decode",
+				cfg.Model.Name, cfg.DecodeGPUs, cfg.GPU.Name)
+		}
+		decodeCap := cfg.MaxDecodeBatch
+		if decodeCap > maxKV {
+			decodeCap = maxKV
+		}
+		if inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Prefill, cfg.PrefillGPUs, opts) < 1 {
+			return nil, fmt.Errorf("serve: %s does not fit on %d×%s for prefill",
+				cfg.Model.Name, cfg.PrefillGPUs, cfg.GPU.Name)
+		}
+		name := pool.Name
+		if name == "" {
+			name = cfg.GPU.Name
+		}
+		spares := pool.Spares
+		if spares <= 0 {
+			spares = cc.Failures.Spares
+		}
+		p := &poolSim{
+			name:        name,
+			cfg:         cfg,
+			spares:      spares,
+			spareFree:   spares,
+			prefills:    make([]prefillEngine, cfg.PrefillInstances),
+			decodes:     make([]decodeEngine, cfg.DecodeInstances),
+			decodeCap:   decodeCap,
+			prefillTime: newPrefillTimer(cfg, opts),
+			decodeTime:  newDecodeTimer(cfg, opts),
+			afrPerGPU:   fp.AFR(cfg.GPU),
+			flopsPerGPU: float64(cfg.GPU.FLOPS),
+		}
+		perGPURate := fp.AFR(cfg.GPU) / float64(failure.Year) * scale
+		for i := range p.prefills {
+			st := &p.prefills[i].instanceState
+			st.up = true
+			st.prio = poolIndexBase(pi) + i
+			s.initFailure(st, perGPURate*float64(cfg.PrefillGPUs), globalInstance)
+			globalInstance++
+		}
+		for j := range p.decodes {
+			st := &p.decodes[j].instanceState
+			st.up = true
+			st.prio = poolIndexBase(pi) + cfg.PrefillInstances + j
+			s.initFailure(st, perGPURate*float64(cfg.DecodeGPUs), globalInstance)
+			globalInstance++
+		}
+		s.pools = append(s.pools, p)
+	}
+	return s, nil
+}
+
+// poolIndexBase spaces engine priorities so that pool 0's engines
+// order before pool 1's within each band. Validation caps instances per
+// pool at maxPoolInstances, so offsets never collide across pools or
+// spill into the next band.
+func poolIndexBase(pool int) int { return pool * maxPoolInstances }
+
+func (s *clusterSim) initFailure(st *instanceState, rate float64, globalIdx int) {
+	if !s.cc.Failures.Enabled || rate <= 0 {
+		return
+	}
+	st.failRNG = mathx.NewRNG(mathx.DeriveSeed(s.cc.Failures.Seed, uint64(globalIdx)))
+	st.rate = rate
+}
+
+// run executes the simulation over the request stream and assembles the
+// metrics.
+func (s *clusterSim) run(reqs []trace.Request) ClusterMetrics {
+	// Identical sort to the pre-sim loop (including tie order).
+	sorted := append([]trace.Request(nil), reqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+
+	// Arrival chain: one pending arrival event at a time keeps the
+	// calendar small on long traces.
+	idx := 0
+	var arrive func(now float64)
+	arrive = func(now float64) {
+		s.route(sorted[idx], now)
+		idx++
+		if idx < len(sorted) {
+			s.eng.Schedule(float64(sorted[idx].Arrival), prioArrival, arrive)
+		}
+		s.requestDispatch(now)
+	}
+	if len(sorted) > 0 {
+		s.eng.Schedule(float64(sorted[0].Arrival), prioArrival, arrive)
+	}
+
+	// Failure processes.
+	if s.cc.Failures.Enabled {
+		for _, p := range s.pools {
+			for id := 0; id < len(p.prefills)+len(p.decodes); id++ {
+				s.scheduleFailure(p, id, 0)
+			}
+		}
+	}
+
+	s.eng.Run(s.h)
+	return s.assemble()
+}
+
+// route assigns an arriving request to a pool.
+func (s *clusterSim) route(r trace.Request, now float64) {
+	var p *poolSim
+	switch s.cc.Router {
+	case JoinShortestQueue:
+		best := math.Inf(1)
+		for _, cand := range s.pools {
+			outstanding := len(cand.prefillQ) + len(cand.decodeQ)
+			live := 0
+			for i := range cand.prefills {
+				outstanding += len(cand.prefills[i].batch)
+				if cand.prefills[i].up {
+					live++
+				}
+			}
+			for j := range cand.decodes {
+				outstanding += len(cand.decodes[j].active)
+				if cand.decodes[j].up {
+					live++
+				}
+			}
+			if live == 0 {
+				live = 1 // a fully-down pool still queues, at worst-case load
+				outstanding += 1 << 20
+			}
+			load := float64(outstanding) / float64(live)
+			if load < best {
+				best = load
+				p = cand
+			}
+		}
+	default: // RoundRobin
+		p = s.pools[s.rrNext%len(s.pools)]
+		s.rrNext++
+	}
+	p.prefillQ = append(p.prefillQ, r)
+	p.m.Arrived++
+}
+
+func (s *clusterSim) requestDispatch(now float64) {
+	if s.dispatchPending {
+		return
+	}
+	s.dispatchPending = true
+	s.eng.Schedule(now, prioDispatch, s.dispatch)
+}
+
+// dispatch hands freed or newly queued work to idle engines across all
+// pools — the same pass the pre-sim loop ran at the end of every event
+// time.
+func (s *clusterSim) dispatch(now float64) {
+	s.dispatchPending = false
+	for _, p := range s.pools {
+		s.dispatchPrefill(p, now)
+		for j := range p.decodes {
+			e := &p.decodes[j]
+			if e.up && e.stepEnd == 0 {
+				s.startDecodeStep(p, j, now)
+			}
+		}
+	}
+}
+
+func (s *clusterSim) dispatchPrefill(p *poolSim, now float64) {
+	for i := range p.prefills {
+		e := &p.prefills[i]
+		if !e.up {
+			continue
+		}
+		for e.freeAt <= now && len(p.prefillQ) > 0 {
+			n := p.cfg.MaxPrefillBatch
+			if n > len(p.prefillQ) {
+				n = len(p.prefillQ)
+			}
+			// Shrink the batch until its KV footprint fits. The pool was
+			// validated to fit the model at the nominal prompt length,
+			// but an individual oversized prompt can still exceed
+			// capacity alone (n reaches 0): drop it rather than let it
+			// starve at the head of the queue forever.
+			dt := math.Inf(1)
+			for ; n >= 1; n-- {
+				if dt = p.prefillTime(p.prefillQ[:n]); !math.IsInf(dt, 1) {
+					break
+				}
+			}
+			if n < 1 {
+				p.prefillQ = p.prefillQ[1:]
+				p.m.Dropped++
+				continue
+			}
+			batch := p.prefillQ[:n]
+			p.prefillQ = p.prefillQ[n:]
+			e.batch = append([]trace.Request(nil), batch...)
+			e.freeAt = now + dt
+			e.busy += dt
+			e.doneEv = s.eng.Schedule(e.freeAt, prioPrefill+e.prio, func(t float64) {
+				s.completePrefill(p, i, t)
+			})
+		}
+	}
+}
+
+func (s *clusterSim) completePrefill(p *poolSim, i int, now float64) {
+	e := &p.prefills[i]
+	e.doneEv = 0
+	for _, r := range e.batch {
+		ttft := now - float64(r.Arrival)
+		p.ttfts = append(p.ttfts, ttft)
+		if units.Seconds(ttft) <= pickSLO(p.cfg.Opts.TTFTLimit, 1.0) {
+			p.ttftOK++
+		}
+		p.decodeQ = append(p.decodeQ, &activeReq{req: r, remaining: r.OutputTokens})
+	}
+	e.batch = nil
+	s.requestDispatch(now)
+}
+
+func (s *clusterSim) startDecodeStep(p *poolSim, j int, now float64) {
+	e := &p.decodes[j]
+	// Admit from the queue up to capacity, then step if non-empty.
+	for len(e.active) < p.decodeCap && len(p.decodeQ) > 0 {
+		a := p.decodeQ[0]
+		p.decodeQ = p.decodeQ[1:]
+		if !a.admitted {
+			a.admitted = true
+			a.decodeAt = now
+		}
+		e.active = append(e.active, a)
+	}
+	if len(e.active) == 0 {
+		e.stepEnd = 0
+		return
+	}
+	dt := p.decodeTime(len(e.active))
+	e.stepEnd = now + dt
+	e.busy += dt
+	e.doneEv = s.eng.Schedule(e.stepEnd, prioDecode+e.prio, func(t float64) {
+		s.completeDecodeStep(p, j, t)
+	})
+}
+
+func (s *clusterSim) completeDecodeStep(p *poolSim, j int, now float64) {
+	e := &p.decodes[j]
+	e.doneEv = 0
+	var still []*activeReq
+	for _, a := range e.active {
+		a.remaining--
+		p.m.TokensGenerated++
+		if !a.emitted {
+			a.emitted = true
+			a.firstAt = now
+		}
+		if a.remaining > 0 {
+			still = append(still, a)
+			continue
+		}
+		p.m.Completed++
+		p.goodTokens += a.req.OutputTokens
+		// Time-between-tokens is defined over the gaps between
+		// consecutive tokens: n tokens have n-1 intervals spanning first
+		// token → last token. A single-token output has no inter-token
+		// gap, so its one step duration stands in for the interval.
+		tbt := now - a.decodeAt
+		if a.req.OutputTokens > 1 {
+			tbt = (now - a.firstAt) / float64(a.req.OutputTokens-1)
+		}
+		p.tbts = append(p.tbts, tbt)
+		if units.Seconds(tbt) <= pickSLO(p.cfg.Opts.TBTLimit, 0.050) {
+			p.tbtOK++
+		}
+		p.e2es = append(p.e2es, now-float64(a.req.Arrival))
+	}
+	e.active = still
+	e.stepEnd = 0
+	s.requestDispatch(now)
+}
+
+// --- failure machinery -------------------------------------------------
+
+func (s *clusterSim) scheduleFailure(p *poolSim, id int, now float64) {
+	st := p.instance(id)
+	if st.failRNG == nil {
+		return
+	}
+	at := now + st.failRNG.Exponential(st.rate)
+	if math.IsInf(at, 1) {
+		return
+	}
+	s.eng.Schedule(at, prioFailure+st.prio, func(t float64) {
+		s.failInstance(p, id, t)
+	})
+}
+
+// failInstance downs an instance: one of its GPUs died and rigid
+// deployment takes the whole instance with it (the paper's software
+// blast radius). In-flight work requeues or drops per policy, the
+// failed unit enters repair, and a hot spare — if one is free — brings
+// the instance back after the takeover delay.
+func (s *clusterSim) failInstance(p *poolSim, id int, now float64) {
+	st := p.instance(id)
+	if !st.up {
+		return // stale event; down instances carry no failure clock
+	}
+	st.up = false
+	st.downAt = now
+	p.m.FailureEvents++
+	if st.doneEv != 0 {
+		s.eng.Cancel(st.doneEv)
+		st.doneEv = 0
+	}
+
+	drop := s.cc.Failures.Policy == DropOnFailure
+	if id < len(p.prefills) {
+		e := &p.prefills[id]
+		if len(e.batch) > 0 {
+			// The pass died before completing: un-count its unfinished
+			// busy tail and put the prompts back at the head of the
+			// queue (or abandon them).
+			e.busy -= e.freeAt - now
+			if drop {
+				p.m.DroppedOnFailure += len(e.batch)
+			} else {
+				p.m.Requeued += len(e.batch)
+				p.prefillQ = append(append([]trace.Request(nil), e.batch...), p.prefillQ...)
+			}
+			e.batch = nil
+		}
+		e.freeAt = now
+	} else {
+		e := &p.decodes[id-len(p.prefills)]
+		if e.stepEnd > 0 {
+			e.busy -= e.stepEnd - now
+			e.stepEnd = 0
+		}
+		if len(e.active) > 0 {
+			if drop {
+				p.m.DroppedOnFailure += len(e.active)
+			} else {
+				p.m.Requeued += len(e.active)
+				p.decodeQ = append(append([]*activeReq(nil), e.active...), p.decodeQ...)
+			}
+			e.active = nil
+		}
+	}
+
+	// The dead unit goes to the repair shop and returns to the spare
+	// shelf after MTTR.
+	s.eng.Schedule(now+s.failMTTR, prioFailure+st.prio, func(t float64) {
+		s.repairDone(p, t)
+	})
+	// A free spare takes over after the recovery interruption; otherwise
+	// the instance queues for the next repaired unit.
+	if p.spareFree > 0 {
+		p.spareFree--
+		s.scheduleRecovery(p, id, now)
+	} else {
+		p.waiting = append(p.waiting, id)
+	}
+	// Requeued work must reach surviving idle engines now, not at the
+	// next unrelated event.
+	s.requestDispatch(now)
+}
+
+func (s *clusterSim) repairDone(p *poolSim, now float64) {
+	p.spareFree++
+	if len(p.waiting) > 0 {
+		id := p.waiting[0]
+		p.waiting = p.waiting[1:]
+		p.spareFree--
+		s.scheduleRecovery(p, id, now)
+	}
+}
+
+func (s *clusterSim) scheduleRecovery(p *poolSim, id int, now float64) {
+	st := p.instance(id)
+	s.eng.Schedule(now+s.failRecovery, prioFailure+st.prio, func(t float64) {
+		s.recoverInstance(p, id, t)
+	})
+}
+
+func (s *clusterSim) recoverInstance(p *poolSim, id int, now float64) {
+	st := p.instance(id)
+	st.up = true
+	st.downSec += now - st.downAt
+	if id < len(p.prefills) {
+		p.prefills[id].freeAt = now
+	}
+	s.scheduleFailure(p, id, now)
+	s.requestDispatch(now)
+}
+
+// --- metrics assembly --------------------------------------------------
+
+func (s *clusterSim) assemble() ClusterMetrics {
+	h := s.h
+	var cm ClusterMetrics
+	var (
+		allTTFT, allTBT, allE2E []float64
+		ttftOK, tbtOK           int
+		pBusyGPU, dBusyGPU      float64
+		pGPUs, dGPUs            int
+		downFLOPSec             float64
+		totalFLOPs              float64
+		totalRate               float64
+		blastLoss               float64
+		goodTokens              int
+	)
+	for _, p := range s.pools {
+		m := &p.m
+		m.TTFT = mathx.Summarize(p.ttfts)
+		m.TBT = mathx.Summarize(p.tbts)
+		m.E2E = mathx.Summarize(p.e2es)
+		m.TTFTAttainmentCompleted = ratio(p.ttftOK, len(p.ttfts))
+		m.TTFTAttainment = ratio(p.ttftOK, m.Arrived-m.Dropped)
+		m.TBTAttainment = ratio(p.tbtOK, len(p.tbts))
+
+		var poolPBusy, poolDBusy float64
+		for i := range p.prefills {
+			poolPBusy += p.prefills[i].busy
+		}
+		for j := range p.decodes {
+			poolDBusy += p.decodes[j].busy
+		}
+		if h > 0 {
+			m.PrefillUtilization = poolPBusy / (h * float64(p.cfg.PrefillInstances))
+			m.DecodeUtilization = poolDBusy / (h * float64(p.cfg.DecodeInstances))
+			m.Goodput = float64(p.goodTokens) / h
+		}
+
+		// Availability: GPU-weighted uptime over the horizon, counting
+		// instances still down at the end. blastRate/blastLoss accumulate
+		// Σ P(instance i fails next)·(capacity share lost): within a pool
+		// failure odds and capacity are both proportional to GPU count.
+		poolGPUs := p.cfg.TotalGPUs()
+		var poolDown float64
+		var poolBlast float64
+		for id := 0; id < len(p.prefills)+len(p.decodes); id++ {
+			st := p.instance(id)
+			down := st.downSec
+			if !st.up {
+				down += h - st.downAt
+			}
+			g := float64(p.instanceGPUs(id))
+			poolDown += down * g
+			poolBlast += g * g
+		}
+		m.Availability = 1
+		if h > 0 && poolGPUs > 0 {
+			m.Availability = 1 - poolDown/(h*float64(poolGPUs))
+		}
+		if poolGPUs > 0 {
+			m.BlastRadius = poolBlast / float64(poolGPUs*poolGPUs)
+		}
+
+		cm.Pools = append(cm.Pools, PoolMetrics{Name: p.name, Metrics: *m})
+
+		// Aggregate accumulators.
+		cm.Total.Arrived += m.Arrived
+		cm.Total.Completed += m.Completed
+		cm.Total.Dropped += m.Dropped
+		cm.Total.TokensGenerated += m.TokensGenerated
+		cm.Total.FailureEvents += m.FailureEvents
+		cm.Total.Requeued += m.Requeued
+		cm.Total.DroppedOnFailure += m.DroppedOnFailure
+		allTTFT = append(allTTFT, p.ttfts...)
+		allTBT = append(allTBT, p.tbts...)
+		allE2E = append(allE2E, p.e2es...)
+		ttftOK += p.ttftOK
+		tbtOK += p.tbtOK
+		// Weight busy time by the GPUs behind it so the aggregate stays
+		// GPU-weighted across heterogeneous pools (within one pool the
+		// two weightings coincide).
+		pBusyGPU += poolPBusy * float64(p.cfg.PrefillGPUs)
+		dBusyGPU += poolDBusy * float64(p.cfg.DecodeGPUs)
+		pGPUs += p.cfg.PrefillInstances * p.cfg.PrefillGPUs
+		dGPUs += p.cfg.DecodeInstances * p.cfg.DecodeGPUs
+		// Cross-pool weights: a pool's failure odds scale with its per-GPU
+		// AFR and its capacity with its per-GPU compute — one Lite GPU is
+		// neither as failure-prone nor as capable as one H100.
+		downFLOPSec += poolDown * p.flopsPerGPU
+		totalFLOPs += float64(poolGPUs) * p.flopsPerGPU
+		for id := 0; id < len(p.prefills)+len(p.decodes); id++ {
+			g := float64(p.instanceGPUs(id))
+			rateW := g * p.afrPerGPU
+			totalRate += rateW
+			blastLoss += rateW * g * p.flopsPerGPU // ÷ totalFLOPs below
+		}
+		goodTokens += p.goodTokens
+	}
+
+	t := &cm.Total
+	t.TTFT = mathx.Summarize(allTTFT)
+	t.TBT = mathx.Summarize(allTBT)
+	t.E2E = mathx.Summarize(allE2E)
+	t.TTFTAttainmentCompleted = ratio(ttftOK, len(allTTFT))
+	t.TTFTAttainment = ratio(ttftOK, t.Arrived-t.Dropped)
+	t.TBTAttainment = ratio(tbtOK, len(allTBT))
+	if h > 0 {
+		t.PrefillUtilization = pBusyGPU / (h * float64(pGPUs))
+		t.DecodeUtilization = dBusyGPU / (h * float64(dGPUs))
+		t.Goodput = float64(goodTokens) / h
+	}
+	t.Availability = 1
+	if h > 0 && totalFLOPs > 0 {
+		t.Availability = 1 - downFLOPSec/(h*totalFLOPs)
+	}
+	// Expected capacity fraction lost per failure: which instance fails
+	// is AFR-rate-weighted, what it removes is compute-weighted. For a
+	// homogeneous cluster this reduces to Σg²/G², matching the per-pool
+	// formula.
+	if totalRate > 0 && totalFLOPs > 0 {
+		t.BlastRadius = blastLoss / totalRate / totalFLOPs
+	}
+	return cm
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 
+	"litegpu/internal/failure"
 	"litegpu/internal/hw"
 	"litegpu/internal/inference"
 	"litegpu/internal/model"
@@ -25,6 +26,15 @@ type SLO struct {
 	// underprovisioning that per-completed-request attainment alone
 	// cannot see, because backlogged requests never produce a sample.
 	MinCompletion float64
+	// MinAvailability is the required steady-state availability of the
+	// deployment when failure injection is enabled (default 0.999): the
+	// probability that no more of the deployment's units are down than
+	// it has hot spares. It is evaluated analytically
+	// (failure.AnalyticAvailability), which is what makes the spare
+	// search sound for paper-calibrated AFRs whose failures are far too
+	// rare to observe inside a minutes-long simulation. Ignored when
+	// failure injection is off.
+	MinAvailability float64
 }
 
 func (s SLO) withDefaults() SLO {
@@ -36,6 +46,9 @@ func (s SLO) withDefaults() SLO {
 	}
 	if s.MinCompletion <= 0 {
 		s.MinCompletion = 0.95
+	}
+	if s.MinAvailability <= 0 {
+		s.MinAvailability = 0.999
 	}
 	return s
 }
@@ -68,14 +81,35 @@ type PlanRequest struct {
 
 	// MaxInstances caps the per-pool search (default 64).
 	MaxInstances int
+
+	// Failures, when Enabled, makes the plan availability-aware: the
+	// sizing simulations run with failure injection (so accelerated
+	// failure clocks genuinely influence attainment), and after the
+	// instance-count search the planner binary-searches the smallest
+	// per-pool hot-spare counts meeting SLO.MinAvailability, pricing the
+	// spares into the TCO readout. FailureConfig.Spares/Pool overrides
+	// are ignored here — spares are what the search decides.
+	Failures FailureConfig
+	// MaxSpares caps the spare search (default 16).
+	MaxSpares int
 }
 
 // Plan is a feasible deployment returned by PlanCapacity.
 type Plan struct {
 	Config  Config
 	Metrics Metrics
-	// TotalGPUs is the full accelerator count across both pools.
+	// TotalGPUs is the full accelerator count across both pools,
+	// including hot spares when the plan is availability-aware.
 	TotalGPUs int
+	// Spares is the hot-spare unit count the availability search added
+	// (zero when failure injection is off). Spares are shared between
+	// the prefill and decode pools — they are interchangeable units of
+	// the same GPU type.
+	Spares int
+	// Availability is the analytic steady-state availability of the
+	// spared deployment: the probability that no more units are down
+	// than there are spares. 1 when failure injection is off.
+	Availability float64
 	// Cost is the TCO breakdown of the deployment at the simulated
 	// sustained throughput, over a folded-Clos CPO fabric; its
 	// CostPerMTokens field is the $/Mtoken readout.
@@ -108,6 +142,9 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	}
 	if req.MaxInstances <= 0 {
 		req.MaxInstances = 64
+	}
+	if req.MaxSpares <= 0 {
+		req.MaxSpares = 16
 	}
 	if req.PrefillGPUs <= 0 {
 		g, err := inference.MinFeasibleTP(req.GPU, req.Model, inference.Prefill, req.Opts)
@@ -151,7 +188,7 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 			DecodeInstances: d, DecodeGPUs: req.DecodeGPUs,
 			MaxPrefillBatch: req.MaxPrefillBatch, MaxDecodeBatch: req.MaxDecodeBatch,
 		}
-		m, err := Run(cfg, reqs, simHorizon)
+		m, err := planSim(cfg, req, 0, reqs, simHorizon)
 		if err != nil {
 			return Metrics{}, false, err
 		}
@@ -233,11 +270,46 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 			DecodeInstances: dMin, DecodeGPUs: req.DecodeGPUs,
 			MaxPrefillBatch: req.MaxPrefillBatch, MaxDecodeBatch: req.MaxDecodeBatch,
 		},
-		Metrics:   m,
-		TotalGPUs: pMin*req.PrefillGPUs + dMin*req.DecodeGPUs,
+		Metrics:      m,
+		TotalGPUs:    pMin*req.PrefillGPUs + dMin*req.DecodeGPUs,
+		Availability: 1,
 	}
+
+	// Availability-aware leg: the spare count joins the search. Spares
+	// are extra units of the same GPU type kept hot next to the
+	// deployment, so availability is monotone in the spare count and a
+	// bisection over the analytic k-out-of-n availability is sound.
+	if req.Failures.Enabled {
+		spec := failure.Spec{GPU: req.GPU, InstanceGPUs: plan.TotalGPUs}
+		fp := scaledParams(req.Failures)
+		availAt := func(spares int) float64 {
+			spec.Spares = spares
+			return failure.AnalyticAvailability(spec, fp)
+		}
+		if availAt(req.MaxSpares) < slo.MinAvailability {
+			return Plan{}, fmt.Errorf(
+				"serve: %d spares cannot reach availability %.6f for %d×%s (best %.6f)",
+				req.MaxSpares, slo.MinAvailability, plan.TotalGPUs, req.GPU.Name, availAt(req.MaxSpares))
+		}
+		spares, err := bisectMin(0, req.MaxSpares, func(x int) (bool, error) {
+			return availAt(x) >= slo.MinAvailability, nil
+		})
+		if err != nil {
+			return Plan{}, err
+		}
+		plan.Spares = spares
+		plan.Availability = availAt(spares)
+		plan.TotalGPUs += spares
+		// Re-simulate the final deployment with its spare shelf so the
+		// reported metrics include the takeover dynamics.
+		plan.Metrics, err = planSim(plan.Config, req, spares, reqs, simHorizon)
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+
 	costs := tco.DefaultCosts()
-	throughput := float64(m.TokensGenerated) / float64(simHorizon)
+	throughput := float64(plan.Metrics.TokensGenerated) / float64(simHorizon)
 	plan.Cost = costs.TCO(tco.ClusterSpec{
 		GPU:        req.GPU,
 		GPUs:       plan.TotalGPUs,
@@ -245,6 +317,27 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 		Throughput: throughput,
 	})
 	return plan, nil
+}
+
+// planSim simulates one candidate deployment, with failure injection
+// when the request enables it. Sizing runs use zero spares (the spare
+// count is chosen after the instance search), keeping the attainment
+// estimate conservative.
+func planSim(cfg Config, req PlanRequest, spares int, reqs []trace.Request, horizon units.Seconds) (Metrics, error) {
+	f := req.Failures
+	f.Spares = spares
+	return RunWithFailures(cfg, f, reqs, horizon)
+}
+
+// scaledParams applies the failure config's TimeScale to the analytic
+// calibration, so an accelerated stress plan sizes spares for the same
+// accelerated world its simulations ran in.
+func scaledParams(f FailureConfig) failure.Params {
+	p := f.params()
+	ts := f.timeScale()
+	p.RefAFR *= ts
+	p.BaseAFR *= ts
+	return p
 }
 
 // bisectMin returns the smallest x in [lo, hi] with ok(x) true, assuming

@@ -144,3 +144,66 @@ func TestMinFeasibleTPAutoSizing(t *testing.T) {
 		t.Error("reported TP does not actually fit")
 	}
 }
+
+func TestPlanCapacityAvailabilityAware(t *testing.T) {
+	req := planRequest(20)
+	slo := SLO{MinAvailability: 0.99999}
+	base, err := PlanCapacity(req, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Failures = FailureConfig{Enabled: true, Seed: 5}
+	plan, err := PlanCapacity(req, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Spares < 1 {
+		t.Errorf("five-nines target yielded %d spares, want ≥ 1", plan.Spares)
+	}
+	if plan.Availability < slo.MinAvailability {
+		t.Errorf("plan availability %v below target %v", plan.Availability, slo.MinAvailability)
+	}
+	if want := plan.Config.PrefillInstances*plan.Config.PrefillGPUs +
+		plan.Config.DecodeInstances*plan.Config.DecodeGPUs + plan.Spares; plan.TotalGPUs != want {
+		t.Errorf("TotalGPUs = %d does not include the %d spares (want %d)", plan.TotalGPUs, plan.Spares, want)
+	}
+	// Spares are hot units: the TCO must charge for them.
+	if plan.TotalGPUs > base.TotalGPUs && plan.Cost.GPUCapex <= base.Cost.GPUCapex {
+		t.Errorf("spared plan GPU capex %v not above unspared %v", plan.Cost.GPUCapex, base.Cost.GPUCapex)
+	}
+	// The simulated metrics come from a failure-injected run; at paper
+	// AFRs over a minutes-long window the deployment should stay fully
+	// available but the field must be populated.
+	if plan.Metrics.Availability <= 0 {
+		t.Error("availability-aware plan metrics missing Availability")
+	}
+}
+
+func TestPlanCapacityWithoutFailuresHasNoSpares(t *testing.T) {
+	plan, err := PlanCapacity(planRequest(20), SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Spares != 0 {
+		t.Errorf("failure-free plan grew %d spares", plan.Spares)
+	}
+	if plan.Availability != 1 {
+		t.Errorf("failure-free plan availability = %v, want 1", plan.Availability)
+	}
+}
+
+func TestPlanCapacityAvailabilityDeterministic(t *testing.T) {
+	req := planRequest(20)
+	req.Failures = FailureConfig{Enabled: true, Seed: 5}
+	a, err := PlanCapacity(req, SLO{MinAvailability: 0.99999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanCapacity(req, SLO{MinAvailability: 0.99999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config != b.Config || a.Spares != b.Spares || a.Metrics != b.Metrics {
+		t.Error("repeated availability-aware plans differ")
+	}
+}

@@ -9,12 +9,18 @@
 // numbers under queueing, mixed request lengths, and bursty arrivals —
 // and exposes the latency SLO attainment the closed-form search cannot
 // see.
+//
+// Since PR 2 the simulator runs on the shared internal/sim event engine,
+// which is what lets it express the scenarios the old hand-rolled loop
+// structurally could not: GPU failures that kill an instance mid-run
+// (driven by internal/failure rates, with hot spares and repair delays —
+// see FailureConfig), and heterogeneous instance pools serving one trace
+// behind a pluggable router (see RunCluster).
 package serve
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"litegpu/internal/hw"
 	"litegpu/internal/inference"
@@ -24,7 +30,8 @@ import (
 	"litegpu/internal/units"
 )
 
-// Config describes the serving deployment.
+// Config describes one serving pool: a homogeneous phase-split
+// deployment of a single GPU type.
 type Config struct {
 	GPU   hw.GPU
 	Model model.Transformer
@@ -63,6 +70,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// TotalGPUs returns the accelerator count across both phase pools.
+func (c Config) TotalGPUs() int {
+	return c.PrefillInstances*c.PrefillGPUs + c.DecodeInstances*c.DecodeGPUs
+}
+
 // Metrics summarizes a simulated serving run.
 type Metrics struct {
 	Arrived   int
@@ -79,241 +91,76 @@ type Metrics struct {
 	TBT mathx.Summary
 	// E2E is arrival → last token, seconds.
 	E2E mathx.Summary
-	// TTFTAttainment and TBTAttainment are the fractions of requests
-	// meeting the paper's SLOs.
+	// TTFTAttainment is the fraction of requests meeting the TTFT limit
+	// over every request that arrived and was not dropped as oversized —
+	// a request still stuck in the prefill queue at the horizon, or
+	// killed by an instance failure before its first token, counts as a
+	// miss. (The pre-PR-2 ratio divided by completed prefills only,
+	// which flattered a saturated system whose backlog never produced a
+	// sample; that legacy ratio survives as TTFTAttainmentCompleted.)
 	TTFTAttainment float64
-	TBTAttainment  float64
+	// TTFTAttainmentCompleted is the legacy attainment over requests
+	// that completed prefill within the horizon. Kept for studies that
+	// want conditional latency quality rather than end-to-end goodput.
+	TTFTAttainmentCompleted float64
+	// TBTAttainment is the fraction of completed requests meeting the
+	// TBT limit.
+	TBTAttainment float64
 	// PrefillUtilization and DecodeUtilization are busy-time fractions.
 	PrefillUtilization float64
 	DecodeUtilization  float64
-	// TokensGenerated counts decoded tokens.
+	// TokensGenerated counts decoded tokens, including tokens of
+	// requests that never complete within the horizon.
 	TokensGenerated int
+
+	// The remaining fields are failure-aware serving metrics (PR 2).
+	// With failure injection off they hold their ideal values
+	// (Availability 1, zero events).
+
+	// FailureEvents counts instance-killing GPU failures.
+	FailureEvents int
+	// Requeued counts in-flight requests returned to their pool's queue
+	// after their instance died (RequeueOnFailure policy); one request
+	// can requeue more than once.
+	Requeued int
+	// DroppedOnFailure counts in-flight requests abandoned when their
+	// instance died (DropOnFailure policy). Not included in Dropped.
+	DroppedOnFailure int
+	// Availability is the time-averaged fraction of nominal GPU
+	// capacity in service over the horizon — the serving-level
+	// counterpart of failure.Result.Availability.
+	Availability float64
+	// Goodput is output tokens of completed requests per simulated
+	// second: throughput that survived queueing, drops, and failures.
+	Goodput float64
+	// BlastRadius is the expected fraction of the deployment's GPU
+	// capacity one instance failure removes (GPU-weighted over
+	// instances) — the quantity the paper argues Lite-GPUs shrink. It
+	// is structural, so it is reported even when no failure fired.
+	BlastRadius float64
 }
 
-type activeReq struct {
-	req       trace.Request
-	remaining int
-	decodeAt  float64 // decode admission time
-	firstAt   float64 // first-token emission time
-}
-
-type prefillEngine struct {
-	freeAt float64
-	busy   float64
-	batch  []trace.Request
-}
-
-type decodeEngine struct {
-	active  []*activeReq
-	stepEnd float64 // 0 when idle
-	busy    float64
-}
-
-// Run simulates serving the request stream until the horizon. Requests
-// still in flight at the horizon are not counted as completed.
+// Run simulates serving the request stream until the horizon, with no
+// failure injection. Requests still in flight at the horizon are not
+// counted as completed. It is the single-pool special case of
+// RunCluster and reproduces the pre-sim event loop byte-for-byte.
 func Run(cfg Config, reqs []trace.Request, horizon units.Seconds) (Metrics, error) {
-	if err := cfg.Validate(); err != nil {
+	return RunWithFailures(cfg, FailureConfig{}, reqs, horizon)
+}
+
+// RunWithFailures simulates a single pool under the given failure
+// config (the zero value disables injection, making it Run). The
+// planner and the facade studies share it so single-pool semantics live
+// in one place.
+func RunWithFailures(cfg Config, f FailureConfig, reqs []trace.Request, horizon units.Seconds) (Metrics, error) {
+	cm, err := RunCluster(ClusterConfig{
+		Pools:    []Pool{{Name: cfg.GPU.Name, Config: cfg}},
+		Failures: f,
+	}, reqs, horizon)
+	if err != nil {
 		return Metrics{}, err
 	}
-	opts := cfg.Opts
-	// Cap decode occupancy by KV capacity.
-	maxKV := inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Decode, cfg.DecodeGPUs, opts)
-	if maxKV <= 0 {
-		return Metrics{}, fmt.Errorf("serve: %s does not fit on %d×%s for decode",
-			cfg.Model.Name, cfg.DecodeGPUs, cfg.GPU.Name)
-	}
-	decodeCap := cfg.MaxDecodeBatch
-	if decodeCap > maxKV {
-		decodeCap = maxKV
-	}
-	if inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Prefill, cfg.PrefillGPUs, opts) < 1 {
-		return Metrics{}, fmt.Errorf("serve: %s does not fit on %d×%s for prefill",
-			cfg.Model.Name, cfg.PrefillGPUs, cfg.GPU.Name)
-	}
-
-	sorted := append([]trace.Request(nil), reqs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
-
-	prefills := make([]prefillEngine, cfg.PrefillInstances)
-	decodes := make([]decodeEngine, cfg.DecodeInstances)
-	var prefillQ, decodeQ []trace.Request
-	decodeAdmit := make(map[int]float64) // request ID → decode admission time
-
-	var (
-		m          Metrics
-		ttfts      []float64
-		tbts       []float64
-		e2es       []float64
-		ttftOK     int
-		tbtOK      int
-		arrivalIdx int
-	)
-	h := float64(horizon)
-
-	prefillTime := newPrefillTimer(cfg, opts)
-	decodeTime := newDecodeTimer(cfg, opts)
-
-	dispatchPrefill := func(now float64) {
-		for i := range prefills {
-			e := &prefills[i]
-			for e.freeAt <= now && len(prefillQ) > 0 {
-				n := cfg.MaxPrefillBatch
-				if n > len(prefillQ) {
-					n = len(prefillQ)
-				}
-				// Shrink the batch until its KV footprint fits. Run
-				// validated the model fits at the nominal prompt length,
-				// but an individual oversized prompt can still exceed
-				// capacity alone (n reaches 0): drop it rather than let
-				// it starve at the head of the queue forever.
-				dt := math.Inf(1)
-				for ; n >= 1; n-- {
-					if dt = prefillTime(prefillQ[:n]); !math.IsInf(dt, 1) {
-						break
-					}
-				}
-				if n < 1 {
-					prefillQ = prefillQ[1:]
-					m.Dropped++
-					continue
-				}
-				batch := prefillQ[:n]
-				prefillQ = prefillQ[n:]
-				e.batch = append([]trace.Request(nil), batch...)
-				e.freeAt = now + dt
-				e.busy += dt
-			}
-		}
-	}
-	startDecodeStep := func(now float64, e *decodeEngine) {
-		// Admit from the queue up to capacity, then step if non-empty.
-		for len(e.active) < decodeCap && len(decodeQ) > 0 {
-			r := decodeQ[0]
-			decodeQ = decodeQ[1:]
-			decodeAdmit[r.ID] = now
-			e.active = append(e.active, &activeReq{req: r, remaining: r.OutputTokens, decodeAt: now})
-		}
-		if len(e.active) == 0 {
-			e.stepEnd = 0
-			return
-		}
-		dt := decodeTime(len(e.active))
-		e.stepEnd = now + dt
-		e.busy += dt
-	}
-
-	for {
-		// Next event: arrival, prefill completion, or decode step end.
-		next := math.Inf(1)
-		if arrivalIdx < len(sorted) {
-			next = float64(sorted[arrivalIdx].Arrival)
-		}
-		for i := range prefills {
-			if len(prefills[i].batch) > 0 && prefills[i].freeAt < next {
-				next = prefills[i].freeAt
-			}
-		}
-		for i := range decodes {
-			if decodes[i].stepEnd > 0 && decodes[i].stepEnd < next {
-				next = decodes[i].stepEnd
-			}
-		}
-		if math.IsInf(next, 1) || next > h {
-			break
-		}
-		now := next
-
-		// Arrivals at `now`.
-		for arrivalIdx < len(sorted) && float64(sorted[arrivalIdx].Arrival) <= now {
-			prefillQ = append(prefillQ, sorted[arrivalIdx])
-			m.Arrived++
-			arrivalIdx++
-		}
-
-		// Prefill completions.
-		for i := range prefills {
-			e := &prefills[i]
-			if len(e.batch) == 0 || e.freeAt > now {
-				continue
-			}
-			for _, r := range e.batch {
-				ttft := now - float64(r.Arrival)
-				ttfts = append(ttfts, ttft)
-				if units.Seconds(ttft) <= pickSLO(opts.TTFTLimit, 1.0) {
-					ttftOK++
-				}
-				decodeQ = append(decodeQ, r)
-			}
-			e.batch = nil
-		}
-
-		// Decode step completions.
-		for i := range decodes {
-			e := &decodes[i]
-			if e.stepEnd == 0 || e.stepEnd > now {
-				continue
-			}
-			var still []*activeReq
-			for _, a := range e.active {
-				a.remaining--
-				m.TokensGenerated++
-				if a.remaining == a.req.OutputTokens-1 {
-					a.firstAt = now
-				}
-				if a.remaining > 0 {
-					still = append(still, a)
-					continue
-				}
-				m.Completed++
-				// Time-between-tokens is defined over the gaps between
-				// consecutive tokens: n tokens have n-1 intervals
-				// spanning first token → last token. A single-token
-				// output has no inter-token gap, so its one step
-				// duration stands in for the interval.
-				tbt := now - a.decodeAt
-				if a.req.OutputTokens > 1 {
-					tbt = (now - a.firstAt) / float64(a.req.OutputTokens-1)
-				}
-				tbts = append(tbts, tbt)
-				if units.Seconds(tbt) <= pickSLO(opts.TBTLimit, 0.050) {
-					tbtOK++
-				}
-				e2es = append(e2es, now-float64(a.req.Arrival))
-			}
-			e.active = still
-			e.stepEnd = 0
-		}
-
-		// Dispatch work freed or newly queued.
-		dispatchPrefill(now)
-		for i := range decodes {
-			if decodes[i].stepEnd == 0 {
-				startDecodeStep(now, &decodes[i])
-			}
-		}
-	}
-
-	m.TTFT = mathx.Summarize(ttfts)
-	m.TBT = mathx.Summarize(tbts)
-	m.E2E = mathx.Summarize(e2es)
-	if len(ttfts) > 0 {
-		m.TTFTAttainment = float64(ttftOK) / float64(len(ttfts))
-	}
-	if len(tbts) > 0 {
-		m.TBTAttainment = float64(tbtOK) / float64(len(tbts))
-	}
-	var pBusy, dBusy float64
-	for i := range prefills {
-		pBusy += prefills[i].busy
-	}
-	for i := range decodes {
-		dBusy += decodes[i].busy
-	}
-	if h > 0 {
-		m.PrefillUtilization = pBusy / (h * float64(cfg.PrefillInstances))
-		m.DecodeUtilization = dBusy / (h * float64(cfg.DecodeInstances))
-	}
-	return m, nil
+	return cm.Pools[0].Metrics, nil
 }
 
 func pickSLO(v units.Seconds, def units.Seconds) units.Seconds {

@@ -1,0 +1,211 @@
+// Package sim is the deterministic discrete-event core shared by the
+// litegpu simulators: an indexed min-heap event calendar, a simulated
+// clock, typed event scheduling with O(log n) cancellation, and seeded
+// randomness through mathx so every run is byte-identical — including
+// under the parallel sweep, where each grid cell derives its own seed
+// via mathx.DeriveSeed.
+//
+// Determinism is the whole point. Events fire in (time, priority,
+// insertion order) order: priorities give simulators explicit control
+// over same-timestamp phases (arrivals before completions before
+// dispatch), and the insertion-order tiebreak makes equal-priority ties
+// FIFO rather than heap-arbitrary. No wall clock, no global RNG, no map
+// iteration touches event order.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/mathx"
+)
+
+// EventID names a scheduled event for cancellation. The zero EventID is
+// never issued, so it can mark "no event pending".
+type EventID uint64
+
+// event is one calendar entry. pos is its current index in the heap
+// slice, maintained by the sift operations so Cancel can remove it in
+// O(log n) without a search.
+type event struct {
+	at   float64
+	prio int
+	id   EventID // doubles as the insertion-order tiebreak
+	pos  int
+	fn   func(now float64)
+}
+
+// Engine is a discrete-event simulation: a clock plus a calendar of
+// pending events. The zero value is not usable; call New.
+type Engine struct {
+	now    float64
+	nextID EventID
+	heap   []*event
+	byID   map[EventID]*event
+	rng    *mathx.RNG
+}
+
+// New returns an engine at time zero whose RNG is seeded with seed.
+// Simulators that need several independent streams should derive them
+// with RNG().Split or mathx.DeriveSeed rather than sharing one stream
+// across components, so adding draws in one component cannot perturb
+// another.
+func New(seed uint64) *Engine {
+	return &Engine{
+		byID: make(map[EventID]*event),
+		rng:  mathx.NewRNG(seed),
+	}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// RNG returns the engine's seeded generator.
+func (e *Engine) RNG() *mathx.RNG { return e.rng }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Next peeks at the earliest pending event time.
+func (e *Engine) Next() (at float64, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
+// Schedule books fn to run at absolute time `at` with the given
+// priority. Among events at the same time, lower priority runs first;
+// equal priorities run in scheduling order. Scheduling in the past (or a
+// non-finite time) panics — it is always a simulator bug, and silently
+// clamping it would corrupt causality.
+func (e *Engine) Schedule(at float64, prio int, fn func(now float64)) EventID {
+	if math.IsNaN(at) || math.IsInf(at, -1) || at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	e.nextID++
+	ev := &event{at: at, prio: prio, id: e.nextID, fn: fn}
+	e.byID[ev.id] = ev
+	ev.pos = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.siftUp(ev.pos)
+	return ev.id
+}
+
+// ScheduleAfter books fn at Now()+delay. Negative delays panic via
+// Schedule.
+func (e *Engine) ScheduleAfter(delay float64, prio int, fn func(now float64)) EventID {
+	return e.Schedule(e.now+delay, prio, fn)
+}
+
+// Cancel removes a pending event. It reports false when the event
+// already ran, was already cancelled, or never existed — cancelling a
+// completed event is a legal no-op, which is what lets simulators keep
+// "the completion I booked" handles without tracking their lifecycle.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.byID[id]
+	if !ok {
+		return false
+	}
+	delete(e.byID, id)
+	e.removeAt(ev.pos)
+	return true
+}
+
+// Run executes events in order until the calendar is empty or the next
+// event lies beyond `until` (events at exactly `until` run). The clock
+// advances to each event's time as it fires; it does not advance past
+// the last executed event, matching the convention that a horizon ends
+// the observation window rather than the world. Returns the number of
+// events executed.
+//
+// Handlers may schedule and cancel freely, including at the current
+// time; newly scheduled events at or before `until` run in the same
+// call.
+func (e *Engine) Run(until float64) int {
+	n := 0
+	for len(e.heap) > 0 && e.heap[0].at <= until {
+		ev := e.heap[0]
+		e.removeAt(0)
+		delete(e.byID, ev.id)
+		e.now = ev.at
+		ev.fn(ev.at)
+		n++
+	}
+	return n
+}
+
+// Step executes exactly one event if one is pending, reporting whether
+// it did. Tests use it to observe intermediate states.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.heap[0]
+	e.removeAt(0)
+	delete(e.byID, ev.id)
+	e.now = ev.at
+	ev.fn(ev.at)
+	return true
+}
+
+// less orders the calendar: earlier time, then lower priority, then
+// earlier scheduling.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.id < b.id
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && less(e.heap[l], e.heap[min]) {
+			min = l
+		}
+		if r < n && less(e.heap[r], e.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		e.swap(i, min)
+		i = min
+	}
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].pos = i
+	e.heap[j].pos = j
+}
+
+// removeAt deletes the event at heap index i, restoring the heap
+// property around the hole.
+func (e *Engine) removeAt(i int) {
+	last := len(e.heap) - 1
+	e.swap(i, last)
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i < last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New(1)
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, 0, func(now float64) { got = append(got, now) })
+	}
+	if n := e.Run(10); n != 5 {
+		t.Fatalf("ran %d events, want 5", n)
+	}
+	want := []float64{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fire order %v, want %v", got, want)
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock = %v, want 5 (time of last event, not the horizon)", e.Now())
+	}
+}
+
+func TestSameTimePriorityThenFIFO(t *testing.T) {
+	e := New(1)
+	var got []string
+	// All at t=1: priority orders phases; within a priority, insertion
+	// order wins — never heap-internal order.
+	e.Schedule(1, 2, func(float64) { got = append(got, "dispatch") })
+	e.Schedule(1, 0, func(float64) { got = append(got, "arrival-a") })
+	e.Schedule(1, 1, func(float64) { got = append(got, "complete-a") })
+	e.Schedule(1, 0, func(float64) { got = append(got, "arrival-b") })
+	e.Schedule(1, 1, func(float64) { got = append(got, "complete-b") })
+	e.Run(1)
+	want := []string{"arrival-a", "arrival-b", "complete-a", "complete-b", "dispatch"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order %v, want %v", got, want)
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	e := New(1)
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.Schedule(at, 0, func(now float64) { got = append(got, now) })
+	}
+	if n := e.Run(2); n != 2 {
+		t.Fatalf("ran %d events, want 2 (t=2 inclusive)", n)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	if next, ok := e.Next(); !ok || next != 3 {
+		t.Errorf("next = %v/%v, want 3", next, ok)
+	}
+	// Resume: the calendar survives across Run calls.
+	e.Run(10)
+	if !reflect.DeepEqual(got, []float64{1, 2, 3, 4}) {
+		t.Errorf("resumed run produced %v", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := make(map[string]bool)
+	keep := e.Schedule(1, 0, func(float64) { fired["keep"] = true })
+	drop := e.Schedule(2, 0, func(float64) { fired["drop"] = true })
+	if !e.Cancel(drop) {
+		t.Error("Cancel of a pending event reported false")
+	}
+	if e.Cancel(drop) {
+		t.Error("double Cancel reported true")
+	}
+	e.Run(10)
+	if !fired["keep"] || fired["drop"] {
+		t.Errorf("fired = %v, want only keep", fired)
+	}
+	if e.Cancel(keep) {
+		t.Error("Cancel of an executed event reported true")
+	}
+	if e.Cancel(EventID(0)) {
+		t.Error("Cancel of the zero EventID reported true")
+	}
+}
+
+func TestCancelMiddleOfHeapKeepsOrder(t *testing.T) {
+	e := New(1)
+	var got []float64
+	var ids []EventID
+	for _, at := range []float64{1, 2, 3, 4, 5, 6, 7, 8} {
+		at := at
+		ids = append(ids, e.Schedule(at, 0, func(now float64) { got = append(got, now) }))
+	}
+	e.Cancel(ids[3]) // t=4
+	e.Cancel(ids[6]) // t=7
+	e.Run(10)
+	want := []float64{1, 2, 3, 5, 6, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order after mid-heap cancels %v, want %v", got, want)
+	}
+}
+
+func TestHandlersCanScheduleAtCurrentTime(t *testing.T) {
+	e := New(1)
+	var got []string
+	e.Schedule(1, 0, func(now float64) {
+		got = append(got, "first")
+		// Same-time follow-up runs within the same Run call, after
+		// already-pending same-time events of lower priority rank.
+		e.Schedule(now, 5, func(float64) { got = append(got, "followup") })
+	})
+	e.Schedule(1, 1, func(float64) { got = append(got, "second") })
+	e.Run(1)
+	want := []string{"first", "second", "followup"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order %v, want %v", got, want)
+	}
+}
+
+func TestChainedSchedulingAdvancesClock(t *testing.T) {
+	e := New(1)
+	count := 0
+	var tick func(now float64)
+	tick = func(now float64) {
+		count++
+		e.ScheduleAfter(1, 0, tick)
+	}
+	e.ScheduleAfter(1, 0, tick)
+	e.Run(100)
+	if count != 100 {
+		t.Errorf("ticked %d times, want 100", count)
+	}
+	if e.Now() != 100 {
+		t.Errorf("clock = %v, want 100", e.Now())
+	}
+}
+
+func TestSchedulingInThePastPanics(t *testing.T) {
+	e := New(1)
+	e.Schedule(5, 0, func(float64) {})
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling before Now() did not panic")
+		}
+	}()
+	e.Schedule(1, 0, func(float64) {})
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// Two engines driven by identical logic — including RNG draws and a
+	// cancellation — must produce identical traces.
+	run := func() []float64 {
+		e := New(99)
+		var got []float64
+		var pending EventID
+		e.Schedule(1, 0, func(now float64) {
+			got = append(got, now+e.RNG().Float64())
+			pending = e.ScheduleAfter(10, 0, func(now float64) { got = append(got, -now) })
+		})
+		e.Schedule(2, 0, func(now float64) {
+			e.Cancel(pending)
+			got = append(got, now+e.RNG().Float64())
+		})
+		e.Run(50)
+		return got
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("replay diverged: %v vs %v", a, b)
+	}
+	if len(a) != 2 {
+		t.Errorf("cancelled event ran: %v", a)
+	}
+}
+
+func TestManyEventsStressHeap(t *testing.T) {
+	// Schedule a pseudo-random pile of events, cancel a third, and check
+	// the execution sequence is sorted.
+	e := New(7)
+	var ids []EventID
+	var got []float64
+	for i := 0; i < 2000; i++ {
+		at := e.RNG().Float64() * 1000
+		ids = append(ids, e.Schedule(at, 0, func(now float64) { got = append(got, now) }))
+	}
+	for i := 0; i < len(ids); i += 3 {
+		e.Cancel(ids[i])
+	}
+	e.Run(2000)
+	if len(got) != 2000-667 {
+		t.Fatalf("executed %d events, want %d", len(got), 2000-667)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out-of-order execution at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+}

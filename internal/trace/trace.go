@@ -94,10 +94,58 @@ func (g Generator) Validate() error {
 	return nil
 }
 
+// BurstStats summarizes the Markov-modulated arrival process of one
+// generated stream: how much of the horizon was spent bursting and how
+// the state dwells distributed. For a non-bursty generator (BurstFactor
+// ≤ 1) the whole horizon is one normal spell.
+type BurstStats struct {
+	// BurstTime and NormalTime partition the horizon between the two
+	// modulation states, in seconds.
+	BurstTime  float64
+	NormalTime float64
+	// BurstSpells and NormalSpells count state visits (the initial
+	// normal spell included).
+	BurstSpells  int
+	NormalSpells int
+}
+
+// BurstFraction returns the observed share of time spent bursting.
+func (b BurstStats) BurstFraction() float64 {
+	total := b.BurstTime + b.NormalTime
+	if total <= 0 {
+		return 0
+	}
+	return b.BurstTime / total
+}
+
+// MeanBurstDwell returns the observed mean burst-spell length.
+func (b BurstStats) MeanBurstDwell() float64 {
+	if b.BurstSpells == 0 {
+		return 0
+	}
+	return b.BurstTime / float64(b.BurstSpells)
+}
+
+// MeanNormalDwell returns the observed mean normal-spell length.
+func (b BurstStats) MeanNormalDwell() float64 {
+	if b.NormalSpells == 0 {
+		return 0
+	}
+	return b.NormalTime / float64(b.NormalSpells)
+}
+
 // Generate produces all requests arriving within the horizon.
 func (g Generator) Generate(horizon units.Seconds) ([]Request, error) {
+	reqs, _, err := g.GenerateWithStats(horizon)
+	return reqs, err
+}
+
+// GenerateWithStats is Generate plus the burst-process accounting the
+// calibration tests assert against. The request stream is byte-identical
+// to Generate's: the accounting consumes no randomness.
+func (g Generator) GenerateWithStats(horizon units.Seconds) ([]Request, BurstStats, error) {
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, BurstStats{}, err
 	}
 	rng := mathx.NewRNG(g.Seed)
 	lenRNG := rng.Split()
@@ -111,6 +159,22 @@ func (g Generator) Generate(horizon units.Seconds) ([]Request, error) {
 	h := float64(horizon)
 	bursting := false
 	stateLeft := g.dwell(burstRNG, bursting)
+	stats := BurstStats{NormalSpells: 1}
+	// dwellTime credits elapsed time to the state it was spent in,
+	// clipping at the horizon so the partition sums to exactly h.
+	dwellTime := func(from, span float64, inBurst bool) {
+		if from >= h {
+			return
+		}
+		if from+span > h {
+			span = h - from
+		}
+		if inBurst {
+			stats.BurstTime += span
+		} else {
+			stats.NormalTime += span
+		}
+	}
 	for {
 		rate := g.Rate
 		if g.BurstFactor > 1 && bursting {
@@ -121,8 +185,16 @@ func (g Generator) Generate(horizon units.Seconds) ([]Request, error) {
 		if g.BurstFactor > 1 {
 			for dt >= stateLeft {
 				dt -= stateLeft
+				dwellTime(t, stateLeft, bursting)
 				t += stateLeft
 				bursting = !bursting
+				if t < h {
+					if bursting {
+						stats.BurstSpells++
+					} else {
+						stats.NormalSpells++
+					}
+				}
 				stateLeft = g.dwell(burstRNG, bursting)
 				rate = g.Rate
 				if bursting {
@@ -133,6 +205,7 @@ func (g Generator) Generate(horizon units.Seconds) ([]Request, error) {
 			}
 			stateLeft -= dt
 		}
+		dwellTime(t, dt, bursting)
 		t += dt
 		if t > h {
 			break
@@ -144,7 +217,10 @@ func (g Generator) Generate(horizon units.Seconds) ([]Request, error) {
 			OutputTokens: g.sampleLen(lenRNG, oMu, oSigma),
 		})
 	}
-	return reqs, nil
+	if g.BurstFactor <= 1 {
+		stats = BurstStats{NormalSpells: 1, NormalTime: math.Min(t, h)}
+	}
+	return reqs, stats, nil
 }
 
 func (g Generator) dwell(rng *mathx.RNG, bursting bool) float64 {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -161,5 +162,91 @@ func TestSummarizeTotals(t *testing.T) {
 	}
 	if s.MeanRate != 0.2 {
 		t.Errorf("rate = %v, want 0.2", s.MeanRate)
+	}
+}
+
+// TestBurstModeConvergesToConfiguration pins the MMPP generator's
+// calibration: over a long horizon the empirical arrival rate must
+// converge to the two-state mixture rate, and the burst-state dwell
+// statistics to the configured BurstFraction/BurstDwell split.
+func TestBurstModeConvergesToConfiguration(t *testing.T) {
+	g := CodingWorkload(2.0, 31)
+	g.BurstFactor = 4
+	g.BurstFraction = 0.25
+	g.BurstDwell = 50
+	const horizon = 40000.0
+
+	reqs, stats, err := g.GenerateWithStats(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mixture rate: Rate·(1−f) + Rate·BurstFactor·f.
+	wantRate := g.Rate*(1-g.BurstFraction) + g.Rate*g.BurstFactor*g.BurstFraction
+	gotRate := float64(len(reqs)) / horizon
+	if rel := math.Abs(gotRate-wantRate) / wantRate; rel > 0.05 {
+		t.Errorf("empirical rate %.3f vs configured mixture %.3f (%.1f%% off)", gotRate, wantRate, rel*100)
+	}
+
+	// Time partition: BurstFraction of the horizon spent bursting.
+	if got := stats.BurstFraction(); math.Abs(got-g.BurstFraction) > 0.05 {
+		t.Errorf("burst-time fraction %.3f, want ≈ %.3f", got, g.BurstFraction)
+	}
+	if total := stats.BurstTime + stats.NormalTime; math.Abs(total-horizon) > 1e-6 {
+		t.Errorf("state times sum to %.6f, want the %.0f horizon", total, horizon)
+	}
+
+	// Dwell means: burst spells average BurstDwell·f, normal spells
+	// BurstDwell·(1−f). With ~40000/50 = 800 spells the exponential
+	// sample means sit within a few percent; 15% is comfortable.
+	dwell := float64(g.BurstDwell)
+	if stats.BurstSpells < 100 || stats.NormalSpells < 100 {
+		t.Fatalf("too few spells to test convergence: %d burst, %d normal", stats.BurstSpells, stats.NormalSpells)
+	}
+	wantBurst := dwell * g.BurstFraction
+	if rel := math.Abs(stats.MeanBurstDwell()-wantBurst) / wantBurst; rel > 0.15 {
+		t.Errorf("mean burst dwell %.2f s, want ≈ %.2f s (%.1f%% off)", stats.MeanBurstDwell(), wantBurst, rel*100)
+	}
+	wantNormal := dwell * (1 - g.BurstFraction)
+	if rel := math.Abs(stats.MeanNormalDwell()-wantNormal) / wantNormal; rel > 0.15 {
+		t.Errorf("mean normal dwell %.2f s, want ≈ %.2f s (%.1f%% off)", stats.MeanNormalDwell(), wantNormal, rel*100)
+	}
+}
+
+// TestGenerateWithStatsPreservesStream guards the refactor: the stats
+// accounting must not perturb the request stream.
+func TestGenerateWithStatsPreservesStream(t *testing.T) {
+	g := ConversationWorkload(1.5, 9)
+	g.BurstFactor = 6
+	g.BurstFraction = 0.2
+	g.BurstDwell = 20
+	plain, err := g.Generate(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withStats, stats, err := g.GenerateWithStats(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withStats) {
+		t.Error("GenerateWithStats produced a different stream than Generate")
+	}
+	if stats.BurstSpells == 0 {
+		t.Error("bursty stream recorded no burst spells")
+	}
+}
+
+// TestNonBurstyStatsAreTrivial pins the degenerate case: a plain
+// Poisson stream is one normal spell spanning the horizon.
+func TestNonBurstyStatsAreTrivial(t *testing.T) {
+	_, stats, err := CodingWorkload(1.0, 3).GenerateWithStats(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BurstSpells != 0 || stats.BurstTime != 0 {
+		t.Errorf("non-bursty stream has burst activity: %+v", stats)
+	}
+	if stats.NormalSpells != 1 || math.Abs(stats.NormalTime-200) > 1e-9 {
+		t.Errorf("non-bursty stream stats = %+v, want one 200 s normal spell", stats)
 	}
 }

@@ -14,7 +14,10 @@
 //   - the Figure 3 roofline studies (PrefillStudy, DecodeStudy) and the
 //     single-configuration Estimate,
 //   - the discrete-event serving simulator (Serve) and workload
-//     generators,
+//     generators — since PR 2 rebuilt on the shared internal/sim event
+//     engine, which adds GPU failure injection with hot spares
+//     (ServeCluster, ServeWithFailures) and heterogeneous pools behind
+//     a pluggable router (RoundRobin, JoinShortestQueue),
 //   - the concurrent design-space sweep (Sweep), which crosses Table 1
 //     GPU types × models × workloads × arrival rates over a worker pool
 //     and returns serving metrics per cell,
@@ -105,6 +108,28 @@ func ModelByName(name string) (Transformer, bool) { return model.ByName(name) }
 // DefaultOptions returns the paper's study parameters (FP8, 1500-token
 // prompts, TTFT ≤ 1 s, TBT ≤ 50 ms).
 func DefaultOptions() Options { return inference.DefaultOptions() }
+
+// MinFeasibleTP returns the smallest tensor-parallel degree at which
+// the model fits the GPU type for the given phase — the auto-sizing
+// rule the sweep and the capacity planner use.
+func MinFeasibleTP(gpu GPU, m Transformer, phase Phase, opts Options) (int, error) {
+	return inference.MinFeasibleTP(gpu, m, phase, opts)
+}
+
+// FailureParams calibrates GPU failure and repair processes (see
+// internal/failure).
+type FailureParams = failure.Params
+
+// DefaultFailureParams returns the studies' reliability calibration,
+// optionally overriding the reference-package AFR (refAFR ≤ 0 keeps the
+// default 5%).
+func DefaultFailureParams(refAFR float64) FailureParams {
+	p := failure.DefaultParams()
+	if refAFR > 0 {
+		p.RefAFR = refAFR
+	}
+	return p
+}
 
 // Cluster design --------------------------------------------------------------
 
