@@ -1,5 +1,7 @@
 // Command litegpu-serve runs the discrete-event LLM serving simulator
-// with Splitwise-style phase splitting on a synthetic workload.
+// on a synthetic workload, under one of three scheduling policies:
+// static Splitwise-style phase splitting (the default), continuous
+// batching, or chunked prefill.
 //
 // Usage:
 //
@@ -9,6 +11,12 @@
 //
 //	litegpu-serve -gpu H100 -model Llama3-70B -prefill-gpus 2 -decode-gpus 2
 //	litegpu-serve -gpu Lite -model Llama3-70B -prefill-gpus 8 -decode-gpus 8
+//
+// With -scheduler, the same silicon runs a different serving
+// discipline; -prefill-chunk tunes chunked prefill's stall bound:
+//
+//	litegpu-serve -scheduler continuous
+//	litegpu-serve -scheduler chunked -prefill-chunk 256
 //
 // With -afr, GPU failure injection is enabled: instances die at the
 // area-scaled annualized failure rate, in-flight requests requeue (or
@@ -29,7 +37,9 @@
 // With -plan, the instance-count flags are ignored (they are what the
 // planner searches over) and the capacity planner sizes the cheapest
 // deployment meeting the SLO targets instead; -horizon, the batch caps,
-// and explicitly-set -prefill-gpus/-decode-gpus TP degrees are honored.
+// and explicitly-set -prefill-gpus/-decode-gpus TP degrees are honored,
+// and -scheduler auto sizes all three policies and keeps the cheapest
+// per Mtoken.
 // Combined with -afr the plan becomes availability-aware: a hot-spare
 // count joins the search (target -min-availability) and is priced into
 // the TCO:
@@ -59,6 +69,8 @@ func main() {
 	maxPrefill := flag.Int("max-prefill-batch", 4, "prompts fused per prefill pass")
 	maxDecode := flag.Int("max-decode-batch", 64, "continuous-batching cap")
 	workload := flag.String("workload", "coding", "workload shape: coding | conversation")
+	scheduler := flag.String("scheduler", "static", "scheduling policy: static (phase-split) | continuous (batching) | chunked (prefill); plan mode also accepts auto (size all three, keep the cheapest)")
+	prefillChunk := flag.Int("prefill-chunk", 0, "chunked-prefill chunk size in prompt tokens (0 = default 512)")
 	afr := flag.Float64("afr", 0, "enable failure injection at this reference-package annualized failure rate (e.g. 0.09; 0 = off)")
 	spares := flag.Int("spares", 0, "hot spares per pool under failure injection")
 	timescale := flag.Float64("failure-timescale", 1, "failure-clock acceleration factor (rates ×k; repair stays real time)")
@@ -103,6 +115,19 @@ func main() {
 			failures.Policy = litegpu.DropOnFailure
 		}
 	}
+	var schedPolicies []litegpu.SchedulerPolicy
+	if *scheduler == "auto" {
+		if !*plan {
+			fatalf("-scheduler auto only applies with -plan; pick static, continuous, or chunked")
+		}
+		schedPolicies = litegpu.SchedulerPolicies()
+	} else {
+		pol, err := litegpu.ParseSchedulerPolicy(*scheduler)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		schedPolicies = []litegpu.SchedulerPolicy{pol}
+	}
 	var routerPolicy litegpu.ServeRouterPolicy
 	switch *router {
 	case "rr", "round-robin":
@@ -139,6 +164,8 @@ func main() {
 			Opts:            litegpu.DefaultOptions(),
 			Workload:        gen,
 			Horizon:         litegpu.Seconds(*horizon),
+			Schedulers:      schedPolicies,
+			PrefillChunk:    *prefillChunk,
 			MaxPrefillBatch: *maxPrefill,
 			MaxDecodeBatch:  *maxDecode,
 			MaxInstances:    *maxInstances,
@@ -166,8 +193,8 @@ func main() {
 		if p.Spares > 0 {
 			spareNote = fmt.Sprintf(" + %d spares", p.Spares)
 		}
-		fmt.Printf("  deployment: %d×%d-GPU prefill + %d×%d-GPU decode%s = %d GPUs\n",
-			c.PrefillInstances, c.PrefillGPUs, c.DecodeInstances, c.DecodeGPUs, spareNote, p.TotalGPUs)
+		fmt.Printf("  deployment: %s%s = %d GPUs (%s scheduler)\n",
+			describeDeployment(c), spareNote, p.TotalGPUs, c.Scheduler)
 		fmt.Printf("  SLO check: TTFT attainment %.1f%% (target %.1f%%), TBT attainment %.1f%% (target %.1f%%)\n",
 			p.Metrics.TTFTAttainment*100, *ttftAttain*100,
 			p.Metrics.TBTAttainment*100, *tbtAttain*100)
@@ -190,6 +217,8 @@ func main() {
 		GPU:              gpu,
 		Model:            m,
 		Opts:             litegpu.DefaultOptions(),
+		Scheduler:        schedPolicies[0],
+		PrefillChunk:     *prefillChunk,
 		PrefillInstances: *prefillInst,
 		PrefillGPUs:      *prefillGPUs,
 		DecodeInstances:  *decodeInst,
@@ -235,14 +264,25 @@ func main() {
 	}
 	for i, pm := range cm.Pools {
 		pc := cc.Pools[i].Config // RunCluster reports pools in input order
-		fmt.Printf("pool %s: %d×%d prefill + %d×%d decode, model %s\n",
-			pm.Name, pc.PrefillInstances, pc.PrefillGPUs, pc.DecodeInstances, pc.DecodeGPUs, m.Name)
+		fmt.Printf("pool %s: %s (%s scheduler), model %s\n",
+			pm.Name, describeDeployment(pc), pc.Scheduler, m.Name)
 		printMetrics("  ", pm.Metrics, failures.Enabled)
 	}
 	if len(cm.Pools) > 1 {
 		fmt.Printf("cluster total (router %s):\n", *router)
 		printMetrics("  ", cm.Total, failures.Enabled)
 	}
+}
+
+// describeDeployment renders a config's instance shape: the two phase
+// pools for the static scheduler, the single colocated pool otherwise.
+func describeDeployment(c litegpu.ServeConfig) string {
+	if c.Scheduler.Colocated() {
+		n, g := c.ColocatedShape()
+		return fmt.Sprintf("%d×%d-GPU colocated", n, g)
+	}
+	return fmt.Sprintf("%d×%d-GPU prefill + %d×%d-GPU decode",
+		c.PrefillInstances, c.PrefillGPUs, c.DecodeInstances, c.DecodeGPUs)
 }
 
 func printMetrics(indent string, mets litegpu.ServeMetrics, withFailures bool) {

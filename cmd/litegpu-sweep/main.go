@@ -12,6 +12,11 @@
 //	litegpu-sweep -gpus H100,Lite -models Llama3-8B -rates 0.5,2,8
 //	litegpu-sweep -workers 1                       # sequential baseline (same output)
 //	litegpu-sweep -afr 0.09 -failure-timescale 1e6 # add a failure-injection axis
+//	litegpu-sweep -scheduler static,continuous,chunked  # add a scheduling-policy axis
+//
+// With -scheduler listing several policies, every grid point is
+// simulated once per policy on the identical trace and silicon, so the
+// scheduler columns are directly comparable.
 //
 // With -afr, every grid point is simulated twice — clean and with GPU
 // failure injection at the given reference AFR (optionally accelerated
@@ -36,6 +41,7 @@ func main() {
 	modelList := flag.String("models", "", "comma-separated model presets (default: the three paper models)")
 	workloadList := flag.String("workloads", "coding,conversation", "workload shapes: coding | conversation")
 	rateList := flag.String("rates", "0.5,1.5", "comma-separated arrival rates (req/s)")
+	schedList := flag.String("scheduler", "static", "comma-separated scheduling policies: static | continuous | chunked")
 	horizon := flag.Float64("horizon", 300, "arrival window in simulated seconds")
 	drain := flag.Float64("drain", 120, "extra simulated seconds for in-flight requests to finish")
 	seed := flag.Uint64("seed", 42, "base workload seed (each cell derives its own)")
@@ -82,6 +88,18 @@ func main() {
 		}
 		spec.Rates = append(spec.Rates, r)
 	}
+	withSchedulers := false
+	for _, name := range splitList(*schedList) {
+		pol, err := litegpu.ParseSchedulerPolicy(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if pol != litegpu.StaticDisaggregated {
+			withSchedulers = true
+		}
+		spec.Schedulers = append(spec.Schedulers, pol)
+	}
+	withSchedulers = withSchedulers || len(spec.Schedulers) > 1
 
 	withFailures := *afr > 0
 	if withFailures {
@@ -102,14 +120,22 @@ func main() {
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	schedCol := "\tSched"
+	if !withSchedulers {
+		schedCol = ""
+	}
 	failCols := "\tFailures\tAvail/Ev"
 	if !withFailures {
 		failCols = ""
 	}
-	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att."+failCols)
+	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s"+schedCol+"\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att."+failCols)
 	for _, c := range cells {
+		row := fmt.Sprintf("%s\t%s\t%s\t%.2f", c.GPU, c.Model, c.Workload, c.Rate)
+		if withSchedulers {
+			row += "\t" + c.Scheduler
+		}
 		if c.Err != "" {
-			row := fmt.Sprintf("%s\t%s\t%s\t%.2f\tinfeasible: %s\t\t\t\t\t\t", c.GPU, c.Model, c.Workload, c.Rate, c.Err)
+			row += fmt.Sprintf("\tinfeasible: %s\t\t\t\t\t\t", c.Err)
 			if withFailures {
 				row += fmt.Sprintf("\t%s\t", c.Failure)
 			}
@@ -117,10 +143,8 @@ func main() {
 			continue
 		}
 		m := c.Metrics
-		row := fmt.Sprintf("%s\t%s\t%s\t%.2f\t%d×%dP+%d×%dD\t%d/%d\t%d\t%.0f ms\t%.1f ms\t%.1f%%\t%.1f%%",
-			c.GPU, c.Model, c.Workload, c.Rate,
-			c.Config.PrefillInstances, c.Config.PrefillGPUs,
-			c.Config.DecodeInstances, c.Config.DecodeGPUs,
+		row += fmt.Sprintf("\t%s\t%d/%d\t%d\t%.0f ms\t%.1f ms\t%.1f%%\t%.1f%%",
+			deployment(c.Config),
 			m.Completed, m.Arrived, m.Dropped,
 			m.TTFT.P99*1e3, m.TBT.P99*1e3,
 			m.TTFTAttainment*100, m.TBTAttainment*100)
@@ -130,6 +154,17 @@ func main() {
 		fmt.Fprintln(tw, row)
 	}
 	tw.Flush()
+}
+
+// deployment renders a cell's instance shape: phase pools for the
+// static policy, the colocated instance set otherwise.
+func deployment(c litegpu.ServeConfig) string {
+	if c.Scheduler.Colocated() {
+		n, g := c.ColocatedShape()
+		return fmt.Sprintf("%d×%dC", n, g)
+	}
+	return fmt.Sprintf("%d×%dP+%d×%dD",
+		c.PrefillInstances, c.PrefillGPUs, c.DecodeInstances, c.DecodeGPUs)
 }
 
 func splitList(s string) []string {

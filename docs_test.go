@@ -1,0 +1,74 @@
+package litegpu
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links; the target group is checked
+// only when it is repo-relative (external URLs and anchors are skipped).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocRelativeLinks is the docs-site link checker CI runs: every
+// relative link in README.md and docs/*.md must point at a file or
+// directory that exists in the repository, so prose cannot rot ahead of
+// the code it describes.
+func TestDocRelativeLinks(t *testing.T) {
+	pages := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("docs/*.md matched nothing; the docs site is missing")
+	}
+	pages = append(pages, docs...)
+
+	for _, page := range pages {
+		raw, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.Split(target, "#")[0] // strip in-page anchors
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(page), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", page, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocsCrossLinked keeps the three docs pages discoverable: the
+// README must link every docs page, and each page must name the repo's
+// current scheduler vocabulary rather than a stale one.
+func TestDocsCrossLinked(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, page := range []string{"docs/architecture.md", "docs/scheduling.md", "docs/cli.md"} {
+		if !strings.Contains(string(readme), page) {
+			t.Errorf("README.md does not link %s", page)
+		}
+		raw, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatalf("%s: %v", page, err)
+		}
+		for _, term := range []string{"scheduler", "chunked"} {
+			if !strings.Contains(strings.ToLower(string(raw)), term) {
+				t.Errorf("%s never mentions %q; is it stale?", page, term)
+			}
+		}
+	}
+}

@@ -51,6 +51,11 @@ type SweepSpec struct {
 	Workloads []SweepWorkload
 	// Rates (req/s) defaults to {0.5, 1.5}.
 	Rates []float64
+	// Schedulers is the scheduling-policy axis (default
+	// {StaticDisaggregated}); add ContinuousBatching / ChunkedPrefill
+	// entries to compare serving disciplines cell-for-cell on the same
+	// traces.
+	Schedulers []SchedulerPolicy
 	// FailureModes defaults to the single clean mode; add entries (e.g.
 	// an accelerated-AFR config with hot spares) to cross the grid with
 	// failure injection.
@@ -95,6 +100,9 @@ func (s SweepSpec) withDefaults() SweepSpec {
 	if len(s.Rates) == 0 {
 		s.Rates = []float64{0.5, 1.5}
 	}
+	if len(s.Schedulers) == 0 {
+		s.Schedulers = []SchedulerPolicy{StaticDisaggregated}
+	}
 	if len(s.FailureModes) == 0 {
 		s.FailureModes = DefaultSweepFailureModes()
 	}
@@ -123,16 +131,17 @@ func (s SweepSpec) withDefaults() SweepSpec {
 }
 
 // SweepCell is one point of the sweep grid: a (GPU, model, workload,
-// rate, failure-mode) combination with its simulated serving metrics.
-// Err is non-empty when the combination is infeasible (e.g. the model
-// does not fit the GPU type's largest legal cluster); such cells carry
-// zero Metrics.
+// rate, scheduler, failure-mode) combination with its simulated serving
+// metrics. Err is non-empty when the combination is infeasible (e.g.
+// the model does not fit the GPU type's largest legal cluster); such
+// cells carry zero Metrics.
 type SweepCell struct {
-	GPU      string
-	Model    string
-	Workload string
-	Rate     float64
-	Failure  string
+	GPU       string
+	Model     string
+	Workload  string
+	Rate      float64
+	Scheduler string
+	Failure   string
 
 	// Config is the auto-sized deployment the cell simulated.
 	Config ServeConfig
@@ -142,12 +151,12 @@ type SweepCell struct {
 	Err string
 }
 
-// Sweep crosses GPU types × models × workloads × arrival rates and
-// simulates a phase-split serving deployment for every combination,
-// fanning the grid over a worker pool. Cell order is the nested
-// enumeration order of the spec slices, and each cell's workload seed
-// derives from its grid index — so the returned slice is byte-identical
-// whether it ran on one worker or many.
+// Sweep crosses GPU types × models × workloads × arrival rates ×
+// scheduling policies and simulates a serving deployment for every
+// combination, fanning the grid over a worker pool. Cell order is the
+// nested enumeration order of the spec slices, and each cell's workload
+// seed derives from its grid index — so the returned slice is
+// byte-identical whether it ran on one worker or many.
 //
 // Infeasible combinations are reported per cell via SweepCell.Err rather
 // than failing the sweep.
@@ -158,6 +167,7 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 		model    Transformer
 		workload SweepWorkload
 		rate     float64
+		sched    SchedulerPolicy
 		failure  SweepFailureMode
 	}
 	var points []point
@@ -165,24 +175,27 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 		for _, m := range spec.Models {
 			for _, w := range spec.Workloads {
 				for _, r := range spec.Rates {
-					for _, f := range spec.FailureModes {
-						points = append(points, point{gpu: g, model: m, workload: w, rate: r, failure: f})
+					for _, sp := range spec.Schedulers {
+						for _, f := range spec.FailureModes {
+							points = append(points, point{gpu: g, model: m, workload: w, rate: r, sched: sp, failure: f})
+						}
 					}
 				}
 			}
 		}
 	}
 	// The request stream depends only on (workload, rate): every GPU,
-	// model, and failure mode at the same workload point faces the
-	// identical trace, so cross-hardware (and clean-vs-faulty)
-	// comparisons within the grid are noise-free. The seed position is
-	// the workload×rate coordinate of the cell.
+	// model, scheduler, and failure mode at the same workload point
+	// faces the identical trace, so cross-hardware (and cross-policy,
+	// and clean-vs-faulty) comparisons within the grid are noise-free.
+	// The seed position is the workload×rate coordinate of the cell.
 	traceBlock := len(spec.Workloads) * len(spec.Rates)
-	failureModes := len(spec.FailureModes)
+	innerModes := len(spec.Schedulers) * len(spec.FailureModes)
 
 	return sweep.RunN(ctx, spec.Workers, points,
 		func(_ context.Context, idx int, p point) (SweepCell, error) {
-			c := SweepCell{GPU: p.gpu.Name, Model: p.model.Name, Workload: p.workload.Name, Rate: p.rate, Failure: p.failure.Name}
+			c := SweepCell{GPU: p.gpu.Name, Model: p.model.Name, Workload: p.workload.Name, Rate: p.rate,
+				Scheduler: p.sched.String(), Failure: p.failure.Name}
 			pTP, err := inference.MinFeasibleTP(p.gpu, p.model, Prefill, spec.Opts)
 			if err != nil {
 				c.Err = err.Error()
@@ -195,11 +208,12 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 			}
 			c.Config = ServeConfig{
 				GPU: p.gpu, Model: p.model, Opts: spec.Opts,
+				Scheduler:        p.sched,
 				PrefillInstances: spec.PrefillInstances, PrefillGPUs: pTP,
 				DecodeInstances: spec.DecodeInstances, DecodeGPUs: dTP,
 				MaxPrefillBatch: spec.MaxPrefillBatch, MaxDecodeBatch: spec.MaxDecodeBatch,
 			}
-			gen := p.workload.Make(p.rate, mathx.DeriveSeed(spec.Seed, uint64((idx/failureModes)%traceBlock)))
+			gen := p.workload.Make(p.rate, mathx.DeriveSeed(spec.Seed, uint64((idx/innerModes)%traceBlock)))
 			reqs, err := gen.Generate(spec.Horizon)
 			if err != nil {
 				return SweepCell{}, fmt.Errorf("litegpu: sweep cell %d (%s/%s/%s@%.2f): %w",

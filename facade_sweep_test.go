@@ -196,3 +196,42 @@ func TestSweepFailureAxis(t *testing.T) {
 		t.Error("failure-axis sweep diverges between parallel and sequential runs")
 	}
 }
+
+// TestSweepSchedulerAxis pins the scheduling-policy dimension: cells
+// cross schedulers inside each rate, every policy faces the identical
+// trace (same Arrived counts), and colocated cells carry the derived
+// colocated shape.
+func TestSweepSchedulerAxis(t *testing.T) {
+	spec := smallSweepSpec()
+	spec.GPUs = []GPU{H100()}
+	spec.Rates = []float64{1.0}
+	spec.Schedulers = SchedulerPolicies()
+	cells, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 1 GPU × 1 model × 1 workload × 1 rate × 3 schedulers", len(cells))
+	}
+	for i, pol := range SchedulerPolicies() {
+		c := cells[i]
+		if c.Scheduler != pol.String() {
+			t.Errorf("cell %d scheduler = %q, want %q", i, c.Scheduler, pol)
+		}
+		if c.Err != "" {
+			t.Fatalf("cell %d infeasible: %s", i, c.Err)
+		}
+		if c.Metrics.Arrived != cells[0].Metrics.Arrived {
+			t.Errorf("cell %d saw %d arrivals, want the identical trace (%d) across schedulers",
+				i, c.Metrics.Arrived, cells[0].Metrics.Arrived)
+		}
+		if c.Metrics.Completed == 0 {
+			t.Errorf("cell %d (%s) served nothing", i, c.Scheduler)
+		}
+		if pol.Colocated() {
+			if n, g := c.Config.ColocatedShape(); n < 1 || g < 1 {
+				t.Errorf("cell %d colocated shape %d×%d not derived", i, n, g)
+			}
+		}
+	}
+}

@@ -47,13 +47,13 @@ func TestServingGridParallelMatchesSequential(t *testing.T) {
 	if !reflect.DeepEqual(seq, par) {
 		t.Error("parallel serving grid diverges from sequential")
 	}
-	if len(seq) != 12 {
-		t.Errorf("grid has %d cells, want 2 deployments × 3 rates × 2 failure modes = 12", len(seq))
+	if len(seq) != 36 {
+		t.Errorf("grid has %d cells, want 2 deployments × 3 rates × 3 schedulers × 2 failure modes = 36", len(seq))
 	}
 	sawFailure := false
 	for _, c := range seq {
 		if c.Metrics.Arrived == 0 || c.Metrics.Completed == 0 {
-			t.Errorf("cell %s @ %.1f (%s) served nothing", c.Label, c.Rate, c.Failure)
+			t.Errorf("cell %s @ %.1f %s (%s) served nothing", c.Label, c.Rate, c.Scheduler, c.Failure)
 		}
 		switch c.Failure {
 		case "none":

@@ -291,14 +291,15 @@ func RenderServingStudy(w io.Writer, seed uint64) error {
 	return nil
 }
 
-// ServingGridCell is one (deployment, rate, failure-mode) point of the
-// serving grid.
+// ServingGridCell is one (deployment, rate, scheduler, failure-mode)
+// point of the serving grid.
 type ServingGridCell struct {
-	Label   string
-	Rate    float64
-	Failure string
-	Config  serve.Config
-	Metrics serve.Metrics
+	Label     string
+	Rate      float64
+	Scheduler string
+	Failure   string
+	Config    serve.Config
+	Metrics   serve.Metrics
 }
 
 // GridFailureMode is one failure-axis setting of the serving grid.
@@ -323,11 +324,13 @@ func GridFailureModes() []GridFailureMode {
 }
 
 // ServingGrid crosses the paper's two serving deployments — an H100
-// phase-split cluster and its 4×-Lite replacement — with a range of
-// arrival rates and the failure-mode axis, running every simulation
-// concurrently over the sweep pool. Each cell's workload seed derives
-// from (seed, rate index) and its failure seed from (seed, cell index),
-// so the grid is byte-identical at any worker count.
+// cluster and its 4×-Lite replacement — with a range of arrival rates,
+// the three scheduling policies (static phase split, continuous
+// batching, chunked prefill) on the same silicon, and the failure-mode
+// axis, running every simulation concurrently over the sweep pool. Each
+// cell's workload seed derives from (seed, rate index) and its failure
+// seed from (seed, cell index), so the grid is byte-identical at any
+// worker count.
 func ServingGrid(seed uint64) ([]ServingGridCell, error) {
 	return servingGrid(seed, 0)
 }
@@ -358,6 +361,7 @@ func servingGrid(seed uint64, workers int) ([]ServingGridCell, error) {
 		}},
 	}
 	rates := []float64{0.6, 1.2, 2.4}
+	scheds := serve.SchedulerPolicies()
 	modes := GridFailureModes()
 
 	type gridPoint struct {
@@ -367,22 +371,28 @@ func servingGrid(seed uint64, workers int) ([]ServingGridCell, error) {
 	var points []gridPoint
 	for _, d := range deployments {
 		for _, r := range rates {
-			for _, fm := range modes {
-				points = append(points, gridPoint{
-					cell: ServingGridCell{Label: d.label, Rate: r, Failure: fm.Name, Config: d.cfg},
-					mode: fm,
-				})
+			for _, sp := range scheds {
+				for _, fm := range modes {
+					cfg := d.cfg
+					cfg.Scheduler = sp
+					points = append(points, gridPoint{
+						cell: ServingGridCell{Label: d.label, Rate: r, Scheduler: sp.String(), Failure: fm.Name, Config: cfg},
+						mode: fm,
+					})
+				}
 			}
 		}
 	}
+	inner := len(scheds) * len(modes)
 	return sweep.RunN(context.Background(), workers, points,
 		func(_ context.Context, idx int, p gridPoint) (ServingGridCell, error) {
 			c := p.cell
-			// Seed by rate position, not flat cell index: the deployments
-			// and failure modes being compared at one rate must face the
-			// identical request stream, or their metric differences would
-			// partly be trace noise rather than hardware.
-			gen := trace.CodingWorkload(c.Rate, mathx.DeriveSeed(seed, uint64((idx/len(modes))%len(rates))))
+			// Seed by rate position, not flat cell index: the deployments,
+			// schedulers, and failure modes being compared at one rate
+			// must face the identical request stream, or their metric
+			// differences would partly be trace noise rather than hardware
+			// or policy.
+			gen := trace.CodingWorkload(c.Rate, mathx.DeriveSeed(seed, uint64((idx/inner)%len(rates))))
 			reqs, err := gen.Generate(300)
 			if err != nil {
 				return ServingGridCell{}, err
@@ -415,6 +425,7 @@ func RenderServingGrid(w io.Writer, seed uint64) error {
 		rows = append(rows, []string{
 			c.Label,
 			fmt.Sprintf("%.1f", c.Rate),
+			c.Scheduler,
 			c.Failure,
 			fmt.Sprintf("%d/%d", m.Completed, m.Arrived),
 			fmt.Sprintf("%d", m.Dropped),
@@ -426,8 +437,8 @@ func RenderServingGrid(w io.Writer, seed uint64) error {
 			fmt.Sprintf("%.0f%%/%.0f%%", m.PrefillUtilization*100, m.DecodeUtilization*100),
 		})
 	}
-	render(w, "Section 4: serving grid — phase-split deployments × arrival rates × failure modes (coding workload)",
-		[]string{"Deployment", "req/s", "Failures", "Done", "Drop", "TTFT p99", "TBT p99", "TTFT att.", "TBT att.", "Avail/Ev", "Util P/D"},
+	render(w, "Section 4: serving grid — deployments × arrival rates × schedulers × failure modes (coding workload)",
+		[]string{"Deployment", "req/s", "Sched", "Failures", "Done", "Drop", "TTFT p99", "TBT p99", "TTFT att.", "TBT att.", "Avail/Ev", "Util P/D"},
 		rows)
 	return nil
 }

@@ -125,7 +125,7 @@ func (cc ClusterConfig) Validate() error {
 		if err := p.Config.Validate(); err != nil {
 			return fmt.Errorf("serve: pool %d (%s): %w", i, p.Name, err)
 		}
-		if n := p.Config.PrefillInstances + p.Config.DecodeInstances; n > maxPoolInstances {
+		if n := p.Config.instanceCount(); n > maxPoolInstances {
 			return fmt.Errorf("serve: pool %d (%s) has %d instances, above the %d per-pool limit",
 				i, p.Name, n, maxPoolInstances)
 		}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/inference"
+	"litegpu/internal/trace"
+)
+
+// defaultPrefillChunk is the Sarathi-style chunk size (prompt tokens)
+// when Config.PrefillChunk is zero: large enough to keep chunk passes
+// compute-efficient, small enough to bound the decode stall each chunk
+// adds to a fused step.
+const defaultPrefillChunk = 512
+
+// colocEngine is one colocated instance: a single TP group that runs
+// both phases, iterating over a batch of decoding requests while
+// admitting and prefilling new ones.
+type colocEngine struct {
+	instanceState
+	// active holds generations being decoded; pending holds admitted
+	// requests whose prompts are not fully prefilled yet.
+	active  []*activeReq
+	pending []*activeReq
+
+	// One in-flight step: its end time, its prefill/decode second
+	// split (for busy accounting and failure un-counting), how many
+	// pending entries its prefill part completes, and — for chunked
+	// steps — how many head-of-line prompt tokens it processes.
+	stepEnd     float64 // 0 when idle
+	stepPfx     float64
+	stepDec     float64
+	stepPrefill int
+	stepChunk   int
+
+	pBusy float64
+	dBusy float64
+}
+
+// colocSched implements the two colocated policies. With chunked=false
+// it is ContinuousBatching: every iteration either prefills a batch of
+// pending prompts in full (stalling ongoing decodes for the pass) or
+// decodes one token for every active generation; finished requests free
+// slots that are refilled from the queue at the next iteration. With
+// chunked=true it is ChunkedPrefill: each iteration fuses one
+// PrefillChunk-token slice of the head-of-line pending prompt with one
+// decode step of the running batch, so the decode stall per token is
+// bounded by the chunk size rather than the prompt length.
+type colocSched struct {
+	cs   *clusterSim
+	pool *poolSim
+	cfg  Config
+
+	chunked   bool
+	chunk     int
+	instances int
+	perGPUs   int
+
+	engines []colocEngine
+	q       []*activeReq
+	cap     int // max active+pending per instance (KV-limited)
+
+	prefillTime func([]trace.Request) float64
+	decodeTime  func(int) float64
+	chunkTime   func(tokens int) float64
+}
+
+func newColocSched(cs *clusterSim, pool *poolSim) (*colocSched, error) {
+	cfg := pool.cfg
+	opts := cfg.Opts
+	n, g := cfg.colocShape()
+	maxKV := inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Decode, g, opts)
+	if maxKV <= 0 {
+		return nil, fmt.Errorf("serve: %s does not fit on %d×%s for decode (%s scheduler)",
+			cfg.Model.Name, g, cfg.GPU.Name, cfg.Scheduler)
+	}
+	if inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Prefill, g, opts) < 1 {
+		return nil, fmt.Errorf("serve: %s does not fit on %d×%s for prefill (%s scheduler)",
+			cfg.Model.Name, g, cfg.GPU.Name, cfg.Scheduler)
+	}
+	batchCap := cfg.MaxDecodeBatch
+	if batchCap > maxKV {
+		batchCap = maxKV
+	}
+	chunk := cfg.PrefillChunk
+	if chunk <= 0 {
+		chunk = defaultPrefillChunk
+	}
+	return &colocSched{
+		cs:          cs,
+		pool:        pool,
+		cfg:         cfg,
+		chunked:     cfg.Scheduler == ChunkedPrefill,
+		chunk:       chunk,
+		instances:   n,
+		perGPUs:     g,
+		engines:     make([]colocEngine, n),
+		cap:         batchCap,
+		prefillTime: newPrefillTimer(cfg, opts, g),
+		decodeTime:  newDecodeTimer(cfg, opts, g),
+		chunkTime:   newChunkTimer(cfg, opts, g),
+	}, nil
+}
+
+func (c *colocSched) numInstances() int           { return len(c.engines) }
+func (c *colocSched) state(id int) *instanceState { return &c.engines[id].instanceState }
+func (c *colocSched) gpus(int) int                { return c.perGPUs }
+func (c *colocSched) totalGPUs() int              { return c.instances * c.perGPUs }
+
+// shape maps both metric phases onto the full instance set: a colocated
+// pool's PrefillUtilization and DecodeUtilization are each the share of
+// all-instance time spent in that phase (they sum to at most 1).
+func (c *colocSched) shape() phaseShape {
+	return phaseShape{
+		prefillInstances: c.instances, prefillGPUs: c.perGPUs,
+		decodeInstances: c.instances, decodeGPUs: c.perGPUs,
+	}
+}
+
+func (c *colocSched) enqueue(r trace.Request) {
+	c.q = append(c.q, &activeReq{req: r, remaining: r.OutputTokens, promptLeft: r.PromptTokens})
+}
+
+func (c *colocSched) outstanding() int {
+	outstanding := len(c.q)
+	for i := range c.engines {
+		outstanding += len(c.engines[i].active) + len(c.engines[i].pending)
+	}
+	return outstanding
+}
+
+func (c *colocSched) busy() (prefill, decode float64) {
+	for i := range c.engines {
+		prefill += c.engines[i].pBusy
+	}
+	for i := range c.engines {
+		decode += c.engines[i].dBusy
+	}
+	return prefill, decode
+}
+
+func (c *colocSched) dispatch(now float64) {
+	for j := range c.engines {
+		e := &c.engines[j]
+		if e.up && e.stepEnd == 0 {
+			c.startStep(j, now)
+		}
+	}
+}
+
+// admit refills the engine's batch slots from the queue — the
+// continuous-batching move: every iteration boundary, capacity freed by
+// finished requests is handed to waiting ones. Prompts whose KV
+// footprint can never fit even alone are dropped here, mirroring the
+// static policy's oversized-prompt drop.
+func (c *colocSched) admit(e *colocEngine, now float64) {
+	for len(e.active)+len(e.pending) < c.cap && len(c.q) > 0 {
+		a := c.q[0]
+		if a.promptLeft > 0 && math.IsInf(c.prefillTime([]trace.Request{a.req}), 1) {
+			c.q = c.q[1:]
+			c.pool.m.Dropped++
+			continue
+		}
+		c.q = c.q[1:]
+		if a.promptLeft > 0 {
+			e.pending = append(e.pending, a)
+			continue
+		}
+		// A requeued request that already finished prefill rejoins the
+		// decode batch directly.
+		if !a.admitted {
+			a.admitted = true
+			a.decodeAt = now
+		}
+		e.active = append(e.active, a)
+	}
+}
+
+// startStep begins one iteration on an idle engine. Continuous
+// batching alternates full prefill passes (prioritized, vLLM-style)
+// with whole-batch decode steps; chunked prefill fuses one prompt chunk
+// with the decode step so both phases progress together.
+func (c *colocSched) startStep(j int, now float64) {
+	e := &c.engines[j]
+	c.admit(e, now)
+	var pDt, dDt float64
+	nPrefill, chunkTokens := 0, 0
+	if c.chunked {
+		if len(e.pending) > 0 {
+			head := e.pending[0]
+			chunkTokens = c.chunk
+			if chunkTokens > head.promptLeft {
+				chunkTokens = head.promptLeft
+			}
+			pDt = c.chunkTime(chunkTokens)
+			nPrefill = 1
+		}
+		if len(e.active) > 0 {
+			dDt = c.decodeTime(len(e.active))
+		}
+	} else if len(e.pending) > 0 {
+		n := c.cfg.MaxPrefillBatch
+		if n > len(e.pending) {
+			n = len(e.pending)
+		}
+		// Shrink the pass until its combined KV footprint fits, as the
+		// static prefill engines do; admit() already dropped prompts
+		// that cannot fit alone, so n ≥ 1 always succeeds.
+		pDt = math.Inf(1)
+		for ; n >= 1; n-- {
+			if pDt = c.prefillTime(pendingReqs(e.pending[:n])); !math.IsInf(pDt, 1) {
+				break
+			}
+		}
+		nPrefill = n
+	} else if len(e.active) > 0 {
+		dDt = c.decodeTime(len(e.active))
+	}
+	dt := pDt + dDt
+	if dt <= 0 || math.IsInf(dt, 1) {
+		e.stepEnd = 0
+		return
+	}
+	e.stepEnd = now + dt
+	e.stepPfx, e.stepDec = pDt, dDt
+	e.stepPrefill, e.stepChunk = nPrefill, chunkTokens
+	e.pBusy += pDt
+	e.dBusy += dDt
+	// Steps that emit tokens complete in the decode priority band;
+	// pure prefill passes complete in the prefill band, matching the
+	// static policy's same-timestamp phase order.
+	prio := prioDecode + e.prio
+	if dDt == 0 {
+		prio = prioPrefill + e.prio
+	}
+	e.doneEv = c.cs.eng.Schedule(e.stepEnd, prio, func(t float64) {
+		c.completeStep(j, t)
+	})
+}
+
+func (c *colocSched) completeStep(j int, now float64) {
+	e := &c.engines[j]
+	e.doneEv = 0
+	if e.stepDec > 0 {
+		var still []*activeReq
+		for _, a := range e.active {
+			if !c.pool.emitToken(a, now) {
+				still = append(still, a)
+			}
+		}
+		e.active = still
+	}
+	if e.stepPrefill > 0 {
+		if c.chunked {
+			head := e.pending[0]
+			head.promptLeft -= e.stepChunk
+			if head.promptLeft <= 0 {
+				head.promptLeft = 0
+				e.pending = e.pending[1:]
+				c.finishPrefill(head, now)
+				e.active = append(e.active, head)
+			}
+		} else {
+			done := e.pending[:e.stepPrefill]
+			e.pending = e.pending[e.stepPrefill:]
+			for _, a := range done {
+				a.promptLeft = 0
+				c.finishPrefill(a, now)
+				e.active = append(e.active, a)
+			}
+		}
+	}
+	e.stepEnd, e.stepPfx, e.stepDec = 0, 0, 0
+	e.stepPrefill, e.stepChunk = 0, 0
+	c.cs.requestDispatch(now)
+}
+
+// finishPrefill records the TTFT sample (exactly once per request, no
+// matter how many requeues preceded it) and stamps decode admission.
+func (c *colocSched) finishPrefill(a *activeReq, now float64) {
+	if !a.ttftDone {
+		a.ttftDone = true
+		c.pool.recordTTFT(now - float64(a.req.Arrival))
+	}
+	if !a.admitted {
+		a.admitted = true
+		a.decodeAt = now
+	}
+}
+
+// fail reclaims a dead instance's in-flight work. The aborted step's
+// busy tail is un-counted proportionally from both phases; chunk
+// progress is only ever applied at step completion, so the in-flight
+// chunk is simply lost — requeued prompts resume from their last
+// completed chunk with no token duplicated or skipped.
+func (c *colocSched) fail(id int, now float64, drop bool) {
+	e := &c.engines[id]
+	if e.stepEnd > 0 {
+		if total := e.stepPfx + e.stepDec; total > 0 {
+			frac := (e.stepEnd - now) / total
+			e.pBusy -= e.stepPfx * frac
+			e.dBusy -= e.stepDec * frac
+		}
+		e.stepEnd, e.stepPfx, e.stepDec = 0, 0, 0
+		e.stepPrefill, e.stepChunk = 0, 0
+	}
+	n := len(e.pending) + len(e.active)
+	if n == 0 {
+		return
+	}
+	if drop {
+		c.pool.m.DroppedOnFailure += n
+	} else {
+		c.pool.m.Requeued += n
+		requeued := append(append([]*activeReq(nil), e.pending...), e.active...)
+		c.q = append(requeued, c.q...)
+	}
+	e.pending, e.active = nil, nil
+}
+
+func (c *colocSched) recovered(int, float64) {
+	// Nothing instance-local to restore: an idle engine (stepEnd 0)
+	// picks up work at the dispatch pass that follows recovery.
+}
+
+func pendingReqs(pending []*activeReq) []trace.Request {
+	reqs := make([]trace.Request, len(pending))
+	for i, a := range pending {
+		reqs[i] = a.req
+	}
+	return reqs
+}
+
+// newChunkTimer returns a memoized chunk-prefill duration function:
+// the analytical prefill cost of one batch-1 pass over `tokens` prompt
+// tokens, quantized to 64-token buckets for cache efficiency.
+func newChunkTimer(cfg Config, opts inference.Options, gpus int) func(int) float64 {
+	cache := make(map[int]float64)
+	return func(tokens int) float64 {
+		if tokens <= 0 {
+			return 0
+		}
+		bucket := (tokens + 63) / 64
+		if v, ok := cache[bucket]; ok {
+			return v
+		}
+		o := opts
+		o.PromptLen = bucket * 64
+		est, err := inference.Run(cfg.GPU, cfg.Model, inference.Prefill, gpus, 1, o)
+		v := math.Inf(1)
+		if err == nil {
+			v = float64(est.Latency)
+		}
+		cache[bucket] = v
+		return v
+	}
+}

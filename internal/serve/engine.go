@@ -1,12 +1,10 @@
 package serve
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
 	"litegpu/internal/failure"
-	"litegpu/internal/inference"
 	"litegpu/internal/mathx"
 	"litegpu/internal/sim"
 	"litegpu/internal/trace"
@@ -20,6 +18,8 @@ import (
 // instance's offset is poolIndexBase(pool)+instance, so pool 0's
 // engines order before pool 1's; ClusterConfig validation caps pools
 // at maxPoolInstances instances to keep offsets inside their band.
+// Colocated schedulers use the prefill band for prefill-only steps and
+// the decode band for steps that emit tokens.
 const (
 	prioArrival  = 0
 	prioPrefill  = 1 << 20 // + global prefill engine index
@@ -28,6 +28,9 @@ const (
 	prioDispatch = 1 << 30
 )
 
+// activeReq is one request's live state as it moves through a
+// scheduler. The static policy only uses the decode-phase fields;
+// colocated policies also track chunked prefill progress.
 type activeReq struct {
 	req       trace.Request
 	remaining int
@@ -35,11 +38,20 @@ type activeReq struct {
 	firstAt   float64 // first-token emission time
 	admitted  bool
 	emitted   bool
+
+	// promptLeft is the prompt-token count not yet prefilled; colocated
+	// schedulers decrement it as chunks (or full passes) complete, and
+	// record the TTFT sample exactly once when it reaches zero. Chunk
+	// progress is applied only at step completion, so a failure
+	// mid-chunk loses the in-flight chunk but never double-counts or
+	// skips tokens across requeues.
+	promptLeft int
+	ttftDone   bool
 }
 
-// instanceState is the failure-facing side of an engine: every prefill
-// or decode instance is a unit that can be down, waiting for a spare,
-// or serving.
+// instanceState is the failure-facing side of an engine: every serving
+// instance — a phase-split prefill/decode engine or a colocated one —
+// is a unit that can be down, waiting for a spare, or serving.
 type instanceState struct {
 	up      bool
 	downAt  float64
@@ -50,33 +62,14 @@ type instanceState struct {
 	doneEv  sim.EventID
 }
 
-type prefillEngine struct {
-	instanceState
-	freeAt float64
-	busy   float64
-	batch  []trace.Request
-}
-
-type decodeEngine struct {
-	instanceState
-	active  []*activeReq
-	stepEnd float64 // 0 when idle
-	busy    float64
-}
-
-// poolSim is one serving pool's live state.
+// poolSim is one serving pool's live state: its scheduler, its spare
+// shelf, and its metric accumulators. The scheduling discipline itself
+// lives behind the scheduler interface.
 type poolSim struct {
-	name      string
-	cfg       Config
-	spares    int
-	prefills  []prefillEngine
-	decodes   []decodeEngine
-	prefillQ  []trace.Request
-	decodeQ   []*activeReq
-	decodeCap int
-
-	prefillTime func([]trace.Request) float64
-	decodeTime  func(int) float64
+	name   string
+	cfg    Config
+	spares int
+	sched  scheduler
 
 	// afrPerGPU and flopsPerGPU weight this pool's instances in
 	// cluster-total reliability aggregates: failure odds scale with
@@ -86,8 +79,6 @@ type poolSim struct {
 	flopsPerGPU float64
 
 	// Spare shelf and the FIFO of down instances waiting for one.
-	// Instances are identified pool-locally: prefill i is i, decode j is
-	// PrefillInstances+j.
 	spareFree int
 	waiting   []int
 
@@ -100,18 +91,43 @@ type poolSim struct {
 	tbtOK      int
 }
 
-func (p *poolSim) instance(id int) *instanceState {
-	if id < len(p.prefills) {
-		return &p.prefills[id].instanceState
+// recordTTFT appends one time-to-first-token sample and its SLO check.
+func (p *poolSim) recordTTFT(ttft float64) {
+	p.ttfts = append(p.ttfts, ttft)
+	if units.Seconds(ttft) <= pickSLO(p.cfg.Opts.TTFTLimit, 1.0) {
+		p.ttftOK++
 	}
-	return &p.decodes[id-len(p.prefills)].instanceState
 }
 
-func (p *poolSim) instanceGPUs(id int) int {
-	if id < len(p.prefills) {
-		return p.cfg.PrefillGPUs
+// emitToken advances one active generation by a token at `now`,
+// recording completion metrics when the request finishes. It reports
+// whether the request is done (and should leave the batch).
+func (p *poolSim) emitToken(a *activeReq, now float64) bool {
+	a.remaining--
+	p.m.TokensGenerated++
+	if !a.emitted {
+		a.emitted = true
+		a.firstAt = now
 	}
-	return p.cfg.DecodeGPUs
+	if a.remaining > 0 {
+		return false
+	}
+	p.m.Completed++
+	p.goodTokens += a.req.OutputTokens
+	// Time-between-tokens is defined over the gaps between
+	// consecutive tokens: n tokens have n-1 intervals spanning first
+	// token → last token. A single-token output has no inter-token
+	// gap, so its one step duration stands in for the interval.
+	tbt := now - a.decodeAt
+	if a.req.OutputTokens > 1 {
+		tbt = (now - a.firstAt) / float64(a.req.OutputTokens-1)
+	}
+	p.tbts = append(p.tbts, tbt)
+	if units.Seconds(tbt) <= pickSLO(p.cfg.Opts.TBTLimit, 0.050) {
+		p.tbtOK++
+	}
+	p.e2es = append(p.e2es, now-float64(a.req.Arrival))
+	return true
 }
 
 type clusterSim struct {
@@ -141,20 +157,6 @@ func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
 	globalInstance := 0
 	for pi, pool := range cc.Pools {
 		cfg := pool.Config
-		opts := cfg.Opts
-		maxKV := inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Decode, cfg.DecodeGPUs, opts)
-		if maxKV <= 0 {
-			return nil, fmt.Errorf("serve: %s does not fit on %d×%s for decode",
-				cfg.Model.Name, cfg.DecodeGPUs, cfg.GPU.Name)
-		}
-		decodeCap := cfg.MaxDecodeBatch
-		if decodeCap > maxKV {
-			decodeCap = maxKV
-		}
-		if inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Prefill, cfg.PrefillGPUs, opts) < 1 {
-			return nil, fmt.Errorf("serve: %s does not fit on %d×%s for prefill",
-				cfg.Model.Name, cfg.PrefillGPUs, cfg.GPU.Name)
-		}
 		name := pool.Name
 		if name == "" {
 			name = cfg.GPU.Name
@@ -168,27 +170,24 @@ func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
 			cfg:         cfg,
 			spares:      spares,
 			spareFree:   spares,
-			prefills:    make([]prefillEngine, cfg.PrefillInstances),
-			decodes:     make([]decodeEngine, cfg.DecodeInstances),
-			decodeCap:   decodeCap,
-			prefillTime: newPrefillTimer(cfg, opts),
-			decodeTime:  newDecodeTimer(cfg, opts),
 			afrPerGPU:   fp.AFR(cfg.GPU),
 			flopsPerGPU: float64(cfg.GPU.FLOPS),
 		}
-		perGPURate := fp.AFR(cfg.GPU) / float64(failure.Year) * scale
-		for i := range p.prefills {
-			st := &p.prefills[i].instanceState
-			st.up = true
-			st.prio = poolIndexBase(pi) + i
-			s.initFailure(st, perGPURate*float64(cfg.PrefillGPUs), globalInstance)
-			globalInstance++
+		var err error
+		if cfg.Scheduler.Colocated() {
+			p.sched, err = newColocSched(s, p)
+		} else {
+			p.sched, err = newStaticSched(s, p)
 		}
-		for j := range p.decodes {
-			st := &p.decodes[j].instanceState
+		if err != nil {
+			return nil, err
+		}
+		perGPURate := fp.AFR(cfg.GPU) / float64(failure.Year) * scale
+		for id := 0; id < p.sched.numInstances(); id++ {
+			st := p.sched.state(id)
 			st.up = true
-			st.prio = poolIndexBase(pi) + cfg.PrefillInstances + j
-			s.initFailure(st, perGPURate*float64(cfg.DecodeGPUs), globalInstance)
+			st.prio = poolIndexBase(pi) + id
+			s.initFailure(st, perGPURate*float64(p.sched.gpus(id)), globalInstance)
 			globalInstance++
 		}
 		s.pools = append(s.pools, p)
@@ -236,7 +235,7 @@ func (s *clusterSim) run(reqs []trace.Request) ClusterMetrics {
 	// Failure processes.
 	if s.cc.Failures.Enabled {
 		for _, p := range s.pools {
-			for id := 0; id < len(p.prefills)+len(p.decodes); id++ {
+			for id := 0; id < p.sched.numInstances(); id++ {
 				s.scheduleFailure(p, id, 0)
 			}
 		}
@@ -253,17 +252,10 @@ func (s *clusterSim) route(r trace.Request, now float64) {
 	case JoinShortestQueue:
 		best := math.Inf(1)
 		for _, cand := range s.pools {
-			outstanding := len(cand.prefillQ) + len(cand.decodeQ)
+			outstanding := cand.sched.outstanding()
 			live := 0
-			for i := range cand.prefills {
-				outstanding += len(cand.prefills[i].batch)
-				if cand.prefills[i].up {
-					live++
-				}
-			}
-			for j := range cand.decodes {
-				outstanding += len(cand.decodes[j].active)
-				if cand.decodes[j].up {
+			for id := 0; id < cand.sched.numInstances(); id++ {
+				if cand.sched.state(id).up {
 					live++
 				}
 			}
@@ -281,7 +273,7 @@ func (s *clusterSim) route(r trace.Request, now float64) {
 		p = s.pools[s.rrNext%len(s.pools)]
 		s.rrNext++
 	}
-	p.prefillQ = append(p.prefillQ, r)
+	p.sched.enqueue(r)
 	p.m.Arrived++
 }
 
@@ -299,134 +291,14 @@ func (s *clusterSim) requestDispatch(now float64) {
 func (s *clusterSim) dispatch(now float64) {
 	s.dispatchPending = false
 	for _, p := range s.pools {
-		s.dispatchPrefill(p, now)
-		for j := range p.decodes {
-			e := &p.decodes[j]
-			if e.up && e.stepEnd == 0 {
-				s.startDecodeStep(p, j, now)
-			}
-		}
+		p.sched.dispatch(now)
 	}
-}
-
-func (s *clusterSim) dispatchPrefill(p *poolSim, now float64) {
-	for i := range p.prefills {
-		e := &p.prefills[i]
-		if !e.up {
-			continue
-		}
-		for e.freeAt <= now && len(p.prefillQ) > 0 {
-			n := p.cfg.MaxPrefillBatch
-			if n > len(p.prefillQ) {
-				n = len(p.prefillQ)
-			}
-			// Shrink the batch until its KV footprint fits. The pool was
-			// validated to fit the model at the nominal prompt length,
-			// but an individual oversized prompt can still exceed
-			// capacity alone (n reaches 0): drop it rather than let it
-			// starve at the head of the queue forever.
-			dt := math.Inf(1)
-			for ; n >= 1; n-- {
-				if dt = p.prefillTime(p.prefillQ[:n]); !math.IsInf(dt, 1) {
-					break
-				}
-			}
-			if n < 1 {
-				p.prefillQ = p.prefillQ[1:]
-				p.m.Dropped++
-				continue
-			}
-			batch := p.prefillQ[:n]
-			p.prefillQ = p.prefillQ[n:]
-			e.batch = append([]trace.Request(nil), batch...)
-			e.freeAt = now + dt
-			e.busy += dt
-			e.doneEv = s.eng.Schedule(e.freeAt, prioPrefill+e.prio, func(t float64) {
-				s.completePrefill(p, i, t)
-			})
-		}
-	}
-}
-
-func (s *clusterSim) completePrefill(p *poolSim, i int, now float64) {
-	e := &p.prefills[i]
-	e.doneEv = 0
-	for _, r := range e.batch {
-		ttft := now - float64(r.Arrival)
-		p.ttfts = append(p.ttfts, ttft)
-		if units.Seconds(ttft) <= pickSLO(p.cfg.Opts.TTFTLimit, 1.0) {
-			p.ttftOK++
-		}
-		p.decodeQ = append(p.decodeQ, &activeReq{req: r, remaining: r.OutputTokens})
-	}
-	e.batch = nil
-	s.requestDispatch(now)
-}
-
-func (s *clusterSim) startDecodeStep(p *poolSim, j int, now float64) {
-	e := &p.decodes[j]
-	// Admit from the queue up to capacity, then step if non-empty.
-	for len(e.active) < p.decodeCap && len(p.decodeQ) > 0 {
-		a := p.decodeQ[0]
-		p.decodeQ = p.decodeQ[1:]
-		if !a.admitted {
-			a.admitted = true
-			a.decodeAt = now
-		}
-		e.active = append(e.active, a)
-	}
-	if len(e.active) == 0 {
-		e.stepEnd = 0
-		return
-	}
-	dt := p.decodeTime(len(e.active))
-	e.stepEnd = now + dt
-	e.busy += dt
-	e.doneEv = s.eng.Schedule(e.stepEnd, prioDecode+e.prio, func(t float64) {
-		s.completeDecodeStep(p, j, t)
-	})
-}
-
-func (s *clusterSim) completeDecodeStep(p *poolSim, j int, now float64) {
-	e := &p.decodes[j]
-	e.doneEv = 0
-	var still []*activeReq
-	for _, a := range e.active {
-		a.remaining--
-		p.m.TokensGenerated++
-		if !a.emitted {
-			a.emitted = true
-			a.firstAt = now
-		}
-		if a.remaining > 0 {
-			still = append(still, a)
-			continue
-		}
-		p.m.Completed++
-		p.goodTokens += a.req.OutputTokens
-		// Time-between-tokens is defined over the gaps between
-		// consecutive tokens: n tokens have n-1 intervals spanning first
-		// token → last token. A single-token output has no inter-token
-		// gap, so its one step duration stands in for the interval.
-		tbt := now - a.decodeAt
-		if a.req.OutputTokens > 1 {
-			tbt = (now - a.firstAt) / float64(a.req.OutputTokens-1)
-		}
-		p.tbts = append(p.tbts, tbt)
-		if units.Seconds(tbt) <= pickSLO(p.cfg.Opts.TBTLimit, 0.050) {
-			p.tbtOK++
-		}
-		p.e2es = append(p.e2es, now-float64(a.req.Arrival))
-	}
-	e.active = still
-	e.stepEnd = 0
-	s.requestDispatch(now)
 }
 
 // --- failure machinery -------------------------------------------------
 
 func (s *clusterSim) scheduleFailure(p *poolSim, id int, now float64) {
-	st := p.instance(id)
+	st := p.sched.state(id)
 	if st.failRNG == nil {
 		return
 	}
@@ -441,11 +313,11 @@ func (s *clusterSim) scheduleFailure(p *poolSim, id int, now float64) {
 
 // failInstance downs an instance: one of its GPUs died and rigid
 // deployment takes the whole instance with it (the paper's software
-// blast radius). In-flight work requeues or drops per policy, the
+// blast radius). In-flight work requeues or drops per the policy, the
 // failed unit enters repair, and a hot spare — if one is free — brings
 // the instance back after the takeover delay.
 func (s *clusterSim) failInstance(p *poolSim, id int, now float64) {
-	st := p.instance(id)
+	st := p.sched.state(id)
 	if !st.up {
 		return // stale event; down instances carry no failure clock
 	}
@@ -457,39 +329,7 @@ func (s *clusterSim) failInstance(p *poolSim, id int, now float64) {
 		st.doneEv = 0
 	}
 
-	drop := s.cc.Failures.Policy == DropOnFailure
-	if id < len(p.prefills) {
-		e := &p.prefills[id]
-		if len(e.batch) > 0 {
-			// The pass died before completing: un-count its unfinished
-			// busy tail and put the prompts back at the head of the
-			// queue (or abandon them).
-			e.busy -= e.freeAt - now
-			if drop {
-				p.m.DroppedOnFailure += len(e.batch)
-			} else {
-				p.m.Requeued += len(e.batch)
-				p.prefillQ = append(append([]trace.Request(nil), e.batch...), p.prefillQ...)
-			}
-			e.batch = nil
-		}
-		e.freeAt = now
-	} else {
-		e := &p.decodes[id-len(p.prefills)]
-		if e.stepEnd > 0 {
-			e.busy -= e.stepEnd - now
-			e.stepEnd = 0
-		}
-		if len(e.active) > 0 {
-			if drop {
-				p.m.DroppedOnFailure += len(e.active)
-			} else {
-				p.m.Requeued += len(e.active)
-				p.decodeQ = append(append([]*activeReq(nil), e.active...), p.decodeQ...)
-			}
-			e.active = nil
-		}
-	}
+	p.sched.fail(id, now, s.cc.Failures.Policy == DropOnFailure)
 
 	// The dead unit goes to the repair shop and returns to the spare
 	// shelf after MTTR.
@@ -520,19 +360,17 @@ func (s *clusterSim) repairDone(p *poolSim, now float64) {
 }
 
 func (s *clusterSim) scheduleRecovery(p *poolSim, id int, now float64) {
-	st := p.instance(id)
+	st := p.sched.state(id)
 	s.eng.Schedule(now+s.failRecovery, prioFailure+st.prio, func(t float64) {
 		s.recoverInstance(p, id, t)
 	})
 }
 
 func (s *clusterSim) recoverInstance(p *poolSim, id int, now float64) {
-	st := p.instance(id)
+	st := p.sched.state(id)
 	st.up = true
 	st.downSec += now - st.downAt
-	if id < len(p.prefills) {
-		p.prefills[id].freeAt = now
-	}
+	p.sched.recovered(id, now)
 	s.scheduleFailure(p, id, now)
 	s.requestDispatch(now)
 }
@@ -562,16 +400,11 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		m.TTFTAttainment = ratio(p.ttftOK, m.Arrived-m.Dropped)
 		m.TBTAttainment = ratio(p.tbtOK, len(p.tbts))
 
-		var poolPBusy, poolDBusy float64
-		for i := range p.prefills {
-			poolPBusy += p.prefills[i].busy
-		}
-		for j := range p.decodes {
-			poolDBusy += p.decodes[j].busy
-		}
+		shape := p.sched.shape()
+		poolPBusy, poolDBusy := p.sched.busy()
 		if h > 0 {
-			m.PrefillUtilization = poolPBusy / (h * float64(p.cfg.PrefillInstances))
-			m.DecodeUtilization = poolDBusy / (h * float64(p.cfg.DecodeInstances))
+			m.PrefillUtilization = poolPBusy / (h * float64(shape.prefillInstances))
+			m.DecodeUtilization = poolDBusy / (h * float64(shape.decodeInstances))
 			m.Goodput = float64(p.goodTokens) / h
 		}
 
@@ -579,16 +412,16 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		// instances still down at the end. blastRate/blastLoss accumulate
 		// Σ P(instance i fails next)·(capacity share lost): within a pool
 		// failure odds and capacity are both proportional to GPU count.
-		poolGPUs := p.cfg.TotalGPUs()
+		poolGPUs := p.sched.totalGPUs()
 		var poolDown float64
 		var poolBlast float64
-		for id := 0; id < len(p.prefills)+len(p.decodes); id++ {
-			st := p.instance(id)
+		for id := 0; id < p.sched.numInstances(); id++ {
+			st := p.sched.state(id)
 			down := st.downSec
 			if !st.up {
 				down += h - st.downAt
 			}
-			g := float64(p.instanceGPUs(id))
+			g := float64(p.sched.gpus(id))
 			poolDown += down * g
 			poolBlast += g * g
 		}
@@ -618,17 +451,17 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		// Weight busy time by the GPUs behind it so the aggregate stays
 		// GPU-weighted across heterogeneous pools (within one pool the
 		// two weightings coincide).
-		pBusyGPU += poolPBusy * float64(p.cfg.PrefillGPUs)
-		dBusyGPU += poolDBusy * float64(p.cfg.DecodeGPUs)
-		pGPUs += p.cfg.PrefillInstances * p.cfg.PrefillGPUs
-		dGPUs += p.cfg.DecodeInstances * p.cfg.DecodeGPUs
+		pBusyGPU += poolPBusy * float64(shape.prefillGPUs)
+		dBusyGPU += poolDBusy * float64(shape.decodeGPUs)
+		pGPUs += shape.prefillInstances * shape.prefillGPUs
+		dGPUs += shape.decodeInstances * shape.decodeGPUs
 		// Cross-pool weights: a pool's failure odds scale with its per-GPU
 		// AFR and its capacity with its per-GPU compute — one Lite GPU is
 		// neither as failure-prone nor as capable as one H100.
 		downFLOPSec += poolDown * p.flopsPerGPU
 		totalFLOPs += float64(poolGPUs) * p.flopsPerGPU
-		for id := 0; id < len(p.prefills)+len(p.decodes); id++ {
-			g := float64(p.instanceGPUs(id))
+		for id := 0; id < p.sched.numInstances(); id++ {
+			g := float64(p.sched.gpus(id))
 			rateW := g * p.afrPerGPU
 			totalRate += rateW
 			blastLoss += rateW * g * p.flopsPerGPU // ÷ totalFLOPs below

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/inference"
+	"litegpu/internal/model"
+	"litegpu/internal/trace"
+	"litegpu/internal/units"
+)
+
+// goldenFile pins the static scheduler to the exact Metrics the
+// pre-scheduler-interface engine produced. The file was captured at the
+// commit before the Scheduler extraction (PR 3) with
+// LITEGPU_UPDATE_GOLDENS=1; every float is rendered with %x (hex float,
+// full precision), so a match is byte-identity, not approximate
+// equality — the repo's determinism contract for simulator refactors.
+const goldenFile = "testdata/static_goldens.txt"
+
+// goldenScenario is one (deployment, trace) pair of the golden corpus.
+// The scenarios cover both workload shapes, single- and multi-instance
+// pools, both GPU types, a decode-heavy no-drain regime, and a
+// heterogeneous two-pool cluster behind each router.
+type goldenScenario struct {
+	name    string
+	cluster ClusterConfig
+	rate    float64
+	seed    uint64
+	conv    bool // conversation workload instead of coding
+	arrive  units.Seconds
+	horizon units.Seconds
+}
+
+func goldenScenarios() []goldenScenario {
+	small := Config{
+		GPU:              hw.H100(),
+		Model:            model.Llama3_8B(),
+		Opts:             inference.DefaultOptions(),
+		PrefillInstances: 1,
+		PrefillGPUs:      1,
+		DecodeInstances:  1,
+		DecodeGPUs:       1,
+		MaxPrefillBatch:  4,
+		MaxDecodeBatch:   64,
+	}
+	h70 := Config{
+		GPU:              hw.H100(),
+		Model:            model.Llama3_70B(),
+		Opts:             inference.DefaultOptions(),
+		PrefillInstances: 2,
+		PrefillGPUs:      2,
+		DecodeInstances:  1,
+		DecodeGPUs:       2,
+		MaxPrefillBatch:  4,
+		MaxDecodeBatch:   64,
+	}
+	l70 := h70
+	l70.GPU = hw.Lite()
+	l70.PrefillGPUs = 8
+	l70.DecodeGPUs = 8
+	wide := small
+	wide.PrefillInstances = 2
+	wide.DecodeInstances = 3
+	wide.MaxDecodeBatch = 8
+	lite4 := small
+	lite4.GPU = hw.Lite()
+	lite4.PrefillGPUs = 4
+	lite4.DecodeGPUs = 4
+
+	jsq := clusterOf(small, lite4)
+	jsq.Router = JoinShortestQueue
+	return []goldenScenario{
+		{name: "small-coding", cluster: clusterOf(small), rate: 1.0, seed: 7, arrive: 200, horizon: 400},
+		{name: "h100-70b-coding", cluster: clusterOf(h70), rate: 1.2, seed: 42, arrive: 300, horizon: 420},
+		{name: "lite-70b-coding", cluster: clusterOf(l70), rate: 1.2, seed: 42, arrive: 300, horizon: 420},
+		{name: "small-conv-nodrain", cluster: clusterOf(small), rate: 4.0, seed: 11, conv: true, arrive: 300, horizon: 300},
+		{name: "wide-coding", cluster: clusterOf(wide), rate: 4.0, seed: 13, arrive: 200, horizon: 400},
+		{name: "hetero-rr", cluster: clusterOf(small, lite4), rate: 2.0, seed: 17, arrive: 300, horizon: 500},
+		{name: "hetero-jsq", cluster: jsq, rate: 2.0, seed: 17, arrive: 300, horizon: 500},
+	}
+}
+
+// goldenReport renders every scenario's full ClusterMetrics in hex-float
+// form: one block per scenario, one line per pool plus the aggregate.
+func goldenReport(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for _, sc := range goldenScenarios() {
+		gen := trace.CodingWorkload(sc.rate, sc.seed)
+		if sc.conv {
+			gen = trace.ConversationWorkload(sc.rate, sc.seed)
+		}
+		reqs, err := gen.Generate(sc.arrive)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		cm, err := RunCluster(sc.cluster, reqs, sc.horizon)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		fmt.Fprintf(&b, "== %s\n", sc.name)
+		for _, pm := range cm.Pools {
+			fmt.Fprintf(&b, "pool %s: %x\n", pm.Name, pm.Metrics)
+		}
+		fmt.Fprintf(&b, "total: %x\n", cm.Total)
+	}
+	return b.String()
+}
+
+// TestStaticSchedulerMatchesPreRefactorGoldens proves the extracted
+// StaticDisaggregated policy is byte-identical to the engine it was
+// extracted from: the golden file predates the Scheduler interface, and
+// %x leaves no room for float drift. Regenerate (only when knowingly
+// changing simulator semantics) with:
+//
+//	LITEGPU_UPDATE_GOLDENS=1 go test ./internal/serve -run Golden
+func TestStaticSchedulerMatchesPreRefactorGoldens(t *testing.T) {
+	got := goldenReport(t)
+	if os.Getenv("LITEGPU_UPDATE_GOLDENS") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", goldenFile, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("missing golden corpus (run with LITEGPU_UPDATE_GOLDENS=1 to capture): %v", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		for i := range gotLines {
+			if i >= len(wantLines) || gotLines[i] != wantLines[i] {
+				t.Fatalf("static scheduler diverged from pre-refactor goldens at line %d:\n got: %s\nwant: %s",
+					i+1, gotLines[i], wantLines[min(i, len(wantLines)-1)])
+			}
+		}
+		t.Fatalf("static scheduler diverged from pre-refactor goldens (length %d vs %d)", len(got), len(want))
+	}
+}

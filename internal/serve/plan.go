@@ -70,8 +70,22 @@ type PlanRequest struct {
 	// Drain extends the simulation past the arrival horizon (default 120).
 	Drain units.Seconds
 
+	// Scheduler is the serving discipline to size (default
+	// StaticDisaggregated). Schedulers, when non-empty, overrides it
+	// with a set of candidate policies: each is sized independently and
+	// the cheapest feasible plan (by $/Mtoken) wins — so the planner
+	// answers not just "how many instances" but "which scheduler".
+	Scheduler  SchedulerPolicy
+	Schedulers []SchedulerPolicy
+
+	// PrefillChunk is the ChunkedPrefill chunk size in prompt tokens
+	// (default 512); ignored by the other policies.
+	PrefillChunk int
+
 	// PrefillGPUs and DecodeGPUs set the tensor-parallel degree per
 	// instance; zero means the smallest degree the model fits on.
+	// Colocated policies run one instance kind at the larger of the two
+	// degrees (their instances must fit both phases).
 	PrefillGPUs int
 	DecodeGPUs  int
 
@@ -79,7 +93,9 @@ type PlanRequest struct {
 	MaxPrefillBatch int
 	MaxDecodeBatch  int
 
-	// MaxInstances caps the per-pool search (default 64).
+	// MaxInstances caps the search per pool — per phase pool for the
+	// static policy, over the colocated instance count otherwise
+	// (default 64).
 	MaxInstances int
 
 	// Failures, when Enabled, makes the plan availability-aware: the
@@ -96,14 +112,16 @@ type PlanRequest struct {
 
 // Plan is a feasible deployment returned by PlanCapacity.
 type Plan struct {
+	// Config is the winning deployment; Config.Scheduler names the
+	// policy that won when several were in the running.
 	Config  Config
 	Metrics Metrics
-	// TotalGPUs is the full accelerator count across both pools,
+	// TotalGPUs is the full accelerator count across the deployment,
 	// including hot spares when the plan is availability-aware.
 	TotalGPUs int
 	// Spares is the hot-spare unit count the availability search added
-	// (zero when failure injection is off). Spares are shared between
-	// the prefill and decode pools — they are interchangeable units of
+	// (zero when failure injection is off). Spares are shared across
+	// the deployment's instances — they are interchangeable units of
 	// the same GPU type.
 	Spares int
 	// Availability is the analytic steady-state availability of the
@@ -116,16 +134,21 @@ type Plan struct {
 	Cost tco.Breakdown
 }
 
-// PlanCapacity answers the operator's sizing question: how many prefill
-// and decode instances of the given GPU does it take to serve the
-// workload at its arrival rate while meeting the SLO attainment targets?
+// PlanCapacity answers the operator's sizing question: how many
+// instances of the given GPU does it take to serve the workload at its
+// arrival rate while meeting the SLO attainment targets — and, when
+// PlanRequest.Schedulers lists several policies, which scheduling
+// discipline does it cheapest?
 //
-// It doubles both pool sizes until the deployment is feasible, then
-// binary-searches each pool down independently (prefill first, against a
-// generous decode pool; then decode, against the chosen prefill pool) —
-// attainment is monotone in each pool size, which makes the bisection
-// sound. The returned plan is the cheapest deployment the search visits,
-// priced through the TCO model.
+// For the static policy it doubles both phase pools until the
+// deployment is feasible, then binary-searches each pool down
+// independently (prefill first, against a generous decode pool; then
+// decode, against the chosen prefill pool) — attainment is monotone in
+// each pool size, which makes the bisection sound. Colocated policies
+// search their single instance-count dimension the same way. Every
+// candidate plan is priced through the TCO model; with several
+// candidate policies the cheapest feasible plan per simulated Mtoken
+// wins.
 func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	slo = slo.withDefaults()
 	if req.Horizon <= 0 {
@@ -170,9 +193,48 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	}
 	simHorizon := req.Horizon + req.Drain
 
-	// attempt memoizes on (p, d): the growth phase, the two bisections,
-	// and the final joint check can revisit a pair, and every evaluation
-	// is a full discrete-event simulation of the whole request stream.
+	policies := req.Schedulers
+	if len(policies) == 0 {
+		policies = []SchedulerPolicy{req.Scheduler}
+	}
+	var best Plan
+	var bestOK bool
+	var firstErr error
+	for _, pol := range policies {
+		plan, err := planPolicy(req, slo, pol, reqs, simHorizon)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !bestOK || plan.Cost.CostPerMTokens < best.Cost.CostPerMTokens {
+			best = plan
+			bestOK = true
+		}
+	}
+	if !bestOK {
+		return Plan{}, firstErr
+	}
+	return best, nil
+}
+
+// planPolicy sizes one scheduling policy's cheapest feasible deployment.
+func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, reqs []trace.Request, simHorizon units.Seconds) (Plan, error) {
+	baseCfg := Config{
+		GPU: req.GPU, Model: req.Model, Opts: req.Opts,
+		Scheduler:    pol,
+		PrefillChunk: req.PrefillChunk,
+		PrefillGPUs:  req.PrefillGPUs, DecodeGPUs: req.DecodeGPUs,
+		MaxPrefillBatch: req.MaxPrefillBatch, MaxDecodeBatch: req.MaxDecodeBatch,
+	}
+	// Colocated policies derive InstanceGPUs = max(PrefillGPUs,
+	// DecodeGPUs) from baseCfg (an instance must fit both phases).
+
+	// attempt memoizes on the pool sizes: the growth phase, the
+	// bisections, and the final joint check can revisit a point, and
+	// every evaluation is a full discrete-event simulation of the whole
+	// request stream.
 	type attemptResult struct {
 		m  Metrics
 		ok bool
@@ -182,11 +244,11 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 		if r, seen := tried[[2]int{p, d}]; seen {
 			return r.m, r.ok, nil
 		}
-		cfg := Config{
-			GPU: req.GPU, Model: req.Model, Opts: req.Opts,
-			PrefillInstances: p, PrefillGPUs: req.PrefillGPUs,
-			DecodeInstances: d, DecodeGPUs: req.DecodeGPUs,
-			MaxPrefillBatch: req.MaxPrefillBatch, MaxDecodeBatch: req.MaxDecodeBatch,
+		cfg := baseCfg
+		if pol.Colocated() {
+			cfg.Instances = p
+		} else {
+			cfg.PrefillInstances, cfg.DecodeInstances = p, d
 		}
 		m, err := planSim(cfg, req, 0, reqs, simHorizon)
 		if err != nil {
@@ -201,7 +263,8 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 		return m, ok, nil
 	}
 
-	// Grow both pools until feasible.
+	// Grow until feasible. The colocated policies fix d at 1 and only
+	// grow their single instance-count dimension.
 	p, d := 1, 1
 	var m Metrics
 	for {
@@ -214,17 +277,20 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 		if ok {
 			break
 		}
-		if p >= req.MaxInstances && d >= req.MaxInstances {
+		if p >= req.MaxInstances && (pol.Colocated() || d >= req.MaxInstances) {
 			return Plan{}, fmt.Errorf(
-				"serve: no deployment within %d instances per pool meets the SLO for %s on %s at %.2f req/s",
-				req.MaxInstances, req.Model.Name, req.GPU.Name, req.Workload.Rate)
+				"serve: no deployment within %d instances per pool meets the SLO for %s on %s at %.2f req/s (%s scheduler)",
+				req.MaxInstances, req.Model.Name, req.GPU.Name, req.Workload.Rate, pol)
 		}
 		p = min(p*2, req.MaxInstances)
-		d = min(d*2, req.MaxInstances)
+		if !pol.Colocated() {
+			d = min(d*2, req.MaxInstances)
+		}
 	}
 
-	// Shrink prefill against the feasible decode pool, then decode
-	// against the minimal prefill pool.
+	// Shrink each dimension down to its minimum (for static: prefill
+	// against the feasible decode pool, then decode against the minimal
+	// prefill pool).
 	pMin, err := bisectMin(1, p, func(x int) (bool, error) {
 		_, ok, err := attempt(x, d)
 		return ok, err
@@ -232,12 +298,15 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	if err != nil {
 		return Plan{}, err
 	}
-	dMin, err := bisectMin(1, d, func(x int) (bool, error) {
-		_, ok, err := attempt(pMin, x)
-		return ok, err
-	})
-	if err != nil {
-		return Plan{}, err
+	dMin := d
+	if !pol.Colocated() {
+		dMin, err = bisectMin(1, d, func(x int) (bool, error) {
+			_, ok, err := attempt(pMin, x)
+			return ok, err
+		})
+		if err != nil {
+			return Plan{}, err
+		}
 	}
 	m, ok, err := attempt(pMin, dMin)
 	if err != nil {
@@ -259,19 +328,20 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 		}
 	}
 	if !ok {
-		return Plan{}, fmt.Errorf("serve: capacity search failed to converge for %s on %s",
-			req.Model.Name, req.GPU.Name)
+		return Plan{}, fmt.Errorf("serve: %s capacity search failed to converge for %s on %s",
+			pol, req.Model.Name, req.GPU.Name)
 	}
 
+	cfg := baseCfg
+	if pol.Colocated() {
+		cfg.Instances = pMin
+	} else {
+		cfg.PrefillInstances, cfg.DecodeInstances = pMin, dMin
+	}
 	plan := Plan{
-		Config: Config{
-			GPU: req.GPU, Model: req.Model, Opts: req.Opts,
-			PrefillInstances: pMin, PrefillGPUs: req.PrefillGPUs,
-			DecodeInstances: dMin, DecodeGPUs: req.DecodeGPUs,
-			MaxPrefillBatch: req.MaxPrefillBatch, MaxDecodeBatch: req.MaxDecodeBatch,
-		},
+		Config:       cfg,
 		Metrics:      m,
-		TotalGPUs:    pMin*req.PrefillGPUs + dMin*req.DecodeGPUs,
+		TotalGPUs:    cfg.TotalGPUs(),
 		Availability: 1,
 	}
 

@@ -1,8 +1,18 @@
 // Package serve is a discrete-event simulator of LLM serving on GPU
-// clusters, with Splitwise-style phase splitting: dedicated prefill
-// engines batch incoming prompts, dedicated decode engines run continuous
-// batching over active generations (the deployment style the paper's case
-// study assumes when it evaluates the two phases on separate clusters).
+// clusters, built on the shared internal/sim event engine, with a
+// pluggable scheduling discipline per pool (see SchedulerPolicy):
+//
+//   - StaticDisaggregated: Splitwise-style phase splitting — dedicated
+//     prefill engines batch incoming prompts, dedicated decode engines
+//     run continuous batching over active generations (the deployment
+//     style the paper's case study assumes when it evaluates the two
+//     phases on separate clusters).
+//   - ContinuousBatching: colocated prefill+decode instances in the
+//     vLLM/Orca style — finished requests free batch slots that are
+//     refilled from the queue every iteration.
+//   - ChunkedPrefill: continuous batching with Sarathi-style chunking —
+//     long prompts are split into fixed-size chunks fused with decode
+//     steps, bounding time-between-token stalls.
 //
 // The simulator consumes the same analytical stage model the Figure 3
 // study uses (internal/inference), so it cross-validates the roofline
@@ -10,12 +20,13 @@
 // and exposes the latency SLO attainment the closed-form search cannot
 // see.
 //
-// Since PR 2 the simulator runs on the shared internal/sim event engine,
-// which is what lets it express the scenarios the old hand-rolled loop
-// structurally could not: GPU failures that kill an instance mid-run
-// (driven by internal/failure rates, with hot spares and repair delays —
-// see FailureConfig), and heterogeneous instance pools serving one trace
-// behind a pluggable router (see RunCluster).
+// Cluster-level scenarios compose with every scheduler: GPU failures
+// that kill an instance mid-run (driven by internal/failure rates, with
+// hot spares and repair delays — see FailureConfig), heterogeneous
+// instance pools serving one trace behind a pluggable router
+// (RunCluster), and the capacity planner (PlanCapacity), which sizes
+// the cheapest deployment — across scheduling policies, when asked —
+// that meets the SLO attainment targets.
 package serve
 
 import (
@@ -30,25 +41,83 @@ import (
 	"litegpu/internal/units"
 )
 
-// Config describes one serving pool: a homogeneous phase-split
-// deployment of a single GPU type.
+// Config describes one serving pool: a homogeneous deployment of a
+// single GPU type running one scheduling policy.
 type Config struct {
 	GPU   hw.GPU
 	Model model.Transformer
 	Opts  inference.Options
 
+	// Scheduler selects the pool's serving discipline. The zero value
+	// is StaticDisaggregated, the paper's phase-split deployment.
+	Scheduler SchedulerPolicy
+
 	// PrefillInstances×PrefillGPUs and DecodeInstances×DecodeGPUs size
-	// the two pools (GPUs per instance is the tensor-parallel degree).
+	// the two pools of the static phase-split policy (GPUs per instance
+	// is the tensor-parallel degree). The colocated policies derive
+	// their shape from these fields unless Instances/InstanceGPUs are
+	// set explicitly.
 	PrefillInstances int
 	PrefillGPUs      int
 	DecodeInstances  int
 	DecodeGPUs       int
 
+	// Instances and InstanceGPUs size a colocated deployment
+	// (ContinuousBatching or ChunkedPrefill): Instances TP groups of
+	// InstanceGPUs each, every one serving both phases. When zero they
+	// derive from the phase-split fields — InstanceGPUs =
+	// max(PrefillGPUs, DecodeGPUs), since a colocated instance must fit
+	// both phases, and Instances = TotalGPUs/InstanceGPUs (floor) —
+	// i.e. the same silicon reshaped into colocated engines, which is
+	// what makes equal-hardware policy comparisons one-field changes.
+	// Ignored by StaticDisaggregated.
+	Instances    int
+	InstanceGPUs int
+
+	// PrefillChunk is the chunk size in prompt tokens for the
+	// ChunkedPrefill scheduler (default 512). Ignored by the others.
+	PrefillChunk int
+
 	// MaxPrefillBatch caps how many prompts one prefill pass fuses.
 	MaxPrefillBatch int
 	// MaxDecodeBatch caps continuous-batching occupancy (further capped
-	// by KV-cache capacity).
+	// by KV-cache capacity). For colocated schedulers it bounds the
+	// whole per-instance batch: decoding plus admitted-but-unprefilled
+	// requests.
 	MaxDecodeBatch int
+}
+
+// colocShape returns the colocated deployment size: the explicit
+// Instances/InstanceGPUs when set, otherwise the phase-split silicon
+// reshaped — per-instance degree max(PrefillGPUs, DecodeGPUs), because
+// a colocated instance must fit both phases, and instance count
+// TotalGPUs/degree rounded down.
+func (c Config) colocShape() (instances, gpus int) {
+	gpus = c.InstanceGPUs
+	if gpus <= 0 {
+		gpus = max(c.PrefillGPUs, c.DecodeGPUs)
+	}
+	instances = c.Instances
+	if instances <= 0 && gpus > 0 {
+		instances = (c.PrefillInstances*c.PrefillGPUs + c.DecodeInstances*c.DecodeGPUs) / gpus
+	}
+	return instances, gpus
+}
+
+// ColocatedShape returns the instance count and per-instance GPU
+// degree a colocated scheduler runs this configuration at — the
+// explicit Instances/InstanceGPUs fields, or their derivation from the
+// phase-split fields. Meaningful only when Scheduler.Colocated().
+func (c Config) ColocatedShape() (instances, gpus int) { return c.colocShape() }
+
+// instanceCount returns how many failable instances the pool runs under
+// its scheduler — the quantity the per-pool priority-band cap bounds.
+func (c Config) instanceCount() int {
+	if c.Scheduler.Colocated() {
+		n, _ := c.colocShape()
+		return n
+	}
+	return c.PrefillInstances + c.DecodeInstances
 }
 
 // Validate reports the first configuration problem, or nil.
@@ -59,19 +128,38 @@ func (c Config) Validate() error {
 	if err := c.Model.Validate(); err != nil {
 		return err
 	}
+	if c.MaxPrefillBatch <= 0 || c.MaxDecodeBatch <= 0 {
+		return fmt.Errorf("serve: batch caps must be positive")
+	}
+	if c.Scheduler.Colocated() {
+		n, g := c.colocShape()
+		switch {
+		case g <= 0:
+			return fmt.Errorf("serve: %s scheduler needs at least one GPU per instance", c.Scheduler)
+		case n <= 0:
+			return fmt.Errorf("serve: %s scheduler needs at least one instance", c.Scheduler)
+		case c.PrefillChunk < 0:
+			return fmt.Errorf("serve: negative prefill chunk %d", c.PrefillChunk)
+		}
+		return nil
+	}
 	switch {
 	case c.PrefillInstances <= 0 || c.DecodeInstances <= 0:
 		return fmt.Errorf("serve: need at least one instance per pool")
 	case c.PrefillGPUs <= 0 || c.DecodeGPUs <= 0:
 		return fmt.Errorf("serve: need at least one GPU per instance")
-	case c.MaxPrefillBatch <= 0 || c.MaxDecodeBatch <= 0:
-		return fmt.Errorf("serve: batch caps must be positive")
 	}
 	return nil
 }
 
-// TotalGPUs returns the accelerator count across both phase pools.
+// TotalGPUs returns the accelerator count behind the configuration:
+// both phase pools for the static policy, the colocated instance set
+// otherwise.
 func (c Config) TotalGPUs() int {
+	if c.Scheduler.Colocated() {
+		n, g := c.colocShape()
+		return n * g
+	}
 	return c.PrefillInstances*c.PrefillGPUs + c.DecodeInstances*c.DecodeGPUs
 }
 
@@ -107,6 +195,9 @@ type Metrics struct {
 	// TBT limit.
 	TBTAttainment float64
 	// PrefillUtilization and DecodeUtilization are busy-time fractions.
+	// Under a colocated scheduler both are measured over the full
+	// instance set (each instance splits its time between the phases),
+	// so they sum to at most 1.
 	PrefillUtilization float64
 	DecodeUtilization  float64
 	// TokensGenerated counts decoded tokens, including tokens of
@@ -143,7 +234,8 @@ type Metrics struct {
 // Run simulates serving the request stream until the horizon, with no
 // failure injection. Requests still in flight at the horizon are not
 // counted as completed. It is the single-pool special case of
-// RunCluster and reproduces the pre-sim event loop byte-for-byte.
+// RunCluster; with the default StaticDisaggregated scheduler it
+// reproduces the pre-scheduler-interface event loop byte-for-byte.
 func Run(cfg Config, reqs []trace.Request, horizon units.Seconds) (Metrics, error) {
 	return RunWithFailures(cfg, FailureConfig{}, reqs, horizon)
 }
@@ -170,11 +262,11 @@ func pickSLO(v units.Seconds, def units.Seconds) units.Seconds {
 	return def
 }
 
-// newPrefillTimer returns a memoized batch-prefill duration function.
-// Durations come from the analytical model at the batch's mean prompt
-// length (stage costs are near-linear in total tokens), quantized to
-// 64-token buckets for cache efficiency.
-func newPrefillTimer(cfg Config, opts inference.Options) func([]trace.Request) float64 {
+// newPrefillTimer returns a memoized batch-prefill duration function at
+// the given tensor-parallel degree. Durations come from the analytical
+// model at the batch's mean prompt length (stage costs are near-linear
+// in total tokens), quantized to 64-token buckets for cache efficiency.
+func newPrefillTimer(cfg Config, opts inference.Options, gpus int) func([]trace.Request) float64 {
 	type key struct{ b, lenBucket int }
 	cache := make(map[key]float64)
 	return func(batch []trace.Request) float64 {
@@ -195,7 +287,7 @@ func newPrefillTimer(cfg Config, opts inference.Options) func([]trace.Request) f
 		}
 		o := opts
 		o.PromptLen = k.lenBucket * 64
-		est, err := inference.Run(cfg.GPU, cfg.Model, inference.Prefill, cfg.PrefillGPUs, len(batch), o)
+		est, err := inference.Run(cfg.GPU, cfg.Model, inference.Prefill, gpus, len(batch), o)
 		v := math.Inf(1)
 		if err == nil {
 			v = float64(est.Latency)
@@ -206,8 +298,9 @@ func newPrefillTimer(cfg Config, opts inference.Options) func([]trace.Request) f
 }
 
 // newDecodeTimer returns a memoized decode-step duration function keyed
-// by batch size, evaluated at the configured decode context length.
-func newDecodeTimer(cfg Config, opts inference.Options) func(int) float64 {
+// by batch size, evaluated at the configured decode context length and
+// the given tensor-parallel degree.
+func newDecodeTimer(cfg Config, opts inference.Options, gpus int) func(int) float64 {
 	cache := make(map[int]float64)
 	return func(b int) float64 {
 		if b <= 0 {
@@ -216,7 +309,7 @@ func newDecodeTimer(cfg Config, opts inference.Options) func(int) float64 {
 		if v, ok := cache[b]; ok {
 			return v
 		}
-		est, err := inference.Run(cfg.GPU, cfg.Model, inference.Decode, cfg.DecodeGPUs, b, opts)
+		est, err := inference.Run(cfg.GPU, cfg.Model, inference.Decode, gpus, b, opts)
 		v := math.Inf(1)
 		if err == nil {
 			v = float64(est.Latency)

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"litegpu/internal/inference"
+	"litegpu/internal/trace"
+)
+
+// staticSched is the StaticDisaggregated policy: the paper's
+// Splitwise-style phase split, with dedicated prefill engines batching
+// incoming prompts and dedicated decode engines running continuous
+// batching over active generations. It is the policy the Scheduler
+// interface was extracted from, and reproduces the pre-extraction
+// engine byte-for-byte (pinned by the golden corpus in
+// testdata/static_goldens.txt).
+type staticSched struct {
+	cs   *clusterSim
+	pool *poolSim
+	cfg  Config
+
+	prefills []prefillEngine
+	decodes  []decodeEngine
+	prefillQ []trace.Request
+	decodeQ  []*activeReq
+
+	decodeCap   int
+	prefillTime func([]trace.Request) float64
+	decodeTime  func(int) float64
+}
+
+type prefillEngine struct {
+	instanceState
+	freeAt float64
+	busy   float64
+	batch  []trace.Request
+}
+
+type decodeEngine struct {
+	instanceState
+	active  []*activeReq
+	stepEnd float64 // 0 when idle
+	busy    float64
+}
+
+func newStaticSched(cs *clusterSim, pool *poolSim) (*staticSched, error) {
+	cfg := pool.cfg
+	opts := cfg.Opts
+	maxKV := inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Decode, cfg.DecodeGPUs, opts)
+	if maxKV <= 0 {
+		return nil, fmt.Errorf("serve: %s does not fit on %d×%s for decode",
+			cfg.Model.Name, cfg.DecodeGPUs, cfg.GPU.Name)
+	}
+	decodeCap := cfg.MaxDecodeBatch
+	if decodeCap > maxKV {
+		decodeCap = maxKV
+	}
+	if inference.MaxFeasibleBatch(cfg.GPU, cfg.Model, inference.Prefill, cfg.PrefillGPUs, opts) < 1 {
+		return nil, fmt.Errorf("serve: %s does not fit on %d×%s for prefill",
+			cfg.Model.Name, cfg.PrefillGPUs, cfg.GPU.Name)
+	}
+	return &staticSched{
+		cs:          cs,
+		pool:        pool,
+		cfg:         cfg,
+		prefills:    make([]prefillEngine, cfg.PrefillInstances),
+		decodes:     make([]decodeEngine, cfg.DecodeInstances),
+		decodeCap:   decodeCap,
+		prefillTime: newPrefillTimer(cfg, opts, cfg.PrefillGPUs),
+		decodeTime:  newDecodeTimer(cfg, opts, cfg.DecodeGPUs),
+	}, nil
+}
+
+func (sc *staticSched) numInstances() int { return len(sc.prefills) + len(sc.decodes) }
+
+func (sc *staticSched) state(id int) *instanceState {
+	if id < len(sc.prefills) {
+		return &sc.prefills[id].instanceState
+	}
+	return &sc.decodes[id-len(sc.prefills)].instanceState
+}
+
+func (sc *staticSched) gpus(id int) int {
+	if id < len(sc.prefills) {
+		return sc.cfg.PrefillGPUs
+	}
+	return sc.cfg.DecodeGPUs
+}
+
+func (sc *staticSched) shape() phaseShape {
+	return phaseShape{
+		prefillInstances: sc.cfg.PrefillInstances, prefillGPUs: sc.cfg.PrefillGPUs,
+		decodeInstances: sc.cfg.DecodeInstances, decodeGPUs: sc.cfg.DecodeGPUs,
+	}
+}
+
+func (sc *staticSched) totalGPUs() int {
+	return sc.cfg.PrefillInstances*sc.cfg.PrefillGPUs + sc.cfg.DecodeInstances*sc.cfg.DecodeGPUs
+}
+
+func (sc *staticSched) enqueue(r trace.Request) {
+	sc.prefillQ = append(sc.prefillQ, r)
+}
+
+func (sc *staticSched) outstanding() int {
+	outstanding := len(sc.prefillQ) + len(sc.decodeQ)
+	for i := range sc.prefills {
+		outstanding += len(sc.prefills[i].batch)
+	}
+	for j := range sc.decodes {
+		outstanding += len(sc.decodes[j].active)
+	}
+	return outstanding
+}
+
+func (sc *staticSched) busy() (prefill, decode float64) {
+	for i := range sc.prefills {
+		prefill += sc.prefills[i].busy
+	}
+	for j := range sc.decodes {
+		decode += sc.decodes[j].busy
+	}
+	return prefill, decode
+}
+
+func (sc *staticSched) dispatch(now float64) {
+	sc.dispatchPrefill(now)
+	for j := range sc.decodes {
+		e := &sc.decodes[j]
+		if e.up && e.stepEnd == 0 {
+			sc.startDecodeStep(j, now)
+		}
+	}
+}
+
+func (sc *staticSched) dispatchPrefill(now float64) {
+	for i := range sc.prefills {
+		e := &sc.prefills[i]
+		if !e.up {
+			continue
+		}
+		for e.freeAt <= now && len(sc.prefillQ) > 0 {
+			n := sc.cfg.MaxPrefillBatch
+			if n > len(sc.prefillQ) {
+				n = len(sc.prefillQ)
+			}
+			// Shrink the batch until its KV footprint fits. The pool was
+			// validated to fit the model at the nominal prompt length,
+			// but an individual oversized prompt can still exceed
+			// capacity alone (n reaches 0): drop it rather than let it
+			// starve at the head of the queue forever.
+			dt := math.Inf(1)
+			for ; n >= 1; n-- {
+				if dt = sc.prefillTime(sc.prefillQ[:n]); !math.IsInf(dt, 1) {
+					break
+				}
+			}
+			if n < 1 {
+				sc.prefillQ = sc.prefillQ[1:]
+				sc.pool.m.Dropped++
+				continue
+			}
+			batch := sc.prefillQ[:n]
+			sc.prefillQ = sc.prefillQ[n:]
+			e.batch = append([]trace.Request(nil), batch...)
+			e.freeAt = now + dt
+			e.busy += dt
+			i := i
+			e.doneEv = sc.cs.eng.Schedule(e.freeAt, prioPrefill+e.prio, func(t float64) {
+				sc.completePrefill(i, t)
+			})
+		}
+	}
+}
+
+func (sc *staticSched) completePrefill(i int, now float64) {
+	e := &sc.prefills[i]
+	e.doneEv = 0
+	for _, r := range e.batch {
+		sc.pool.recordTTFT(now - float64(r.Arrival))
+		sc.decodeQ = append(sc.decodeQ, &activeReq{req: r, remaining: r.OutputTokens})
+	}
+	e.batch = nil
+	sc.cs.requestDispatch(now)
+}
+
+func (sc *staticSched) startDecodeStep(j int, now float64) {
+	e := &sc.decodes[j]
+	// Admit from the queue up to capacity, then step if non-empty.
+	for len(e.active) < sc.decodeCap && len(sc.decodeQ) > 0 {
+		a := sc.decodeQ[0]
+		sc.decodeQ = sc.decodeQ[1:]
+		if !a.admitted {
+			a.admitted = true
+			a.decodeAt = now
+		}
+		e.active = append(e.active, a)
+	}
+	if len(e.active) == 0 {
+		e.stepEnd = 0
+		return
+	}
+	dt := sc.decodeTime(len(e.active))
+	e.stepEnd = now + dt
+	e.busy += dt
+	e.doneEv = sc.cs.eng.Schedule(e.stepEnd, prioDecode+e.prio, func(t float64) {
+		sc.completeDecodeStep(j, t)
+	})
+}
+
+func (sc *staticSched) completeDecodeStep(j int, now float64) {
+	e := &sc.decodes[j]
+	e.doneEv = 0
+	var still []*activeReq
+	for _, a := range e.active {
+		if !sc.pool.emitToken(a, now) {
+			still = append(still, a)
+		}
+	}
+	e.active = still
+	e.stepEnd = 0
+	sc.cs.requestDispatch(now)
+}
+
+// fail reclaims a dead instance's in-flight work: the unfinished pass's
+// busy tail is un-counted and the prompts (or generations) go back to
+// the head of their queue — or are abandoned under DropOnFailure.
+func (sc *staticSched) fail(id int, now float64, drop bool) {
+	p := sc.pool
+	if id < len(sc.prefills) {
+		e := &sc.prefills[id]
+		if len(e.batch) > 0 {
+			// The pass died before completing: un-count its unfinished
+			// busy tail and put the prompts back at the head of the
+			// queue (or abandon them).
+			e.busy -= e.freeAt - now
+			if drop {
+				p.m.DroppedOnFailure += len(e.batch)
+			} else {
+				p.m.Requeued += len(e.batch)
+				sc.prefillQ = append(append([]trace.Request(nil), e.batch...), sc.prefillQ...)
+			}
+			e.batch = nil
+		}
+		e.freeAt = now
+	} else {
+		e := &sc.decodes[id-len(sc.prefills)]
+		if e.stepEnd > 0 {
+			e.busy -= e.stepEnd - now
+			e.stepEnd = 0
+		}
+		if len(e.active) > 0 {
+			if drop {
+				p.m.DroppedOnFailure += len(e.active)
+			} else {
+				p.m.Requeued += len(e.active)
+				sc.decodeQ = append(append([]*activeReq(nil), e.active...), sc.decodeQ...)
+			}
+			e.active = nil
+		}
+	}
+}
+
+func (sc *staticSched) recovered(id int, now float64) {
+	if id < len(sc.prefills) {
+		sc.prefills[id].freeAt = now
+	}
+}

@@ -14,17 +14,20 @@
 //   - the Figure 3 roofline studies (PrefillStudy, DecodeStudy) and the
 //     single-configuration Estimate,
 //   - the discrete-event serving simulator (Serve) and workload
-//     generators — since PR 2 rebuilt on the shared internal/sim event
-//     engine, which adds GPU failure injection with hot spares
-//     (ServeCluster, ServeWithFailures) and heterogeneous pools behind
-//     a pluggable router (RoundRobin, JoinShortestQueue),
+//     generators, built on the shared internal/sim event engine, with a
+//     pluggable scheduling discipline per pool (SchedulerPolicy: the
+//     paper's static phase split, continuous batching, or chunked
+//     prefill), GPU failure injection with hot spares (ServeCluster,
+//     ServeWithFailures), and heterogeneous pools behind a pluggable
+//     router (RoundRobin, JoinShortestQueue),
 //   - the concurrent design-space sweep (Sweep), which crosses Table 1
-//     GPU types × models × workloads × arrival rates over a worker pool
-//     and returns serving metrics per cell,
-//   - the capacity planner (PlanCapacity), which binary-searches prefill
-//     and decode instance counts over the serving simulator until the
-//     TTFT/TBT attainment targets hold, returning the cheapest feasible
-//     deployment with a TCO ($/Mtoken) readout,
+//     GPU types × models × workloads × arrival rates × scheduling
+//     policies over a worker pool and returns serving metrics per cell,
+//   - the capacity planner (PlanCapacity), which binary-searches
+//     instance counts over the serving simulator until the TTFT/TBT
+//     attainment targets hold, returning the cheapest feasible
+//     deployment — across scheduling policies when asked — with a TCO
+//     ($/Mtoken) readout,
 //   - the Section 2/3 claim studies (Yield, Shoreline, Network, Power,
 //     BlastRadius, Granularity).
 //
@@ -65,10 +68,14 @@ type (
 	Options = inference.Options
 	// Estimate is a modeled configuration result.
 	Estimate = inference.Estimate
-	// ServeConfig describes a phase-split serving deployment.
+	// ServeConfig describes a serving deployment (GPU type, model,
+	// scheduler policy, instance shape, batch caps).
 	ServeConfig = serve.Config
 	// ServeMetrics summarizes a serving simulation.
 	ServeMetrics = serve.Metrics
+	// SchedulerPolicy selects a pool's serving discipline: the paper's
+	// static phase split, continuous batching, or chunked prefill.
+	SchedulerPolicy = serve.SchedulerPolicy
 	// Workload generates synthetic request streams.
 	Workload = trace.Generator
 	// Request is one inference request.
@@ -84,6 +91,29 @@ const (
 	Prefill = inference.Prefill
 	Decode  = inference.Decode
 )
+
+// The three scheduling policies.
+const (
+	// StaticDisaggregated is the paper's Splitwise-style phase split
+	// (the default).
+	StaticDisaggregated = serve.StaticDisaggregated
+	// ContinuousBatching colocates both phases per instance, refilling
+	// freed batch slots every iteration (vLLM/Orca style).
+	ContinuousBatching = serve.ContinuousBatching
+	// ChunkedPrefill adds Sarathi-style prompt chunking to continuous
+	// batching, bounding decode stalls by the chunk size.
+	ChunkedPrefill = serve.ChunkedPrefill
+)
+
+// ParseSchedulerPolicy maps a CLI name (static | continuous | chunked)
+// to its SchedulerPolicy.
+func ParseSchedulerPolicy(name string) (SchedulerPolicy, error) {
+	return serve.ParseSchedulerPolicy(name)
+}
+
+// SchedulerPolicies returns all three scheduling policies in
+// definition order.
+func SchedulerPolicies() []SchedulerPolicy { return serve.SchedulerPolicies() }
 
 // Catalog -------------------------------------------------------------------
 
