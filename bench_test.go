@@ -36,6 +36,7 @@ func once(name string, f func(w io.Writer)) {
 func BenchmarkTable1(b *testing.B) {
 	once("Table 1", experiments.RenderTable1)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if rows := experiments.Table1(); len(rows) != 6 {
 			b.Fatal("Table 1 must have 6 rows")
@@ -47,6 +48,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkFigure1(b *testing.B) {
 	once("Figure 1", experiments.RenderFigure1)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if rows := experiments.Figure1(); len(rows) < 5 {
 			b.Fatal("Figure 1 timeline too short")
@@ -58,6 +60,7 @@ func BenchmarkFigure1(b *testing.B) {
 func BenchmarkFigure2(b *testing.B) {
 	once("Figure 2", experiments.RenderFigure2)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure2()
 		if r.ShorelineGain != 2 {
@@ -93,6 +96,7 @@ func BenchmarkFigure3a(b *testing.B) {
 func BenchmarkFigure3aSequentialBaseline(b *testing.B) {
 	opts := inference.DefaultOptions()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure3Sequential(inference.Prefill, hw.PrefillConfigs(), opts); err != nil {
 			b.Fatal(err)
@@ -166,6 +170,7 @@ func BenchmarkFigure3bNoOverlapAblation(b *testing.B) {
 func BenchmarkYieldClaim(b *testing.B) {
 	once("Yield/cost claim", experiments.RenderYieldStudy)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.YieldStudy()
 		quarter := rows[2]
@@ -179,6 +184,7 @@ func BenchmarkYieldClaim(b *testing.B) {
 func BenchmarkShorelineClaim(b *testing.B) {
 	once("Shoreline claim", experiments.RenderShorelineStudy)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.ShorelineStudy()
 		if rows[2].Gain != 2 {
@@ -191,6 +197,7 @@ func BenchmarkShorelineClaim(b *testing.B) {
 func BenchmarkNetworkEnergy(b *testing.B) {
 	once("Network study", func(w io.Writer) { experiments.RenderNetworkStudy(w, 512) })
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if adv := experiments.CircuitAdvantage(512); adv < 0.5 {
 			b.Fatalf("circuit advantage = %v", adv)
@@ -202,6 +209,7 @@ func BenchmarkNetworkEnergy(b *testing.B) {
 func BenchmarkPowerGranularity(b *testing.B) {
 	once("Power study", experiments.RenderPowerStudy)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.PowerStudy()
 		if len(rows) == 0 || rows[0].Result.Saving <= 0 {
@@ -259,6 +267,7 @@ func BenchmarkServingSim(b *testing.B) {
 func BenchmarkFigure3bSequentialBaseline(b *testing.B) {
 	opts := inference.DefaultOptions()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure3Sequential(inference.Decode, hw.DecodeConfigs(), opts); err != nil {
 			b.Fatal(err)
@@ -285,6 +294,7 @@ func benchSweepSpec(workers int) SweepSpec {
 // GOMAXPROCS worker pool.
 func BenchmarkSweepGrid(b *testing.B) {
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells, err := Sweep(context.Background(), benchSweepSpec(0))
 		if err != nil {
@@ -301,6 +311,7 @@ func BenchmarkSweepGrid(b *testing.B) {
 // faster while returning byte-identical cells.
 func BenchmarkSweepGridSequentialBaseline(b *testing.B) {
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Sweep(context.Background(), benchSweepSpec(1)); err != nil {
 			b.Fatal(err)
@@ -329,6 +340,7 @@ func BenchmarkServingGrid(b *testing.B) {
 // BenchmarkServingGrid.
 func BenchmarkServingGridSequentialBaseline(b *testing.B) {
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.ServingGridSequential(42); err != nil {
 			b.Fatal(err)
@@ -341,6 +353,7 @@ func BenchmarkServingGridSequentialBaseline(b *testing.B) {
 func BenchmarkPlanCapacity(b *testing.B) {
 	m, _ := ModelByName("Llama3-8B")
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := PlanCapacity(H100(), m, CodingWorkload(0, 7), 20, CapacitySLO{}); err != nil {
 			b.Fatal(err)
@@ -355,6 +368,7 @@ func BenchmarkSearchSingle(b *testing.B) {
 	g := H100()
 	m := Models()[0]
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SearchBest(g, m, Decode, opts); err != nil {
 			b.Fatal(err)
@@ -369,6 +383,7 @@ func BenchmarkEstimateSingle(b *testing.B) {
 	g := H100()
 	m := Models()[0]
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := EstimateConfig(g, m, Decode, 8, 64, opts); err != nil {
 			b.Fatal(err)
@@ -381,6 +396,7 @@ func BenchmarkEstimateSingle(b *testing.B) {
 func BenchmarkTCO(b *testing.B) {
 	once("TCO study", experiments.RenderTCOStudy)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := experiments.TCOStudy()
 		if r.PerfPerDollarGain <= 1 {
@@ -408,6 +424,7 @@ func BenchmarkStraggler(b *testing.B) {
 func BenchmarkMemoryPool(b *testing.B) {
 	once("Memory pool study", experiments.RenderMemoryStudy)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.MemoryStudy()
 		if len(rows) != 4 {
@@ -425,10 +442,181 @@ func BenchmarkTraining(b *testing.B) {
 		}
 	})
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.TrainingStudy()
 		if err != nil || len(rows) != 4 {
 			b.Fatalf("training study: %v (%d rows)", err, len(rows))
+		}
+	}
+}
+
+// stream1MWorkload is a ~10⁶-request workload (2000 req/s over a 500 s
+// horizon, short prompts and outputs so a small deployment keeps up):
+// the scale regime the streaming trace path exists for.
+func stream1MWorkload() Workload {
+	return Workload{
+		Rate:         2000,
+		PromptMedian: 32, PromptP99: 64,
+		OutputMedian: 2, OutputP99: 4,
+		MaxTokens: 128,
+		Seed:      42,
+	}
+}
+
+func stream1MConfig(b *testing.B) ServeConfig {
+	m, ok := ModelByName("Llama3-8B")
+	if !ok {
+		b.Fatal("model catalog missing Llama3-8B")
+	}
+	return ServeConfig{
+		GPU:              H100(),
+		Model:            m,
+		Opts:             DefaultOptions(),
+		PrefillInstances: 1, PrefillGPUs: 1,
+		DecodeInstances: 1, DecodeGPUs: 1,
+		MaxPrefillBatch: 8, MaxDecodeBatch: 64,
+	}
+}
+
+// BenchmarkTraceStream1M measures lazily iterating a ~10⁶-request
+// trace: B/op is O(1) — the stream holds generator state only, never
+// the trace.
+func BenchmarkTraceStream1M(b *testing.B) {
+	gen := stream1MWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := gen.Stream(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n < 900_000 {
+			b.Fatalf("stream yielded %d requests, want ~10⁶", n)
+		}
+	}
+}
+
+// BenchmarkTraceGenerate1M is the materialized counterpart of
+// BenchmarkTraceStream1M: the identical request sequence built as a
+// slice. The B/op gap between the two is the trace-memory reduction
+// streaming buys (≥10×: tens of MB down to constant).
+func BenchmarkTraceGenerate1M(b *testing.B) {
+	gen := stream1MWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs, err := gen.Generate(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reqs) < 900_000 {
+			b.Fatalf("generated %d requests, want ~10⁶", len(reqs))
+		}
+	}
+}
+
+// BenchmarkServingSimStream1M runs the full serving simulator over a
+// ~10⁶-request streaming trace (E-SV1 at production scale): arrivals
+// are synthesized on demand, so the trace itself costs no memory —
+// B/op is the in-flight working set plus the latency-sample buffers
+// the exact percentile summaries require.
+func BenchmarkServingSimStream1M(b *testing.B) {
+	gen := stream1MWorkload()
+	cfg := stream1MConfig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := gen.Stream(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := ServeFrom(cfg, s, 560)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Arrived < 900_000 || m.Completed < m.Arrived*9/10 {
+			b.Fatalf("arrived %d completed %d: deployment fell behind", m.Arrived, m.Completed)
+		}
+	}
+}
+
+// BenchmarkServingSimMaterialized1M is BenchmarkServingSimStream1M
+// with the trace materialized up front — the pre-streaming way to run
+// the same simulation, kept as the memory baseline.
+func BenchmarkServingSimMaterialized1M(b *testing.B) {
+	gen := stream1MWorkload()
+	cfg := stream1MConfig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs, err := gen.Generate(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := Serve(cfg, reqs, 560)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Arrived < 900_000 {
+			b.Fatalf("arrived %d", m.Arrived)
+		}
+	}
+}
+
+// BenchmarkPlanCapacityAuto measures the policy-parallel capacity
+// search: all three scheduling policies sized concurrently over the
+// worker pool (with speculative doubling probes within each), cheapest
+// plan kept.
+func BenchmarkPlanCapacityAuto(b *testing.B) {
+	m, _ := ModelByName("Llama3-8B")
+	req := CapacityRequest{
+		GPU:        H100(),
+		Model:      m,
+		Opts:       DefaultOptions(),
+		Workload:   CodingWorkload(20, 7),
+		Horizon:    120,
+		Drain:      60,
+		Schedulers: SchedulerPolicies(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanCapacityRequest(req, CapacitySLO{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCapacityAutoSequentialBaseline pins the same search to
+// one worker — the baseline against which BenchmarkPlanCapacityAuto
+// shows the planner's parallel speedup on multi-core machines (the two
+// return byte-identical plans; see
+// TestPlanCapacityWorkerCountInvariant).
+func BenchmarkPlanCapacityAutoSequentialBaseline(b *testing.B) {
+	m, _ := ModelByName("Llama3-8B")
+	req := CapacityRequest{
+		GPU:        H100(),
+		Model:      m,
+		Opts:       DefaultOptions(),
+		Workload:   CodingWorkload(20, 7),
+		Horizon:    120,
+		Drain:      60,
+		Schedulers: SchedulerPolicies(),
+		Workers:    1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanCapacityRequest(req, CapacitySLO{}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

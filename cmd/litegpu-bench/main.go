@@ -1,0 +1,235 @@
+// Command litegpu-bench is the benchmark-regression harness: it runs
+// the repository benchmark suite (bench_test.go) under `go test -bench`
+// with -benchmem and emits a machine-readable JSON report — ns/op,
+// B/op, and allocs/op per benchmark — suitable for committing next to
+// the code it measures (BENCH_*.json) and for diffing across commits.
+//
+// Usage:
+//
+//	go run ./cmd/litegpu-bench [flags]
+//
+// Examples:
+//
+//	go run ./cmd/litegpu-bench -out BENCH_4.json
+//	go run ./cmd/litegpu-bench -bench 'ServingSim|PlanCapacity' -benchtime 2s
+//	go run ./cmd/litegpu-bench -compare BENCH_3.json -out BENCH_4.json
+//	go run ./cmd/litegpu-bench -smoke   # CI: one iteration per benchmark
+//
+// With -compare, every benchmark present in the baseline file gains
+// old/new ratios (speedup = old ns/op ÷ new ns/op, alloc_ratio = old
+// allocs/op ÷ new allocs/op), so a committed report is also the
+// regression verdict against the previous PR's numbers.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// Baseline is present exactly when -compare found the benchmark in
+	// the baseline report — its presence (not any non-zero field) is
+	// what distinguishes "compared" from "new benchmark", so zero-alloc
+	// baselines and zero-alloc regressions both keep their evidence.
+	Baseline *Comparison `json:"baseline,omitempty"`
+}
+
+// Comparison carries the baseline numbers and the derived ratios for
+// one benchmark.
+type Comparison struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Speedup is baseline ns/op ÷ current ns/op (>1 = faster now).
+	Speedup float64 `json:"speedup"`
+	// AllocRatio is baseline allocs/op ÷ current allocs/op, present
+	// only when both sides are non-zero — when either side is zero the
+	// raw allocs_per_op fields tell the story a ratio cannot.
+	AllocRatio float64 `json:"alloc_ratio,omitempty"`
+}
+
+// Report is the harness output.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	BenchTime  string   `json:"benchtime"`
+	Timestamp  string   `json:"timestamp"`
+	Baseline   string   `json:"baseline,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result row, e.g.
+//
+//	BenchmarkServingSim-8   12   95331842 ns/op   51234 B/op   612 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "", "go test -benchtime (e.g. 1s, 100x); empty = go default")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON report to diff against")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: -benchtime 1x, fail on any build/vet/run error")
+	flag.Parse()
+
+	bt := *benchtime
+	if *smoke {
+		if bt == "" {
+			bt = "1x"
+		}
+		// The smoke contract is "fail on any build/vet/run error":
+		// `go test` only builds, so run vet explicitly first.
+		vet := exec.Command("go", "vet", *pkg)
+		var vetOut bytes.Buffer
+		vet.Stdout, vet.Stderr = &vetOut, &vetOut
+		fmt.Fprintf(os.Stderr, "litegpu-bench: go vet %s\n", *pkg)
+		if err := vet.Run(); err != nil {
+			os.Stderr.Write(vetOut.Bytes())
+			fatalf("go vet failed: %v", err)
+		}
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+	if bt != "" {
+		args = append(args, "-benchtime", bt)
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	fmt.Fprintf(os.Stderr, "litegpu-bench: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(stderr.Bytes())
+		os.Stderr.Write(stdout.Bytes())
+		fatalf("go test -bench failed: %v", err)
+	}
+
+	results, err := parseBench(stdout.String())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(results) == 0 {
+		os.Stderr.Write(stdout.Bytes())
+		fatalf("no benchmark results matched %q", *bench)
+	}
+
+	report := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		BenchTime: bt,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	if *compare != "" {
+		base, err := readReport(*compare)
+		if err != nil {
+			fatalf("read baseline: %v", err)
+		}
+		report.Baseline = *compare
+		byName := make(map[string]Result, len(base.Benchmarks))
+		for _, r := range base.Benchmarks {
+			byName[r.Name] = r
+		}
+		for i := range results {
+			b, ok := byName[results[i].Name]
+			if !ok {
+				continue
+			}
+			c := &Comparison{
+				NsPerOp:     b.NsPerOp,
+				BytesPerOp:  b.BytesPerOp,
+				AllocsPerOp: b.AllocsPerOp,
+			}
+			if results[i].NsPerOp > 0 {
+				c.Speedup = b.NsPerOp / results[i].NsPerOp
+			}
+			if results[i].AllocsPerOp > 0 && b.AllocsPerOp > 0 {
+				c.AllocRatio = float64(b.AllocsPerOp) / float64(results[i].AllocsPerOp)
+			}
+			results[i].Baseline = c
+		}
+	}
+	report.Benchmarks = results
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "litegpu-bench: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseBench extracts benchmark rows from `go test -bench` output,
+// skipping the one-time artifact printouts interleaved with them.
+func parseBench(output string) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(strings.NewReader(output))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1], Procs: 1}
+		if m[2] != "" {
+			r.Procs, _ = strconv.Atoi(m[2])
+		}
+		r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		var err error
+		if r.NsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if m[5] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}
+
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	return r, json.Unmarshal(data, &r)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "litegpu-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

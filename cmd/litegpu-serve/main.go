@@ -208,7 +208,11 @@ func main() {
 		return
 	}
 
-	reqs, err := gen.Generate(litegpu.Seconds(*horizon))
+	// Arrivals stream into the simulator on demand (identical to a
+	// materialized trace, request for request), so even a huge
+	// -rate × -horizon product runs in memory proportional to the
+	// in-flight working set.
+	stream, err := gen.Stream(litegpu.Seconds(*horizon))
 	if err != nil {
 		fatalf("generate workload: %v", err)
 	}
@@ -252,7 +256,7 @@ func main() {
 		cc.Pools = append(cc.Pools, litegpu.ServePool{Name: g2.Name, Config: cfg2})
 	}
 
-	cm, err := litegpu.ServeCluster(cc, reqs, litegpu.Seconds(*horizon)+120)
+	cm, err := litegpu.ServeClusterFrom(cc, stream, litegpu.Seconds(*horizon)+120)
 	if err != nil {
 		fatalf("simulate: %v", err)
 	}

@@ -22,6 +22,12 @@
 // failure injection at the given reference AFR (optionally accelerated
 // by -failure-timescale, with -spares hot spares per pool) — and the
 // availability/failure columns show the contrast.
+//
+// With -cpuprofile/-memprofile, the run writes pprof profiles of the
+// sweep (the heap profile is taken after the sweep, post-GC). Traces
+// stream into each cell's simulation on demand, so memory stays
+// bounded by the in-flight working set per worker regardless of
+// -horizon × -rates; see docs/performance.md.
 package main
 
 import (
@@ -29,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -49,7 +57,27 @@ func main() {
 	afr := flag.Float64("afr", 0, "add a failure-mode axis at this reference-package annualized failure rate (0 = clean grid only)")
 	spares := flag.Int("spares", 1, "hot spares per pool in the failure mode")
 	timescale := flag.Float64("failure-timescale", 1, "failure-clock acceleration in the failure mode")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		// fatalf exits via os.Exit, which skips defers — route the stop
+		// through stopProfile so every exit path finalizes the profile
+		// (an unterminated pprof file does not parse).
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
 
 	spec := litegpu.SweepSpec{
 		Horizon: litegpu.Seconds(*horizon),
@@ -154,6 +182,18 @@ func main() {
 		fmt.Fprintln(tw, row)
 	}
 	tw.Flush()
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the post-sweep live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+	}
 }
 
 // deployment renders a cell's instance shape: phase pools for the
@@ -177,7 +217,13 @@ func splitList(s string) []string {
 	return out
 }
 
+// stopProfile finalizes an in-progress CPU profile; set once profiling
+// starts. Calling it twice is harmless (StopCPUProfile is a no-op when
+// no profile is active).
+var stopProfile = func() {}
+
 func fatalf(format string, args ...any) {
+	stopProfile()
 	fmt.Fprintf(os.Stderr, "litegpu-sweep: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -40,6 +40,14 @@ func ServeCluster(cc ServeClusterConfig, reqs []Request, horizon Seconds) (Serve
 	return serve.RunCluster(cc, reqs, horizon)
 }
 
+// ServeClusterFrom is ServeCluster over a lazy request source
+// (typically a Workload.Stream): the trace is never materialized, so
+// memory stays proportional to the in-flight working set regardless of
+// how many requests the horizon spans.
+func ServeClusterFrom(cc ServeClusterConfig, src RequestSource, horizon Seconds) (ServeClusterMetrics, error) {
+	return serve.RunClusterFrom(cc, src, horizon)
+}
+
 // FailureServingSpec parameterizes ServeWithFailures. Zero-value fields
 // take the defaults noted on each.
 type FailureServingSpec struct {

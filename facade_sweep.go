@@ -214,7 +214,10 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 				MaxPrefillBatch: spec.MaxPrefillBatch, MaxDecodeBatch: spec.MaxDecodeBatch,
 			}
 			gen := p.workload.Make(p.rate, mathx.DeriveSeed(spec.Seed, uint64((idx/innerModes)%traceBlock)))
-			reqs, err := gen.Generate(spec.Horizon)
+			// Arrivals stream into the simulation on demand — no cell ever
+			// materializes its trace, so sweep memory is bounded by the
+			// in-flight working set per worker, not by horizon×rate.
+			stream, err := gen.Stream(spec.Horizon)
 			if err != nil {
 				return SweepCell{}, fmt.Errorf("litegpu: sweep cell %d (%s/%s/%s@%.2f): %w",
 					idx, c.GPU, c.Model, c.Workload, c.Rate, err)
@@ -225,7 +228,7 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 			}
 			// Each cell's failure processes get their own derived stream.
 			cc.Failures.Seed = mathx.DeriveSeed(spec.Seed^0xfa11, uint64(idx))
-			cm, err := serve.RunCluster(cc, reqs, spec.Horizon+spec.Drain)
+			cm, err := serve.RunClusterFrom(cc, stream, spec.Horizon+spec.Drain)
 			if err != nil {
 				c.Err = err.Error()
 				return c, nil

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"testing"
+
+	"litegpu/internal/trace"
+	"litegpu/internal/units"
+)
+
+// allocsForTrace measures the allocations of one full simulation of the
+// given pre-generated trace.
+func allocsForTrace(t *testing.T, cfg Config, reqs []trace.Request, horizon units.Seconds) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(3, func() {
+		if _, err := Run(cfg, reqs, horizon); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestServeAllocationsDoNotScaleWithRequests pins the hot path's
+// per-request bookkeeping at zero steady-state allocations: a
+// simulation's allocation count is dominated by setup (timer caches,
+// sample buffers, arena warm-up) and must stay essentially flat as the
+// trace grows — before the allocation-free rework, every request cost
+// hundreds of allocations (event nodes, closures, per-step slices), so
+// a 4× trace meant roughly 4× the allocations.
+func TestServeAllocationsDoNotScaleWithRequests(t *testing.T) {
+	for _, pol := range SchedulerPolicies() {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Scheduler = pol
+			gen := trace.CodingWorkload(1.0, 7)
+			short, err := gen.Generate(100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			long, err := gen.Generate(400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(long) < 3*len(short) {
+				t.Fatalf("premise: long trace (%d) not ≥3× short trace (%d)", len(long), len(short))
+			}
+			aShort := allocsForTrace(t, cfg, short, 200)
+			aLong := allocsForTrace(t, cfg, long, 500)
+			extraReqs := len(long) - len(short)
+			// The long run simulates hundreds of extra requests (and tens
+			// of thousands of extra tokens, i.e. thousands of extra decode
+			// steps). Allow a fixed budget for config-bounded growth —
+			// timer-cache entries at batch sizes the short run never
+			// reached (≤ MaxDecodeBatch), deeper queues, arena chunks —
+			// but nothing anywhere near per-request or per-step scale:
+			// before the allocation-free rework this difference was
+			// ~300 allocations per request.
+			extra := aLong - aShort
+			if extra > 160 || extra > 0.5*float64(extraReqs) {
+				t.Errorf("%s: simulating %d extra requests cost %.0f extra allocations (short %.0f, long %.0f); steady state must not allocate per request",
+					pol, extraReqs, extra, aShort, aLong)
+			}
+		})
+	}
+}

@@ -172,6 +172,23 @@ func RunCluster(cc ClusterConfig, reqs []trace.Request, horizon units.Seconds) (
 	return sim.run(reqs), nil
 }
 
+// RunClusterFrom is RunCluster over a lazy request source: arrivals are
+// pulled from src on demand (in nondecreasing arrival order), so the
+// simulation holds only the in-flight working set — a million-request
+// horizon runs in O(in-flight) memory instead of materializing the
+// trace. For the same request sequence it produces byte-identical
+// ClusterMetrics to RunCluster.
+func RunClusterFrom(cc ClusterConfig, src RequestSource, horizon units.Seconds) (ClusterMetrics, error) {
+	if err := cc.Validate(); err != nil {
+		return ClusterMetrics{}, err
+	}
+	sim, err := newClusterSim(cc, float64(horizon))
+	if err != nil {
+		return ClusterMetrics{}, err
+	}
+	return sim.runFrom(src), nil
+}
+
 func ratio(num, den int) float64 {
 	if den <= 0 {
 		return 0

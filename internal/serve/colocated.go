@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"litegpu/internal/inference"
+	"litegpu/internal/sim"
 	"litegpu/internal/trace"
 )
 
@@ -20,9 +21,10 @@ const defaultPrefillChunk = 512
 type colocEngine struct {
 	instanceState
 	// active holds generations being decoded; pending holds admitted
-	// requests whose prompts are not fully prefilled yet.
+	// requests whose prompts are not fully prefilled yet. Both reuse
+	// their storage across iterations.
 	active  []*activeReq
-	pending []*activeReq
+	pending deque[*activeReq]
 
 	// One in-flight step: its end time, its prefill/decode second
 	// split (for busy accounting and failure un-counting), how many
@@ -58,8 +60,14 @@ type colocSched struct {
 	perGPUs   int
 
 	engines []colocEngine
-	q       []*activeReq
+	q       deque[*activeReq]
 	cap     int // max active+pending per instance (KV-limited)
+
+	stepDoneH sim.Handler
+
+	// Scratch buffers for timer queries, reused across iterations.
+	one        [1]trace.Request
+	reqScratch []trace.Request
 
 	prefillTime func([]trace.Request) float64
 	decodeTime  func(int) float64
@@ -87,7 +95,7 @@ func newColocSched(cs *clusterSim, pool *poolSim) (*colocSched, error) {
 	if chunk <= 0 {
 		chunk = defaultPrefillChunk
 	}
-	return &colocSched{
+	c := &colocSched{
 		cs:          cs,
 		pool:        pool,
 		cfg:         cfg,
@@ -100,7 +108,9 @@ func newColocSched(cs *clusterSim, pool *poolSim) (*colocSched, error) {
 		prefillTime: newPrefillTimer(cfg, opts, g),
 		decodeTime:  newDecodeTimer(cfg, opts, g),
 		chunkTime:   newChunkTimer(cfg, opts, g),
-	}, nil
+	}
+	c.stepDoneH = c.onStepDone
+	return c, nil
 }
 
 func (c *colocSched) numInstances() int           { return len(c.engines) }
@@ -119,13 +129,15 @@ func (c *colocSched) shape() phaseShape {
 }
 
 func (c *colocSched) enqueue(r trace.Request) {
-	c.q = append(c.q, &activeReq{req: r, remaining: r.OutputTokens, promptLeft: r.PromptTokens})
+	a := c.pool.newActive(r)
+	a.promptLeft = r.PromptTokens
+	c.q.PushBack(a)
 }
 
 func (c *colocSched) outstanding() int {
-	outstanding := len(c.q)
+	outstanding := c.q.Len()
 	for i := range c.engines {
-		outstanding += len(c.engines[i].active) + len(c.engines[i].pending)
+		outstanding += len(c.engines[i].active) + c.engines[i].pending.Len()
 	}
 	return outstanding
 }
@@ -155,16 +167,20 @@ func (c *colocSched) dispatch(now float64) {
 // footprint can never fit even alone are dropped here, mirroring the
 // static policy's oversized-prompt drop.
 func (c *colocSched) admit(e *colocEngine, now float64) {
-	for len(e.active)+len(e.pending) < c.cap && len(c.q) > 0 {
-		a := c.q[0]
-		if a.promptLeft > 0 && math.IsInf(c.prefillTime([]trace.Request{a.req}), 1) {
-			c.q = c.q[1:]
-			c.pool.m.Dropped++
-			continue
-		}
-		c.q = c.q[1:]
+	for len(e.active)+e.pending.Len() < c.cap && c.q.Len() > 0 {
+		a := c.q.At(0)
 		if a.promptLeft > 0 {
-			e.pending = append(e.pending, a)
+			c.one[0] = a.req
+			if math.IsInf(c.prefillTime(c.one[:]), 1) {
+				c.q.PopFront()
+				c.pool.m.Dropped++
+				c.pool.freeActive(a)
+				continue
+			}
+		}
+		c.q.PopFront()
+		if a.promptLeft > 0 {
+			e.pending.PushBack(a)
 			continue
 		}
 		// A requeued request that already finished prefill rejoins the
@@ -187,8 +203,8 @@ func (c *colocSched) startStep(j int, now float64) {
 	var pDt, dDt float64
 	nPrefill, chunkTokens := 0, 0
 	if c.chunked {
-		if len(e.pending) > 0 {
-			head := e.pending[0]
+		if e.pending.Len() > 0 {
+			head := e.pending.At(0)
 			chunkTokens = c.chunk
 			if chunkTokens > head.promptLeft {
 				chunkTokens = head.promptLeft
@@ -199,17 +215,22 @@ func (c *colocSched) startStep(j int, now float64) {
 		if len(e.active) > 0 {
 			dDt = c.decodeTime(len(e.active))
 		}
-	} else if len(e.pending) > 0 {
+	} else if e.pending.Len() > 0 {
 		n := c.cfg.MaxPrefillBatch
-		if n > len(e.pending) {
-			n = len(e.pending)
+		if n > e.pending.Len() {
+			n = e.pending.Len()
 		}
-		// Shrink the pass until its combined KV footprint fits, as the
-		// static prefill engines do; admit() already dropped prompts
-		// that cannot fit alone, so n ≥ 1 always succeeds.
+		// Stage the pass in the reusable request scratch, then shrink it
+		// until its combined KV footprint fits, as the static prefill
+		// engines do; admit() already dropped prompts that cannot fit
+		// alone, so n ≥ 1 always succeeds.
+		c.reqScratch = c.reqScratch[:0]
+		for i := 0; i < n; i++ {
+			c.reqScratch = append(c.reqScratch, e.pending.At(i).req)
+		}
 		pDt = math.Inf(1)
 		for ; n >= 1; n-- {
-			if pDt = c.prefillTime(pendingReqs(e.pending[:n])); !math.IsInf(pDt, 1) {
+			if pDt = c.prefillTime(c.reqScratch[:n]); !math.IsInf(pDt, 1) {
 				break
 			}
 		}
@@ -234,37 +255,42 @@ func (c *colocSched) startStep(j int, now float64) {
 	if dDt == 0 {
 		prio = prioPrefill + e.prio
 	}
-	e.doneEv = c.cs.eng.Schedule(e.stepEnd, prio, func(t float64) {
-		c.completeStep(j, t)
-	})
+	e.doneEv = c.cs.eng.ScheduleCall(e.stepEnd, prio, c.stepDoneH, uint64(j))
+}
+
+func (c *colocSched) onStepDone(now float64, arg uint64) {
+	c.completeStep(int(arg), now)
 }
 
 func (c *colocSched) completeStep(j int, now float64) {
 	e := &c.engines[j]
 	e.doneEv = 0
 	if e.stepDec > 0 {
-		var still []*activeReq
+		w := 0
 		for _, a := range e.active {
 			if !c.pool.emitToken(a, now) {
-				still = append(still, a)
+				e.active[w] = a
+				w++
+			} else {
+				c.pool.freeActive(a)
 			}
 		}
-		e.active = still
+		clearTail(e.active, w)
+		e.active = e.active[:w]
 	}
 	if e.stepPrefill > 0 {
 		if c.chunked {
-			head := e.pending[0]
+			head := e.pending.At(0)
 			head.promptLeft -= e.stepChunk
 			if head.promptLeft <= 0 {
 				head.promptLeft = 0
-				e.pending = e.pending[1:]
+				e.pending.PopFront()
 				c.finishPrefill(head, now)
 				e.active = append(e.active, head)
 			}
 		} else {
-			done := e.pending[:e.stepPrefill]
-			e.pending = e.pending[e.stepPrefill:]
-			for _, a := range done {
+			for k := 0; k < e.stepPrefill; k++ {
+				a := e.pending.PopFront()
 				a.promptLeft = 0
 				c.finishPrefill(a, now)
 				e.active = append(e.active, a)
@@ -305,31 +331,38 @@ func (c *colocSched) fail(id int, now float64, drop bool) {
 		e.stepEnd, e.stepPfx, e.stepDec = 0, 0, 0
 		e.stepPrefill, e.stepChunk = 0, 0
 	}
-	n := len(e.pending) + len(e.active)
+	n := e.pending.Len() + len(e.active)
 	if n == 0 {
 		return
 	}
 	if drop {
 		c.pool.m.DroppedOnFailure += n
+		for e.pending.Len() > 0 {
+			c.pool.freeActive(e.pending.PopFront())
+		}
+		for _, a := range e.active {
+			c.pool.freeActive(a)
+		}
 	} else {
 		c.pool.m.Requeued += n
-		requeued := append(append([]*activeReq(nil), e.pending...), e.active...)
-		c.q = append(requeued, c.q...)
+		// Requeue ahead of the waiting queue, preserving [pending...,
+		// active..., old queue...] order: push active first, then
+		// pending, each back-to-front.
+		for i := len(e.active) - 1; i >= 0; i-- {
+			c.q.PushFront(e.active[i])
+		}
+		for i := e.pending.Len() - 1; i >= 0; i-- {
+			c.q.PushFront(e.pending.At(i))
+		}
+		e.pending.DiscardFront(e.pending.Len())
 	}
-	e.pending, e.active = nil, nil
+	clearTail(e.active, 0)
+	e.active = e.active[:0]
 }
 
 func (c *colocSched) recovered(int, float64) {
 	// Nothing instance-local to restore: an idle engine (stepEnd 0)
 	// picks up work at the dispatch pass that follows recovery.
-}
-
-func pendingReqs(pending []*activeReq) []trace.Request {
-	reqs := make([]trace.Request, len(pending))
-	for i, a := range pending {
-		reqs[i] = a.req
-	}
-	return reqs
 }
 
 // newChunkTimer returns a memoized chunk-prefill duration function:

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -62,11 +63,18 @@ type instanceState struct {
 	doneEv  sim.EventID
 }
 
+// activeChunk is the allocation unit of the activeReq freelist: live
+// request state is recycled through per-pool free lists, so at steady
+// state the in-flight working set cycles through a fixed arena instead
+// of allocating per request.
+const activeChunk = 64
+
 // poolSim is one serving pool's live state: its scheduler, its spare
 // shelf, and its metric accumulators. The scheduling discipline itself
 // lives behind the scheduler interface.
 type poolSim struct {
 	name   string
+	idx    int // position in clusterSim.pools, for handler args
 	cfg    Config
 	spares int
 	sched  scheduler
@@ -82,6 +90,10 @@ type poolSim struct {
 	spareFree int
 	waiting   []int
 
+	// freeReqs recycles activeReq state: completed (or dropped)
+	// requests return here and are reused for later arrivals.
+	freeReqs []*activeReq
+
 	m          Metrics
 	goodTokens int
 	ttfts      []float64
@@ -89,6 +101,27 @@ type poolSim struct {
 	e2es       []float64
 	ttftOK     int
 	tbtOK      int
+}
+
+// newActive returns a zeroed activeReq for r from the pool's free list,
+// topping the list up with a fresh arena chunk when it runs dry.
+func (p *poolSim) newActive(r trace.Request) *activeReq {
+	if len(p.freeReqs) == 0 {
+		chunk := make([]activeReq, activeChunk)
+		for i := range chunk {
+			p.freeReqs = append(p.freeReqs, &chunk[i])
+		}
+	}
+	a := p.freeReqs[len(p.freeReqs)-1]
+	p.freeReqs = p.freeReqs[:len(p.freeReqs)-1]
+	*a = activeReq{req: r, remaining: r.OutputTokens}
+	return a
+}
+
+// freeActive returns a no-longer-referenced activeReq to the free list.
+// Callers guarantee no queue, batch, or engine still points at it.
+func (p *poolSim) freeActive(a *activeReq) {
+	p.freeReqs = append(p.freeReqs, a)
 }
 
 // recordTTFT appends one time-to-first-token sample and its SLO check.
@@ -130,6 +163,31 @@ func (p *poolSim) emitToken(a *activeReq, now float64) bool {
 	return true
 }
 
+// RequestSource yields a request stream in nondecreasing arrival order,
+// one request at a time. trace.Stream implements it for synthetic
+// workloads generated on demand; materialized []trace.Request slices
+// are adapted internally. The simulator holds only the in-flight
+// working set, so a million-request horizon needs O(in-flight) memory,
+// not O(trace).
+type RequestSource interface {
+	Next() (trace.Request, bool)
+}
+
+// sliceSource adapts a sorted materialized trace to RequestSource.
+type sliceSource struct {
+	reqs []trace.Request
+	i    int
+}
+
+func (s *sliceSource) Next() (trace.Request, bool) {
+	if s.i >= len(s.reqs) {
+		return trace.Request{}, false
+	}
+	r := s.reqs[s.i]
+	s.i++
+	return r, true
+}
+
 type clusterSim struct {
 	eng   *sim.Engine
 	cc    ClusterConfig
@@ -139,9 +197,27 @@ type clusterSim struct {
 	rrNext          int
 	dispatchPending bool
 
+	// Arrival chain state: the one pending arrival pulled from src but
+	// not yet fired. Handlers are bound once here so the hot path
+	// schedules without allocating closures; per-event context rides in
+	// the ScheduleCall arg word (pool index << 32 | instance id).
+	src     RequestSource
+	nextReq trace.Request
+
+	arriveH   sim.Handler
+	dispatchH sim.Handler
+	failH     sim.Handler
+	repairH   sim.Handler
+	recoverH  sim.Handler
+
 	failMTTR     float64
 	failRecovery float64
 }
+
+// packArg encodes a (pool, instance) pair into a ScheduleCall arg word.
+func packArg(pool, id int) uint64 { return uint64(pool)<<32 | uint64(uint32(id)) }
+
+func unpackArg(arg uint64) (pool, id int) { return int(arg >> 32), int(uint32(arg)) }
 
 func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
 	s := &clusterSim{
@@ -149,6 +225,11 @@ func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
 		cc:  cc,
 		h:   horizon,
 	}
+	s.arriveH = s.arrive
+	s.dispatchH = s.dispatch
+	s.failH = s.onFail
+	s.repairH = s.onRepair
+	s.recoverH = s.onRecover
 	fp := cc.Failures.params()
 	scale := cc.Failures.timeScale()
 	s.failMTTR = float64(fp.MTTR)
@@ -167,6 +248,7 @@ func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
 		}
 		p := &poolSim{
 			name:        name,
+			idx:         pi,
 			cfg:         cfg,
 			spares:      spares,
 			spareFree:   spares,
@@ -209,27 +291,50 @@ func (s *clusterSim) initFailure(st *instanceState, rate float64, globalIdx int)
 	st.rate = rate
 }
 
-// run executes the simulation over the request stream and assembles the
-// metrics.
-func (s *clusterSim) run(reqs []trace.Request) ClusterMetrics {
-	// Identical sort to the pre-sim loop (including tie order).
-	sorted := append([]trace.Request(nil), reqs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
-
-	// Arrival chain: one pending arrival event at a time keeps the
-	// calendar small on long traces.
-	idx := 0
-	var arrive func(now float64)
-	arrive = func(now float64) {
-		s.route(sorted[idx], now)
-		idx++
-		if idx < len(sorted) {
-			s.eng.Schedule(float64(sorted[idx].Arrival), prioArrival, arrive)
+// sortedByArrival reports whether the trace is already in nondecreasing
+// arrival order — true for every stream trace.Generate produces, which
+// lets run share the caller's slice instead of copying and re-sorting
+// it per simulation.
+func sortedByArrival(reqs []trace.Request) bool {
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			return false
 		}
-		s.requestDispatch(now)
 	}
-	if len(sorted) > 0 {
-		s.eng.Schedule(float64(sorted[0].Arrival), prioArrival, arrive)
+	return true
+}
+
+// run executes the simulation over a materialized request stream and
+// assembles the metrics. The trace is shared, not copied: an already
+// sorted slice (the common case — generators emit arrivals in time
+// order) is used as-is across all pools and, in the planner, across
+// every candidate simulation.
+func (s *clusterSim) run(reqs []trace.Request) ClusterMetrics {
+	sorted := reqs
+	if !sortedByArrival(reqs) {
+		// Identical sort to the pre-sim loop (including tie order).
+		sorted = append([]trace.Request(nil), reqs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+	}
+	// The trace length is known up front: size each pool's latency
+	// sample buffers once so recording never reallocates mid-run.
+	if len(s.pools) == 1 {
+		p := s.pools[0]
+		n := len(sorted)
+		p.ttfts = make([]float64, 0, n)
+		p.tbts = make([]float64, 0, n)
+		p.e2es = make([]float64, 0, n)
+	}
+	return s.runFrom(&sliceSource{reqs: sorted})
+}
+
+// runFrom executes the simulation pulling arrivals from src on demand
+// and assembles the metrics. Only the in-flight working set is held in
+// memory.
+func (s *clusterSim) runFrom(src RequestSource) ClusterMetrics {
+	s.src = src
+	if r, ok := src.Next(); ok {
+		s.scheduleArrival(r)
 	}
 
 	// Failure processes.
@@ -243,6 +348,31 @@ func (s *clusterSim) run(reqs []trace.Request) ClusterMetrics {
 
 	s.eng.Run(s.h)
 	return s.assemble()
+}
+
+// scheduleArrival books the next pulled request's arrival event,
+// rejecting a source that violates the RequestSource ordering contract
+// with a diagnosable error instead of a bare engine panic.
+func (s *clusterSim) scheduleArrival(r trace.Request) {
+	at := float64(r.Arrival)
+	if at < s.eng.Now() || math.IsNaN(at) {
+		panic(fmt.Sprintf(
+			"serve: RequestSource yielded request %d arriving at %v after the clock reached %v; sources must yield nondecreasing, finite arrival times",
+			r.ID, r.Arrival, s.eng.Now()))
+	}
+	s.nextReq = r
+	s.eng.ScheduleCall(at, prioArrival, s.arriveH, 0)
+}
+
+// arrive fires one arrival: route it, pull the next request from the
+// source, and keep exactly one pending arrival event in the calendar so
+// long traces never materialize there.
+func (s *clusterSim) arrive(now float64, _ uint64) {
+	s.route(s.nextReq, now)
+	if r, ok := s.src.Next(); ok {
+		s.scheduleArrival(r)
+	}
+	s.requestDispatch(now)
 }
 
 // route assigns an arriving request to a pool.
@@ -282,13 +412,13 @@ func (s *clusterSim) requestDispatch(now float64) {
 		return
 	}
 	s.dispatchPending = true
-	s.eng.Schedule(now, prioDispatch, s.dispatch)
+	s.eng.ScheduleCall(now, prioDispatch, s.dispatchH, 0)
 }
 
 // dispatch hands freed or newly queued work to idle engines across all
 // pools — the same pass the pre-sim loop ran at the end of every event
 // time.
-func (s *clusterSim) dispatch(now float64) {
+func (s *clusterSim) dispatch(now float64, _ uint64) {
 	s.dispatchPending = false
 	for _, p := range s.pools {
 		p.sched.dispatch(now)
@@ -306,9 +436,22 @@ func (s *clusterSim) scheduleFailure(p *poolSim, id int, now float64) {
 	if math.IsInf(at, 1) {
 		return
 	}
-	s.eng.Schedule(at, prioFailure+st.prio, func(t float64) {
-		s.failInstance(p, id, t)
-	})
+	s.eng.ScheduleCall(at, prioFailure+st.prio, s.failH, packArg(p.idx, id))
+}
+
+func (s *clusterSim) onFail(now float64, arg uint64) {
+	pi, id := unpackArg(arg)
+	s.failInstance(s.pools[pi], id, now)
+}
+
+func (s *clusterSim) onRepair(now float64, arg uint64) {
+	pi, _ := unpackArg(arg)
+	s.repairDone(s.pools[pi], now)
+}
+
+func (s *clusterSim) onRecover(now float64, arg uint64) {
+	pi, id := unpackArg(arg)
+	s.recoverInstance(s.pools[pi], id, now)
 }
 
 // failInstance downs an instance: one of its GPUs died and rigid
@@ -333,9 +476,7 @@ func (s *clusterSim) failInstance(p *poolSim, id int, now float64) {
 
 	// The dead unit goes to the repair shop and returns to the spare
 	// shelf after MTTR.
-	s.eng.Schedule(now+s.failMTTR, prioFailure+st.prio, func(t float64) {
-		s.repairDone(p, t)
-	})
+	s.eng.ScheduleCall(now+s.failMTTR, prioFailure+st.prio, s.repairH, packArg(p.idx, id))
 	// A free spare takes over after the recovery interruption; otherwise
 	// the instance queues for the next repaired unit.
 	if p.spareFree > 0 {
@@ -361,9 +502,7 @@ func (s *clusterSim) repairDone(p *poolSim, now float64) {
 
 func (s *clusterSim) scheduleRecovery(p *poolSim, id int, now float64) {
 	st := p.sched.state(id)
-	s.eng.Schedule(now+s.failRecovery, prioFailure+st.prio, func(t float64) {
-		s.recoverInstance(p, id, t)
-	})
+	s.eng.ScheduleCall(now+s.failRecovery, prioFailure+st.prio, s.recoverH, packArg(p.idx, id))
 }
 
 func (s *clusterSim) recoverInstance(p *poolSim, id int, now float64) {
@@ -391,6 +530,19 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		blastLoss               float64
 		goodTokens              int
 	)
+	if len(s.pools) > 1 {
+		// Preallocate the cross-pool sample unions; the single-pool case
+		// below aliases the pool's samples instead.
+		var nt, nb, ne int
+		for _, p := range s.pools {
+			nt += len(p.ttfts)
+			nb += len(p.tbts)
+			ne += len(p.e2es)
+		}
+		allTTFT = make([]float64, 0, nt)
+		allTBT = make([]float64, 0, nb)
+		allE2E = make([]float64, 0, ne)
+	}
 	for _, p := range s.pools {
 		m := &p.m
 		m.TTFT = mathx.Summarize(p.ttfts)
@@ -443,9 +595,13 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		cm.Total.FailureEvents += m.FailureEvents
 		cm.Total.Requeued += m.Requeued
 		cm.Total.DroppedOnFailure += m.DroppedOnFailure
-		allTTFT = append(allTTFT, p.ttfts...)
-		allTBT = append(allTBT, p.tbts...)
-		allE2E = append(allE2E, p.e2es...)
+		if len(s.pools) == 1 {
+			allTTFT, allTBT, allE2E = p.ttfts, p.tbts, p.e2es
+		} else {
+			allTTFT = append(allTTFT, p.ttfts...)
+			allTBT = append(allTBT, p.tbts...)
+			allE2E = append(allE2E, p.e2es...)
+		}
 		ttftOK += p.ttftOK
 		tbtOK += p.tbtOK
 		// Weight busy time by the GPUs behind it so the aggregate stays
@@ -470,9 +626,16 @@ func (s *clusterSim) assemble() ClusterMetrics {
 	}
 
 	t := &cm.Total
-	t.TTFT = mathx.Summarize(allTTFT)
-	t.TBT = mathx.Summarize(allTBT)
-	t.E2E = mathx.Summarize(allE2E)
+	if len(s.pools) == 1 {
+		// One pool: the union IS the pool's sample; reuse its summaries
+		// instead of re-sorting the same data.
+		m := &cm.Pools[0].Metrics
+		t.TTFT, t.TBT, t.E2E = m.TTFT, m.TBT, m.E2E
+	} else {
+		t.TTFT = mathx.Summarize(allTTFT)
+		t.TBT = mathx.Summarize(allTBT)
+		t.E2E = mathx.Summarize(allE2E)
+	}
 	t.TTFTAttainmentCompleted = ratio(ttftOK, len(allTTFT))
 	t.TTFTAttainment = ratio(ttftOK, t.Arrived-t.Dropped)
 	t.TBTAttainment = ratio(tbtOK, len(allTBT))

@@ -87,10 +87,10 @@ func goldenScenarios() []goldenScenario {
 
 // goldenReport renders every scenario's full ClusterMetrics in hex-float
 // form: one block per scenario, one line per pool plus the aggregate.
-func goldenReport(t *testing.T) string {
+func goldenReport(t *testing.T, scenarios []goldenScenario) string {
 	t.Helper()
 	var b strings.Builder
-	for _, sc := range goldenScenarios() {
+	for _, sc := range scenarios {
 		gen := trace.CodingWorkload(sc.rate, sc.seed)
 		if sc.conv {
 			gen = trace.ConversationWorkload(sc.rate, sc.seed)
@@ -120,18 +120,24 @@ func goldenReport(t *testing.T) string {
 //
 //	LITEGPU_UPDATE_GOLDENS=1 go test ./internal/serve -run Golden
 func TestStaticSchedulerMatchesPreRefactorGoldens(t *testing.T) {
-	got := goldenReport(t)
+	compareGoldens(t, goldenFile, goldenReport(t, goldenScenarios()))
+}
+
+// compareGoldens checks (or, under LITEGPU_UPDATE_GOLDENS, rewrites) one
+// golden corpus file against the freshly rendered report.
+func compareGoldens(t *testing.T, file, got string) {
+	t.Helper()
 	if os.Getenv("LITEGPU_UPDATE_GOLDENS") != "" {
-		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(file), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenFile, []byte(got), 0o644); err != nil {
+		if err := os.WriteFile(file, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("updated %s (%d bytes)", goldenFile, len(got))
+		t.Logf("updated %s (%d bytes)", file, len(got))
 		return
 	}
-	want, err := os.ReadFile(goldenFile)
+	want, err := os.ReadFile(file)
 	if err != nil {
 		t.Fatalf("missing golden corpus (run with LITEGPU_UPDATE_GOLDENS=1 to capture): %v", err)
 	}
@@ -140,10 +146,10 @@ func TestStaticSchedulerMatchesPreRefactorGoldens(t *testing.T) {
 		wantLines := strings.Split(string(want), "\n")
 		for i := range gotLines {
 			if i >= len(wantLines) || gotLines[i] != wantLines[i] {
-				t.Fatalf("static scheduler diverged from pre-refactor goldens at line %d:\n got: %s\nwant: %s",
-					i+1, gotLines[i], wantLines[min(i, len(wantLines)-1)])
+				t.Fatalf("simulator diverged from %s at line %d:\n got: %s\nwant: %s",
+					file, i+1, gotLines[i], wantLines[min(i, len(wantLines)-1)])
 			}
 		}
-		t.Fatalf("static scheduler diverged from pre-refactor goldens (length %d vs %d)", len(got), len(want))
+		t.Fatalf("simulator diverged from %s (length %d vs %d)", file, len(got), len(want))
 	}
 }

@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"litegpu/internal/failure"
 	"litegpu/internal/hw"
 	"litegpu/internal/inference"
 	"litegpu/internal/model"
 	"litegpu/internal/network"
+	"litegpu/internal/sweep"
 	"litegpu/internal/tco"
 	"litegpu/internal/trace"
 	"litegpu/internal/units"
@@ -108,6 +111,14 @@ type PlanRequest struct {
 	Failures FailureConfig
 	// MaxSpares caps the spare search (default 16).
 	MaxSpares int
+
+	// Workers caps the planner's worker pool (0 = GOMAXPROCS, 1 =
+	// sequential). Candidate policies are sized concurrently, and within
+	// each policy the doubling phase probes up to Workers ladder points
+	// speculatively per round. The chosen plan is byte-identical at any
+	// worker count: speculation only changes how many candidates are
+	// simulated, never which one is selected.
+	Workers int
 }
 
 // Plan is a feasible deployment returned by PlanCapacity.
@@ -193,23 +204,46 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	}
 	simHorizon := req.Horizon + req.Drain
 
+	// Candidate policies are sized concurrently over the shared worker
+	// pool; an infeasible policy is a per-policy outcome, not a search
+	// failure, so errors ride inside the result instead of cancelling
+	// sibling policies. Selection stays sequential in policy order —
+	// the cheapest feasible plan wins, first-listed policy on ties —
+	// so the answer is byte-identical at any worker count.
 	policies := req.Schedulers
 	if len(policies) == 0 {
 		policies = []SchedulerPolicy{req.Scheduler}
 	}
+	// Split the worker budget between the two nesting levels so total
+	// concurrency stays ~Workers: polWorkers policies in flight, each
+	// probing waveWorkers ladder points per doubling round.
+	workers := planWorkers(req)
+	polWorkers := min(workers, len(policies))
+	waveWorkers := max(1, workers/polWorkers)
+	type polOutcome struct {
+		plan Plan
+		err  error
+	}
+	outcomes, err := sweep.RunN(context.Background(), polWorkers, policies,
+		func(_ context.Context, _ int, pol SchedulerPolicy) (polOutcome, error) {
+			plan, perr := planPolicy(req, slo, pol, reqs, simHorizon, waveWorkers)
+			return polOutcome{plan: plan, err: perr}, nil
+		})
+	if err != nil {
+		return Plan{}, err
+	}
 	var best Plan
 	var bestOK bool
 	var firstErr error
-	for _, pol := range policies {
-		plan, err := planPolicy(req, slo, pol, reqs, simHorizon)
-		if err != nil {
+	for _, o := range outcomes {
+		if o.err != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = o.err
 			}
 			continue
 		}
-		if !bestOK || plan.Cost.CostPerMTokens < best.Cost.CostPerMTokens {
-			best = plan
+		if !bestOK || o.plan.Cost.CostPerMTokens < best.Cost.CostPerMTokens {
+			best = o.plan
 			bestOK = true
 		}
 	}
@@ -219,8 +253,18 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	return best, nil
 }
 
-// planPolicy sizes one scheduling policy's cheapest feasible deployment.
-func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, reqs []trace.Request, simHorizon units.Seconds) (Plan, error) {
+// planWorkers resolves the planner's worker-pool size.
+func planWorkers(req PlanRequest) int {
+	if req.Workers > 0 {
+		return req.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// planPolicy sizes one scheduling policy's cheapest feasible
+// deployment, probing up to waveWorkers doubling-ladder points
+// concurrently.
+func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, reqs []trace.Request, simHorizon units.Seconds, waveWorkers int) (Plan, error) {
 	baseCfg := Config{
 		GPU: req.GPU, Model: req.Model, Opts: req.Opts,
 		Scheduler:    pol,
@@ -231,19 +275,15 @@ func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, reqs []trace.Requ
 	// Colocated policies derive InstanceGPUs = max(PrefillGPUs,
 	// DecodeGPUs) from baseCfg (an instance must fit both phases).
 
-	// attempt memoizes on the pool sizes: the growth phase, the
-	// bisections, and the final joint check can revisit a point, and
-	// every evaluation is a full discrete-event simulation of the whole
-	// request stream.
+	// evalPoint runs one candidate deployment — a full discrete-event
+	// simulation of the whole request stream — and grades it against the
+	// SLO. It is pure (no shared state), so the doubling phase can probe
+	// several points concurrently.
 	type attemptResult struct {
 		m  Metrics
 		ok bool
 	}
-	tried := make(map[[2]int]attemptResult)
-	attempt := func(p, d int) (Metrics, bool, error) {
-		if r, seen := tried[[2]int{p, d}]; seen {
-			return r.m, r.ok, nil
-		}
+	evalPoint := func(p, d int) (attemptResult, error) {
 		cfg := baseCfg
 		if pol.Colocated() {
 			cfg.Instances = p
@@ -252,41 +292,91 @@ func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, reqs []trace.Requ
 		}
 		m, err := planSim(cfg, req, 0, reqs, simHorizon)
 		if err != nil {
-			return Metrics{}, false, err
+			return attemptResult{}, err
 		}
 		ok := m.Dropped == 0 &&
 			m.TTFTAttainment >= slo.TTFTAttainment &&
 			m.TBTAttainment >= slo.TBTAttainment &&
 			m.Arrived > 0 &&
 			float64(m.Completed) >= slo.MinCompletion*float64(m.Arrived)
-		tried[[2]int{p, d}] = attemptResult{m: m, ok: ok}
-		return m, ok, nil
+		return attemptResult{m: m, ok: ok}, nil
 	}
 
-	// Grow until feasible. The colocated policies fix d at 1 and only
-	// grow their single instance-count dimension.
-	p, d := 1, 1
-	var m Metrics
-	for {
-		var ok bool
-		var err error
-		m, ok, err = attempt(p, d)
+	// attempt memoizes evalPoint on the pool sizes: the growth phase,
+	// the bisections, and the final joint check can revisit a point.
+	tried := make(map[[2]int]attemptResult)
+	attempt := func(p, d int) (Metrics, bool, error) {
+		if r, seen := tried[[2]int{p, d}]; seen {
+			return r.m, r.ok, nil
+		}
+		r, err := evalPoint(p, d)
+		if err != nil {
+			return Metrics{}, false, err
+		}
+		tried[[2]int{p, d}] = r
+		return r.m, r.ok, nil
+	}
+
+	// Grow until feasible, probing the doubling ladder speculatively:
+	// each round evaluates up to waveWorkers upcoming ladder points
+	// concurrently, then scans them in ladder order — so the point
+	// chosen (the first feasible one) is exactly what the sequential
+	// doubling loop would have picked, at any worker count. The
+	// colocated policies fix d at 1 and only grow their single
+	// instance-count dimension.
+	var ladder [][2]int
+	for v := 1; ; {
+		dd := 1
+		if !pol.Colocated() {
+			dd = v
+		}
+		ladder = append(ladder, [2]int{v, dd})
+		if v >= req.MaxInstances {
+			break
+		}
+		v = min(v*2, req.MaxInstances)
+	}
+	grown := -1
+	for lo := 0; lo < len(ladder) && grown < 0; lo += waveWorkers {
+		hi := min(lo+waveWorkers, len(ladder))
+		wave := ladder[lo:hi]
+		type waveOut struct {
+			r   attemptResult
+			err error
+		}
+		outs, err := sweep.RunN(context.Background(), waveWorkers, wave,
+			func(_ context.Context, _ int, pt [2]int) (waveOut, error) {
+				r, perr := evalPoint(pt[0], pt[1])
+				return waveOut{r: r, err: perr}, nil
+			})
 		if err != nil {
 			return Plan{}, err
 		}
-		if ok {
-			break
-		}
-		if p >= req.MaxInstances && (pol.Colocated() || d >= req.MaxInstances) {
-			return Plan{}, fmt.Errorf(
-				"serve: no deployment within %d instances per pool meets the SLO for %s on %s at %.2f req/s (%s scheduler)",
-				req.MaxInstances, req.Model.Name, req.GPU.Name, req.Workload.Rate, pol)
-		}
-		p = min(p*2, req.MaxInstances)
-		if !pol.Colocated() {
-			d = min(d*2, req.MaxInstances)
+		// Scan in ladder order: an error only surfaces if no smaller
+		// point was feasible — the same point the sequential loop would
+		// have tripped on; errors past the first feasible point belong
+		// to speculative work the sequential loop never ran, and are
+		// discarded. Successful speculative points land in the memo for
+		// the bisections below.
+		for i, o := range outs {
+			if o.err != nil {
+				if grown < 0 {
+					return Plan{}, o.err
+				}
+				continue
+			}
+			tried[wave[i]] = o.r
+			if o.r.ok && grown < 0 {
+				grown = lo + i
+			}
 		}
 	}
+	if grown < 0 {
+		return Plan{}, fmt.Errorf(
+			"serve: no deployment within %d instances per pool meets the SLO for %s on %s at %.2f req/s (%s scheduler)",
+			req.MaxInstances, req.Model.Name, req.GPU.Name, req.Workload.Rate, pol)
+	}
+	p, d := ladder[grown][0], ladder[grown][1]
 
 	// Shrink each dimension down to its minimum (for static: prefill
 	// against the feasible decode pool, then decode against the minimal

@@ -207,3 +207,27 @@ func TestPlanCapacityAvailabilityDeterministic(t *testing.T) {
 		t.Error("repeated availability-aware plans differ")
 	}
 }
+
+func TestPlanCapacityWorkerCountInvariant(t *testing.T) {
+	// The chosen plan must be byte-identical at any worker count:
+	// speculative ladder probes and concurrent policy sizing change how
+	// many candidates are simulated, never which plan is selected.
+	req := planRequest(20)
+	req.Schedulers = SchedulerPolicies()
+	var plans []Plan
+	for _, workers := range []int{1, 3, 8} {
+		r := req
+		r.Workers = workers
+		plan, err := PlanCapacity(r, SLO{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		plans = append(plans, plan)
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Config != plans[0].Config || plans[i].Metrics != plans[0].Metrics ||
+			plans[i].Cost != plans[0].Cost || plans[i].TotalGPUs != plans[0].TotalGPUs {
+			t.Errorf("plan at worker count %d differs from sequential plan", []int{1, 3, 8}[i])
+		}
+	}
+}

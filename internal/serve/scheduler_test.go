@@ -401,7 +401,7 @@ func TestFailureMidChunkNeitherDuplicatesNorLosesChunks(t *testing.T) {
 	// Step the engine until the second chunk pass is in flight.
 	e := &sched.engines[0]
 	for i := 0; i < 100; i++ {
-		if e.stepChunk > 0 && e.pending[0].promptLeft == prompt-512 {
+		if e.stepChunk > 0 && e.pending.At(0).promptLeft == prompt-512 {
 			break
 		}
 		if !s.eng.Step() {
@@ -411,7 +411,7 @@ func TestFailureMidChunkNeitherDuplicatesNorLosesChunks(t *testing.T) {
 	if e.stepChunk == 0 {
 		t.Fatal("never observed an in-flight chunk pass")
 	}
-	head := e.pending[0]
+	head := e.pending.At(0)
 	if head.promptLeft != prompt-512 {
 		t.Fatalf("premise: promptLeft = %d, want %d after one completed chunk", head.promptLeft, prompt-512)
 	}

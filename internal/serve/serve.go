@@ -255,6 +255,26 @@ func RunWithFailures(cfg Config, f FailureConfig, reqs []trace.Request, horizon 
 	return cm.Pools[0].Metrics, nil
 }
 
+// RunFrom is Run over a lazy request source (see RunClusterFrom):
+// arrivals stream in on demand and only the in-flight working set is
+// held, making horizon×rate products with millions of requests
+// practical in constant memory.
+func RunFrom(cfg Config, src RequestSource, horizon units.Seconds) (Metrics, error) {
+	return RunWithFailuresFrom(cfg, FailureConfig{}, src, horizon)
+}
+
+// RunWithFailuresFrom is RunWithFailures over a lazy request source.
+func RunWithFailuresFrom(cfg Config, f FailureConfig, src RequestSource, horizon units.Seconds) (Metrics, error) {
+	cm, err := RunClusterFrom(ClusterConfig{
+		Pools:    []Pool{{Name: cfg.GPU.Name, Config: cfg}},
+		Failures: f,
+	}, src, horizon)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return cm.Pools[0].Metrics, nil
+}
+
 func pickSLO(v units.Seconds, def units.Seconds) units.Seconds {
 	if v > 0 {
 		return v

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"litegpu/internal/inference"
+	"litegpu/internal/sim"
 	"litegpu/internal/trace"
 )
 
@@ -15,6 +16,11 @@ import (
 // interface was extracted from, and reproduces the pre-extraction
 // engine byte-for-byte (pinned by the golden corpus in
 // testdata/static_goldens.txt).
+//
+// All per-iteration storage is reused: queues are ring buffers, each
+// engine's batch buffer survives across passes, and completed request
+// state recycles through the pool's free list — a warm scheduler runs
+// without allocating.
 type staticSched struct {
 	cs   *clusterSim
 	pool *poolSim
@@ -22,8 +28,11 @@ type staticSched struct {
 
 	prefills []prefillEngine
 	decodes  []decodeEngine
-	prefillQ []trace.Request
-	decodeQ  []*activeReq
+	prefillQ deque[trace.Request]
+	decodeQ  deque[*activeReq]
+
+	prefillDoneH sim.Handler
+	decodeDoneH  sim.Handler
 
 	decodeCap   int
 	prefillTime func([]trace.Request) float64
@@ -34,13 +43,13 @@ type prefillEngine struct {
 	instanceState
 	freeAt float64
 	busy   float64
-	batch  []trace.Request
+	batch  []trace.Request // reused across passes; empty when idle
 }
 
 type decodeEngine struct {
 	instanceState
-	active  []*activeReq
-	stepEnd float64 // 0 when idle
+	active  []*activeReq // reused across steps
+	stepEnd float64      // 0 when idle
 	busy    float64
 }
 
@@ -60,7 +69,7 @@ func newStaticSched(cs *clusterSim, pool *poolSim) (*staticSched, error) {
 		return nil, fmt.Errorf("serve: %s does not fit on %d×%s for prefill",
 			cfg.Model.Name, cfg.PrefillGPUs, cfg.GPU.Name)
 	}
-	return &staticSched{
+	sc := &staticSched{
 		cs:          cs,
 		pool:        pool,
 		cfg:         cfg,
@@ -69,7 +78,10 @@ func newStaticSched(cs *clusterSim, pool *poolSim) (*staticSched, error) {
 		decodeCap:   decodeCap,
 		prefillTime: newPrefillTimer(cfg, opts, cfg.PrefillGPUs),
 		decodeTime:  newDecodeTimer(cfg, opts, cfg.DecodeGPUs),
-	}, nil
+	}
+	sc.prefillDoneH = sc.onPrefillDone
+	sc.decodeDoneH = sc.onDecodeDone
+	return sc, nil
 }
 
 func (sc *staticSched) numInstances() int { return len(sc.prefills) + len(sc.decodes) }
@@ -100,11 +112,11 @@ func (sc *staticSched) totalGPUs() int {
 }
 
 func (sc *staticSched) enqueue(r trace.Request) {
-	sc.prefillQ = append(sc.prefillQ, r)
+	sc.prefillQ.PushBack(r)
 }
 
 func (sc *staticSched) outstanding() int {
-	outstanding := len(sc.prefillQ) + len(sc.decodeQ)
+	outstanding := sc.prefillQ.Len() + sc.decodeQ.Len()
 	for i := range sc.prefills {
 		outstanding += len(sc.prefills[i].batch)
 	}
@@ -140,38 +152,41 @@ func (sc *staticSched) dispatchPrefill(now float64) {
 		if !e.up {
 			continue
 		}
-		for e.freeAt <= now && len(sc.prefillQ) > 0 {
+		for e.freeAt <= now && sc.prefillQ.Len() > 0 {
 			n := sc.cfg.MaxPrefillBatch
-			if n > len(sc.prefillQ) {
-				n = len(sc.prefillQ)
+			if n > sc.prefillQ.Len() {
+				n = sc.prefillQ.Len()
 			}
-			// Shrink the batch until its KV footprint fits. The pool was
+			// Stage the candidate batch in the engine's reusable buffer,
+			// then shrink it until its KV footprint fits. The pool was
 			// validated to fit the model at the nominal prompt length,
 			// but an individual oversized prompt can still exceed
 			// capacity alone (n reaches 0): drop it rather than let it
 			// starve at the head of the queue forever.
+			e.batch = sc.prefillQ.CopyPrefix(e.batch[:0], n)
 			dt := math.Inf(1)
 			for ; n >= 1; n-- {
-				if dt = sc.prefillTime(sc.prefillQ[:n]); !math.IsInf(dt, 1) {
+				if dt = sc.prefillTime(e.batch[:n]); !math.IsInf(dt, 1) {
 					break
 				}
 			}
 			if n < 1 {
-				sc.prefillQ = sc.prefillQ[1:]
+				sc.prefillQ.PopFront()
 				sc.pool.m.Dropped++
+				e.batch = e.batch[:0]
 				continue
 			}
-			batch := sc.prefillQ[:n]
-			sc.prefillQ = sc.prefillQ[n:]
-			e.batch = append([]trace.Request(nil), batch...)
+			sc.prefillQ.DiscardFront(n)
+			e.batch = e.batch[:n]
 			e.freeAt = now + dt
 			e.busy += dt
-			i := i
-			e.doneEv = sc.cs.eng.Schedule(e.freeAt, prioPrefill+e.prio, func(t float64) {
-				sc.completePrefill(i, t)
-			})
+			e.doneEv = sc.cs.eng.ScheduleCall(e.freeAt, prioPrefill+e.prio, sc.prefillDoneH, uint64(i))
 		}
 	}
+}
+
+func (sc *staticSched) onPrefillDone(now float64, arg uint64) {
+	sc.completePrefill(int(arg), now)
 }
 
 func (sc *staticSched) completePrefill(i int, now float64) {
@@ -179,18 +194,17 @@ func (sc *staticSched) completePrefill(i int, now float64) {
 	e.doneEv = 0
 	for _, r := range e.batch {
 		sc.pool.recordTTFT(now - float64(r.Arrival))
-		sc.decodeQ = append(sc.decodeQ, &activeReq{req: r, remaining: r.OutputTokens})
+		sc.decodeQ.PushBack(sc.pool.newActive(r))
 	}
-	e.batch = nil
+	e.batch = e.batch[:0]
 	sc.cs.requestDispatch(now)
 }
 
 func (sc *staticSched) startDecodeStep(j int, now float64) {
 	e := &sc.decodes[j]
 	// Admit from the queue up to capacity, then step if non-empty.
-	for len(e.active) < sc.decodeCap && len(sc.decodeQ) > 0 {
-		a := sc.decodeQ[0]
-		sc.decodeQ = sc.decodeQ[1:]
+	for len(e.active) < sc.decodeCap && sc.decodeQ.Len() > 0 {
+		a := sc.decodeQ.PopFront()
 		if !a.admitted {
 			a.admitted = true
 			a.decodeAt = now
@@ -204,21 +218,28 @@ func (sc *staticSched) startDecodeStep(j int, now float64) {
 	dt := sc.decodeTime(len(e.active))
 	e.stepEnd = now + dt
 	e.busy += dt
-	e.doneEv = sc.cs.eng.Schedule(e.stepEnd, prioDecode+e.prio, func(t float64) {
-		sc.completeDecodeStep(j, t)
-	})
+	e.doneEv = sc.cs.eng.ScheduleCall(e.stepEnd, prioDecode+e.prio, sc.decodeDoneH, uint64(j))
+}
+
+func (sc *staticSched) onDecodeDone(now float64, arg uint64) {
+	sc.completeDecodeStep(int(arg), now)
 }
 
 func (sc *staticSched) completeDecodeStep(j int, now float64) {
 	e := &sc.decodes[j]
 	e.doneEv = 0
-	var still []*activeReq
+	// Filter survivors in place; completed requests recycle.
+	w := 0
 	for _, a := range e.active {
 		if !sc.pool.emitToken(a, now) {
-			still = append(still, a)
+			e.active[w] = a
+			w++
+		} else {
+			sc.pool.freeActive(a)
 		}
 	}
-	e.active = still
+	clearTail(e.active, w)
+	e.active = e.active[:w]
 	e.stepEnd = 0
 	sc.cs.requestDispatch(now)
 }
@@ -239,9 +260,11 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 				p.m.DroppedOnFailure += len(e.batch)
 			} else {
 				p.m.Requeued += len(e.batch)
-				sc.prefillQ = append(append([]trace.Request(nil), e.batch...), sc.prefillQ...)
+				for i := len(e.batch) - 1; i >= 0; i-- {
+					sc.prefillQ.PushFront(e.batch[i])
+				}
 			}
-			e.batch = nil
+			e.batch = e.batch[:0]
 		}
 		e.freeAt = now
 	} else {
@@ -253,11 +276,17 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 		if len(e.active) > 0 {
 			if drop {
 				p.m.DroppedOnFailure += len(e.active)
+				for _, a := range e.active {
+					p.freeActive(a)
+				}
 			} else {
 				p.m.Requeued += len(e.active)
-				sc.decodeQ = append(append([]*activeReq(nil), e.active...), sc.decodeQ...)
+				for i := len(e.active) - 1; i >= 0; i-- {
+					sc.decodeQ.PushFront(e.active[i])
+				}
 			}
-			e.active = nil
+			clearTail(e.active, 0)
+			e.active = e.active[:0]
 		}
 	}
 }
@@ -265,5 +294,13 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 func (sc *staticSched) recovered(id int, now float64) {
 	if id < len(sc.prefills) {
 		sc.prefills[id].freeAt = now
+	}
+}
+
+// clearTail nils pointers beyond w so truncated slices do not retain
+// recycled or requeued requests.
+func clearTail(s []*activeReq, w int) {
+	for i := w; i < len(s); i++ {
+		s[i] = nil
 	}
 }

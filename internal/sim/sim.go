@@ -1,9 +1,9 @@
 // Package sim is the deterministic discrete-event core shared by the
-// litegpu simulators: an indexed min-heap event calendar, a simulated
-// clock, typed event scheduling with O(log n) cancellation, and seeded
-// randomness through mathx so every run is byte-identical — including
-// under the parallel sweep, where each grid cell derives its own seed
-// via mathx.DeriveSeed.
+// litegpu simulators: a slab-backed min-heap event calendar, a simulated
+// clock, closure-free typed event scheduling with O(log n) cancellation,
+// and seeded randomness through mathx so every run is byte-identical —
+// including under the parallel sweep, where each grid cell derives its
+// own seed via mathx.DeriveSeed.
 //
 // Determinism is the whole point. Events fire in (time, priority,
 // insertion order) order: priorities give simulators explicit control
@@ -11,6 +11,17 @@
 // dispatch), and the insertion-order tiebreak makes equal-priority ties
 // FIFO rather than heap-arbitrary. No wall clock, no global RNG, no map
 // iteration touches event order.
+//
+// The calendar is allocation-free at steady state. Events live in a
+// reusable slab indexed by a heap of small value entries; scheduling
+// recycles slots through a free list, and cancellation resolves the
+// EventID's (slot, generation) pair directly against the slab — there is
+// no per-event heap node, no closure, and no id map. The hot-path API is
+// ScheduleCall(at, prio, h, arg): simulators bind their handler funcs
+// once at setup and pass per-event context through the arg word, so a
+// warm engine schedules and fires events without touching the Go heap.
+// Schedule(at, prio, fn) remains as a convenience for cold paths and
+// tests; its adapter closure is the only allocation in the package.
 package sim
 
 import (
@@ -20,29 +31,48 @@ import (
 	"litegpu/internal/mathx"
 )
 
-// EventID names a scheduled event for cancellation. The zero EventID is
-// never issued, so it can mark "no event pending".
+// EventID names a scheduled event for cancellation. It packs the
+// event's slab slot with the slot's generation at scheduling time, so a
+// stale id (the event ran, or was cancelled, and the slot moved on)
+// simply fails the generation check. The zero EventID is never issued,
+// so it can mark "no event pending".
 type EventID uint64
 
-// event is one calendar entry. pos is its current index in the heap
-// slice, maintained by the sift operations so Cancel can remove it in
-// O(log n) without a search.
+// Handler is a pre-bound event callback: `now` is the event's firing
+// time (== Engine.Now()) and `arg` is the word passed to ScheduleCall,
+// typically an encoded instance or pool index. Binding handlers once
+// and routing per-event context through arg is what keeps the hot path
+// closure-free.
+type Handler func(now float64, arg uint64)
+
+// event is one slab slot: the callback state of a scheduled (or freed)
+// event. Ordering state lives in the heap entries; pos links back from
+// the slab so Cancel can remove an event in O(log n) without a search.
 type event struct {
+	h   Handler
+	arg uint64
+	gen uint32 // bumped every time the slot is freed
+	pos int32  // current heap index; -1 when free
+}
+
+// heapEnt is one calendar entry: everything the heap ordering needs,
+// kept as a small value so sift operations never chase slab pointers.
+type heapEnt struct {
 	at   float64
-	prio int
-	id   EventID // doubles as the insertion-order tiebreak
-	pos  int
-	fn   func(now float64)
+	seq  uint64 // insertion-order tiebreak
+	prio int32
+	slot int32
 }
 
 // Engine is a discrete-event simulation: a clock plus a calendar of
 // pending events. The zero value is not usable; call New.
 type Engine struct {
-	now    float64
-	nextID EventID
-	heap   []*event
-	byID   map[EventID]*event
-	rng    *mathx.RNG
+	now  float64
+	seq  uint64
+	heap []heapEnt
+	slab []event
+	free []int32
+	rng  *mathx.RNG
 }
 
 // New returns an engine at time zero whose RNG is seeded with seed.
@@ -51,10 +81,7 @@ type Engine struct {
 // across components, so adding draws in one component cannot perturb
 // another.
 func New(seed uint64) *Engine {
-	return &Engine{
-		byID: make(map[EventID]*event),
-		rng:  mathx.NewRNG(seed),
-	}
+	return &Engine{rng: mathx.NewRNG(seed)}
 }
 
 // Now returns the current simulated time in seconds.
@@ -74,26 +101,46 @@ func (e *Engine) Next() (at float64, ok bool) {
 	return e.heap[0].at, true
 }
 
-// Schedule books fn to run at absolute time `at` with the given
+// ScheduleCall books h(at, arg) at absolute time `at` with the given
 // priority. Among events at the same time, lower priority runs first;
 // equal priorities run in scheduling order. Scheduling in the past (or a
 // non-finite time) panics — it is always a simulator bug, and silently
 // clamping it would corrupt causality.
-func (e *Engine) Schedule(at float64, prio int, fn func(now float64)) EventID {
+//
+// This is the allocation-free hot path: h should be a handler bound
+// once at simulator setup (a stored method value), with per-event
+// context packed into arg.
+func (e *Engine) ScheduleCall(at float64, prio int, h Handler, arg uint64) EventID {
 	if math.IsNaN(at) || math.IsInf(at, -1) || at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
 	}
-	e.nextID++
-	ev := &event{at: at, prio: prio, id: e.nextID, fn: fn}
-	e.byID[ev.id] = ev
-	ev.pos = len(e.heap)
-	e.heap = append(e.heap, ev)
-	e.siftUp(ev.pos)
-	return ev.id
+	e.seq++
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slab = append(e.slab, event{gen: 1})
+		slot = int32(len(e.slab) - 1)
+	}
+	ev := &e.slab[slot]
+	ev.h, ev.arg = h, arg
+	ev.pos = int32(len(e.heap))
+	e.heap = append(e.heap, heapEnt{at: at, seq: e.seq, prio: int32(prio), slot: slot})
+	e.siftUp(int(ev.pos))
+	return EventID(uint64(ev.gen)<<32 | uint64(uint32(slot)))
+}
+
+// Schedule books fn to run at absolute time `at`; see ScheduleCall for
+// the ordering contract. The closure adapter allocates, so hot loops
+// should prefer ScheduleCall — Schedule exists for cold paths and
+// tests.
+func (e *Engine) Schedule(at float64, prio int, fn func(now float64)) EventID {
+	return e.ScheduleCall(at, prio, func(now float64, _ uint64) { fn(now) }, 0)
 }
 
 // ScheduleAfter books fn at Now()+delay. Negative delays panic via
-// Schedule.
+// ScheduleCall.
 func (e *Engine) ScheduleAfter(delay float64, prio int, fn func(now float64)) EventID {
 	return e.Schedule(e.now+delay, prio, fn)
 }
@@ -103,12 +150,16 @@ func (e *Engine) ScheduleAfter(delay float64, prio int, fn func(now float64)) Ev
 // completed event is a legal no-op, which is what lets simulators keep
 // "the completion I booked" handles without tracking their lifecycle.
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.byID[id]
-	if !ok {
+	slot := uint32(id)
+	gen := uint32(id >> 32)
+	if uint64(slot) >= uint64(len(e.slab)) {
 		return false
 	}
-	delete(e.byID, id)
-	e.removeAt(ev.pos)
+	ev := &e.slab[slot]
+	if ev.gen != gen || ev.pos < 0 {
+		return false
+	}
+	e.removeAt(int(ev.pos))
 	return true
 }
 
@@ -125,11 +176,7 @@ func (e *Engine) Cancel(id EventID) bool {
 func (e *Engine) Run(until float64) int {
 	n := 0
 	for len(e.heap) > 0 && e.heap[0].at <= until {
-		ev := e.heap[0]
-		e.removeAt(0)
-		delete(e.byID, ev.id)
-		e.now = ev.at
-		ev.fn(ev.at)
+		e.fireTop()
 		n++
 	}
 	return n
@@ -141,24 +188,33 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := e.heap[0]
-	e.removeAt(0)
-	delete(e.byID, ev.id)
-	e.now = ev.at
-	ev.fn(ev.at)
+	e.fireTop()
 	return true
+}
+
+// fireTop pops the earliest event, frees its slot, advances the clock,
+// and invokes the handler. The handler state is copied out before the
+// slot is recycled, so handlers may schedule freely (including into the
+// slot they just vacated).
+func (e *Engine) fireTop() {
+	top := e.heap[0]
+	ev := &e.slab[top.slot]
+	h, arg := ev.h, ev.arg
+	e.removeAt(0)
+	e.now = top.at
+	h(top.at, arg)
 }
 
 // less orders the calendar: earlier time, then lower priority, then
 // earlier scheduling.
-func less(a, b *event) bool {
+func less(a, b heapEnt) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	if a.prio != b.prio {
 		return a.prio < b.prio
 	}
-	return a.id < b.id
+	return a.seq < b.seq
 }
 
 func (e *Engine) siftUp(i int) {
@@ -193,16 +249,27 @@ func (e *Engine) siftDown(i int) {
 
 func (e *Engine) swap(i, j int) {
 	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-	e.heap[i].pos = i
-	e.heap[j].pos = j
+	e.slab[e.heap[i].slot].pos = int32(i)
+	e.slab[e.heap[j].slot].pos = int32(j)
 }
 
-// removeAt deletes the event at heap index i, restoring the heap
-// property around the hole.
+// removeAt deletes the heap entry at index i, recycles its slab slot
+// (bumping the generation so stale EventIDs miss), and restores the
+// heap property around the hole.
 func (e *Engine) removeAt(i int) {
+	slot := e.heap[i].slot
+	ev := &e.slab[slot]
+	ev.gen++
+	ev.pos = -1
+	ev.h = nil
+	ev.arg = 0
+	e.free = append(e.free, slot)
+
 	last := len(e.heap) - 1
-	e.swap(i, last)
-	e.heap[last] = nil
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.slab[e.heap[i].slot].pos = int32(i)
+	}
 	e.heap = e.heap[:last]
 	if i < last {
 		e.siftDown(i)

@@ -201,3 +201,71 @@ func TestManyEventsStressHeap(t *testing.T) {
 		}
 	}
 }
+
+func TestScheduleCallRoutesArgAndCancels(t *testing.T) {
+	e := New(1)
+	var got []uint64
+	h := func(now float64, arg uint64) { got = append(got, arg) }
+	e.ScheduleCall(1, 0, h, 7)
+	keep := e.ScheduleCall(2, 0, h, 8)
+	drop := e.ScheduleCall(3, 0, h, 9)
+	if !e.Cancel(drop) {
+		t.Error("Cancel of pending ScheduleCall event reported false")
+	}
+	e.Run(10)
+	if !reflect.DeepEqual(got, []uint64{7, 8}) {
+		t.Errorf("args %v, want [7 8]", got)
+	}
+	if e.Cancel(keep) {
+		t.Error("Cancel of executed event reported true (stale id must miss the recycled slot)")
+	}
+	// The slot behind `keep` has been recycled; a new event in it must
+	// carry a fresh generation so the old id still misses.
+	id := e.ScheduleCall(11, 0, h, 10)
+	if id == keep {
+		t.Error("recycled slot reissued an identical EventID")
+	}
+	e.Run(20)
+}
+
+func TestSteadyStateSchedulingIsAllocationFree(t *testing.T) {
+	// The hot-path contract: a warm engine schedules and fires
+	// pre-bound (Handler, arg) events without allocating. This is what
+	// keeps the serving simulator's per-decode-step cost at zero
+	// steady-state allocations.
+	e := New(1)
+	var fired int
+	h := func(now float64, arg uint64) { fired++ }
+	// Warm the slab, heap, and free list past their high-water mark.
+	for i := 0; i < 256; i++ {
+		e.ScheduleCall(float64(i), i%4, h, uint64(i))
+	}
+	e.Run(1 << 20)
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleCall(e.Now()+1, 0, h, 1)
+		e.ScheduleCall(e.Now()+2, 1, h, 2)
+		e.Step()
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule+fire allocates %.1f times per event pair, want 0", allocs)
+	}
+}
+
+func TestCancelIsAllocationFreeAtSteadyState(t *testing.T) {
+	e := New(1)
+	h := func(float64, uint64) {}
+	for i := 0; i < 64; i++ {
+		e.ScheduleCall(float64(i+1), 0, h, 0)
+	}
+	e.Run(1 << 20)
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := e.ScheduleCall(e.Now()+1, 0, h, 0)
+		if !e.Cancel(id) {
+			t.Fatal("cancel failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule+cancel allocates %.1f times, want 0", allocs)
+	}
+}

@@ -134,7 +134,10 @@ func (b BurstStats) MeanNormalDwell() float64 {
 	return b.NormalTime / float64(b.NormalSpells)
 }
 
-// Generate produces all requests arriving within the horizon.
+// Generate produces all requests arriving within the horizon,
+// materialized as a slice. For horizon×rate products in the millions,
+// prefer Stream, which yields the identical request sequence one
+// arrival at a time in constant memory.
 func (g Generator) Generate(horizon units.Seconds) ([]Request, error) {
 	reqs, _, err := g.GenerateWithStats(horizon)
 	return reqs, err
@@ -144,83 +147,146 @@ func (g Generator) Generate(horizon units.Seconds) ([]Request, error) {
 // calibration tests assert against. The request stream is byte-identical
 // to Generate's: the accounting consumes no randomness.
 func (g Generator) GenerateWithStats(horizon units.Seconds) ([]Request, BurstStats, error) {
-	if err := g.Validate(); err != nil {
+	s, err := g.Stream(horizon)
+	if err != nil {
 		return nil, BurstStats{}, err
 	}
-	rng := mathx.NewRNG(g.Seed)
-	lenRNG := rng.Split()
-	burstRNG := rng.Split()
-
-	pMu, pSigma := mathx.LogNormalParams(g.PromptMedian, g.PromptP99)
-	oMu, oSigma := mathx.LogNormalParams(g.OutputMedian, g.OutputP99)
-
 	var reqs []Request
-	t := 0.0
-	h := float64(horizon)
-	bursting := false
-	stateLeft := g.dwell(burstRNG, bursting)
-	stats := BurstStats{NormalSpells: 1}
-	// dwellTime credits elapsed time to the state it was spent in,
-	// clipping at the horizon so the partition sums to exactly h.
-	dwellTime := func(from, span float64, inBurst bool) {
-		if from >= h {
-			return
-		}
-		if from+span > h {
-			span = h - from
-		}
-		if inBurst {
-			stats.BurstTime += span
-		} else {
-			stats.NormalTime += span
-		}
-	}
 	for {
-		rate := g.Rate
-		if g.BurstFactor > 1 && bursting {
-			rate *= g.BurstFactor
-		}
-		dt := rng.Exponential(rate)
-		// Advance the burst state across the gap.
-		if g.BurstFactor > 1 {
-			for dt >= stateLeft {
-				dt -= stateLeft
-				dwellTime(t, stateLeft, bursting)
-				t += stateLeft
-				bursting = !bursting
-				if t < h {
-					if bursting {
-						stats.BurstSpells++
-					} else {
-						stats.NormalSpells++
-					}
-				}
-				stateLeft = g.dwell(burstRNG, bursting)
-				rate = g.Rate
-				if bursting {
-					rate *= g.BurstFactor
-				}
-				// Resample the remaining gap at the new rate.
-				dt = rng.Exponential(rate)
-			}
-			stateLeft -= dt
-		}
-		dwellTime(t, dt, bursting)
-		t += dt
-		if t > h {
+		r, ok := s.Next()
+		if !ok {
 			break
 		}
-		reqs = append(reqs, Request{
-			ID:           len(reqs),
-			Arrival:      units.Seconds(t),
-			PromptTokens: g.sampleLen(lenRNG, pMu, pSigma),
-			OutputTokens: g.sampleLen(lenRNG, oMu, oSigma),
-		})
+		reqs = append(reqs, r)
 	}
-	if g.BurstFactor <= 1 {
-		stats = BurstStats{NormalSpells: 1, NormalTime: math.Min(t, h)}
+	return reqs, s.Stats(), nil
+}
+
+// Stream is a lazy request generator: Next synthesizes arrivals one at
+// a time, in nondecreasing arrival order, holding only O(1) state — no
+// materialized trace. The sequence is byte-identical to what Generate
+// returns for the same Generator and horizon (Generate is implemented
+// on Stream), so simulations can switch between materialized and
+// streaming traces without perturbing a single metric.
+//
+// A Stream is single-use and not safe for concurrent use; derive one
+// per simulation.
+type Stream struct {
+	g        Generator
+	rng      *mathx.RNG
+	lenRNG   *mathx.RNG
+	burstRNG *mathx.RNG
+
+	pMu, pSigma float64
+	oMu, oSigma float64
+
+	h         float64
+	t         float64
+	n         int
+	bursting  bool
+	stateLeft float64
+	done      bool
+	stats     BurstStats
+}
+
+// Stream validates the generator and returns the lazy arrival iterator
+// for all requests arriving within the horizon.
+func (g Generator) Stream(horizon units.Seconds) (*Stream, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
 	}
-	return reqs, stats, nil
+	rng := mathx.NewRNG(g.Seed)
+	s := &Stream{
+		g:        g,
+		rng:      rng,
+		lenRNG:   rng.Split(),
+		burstRNG: rng.Split(),
+		h:        float64(horizon),
+		stats:    BurstStats{NormalSpells: 1},
+	}
+	s.pMu, s.pSigma = mathx.LogNormalParams(g.PromptMedian, g.PromptP99)
+	s.oMu, s.oSigma = mathx.LogNormalParams(g.OutputMedian, g.OutputP99)
+	s.stateLeft = g.dwell(s.burstRNG, false)
+	return s, nil
+}
+
+// dwellTime credits elapsed time to the state it was spent in,
+// clipping at the horizon so the partition sums to exactly h.
+func (s *Stream) dwellTime(from, span float64, inBurst bool) {
+	if from >= s.h {
+		return
+	}
+	if from+span > s.h {
+		span = s.h - from
+	}
+	if inBurst {
+		s.stats.BurstTime += span
+	} else {
+		s.stats.NormalTime += span
+	}
+}
+
+// Next returns the next arrival, or ok=false once the horizon is
+// exhausted (every later call keeps returning false).
+func (s *Stream) Next() (Request, bool) {
+	if s.done {
+		return Request{}, false
+	}
+	g := s.g
+	rate := g.Rate
+	if g.BurstFactor > 1 && s.bursting {
+		rate *= g.BurstFactor
+	}
+	dt := s.rng.Exponential(rate)
+	// Advance the burst state across the gap.
+	if g.BurstFactor > 1 {
+		for dt >= s.stateLeft {
+			dt -= s.stateLeft
+			s.dwellTime(s.t, s.stateLeft, s.bursting)
+			s.t += s.stateLeft
+			s.bursting = !s.bursting
+			if s.t < s.h {
+				if s.bursting {
+					s.stats.BurstSpells++
+				} else {
+					s.stats.NormalSpells++
+				}
+			}
+			s.stateLeft = g.dwell(s.burstRNG, s.bursting)
+			rate = g.Rate
+			if s.bursting {
+				rate *= g.BurstFactor
+			}
+			// Resample the remaining gap at the new rate.
+			dt = s.rng.Exponential(rate)
+		}
+		s.stateLeft -= dt
+	}
+	s.dwellTime(s.t, dt, s.bursting)
+	s.t += dt
+	if s.t > s.h {
+		s.done = true
+		return Request{}, false
+	}
+	r := Request{
+		ID:           s.n,
+		Arrival:      units.Seconds(s.t),
+		PromptTokens: g.sampleLen(s.lenRNG, s.pMu, s.pSigma),
+		OutputTokens: g.sampleLen(s.lenRNG, s.oMu, s.oSigma),
+	}
+	s.n++
+	return r, true
+}
+
+// Stats returns the burst-process accounting. It is complete once Next
+// has reported ok=false; before exhaustion it covers the stream so far.
+func (s *Stream) Stats() BurstStats {
+	if s.g.BurstFactor <= 1 {
+		// Non-bursty streams are one normal spell; the incremental
+		// accounting is only meaningful for the Markov-modulated case.
+		return BurstStats{NormalSpells: 1, NormalTime: math.Min(s.t, s.h)}
+	}
+	return s.stats
 }
 
 func (g Generator) dwell(rng *mathx.RNG, bursting bool) float64 {

@@ -80,6 +80,16 @@ type (
 	Workload = trace.Generator
 	// Request is one inference request.
 	Request = trace.Request
+	// RequestStream yields a workload's arrivals one at a time (see
+	// Workload.Stream): the constant-memory alternative to Generate for
+	// million-request horizons.
+	RequestStream = trace.Stream
+	// RequestSource is the lazy request feed the streaming serve entry
+	// points consume; *RequestStream implements it. Custom sources must
+	// yield requests in nondecreasing arrival order — an out-of-order
+	// arrival panics with a diagnostic, since it would corrupt
+	// simulated causality.
+	RequestSource = serve.RequestSource
 	// Figure3Row is one bar of a Figure 3 panel.
 	Figure3Row = experiments.Figure3Row
 	// Seconds is a duration in seconds.
@@ -259,6 +269,14 @@ func DecodeStudy(opts Options) ([]Figure3Row, error) { return experiments.Figure
 // stream until the horizon.
 func Serve(cfg ServeConfig, reqs []Request, horizon Seconds) (ServeMetrics, error) {
 	return serve.Run(cfg, reqs, horizon)
+}
+
+// ServeFrom is Serve over a lazy request source (typically a
+// Workload.Stream): arrivals are generated on demand and only the
+// in-flight working set is held in memory, so million-request horizons
+// run in O(in-flight) space with byte-identical metrics.
+func ServeFrom(cfg ServeConfig, src RequestSource, horizon Seconds) (ServeMetrics, error) {
+	return serve.RunFrom(cfg, src, horizon)
 }
 
 // CodingWorkload returns the paper's production-coding workload shape
