@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sync"
 	"testing"
@@ -18,6 +19,8 @@ import (
 	"litegpu/internal/experiments"
 	"litegpu/internal/hw"
 	"litegpu/internal/inference"
+	"litegpu/internal/netsim"
+	"litegpu/internal/sim"
 )
 
 // printOnce gates the one-time artifact printouts so repeated benchmark
@@ -567,6 +570,131 @@ func BenchmarkServingSimMaterialized1M(b *testing.B) {
 		}
 		if m.Arrived < 900_000 {
 			b.Fatalf("arrived %d", m.Arrived)
+		}
+	}
+}
+
+// BenchmarkNetsimFabric measures the raw fabric hot path: waves of
+// overlapping transfers through an 8-endpoint fabric, every start and
+// finish triggering the max-min reshare (packet) or the circuit drain.
+// Steady state is allocation-free (the slab, id slices, and waterfill
+// scratch all recycle), so allocs/op is setup only.
+func BenchmarkNetsimFabric(b *testing.B) {
+	for _, discipline := range []struct {
+		name    string
+		circuit bool
+	}{{"packet", false}, {"circuit", true}} {
+		b.Run(discipline.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := sim.New(1)
+				ports := make([]float64, 8)
+				for j := range ports {
+					ports[j] = 100e9
+				}
+				f, err := netsim.New(eng, netsim.Params{
+					Ports: ports, PathLatency: 1e-6,
+					Circuit: discipline.circuit, ReconfigTime: 1e-5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := 0
+				h := func(now float64, arg uint64) { done++ }
+				for wave := 0; wave < 64; wave++ {
+					for t := 0; t < 16; t++ {
+						f.Start(t%8, (t+1+t%3)%8, float64(1e6+t*1000), 0, h, uint64(t))
+					}
+					eng.Run(math.Inf(1))
+				}
+				if done != 64*16 {
+					b.Fatalf("delivered %d transfers", done)
+				}
+			}
+		})
+	}
+}
+
+// benchFabricConfig is a Lite-GPU phase-split deployment whose TP-8
+// instances each fill a scale-up node, so every KV handoff crosses the
+// simulated fabric — the network-in-the-loop counterpart of the
+// ServingSim benchmark.
+func benchFabricConfig(b *testing.B) ServeConfig {
+	m, ok := ModelByName("Llama3-70B")
+	if !ok {
+		b.Fatal("model catalog missing Llama3-70B")
+	}
+	return ServeConfig{
+		GPU:              Lite(),
+		Model:            m,
+		Opts:             DefaultOptions(),
+		PrefillInstances: 2, PrefillGPUs: 8,
+		DecodeInstances: 1, DecodeGPUs: 8,
+		MaxPrefillBatch: 4, MaxDecodeBatch: 64,
+	}
+}
+
+// BenchmarkServingSimFabric measures the serving simulator with the
+// fabric in the loop: every prefill completion becomes a ~250 MB KV
+// handoff over a pluggable-optics Clos. Compare against
+// BenchmarkServingSimFabricOff for the event-loop cost of netsim.
+func BenchmarkServingSimFabric(b *testing.B) {
+	cfg := benchFabricConfig(b)
+	cfg.Network = ServeNetworkConfig{Fabric: FabricClos, Link: LinkPluggable}
+	reqs, err := CodingWorkload(1.2, 42).Generate(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Serve(cfg, reqs, 420)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.NetTransfers == 0 {
+			b.Fatal("fabric benchmark moved no bytes")
+		}
+	}
+}
+
+// BenchmarkServingSimFabricOff is the identical simulation with the
+// infinite fabric — the baseline the netsim overhead is judged against.
+func BenchmarkServingSimFabricOff(b *testing.B) {
+	cfg := benchFabricConfig(b)
+	reqs, err := CodingWorkload(1.2, 42).Generate(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Serve(cfg, reqs, 420); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCapacityFabricAxis measures the planner searching the
+// default four-fabric axis (each candidate simulated with its fabric
+// in the loop and priced at the winning scale).
+func BenchmarkPlanCapacityFabricAxis(b *testing.B) {
+	m, _ := ModelByName("Llama3-70B")
+	req := CapacityRequest{
+		GPU:      Lite(),
+		Model:    m,
+		Opts:     DefaultOptions(),
+		Workload: CodingWorkload(4, 7),
+		Horizon:  120,
+		Drain:    60,
+		Fabrics:  DefaultFabricCandidates(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanCapacityRequest(req, CapacitySLO{}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -27,6 +27,16 @@
 //	litegpu-serve -afr 0.09 -spares 2
 //	litegpu-serve -afr 0.09 -spares 2 -failure-timescale 1e6
 //
+// With -fabric, the interconnect enters the event loop: KV-cache
+// handoffs between phase pools that cross scale-up nodes occupy real
+// port bandwidth, contend, and pay switch latency (see
+// docs/networking.md). -link picks the link technology,
+// -fabric-latency-scale stresses the latency axis:
+//
+//	litegpu-serve -gpu Lite -model Llama3-70B -prefill-gpus 8 -decode-gpus 8 \
+//	    -fabric clos -link pluggable
+//	litegpu-serve -fabric flat-circuit:cpo:circuit
+//
 // With -second-gpu, a second pool of that GPU type serves the same
 // trace side by side (instance counts as the main pool, tensor
 // parallelism auto-sized), with -router picking round-robin or
@@ -46,12 +56,21 @@
 //
 //	litegpu-serve -plan -gpu Lite -model Llama3-8B -rate 20 -ttft-attainment 0.99
 //	litegpu-serve -plan -gpu Lite -model Llama3-8B -rate 20 -afr 0.09 -min-availability 0.99999
+//
+// In plan mode -fabric can also be a comma-separated candidate list or
+// "auto": the fabric joins scheduler and spares as a search axis, each
+// candidate is simulated in the loop and priced at the resulting
+// deployment scale, and the cheapest feasible plan per Mtoken wins:
+//
+//	litegpu-serve -plan -gpu Lite -model Llama3-70B -rate 20 -fabric auto
+//	litegpu-serve -plan -fabric clos:copper,flat-circuit:cpo:circuit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"litegpu"
 )
@@ -77,6 +96,9 @@ func main() {
 	dropOnFailure := flag.Bool("drop-on-failure", false, "drop in-flight requests when their instance dies instead of requeueing")
 	secondGPU := flag.String("second-gpu", "", "add a second pool of this GPU type serving the same trace (heterogeneous cluster)")
 	router := flag.String("router", "rr", "arrival router across pools: rr (round-robin) | jsq (join-shortest-queue)")
+	fabricSpec := flag.String("fabric", "off", "put the network in the event loop: off, or fabric[:link[:switch]] with fabric clos | leaf-spine | flat-circuit, link copper | pluggable | cpo, switch packet | circuit; plan mode also accepts a comma-separated candidate list or auto (search the default candidates)")
+	linkName := flag.String("link", "", "default link technology for -fabric specs that omit one: copper | pluggable | cpo")
+	latScale := flag.Float64("fabric-latency-scale", 1, "multiply fabric path latency (sensitivity stress knob, like -failure-timescale for failures)")
 	plan := flag.Bool("plan", false, "size the cheapest deployment meeting the SLO targets instead of simulating fixed pools")
 	ttftAttain := flag.Float64("ttft-attainment", 0.99, "plan mode: required fraction of requests meeting the TTFT limit")
 	tbtAttain := flag.Float64("tbt-attainment", 0.99, "plan mode: required fraction of requests meeting the TBT limit")
@@ -128,6 +150,39 @@ func main() {
 		}
 		schedPolicies = []litegpu.SchedulerPolicy{pol}
 	}
+	parseFabric := func(spec string) litegpu.ServeNetworkConfig {
+		nc, err := litegpu.ParseNetworkConfigWithLink(spec, *linkName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return nc
+	}
+	var fabricCandidates []litegpu.ServeNetworkConfig
+	var fabric litegpu.ServeNetworkConfig
+	switch {
+	case *fabricSpec == "auto":
+		if !*plan {
+			fatalf("-fabric auto only applies with -plan; pick one fabric spec")
+		}
+		fabricCandidates = litegpu.DefaultFabricCandidates()
+	case strings.Contains(*fabricSpec, ","):
+		if !*plan {
+			fatalf("a -fabric candidate list only applies with -plan; pick one fabric spec")
+		}
+		for _, s := range strings.Split(*fabricSpec, ",") {
+			fabricCandidates = append(fabricCandidates, parseFabric(s))
+		}
+	default:
+		fabric = parseFabric(*fabricSpec)
+	}
+	// The latency stress knob applies uniformly, however the fabric
+	// set was specified.
+	if *latScale != 1 {
+		fabric.LatencyScale = *latScale
+		for i := range fabricCandidates {
+			fabricCandidates[i].LatencyScale = *latScale
+		}
+	}
 	var routerPolicy litegpu.ServeRouterPolicy
 	switch *router {
 	case "rr", "round-robin":
@@ -170,6 +225,8 @@ func main() {
 			MaxDecodeBatch:  *maxDecode,
 			MaxInstances:    *maxInstances,
 			Failures:        failures,
+			Network:         fabric,
+			Fabrics:         fabricCandidates,
 		}
 		// The instance-count flags are what the planner searches over,
 		// but an explicitly-set TP degree is a constraint to respect;
@@ -204,6 +261,11 @@ func main() {
 			fmt.Printf("  reliability: %d hot spares for %.6f availability (target %.6f), blast radius %.1f%%\n",
 				p.Spares, p.Availability, *minAvailability, p.Metrics.BlastRadius*100)
 		}
+		fmt.Printf("  fabric: %s (%s)\n", p.Fabric, p.Config.Network)
+		if p.Config.Network.Enabled() && p.Metrics.NetTransfers > 0 {
+			fmt.Printf("  network: %d transfers, p99 %.2f ms, %.1f%% of delivered latency\n",
+				p.Metrics.NetTransfers, p.Metrics.TransferTime.P99*1e3, p.Metrics.NetworkBoundFraction*100)
+		}
 		fmt.Printf("  TCO: %v\n", p.Cost)
 		return
 	}
@@ -234,6 +296,7 @@ func main() {
 		Pools:    []litegpu.ServePool{{Name: gpu.Name, Config: cfg}},
 		Router:   routerPolicy,
 		Failures: failures,
+		Network:  fabric,
 	}
 	if *secondGPU != "" {
 		g2, ok := litegpu.GPUByName(*secondGPU)
@@ -303,6 +366,13 @@ func printMetrics(indent string, mets litegpu.ServeMetrics, withFailures bool) {
 		fmt.Printf("%sreliability: availability %.4f, %d failures, %d requeued, %d dropped-on-failure, goodput %.1f tok/s, blast radius %.1f%%\n",
 			indent, mets.Availability, mets.FailureEvents, mets.Requeued, mets.DroppedOnFailure,
 			mets.Goodput, mets.BlastRadius*100)
+	}
+	if mets.NetTransfers > 0 {
+		fmt.Printf("%snetwork: %d transfers, %.1f MB p50 / %.1f MB p99, %.2f / %.2f ms p50/p99, %.1f%% of delivered latency\n",
+			indent, mets.NetTransfers,
+			mets.TransferBytes.P50/1e6, mets.TransferBytes.P99/1e6,
+			mets.TransferTime.P50*1e3, mets.TransferTime.P99*1e3,
+			mets.NetworkBoundFraction*100)
 	}
 }
 

@@ -13,6 +13,7 @@
 //	litegpu-sweep -workers 1                       # sequential baseline (same output)
 //	litegpu-sweep -afr 0.09 -failure-timescale 1e6 # add a failure-injection axis
 //	litegpu-sweep -scheduler static,continuous,chunked  # add a scheduling-policy axis
+//	litegpu-sweep -fabric off,clos:pluggable,flat-circuit:cpo:circuit  # add a fabric axis
 //
 // With -scheduler listing several policies, every grid point is
 // simulated once per policy on the identical trace and silicon, so the
@@ -50,6 +51,10 @@ func main() {
 	workloadList := flag.String("workloads", "coding,conversation", "workload shapes: coding | conversation")
 	rateList := flag.String("rates", "0.5,1.5", "comma-separated arrival rates (req/s)")
 	schedList := flag.String("scheduler", "static", "comma-separated scheduling policies: static | continuous | chunked")
+	fabricList := flag.String("fabric", "off", "comma-separated fabric axis: off and/or fabric[:link[:switch]] specs (clos | leaf-spine | flat-circuit), each simulated in the event loop per grid point")
+	linkName := flag.String("link", "", "default link technology for -fabric specs that omit one: copper | pluggable | cpo")
+	prefillInst := flag.Int("prefill-instances", 1, "prefill engines per deployment")
+	decodeInst := flag.Int("decode-instances", 1, "decode engines per deployment")
 	horizon := flag.Float64("horizon", 300, "arrival window in simulated seconds")
 	drain := flag.Float64("drain", 120, "extra simulated seconds for in-flight requests to finish")
 	seed := flag.Uint64("seed", 42, "base workload seed (each cell derives its own)")
@@ -80,10 +85,12 @@ func main() {
 	}
 
 	spec := litegpu.SweepSpec{
-		Horizon: litegpu.Seconds(*horizon),
-		Drain:   litegpu.Seconds(*drain),
-		Seed:    *seed,
-		Workers: *workers,
+		PrefillInstances: *prefillInst,
+		DecodeInstances:  *decodeInst,
+		Horizon:          litegpu.Seconds(*horizon),
+		Drain:            litegpu.Seconds(*drain),
+		Seed:             *seed,
+		Workers:          *workers,
 	}
 	for _, name := range splitList(*gpuList) {
 		g, ok := litegpu.GPUByName(name)
@@ -129,6 +136,19 @@ func main() {
 	}
 	withSchedulers = withSchedulers || len(spec.Schedulers) > 1
 
+	withFabrics := false
+	for _, s := range splitList(*fabricList) {
+		nc, err := litegpu.ParseNetworkConfigWithLink(s, *linkName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if nc.Enabled() {
+			withFabrics = true
+		}
+		spec.Fabrics = append(spec.Fabrics, nc)
+	}
+	withFabrics = withFabrics || len(spec.Fabrics) > 1
+
 	withFailures := *afr > 0
 	if withFailures {
 		spec.FailureModes = []litegpu.SweepFailureMode{
@@ -152,17 +172,24 @@ func main() {
 	if !withSchedulers {
 		schedCol = ""
 	}
+	fabricCols := "\tFabric\tNet%"
+	if !withFabrics {
+		fabricCols = ""
+	}
 	failCols := "\tFailures\tAvail/Ev"
 	if !withFailures {
 		failCols = ""
 	}
-	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s"+schedCol+"\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att."+failCols)
+	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s"+schedCol+fabricCols+"\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att."+failCols)
 	for _, c := range cells {
 		row := fmt.Sprintf("%s\t%s\t%s\t%.2f", c.GPU, c.Model, c.Workload, c.Rate)
 		if withSchedulers {
 			row += "\t" + c.Scheduler
 		}
 		if c.Err != "" {
+			if withFabrics {
+				row += fmt.Sprintf("\t%s\t", c.Fabric)
+			}
 			row += fmt.Sprintf("\tinfeasible: %s\t\t\t\t\t\t", c.Err)
 			if withFailures {
 				row += fmt.Sprintf("\t%s\t", c.Failure)
@@ -171,6 +198,9 @@ func main() {
 			continue
 		}
 		m := c.Metrics
+		if withFabrics {
+			row += fmt.Sprintf("\t%s\t%.1f%%", c.Fabric, m.NetworkBoundFraction*100)
+		}
 		row += fmt.Sprintf("\t%s\t%d/%d\t%d\t%.0f ms\t%.1f ms\t%.1f%%\t%.1f%%",
 			deployment(c.Config),
 			m.Completed, m.Arrived, m.Dropped,

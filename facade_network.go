@@ -1,0 +1,67 @@
+package litegpu
+
+import "litegpu/internal/serve"
+
+// Network-in-the-loop serving, re-exported from internal/serve. See
+// docs/networking.md for the model and when it matters.
+type (
+	// ServeNetworkConfig selects the fabric a serving simulation runs
+	// on: topology kind, link technology, switching discipline, the
+	// scale-up node size, and a latency stress multiplier. The zero
+	// value is the historical infinite fabric. Set it on
+	// ServeConfig.Network (single pool) or ServeClusterConfig.Network
+	// (cluster-wide).
+	ServeNetworkConfig = serve.NetworkConfig
+	// FabricKind is the topology choice (off, Clos, leaf-spine, flat
+	// circuit).
+	FabricKind = serve.FabricKind
+	// LinkKind is the physical link technology (copper, pluggable
+	// optics, co-packaged optics).
+	LinkKind = serve.LinkKind
+	// SwitchKind is the switching discipline (packet or circuit).
+	SwitchKind = serve.SwitchKind
+)
+
+// Fabric topology kinds.
+const (
+	FabricOff         = serve.FabricOff
+	FabricClos        = serve.FabricClos
+	FabricLeafSpine   = serve.FabricLeafSpine
+	FabricFlatCircuit = serve.FabricFlatCircuit
+)
+
+// Link technologies. Copper and pluggable optics attach one fabric
+// port per instance; co-packaged optics puts ports on every GPU.
+const (
+	LinkCopper    = serve.LinkCopper
+	LinkPluggable = serve.LinkPluggable
+	LinkCPO       = serve.LinkCPO
+)
+
+// Switching disciplines.
+const (
+	SwitchPacket  = serve.SwitchPacket
+	SwitchCircuit = serve.SwitchCircuit
+)
+
+// ParseNetworkConfig parses a CLI fabric spec — "off" or
+// "fabric[:link[:switch]]", e.g. "clos:pluggable" or
+// "flat-circuit:cpo:circuit".
+func ParseNetworkConfig(spec string) (ServeNetworkConfig, error) {
+	return serve.ParseNetworkConfig(spec)
+}
+
+// ParseNetworkConfigWithLink is ParseNetworkConfig with a default link
+// technology spliced into specs that omit one — the normalization the
+// CLIs' -fabric/-link flag pair shares.
+func ParseNetworkConfigWithLink(spec, link string) (ServeNetworkConfig, error) {
+	return serve.ParseNetworkConfigWithLink(spec, link)
+}
+
+// DefaultFabricCandidates returns the fabric designs the capacity
+// planner searches when asked for a fabric axis: copper Clos,
+// pluggable-optics Clos, CPO Clos, and a circuit-switched CPO flat
+// fabric.
+func DefaultFabricCandidates() []ServeNetworkConfig {
+	return serve.DefaultFabricCandidates()
+}

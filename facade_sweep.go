@@ -60,6 +60,12 @@ type SweepSpec struct {
 	// an accelerated-AFR config with hot spares) to cross the grid with
 	// failure injection.
 	FailureModes []SweepFailureMode
+	// Fabrics is the network axis (default: the single zero config —
+	// the infinite fabric). Add entries (e.g. a pluggable-optics Clos
+	// and a circuit-switched CPO flat fabric) to simulate every grid
+	// point with each fabric in the event loop, on identical traces, so
+	// the fabric columns isolate what the network costs each deployment.
+	Fabrics []ServeNetworkConfig
 
 	// Horizon is the arrival window (default 300 s); the simulation runs
 	// Drain (default 120 s) past it so in-flight requests can finish.
@@ -106,6 +112,9 @@ func (s SweepSpec) withDefaults() SweepSpec {
 	if len(s.FailureModes) == 0 {
 		s.FailureModes = DefaultSweepFailureModes()
 	}
+	if len(s.Fabrics) == 0 {
+		s.Fabrics = []ServeNetworkConfig{{}}
+	}
 	if s.Horizon <= 0 {
 		s.Horizon = 300
 	}
@@ -142,6 +151,9 @@ type SweepCell struct {
 	Rate      float64
 	Scheduler string
 	Failure   string
+	// Fabric names the cell's network config ("off" when the fabric
+	// axis is not in play).
+	Fabric string
 
 	// Config is the auto-sized deployment the cell simulated.
 	Config ServeConfig
@@ -152,11 +164,12 @@ type SweepCell struct {
 }
 
 // Sweep crosses GPU types × models × workloads × arrival rates ×
-// scheduling policies and simulates a serving deployment for every
-// combination, fanning the grid over a worker pool. Cell order is the
-// nested enumeration order of the spec slices, and each cell's workload
-// seed derives from its grid index — so the returned slice is
-// byte-identical whether it ran on one worker or many.
+// scheduling policies × failure modes × fabrics and simulates a
+// serving deployment for every combination, fanning the grid over a
+// worker pool. Cell order is the nested enumeration order of the spec
+// slices, and each cell's workload seed derives from its grid index —
+// so the returned slice is byte-identical whether it ran on one worker
+// or many.
 //
 // Infeasible combinations are reported per cell via SweepCell.Err rather
 // than failing the sweep.
@@ -169,6 +182,7 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 		rate     float64
 		sched    SchedulerPolicy
 		failure  SweepFailureMode
+		fabric   ServeNetworkConfig
 	}
 	var points []point
 	for _, g := range spec.GPUs {
@@ -177,7 +191,9 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 				for _, r := range spec.Rates {
 					for _, sp := range spec.Schedulers {
 						for _, f := range spec.FailureModes {
-							points = append(points, point{gpu: g, model: m, workload: w, rate: r, sched: sp, failure: f})
+							for _, nc := range spec.Fabrics {
+								points = append(points, point{gpu: g, model: m, workload: w, rate: r, sched: sp, failure: f, fabric: nc})
+							}
 						}
 					}
 				}
@@ -185,17 +201,18 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 		}
 	}
 	// The request stream depends only on (workload, rate): every GPU,
-	// model, scheduler, and failure mode at the same workload point
-	// faces the identical trace, so cross-hardware (and cross-policy,
-	// and clean-vs-faulty) comparisons within the grid are noise-free.
-	// The seed position is the workload×rate coordinate of the cell.
+	// model, scheduler, failure mode, and fabric at the same workload
+	// point faces the identical trace, so cross-hardware (and
+	// cross-policy, clean-vs-faulty, fabric-vs-fabric) comparisons
+	// within the grid are noise-free. The seed position is the
+	// workload×rate coordinate of the cell.
 	traceBlock := len(spec.Workloads) * len(spec.Rates)
-	innerModes := len(spec.Schedulers) * len(spec.FailureModes)
+	innerModes := len(spec.Schedulers) * len(spec.FailureModes) * len(spec.Fabrics)
 
 	return sweep.RunN(ctx, spec.Workers, points,
 		func(_ context.Context, idx int, p point) (SweepCell, error) {
 			c := SweepCell{GPU: p.gpu.Name, Model: p.model.Name, Workload: p.workload.Name, Rate: p.rate,
-				Scheduler: p.sched.String(), Failure: p.failure.Name}
+				Scheduler: p.sched.String(), Failure: p.failure.Name, Fabric: p.fabric.String()}
 			pTP, err := inference.MinFeasibleTP(p.gpu, p.model, Prefill, spec.Opts)
 			if err != nil {
 				c.Err = err.Error()
@@ -212,6 +229,7 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 				PrefillInstances: spec.PrefillInstances, PrefillGPUs: pTP,
 				DecodeInstances: spec.DecodeInstances, DecodeGPUs: dTP,
 				MaxPrefillBatch: spec.MaxPrefillBatch, MaxDecodeBatch: spec.MaxDecodeBatch,
+				Network: p.fabric,
 			}
 			gen := p.workload.Make(p.rate, mathx.DeriveSeed(spec.Seed, uint64((idx/innerModes)%traceBlock)))
 			// Arrivals stream into the simulation on demand — no cell ever

@@ -235,3 +235,56 @@ func TestSweepSchedulerAxis(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepFabricAxis pins the network dimension: cells cross fabrics
+// innermost, every fabric faces the identical trace, the off cell
+// reports no transfers, and a deployment whose instances span
+// scale-up nodes pays visibly on the fabric cells.
+func TestSweepFabricAxis(t *testing.T) {
+	m, ok := ModelByName("Llama3-70B")
+	if !ok {
+		t.Fatal("model preset missing")
+	}
+	spec := SweepSpec{
+		GPUs:             []GPU{Lite()},
+		Models:           []Transformer{m},
+		Workloads:        []SweepWorkload{{Name: "coding", Make: CodingWorkload}},
+		Rates:            []float64{1.2},
+		PrefillInstances: 2, // TP-4 Lite instances: 12 GPUs, two nodes
+		Horizon:          60,
+		Drain:            30,
+		Seed:             42,
+		Fabrics: []ServeNetworkConfig{
+			{},
+			{Fabric: FabricClos, Link: LinkPluggable},
+		},
+	}
+	cells, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want the 2-entry fabric axis", len(cells))
+	}
+	off, fab := cells[0], cells[1]
+	if off.Fabric != "off" || fab.Fabric != "clos:pluggable:packet" {
+		t.Fatalf("fabric labels = %q, %q", off.Fabric, fab.Fabric)
+	}
+	if off.Err != "" || fab.Err != "" {
+		t.Fatalf("infeasible cells: %q / %q", off.Err, fab.Err)
+	}
+	if off.Metrics.Arrived != fab.Metrics.Arrived {
+		t.Errorf("fabric cells saw different traces: %d vs %d arrivals",
+			off.Metrics.Arrived, fab.Metrics.Arrived)
+	}
+	if off.Metrics.NetTransfers != 0 {
+		t.Errorf("off cell reported %d transfers", off.Metrics.NetTransfers)
+	}
+	if fab.Metrics.NetTransfers == 0 {
+		t.Error("fabric cell moved no bytes; the 2-prefill deployment must span nodes")
+	}
+	if fab.Metrics.TTFT.Mean <= off.Metrics.TTFT.Mean {
+		t.Errorf("fabric TTFT %v not above infinite-fabric TTFT %v",
+			fab.Metrics.TTFT.Mean, off.Metrics.TTFT.Mean)
+	}
+}

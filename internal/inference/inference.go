@@ -100,11 +100,21 @@ func DefaultOptions() Options {
 	}
 }
 
+// EffectivePrecision returns the element sizes the study runs at:
+// Prec, or the package default (FP8) when unset. It is the single
+// place the zero-Prec rule lives, shared by withDefaults and by
+// clients that must stay consistent with the compute model — the
+// serving simulator's KV-transfer byte accounting in particular.
+func (o Options) EffectivePrecision() model.Precision {
+	if o.Prec == (model.Precision{}) {
+		return DefaultOptions().Prec
+	}
+	return o.Prec
+}
+
 func (o Options) withDefaults() Options {
 	d := DefaultOptions()
-	if o.Prec == (model.Precision{}) {
-		o.Prec = d.Prec
-	}
+	o.Prec = o.EffectivePrecision()
 	if o.PromptLen <= 0 {
 		o.PromptLen = d.PromptLen
 	}

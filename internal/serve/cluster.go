@@ -96,11 +96,38 @@ type Pool struct {
 }
 
 // ClusterConfig describes a cluster-level simulation: one or more
-// serving pools fed by a router, with optional failure injection.
+// serving pools fed by a router, with optional failure injection and
+// an optional in-loop fabric.
 type ClusterConfig struct {
 	Pools    []Pool
 	Router   RouterPolicy
 	Failures FailureConfig
+
+	// Network is the cluster-wide fabric. The fabric is a property of
+	// the whole simulated cluster — every pool's instances are
+	// endpoints of the same switched network, so KV handoffs in one
+	// pool contend with another pool's, and (with several pools)
+	// routed arrivals pay an ingress transfer from the router to their
+	// pool. When zero, the first pool with an enabled Config.Network
+	// supplies the cluster fabric (which is how the single-pool Run
+	// entry points promote their Config.Network); pools must not
+	// disagree.
+	Network NetworkConfig
+}
+
+// resolvedNetwork returns the fabric the cluster simulates on: the
+// cluster-level setting when enabled, otherwise the first pool's
+// enabled Config.Network, otherwise off.
+func (cc ClusterConfig) resolvedNetwork() NetworkConfig {
+	if cc.Network.Enabled() {
+		return cc.Network
+	}
+	for _, p := range cc.Pools {
+		if p.Config.Network.Enabled() {
+			return p.Config.Network
+		}
+	}
+	return NetworkConfig{}
 }
 
 // maxPoolInstances bounds instances per pool: it is the priority-band
@@ -121,6 +148,10 @@ func (cc ClusterConfig) Validate() error {
 	if len(cc.Pools) > maxPools {
 		return fmt.Errorf("serve: %d pools, above the %d limit", len(cc.Pools), maxPools)
 	}
+	if err := cc.Network.Validate(); err != nil {
+		return err
+	}
+	net := cc.resolvedNetwork()
 	for i, p := range cc.Pools {
 		if err := p.Config.Validate(); err != nil {
 			return fmt.Errorf("serve: pool %d (%s): %w", i, p.Name, err)
@@ -128,6 +159,10 @@ func (cc ClusterConfig) Validate() error {
 		if n := p.Config.instanceCount(); n > maxPoolInstances {
 			return fmt.Errorf("serve: pool %d (%s) has %d instances, above the %d per-pool limit",
 				i, p.Name, n, maxPoolInstances)
+		}
+		if pn := p.Config.Network; pn.Enabled() && pn != net {
+			return fmt.Errorf("serve: pool %d (%s) wants fabric %s but the cluster runs %s; the fabric is cluster-wide",
+				i, p.Name, pn, net)
 		}
 	}
 	return nil

@@ -365,6 +365,12 @@ func (c *colocSched) recovered(int, float64) {
 	// picks up work at the dispatch pass that follows recovery.
 }
 
+// deliverKV is unreachable: colocated instances run both phases, so no
+// KV cache ever crosses the fabric between them.
+func (c *colocSched) deliverKV(*activeReq, float64) {
+	panic("serve: KV handoff delivered to a colocated scheduler")
+}
+
 // newChunkTimer returns a memoized chunk-prefill duration function:
 // the analytical prefill cost of one batch-1 pass over `tokens` prompt
 // tokens, quantized to 64-token buckets for cache efficiency.

@@ -7,6 +7,7 @@ import (
 
 	"litegpu/internal/failure"
 	"litegpu/internal/mathx"
+	"litegpu/internal/netsim"
 	"litegpu/internal/sim"
 	"litegpu/internal/trace"
 	"litegpu/internal/units"
@@ -26,6 +27,7 @@ const (
 	prioPrefill  = 1 << 20 // + global prefill engine index
 	prioDecode   = 2 << 20 // + global decode engine index
 	prioFailure  = 3 << 20 // + global instance index
+	prioTransfer = 4 << 20 // + destination instance index: fabric deliveries
 	prioDispatch = 1 << 30
 )
 
@@ -69,6 +71,32 @@ type instanceState struct {
 // of allocating per request.
 const activeChunk = 64
 
+// ingressBytesPerToken is the wire size of one routed prompt token
+// (an int32 token id): what a multi-pool cluster's router pushes over
+// the fabric to hand an arrival to its pool. Tiny next to KV bytes,
+// but it charges the path latency every request must pay.
+const ingressBytesPerToken = 4
+
+// Kinds of fabric transfer a pool can have in flight.
+const (
+	xferKV      int8 = iota // KV-cache handoff: prefill → decode instance
+	xferIngress             // routed arrival: router → pool instance
+)
+
+// xferRec is one in-flight fabric transfer's serving-side state,
+// recycled through a per-pool index arena (the fabric's own flow state
+// lives in netsim). src/dst are pool-local instance ids for KV
+// handoffs (-1 for ingress, which is not tied to an instance).
+type xferRec struct {
+	kind     int8
+	src, dst int32
+	a        *activeReq    // KV payload (nil for ingress)
+	req      trace.Request // ingress payload
+	tid      netsim.TransferID
+	start    float64
+	bytes    float64
+}
+
 // poolSim is one serving pool's live state: its scheduler, its spare
 // shelf, and its metric accumulators. The scheduling discipline itself
 // lives behind the scheduler interface.
@@ -94,13 +122,66 @@ type poolSim struct {
 	// requests return here and are reused for later arrivals.
 	freeReqs []*activeReq
 
+	// Fabric-facing state, used only when the cluster runs a fabric:
+	// epBase is the pool's first endpoint index (the cluster's router
+	// is endpoint 0), nodeOf maps instances to scale-up nodes, and
+	// kvPerToken is the model's full KV-cache bytes per prompt token
+	// at the pool's precision. In-flight transfers recycle through the
+	// xfers index arena; liveXfers lists the KV handoffs in flight,
+	// scanned when an instance dies.
+	epBase     int
+	nodeOf     []int32
+	kvPerToken float64
+	ingressRR  int
+	xfers      []xferRec
+	freeXferIx []int32
+	liveXfers  []int32
+
 	m          Metrics
 	goodTokens int
 	ttfts      []float64
 	tbts       []float64
 	e2es       []float64
+	xferT      []float64
+	xferB      []float64
+	netSec     float64
 	ttftOK     int
 	tbtOK      int
+}
+
+// newXfer returns a fresh transfer-record index from the pool's arena.
+// Indices, not pointers, cross the event boundary (they ride the
+// ScheduleCall arg word), so arena growth never invalidates anything.
+func (p *poolSim) newXfer() int32 {
+	if n := len(p.freeXferIx); n > 0 {
+		idx := p.freeXferIx[n-1]
+		p.freeXferIx = p.freeXferIx[:n-1]
+		return idx
+	}
+	p.xfers = append(p.xfers, xferRec{})
+	return int32(len(p.xfers) - 1)
+}
+
+// freeXfer recycles a transfer record, clearing it so the arena does
+// not retain the activeReq.
+func (p *poolSim) freeXfer(idx int32) {
+	p.xfers[idx] = xferRec{}
+	p.freeXferIx = append(p.freeXferIx, idx)
+}
+
+// dropLive removes idx from the pool's live KV-handoff list (order
+// preserving; a miss is a no-op, which is how ingress records — never
+// listed — share the delivery path).
+func (p *poolSim) dropLive(idx int32) {
+	l := p.liveXfers
+	w := 0
+	for _, v := range l {
+		if v != idx {
+			l[w] = v
+			w++
+		}
+	}
+	p.liveXfers = l[:w]
 }
 
 // newActive returns a zeroed activeReq for r from the pool's free list,
@@ -209,9 +290,15 @@ type clusterSim struct {
 	failH     sim.Handler
 	repairH   sim.Handler
 	recoverH  sim.Handler
+	xferH     sim.Handler
 
 	failMTTR     float64
 	failRecovery float64
+
+	// net/fab are the resolved cluster fabric; fab is nil when the
+	// network is off, and every fabric-charging site gates on that.
+	net NetworkConfig
+	fab *netsim.Fabric
 }
 
 // packArg encodes a (pool, instance) pair into a ScheduleCall arg word.
@@ -230,6 +317,7 @@ func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
 	s.failH = s.onFail
 	s.repairH = s.onRepair
 	s.recoverH = s.onRecover
+	s.xferH = s.onXfer
 	fp := cc.Failures.params()
 	scale := cc.Failures.timeScale()
 	s.failMTTR = float64(fp.MTTR)
@@ -274,7 +362,116 @@ func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
 		}
 		s.pools = append(s.pools, p)
 	}
+	if err := s.buildFabric(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// buildFabric constructs the cluster's netsim fabric when a network
+// config is enabled: one endpoint per instance plus endpoint 0 for the
+// router, instances packed into scale-up nodes in global order, and
+// path latency taken from the configured topology built at the
+// cluster's full GPU count (the physical fabric scale) times the
+// stress multiplier.
+func (s *clusterSim) buildFabric() error {
+	s.net = s.cc.resolvedNetwork()
+	if !s.net.Enabled() {
+		return nil
+	}
+	ports := []float64{0} // router endpoint, sized below
+	nodeGPUs := s.net.nodeGPUs()
+	nodeID, nodeUsed := 0, 0
+	totalGPUs := 0
+	var routerBW float64
+	for _, p := range s.pools {
+		p.epBase = len(ports)
+		n := p.sched.numInstances()
+		p.nodeOf = make([]int32, n)
+		for id := 0; id < n; id++ {
+			g := p.sched.gpus(id)
+			if nodeUsed > 0 && nodeUsed+g > nodeGPUs {
+				nodeID, nodeUsed = nodeID+1, 0
+			}
+			p.nodeOf[id] = int32(nodeID)
+			nodeUsed += g
+			if nodeUsed >= nodeGPUs {
+				nodeID, nodeUsed = nodeID+1, 0
+			}
+			bw := s.net.instancePortBW(p.cfg.GPU, g)
+			ports = append(ports, bw)
+			routerBW += bw
+		}
+		p.kvPerToken = float64(p.cfg.Model.KVBytesPerToken(p.cfg.Opts.EffectivePrecision()))
+		totalGPUs += p.sched.totalGPUs()
+	}
+	// The router injects token ids, not KV caches; give it the
+	// aggregate attachment so it is never the modeled bottleneck.
+	ports[0] = routerBW
+	topo := s.net.Topology(totalGPUs)
+	params := netsim.Params{
+		Ports:       ports,
+		PathLatency: float64(topo.PathLatency()) * s.net.latencyScale(),
+		Circuit:     s.net.circuit(),
+	}
+	if params.Circuit {
+		// Reconfiguration is a switching-device property, deliberately
+		// NOT scaled by LatencyScale — the stress knob models path and
+		// software-stack latency, which is exactly what circuit
+		// switching's low-latency story is judged against.
+		params.ReconfigTime = float64(topo.Switch.ReconfigTime)
+	}
+	fab, err := netsim.New(s.eng, params)
+	if err != nil {
+		return err
+	}
+	s.fab = fab
+	return nil
+}
+
+// onXfer fires one fabric delivery: record the transfer sample, then
+// hand the payload to its pool — a KV handoff joins the decode queue
+// (this is the moment the request's first token can ship, so TTFT is
+// stamped here), a routed arrival joins the pool's admission queue.
+func (s *clusterSim) onXfer(now float64, arg uint64) {
+	pi, idx := unpackArg(arg)
+	p := s.pools[pi]
+	rec := &p.xfers[idx]
+	dur := now - rec.start
+	p.xferT = append(p.xferT, dur)
+	p.xferB = append(p.xferB, rec.bytes)
+	p.netSec += dur
+	p.m.NetTransfers++
+	switch rec.kind {
+	case xferKV:
+		a := rec.a
+		p.recordTTFT(now - float64(a.req.Arrival))
+		p.sched.deliverKV(a, now)
+	default:
+		p.sched.enqueue(rec.req)
+	}
+	p.dropLive(int32(idx))
+	p.freeXfer(int32(idx))
+	s.requestDispatch(now)
+}
+
+// startIngress charges a routed arrival's trip from the router to its
+// pool: prompt token ids over the fabric to the pool's next instance
+// endpoint (round-robin — the target only shapes contention; delivery
+// lands in the pool's shared queue).
+func (s *clusterSim) startIngress(p *poolSim, r trace.Request, now float64) {
+	n := p.sched.numInstances()
+	inst := p.ingressRR % n
+	p.ingressRR++
+	idx := p.newXfer()
+	rec := &p.xfers[idx]
+	*rec = xferRec{
+		kind: xferIngress, src: -1, dst: -1,
+		req: r, start: now,
+		bytes: float64(r.PromptTokens) * ingressBytesPerToken,
+	}
+	rec.tid = s.fab.Start(0, p.epBase+inst, rec.bytes,
+		prioTransfer+p.sched.state(inst).prio, s.xferH, packArg(p.idx, int(idx)))
 }
 
 // poolIndexBase spaces engine priorities so that pool 0's engines
@@ -403,8 +600,16 @@ func (s *clusterSim) route(r trace.Request, now float64) {
 		p = s.pools[s.rrNext%len(s.pools)]
 		s.rrNext++
 	}
-	p.sched.enqueue(r)
 	p.m.Arrived++
+	// With a fabric and more than one pool, the router's handoff to
+	// the pool crosses the network: the prompt rides an ingress
+	// transfer and joins the pool's queue on delivery. A single pool
+	// is fed directly (its frontend is assumed adjacent).
+	if s.fab != nil && len(s.pools) > 1 {
+		s.startIngress(p, r, now)
+		return
+	}
+	p.sched.enqueue(r)
 }
 
 func (s *clusterSim) requestDispatch(now float64) {
@@ -521,6 +726,7 @@ func (s *clusterSim) assemble() ClusterMetrics {
 	var cm ClusterMetrics
 	var (
 		allTTFT, allTBT, allE2E []float64
+		allXferT, allXferB      []float64
 		ttftOK, tbtOK           int
 		pBusyGPU, dBusyGPU      float64
 		pGPUs, dGPUs            int
@@ -529,6 +735,7 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		totalRate               float64
 		blastLoss               float64
 		goodTokens              int
+		netSec, e2eSec          float64
 	)
 	if len(s.pools) > 1 {
 		// Preallocate the cross-pool sample unions; the single-pool case
@@ -551,6 +758,15 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		m.TTFTAttainmentCompleted = ratio(p.ttftOK, len(p.ttfts))
 		m.TTFTAttainment = ratio(p.ttftOK, m.Arrived-m.Dropped)
 		m.TBTAttainment = ratio(p.tbtOK, len(p.tbts))
+		m.TransferBytes = mathx.Summarize(p.xferB)
+		m.TransferTime = mathx.Summarize(p.xferT)
+		var poolE2E float64
+		for _, v := range p.e2es {
+			poolE2E += v
+		}
+		if p.netSec > 0 && poolE2E > 0 {
+			m.NetworkBoundFraction = p.netSec / poolE2E
+		}
 
 		shape := p.sched.shape()
 		poolPBusy, poolDBusy := p.sched.busy()
@@ -595,12 +811,17 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		cm.Total.FailureEvents += m.FailureEvents
 		cm.Total.Requeued += m.Requeued
 		cm.Total.DroppedOnFailure += m.DroppedOnFailure
+		cm.Total.NetTransfers += m.NetTransfers
+		netSec += p.netSec
+		e2eSec += poolE2E
 		if len(s.pools) == 1 {
 			allTTFT, allTBT, allE2E = p.ttfts, p.tbts, p.e2es
 		} else {
 			allTTFT = append(allTTFT, p.ttfts...)
 			allTBT = append(allTBT, p.tbts...)
 			allE2E = append(allE2E, p.e2es...)
+			allXferT = append(allXferT, p.xferT...)
+			allXferB = append(allXferB, p.xferB...)
 		}
 		ttftOK += p.ttftOK
 		tbtOK += p.tbtOK
@@ -631,10 +852,16 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		// instead of re-sorting the same data.
 		m := &cm.Pools[0].Metrics
 		t.TTFT, t.TBT, t.E2E = m.TTFT, m.TBT, m.E2E
+		t.TransferBytes, t.TransferTime = m.TransferBytes, m.TransferTime
 	} else {
 		t.TTFT = mathx.Summarize(allTTFT)
 		t.TBT = mathx.Summarize(allTBT)
 		t.E2E = mathx.Summarize(allE2E)
+		t.TransferBytes = mathx.Summarize(allXferB)
+		t.TransferTime = mathx.Summarize(allXferT)
+	}
+	if netSec > 0 && e2eSec > 0 {
+		t.NetworkBoundFraction = netSec / e2eSec
 	}
 	t.TTFTAttainmentCompleted = ratio(ttftOK, len(allTTFT))
 	t.TTFTAttainment = ratio(ttftOK, t.Arrived-t.Dropped)

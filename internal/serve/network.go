@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"litegpu/internal/hw"
+	"litegpu/internal/network"
+)
+
+// FabricKind selects the switched-fabric topology a deployment's
+// instances are cabled into. The zero value is FabricOff: the
+// infinite, instantaneous fabric every simulation ran on before the
+// network entered the event loop.
+type FabricKind int
+
+const (
+	// FabricOff disables the in-loop fabric: KV handoffs and routing
+	// are instantaneous, exactly the pre-netsim semantics.
+	FabricOff FabricKind = iota
+	// FabricClos is a folded-Clos (fat-tree) fabric whose tier count
+	// grows with scale (network.Clos).
+	FabricClos
+	// FabricLeafSpine is a non-blocking two-tier fabric (network.LeafSpine).
+	FabricLeafSpine
+	// FabricFlatCircuit is a single-tier optical-circuit fabric in the
+	// style of Sirius (network.FlatCircuit): every path one hop at any
+	// scale.
+	FabricFlatCircuit
+)
+
+// String returns the kind's CLI name.
+func (k FabricKind) String() string {
+	switch k {
+	case FabricClos:
+		return "clos"
+	case FabricLeafSpine:
+		return "leaf-spine"
+	case FabricFlatCircuit:
+		return "flat-circuit"
+	default:
+		return "off"
+	}
+}
+
+// LinkKind selects the physical link technology (internal/network's
+// LinkTech presets). The zero value defaults to co-packaged optics,
+// the paper's anticipated technology.
+type LinkKind int
+
+const (
+	// LinkDefault is co-packaged optics.
+	LinkDefault LinkKind = iota
+	// LinkCopper is NVLink-class electrical signaling: cheap, fast,
+	// about a rack of reach — and attached per instance, not per GPU.
+	LinkCopper
+	// LinkPluggable is today's pluggable optics: long reach, one NIC
+	// port per instance.
+	LinkPluggable
+	// LinkCPO is co-packaged optics: fabric ports on every GPU package,
+	// which is what lets a Lite-GPU swarm inject at full aggregate
+	// bandwidth.
+	LinkCPO
+)
+
+// String returns the link's CLI name.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkCopper:
+		return "copper"
+	case LinkPluggable:
+		return "pluggable"
+	default:
+		return "cpo"
+	}
+}
+
+// SwitchKind selects the switching discipline. The zero value defaults
+// to packet switching, except under FabricFlatCircuit, whose point is
+// the circuit discipline.
+type SwitchKind int
+
+const (
+	// SwitchDefault is packet switching (circuit under FabricFlatCircuit).
+	SwitchDefault SwitchKind = iota
+	// SwitchPacket is an electrical packet switch: concurrent transfers
+	// share ports max-min fairly, each hop pays the packet-switch
+	// latency.
+	SwitchPacket
+	// SwitchCircuit is an optical circuit switch: transfers hold
+	// exclusive circuits at full port bandwidth, FIFO-serialized, with
+	// a reconfiguration delay per circuit but far lower path latency.
+	SwitchCircuit
+)
+
+// NetworkConfig puts the fabric inside the serving event loop. The
+// zero value preserves the historical semantics exactly: an infinite,
+// instantaneous network (KV-cache handoff between the static policy's
+// phase pools is free, routing is free), which is what keeps every
+// pre-network golden byte-identical.
+//
+// With a fabric selected, transfers between instances in *different*
+// scale-up nodes are simulated on internal/netsim: a KV handoff
+// occupies real port bandwidth, contends with concurrent handoffs,
+// and pays switch path latency — while transfers inside one node keep
+// riding the node's internal interconnect for free, which is exactly
+// the asymmetry the paper's Section 3 is about (a big-GPU deployment
+// fits its phase pools in one NVLink domain; its equal-silicon
+// Lite-GPU replacement outgrows the node and pushes the same bytes
+// onto the datacenter fabric).
+type NetworkConfig struct {
+	// Fabric selects the topology; FabricOff (the zero value) disables
+	// the in-loop network entirely.
+	Fabric FabricKind
+	// Link selects the physical link technology (default co-packaged
+	// optics). Copper and pluggable optics attach one fabric port per
+	// instance (a server NIC); CPO attaches ports on every GPU.
+	Link LinkKind
+	// Switch selects the switching discipline (default packet; circuit
+	// under FabricFlatCircuit).
+	Switch SwitchKind
+	// NodeGPUs is the scale-up domain size in GPU packages (default 8,
+	// an NVLink-class node). Instances are packed into nodes in
+	// instance order; transfers within a node bypass the fabric.
+	NodeGPUs int
+	// LatencyScale multiplies the fabric's switch path latency (≤ 0 or
+	// 1 = physical values). It is the network counterpart of
+	// FailureConfig.TimeScale: switch traversals are sub-microsecond
+	// while serving latencies are tens of milliseconds, so sensitivity
+	// studies scale the latency axis to model congested switches, deep
+	// software stacks, or simply to make the latency term visible at
+	// serving timescales. Circuit reconfiguration time is a
+	// switching-device property and is not scaled.
+	LatencyScale float64
+}
+
+// Enabled reports whether the in-loop fabric is on.
+func (n NetworkConfig) Enabled() bool { return n.Fabric != FabricOff }
+
+// Validate reports the first configuration problem, or nil.
+func (n NetworkConfig) Validate() error {
+	if n.Fabric < FabricOff || n.Fabric > FabricFlatCircuit {
+		return fmt.Errorf("serve: unknown fabric kind %d", int(n.Fabric))
+	}
+	if n.Link < LinkDefault || n.Link > LinkCPO {
+		return fmt.Errorf("serve: unknown link kind %d", int(n.Link))
+	}
+	if n.Switch < SwitchDefault || n.Switch > SwitchCircuit {
+		return fmt.Errorf("serve: unknown switch kind %d", int(n.Switch))
+	}
+	if n.NodeGPUs < 0 {
+		return fmt.Errorf("serve: negative NodeGPUs %d", n.NodeGPUs)
+	}
+	if n.LatencyScale < 0 || math.IsNaN(n.LatencyScale) || math.IsInf(n.LatencyScale, 0) {
+		return fmt.Errorf("serve: bad LatencyScale %v", n.LatencyScale)
+	}
+	if n.Enabled() && n.Link == LinkCopper && n.circuit() {
+		return fmt.Errorf("serve: an optical circuit switch cannot terminate copper links")
+	}
+	return nil
+}
+
+// String renders the config as its CLI spec: "off" or
+// "fabric:link:switch".
+func (n NetworkConfig) String() string {
+	if !n.Enabled() {
+		return "off"
+	}
+	return fmt.Sprintf("%s:%s:%s", n.Fabric, n.Link, n.switchName())
+}
+
+func (n NetworkConfig) switchName() string {
+	if n.circuit() {
+		return "circuit"
+	}
+	return "packet"
+}
+
+// ParseNetworkConfig parses a CLI fabric spec: "off", or
+// "fabric[:link[:switch]]" with fabric ∈ {clos, leaf-spine,
+// flat-circuit}, link ∈ {copper, pluggable, cpo} (default cpo), and
+// switch ∈ {packet, circuit} (default packet; circuit for
+// flat-circuit).
+func ParseNetworkConfig(spec string) (NetworkConfig, error) {
+	var n NetworkConfig
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" || spec == "none" {
+		return n, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) > 3 {
+		return n, fmt.Errorf("serve: fabric spec %q has more than fabric:link:switch", spec)
+	}
+	switch parts[0] {
+	case "clos":
+		n.Fabric = FabricClos
+	case "leaf-spine", "leafspine":
+		n.Fabric = FabricLeafSpine
+	case "flat-circuit", "flatcircuit":
+		n.Fabric = FabricFlatCircuit
+	default:
+		return n, fmt.Errorf("serve: unknown fabric %q (want off, clos, leaf-spine, or flat-circuit)", parts[0])
+	}
+	if len(parts) > 1 {
+		switch parts[1] {
+		case "copper":
+			n.Link = LinkCopper
+		case "pluggable":
+			n.Link = LinkPluggable
+		case "cpo":
+			n.Link = LinkCPO
+		default:
+			return n, fmt.Errorf("serve: unknown link %q (want copper, pluggable, or cpo)", parts[1])
+		}
+	}
+	if len(parts) > 2 {
+		switch parts[2] {
+		case "packet":
+			n.Switch = SwitchPacket
+		case "circuit":
+			n.Switch = SwitchCircuit
+		default:
+			return n, fmt.Errorf("serve: unknown switch %q (want packet or circuit)", parts[2])
+		}
+	}
+	return n, nil
+}
+
+// ParseNetworkConfigWithLink is ParseNetworkConfig with a default link
+// technology: when spec names a fabric without an explicit link part
+// (no ":"), link is spliced in — the shared normalization behind the
+// CLIs' -fabric/-link flag pair. An empty link leaves the spec as-is.
+func ParseNetworkConfigWithLink(spec, link string) (NetworkConfig, error) {
+	spec = strings.TrimSpace(spec)
+	if link != "" && spec != "" && spec != "off" && spec != "none" && !strings.Contains(spec, ":") {
+		spec += ":" + link
+	}
+	return ParseNetworkConfig(spec)
+}
+
+// DefaultFabricCandidates returns the fabric designs the capacity
+// planner crosses when asked to search the fabric axis: the cheap
+// rack-scale option, today's datacenter default, the planner's
+// historical hard-coded choice, and the paper's favored design.
+func DefaultFabricCandidates() []NetworkConfig {
+	return []NetworkConfig{
+		{Fabric: FabricClos, Link: LinkCopper, Switch: SwitchPacket},
+		{Fabric: FabricClos, Link: LinkPluggable, Switch: SwitchPacket},
+		{Fabric: FabricClos, Link: LinkCPO, Switch: SwitchPacket},
+		{Fabric: FabricFlatCircuit, Link: LinkCPO, Switch: SwitchCircuit},
+	}
+}
+
+func (n NetworkConfig) link() network.LinkTech {
+	switch n.Link {
+	case LinkCopper:
+		return network.Copper()
+	case LinkPluggable:
+		return network.PluggableOptics()
+	default:
+		return network.CoPackagedOptics()
+	}
+}
+
+func (n NetworkConfig) swtch() network.Switch {
+	if n.circuit() {
+		return network.CircuitSwitch()
+	}
+	return network.PacketSwitch()
+}
+
+// circuit resolves the switching discipline: explicit choice wins,
+// then FabricFlatCircuit defaults to circuit switching.
+func (n NetworkConfig) circuit() bool {
+	switch n.Switch {
+	case SwitchCircuit:
+		return true
+	case SwitchPacket:
+		return false
+	}
+	return n.Fabric == FabricFlatCircuit
+}
+
+func (n NetworkConfig) nodeGPUs() int {
+	if n.NodeGPUs > 0 {
+		return n.NodeGPUs
+	}
+	return 8
+}
+
+func (n NetworkConfig) latencyScale() float64 {
+	if n.LatencyScale > 0 {
+		return n.LatencyScale
+	}
+	return 1
+}
+
+// Topology builds the selected fabric design at the given endpoint
+// count — used both to derive the in-loop latency parameters and to
+// price the fabric through the TCO model. Panics on FabricOff; callers
+// gate on Enabled.
+func (n NetworkConfig) Topology(endpoints int) network.Topology {
+	link, sw := n.link(), n.swtch()
+	switch n.Fabric {
+	case FabricClos:
+		return network.Clos(endpoints, link, sw)
+	case FabricLeafSpine:
+		return network.LeafSpine(endpoints, link, sw)
+	case FabricFlatCircuit:
+		return network.FlatCircuit(endpoints, link, sw)
+	}
+	panic("serve: Topology on a disabled NetworkConfig")
+}
+
+// TCOTopology resolves the fabric a deployment of `gpus` accelerators
+// is priced over: the configured design when one is set, otherwise the
+// planner's historical default — a folded Clos over co-packaged optics
+// and packet switches.
+func (n NetworkConfig) TCOTopology(gpus int) network.Topology {
+	if n.Enabled() {
+		return n.Topology(gpus)
+	}
+	return network.Clos(gpus, network.CoPackagedOptics(), network.PacketSwitch())
+}
+
+// instancePortBW returns one instance's fabric attachment bandwidth in
+// bytes/s. Co-packaged optics puts fabric ports on every GPU package,
+// so an instance injects at GPU-count × min(per-GPU NetBW, port);
+// copper and pluggable optics attach through one server NIC, capping
+// the whole instance at a single port (never above the GPUs' aggregate
+// off-package bandwidth).
+func (n NetworkConfig) instancePortBW(gpu hw.GPU, gpus int) float64 {
+	link := n.link()
+	if n.Link == LinkCopper || n.Link == LinkPluggable {
+		return math.Min(float64(gpus)*float64(gpu.NetBW), float64(link.PortBW))
+	}
+	return float64(gpus) * math.Min(float64(gpu.NetBW), float64(link.PortBW))
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"testing"
+
+	"litegpu/internal/failure"
+)
+
+// networkGoldenFile extends the byte-identity corpus to
+// network-in-the-loop runs. Unlike the static and scheduler corpora
+// (captured at pre-refactor commits), this one pins the fabric
+// simulator from its first commit: the full Metrics struct — transfer
+// summaries included — in %x, so any future rework of netsim or the
+// handoff wiring must reproduce these runs bit-for-bit or knowingly
+// regenerate.
+const networkGoldenFile = "testdata/network_goldens.txt"
+
+func networkGoldenScenarios() []goldenScenario {
+	lite := l70Config()
+	lite.PrefillInstances = 2
+
+	packet := lite
+	packet.Network = pluggablePacket()
+
+	circuit := lite
+	circuit.Network = cpoCircuit()
+
+	stressed := lite
+	stressed.Network = pluggablePacket()
+	stressed.Network.LatencyScale = 1e4
+
+	// Heterogeneous cluster behind join-shortest-queue: the 2-GPU H100
+	// pool stays intra-node (ingress transfers only), the Lite pool
+	// pays KV handoffs too, and both contend on the same fabric.
+	hetero := clusterOf(smallConfig(), l70Config())
+	hetero.Router = JoinShortestQueue
+	hetero.Network = pluggablePacket()
+
+	// The failure regime that actually bites (no drain, decode-heavy,
+	// accelerated failure clock) with the fabric in the loop: dead
+	// instances mid-handoff exercise the retarget/retransmit path.
+	failCluster := clusterOf(packet)
+	p := failure.DefaultParams()
+	p.MTTR = 300
+	p.RecoveryTime = 5
+	failCluster.Failures = FailureConfig{
+		Enabled:   true,
+		Params:    p,
+		Spares:    1,
+		TimeScale: 8e6,
+		Seed:      99,
+	}
+
+	return []goldenScenario{
+		{name: "lite70-clos-pluggable-packet", cluster: clusterOf(packet), rate: 1.2, seed: 42, arrive: 300, horizon: 420},
+		{name: "lite70-flatcircuit-cpo", cluster: clusterOf(circuit), rate: 1.2, seed: 42, arrive: 300, horizon: 420},
+		{name: "lite70-latency-x1e4", cluster: clusterOf(stressed), rate: 1.2, seed: 42, arrive: 300, horizon: 420},
+		{name: "hetero-jsq-fabric", cluster: hetero, rate: 2.0, seed: 17, arrive: 300, horizon: 500},
+		{name: "lite70-fabric-fail-nodrain", cluster: failCluster, rate: 1.2, seed: 11, conv: true, arrive: 300, horizon: 300},
+	}
+}
+
+// TestNetworkGoldens pins the fabric-enabled simulator byte-for-byte.
+// Regenerate (only when knowingly changing network semantics) with:
+//
+//	LITEGPU_UPDATE_GOLDENS=1 go test ./internal/serve -run Golden
+func TestNetworkGoldens(t *testing.T) {
+	compareGoldens(t, networkGoldenFile, goldenReport(t, networkGoldenScenarios(), true))
+}

@@ -85,6 +85,22 @@ type PlanRequest struct {
 	// (default 512); ignored by the other policies.
 	PrefillChunk int
 
+	// Network selects the fabric the sizing simulations run on AND the
+	// fabric the plan is priced over. The zero value keeps the
+	// historical behavior: an infinite in-loop fabric, priced as a
+	// folded Clos over co-packaged optics and packet switches (the
+	// default that used to be hard-coded here regardless of deployment
+	// size). Fabrics, when non-empty, overrides it with a set of
+	// candidate designs: the fabric joins scheduler and spares as a
+	// search axis — every (scheduler, fabric) pair is sized
+	// independently with that fabric in the event loop, priced through
+	// the tco/network cost models at the resulting deployment scale,
+	// checked for physical feasibility (cable reach at that scale),
+	// and the cheapest feasible plan per Mtoken wins. See
+	// DefaultFabricCandidates for a sensible axis.
+	Network NetworkConfig
+	Fabrics []NetworkConfig
+
 	// PrefillGPUs and DecodeGPUs set the tensor-parallel degree per
 	// instance; zero means the smallest degree the model fits on.
 	// Colocated policies run one instance kind at the larger of the two
@@ -139,17 +155,23 @@ type Plan struct {
 	// spared deployment: the probability that no more units are down
 	// than there are spares. 1 when failure injection is off.
 	Availability float64
+	// Fabric names the network topology the plan is priced over (and,
+	// when the request put the fabric in the loop, simulated on) at the
+	// deployment's scale — e.g. "clos-2t(24)". Config.Network carries
+	// the design choice itself.
+	Fabric string
 	// Cost is the TCO breakdown of the deployment at the simulated
-	// sustained throughput, over a folded-Clos CPO fabric; its
-	// CostPerMTokens field is the $/Mtoken readout.
+	// sustained throughput, over the plan's fabric; its CostPerMTokens
+	// field is the $/Mtoken readout.
 	Cost tco.Breakdown
 }
 
 // PlanCapacity answers the operator's sizing question: how many
 // instances of the given GPU does it take to serve the workload at its
 // arrival rate while meeting the SLO attainment targets — and, when
-// PlanRequest.Schedulers lists several policies, which scheduling
-// discipline does it cheapest?
+// PlanRequest.Schedulers lists several policies or PlanRequest.Fabrics
+// lists several network designs, which scheduling discipline and which
+// fabric do it cheapest?
 //
 // For the static policy it doubles both phase pools until the
 // deployment is feasible, then binary-searches each pool down
@@ -204,29 +226,44 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	}
 	simHorizon := req.Horizon + req.Drain
 
-	// Candidate policies are sized concurrently over the shared worker
-	// pool; an infeasible policy is a per-policy outcome, not a search
-	// failure, so errors ride inside the result instead of cancelling
-	// sibling policies. Selection stays sequential in policy order —
-	// the cheapest feasible plan wins, first-listed policy on ties —
-	// so the answer is byte-identical at any worker count.
+	// Candidates are (scheduler, fabric) pairs, sized concurrently over
+	// the shared worker pool; an infeasible candidate is a per-candidate
+	// outcome, not a search failure, so errors ride inside the result
+	// instead of cancelling siblings. Selection stays sequential in
+	// enumeration order (policies outer, fabrics inner) — the cheapest
+	// feasible plan per Mtoken wins, first-listed on ties — so the
+	// answer is byte-identical at any worker count.
 	policies := req.Schedulers
 	if len(policies) == 0 {
 		policies = []SchedulerPolicy{req.Scheduler}
 	}
+	fabrics := req.Fabrics
+	if len(fabrics) == 0 {
+		fabrics = []NetworkConfig{req.Network}
+	}
+	type candidate struct {
+		pol SchedulerPolicy
+		nc  NetworkConfig
+	}
+	var cands []candidate
+	for _, pol := range policies {
+		for _, nc := range fabrics {
+			cands = append(cands, candidate{pol: pol, nc: nc})
+		}
+	}
 	// Split the worker budget between the two nesting levels so total
-	// concurrency stays ~Workers: polWorkers policies in flight, each
-	// probing waveWorkers ladder points per doubling round.
+	// concurrency stays ~Workers: candWorkers candidates in flight,
+	// each probing waveWorkers ladder points per doubling round.
 	workers := planWorkers(req)
-	polWorkers := min(workers, len(policies))
-	waveWorkers := max(1, workers/polWorkers)
+	candWorkers := min(workers, len(cands))
+	waveWorkers := max(1, workers/candWorkers)
 	type polOutcome struct {
 		plan Plan
 		err  error
 	}
-	outcomes, err := sweep.RunN(context.Background(), polWorkers, policies,
-		func(_ context.Context, _ int, pol SchedulerPolicy) (polOutcome, error) {
-			plan, perr := planPolicy(req, slo, pol, reqs, simHorizon, waveWorkers)
+	outcomes, err := sweep.RunN(context.Background(), candWorkers, cands,
+		func(_ context.Context, _ int, c candidate) (polOutcome, error) {
+			plan, perr := planPolicy(req, slo, c.pol, c.nc, reqs, simHorizon, waveWorkers)
 			return polOutcome{plan: plan, err: perr}, nil
 		})
 	if err != nil {
@@ -261,16 +298,19 @@ func planWorkers(req PlanRequest) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// planPolicy sizes one scheduling policy's cheapest feasible
-// deployment, probing up to waveWorkers doubling-ladder points
-// concurrently.
-func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, reqs []trace.Request, simHorizon units.Seconds, waveWorkers int) (Plan, error) {
+// planPolicy sizes one (scheduling policy, fabric) candidate's
+// cheapest feasible deployment, probing up to waveWorkers
+// doubling-ladder points concurrently. The fabric rides inside every
+// sizing simulation (nc zero = the historical infinite fabric) and
+// prices the final plan.
+func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig, reqs []trace.Request, simHorizon units.Seconds, waveWorkers int) (Plan, error) {
 	baseCfg := Config{
 		GPU: req.GPU, Model: req.Model, Opts: req.Opts,
 		Scheduler:    pol,
 		PrefillChunk: req.PrefillChunk,
 		PrefillGPUs:  req.PrefillGPUs, DecodeGPUs: req.DecodeGPUs,
 		MaxPrefillBatch: req.MaxPrefillBatch, MaxDecodeBatch: req.MaxDecodeBatch,
+		Network: nc,
 	}
 	// Colocated policies derive InstanceGPUs = max(PrefillGPUs,
 	// DecodeGPUs) from baseCfg (an instance must fit both phases).
@@ -468,12 +508,26 @@ func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, reqs []trace.Requ
 		}
 	}
 
+	// Price the plan over its own fabric, built at the deployment's
+	// actual scale — the fix for the historical hard-coded
+	// Clos(CoPackagedOptics, PacketSwitch) that priced every plan the
+	// same way regardless of size or request. A fabric that cannot
+	// physically cable the deployment (copper reach at cluster scale)
+	// disqualifies the candidate.
+	fabric := nc.TCOTopology(plan.TotalGPUs)
+	if nc.Enabled() && !fabric.Feasible() {
+		return Plan{}, fmt.Errorf(
+			"serve: fabric %s (%s) cannot cable %d×%s — %s reach %.0f m < required %.0f m",
+			nc, fabric.Name, plan.TotalGPUs, req.GPU.Name,
+			fabric.Link.Name, fabric.Link.Reach, network.RequiredReach(plan.TotalGPUs))
+	}
+	plan.Fabric = fabric.Name
 	costs := tco.DefaultCosts()
 	throughput := float64(plan.Metrics.TokensGenerated) / float64(simHorizon)
 	plan.Cost = costs.TCO(tco.ClusterSpec{
 		GPU:        req.GPU,
 		GPUs:       plan.TotalGPUs,
-		Fabric:     network.Clos(plan.TotalGPUs, network.CoPackagedOptics(), network.PacketSwitch()),
+		Fabric:     fabric,
 		Throughput: throughput,
 	})
 	return plan, nil

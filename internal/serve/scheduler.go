@@ -101,6 +101,12 @@ type scheduler interface {
 	totalGPUs() int
 	// enqueue accepts a routed arrival.
 	enqueue(r trace.Request)
+	// deliverKV accepts a request whose KV-cache handoff just crossed
+	// the fabric: it joins the decode path. Only schedulers that move
+	// KV between phase pools (the static policy) ever receive one;
+	// colocated schedulers panic, because a handoff to them is a
+	// simulator bug.
+	deliverKV(a *activeReq, now float64)
 	// dispatch hands queued work to idle instances; called exactly once
 	// per event timestamp, after all completions at that time.
 	dispatch(now float64)

@@ -85,6 +85,16 @@ type Config struct {
 	// whole per-instance batch: decoding plus admitted-but-unprefilled
 	// requests.
 	MaxDecodeBatch int
+
+	// Network puts the interconnect fabric inside the event loop. The
+	// zero value is the historical infinite fabric: KV-cache handoff
+	// between the static policy's phase pools is instantaneous and
+	// routing is free. With a fabric selected, inter-node handoffs are
+	// simulated on internal/netsim — they occupy port bandwidth,
+	// contend with each other, and pay switch path latency — and the
+	// Metrics gain transfer statistics. In a multi-pool cluster the
+	// fabric is cluster-wide; see ClusterConfig.Network.
+	Network NetworkConfig
 }
 
 // colocShape returns the colocated deployment size: the explicit
@@ -130,6 +140,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxPrefillBatch <= 0 || c.MaxDecodeBatch <= 0 {
 		return fmt.Errorf("serve: batch caps must be positive")
+	}
+	if err := c.Network.Validate(); err != nil {
+		return err
 	}
 	if c.Scheduler.Colocated() {
 		n, g := c.colocShape()
@@ -229,6 +242,28 @@ type Metrics struct {
 	// instances) — the quantity the paper argues Lite-GPUs shrink. It
 	// is structural, so it is reported even when no failure fired.
 	BlastRadius float64
+
+	// The remaining fields are network-in-the-loop metrics (PR 5).
+	// With Config.Network zeroed they hold their zero values, and the
+	// golden corpora pin the legacy fields byte-for-byte.
+
+	// NetTransfers counts delivered fabric transfers: inter-node
+	// KV-cache handoffs plus, in multi-pool clusters, routed-arrival
+	// ingress transfers. Intra-node handoffs ride the scale-up
+	// interconnect and are not counted.
+	NetTransfers int
+	// TransferBytes summarizes per-transfer payload sizes (bytes).
+	TransferBytes mathx.Summary
+	// TransferTime summarizes per-transfer in-fabric seconds: circuit
+	// queueing, serialization under contention, and path latency. A
+	// handoff that retransmits after its destination instance fails
+	// keeps its original start, so retries show up as tail latency.
+	TransferTime mathx.Summary
+	// NetworkBoundFraction is total in-fabric seconds over total
+	// end-to-end seconds of completed requests — the share of the
+	// pool's delivered latency that the fabric contributed. It is an
+	// aggregate ratio over the whole run, not a per-request mean.
+	NetworkBoundFraction float64
 }
 
 // Run simulates serving the request stream until the horizon, with no

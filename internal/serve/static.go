@@ -30,6 +30,7 @@ type staticSched struct {
 	decodes  []decodeEngine
 	prefillQ deque[trace.Request]
 	decodeQ  deque[*activeReq]
+	decodeRR int // KV-handoff destination rotation
 
 	prefillDoneH sim.Handler
 	decodeDoneH  sim.Handler
@@ -193,11 +194,69 @@ func (sc *staticSched) completePrefill(i int, now float64) {
 	e := &sc.prefills[i]
 	e.doneEv = 0
 	for _, r := range e.batch {
-		sc.pool.recordTTFT(now - float64(r.Arrival))
-		sc.decodeQ.PushBack(sc.pool.newActive(r))
+		sc.finishPrefillReq(i, r, now)
 	}
 	e.batch = e.batch[:0]
 	sc.cs.requestDispatch(now)
+}
+
+// finishPrefillReq moves one prefilled request toward decode. Without
+// a fabric (or when the chosen decode instance shares the prefill
+// engine's scale-up node) the handoff is instantaneous, exactly the
+// pre-netsim semantics: TTFT stamps here and the request joins the
+// decode queue. Across nodes, the KV cache — the model's full
+// KV-bytes-per-token times the prompt length — becomes a fabric
+// transfer, and the request only becomes decodable (and TTFT only
+// stamps) when the last byte lands.
+func (sc *staticSched) finishPrefillReq(i int, r trace.Request, now float64) {
+	p := sc.pool
+	if sc.cs.fab == nil {
+		p.recordTTFT(now - float64(r.Arrival))
+		sc.decodeQ.PushBack(p.newActive(r))
+		return
+	}
+	dst := sc.pickDecodeDst()
+	dstID := len(sc.prefills) + dst
+	if p.nodeOf[i] == p.nodeOf[dstID] {
+		p.recordTTFT(now - float64(r.Arrival))
+		sc.decodeQ.PushBack(p.newActive(r))
+		return
+	}
+	idx := p.newXfer()
+	rec := &p.xfers[idx]
+	*rec = xferRec{
+		kind: xferKV, src: int32(i), dst: int32(dstID),
+		a: p.newActive(r), start: now,
+		bytes: p.kvPerToken * float64(r.PromptTokens),
+	}
+	rec.tid = sc.cs.fab.Start(p.epBase+i, p.epBase+dstID, rec.bytes,
+		prioTransfer+sc.decodes[dst].prio, sc.cs.xferH, packArg(p.idx, int(idx)))
+	p.liveXfers = append(p.liveXfers, idx)
+}
+
+// pickDecodeDst rotates KV handoffs across decode instances,
+// preferring live ones (a handoff aimed at a down instance would
+// immediately retarget); with every decode instance down the plain
+// rotation applies — the transfer proceeds, and its delivery lands in
+// the shared decode queue for whichever instance recovers.
+func (sc *staticSched) pickDecodeDst() int {
+	n := len(sc.decodes)
+	for k := 0; k < n; k++ {
+		j := (sc.decodeRR + k) % n
+		if sc.decodes[j].up {
+			sc.decodeRR = j + 1
+			return j
+		}
+	}
+	j := sc.decodeRR % n
+	sc.decodeRR++
+	return j
+}
+
+// deliverKV lands a fabric-delivered KV cache: the request joins the
+// decode queue (TTFT was stamped by the delivery handler).
+func (sc *staticSched) deliverKV(a *activeReq, now float64) {
+	sc.decodeQ.PushBack(a)
 }
 
 func (sc *staticSched) startDecodeStep(j int, now float64) {
@@ -289,6 +348,62 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 			e.active = e.active[:0]
 		}
 	}
+	if sc.cs.fab != nil {
+		sc.failXfers(id, now, drop)
+	}
+}
+
+// failXfers reclaims in-flight KV handoffs touching a dead instance.
+// A transfer FROM a dead prefill engine lost its source KV: under the
+// requeue policy the prompt re-runs prefill from the queue head, under
+// drop it is abandoned. A transfer TO a dead decode engine retargets
+// to a live instance and retransmits from byte zero (the duration
+// sample keeps its original start, so the retry is visible as transfer
+// tail latency) — or is abandoned under drop.
+func (sc *staticSched) failXfers(id int, now float64, drop bool) {
+	p := sc.pool
+	live := p.liveXfers
+	w := 0
+	for _, idx := range live {
+		rec := &p.xfers[idx]
+		if int(rec.src) != id && int(rec.dst) != id {
+			live[w] = idx
+			w++
+			continue
+		}
+		sc.cs.fab.Cancel(rec.tid)
+		if drop {
+			p.m.DroppedOnFailure++
+			p.freeActive(rec.a)
+			p.freeXfer(idx)
+			continue
+		}
+		p.m.Requeued++
+		if int(rec.src) == id {
+			sc.prefillQ.PushFront(rec.a.req)
+			p.freeActive(rec.a)
+			p.freeXfer(idx)
+			continue
+		}
+		dst := sc.pickDecodeDst()
+		dstID := len(sc.prefills) + dst
+		if p.nodeOf[rec.src] == p.nodeOf[dstID] {
+			// The retarget landed inside the source's scale-up node:
+			// the same bypass finishPrefillReq applies — deliver
+			// immediately over the node interconnect instead of
+			// retransmitting on the fabric.
+			p.recordTTFT(now - float64(rec.a.req.Arrival))
+			sc.decodeQ.PushBack(rec.a)
+			p.freeXfer(idx)
+			continue
+		}
+		rec.dst = int32(dstID)
+		rec.tid = sc.cs.fab.Start(p.epBase+int(rec.src), p.epBase+dstID, rec.bytes,
+			prioTransfer+sc.decodes[dst].prio, sc.cs.xferH, packArg(p.idx, int(idx)))
+		live[w] = idx
+		w++
+	}
+	p.liveXfers = live[:w]
 }
 
 func (sc *staticSched) recovered(id int, now float64) {

@@ -18,16 +18,19 @@
 //     pluggable scheduling discipline per pool (SchedulerPolicy: the
 //     paper's static phase split, continuous batching, or chunked
 //     prefill), GPU failure injection with hot spares (ServeCluster,
-//     ServeWithFailures), and heterogeneous pools behind a pluggable
-//     router (RoundRobin, JoinShortestQueue),
+//     ServeWithFailures), heterogeneous pools behind a pluggable
+//     router (RoundRobin, JoinShortestQueue), and an optional
+//     network-in-the-loop fabric (ServeNetworkConfig: KV-cache
+//     handoffs and routing ingress become real transfers with port
+//     contention, packet vs circuit switching, and path latency),
 //   - the concurrent design-space sweep (Sweep), which crosses Table 1
 //     GPU types × models × workloads × arrival rates × scheduling
 //     policies over a worker pool and returns serving metrics per cell,
 //   - the capacity planner (PlanCapacity), which binary-searches
 //     instance counts over the serving simulator until the TTFT/TBT
 //     attainment targets hold, returning the cheapest feasible
-//     deployment — across scheduling policies when asked — with a TCO
-//     ($/Mtoken) readout,
+//     deployment — across scheduling policies and fabric designs when
+//     asked — with a TCO ($/Mtoken) readout,
 //   - the Section 2/3 claim studies (Yield, Shoreline, Network, Power,
 //     BlastRadius, Granularity).
 //
