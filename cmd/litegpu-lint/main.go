@@ -1,0 +1,94 @@
+// Command litegpu-lint statically enforces the simulator's determinism
+// and zero-alloc invariants (see docs/correctness.md).
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/litegpu-lint ./...
+//
+// Findings print one per line as file:line:col: message (analyzer); the
+// exit status is 0 when clean, 1 with findings, 2 on internal errors.
+//
+// It also speaks the vet tool protocol, so the same binary plugs into
+// the build system's incremental, per-package vet driver:
+//
+//	go build -o /tmp/litegpu-lint ./cmd/litegpu-lint
+//	go vet -vettool=/tmp/litegpu-lint ./...
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"litegpu/internal/lint"
+	"litegpu/internal/lint/analysis"
+	"litegpu/internal/lint/driver"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// The go vet protocol: `-V=full` identifies the tool by content
+	// hash, `-flags` describes supported flags, and a single *.cfg
+	// argument runs one analysis unit.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion()
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(driver.RunVetCfg(args[0], lint.All(), os.Stderr))
+		}
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load("", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litegpu-lint: %v\n", err)
+		os.Exit(2)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, lint.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "litegpu-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(driver.Format(pkg.Fset, d))
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// printVersion implements -V=full: the go command tracks vet tools by a
+// content hash of the executable so results can be cached and
+// invalidated when the tool changes.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litegpu-lint: %v\n", err)
+		os.Exit(2)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litegpu-lint: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "litegpu-lint: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+}

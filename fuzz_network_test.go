@@ -1,0 +1,64 @@
+package litegpu
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNetworkConfig drives the fabric-spec parser with arbitrary
+// input. The parser fronts a CLI flag, so any byte string can reach it;
+// it must never panic, and on success the config must round-trip
+// through its canonical String() form — the property the planner's
+// persisted sweep manifests rely on.
+func FuzzParseNetworkConfig(f *testing.F) {
+	for _, seed := range []string{
+		"", "off", "none", " off ",
+		"clos", "clos:cpo", "clos:copper:packet", "clos:pluggable",
+		"leaf-spine", "leafspine:cpo",
+		"flat-circuit:cpo:circuit", "flatcircuit",
+		"clos:cpo:circuit:extra", "clos:", ":cpo", "bogus",
+		"flat-circuit:copper", "CLOS", "clos:cpo:", "off:cpo",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseNetworkConfig(spec)
+		if err != nil {
+			return
+		}
+
+		// Canonical fixed point: String() reparses to a config that
+		// renders identically.
+		s := cfg.String()
+		cfg2, err := ParseNetworkConfig(s)
+		if err != nil {
+			t.Fatalf("ParseNetworkConfig(%q) ok, but its String %q does not reparse: %v", spec, s, err)
+		}
+		if got := cfg2.String(); got != s {
+			t.Fatalf("String round-trip not a fixed point: %q -> %q -> %q", spec, s, got)
+		}
+		if cfg2.Enabled() != cfg.Enabled() {
+			t.Fatalf("Enabled changed across round-trip of %q", spec)
+		}
+
+		// An empty default link must be the identity.
+		cfgW, errW := ParseNetworkConfigWithLink(spec, "")
+		if errW != nil || cfgW != cfg {
+			t.Fatalf("ParseNetworkConfigWithLink(%q, \"\") = (%+v, %v), want identity (%+v)", spec, cfgW, errW, cfg)
+		}
+
+		// A bare fabric name accepts a spliced default link.
+		if cfg.Enabled() && !strings.Contains(strings.TrimSpace(spec), ":") {
+			cfgL, errL := ParseNetworkConfigWithLink(spec, "pluggable")
+			if errL != nil {
+				t.Fatalf("ParseNetworkConfigWithLink(%q, pluggable): %v", spec, errL)
+			}
+			if cfgL.Link != LinkPluggable {
+				t.Fatalf("ParseNetworkConfigWithLink(%q, pluggable).Link = %v, want %v", spec, cfgL.Link, LinkPluggable)
+			}
+			if cfgL.Fabric != cfg.Fabric {
+				t.Fatalf("splicing a link changed the fabric of %q: %v -> %v", spec, cfg.Fabric, cfgL.Fabric)
+			}
+		}
+	})
+}

@@ -1,0 +1,158 @@
+// Package analysis is the self-contained core of litegpu-lint: a
+// deliberately small mirror of the golang.org/x/tools/go/analysis API
+// (Analyzer, Pass, Diagnostic) plus the repo's waiver machinery.
+//
+// The build environment for this repository is hermetic — no module
+// proxy, no vendored x/tools — so the framework is reimplemented here
+// on the standard library alone (go/ast, go/types, go/importer). The
+// shapes match x/tools closely enough that an analyzer written against
+// this package ports to the real framework by changing one import.
+//
+// Three analyzers live in sibling packages (determinism, hotpath,
+// floatcmp); internal/lint/driver loads and typechecks packages and
+// runs them; cmd/litegpu-lint is the multichecker CLI, also usable as
+// a `go vet -vettool`. See docs/correctness.md for the invariants the
+// suite enforces.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is the analyzer's one-paragraph documentation.
+	Doc string
+	// Run applies the analyzer to a package, reporting findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Package is one loaded, typechecked compilation unit — the input
+// shared by every analyzer pass and by the waiver scanner.
+type Package struct {
+	// Path is the package's import path (e.g. "litegpu/internal/sim").
+	// Test fixtures use short paths like "sim"; scope predicates match
+	// on the final path segment.
+	Path string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	// Sources maps each file name (as recorded in Fset) to its raw
+	// content; the waiver scanner needs it to distinguish trailing
+	// comments from standalone comment lines.
+	Sources map[string][]byte
+	// Types and TypesInfo are the typechecker's outputs.
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Pass connects one Analyzer run to one Package.
+type Pass struct {
+	Analyzer *Analyzer
+	*Package
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos anchors the finding.
+	Pos token.Pos
+	// Category is the finding's waiver key ("ordered", "alloc",
+	// "floatcmp"); empty means the finding cannot be waived.
+	Category string
+	// Message is the human-readable report.
+	Message string
+	// Analyzer names the reporting analyzer.
+	Analyzer string
+}
+
+// Reportf records a finding at pos. category selects which waiver
+// directive (if any) may suppress it; pass "" for unwaivable findings.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// RunPackage applies the analyzers to pkg and returns the surviving
+// diagnostics: every analyzer finding not suppressed by a waiver, plus
+// the waiver scanner's own hygiene findings (stale waivers, waivers
+// missing a reason, unknown //litegpu: directives), sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Package: pkg}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	diags = applyWaivers(pkg, diags)
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// simPackages are the final import-path segments of the packages whose
+// event evolution feeds the golden corpora. Determinism and floatcmp
+// apply only inside them; everything else (CLIs, experiments, the
+// analytical models) may use wall clocks and approximate comparisons
+// freely.
+var simPackages = map[string]bool{
+	"sim":     true,
+	"serve":   true,
+	"netsim":  true,
+	"trace":   true,
+	"sweep":   true,
+	"failure": true,
+}
+
+// IsSimPackage reports whether the import path names a simulation
+// package — one whose execution must be bit-for-bit deterministic.
+// Matching is by final path segment so analysistest fixtures (package
+// path "sim", "waive/sim") land in scope exactly like the real
+// litegpu/internal/sim.
+func IsSimPackage(path string) bool {
+	return simPackages[PathBase(path)]
+}
+
+// PathBase returns the final segment of an import path.
+func PathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// IsTestFile reports whether f comes from a _test.go file. The
+// determinism and floatcmp contracts cover shipped simulation code;
+// tests assert exact floats and compare maps deliberately, and under
+// `go vet -vettool` (which analyzes test units too) they would drown
+// the real findings.
+func IsTestFile(pkg *Package, f *ast.File) bool {
+	return strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go")
+}

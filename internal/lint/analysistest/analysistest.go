@@ -1,0 +1,210 @@
+// Package analysistest runs litegpu-lint analyzers over golden fixture
+// packages, in the style of golang.org/x/tools/go/analysis/analysistest
+// (reimplemented on the standard library; see internal/lint/analysis
+// for why).
+//
+// A fixture lives at <testdata>/src/<pkgpath>/ and is plain Go source.
+// Expected findings are written in the source as `// want` comments:
+//
+//	t0 := time.Now() // want "wall clock in simulation package"
+//
+// Each double-quoted string after `// want` is a regular expression
+// that must match one diagnostic on that line; diagnostics without a
+// matching expectation, and expectations without a matching diagnostic,
+// fail the test. Waiver hygiene findings (stale waivers, missing
+// reasons, unknown directives) participate like any other diagnostic,
+// so fixtures can pin the waiver machinery itself.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"litegpu/internal/lint/analysis"
+)
+
+// Run loads the fixture package at <testdata>/src/<pkgpath>, applies
+// the analyzers through analysis.RunPackage (waivers included), and
+// checks the resulting diagnostics against the fixture's `// want`
+// expectations.
+func Run(t *testing.T, testdata, pkgpath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loadFixture(testdata, pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkgpath, err)
+	}
+
+	expects, err := parseExpectations(pkg)
+	if err != nil {
+		t.Fatalf("parsing // want expectations in %s: %v", pkgpath, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re)
+		}
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches; it reports whether one was found.
+func claim(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.line != pos.Line || e.file != pos.Filename {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantMarker introduces expectations inside a comment. It may start the
+// comment (`// want "..."`) or trail other comment text — notably a
+// waiver directive asserting its own hygiene finding.
+const wantMarker = "// want"
+
+func parseExpectations(pkg *analysis.Package) ([]*expectation, error) {
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, wantMarker)
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(c.Text[i+len(wantMarker):])
+				if rest == "" {
+					return nil, fmt.Errorf("%s: empty // want", pos)
+				}
+				for rest != "" {
+					if rest[0] != '"' {
+						return nil, fmt.Errorf("%s: // want expects double-quoted regexps, got %q", pos, rest)
+					}
+					end := quoteEnd(rest)
+					if end < 0 {
+						return nil, fmt.Errorf("%s: unterminated string in // want", pos)
+					}
+					pat, err := strconv.Unquote(rest[:end+1])
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad string in // want: %v", pos, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad regexp in // want: %v", pos, err)
+					}
+					expects = append(expects, &expectation{
+						file: pos.Filename, line: pos.Line, re: re,
+					})
+					rest = strings.TrimSpace(rest[end+1:])
+				}
+			}
+		}
+	}
+	return expects, nil
+}
+
+// quoteEnd returns the index of the closing quote of the double-quoted
+// string starting at s[0], honoring backslash escapes, or -1.
+func quoteEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// loadFixture parses and typechecks one fixture package from source.
+// Fixtures may import the standard library only; imports resolve
+// through the gc export data shipped with the Go distribution, so no
+// network or module cache is needed.
+func loadFixture(testdata, pkgpath string) (*analysis.Package, error) {
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	sources := map[string][]byte{}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		sources[name] = src
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", nil)}
+	tpkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %v", err)
+	}
+	return &analysis.Package{
+		Path:      pkgpath,
+		Fset:      fset,
+		Files:     files,
+		Sources:   sources,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

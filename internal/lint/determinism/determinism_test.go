@@ -1,0 +1,32 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"litegpu/internal/lint/analysistest"
+	"litegpu/internal/lint/determinism"
+)
+
+const testdata = "../testdata"
+
+// TestSimPackage pins every determinism finding: wall clocks, global
+// math/rand draws, map ranges, goroutine spawns — and the sanctioned
+// counterparts (seeded generators, the key-collection idiom) staying
+// silent.
+func TestSimPackage(t *testing.T) {
+	analysistest.Run(t, testdata, "sim", determinism.Analyzer)
+}
+
+// TestNonSimPackageSilent pins the scope rule: the same constructs
+// outside a simulation package produce no findings.
+func TestNonSimPackageSilent(t *testing.T) {
+	analysistest.Run(t, testdata, "notsim", determinism.Analyzer)
+}
+
+// TestWaivers pins the waiver contract: //litegpu:ordered-ok suppresses
+// exactly the finding on the line it covers (trailing or next-line),
+// while stale waivers, reasonless waivers, and unknown directives are
+// themselves reported.
+func TestWaivers(t *testing.T) {
+	analysistest.Run(t, testdata, "waive/sim", determinism.Analyzer)
+}

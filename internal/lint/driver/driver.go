@@ -1,0 +1,239 @@
+// Package driver loads and typechecks Go packages for litegpu-lint and
+// formats the resulting diagnostics.
+//
+// It supports the two ways the linter runs:
+//
+//   - Standalone (Load): shell out to `go list -deps -export -json`,
+//     which compiles export data for every dependency into the build
+//     cache, then typecheck each root package from source with an
+//     importer that reads that export data. This needs no network, no
+//     module downloads, and no x/tools — only the go tool that built
+//     the repo.
+//
+//   - Vet tool (RunVetCfg): speak the `go vet -vettool` protocol. The
+//     go command invokes the tool once per package with a JSON config
+//     file naming the sources, the import map, and the export data it
+//     already built; diagnostics go to stderr and a nonzero exit marks
+//     findings.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"litegpu/internal/lint/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns ("./...", "litegpu/internal/sim") to their
+// packages, typechecks each from source, and returns them ready for
+// analysis. Dependencies — listed packages' imports and the standard
+// library — come from compiled export data, so only root packages pay
+// for parsing. Test files are not loaded; the analyzers run over what
+// ships.
+func Load(dir string, patterns []string) ([]*analysis.Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v", strings.Join(args, " "), err)
+	}
+
+	exports := map[string]string{}
+	var roots []*listPackage
+	seen := map[string]bool{}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !seen[p.ImportPath] && len(p.GoFiles) > 0 {
+			seen[p.ImportPath] = true
+			roots = append(roots, &p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) string { return exports[path] })
+
+	var pkgs []*analysis.Package
+	for _, r := range roots {
+		pkg, err := typecheck(fset, imp, r.ImportPath, r.Dir, r.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a gc-export-data importer whose lookup is
+// resolve: import path -> export data file.
+func exportImporter(fset *token.FileSet, resolve func(string) string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f := resolve(path)
+		if f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// typecheck parses and checks one package from source.
+func typecheck(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*analysis.Package, error) {
+	var files []*ast.File
+	sources := map[string][]byte{}
+	for _, name := range goFiles {
+		full := name
+		if dir != "" && !strings.HasPrefix(name, "/") {
+			full = dir + "/" + name
+		}
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		sources[full] = src
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &analysis.Package{
+		Path:      importPath,
+		Fset:      fset,
+		Files:     files,
+		Sources:   sources,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Format renders one diagnostic as file:line:col: message (analyzer).
+func Format(fset *token.FileSet, d analysis.Diagnostic) string {
+	p := fset.Position(d.Pos)
+	name := p.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if rel := strings.TrimPrefix(name, wd+"/"); rel != name {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", name, p.Line, p.Column, d.Message, d.Analyzer)
+}
+
+// vetConfig is the JSON unit description `go vet -vettool` hands the
+// tool, one file per package (see cmd/go internal/work and the x/tools
+// unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetCfg executes one vet unit: load the config, typecheck the
+// package, run the analyzers, print findings to w. It returns the
+// process exit code: 0 clean, 1 findings, 2 internal error.
+func RunVetCfg(cfgPath string, analyzers []*analysis.Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "litegpu-lint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "litegpu-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The go command expects the facts file to exist even though these
+	// analyzers produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(w, "litegpu-lint: writing facts: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) string {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return cfg.PackageFile[path]
+	})
+	pkg, err := typecheck(fset, imp, cfg.ImportPath, "", cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "litegpu-lint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "litegpu-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s:%d:%d: %s\n", p.Filename, p.Line, p.Column, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+// Package floatcmp defines the litegpu-lint analyzer that makes float
+// equality explicit in simulation packages.
+//
+// The golden corpora pin exact float evolution: a float that should be
+// 0.0 is exactly 0.0 on every run, or the goldens diff. That makes ==
+// and != on floats *meaningful* here — and therefore dangerous to leave
+// implicit, because a reader (or a refactor introducing an epsilon, an
+// FMA, or a different summation order) cannot tell an intentional
+// exact sentinel test from a float-comparison bug. In simulation
+// packages every ==/!= with a float operand must either go through the
+// named mathx helpers (mathx.ExactEq / mathx.ExactNe), which document
+// that bitwise-exact comparison is the point, or carry a
+// //litegpu:floatcmp-ok <reason> waiver.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"litegpu/internal/lint/analysis"
+)
+
+// Analyzer is the float-comparison check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= on floats in simulation packages; exactness must be " +
+		"explicit via mathx.ExactEq/ExactNe or a waiver",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Package, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			// A comparison folded at compile time is a constant, not a
+			// runtime float comparison.
+			if isConst(pass, be.X) && isConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(), "floatcmp",
+				"float %s comparison in simulation package: goldens depend on exact float evolution — use mathx.ExactEq/ExactNe to mark the comparison intentional, or waive with //litegpu:floatcmp-ok <reason>",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	return pass.TypesInfo.Types[e].Value != nil
+}

@@ -1,0 +1,22 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"litegpu/internal/lint/analysistest"
+	"litegpu/internal/lint/floatcmp"
+)
+
+const testdata = "../testdata"
+
+// TestSimPackage pins the float-comparison findings: ==/!= with any
+// float operand fires, integer comparisons and constant-folded
+// comparisons stay silent, and //litegpu:floatcmp-ok waives a line.
+func TestSimPackage(t *testing.T) {
+	analysistest.Run(t, testdata, "floatcmp/sim", floatcmp.Analyzer)
+}
+
+// TestNonSimPackageSilent pins the scope rule for float comparisons.
+func TestNonSimPackageSilent(t *testing.T) {
+	analysistest.Run(t, testdata, "notsim", floatcmp.Analyzer)
+}

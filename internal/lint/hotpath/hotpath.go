@@ -1,0 +1,352 @@
+// Package hotpath defines the litegpu-lint analyzer behind the
+// //litegpu:hotpath annotation: a per-function, named version of the
+// AllocsPerRun pins.
+//
+// The simulators' steady state is allocation-free (PR 4/5); the
+// AllocsPerRun tests prove it end-to-end but diagnose nothing — when a
+// pin trips, someone bisects. This analyzer turns the invariant into
+// per-function diagnoses: a function whose doc comment carries
+// //litegpu:hotpath (event handlers, scheduler step functions, the
+// netsim waterfill, ring-buffer ops) is checked for allocation-prone
+// constructs:
+//
+//   - closure literals (a per-event closure was the exact regression PR
+//     4 removed from the event calendar);
+//   - map/slice composite literals, make, and new;
+//   - append that cannot be the recycled-buffer idiom: appending into a
+//     different slice than the first operand, or growing a
+//     function-local slice that dies with the call. Self-append to a
+//     field, parameter, or package-level buffer is the sanctioned
+//     reuse pattern (amortized-zero, proven by the pins) and is
+//     allowed;
+//   - interface boxing at call sites: passing a non-pointer-shaped
+//     concrete value to an interface parameter allocates;
+//   - fmt calls and non-constant string concatenation.
+//
+// Arguments of panic(...) are exempt — a panic path is cold by
+// definition, and the repo convention panics with fmt.Sprintf detail.
+// Anything else must be fixed or waived with //litegpu:alloc-ok
+// <reason>; the waiver is how warm-up growth (arena chunks, high-water
+// marks) is documented in place.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"litegpu/internal/lint/analysis"
+)
+
+// Analyzer is the hot-path allocation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "check //litegpu:hotpath functions for allocation-prone " +
+		"constructs (closures, literals, growing appends, boxing, fmt)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		marked := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if isHotpathMarker(c.Text) {
+					marked[c] = true
+					if fd.Body != nil {
+						check(pass, fd)
+					}
+				}
+			}
+		}
+		// A marker that is not part of some function's doc comment
+		// marks nothing — report it rather than let it lie.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isHotpathMarker(c.Text) && !marked[c] {
+					pass.Reportf(c.Pos(), "",
+						"misplaced //litegpu:hotpath: the marker must sit in a function declaration's doc comment")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isHotpathMarker(text string) bool {
+	return text == analysis.HotpathDirective ||
+		strings.HasPrefix(text, analysis.HotpathDirective+" ")
+}
+
+// checker carries one hot-path function's walk state.
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+	// panicArgs marks every node inside a panic(...) argument: the cold
+	// path exemption.
+	panicArgs map[ast.Node]bool
+	// params are the function's parameter/receiver/result objects —
+	// slices among them are caller-owned buffers, so self-append to
+	// them is reuse, not growth.
+	params map[types.Object]bool
+	// handledAppends are append calls consumed by assignment analysis;
+	// any append call seen outside one is an escaping append.
+	handledAppends map[*ast.CallExpr]bool
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{
+		pass:           pass,
+		fn:             fd,
+		panicArgs:      map[ast.Node]bool{},
+		params:         map[types.Object]bool{},
+		handledAppends: map[*ast.CallExpr]bool{},
+	}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.ObjectOf(name); obj != nil {
+					c.params[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	collect(fd.Type.Results)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && c.isBuiltin(call.Fun, "panic") {
+			for _, a := range call.Args {
+				ast.Inspect(a, func(m ast.Node) bool {
+					if m != nil {
+						c.panicArgs[m] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, c.visit)
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	if n == nil || c.panicArgs[n] {
+		return n != nil && !c.panicArgs[n] // skip whole panic-arg subtrees
+	}
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		c.report(n.Pos(), "closure literal allocates per call; bind the handler once at setup and pass context through an arg word")
+		return false // the literal's body runs elsewhere; one report is enough
+	case *ast.CompositeLit:
+		c.checkCompositeLit(n)
+	case *ast.AssignStmt:
+		c.checkAssign(n)
+	case *ast.CallExpr:
+		c.checkCall(n)
+	case *ast.BinaryExpr:
+		c.checkConcat(n)
+	}
+	return true
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
+	c.pass.Reportf(pos, "alloc", "hot path %s: "+format,
+		append([]interface{}{c.fn.Name.Name}, args...)...)
+}
+
+// checkCompositeLit flags map and slice literals; struct and array
+// literals are values and stay off the heap.
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates; reuse a preallocated buffer")
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates; hoist it to setup")
+	}
+}
+
+// checkAssign pairs appends with their destination so the recycled-
+// buffer idiom (x = append(x, ...) into storage that outlives the call)
+// passes while growing appends are flagged.
+func (c *checker) checkAssign(asg *ast.AssignStmt) {
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i, rhs := range asg.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !c.isBuiltin(call.Fun, "append") || len(call.Args) == 0 {
+			continue
+		}
+		c.handledAppends[call] = true
+		if c.panicArgs[call] {
+			continue
+		}
+		lhs := asg.Lhs[i]
+		if types.ExprString(lhs) != types.ExprString(sliceBase(call.Args[0])) {
+			c.report(call.Pos(), "append into a different slice (%s vs %s) allocates a new backing array",
+				types.ExprString(lhs), types.ExprString(call.Args[0]))
+			continue
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			obj := c.pass.TypesInfo.ObjectOf(id)
+			if c.isFunctionLocal(obj) {
+				c.report(call.Pos(), "append grows function-local slice %s, which dies with the call; reuse a field or parameter buffer or waive with //litegpu:alloc-ok",
+					id.Name)
+			}
+		}
+	}
+}
+
+// isFunctionLocal reports whether obj is a variable declared inside the
+// checked function body — not a parameter, receiver, field, or
+// package-level buffer.
+func (c *checker) isFunctionLocal(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || c.params[obj] || v.IsField() {
+		return false
+	}
+	return obj.Pos() >= c.fn.Body.Pos() && obj.Pos() <= c.fn.Body.End()
+}
+
+// sliceBase unwraps reslicings: the base of x[:n] is x, so
+// `buf = append(buf[:0], ...)` still counts as self-append.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		s, ok := e.(*ast.SliceExpr)
+		if !ok {
+			return e
+		}
+		e = s.X
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	switch {
+	case c.isBuiltin(call.Fun, "append"):
+		if !c.handledAppends[call] {
+			c.report(call.Pos(), "append result escapes (not assigned back to its operand); it allocates a new backing array")
+		}
+		return
+	case c.isBuiltin(call.Fun, "make"):
+		c.report(call.Pos(), "make allocates; hoist the buffer to setup or waive with //litegpu:alloc-ok")
+		return
+	case c.isBuiltin(call.Fun, "new"):
+		c.report(call.Pos(), "new allocates; recycle through an arena free list")
+		return
+	case c.isBuiltin(call.Fun, "panic"):
+		// The argument subtree is already exempt (cold path); the boxing
+		// into panic's interface{} parameter is part of the same exemption.
+		return
+	}
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			c.report(call.Pos(), "fmt.%s allocates; hot paths must not format", fn.Name())
+			return
+		}
+	}
+
+	// Interface boxing at the call site: a non-pointer-shaped concrete
+	// argument passed as an interface parameter allocates.
+	if c.pass.TypesInfo.Types[call.Fun].IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := typeAsSignature(c.pass.TypesInfo.TypeOf(call.Fun))
+	if !ok || sig.Params() == nil {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing here
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := c.pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) || pointerShaped(at) {
+			continue
+		}
+		c.report(arg.Pos(), "passing %s as interface %s boxes the value and allocates",
+			types.TypeString(at, nil), types.TypeString(pt, nil))
+	}
+}
+
+// checkConcat flags non-constant string concatenation.
+func (c *checker) checkConcat(be *ast.BinaryExpr) {
+	if be.Op != token.ADD {
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(be)
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	if c.pass.TypesInfo.Types[be].Value != nil {
+		return // folded at compile time
+	}
+	c.report(be.Pos(), "string concatenation allocates; hot paths must not build strings")
+}
+
+func (c *checker) isBuiltin(fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports whether values of t fit in an interface's data
+// word without allocating: pointers, channels, maps, funcs, and
+// unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"litegpu/internal/lint/analysistest"
+	"litegpu/internal/lint/hotpath"
+)
+
+// TestHotpath pins the //litegpu:hotpath contract: annotated functions
+// are checked for closures, map/slice literals, make/new, growing
+// appends, fmt, string building, and interface boxing, while the
+// recycled-buffer idiom, panic arguments, pointer-shaped boxing, and
+// //litegpu:alloc-ok-waived lines pass. Unannotated functions are never
+// checked; a marker outside a function doc is reported as misplaced.
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "../testdata", "hotpath", hotpath.Analyzer)
+}

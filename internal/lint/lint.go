@@ -1,0 +1,30 @@
+// Package lint assembles the litegpu-lint analyzer suite.
+//
+// The suite statically enforces the two invariants the repository's
+// tests can only witness dynamically:
+//
+//   - determinism: simulation packages must evolve bit-for-bit
+//     identically run to run (the %x golden corpora depend on it);
+//   - zero-alloc hot paths: functions annotated //litegpu:hotpath must
+//     not contain allocation-prone constructs (the AllocsPerRun pins
+//     depend on it).
+//
+// See docs/correctness.md for the full contract, including the
+// //litegpu: waiver grammar.
+package lint
+
+import (
+	"litegpu/internal/lint/analysis"
+	"litegpu/internal/lint/determinism"
+	"litegpu/internal/lint/floatcmp"
+	"litegpu/internal/lint/hotpath"
+)
+
+// All returns the full analyzer suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		hotpath.Analyzer,
+		floatcmp.Analyzer,
+	}
+}

@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"litegpu/internal/lint"
+	"litegpu/internal/lint/analysis"
+	"litegpu/internal/lint/driver"
+)
+
+// TestRepoIsLintClean runs the full analyzer suite over every package
+// in the module and requires zero findings: each real hazard has been
+// fixed or carries an audited //litegpu: waiver, and no waiver is
+// stale. This is the same check CI's lint job performs via
+// cmd/litegpu-lint.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	pkgs, err := driver.Load("", []string{"litegpu/..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	var sawSim bool
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Path, "internal/sim") {
+			sawSim = true
+		}
+		diags, err := analysis.RunPackage(pkg, lint.All())
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		for _, d := range diags {
+			t.Errorf("lint finding: %s", driver.Format(pkg.Fset, d))
+		}
+	}
+	if !sawSim {
+		t.Fatal("litegpu/internal/sim not among loaded packages; pattern broken")
+	}
+}

@@ -1,0 +1,29 @@
+// Fixture for the floatcmp analyzer: the package path ends in "sim" so
+// float equality must be explicit.
+package sim
+
+const eps = 1e-9
+
+func Exact(a, b float64) bool {
+	return a == b // want "float == comparison in simulation package"
+}
+
+func NotEq(a, b float32) bool {
+	return a != b // want "float != comparison in simulation package"
+}
+
+func Sentinel(a float64) bool {
+	return a == 0 // want "float == comparison in simulation package"
+}
+
+func Ints(a, b int) bool {
+	return a == b
+}
+
+func Consts() bool {
+	return eps == 1e-9
+}
+
+func Waived(a float64) bool {
+	return a == 0 //litegpu:floatcmp-ok zero is the unset sentinel, assigned not computed
+}

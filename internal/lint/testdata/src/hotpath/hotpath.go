@@ -1,0 +1,94 @@
+// Fixture for the hotpath analyzer: only functions whose doc carries
+// //litegpu:hotpath are checked; within them every allocation-prone
+// construct is flagged unless it is the recycled-buffer idiom, a panic
+// argument, or carries an //litegpu:alloc-ok waiver.
+package hotpath
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+var global []int
+
+func sinkSlice(v []int)          {}
+func consume(v interface{})      {}
+func variadic(vs ...interface{}) {}
+
+// cold is unannotated: anything goes.
+func cold() []int {
+	f := func() int { return 1 }
+	return append([]int{}, f())
+}
+
+//litegpu:hotpath
+func closure(v int) func() int {
+	return func() int { return v } // want "closure literal allocates"
+}
+
+//litegpu:hotpath
+func literals() {
+	_ = []int{1, 2}      // want "slice literal allocates"
+	_ = map[string]int{} // want "map literal allocates"
+}
+
+//litegpu:hotpath
+func makes() {
+	_ = make([]int, 4) // want "make allocates"
+	_ = new(int)       // want "new allocates"
+}
+
+//litegpu:hotpath
+func appends(dst []int, n int) []int {
+	dst = append(dst, n)       // self-append to parameter: reuse, allowed
+	global = append(global, n) // self-append to package buffer: allowed
+	local := []int(nil)
+	local = append(local, n)  // want "append grows function-local slice local"
+	dst = append(local, n)    // want "append into a different slice"
+	sinkSlice(append(dst, n)) // want "append result escapes"
+	return dst
+}
+
+// push is the sanctioned reslice-reuse form: append into a field
+// through a reslicing of itself.
+//
+//litegpu:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf[:0], v)
+}
+
+//litegpu:hotpath
+func format(name string) string {
+	s := fmt.Sprintf("x=%s", name) // want "fmt.Sprintf allocates"
+	return s + "!"                 // want "string concatenation allocates"
+}
+
+//litegpu:hotpath
+func boxing(n int, r *ring) {
+	consume(n)       // want "passing int as interface"
+	consume(r)       // pointer-shaped: no allocation, allowed
+	variadic(n, nil) // want "passing int as interface"
+	variadic(nil)    // untyped nil: allowed
+}
+
+// guard panics with formatted detail: panic arguments are cold-path and
+// exempt from every hotpath check.
+//
+//litegpu:hotpath
+func guard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+}
+
+//litegpu:hotpath
+func waived() {
+	scratch := make([]int, 0, 4) //litegpu:alloc-ok warm-up scratch, amortized-zero per the pins
+	_ = scratch
+}
+
+// A marker outside a function doc marks nothing and is reported.
+//
+//litegpu:hotpath // want "misplaced //litegpu:hotpath"
+var notAFunction int

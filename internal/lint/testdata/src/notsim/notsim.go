@@ -1,0 +1,21 @@
+// Fixture proving scope: this package path does not end in a simulation
+// segment, so determinism and floatcmp stay silent on constructs they
+// would flag in internal/sim.
+package notsim
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Sum(m map[string]float64) (total float64) {
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func Same(a, b float64) bool {
+	return a == b
+}

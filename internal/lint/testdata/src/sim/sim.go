@@ -1,0 +1,56 @@
+// Fixture for the determinism analyzer: the package path ends in "sim"
+// so every check is in scope.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var state = map[string]float64{}
+
+func Clocks() time.Duration {
+	t0 := time.Now()      // want "wall clock in simulation package: time.Now"
+	time.Sleep(1)         // want "time.Sleep breaks run-to-run determinism"
+	return time.Since(t0) // want "time.Since breaks run-to-run determinism"
+}
+
+func Draws() float64 {
+	rand.Shuffle(2, func(i, j int) {}) // want "rand.Shuffle is implicitly seeded"
+	return rand.Float64()              // want "rand.Float64 is implicitly seeded"
+}
+
+// Seeded is the sanctioned form: an explicitly seeded generator, drawn
+// from via method calls.
+func Seeded() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+func Sum() float64 {
+	total := 0.0
+	for _, v := range state { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// SortedSum is the sanctioned iteration: collect keys (the exempt
+// idiom), sort, walk the slice.
+func SortedSum() float64 {
+	keys := make([]string, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += state[k]
+	}
+	return total
+}
+
+func Spawn() {
+	go Sum() // want "goroutine spawned in simulation package"
+}

@@ -1,0 +1,51 @@
+// Fixture for the waiver machinery: valid waivers suppress exactly the
+// finding on their line, and the scanner reports its own hygiene
+// findings (stale waivers, missing reasons, unknown directives).
+package sim
+
+var registry = map[string]int{}
+
+// Waived has a trailing waiver on the map range: suppressed, no want.
+func Waived() int {
+	total := 0
+	for _, v := range registry { //litegpu:ordered-ok summation is commutative
+		total += v
+	}
+	return total
+}
+
+// StandaloneWaived has the waiver on its own line, covering the next.
+func StandaloneWaived() int {
+	n := 0
+	//litegpu:ordered-ok single-entry map in this configuration
+	for k, v := range registry {
+		n += len(k) + v
+	}
+	return n
+}
+
+// Unwaived proves a waiver's scope is one line: the waivers above do
+// not leak here.
+func Unwaived() int {
+	n := 0
+	for k := range registry { // want "range over map"
+		n += len(k)
+	}
+	return n
+}
+
+//litegpu:ordered-ok nothing on the next line needs this // want "stale //litegpu:ordered-ok waiver"
+func Stale() int { return len(registry) }
+
+// MissingReason: a reasonless waiver is malformed, so it is reported
+// AND the finding it meant to cover still fires.
+func MissingReason() int {
+	m := 0
+	for _, v := range registry { //litegpu:ordered-ok // want "range over map" "waiver needs a reason"
+		m += v
+	}
+	return m
+}
+
+//litegpu:frobnicate yes // want "unknown //litegpu: directive frobnicate"
+func Unknown() int { return 0 }

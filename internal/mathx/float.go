@@ -1,0 +1,21 @@
+package mathx
+
+// ExactEq reports whether a and b are exactly equal under IEEE-754 ==.
+//
+// In simulation packages, exact float equality is usually *correct*:
+// values compared this way are assigned sentinels (0 means "no step in
+// flight") or copies of one another, never results of differing
+// computations, and the golden corpora pin their exact evolution. The
+// litegpu-lint floatcmp analyzer flags bare ==/!= on floats precisely
+// so that intentional exact comparisons are routed here, where the name
+// says what the operator cannot. IEEE semantics are preserved: NaN is
+// not ExactEq to anything, and -0 is ExactEq to +0.
+func ExactEq(a, b float64) bool {
+	return a == b
+}
+
+// ExactNe reports whether a and b differ under IEEE-754 !=. It is the
+// negation of [ExactEq]; NaN is ExactNe to everything, including NaN.
+func ExactNe(a, b float64) bool {
+	return a != b
+}

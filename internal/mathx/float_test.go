@@ -1,0 +1,27 @@
+package mathx
+
+import "math"
+
+import "testing"
+
+func TestExactEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		eq   bool
+	}{
+		{1.5, 1.5, true},
+		{1.5, 1.5000000001, false},
+		{0, math.Copysign(0, -1), true}, // -0 == +0 under IEEE
+		{math.NaN(), math.NaN(), false}, // NaN is not equal to itself
+		{math.NaN(), 1, false},
+		{math.Inf(1), math.Inf(1), true},
+	}
+	for _, c := range cases {
+		if got := ExactEq(c.a, c.b); got != c.eq {
+			t.Errorf("ExactEq(%v, %v) = %v, want %v", c.a, c.b, got, c.eq)
+		}
+		if got := ExactNe(c.a, c.b); got != !c.eq {
+			t.Errorf("ExactNe(%v, %v) = %v, want %v", c.a, c.b, got, !c.eq)
+		}
+	}
+}

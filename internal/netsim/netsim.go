@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 
+	"litegpu/internal/mathx"
 	"litegpu/internal/sim"
 )
 
@@ -164,6 +165,8 @@ func (f *Fabric) InFlight() int { return len(f.active) + len(f.pending) }
 // event-priority band. A zero-byte transfer is legal: it delivers after
 // the latency overhead alone (same-timestamp when that is zero), still
 // through the calendar so ordering stays deterministic.
+//
+//litegpu:hotpath
 func (f *Fabric) Start(src, dst int, bytes float64, prio int, h sim.Handler, arg uint64) TransferID {
 	if src < 0 || src >= len(f.p.Ports) || dst < 0 || dst >= len(f.p.Ports) {
 		panic(fmt.Sprintf("netsim: endpoint out of range: %d -> %d of %d", src, dst, len(f.p.Ports)))
@@ -208,6 +211,8 @@ func (f *Fabric) Start(src, dst int, bytes float64, prio int, h sim.Handler, arg
 // never fires. It reports false when the id is stale (the transfer
 // already delivered or was already cancelled) — a legal no-op, matching
 // sim.Cancel semantics.
+//
+//litegpu:hotpath
 func (f *Fabric) Cancel(id TransferID) bool {
 	slot := uint32(id)
 	gen := uint32(id >> 32)
@@ -241,6 +246,8 @@ func (f *Fabric) Cancel(id TransferID) bool {
 
 // release recycles a slot, bumping the generation so stale TransferIDs
 // miss.
+//
+//litegpu:hotpath
 func (f *Fabric) release(slot int32) {
 	fl := &f.flows[slot]
 	fl.state = flowFree
@@ -250,6 +257,8 @@ func (f *Fabric) release(slot int32) {
 }
 
 // removeFrom deletes slot from an order-preserving id slice.
+//
+//litegpu:hotpath
 func (f *Fabric) removeFrom(s *[]int32, slot int32) {
 	ids := *s
 	w := 0
@@ -265,6 +274,8 @@ func (f *Fabric) removeFrom(s *[]int32, slot int32) {
 // onDeliver fires a transfer's delivery: free its ports, recycle its
 // slot, account stats, hand the fabric to waiting work, and only then
 // run the user handler — so the handler observes a consistent fabric.
+//
+//litegpu:hotpath
 func (f *Fabric) onDeliver(now float64, arg uint64) {
 	slot := int32(arg)
 	fl := &f.flows[slot]
@@ -287,6 +298,8 @@ func (f *Fabric) onDeliver(now float64, arg uint64) {
 // schedule (re)books a flow's delivery event at its projected delivery
 // time: remaining serialization at the current rate, then the overhead
 // tail.
+//
+//litegpu:hotpath
 func (f *Fabric) schedule(slot int32) {
 	fl := &f.flows[slot]
 	if fl.ev != 0 {
@@ -301,6 +314,8 @@ func (f *Fabric) schedule(slot int32) {
 
 // settle advances a flow's progress to now at its current rate: bytes
 // serialize first, then the overhead tail burns in real time.
+//
+//litegpu:hotpath
 func (f *Fabric) settle(slot int32, now float64) {
 	fl := &f.flows[slot]
 	dt := now - fl.lastAt
@@ -328,6 +343,8 @@ func (f *Fabric) settle(slot int32, now float64) {
 // entries are skipped, not head-of-line blocking the rest — skipping
 // is what makes the atomically-grab-both-ports discipline
 // deadlock-free).
+//
+//litegpu:hotpath
 func (f *Fabric) drainPending(now float64) {
 	ids := f.pending
 	w := 0
@@ -359,6 +376,8 @@ func (f *Fabric) drainPending(now float64) {
 // deterministic), freeze its flows at that fair share, charge the share
 // to each frozen flow's other port, and repeat until every flow has a
 // rate.
+//
+//litegpu:hotpath
 func (f *Fabric) reshare(now float64) {
 	if len(f.active) == 0 {
 		return
@@ -382,7 +401,7 @@ func (f *Fabric) reshare(now float64) {
 	// kept so unchanged flows skip the cancel-and-reschedule churn.
 	prev := f.prevRates[:0]
 	for _, slot := range f.active {
-		prev = append(prev, f.flows[slot].rate)
+		prev = append(prev, f.flows[slot].rate) //litegpu:alloc-ok prev aliases the reused f.prevRates scratch; growth is amortized-zero
 		f.flows[slot].rate = -1
 	}
 	f.prevRates = prev
@@ -428,7 +447,7 @@ func (f *Fabric) reshare(now float64) {
 		// remaining, rate); with the rate unchanged the booked event is
 		// still exact, so only rate changes (and fresh flows, ev == 0)
 		// reschedule.
-		if fl.ev != 0 && fl.rate == prev[i] {
+		if fl.ev != 0 && mathx.ExactEq(fl.rate, prev[i]) {
 			continue
 		}
 		f.schedule(slot)

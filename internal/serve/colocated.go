@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"litegpu/internal/inference"
+	"litegpu/internal/mathx"
 	"litegpu/internal/sim"
 	"litegpu/internal/trace"
 )
@@ -128,6 +129,7 @@ func (c *colocSched) shape() phaseShape {
 	}
 }
 
+//litegpu:hotpath
 func (c *colocSched) enqueue(r trace.Request) {
 	a := c.pool.newActive(r)
 	a.promptLeft = r.PromptTokens
@@ -152,10 +154,11 @@ func (c *colocSched) busy() (prefill, decode float64) {
 	return prefill, decode
 }
 
+//litegpu:hotpath
 func (c *colocSched) dispatch(now float64) {
 	for j := range c.engines {
 		e := &c.engines[j]
-		if e.up && e.stepEnd == 0 {
+		if e.up && mathx.ExactEq(e.stepEnd, 0) {
 			c.startStep(j, now)
 		}
 	}
@@ -166,6 +169,8 @@ func (c *colocSched) dispatch(now float64) {
 // finished requests is handed to waiting ones. Prompts whose KV
 // footprint can never fit even alone are dropped here, mirroring the
 // static policy's oversized-prompt drop.
+//
+//litegpu:hotpath
 func (c *colocSched) admit(e *colocEngine, now float64) {
 	for len(e.active)+e.pending.Len() < c.cap && c.q.Len() > 0 {
 		a := c.q.At(0)
@@ -197,6 +202,8 @@ func (c *colocSched) admit(e *colocEngine, now float64) {
 // batching alternates full prefill passes (prioritized, vLLM-style)
 // with whole-batch decode steps; chunked prefill fuses one prompt chunk
 // with the decode step so both phases progress together.
+//
+//litegpu:hotpath
 func (c *colocSched) startStep(j int, now float64) {
 	e := &c.engines[j]
 	c.admit(e, now)
@@ -252,16 +259,18 @@ func (c *colocSched) startStep(j int, now float64) {
 	// pure prefill passes complete in the prefill band, matching the
 	// static policy's same-timestamp phase order.
 	prio := prioDecode + e.prio
-	if dDt == 0 {
+	if mathx.ExactEq(dDt, 0) {
 		prio = prioPrefill + e.prio
 	}
 	e.doneEv = c.cs.eng.ScheduleCall(e.stepEnd, prio, c.stepDoneH, uint64(j))
 }
 
+//litegpu:hotpath
 func (c *colocSched) onStepDone(now float64, arg uint64) {
 	c.completeStep(int(arg), now)
 }
 
+//litegpu:hotpath
 func (c *colocSched) completeStep(j int, now float64) {
 	e := &c.engines[j]
 	e.doneEv = 0
@@ -304,6 +313,8 @@ func (c *colocSched) completeStep(j int, now float64) {
 
 // finishPrefill records the TTFT sample (exactly once per request, no
 // matter how many requeues preceded it) and stamps decode admission.
+//
+//litegpu:hotpath
 func (c *colocSched) finishPrefill(a *activeReq, now float64) {
 	if !a.ttftDone {
 		a.ttftDone = true
@@ -320,6 +331,8 @@ func (c *colocSched) finishPrefill(a *activeReq, now float64) {
 // progress is only ever applied at step completion, so the in-flight
 // chunk is simply lost — requeued prompts resume from their last
 // completed chunk with no token duplicated or skipped.
+//
+//litegpu:hotpath
 func (c *colocSched) fail(id int, now float64, drop bool) {
 	e := &c.engines[id]
 	if e.stepEnd > 0 {

@@ -16,11 +16,15 @@ type deque[T any] struct {
 func (d *deque[T]) Len() int { return d.n }
 
 // At returns the i-th element from the front (0 ≤ i < Len).
+//
+//litegpu:hotpath
 func (d *deque[T]) At(i int) T {
 	return d.buf[(d.head+i)&(len(d.buf)-1)]
 }
 
 // PushBack appends v at the tail.
+//
+//litegpu:hotpath
 func (d *deque[T]) PushBack(v T) {
 	if d.n == len(d.buf) {
 		d.grow()
@@ -30,6 +34,8 @@ func (d *deque[T]) PushBack(v T) {
 }
 
 // PushFront inserts v before the current front.
+//
+//litegpu:hotpath
 func (d *deque[T]) PushFront(v T) {
 	if d.n == len(d.buf) {
 		d.grow()
@@ -41,6 +47,8 @@ func (d *deque[T]) PushFront(v T) {
 
 // PopFront removes and returns the front element. The vacated slot is
 // zeroed so popped pointers are not retained by the buffer.
+//
+//litegpu:hotpath
 func (d *deque[T]) PopFront() T {
 	v := d.buf[d.head]
 	var zero T
@@ -52,6 +60,8 @@ func (d *deque[T]) PopFront() T {
 
 // CopyPrefix appends the first n elements (front first) to dst and
 // returns it, without removing them.
+//
+//litegpu:hotpath
 func (d *deque[T]) CopyPrefix(dst []T, n int) []T {
 	for i := 0; i < n; i++ {
 		dst = append(dst, d.At(i))
@@ -60,6 +70,8 @@ func (d *deque[T]) CopyPrefix(dst []T, n int) []T {
 }
 
 // DiscardFront removes the first n elements, zeroing their slots.
+//
+//litegpu:hotpath
 func (d *deque[T]) DiscardFront(n int) {
 	var zero T
 	for i := 0; i < n; i++ {

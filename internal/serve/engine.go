@@ -152,6 +152,8 @@ type poolSim struct {
 // newXfer returns a fresh transfer-record index from the pool's arena.
 // Indices, not pointers, cross the event boundary (they ride the
 // ScheduleCall arg word), so arena growth never invalidates anything.
+//
+//litegpu:hotpath
 func (p *poolSim) newXfer() int32 {
 	if n := len(p.freeXferIx); n > 0 {
 		idx := p.freeXferIx[n-1]
@@ -164,6 +166,8 @@ func (p *poolSim) newXfer() int32 {
 
 // freeXfer recycles a transfer record, clearing it so the arena does
 // not retain the activeReq.
+//
+//litegpu:hotpath
 func (p *poolSim) freeXfer(idx int32) {
 	p.xfers[idx] = xferRec{}
 	p.freeXferIx = append(p.freeXferIx, idx)
@@ -172,6 +176,8 @@ func (p *poolSim) freeXfer(idx int32) {
 // dropLive removes idx from the pool's live KV-handoff list (order
 // preserving; a miss is a no-op, which is how ingress records — never
 // listed — share the delivery path).
+//
+//litegpu:hotpath
 func (p *poolSim) dropLive(idx int32) {
 	l := p.liveXfers
 	w := 0
@@ -186,9 +192,11 @@ func (p *poolSim) dropLive(idx int32) {
 
 // newActive returns a zeroed activeReq for r from the pool's free list,
 // topping the list up with a fresh arena chunk when it runs dry.
+//
+//litegpu:hotpath
 func (p *poolSim) newActive(r trace.Request) *activeReq {
 	if len(p.freeReqs) == 0 {
-		chunk := make([]activeReq, activeChunk)
+		chunk := make([]activeReq, activeChunk) //litegpu:alloc-ok arena refill: one chunk per activeChunk requests, amortized-zero per the pins
 		for i := range chunk {
 			p.freeReqs = append(p.freeReqs, &chunk[i])
 		}
@@ -201,11 +209,15 @@ func (p *poolSim) newActive(r trace.Request) *activeReq {
 
 // freeActive returns a no-longer-referenced activeReq to the free list.
 // Callers guarantee no queue, batch, or engine still points at it.
+//
+//litegpu:hotpath
 func (p *poolSim) freeActive(a *activeReq) {
 	p.freeReqs = append(p.freeReqs, a)
 }
 
 // recordTTFT appends one time-to-first-token sample and its SLO check.
+//
+//litegpu:hotpath
 func (p *poolSim) recordTTFT(ttft float64) {
 	p.ttfts = append(p.ttfts, ttft)
 	if units.Seconds(ttft) <= pickSLO(p.cfg.Opts.TTFTLimit, 1.0) {
@@ -216,6 +228,8 @@ func (p *poolSim) recordTTFT(ttft float64) {
 // emitToken advances one active generation by a token at `now`,
 // recording completion metrics when the request finishes. It reports
 // whether the request is done (and should leave the batch).
+//
+//litegpu:hotpath
 func (p *poolSim) emitToken(a *activeReq, now float64) bool {
 	a.remaining--
 	p.m.TokensGenerated++
@@ -433,6 +447,8 @@ func (s *clusterSim) buildFabric() error {
 // hand the payload to its pool — a KV handoff joins the decode queue
 // (this is the moment the request's first token can ship, so TTFT is
 // stamped here), a routed arrival joins the pool's admission queue.
+//
+//litegpu:hotpath
 func (s *clusterSim) onXfer(now float64, arg uint64) {
 	pi, idx := unpackArg(arg)
 	p := s.pools[pi]
@@ -459,6 +475,8 @@ func (s *clusterSim) onXfer(now float64, arg uint64) {
 // pool: prompt token ids over the fabric to the pool's next instance
 // endpoint (round-robin — the target only shapes contention; delivery
 // lands in the pool's shared queue).
+//
+//litegpu:hotpath
 func (s *clusterSim) startIngress(p *poolSim, r trace.Request, now float64) {
 	n := p.sched.numInstances()
 	inst := p.ingressRR % n
@@ -550,6 +568,8 @@ func (s *clusterSim) runFrom(src RequestSource) ClusterMetrics {
 // scheduleArrival books the next pulled request's arrival event,
 // rejecting a source that violates the RequestSource ordering contract
 // with a diagnosable error instead of a bare engine panic.
+//
+//litegpu:hotpath
 func (s *clusterSim) scheduleArrival(r trace.Request) {
 	at := float64(r.Arrival)
 	if at < s.eng.Now() || math.IsNaN(at) {
@@ -564,6 +584,8 @@ func (s *clusterSim) scheduleArrival(r trace.Request) {
 // arrive fires one arrival: route it, pull the next request from the
 // source, and keep exactly one pending arrival event in the calendar so
 // long traces never materialize there.
+//
+//litegpu:hotpath
 func (s *clusterSim) arrive(now float64, _ uint64) {
 	s.route(s.nextReq, now)
 	if r, ok := s.src.Next(); ok {
@@ -573,6 +595,8 @@ func (s *clusterSim) arrive(now float64, _ uint64) {
 }
 
 // route assigns an arriving request to a pool.
+//
+//litegpu:hotpath
 func (s *clusterSim) route(r trace.Request, now float64) {
 	var p *poolSim
 	switch s.cc.Router {
@@ -612,6 +636,7 @@ func (s *clusterSim) route(r trace.Request, now float64) {
 	p.sched.enqueue(r)
 }
 
+//litegpu:hotpath
 func (s *clusterSim) requestDispatch(now float64) {
 	if s.dispatchPending {
 		return
@@ -623,6 +648,8 @@ func (s *clusterSim) requestDispatch(now float64) {
 // dispatch hands freed or newly queued work to idle engines across all
 // pools — the same pass the pre-sim loop ran at the end of every event
 // time.
+//
+//litegpu:hotpath
 func (s *clusterSim) dispatch(now float64, _ uint64) {
 	s.dispatchPending = false
 	for _, p := range s.pools {
@@ -664,6 +691,8 @@ func (s *clusterSim) onRecover(now float64, arg uint64) {
 // blast radius). In-flight work requeues or drops per the policy, the
 // failed unit enters repair, and a hot spare — if one is free — brings
 // the instance back after the takeover delay.
+//
+//litegpu:hotpath
 func (s *clusterSim) failInstance(p *poolSim, id int, now float64) {
 	st := p.sched.state(id)
 	if !st.up {
@@ -695,6 +724,7 @@ func (s *clusterSim) failInstance(p *poolSim, id int, now float64) {
 	s.requestDispatch(now)
 }
 
+//litegpu:hotpath
 func (s *clusterSim) repairDone(p *poolSim, now float64) {
 	p.spareFree++
 	if len(p.waiting) > 0 {
@@ -705,11 +735,13 @@ func (s *clusterSim) repairDone(p *poolSim, now float64) {
 	}
 }
 
+//litegpu:hotpath
 func (s *clusterSim) scheduleRecovery(p *poolSim, id int, now float64) {
 	st := p.sched.state(id)
 	s.eng.ScheduleCall(now+s.failRecovery, prioFailure+st.prio, s.recoverH, packArg(p.idx, id))
 }
 
+//litegpu:hotpath
 func (s *clusterSim) recoverInstance(p *poolSim, id int, now float64) {
 	st := p.sched.state(id)
 	st.up = true

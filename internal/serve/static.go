@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"litegpu/internal/inference"
+	"litegpu/internal/mathx"
 	"litegpu/internal/sim"
 	"litegpu/internal/trace"
 )
@@ -112,6 +113,7 @@ func (sc *staticSched) totalGPUs() int {
 	return sc.cfg.PrefillInstances*sc.cfg.PrefillGPUs + sc.cfg.DecodeInstances*sc.cfg.DecodeGPUs
 }
 
+//litegpu:hotpath
 func (sc *staticSched) enqueue(r trace.Request) {
 	sc.prefillQ.PushBack(r)
 }
@@ -137,16 +139,18 @@ func (sc *staticSched) busy() (prefill, decode float64) {
 	return prefill, decode
 }
 
+//litegpu:hotpath
 func (sc *staticSched) dispatch(now float64) {
 	sc.dispatchPrefill(now)
 	for j := range sc.decodes {
 		e := &sc.decodes[j]
-		if e.up && e.stepEnd == 0 {
+		if e.up && mathx.ExactEq(e.stepEnd, 0) {
 			sc.startDecodeStep(j, now)
 		}
 	}
 }
 
+//litegpu:hotpath
 func (sc *staticSched) dispatchPrefill(now float64) {
 	for i := range sc.prefills {
 		e := &sc.prefills[i]
@@ -186,10 +190,12 @@ func (sc *staticSched) dispatchPrefill(now float64) {
 	}
 }
 
+//litegpu:hotpath
 func (sc *staticSched) onPrefillDone(now float64, arg uint64) {
 	sc.completePrefill(int(arg), now)
 }
 
+//litegpu:hotpath
 func (sc *staticSched) completePrefill(i int, now float64) {
 	e := &sc.prefills[i]
 	e.doneEv = 0
@@ -208,6 +214,8 @@ func (sc *staticSched) completePrefill(i int, now float64) {
 // KV-bytes-per-token times the prompt length — becomes a fabric
 // transfer, and the request only becomes decodable (and TTFT only
 // stamps) when the last byte lands.
+//
+//litegpu:hotpath
 func (sc *staticSched) finishPrefillReq(i int, r trace.Request, now float64) {
 	p := sc.pool
 	if sc.cs.fab == nil {
@@ -239,6 +247,8 @@ func (sc *staticSched) finishPrefillReq(i int, r trace.Request, now float64) {
 // immediately retarget); with every decode instance down the plain
 // rotation applies — the transfer proceeds, and its delivery lands in
 // the shared decode queue for whichever instance recovers.
+//
+//litegpu:hotpath
 func (sc *staticSched) pickDecodeDst() int {
 	n := len(sc.decodes)
 	for k := 0; k < n; k++ {
@@ -255,10 +265,13 @@ func (sc *staticSched) pickDecodeDst() int {
 
 // deliverKV lands a fabric-delivered KV cache: the request joins the
 // decode queue (TTFT was stamped by the delivery handler).
+//
+//litegpu:hotpath
 func (sc *staticSched) deliverKV(a *activeReq, now float64) {
 	sc.decodeQ.PushBack(a)
 }
 
+//litegpu:hotpath
 func (sc *staticSched) startDecodeStep(j int, now float64) {
 	e := &sc.decodes[j]
 	// Admit from the queue up to capacity, then step if non-empty.
@@ -280,10 +293,12 @@ func (sc *staticSched) startDecodeStep(j int, now float64) {
 	e.doneEv = sc.cs.eng.ScheduleCall(e.stepEnd, prioDecode+e.prio, sc.decodeDoneH, uint64(j))
 }
 
+//litegpu:hotpath
 func (sc *staticSched) onDecodeDone(now float64, arg uint64) {
 	sc.completeDecodeStep(int(arg), now)
 }
 
+//litegpu:hotpath
 func (sc *staticSched) completeDecodeStep(j int, now float64) {
 	e := &sc.decodes[j]
 	e.doneEv = 0
@@ -306,6 +321,8 @@ func (sc *staticSched) completeDecodeStep(j int, now float64) {
 // fail reclaims a dead instance's in-flight work: the unfinished pass's
 // busy tail is un-counted and the prompts (or generations) go back to
 // the head of their queue — or are abandoned under DropOnFailure.
+//
+//litegpu:hotpath
 func (sc *staticSched) fail(id int, now float64, drop bool) {
 	p := sc.pool
 	if id < len(sc.prefills) {
@@ -360,6 +377,8 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 // to a live instance and retransmits from byte zero (the duration
 // sample keeps its original start, so the retry is visible as transfer
 // tail latency) — or is abandoned under drop.
+//
+//litegpu:hotpath
 func (sc *staticSched) failXfers(id int, now float64, drop bool) {
 	p := sc.pool
 	live := p.liveXfers
@@ -406,6 +425,7 @@ func (sc *staticSched) failXfers(id int, now float64, drop bool) {
 	p.liveXfers = live[:w]
 }
 
+//litegpu:hotpath
 func (sc *staticSched) recovered(id int, now float64) {
 	if id < len(sc.prefills) {
 		sc.prefills[id].freeAt = now
@@ -414,6 +434,8 @@ func (sc *staticSched) recovered(id int, now float64) {
 
 // clearTail nils pointers beyond w so truncated slices do not retain
 // recycled or requeued requests.
+//
+//litegpu:hotpath
 func clearTail(s []*activeReq, w int) {
 	for i := w; i < len(s); i++ {
 		s[i] = nil

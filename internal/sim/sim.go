@@ -110,6 +110,8 @@ func (e *Engine) Next() (at float64, ok bool) {
 // This is the allocation-free hot path: h should be a handler bound
 // once at simulator setup (a stored method value), with per-event
 // context packed into arg.
+//
+//litegpu:hotpath
 func (e *Engine) ScheduleCall(at float64, prio int, h Handler, arg uint64) EventID {
 	if math.IsNaN(at) || math.IsInf(at, -1) || at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
@@ -149,6 +151,8 @@ func (e *Engine) ScheduleAfter(delay float64, prio int, fn func(now float64)) Ev
 // already ran, was already cancelled, or never existed — cancelling a
 // completed event is a legal no-op, which is what lets simulators keep
 // "the completion I booked" handles without tracking their lifecycle.
+//
+//litegpu:hotpath
 func (e *Engine) Cancel(id EventID) bool {
 	slot := uint32(id)
 	gen := uint32(id >> 32)
@@ -173,6 +177,8 @@ func (e *Engine) Cancel(id EventID) bool {
 // Handlers may schedule and cancel freely, including at the current
 // time; newly scheduled events at or before `until` run in the same
 // call.
+//
+//litegpu:hotpath
 func (e *Engine) Run(until float64) int {
 	n := 0
 	for len(e.heap) > 0 && e.heap[0].at <= until {
@@ -184,6 +190,8 @@ func (e *Engine) Run(until float64) int {
 
 // Step executes exactly one event if one is pending, reporting whether
 // it did. Tests use it to observe intermediate states.
+//
+//litegpu:hotpath
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
@@ -196,6 +204,8 @@ func (e *Engine) Step() bool {
 // and invokes the handler. The handler state is copied out before the
 // slot is recycled, so handlers may schedule freely (including into the
 // slot they just vacated).
+//
+//litegpu:hotpath
 func (e *Engine) fireTop() {
 	top := e.heap[0]
 	ev := &e.slab[top.slot]
@@ -207,8 +217,10 @@ func (e *Engine) fireTop() {
 
 // less orders the calendar: earlier time, then lower priority, then
 // earlier scheduling.
+//
+//litegpu:hotpath
 func less(a, b heapEnt) bool {
-	if a.at != b.at {
+	if mathx.ExactNe(a.at, b.at) {
 		return a.at < b.at
 	}
 	if a.prio != b.prio {
@@ -217,6 +229,7 @@ func less(a, b heapEnt) bool {
 	return a.seq < b.seq
 }
 
+//litegpu:hotpath
 func (e *Engine) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -228,6 +241,7 @@ func (e *Engine) siftUp(i int) {
 	}
 }
 
+//litegpu:hotpath
 func (e *Engine) siftDown(i int) {
 	n := len(e.heap)
 	for {
@@ -247,6 +261,7 @@ func (e *Engine) siftDown(i int) {
 	}
 }
 
+//litegpu:hotpath
 func (e *Engine) swap(i, j int) {
 	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
 	e.slab[e.heap[i].slot].pos = int32(i)
@@ -256,6 +271,8 @@ func (e *Engine) swap(i, j int) {
 // removeAt deletes the heap entry at index i, recycles its slab slot
 // (bumping the generation so stale EventIDs miss), and restores the
 // heap property around the hole.
+//
+//litegpu:hotpath
 func (e *Engine) removeAt(i int) {
 	slot := e.heap[i].slot
 	ev := &e.slab[slot]

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+
+	"litegpu/internal/units"
+)
+
+// FuzzGeneratorStream drives the request generator across its whole
+// configuration space, seeded from the calibrated workloads' parameter
+// shapes. For every configuration that validates, the generated trace
+// must satisfy the invariants the simulators assume: arrivals
+// nondecreasing and inside the horizon, token counts in [1, MaxTokens],
+// sequential IDs — and the lazy Stream must be byte-identical to the
+// materialized Generate, which is what lets simulations switch between
+// the two without perturbing a metric.
+func FuzzGeneratorStream(f *testing.F) {
+	add := func(g Generator) {
+		f.Add(g.Rate, g.PromptMedian, g.PromptP99, g.OutputMedian, g.OutputP99,
+			g.MaxTokens, g.BurstFactor, g.BurstFraction, float64(g.BurstDwell), g.Seed)
+	}
+	add(CodingWorkload(100, 1))
+	add(ConversationWorkload(250, 42))
+	bursty := CodingWorkload(50, 7)
+	bursty.BurstFactor, bursty.BurstFraction, bursty.BurstDwell = 4, 0.25, 0.1
+	add(bursty)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0, -1.0, 2.0, -3.0, uint64(0))
+	f.Add(1e300, 1.0, 0.5, 1.0, 0.5, 1, 0.5, 0.0, 0.0, uint64(9))
+
+	f.Fuzz(func(t *testing.T, rate, pm, pp, om, op float64, maxTok int,
+		bf, bfr, bd float64, seed uint64) {
+		g := Generator{
+			Rate:         rate,
+			PromptMedian: pm, PromptP99: pp,
+			OutputMedian: om, OutputP99: op,
+			MaxTokens:   maxTok,
+			BurstFactor: bf, BurstFraction: bfr,
+			BurstDwell: units.Seconds(bd),
+			Seed:       seed,
+		}
+		if g.Validate() != nil {
+			if _, err := g.Generate(1); err == nil {
+				t.Fatal("Generate succeeded on a Generator that fails Validate")
+			}
+			return
+		}
+		// Bound the work per input, not the domain: the invariants
+		// don't depend on the trace being short.
+		effRate := g.Rate
+		if g.BurstFactor > 1 {
+			effRate *= g.BurstFactor
+		}
+		if effRate > 20000 {
+			return
+		}
+		const horizon = units.Seconds(0.5)
+
+		reqs, err := g.Generate(horizon)
+		if err != nil {
+			t.Fatalf("Generate failed on a validated Generator: %v", err)
+		}
+		prev := 0.0
+		for i, r := range reqs {
+			if r.ID != i {
+				t.Fatalf("request %d has ID %d, want sequential", i, r.ID)
+			}
+			at := float64(r.Arrival)
+			if at < prev || at > float64(horizon) {
+				t.Fatalf("request %d arrival %v outside [%v, %v]", i, at, prev, horizon)
+			}
+			prev = at
+			if r.PromptTokens < 1 || r.PromptTokens > g.MaxTokens {
+				t.Fatalf("request %d prompt %d outside [1, %d]", i, r.PromptTokens, g.MaxTokens)
+			}
+			if r.OutputTokens < 1 || r.OutputTokens > g.MaxTokens {
+				t.Fatalf("request %d output %d outside [1, %d]", i, r.OutputTokens, g.MaxTokens)
+			}
+		}
+
+		s, err := g.Stream(horizon)
+		if err != nil {
+			t.Fatalf("Stream failed on a validated Generator: %v", err)
+		}
+		for i := 0; ; i++ {
+			r, ok := s.Next()
+			if !ok {
+				if i != len(reqs) {
+					t.Fatalf("Stream produced %d requests, Generate %d", i, len(reqs))
+				}
+				break
+			}
+			if i >= len(reqs) || r != reqs[i] {
+				t.Fatalf("Stream diverges from Generate at request %d", i)
+			}
+		}
+	})
+}

@@ -88,7 +88,7 @@ func (g Generator) Validate() error {
 		return fmt.Errorf("trace: non-positive token medians")
 	case g.MaxTokens <= 0:
 		return fmt.Errorf("trace: non-positive MaxTokens")
-	case g.BurstFactor != 0 && g.BurstFactor < 1:
+	case mathx.ExactNe(g.BurstFactor, 0) && g.BurstFactor < 1:
 		return fmt.Errorf("trace: BurstFactor must be ≥ 1 when set")
 	}
 	return nil
