@@ -748,3 +748,118 @@ func BenchmarkPlanCapacityAutoSequentialBaseline(b *testing.B) {
 		}
 	}
 }
+
+// benchShardCluster is the heterogeneous four-pool deployment the
+// sharding benchmarks run: two H100 pools and two Lite-GPU pools behind
+// one round-robin router, large enough that pool simulation dominates
+// and the shard workers have real work to overlap.
+func benchShardCluster(b *testing.B) (ServeClusterConfig, []Request) {
+	m, ok := ModelByName("Llama3-8B")
+	if !ok {
+		b.Fatal("model catalog missing Llama3-8B")
+	}
+	small := ServeConfig{
+		GPU:              H100(),
+		Model:            m,
+		Opts:             DefaultOptions(),
+		PrefillInstances: 1, PrefillGPUs: 1,
+		DecodeInstances: 1, DecodeGPUs: 1,
+		MaxPrefillBatch: 4, MaxDecodeBatch: 64,
+	}
+	lite4 := small
+	lite4.GPU = Lite()
+	lite4.PrefillGPUs = 4
+	lite4.DecodeGPUs = 4
+	cc := ServeClusterConfig{Pools: []ServePool{
+		{Config: small}, {Config: lite4}, {Config: small}, {Config: lite4},
+	}}
+	reqs, err := CodingWorkload(6, 17).Generate(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cc, reqs
+}
+
+// BenchmarkClusterSharded measures the sharded cluster path: the four
+// pools advance on four workers with round-robin pre-routing (no
+// synchronization windows), byte-identical to the sequential run — see
+// TestShardCountInvariance. The speedup over
+// BenchmarkClusterShardedSequentialBaseline tracks available cores.
+func BenchmarkClusterSharded(b *testing.B) {
+	cc, reqs := benchShardCluster(b)
+	cc.Shards = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ServeCluster(cc, reqs, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterShardedSequentialBaseline runs the identical cluster
+// on the sequential single-engine path.
+func BenchmarkClusterShardedSequentialBaseline(b *testing.B) {
+	cc, reqs := benchShardCluster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ServeCluster(cc, reqs, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFailurePlanRequest is the availability-aware capacity search the
+// snapshot-reuse benchmarks run: a five-nines target makes the planner
+// re-evaluate the winning deployment with spares, so the fork either
+// resumes from the first failure or skips the replay outright when the
+// sizing window saw none.
+func benchFailurePlanRequest(b *testing.B) CapacityRequest {
+	m, ok := ModelByName("Llama3-8B")
+	if !ok {
+		b.Fatal("model catalog missing Llama3-8B")
+	}
+	return CapacityRequest{
+		GPU:      H100(),
+		Model:    m,
+		Opts:     DefaultOptions(),
+		Workload: CodingWorkload(20, 7),
+		Horizon:  120,
+		Drain:    60,
+		Failures: ServeFailureConfig{Enabled: true, Seed: 5},
+	}
+}
+
+// BenchmarkPlanCapacityFailures measures the availability-aware planner
+// with snapshot reuse (the default): sizing runs freeze the simulation
+// at their first failure, and each spare count resumes from that fork
+// instead of replaying from t=0.
+func BenchmarkPlanCapacityFailures(b *testing.B) {
+	req := benchFailurePlanRequest(b)
+	slo := CapacitySLO{MinAvailability: 0.99999}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanCapacityRequest(req, slo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCapacityFailuresNoReuse is the same search with
+// NoSnapshotReuse set: every spare count replays its full run from
+// t=0. The two return byte-identical plans (see
+// TestPlanSnapshotReuseInvariance); the ratio is the snapshot win.
+func BenchmarkPlanCapacityFailuresNoReuse(b *testing.B) {
+	req := benchFailurePlanRequest(b)
+	req.NoSnapshotReuse = true
+	slo := CapacitySLO{MinAvailability: 0.99999}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanCapacityRequest(req, slo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -14,11 +14,17 @@
 //	go run ./cmd/litegpu-bench -bench 'ServingSim|PlanCapacity' -benchtime 2s
 //	go run ./cmd/litegpu-bench -compare BENCH_3.json -out BENCH_4.json
 //	go run ./cmd/litegpu-bench -smoke   # CI: one iteration per benchmark
+//	go run ./cmd/litegpu-bench -smoke -compare BENCH_5.json -threshold 300
 //
 // With -compare, every benchmark present in the baseline file gains
 // old/new ratios (speedup = old ns/op ÷ new ns/op, alloc_ratio = old
 // allocs/op ÷ new allocs/op), so a committed report is also the
-// regression verdict against the previous PR's numbers.
+// regression verdict against the previous PR's numbers. Benchmarks
+// absent from the baseline — typically ones added in the current PR —
+// are reported as skipped and never fail the run, and a geomean-speedup
+// summary over the matched set is printed. With -threshold N, the run
+// exits nonzero when any matched benchmark is more than N percent
+// slower than its baseline — the CI regression gate.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
@@ -90,6 +97,8 @@ func main() {
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	compare := flag.String("compare", "", "baseline JSON report to diff against")
+	threshold := flag.Float64("threshold", -1,
+		"regression gate: with -compare, exit nonzero when any matched benchmark is more than this many percent slower than its baseline (negative = off)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: -benchtime 1x, fail on any build/vet/run error")
 	flag.Parse()
 
@@ -143,6 +152,7 @@ func main() {
 		BenchTime: bt,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
+	var regressions []string
 	if *compare != "" {
 		base, err := readReport(*compare)
 		if err != nil {
@@ -153,9 +163,16 @@ func main() {
 		for _, r := range base.Benchmarks {
 			byName[r.Name] = r
 		}
+		// Benchmarks absent from the baseline (typically added this PR)
+		// are reported and skipped, never failed: a new benchmark has no
+		// regression to gate on.
+		var skipped []string
+		logSpeedup := 0.0
+		compared := 0
 		for i := range results {
 			b, ok := byName[results[i].Name]
 			if !ok {
+				skipped = append(skipped, results[i].Name)
 				continue
 			}
 			c := &Comparison{
@@ -165,11 +182,27 @@ func main() {
 			}
 			if results[i].NsPerOp > 0 {
 				c.Speedup = b.NsPerOp / results[i].NsPerOp
+				logSpeedup += math.Log(c.Speedup)
+				compared++
 			}
 			if results[i].AllocsPerOp > 0 && b.AllocsPerOp > 0 {
 				c.AllocRatio = float64(b.AllocsPerOp) / float64(results[i].AllocsPerOp)
 			}
 			results[i].Baseline = c
+			if *threshold >= 0 && b.NsPerOp > 0 {
+				if slow := (results[i].NsPerOp - b.NsPerOp) / b.NsPerOp * 100; slow > *threshold {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%% > %.1f%%)",
+						results[i].Name, results[i].NsPerOp, b.NsPerOp, slow, *threshold))
+				}
+			}
+		}
+		for _, name := range skipped {
+			fmt.Fprintf(os.Stderr, "litegpu-bench: skipped (not in baseline): %s\n", name)
+		}
+		if compared > 0 {
+			fmt.Fprintf(os.Stderr, "litegpu-bench: geomean speedup vs %s: %.3fx (%d compared, %d new)\n",
+				*compare, math.Exp(logSpeedup/float64(compared)), compared, len(skipped))
 		}
 	}
 	report.Benchmarks = results
@@ -181,12 +214,18 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "litegpu-bench: wrote %d benchmarks to %s\n", len(results), *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fatalf("write %s: %v", *out, err)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "litegpu-bench: REGRESSION %s\n", r)
+		}
+		fatalf("%d benchmark(s) regressed beyond the %.1f%% threshold", len(regressions), *threshold)
 	}
-	fmt.Fprintf(os.Stderr, "litegpu-bench: wrote %d benchmarks to %s\n", len(results), *out)
 }
 
 // parseBench extracts benchmark rows from `go test -bench` output,

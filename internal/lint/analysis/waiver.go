@@ -16,6 +16,10 @@ import (
 //	                                  allocation findings (hotpath)
 //	//litegpu:floatcmp-ok <reason>    waives one line's float-comparison
 //	                                  findings (floatcmp)
+//	//litegpu:go-ok <reason>          waives one line's goroutine-spawn
+//	                                  findings (determinism) — reserved
+//	                                  for audited deterministic runners
+//	                                  like the serve shard workers
 //
 // A waiver written as a trailing comment applies to its own line; a
 // waiver on a line of its own applies to the next line. Every waiver
@@ -34,6 +38,7 @@ var waiverCategories = map[string]string{
 	"ordered-ok":  "ordered",
 	"alloc-ok":    "alloc",
 	"floatcmp-ok": "floatcmp",
+	"go-ok":       "go",
 }
 
 // markerDirectives are non-waiver directives; they are validated by the
@@ -130,7 +135,7 @@ func parseDirective(pkg *Package, pos token.Pos, text string) (*waiver, *Diagnos
 			Pos:      pos,
 			Analyzer: "waiver",
 			Message: "unknown //litegpu: directive " + name +
-				" (known: hotpath, ordered-ok, alloc-ok, floatcmp-ok)",
+				" (known: hotpath, ordered-ok, alloc-ok, floatcmp-ok, go-ok)",
 		}
 	}
 	// Strip an analysistest expectation riding the same comment, so

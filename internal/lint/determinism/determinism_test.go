@@ -30,3 +30,11 @@ func TestNonSimPackageSilent(t *testing.T) {
 func TestWaivers(t *testing.T) {
 	analysistest.Run(t, testdata, "waive/sim", determinism.Analyzer)
 }
+
+// TestGoroutineWaivers pins the goroutine-rule extension: an audited
+// spawn under //litegpu:go-ok <reason> is allowed, while unwaived,
+// reasonless, and wrong-category spawns all still fire (and unused
+// go-ok waivers are reported stale).
+func TestGoroutineWaivers(t *testing.T) {
+	analysistest.Run(t, testdata, "goroutine/sim", determinism.Analyzer)
+}

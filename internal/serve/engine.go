@@ -313,6 +313,16 @@ type clusterSim struct {
 	// network is off, and every fabric-charging site gates on that.
 	net NetworkConfig
 	fab *netsim.Fabric
+
+	// snapOnFail arms the planner's fork hook: the first failure event
+	// to fire captures the whole simulation state into snap (see
+	// snapshot.go) before any spare-shelf decision is made. Everything
+	// before that moment is byte-identical at any spare count — the
+	// spare shelf is only ever read inside failInstance — so the
+	// availability leg can fork from the snapshot instead of replaying
+	// the run from t=0.
+	snapOnFail bool
+	snap       *clusterSnap
 }
 
 // packArg encodes a (pool, instance) pair into a ScheduleCall arg word.
@@ -321,6 +331,17 @@ func packArg(pool, id int) uint64 { return uint64(pool)<<32 | uint64(uint32(id))
 func unpackArg(arg uint64) (pool, id int) { return int(arg >> 32), int(uint32(arg)) }
 
 func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
+	return newClusterSimAt(cc, horizon, 0, 0)
+}
+
+// newClusterSimAt builds a simulation of cc.Pools that behaves as if
+// those pools sat at global pool index poolBase (and global instance
+// index instBase) of a larger cluster: event priorities and
+// per-instance failure seeds use the global indices, so a shard
+// simulating pools [poolBase, poolBase+len(Pools)) evolves its pools
+// byte-identically to the sequential whole-cluster run. The sequential
+// path is the poolBase = instBase = 0 case.
+func newClusterSimAt(cc ClusterConfig, horizon float64, poolBase, instBase int) (*clusterSim, error) {
 	s := &clusterSim{
 		eng: sim.New(cc.Failures.Seed),
 		cc:  cc,
@@ -337,7 +358,7 @@ func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
 	s.failMTTR = float64(fp.MTTR)
 	s.failRecovery = float64(fp.RecoveryTime)
 
-	globalInstance := 0
+	globalInstance := instBase
 	for pi, pool := range cc.Pools {
 		cfg := pool.Config
 		name := pool.Name
@@ -370,7 +391,7 @@ func newClusterSim(cc ClusterConfig, horizon float64) (*clusterSim, error) {
 		for id := 0; id < p.sched.numInstances(); id++ {
 			st := p.sched.state(id)
 			st.up = true
-			st.prio = poolIndexBase(pi) + id
+			st.prio = poolIndexBase(poolBase+pi) + id
 			s.initFailure(st, perGPURate*float64(p.sched.gpus(id)), globalInstance)
 			globalInstance++
 		}
@@ -547,9 +568,22 @@ func (s *clusterSim) run(reqs []trace.Request) ClusterMetrics {
 // and assembles the metrics. Only the in-flight working set is held in
 // memory.
 func (s *clusterSim) runFrom(src RequestSource) ClusterMetrics {
+	s.start(src)
+	s.eng.Run(s.h)
+	return s.assemble()
+}
+
+// start primes the calendar: the first arrival pulled from src and
+// every instance's first failure. A nil src means this simulation
+// receives no arrivals of its own — the sharded runner's JSQ
+// controller injects arrivals from outside, and a shard only books its
+// failure processes here.
+func (s *clusterSim) start(src RequestSource) {
 	s.src = src
-	if r, ok := src.Next(); ok {
-		s.scheduleArrival(r)
+	if src != nil {
+		if r, ok := src.Next(); ok {
+			s.scheduleArrival(r)
+		}
 	}
 
 	// Failure processes.
@@ -560,9 +594,6 @@ func (s *clusterSim) runFrom(src RequestSource) ClusterMetrics {
 			}
 		}
 	}
-
-	s.eng.Run(s.h)
-	return s.assemble()
 }
 
 // scheduleArrival books the next pulled request's arrival event,
@@ -694,6 +725,14 @@ func (s *clusterSim) onRecover(now float64, arg uint64) {
 //
 //litegpu:hotpath
 func (s *clusterSim) failInstance(p *poolSim, id int, now float64) {
+	if s.snapOnFail && s.snap == nil {
+		// First failure: freeze the whole simulation before any
+		// spare-shelf state is consulted. The engine has already popped
+		// this event, so the snapshot pairs the post-pop calendar with
+		// the (pool, instance, time) needed to re-run this handler on
+		// restore. See snapshot.go.
+		s.takeSnapshot(p, id, now)
+	}
 	st := p.sched.state(id)
 	if !st.up {
 		return // stale event; down instances carry no failure clock
@@ -754,7 +793,15 @@ func (s *clusterSim) recoverInstance(p *poolSim, id int, now float64) {
 // --- metrics assembly --------------------------------------------------
 
 func (s *clusterSim) assemble() ClusterMetrics {
-	h := s.h
+	return assemblePools(s.pools, s.h)
+}
+
+// assemblePools folds per-pool accumulators into ClusterMetrics. It is
+// a free function over the pool list so the sharded runner can merge
+// the pools of every shard — ordered by global pool index — through
+// the exact accumulation sequence the sequential path uses; float
+// summation order is part of the byte-identity contract.
+func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 	var cm ClusterMetrics
 	var (
 		allTTFT, allTBT, allE2E []float64
@@ -769,11 +816,11 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		goodTokens              int
 		netSec, e2eSec          float64
 	)
-	if len(s.pools) > 1 {
+	if len(pools) > 1 {
 		// Preallocate the cross-pool sample unions; the single-pool case
 		// below aliases the pool's samples instead.
 		var nt, nb, ne int
-		for _, p := range s.pools {
+		for _, p := range pools {
 			nt += len(p.ttfts)
 			nb += len(p.tbts)
 			ne += len(p.e2es)
@@ -782,7 +829,7 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		allTBT = make([]float64, 0, nb)
 		allE2E = make([]float64, 0, ne)
 	}
-	for _, p := range s.pools {
+	for _, p := range pools {
 		m := &p.m
 		m.TTFT = mathx.Summarize(p.ttfts)
 		m.TBT = mathx.Summarize(p.tbts)
@@ -846,7 +893,7 @@ func (s *clusterSim) assemble() ClusterMetrics {
 		cm.Total.NetTransfers += m.NetTransfers
 		netSec += p.netSec
 		e2eSec += poolE2E
-		if len(s.pools) == 1 {
+		if len(pools) == 1 {
 			allTTFT, allTBT, allE2E = p.ttfts, p.tbts, p.e2es
 		} else {
 			allTTFT = append(allTTFT, p.ttfts...)
@@ -879,7 +926,7 @@ func (s *clusterSim) assemble() ClusterMetrics {
 	}
 
 	t := &cm.Total
-	if len(s.pools) == 1 {
+	if len(pools) == 1 {
 		// One pool: the union IS the pool's sample; reuse its summaries
 		// instead of re-sorting the same data.
 		m := &cm.Pools[0].Metrics

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"math"
+	"sort"
+
+	"litegpu/internal/trace"
+)
+
+// Sharded cluster execution: RunCluster's pools are coupled only
+// through the router (and, when enabled, the fabric — which disables
+// sharding; see ClusterConfig.shardable). Everything else an event can
+// touch is pool-local, so contiguous pool ranges can advance on
+// independent sim.Engines in parallel, provided every cross-pool
+// observation happens at the same simulated instant it would have
+// sequentially.
+//
+// The synchronization model is conservative time windows keyed on the
+// one cross-pool event class, router decisions:
+//
+//   - RoundRobin routes request i to pool i mod P regardless of state,
+//     so the whole trace is pre-routed and each shard runs its pools'
+//     subsequence to the horizon with no synchronization at all. On a
+//     contiguous pool range, shard-local round-robin over the
+//     subsequence reproduces the global assignment exactly.
+//   - JoinShortestQueue reads every pool's queue depth and liveness at
+//     each arrival, so the controller walks arrivals in order: for an
+//     arrival at time T it barriers every shard through RunBefore(T)
+//     (all events strictly before T — exactly the state a sequential
+//     arrival at T observes, because arrivals carry the lowest
+//     priority at their timestamp), replicates route()'s scan over the
+//     global pool list, and injects the request into the winning
+//     pool's shard.
+//
+// Shard-local dispatch passes replace the sequential all-pool pass;
+// the pools a sequential pass would have touched "for free" have
+// nothing actionable (any state change that makes work dispatchable
+// requests a dispatch on its own shard at that same instant), so the
+// narrowing is unobservable. Per-pool metrics are therefore
+// byte-identical to sequential, and assemblePools folds them in global
+// pool order through the sequential accumulation sequence — the same
+// bytes at any shard count.
+//
+// The goroutines below are audited under this argument: workers only
+// advance between channel barriers, never race on shared simulation
+// state, and the merge order is fixed by global pool index. They carry
+// //litegpu:go-ok waivers (see internal/lint/determinism).
+
+// shardCmd asks a shard worker to advance its calendar: through
+// `until` inclusively (Run) or exclusively (RunBefore, the window
+// barrier).
+type shardCmd struct {
+	until  float64
+	before bool
+}
+
+// clusterShard is one worker's slice of the cluster: a self-contained
+// clusterSim over a contiguous pool range, plus the command/ack pair
+// the controller synchronizes it through. Between an ack and the next
+// command the worker is parked, so the controller may read and mutate
+// the shard's state directly (channel operations order the accesses).
+type clusterShard struct {
+	sim  *clusterSim
+	cmd  chan shardCmd
+	done chan struct{}
+}
+
+// loop is the shard worker: advance on command, ack, park. It exits
+// when the controller closes cmd.
+func (sh *clusterShard) loop() {
+	for c := range sh.cmd {
+		if c.before {
+			sh.sim.eng.RunBefore(c.until)
+		} else {
+			sh.sim.eng.Run(c.until)
+		}
+		sh.done <- struct{}{}
+	}
+}
+
+// advanceShards runs one synchronization window: every shard advances
+// to `until` in parallel, and the call returns once all have acked.
+func advanceShards(shards []*clusterShard, until float64, before bool) {
+	for _, sh := range shards {
+		sh.cmd <- shardCmd{until: until, before: before}
+	}
+	for _, sh := range shards {
+		<-sh.done
+	}
+}
+
+// runShardedCluster is RunCluster's parallel path (cc.shardable() was
+// already checked, cc validated). It produces byte-identical
+// ClusterMetrics to the sequential path at any shard count.
+func runShardedCluster(cc ClusterConfig, reqs []trace.Request, h float64) (ClusterMetrics, error) {
+	sorted := reqs
+	if !sortedByArrival(reqs) {
+		// Identical sort to the sequential path (including tie order).
+		sorted = append([]trace.Request(nil), reqs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+	}
+
+	nPools := len(cc.Pools)
+	nShards := cc.Shards
+	if nShards > nPools {
+		nShards = nPools
+	}
+
+	// Build one clusterSim per contiguous pool range. Global pool and
+	// instance offsets keep event priorities and failure seeds exactly
+	// where the sequential whole-cluster simulation puts them.
+	shards := make([]*clusterShard, 0, nShards)
+	pools := make([]*poolSim, 0, nPools) // global pool order
+	poolShard := make([]int, 0, nPools)  // owning shard by global pool index
+	instBase := 0
+	for s := 0; s < nShards; s++ {
+		a, b := s*nPools/nShards, (s+1)*nPools/nShards
+		scc := cc
+		scc.Pools = cc.Pools[a:b]
+		scc.Shards = 0
+		sub, err := newClusterSimAt(scc, h, a, instBase)
+		if err != nil {
+			return ClusterMetrics{}, err
+		}
+		for _, p := range sub.pools {
+			instBase += p.sched.numInstances()
+			pools = append(pools, p)
+			poolShard = append(poolShard, s)
+		}
+		shards = append(shards, &clusterShard{
+			sim:  sub,
+			cmd:  make(chan shardCmd),
+			done: make(chan struct{}),
+		})
+	}
+
+	jsq := cc.Router == JoinShortestQueue
+	if jsq {
+		// Arrivals are injected by the controller below; shards start
+		// with only their failure processes booked.
+		for _, sh := range shards {
+			sh.sim.start(nil)
+		}
+	} else {
+		// RoundRobin: pre-route request i to global pool i mod P and
+		// hand each shard its pools' subsequence. Within a contiguous
+		// range the fed requests cycle through the range's pools in
+		// order, so the shard's local round-robin reproduces the global
+		// assignment.
+		parts := make([][]trace.Request, nShards)
+		for i, r := range sorted {
+			s := poolShard[i%nPools]
+			parts[s] = append(parts[s], r)
+		}
+		for s, sh := range shards {
+			sh.sim.start(&sliceSource{reqs: parts[s]})
+		}
+	}
+
+	for _, sh := range shards {
+		go sh.loop() //litegpu:go-ok shard worker advances only between channel barriers; results merge in fixed global pool order
+	}
+
+	if jsq {
+		for _, r := range sorted {
+			t := float64(r.Arrival)
+			if t > h {
+				break // past the horizon this arrival would never fire
+			}
+			// Barrier: every shard reaches the state a sequential run
+			// has when the arrival event (lowest priority at t) fires.
+			advanceShards(shards, t, true)
+			// Replicate route()'s JoinShortestQueue scan over the
+			// global pool list, byte for byte: same loads, same strict
+			// <, same lowest-index tie-break.
+			best := math.Inf(1)
+			tgt := -1
+			for gi, p := range pools {
+				outstanding := p.sched.outstanding()
+				live := 0
+				for id := 0; id < p.sched.numInstances(); id++ {
+					if p.sched.state(id).up {
+						live++
+					}
+				}
+				if live == 0 {
+					live = 1 // a fully-down pool still queues, at worst-case load
+					outstanding += 1 << 20
+				}
+				load := float64(outstanding) / float64(live)
+				if load < best {
+					best = load
+					tgt = gi
+				}
+			}
+			p := pools[tgt]
+			p.m.Arrived++
+			p.sched.enqueue(r)
+			shards[poolShard[tgt]].sim.requestDispatch(t)
+		}
+	}
+
+	// Drain every shard to the horizon in parallel, then retire the
+	// workers.
+	advanceShards(shards, h, false)
+	for _, sh := range shards {
+		close(sh.cmd)
+	}
+
+	return assemblePools(pools, h), nil
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"litegpu/internal/hw"
+)
+
+// hexCluster renders a ClusterMetrics in full-precision hex-float form,
+// one line per pool plus the aggregate — the same byte-identity framing
+// the golden corpus uses, so "equal strings" means "equal bits".
+func hexCluster(cm ClusterMetrics) string {
+	var b strings.Builder
+	for _, pm := range cm.Pools {
+		fmt.Fprintf(&b, "pool %s: %x\n", pm.Name, pm.Metrics)
+	}
+	fmt.Fprintf(&b, "total: %x\n", cm.Total)
+	return b.String()
+}
+
+// shardScenarios covers both routers, heterogeneous pools, pool counts
+// that do and do not divide evenly across shards, and failure injection
+// (which exercises the global instance-index seed offsets).
+func shardScenarios() []struct {
+	name string
+	cc   ClusterConfig
+	rate float64
+	seed uint64
+} {
+	small := smallConfig()
+	lite4 := small
+	lite4.GPU = hw.Lite()
+	lite4.PrefillGPUs = 4
+	lite4.DecodeGPUs = 4
+
+	jsq := clusterOf(small, lite4)
+	jsq.Router = JoinShortestQueue
+
+	quad := clusterOf(small, lite4, small, lite4)
+
+	trio := clusterOf(small, lite4, small)
+	trio.Failures = acceleratedFailures(1)
+
+	trioJSQ := trio
+	trioJSQ.Router = JoinShortestQueue
+
+	return []struct {
+		name string
+		cc   ClusterConfig
+		rate float64
+		seed uint64
+	}{
+		{name: "rr-hetero", cc: clusterOf(small, lite4), rate: 2.0, seed: 17},
+		{name: "jsq-hetero", cc: jsq, rate: 2.0, seed: 17},
+		{name: "rr-quad", cc: quad, rate: 3.0, seed: 23},
+		{name: "rr-failures", cc: trio, rate: 2.0, seed: 31},
+		{name: "jsq-failures", cc: trioJSQ, rate: 2.0, seed: 31},
+	}
+}
+
+// TestShardCountInvariance is the sharding contract: RunCluster must
+// produce byte-identical ClusterMetrics at every shard count, routers
+// and failure injection included. Shard counts above the pool count
+// clamp, so 4 and 8 also cover the clamping path.
+func TestShardCountInvariance(t *testing.T) {
+	for _, sc := range shardScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			reqs := codingTrace(t, sc.rate, sc.seed, 300)
+			base, err := RunCluster(sc.cc, reqs, 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := hexCluster(base)
+			for _, shards := range []int{1, 2, 4, 8} {
+				cc := sc.cc
+				cc.Shards = shards
+				cm, err := RunCluster(cc, reqs, 500)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got := hexCluster(cm); got != want {
+					t.Errorf("shards=%d diverges from sequential:\ngot:\n%s\nwant:\n%s", shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedClusterUnsortedInput pins that the parallel path applies
+// the same arrival sort (including tie handling) as the sequential one.
+func TestShardedClusterUnsortedInput(t *testing.T) {
+	small := smallConfig()
+	cc := clusterOf(small, small, small)
+	reqs := codingTrace(t, 2.0, 41, 200)
+	// Reverse the trace so both paths must sort it.
+	for i, j := 0, len(reqs)-1; i < j; i, j = i+1, j-1 {
+		reqs[i], reqs[j] = reqs[j], reqs[i]
+	}
+	base, err := RunCluster(cc, reqs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Shards = 3
+	cm, err := RunCluster(cc, reqs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hexCluster(cm) != hexCluster(base) {
+		t.Error("sharded run over unsorted input diverges from sequential")
+	}
+}
+
+// TestSnapshotForkMatchesFullRun is the snapshot contract: forking a
+// failure run at its first failure and resuming with k spares must be
+// byte-identical to simulating the whole run with k spares from t=0,
+// and the same fork must be replayable any number of times.
+func TestSnapshotForkMatchesFullRun(t *testing.T) {
+	cfg := smallConfig()
+	reqs := codingTrace(t, 1.5, 3, 200)
+	f := acceleratedFailures(0)
+	m0, fork, err := runForkable(cfg, f, reqs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fork.sim.snap == nil {
+		t.Fatal("accelerated failures fired no failure; fork test is vacuous")
+	}
+	for spares := 0; spares <= 3; spares++ {
+		fs := f
+		fs.Spares = spares
+		want, err := RunWithFailures(cfg, fs, reqs, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fork.runWithSpares(spares)
+		if fmt.Sprintf("%x", got) != fmt.Sprintf("%x", want) {
+			t.Errorf("spares=%d: fork resume diverges from full run\ngot:  %x\nwant: %x", spares, got, want)
+		}
+		if spares == 0 && fmt.Sprintf("%x", got) != fmt.Sprintf("%x", m0) {
+			t.Errorf("spares=0 resume diverges from the fork's own spare-free run")
+		}
+	}
+	// The snapshot is immutable: replaying an already-used spare count
+	// after other resumes must reproduce the same bytes.
+	a := fork.runWithSpares(1)
+	b := fork.runWithSpares(1)
+	if fmt.Sprintf("%x", a) != fmt.Sprintf("%x", b) {
+		t.Error("repeated resume from the same fork diverges")
+	}
+}
+
+// TestForkWithoutFailureReturnsBaseMetrics pins the full-skip path: when
+// no failure fires inside the horizon there is no snapshot, and every
+// spare count returns the spare-free metrics unchanged (spares are only
+// observable through failInstance).
+func TestForkWithoutFailureReturnsBaseMetrics(t *testing.T) {
+	cfg := smallConfig()
+	reqs := codingTrace(t, 1.0, 7, 100)
+	f := FailureConfig{Enabled: true, Seed: 5} // paper AFRs: no failure in 200 s
+	m0, fork, err := runForkable(cfg, f, reqs, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fork.sim.snap != nil {
+		t.Fatal("paper-AFR short window unexpectedly saw a failure")
+	}
+	if got := fork.runWithSpares(2); fmt.Sprintf("%x", got) != fmt.Sprintf("%x", m0) {
+		t.Errorf("failure-free fork resume altered metrics: %x vs %x", got, m0)
+	}
+}
+
+// TestPlanSnapshotReuseInvariance is the planner contract: snapshot
+// reuse is a pure wall-clock optimization, so the chosen plan — config,
+// spares, cost, and full hex-float metrics — must be byte-identical
+// with reuse on and off.
+func TestPlanSnapshotReuseInvariance(t *testing.T) {
+	req := planRequest(20)
+	req.Failures = FailureConfig{Enabled: true, Seed: 5}
+	slo := SLO{MinAvailability: 0.99999}
+	on, err := PlanCapacity(req, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.NoSnapshotReuse = true
+	off, err := PlanCapacity(req, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Config != off.Config || on.Spares != off.Spares || on.TotalGPUs != off.TotalGPUs {
+		t.Errorf("snapshot reuse changed the chosen deployment: %+v vs %+v", on.Config, off.Config)
+	}
+	if fmt.Sprintf("%x", on.Metrics) != fmt.Sprintf("%x", off.Metrics) {
+		t.Errorf("snapshot reuse changed plan metrics:\non:  %x\noff: %x", on.Metrics, off.Metrics)
+	}
+	if on.Cost != off.Cost || on.Availability != off.Availability {
+		t.Error("snapshot reuse changed cost or availability readouts")
+	}
+}
