@@ -19,6 +19,7 @@ import (
 	"litegpu/internal/experiments"
 	"litegpu/internal/hw"
 	"litegpu/internal/inference"
+	"litegpu/internal/kv"
 	"litegpu/internal/netsim"
 	"litegpu/internal/sim"
 )
@@ -860,6 +861,82 @@ func BenchmarkPlanCapacityFailuresNoReuse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := PlanCapacityRequest(req, slo); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKVAllocator measures steady-state paged-allocator churn:
+// admit with a shared prefix, grow across block boundaries, free —
+// the per-sequence lifecycle every memory-enabled decode step drives.
+// Allocs/op must stay 0: the allocator is sized once and recycled.
+func BenchmarkKVAllocator(b *testing.B) {
+	a := kv.NewAllocator(4096, 16, true)
+	churn := func() {
+		var ids [32]kv.SeqID
+		for j := range ids {
+			id, _, _, ok := a.Alloc(512, uint64(j%4+1), 256)
+			if !ok {
+				b.Fatal("admission failed with ample blocks")
+			}
+			ids[j] = id
+		}
+		for _, id := range ids {
+			for g := 0; g < 4; g++ {
+				if !a.Grow(id) {
+					b.Fatal("grow failed with ample blocks")
+				}
+			}
+		}
+		for _, id := range ids {
+			a.Free(id)
+		}
+	}
+	churn() // warm the sequence table so b.N=1 already measures steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churn()
+	}
+}
+
+// benchPagedConfig is the memory-scarce deployment the paged serving
+// benchmark runs: a single H100 prefill + decode pair on Llama3-8B with
+// a 600-block budget — the regime where admission gating, prefix
+// caching, and preemption all fire every run.
+func benchPagedConfig(b *testing.B) ServeConfig {
+	m, ok := ModelByName("Llama3-8B")
+	if !ok {
+		b.Fatal("model catalog missing Llama3-8B")
+	}
+	return ServeConfig{
+		GPU:              H100(),
+		Model:            m,
+		Opts:             DefaultOptions(),
+		PrefillInstances: 1, PrefillGPUs: 1,
+		DecodeInstances: 1, DecodeGPUs: 1,
+		MaxPrefillBatch: 4, MaxDecodeBatch: 64,
+		KV: ServeKVConfig{Policy: KVRecompute, PrefixCache: true, Blocks: 600},
+	}
+}
+
+// BenchmarkServingSimPaged measures the serving simulator with the KV
+// memory model in the loop under genuine scarcity. Compare against
+// BenchmarkServingSim for the event-loop cost of block accounting.
+func BenchmarkServingSimPaged(b *testing.B) {
+	cfg := benchPagedConfig(b)
+	reqs, err := ConversationWorkload(8, 3).Generate(120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Serve(cfg, reqs, 240)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.KVPreemptions == 0 {
+			b.Fatal("paged benchmark never preempted")
 		}
 	}
 }

@@ -64,6 +64,22 @@
 //
 //	litegpu-serve -plan -gpu Lite -model Llama3-70B -rate 20 -fabric auto
 //	litegpu-serve -plan -fabric clos:copper,flat-circuit:cpo:circuit
+//
+// With -kv, decode KV-cache memory becomes a finite, paged resource
+// (see docs/memory.md): admission blocks when an instance's block pool
+// is exhausted, growing sequences preempt the newest batch member when
+// memory runs out (recompute re-runs its prefill; swap pays a fabric
+// round trip), and +prefix turns on shared-prefix block caching. The
+// agent workload is the shape that makes prefix caching pay off:
+//
+//	litegpu-serve -kv recompute
+//	litegpu-serve -kv swap+prefix -workload agent -fabric clos:pluggable
+//
+// In plan mode -kv can also be a comma-separated candidate list or
+// "auto": the memory policy joins scheduler and fabric as a search
+// axis and the cheapest feasible plan per Mtoken wins:
+//
+//	litegpu-serve -plan -gpu Lite -model Llama3-8B -rate 20 -kv auto
 package main
 
 import (
@@ -87,7 +103,7 @@ func main() {
 	decodeGPUs := flag.Int("decode-gpus", 2, "GPUs (TP degree) per decode engine")
 	maxPrefill := flag.Int("max-prefill-batch", 4, "prompts fused per prefill pass")
 	maxDecode := flag.Int("max-decode-batch", 64, "continuous-batching cap")
-	workload := flag.String("workload", "coding", "workload shape: coding | conversation")
+	workload := flag.String("workload", "coding", "workload shape: coding | conversation | agent (shared-prefix)")
 	scheduler := flag.String("scheduler", "static", "scheduling policy: static (phase-split) | continuous (batching) | chunked (prefill); plan mode also accepts auto (size all three, keep the cheapest)")
 	prefillChunk := flag.Int("prefill-chunk", 0, "chunked-prefill chunk size in prompt tokens (0 = default 512)")
 	afr := flag.Float64("afr", 0, "enable failure injection at this reference-package annualized failure rate (e.g. 0.09; 0 = off)")
@@ -98,6 +114,9 @@ func main() {
 	router := flag.String("router", "rr", "arrival router across pools: rr (round-robin) | jsq (join-shortest-queue)")
 	fabricSpec := flag.String("fabric", "off", "put the network in the event loop: off, or fabric[:link[:switch]] with fabric clos | leaf-spine | flat-circuit, link copper | pluggable | cpo, switch packet | circuit; plan mode also accepts a comma-separated candidate list or auto (search the default candidates)")
 	linkName := flag.String("link", "", "default link technology for -fabric specs that omit one: copper | pluggable | cpo")
+	kvSpec := flag.String("kv", "off", "model decode KV-cache memory as a finite paged resource: off, or policy[+prefix] with policy recompute | swap; plan mode also accepts a comma-separated candidate list or auto (search the default candidates)")
+	kvBlocks := flag.Int("kv-blocks", 0, "override the per-instance KV block budget (0 = derive from HBM capacity net of weights)")
+	kvBlockTokens := flag.Int("kv-block-tokens", 0, "KV page size in tokens (0 = default 16)")
 	latScale := flag.Float64("fabric-latency-scale", 1, "multiply fabric path latency (sensitivity stress knob, like -failure-timescale for failures)")
 	plan := flag.Bool("plan", false, "size the cheapest deployment meeting the SLO targets instead of simulating fixed pools")
 	ttftAttain := flag.Float64("ttft-attainment", 0.99, "plan mode: required fraction of requests meeting the TTFT limit")
@@ -121,6 +140,8 @@ func main() {
 		gen = litegpu.CodingWorkload(*rate, *seed)
 	case "conversation":
 		gen = litegpu.ConversationWorkload(*rate, *seed)
+	case "agent":
+		gen = litegpu.AgentWorkload(*rate, *seed)
 	default:
 		fatalf("unknown workload %q", *workload)
 	}
@@ -183,6 +204,45 @@ func main() {
 			fabricCandidates[i].LatencyScale = *latScale
 		}
 	}
+	parseKV := func(spec string) litegpu.ServeKVConfig {
+		kc, err := litegpu.ParseKVConfig(spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return kc
+	}
+	var kvCandidates []litegpu.ServeKVConfig
+	var kvc litegpu.ServeKVConfig
+	switch {
+	case *kvSpec == "auto":
+		if !*plan {
+			fatalf("-kv auto only applies with -plan; pick one kv spec")
+		}
+		kvCandidates = litegpu.DefaultKVPolicyCandidates()
+	case strings.Contains(*kvSpec, ","):
+		if !*plan {
+			fatalf("a -kv candidate list only applies with -plan; pick one kv spec")
+		}
+		for _, s := range strings.Split(*kvSpec, ",") {
+			kvCandidates = append(kvCandidates, parseKV(s))
+		}
+	default:
+		kvc = parseKV(*kvSpec)
+	}
+	// The block knobs apply uniformly, however the kv set was
+	// specified — but only to enabled configs (the zero config must
+	// stay zero to keep its infinite-memory meaning).
+	applyKVKnobs := func(c *litegpu.ServeKVConfig) {
+		if !c.Enabled() {
+			return
+		}
+		c.Blocks = *kvBlocks
+		c.BlockTokens = *kvBlockTokens
+	}
+	applyKVKnobs(&kvc)
+	for i := range kvCandidates {
+		applyKVKnobs(&kvCandidates[i])
+	}
 	var routerPolicy litegpu.ServeRouterPolicy
 	switch *router {
 	case "rr", "round-robin":
@@ -227,6 +287,8 @@ func main() {
 			Failures:        failures,
 			Network:         fabric,
 			Fabrics:         fabricCandidates,
+			KV:              kvc,
+			KVPolicies:      kvCandidates,
 		}
 		// The instance-count flags are what the planner searches over,
 		// but an explicitly-set TP degree is a constraint to respect;
@@ -266,6 +328,11 @@ func main() {
 			fmt.Printf("  network: %d transfers, p99 %.2f ms, %.1f%% of delivered latency\n",
 				p.Metrics.NetTransfers, p.Metrics.TransferTime.P99*1e3, p.Metrics.NetworkBoundFraction*100)
 		}
+		if p.Config.KV.Enabled() {
+			fmt.Printf("  kv memory: %s policy, %d preemptions, peak %d blocks (mean %.1f), hit rate %.1f%%, %d recomputed tokens\n",
+				p.Config.KV, p.Metrics.KVPreemptions, p.Metrics.KVPeakBlocks, p.Metrics.KVMeanBlocks,
+				p.Metrics.KVCacheHitRate*100, p.Metrics.KVRecomputeTokens)
+		}
 		fmt.Printf("  TCO: %v\n", p.Cost)
 		return
 	}
@@ -291,6 +358,7 @@ func main() {
 		DecodeGPUs:       *decodeGPUs,
 		MaxPrefillBatch:  *maxPrefill,
 		MaxDecodeBatch:   *maxDecode,
+		KV:               kvc,
 	}
 	cc := litegpu.ServeClusterConfig{
 		Pools:    []litegpu.ServePool{{Name: gpu.Name, Config: cfg}},
@@ -329,15 +397,18 @@ func main() {
 		fmt.Printf("failure injection: AFR %.2f ×%.0f, %d spares/pool, policy %s\n",
 			*afr, *timescale, *spares, map[bool]string{false: "requeue", true: "drop"}[*dropOnFailure])
 	}
+	if kvc.Enabled() {
+		fmt.Printf("kv memory: %s policy, %d-token blocks\n", kvc, kvc.BlockTokensOrDefault())
+	}
 	for i, pm := range cm.Pools {
 		pc := cc.Pools[i].Config // RunCluster reports pools in input order
 		fmt.Printf("pool %s: %s (%s scheduler), model %s\n",
 			pm.Name, describeDeployment(pc), pc.Scheduler, m.Name)
-		printMetrics("  ", pm.Metrics, failures.Enabled)
+		printMetrics("  ", pm.Metrics, failures.Enabled, kvc.Enabled())
 	}
 	if len(cm.Pools) > 1 {
 		fmt.Printf("cluster total (router %s):\n", *router)
-		printMetrics("  ", cm.Total, failures.Enabled)
+		printMetrics("  ", cm.Total, failures.Enabled, kvc.Enabled())
 	}
 }
 
@@ -352,7 +423,7 @@ func describeDeployment(c litegpu.ServeConfig) string {
 		c.PrefillInstances, c.PrefillGPUs, c.DecodeInstances, c.DecodeGPUs)
 }
 
-func printMetrics(indent string, mets litegpu.ServeMetrics, withFailures bool) {
+func printMetrics(indent string, mets litegpu.ServeMetrics, withFailures, withKV bool) {
 	fmt.Printf("%sarrived %d, completed %d, dropped %d, tokens generated %d\n",
 		indent, mets.Arrived, mets.Completed, mets.Dropped, mets.TokensGenerated)
 	fmt.Printf("%sTTFT p50/p90/p99: %.0f / %.0f / %.0f ms (attainment %.1f%%)\n",
@@ -373,6 +444,11 @@ func printMetrics(indent string, mets litegpu.ServeMetrics, withFailures bool) {
 			mets.TransferBytes.P50/1e6, mets.TransferBytes.P99/1e6,
 			mets.TransferTime.P50*1e3, mets.TransferTime.P99*1e3,
 			mets.NetworkBoundFraction*100)
+	}
+	if withKV {
+		fmt.Printf("%skv memory: %d preemptions, peak %d blocks (mean %.1f), hit rate %.1f%%, %d recomputed tokens\n",
+			indent, mets.KVPreemptions, mets.KVPeakBlocks, mets.KVMeanBlocks,
+			mets.KVCacheHitRate*100, mets.KVRecomputeTokens)
 	}
 }
 

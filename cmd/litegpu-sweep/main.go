@@ -14,6 +14,7 @@
 //	litegpu-sweep -afr 0.09 -failure-timescale 1e6 # add a failure-injection axis
 //	litegpu-sweep -scheduler static,continuous,chunked  # add a scheduling-policy axis
 //	litegpu-sweep -fabric off,clos:pluggable,flat-circuit:cpo:circuit  # add a fabric axis
+//	litegpu-sweep -kv off,recompute+prefix,swap+prefix  # add a KV-memory axis
 //
 // With -scheduler listing several policies, every grid point is
 // simulated once per policy on the identical trace and silicon, so the
@@ -48,11 +49,12 @@ import (
 func main() {
 	gpuList := flag.String("gpus", "", "comma-separated Table 1 GPU names (default: all six)")
 	modelList := flag.String("models", "", "comma-separated model presets (default: the three paper models)")
-	workloadList := flag.String("workloads", "coding,conversation", "workload shapes: coding | conversation")
+	workloadList := flag.String("workloads", "coding,conversation", "workload shapes: coding | conversation | agent")
 	rateList := flag.String("rates", "0.5,1.5", "comma-separated arrival rates (req/s)")
 	schedList := flag.String("scheduler", "static", "comma-separated scheduling policies: static | continuous | chunked")
 	fabricList := flag.String("fabric", "off", "comma-separated fabric axis: off and/or fabric[:link[:switch]] specs (clos | leaf-spine | flat-circuit), each simulated in the event loop per grid point")
 	linkName := flag.String("link", "", "default link technology for -fabric specs that omit one: copper | pluggable | cpo")
+	kvList := flag.String("kv", "off", "comma-separated KV-memory axis: off and/or policy[+prefix] specs (recompute | swap), each simulated per grid point")
 	prefillInst := flag.Int("prefill-instances", 1, "prefill engines per deployment")
 	decodeInst := flag.Int("decode-instances", 1, "decode engines per deployment")
 	horizon := flag.Float64("horizon", 300, "arrival window in simulated seconds")
@@ -112,6 +114,8 @@ func main() {
 			spec.Workloads = append(spec.Workloads, litegpu.SweepWorkload{Name: name, Make: litegpu.CodingWorkload})
 		case "conversation":
 			spec.Workloads = append(spec.Workloads, litegpu.SweepWorkload{Name: name, Make: litegpu.ConversationWorkload})
+		case "agent":
+			spec.Workloads = append(spec.Workloads, litegpu.SweepWorkload{Name: name, Make: litegpu.AgentWorkload})
 		default:
 			fatalf("unknown workload %q", name)
 		}
@@ -149,6 +153,19 @@ func main() {
 	}
 	withFabrics = withFabrics || len(spec.Fabrics) > 1
 
+	withKV := false
+	for _, s := range splitList(*kvList) {
+		kc, err := litegpu.ParseKVConfig(s)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if kc.Enabled() {
+			withKV = true
+		}
+		spec.KVPolicies = append(spec.KVPolicies, kc)
+	}
+	withKV = withKV || len(spec.KVPolicies) > 1
+
 	withFailures := *afr > 0
 	if withFailures {
 		spec.FailureModes = []litegpu.SweepFailureMode{
@@ -176,11 +193,15 @@ func main() {
 	if !withFabrics {
 		fabricCols = ""
 	}
+	kvCols := "\tKV\tPreempt/Hit%"
+	if !withKV {
+		kvCols = ""
+	}
 	failCols := "\tFailures\tAvail/Ev"
 	if !withFailures {
 		failCols = ""
 	}
-	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s"+schedCol+fabricCols+"\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att."+failCols)
+	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s"+schedCol+fabricCols+kvCols+"\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att."+failCols)
 	for _, c := range cells {
 		row := fmt.Sprintf("%s\t%s\t%s\t%.2f", c.GPU, c.Model, c.Workload, c.Rate)
 		if withSchedulers {
@@ -189,6 +210,9 @@ func main() {
 		if c.Err != "" {
 			if withFabrics {
 				row += fmt.Sprintf("\t%s\t", c.Fabric)
+			}
+			if withKV {
+				row += fmt.Sprintf("\t%s\t", c.KV)
 			}
 			row += fmt.Sprintf("\tinfeasible: %s\t\t\t\t\t\t", c.Err)
 			if withFailures {
@@ -200,6 +224,9 @@ func main() {
 		m := c.Metrics
 		if withFabrics {
 			row += fmt.Sprintf("\t%s\t%.1f%%", c.Fabric, m.NetworkBoundFraction*100)
+		}
+		if withKV {
+			row += fmt.Sprintf("\t%s\t%d/%.0f%%", c.KV, m.KVPreemptions, m.KVCacheHitRate*100)
 		}
 		row += fmt.Sprintf("\t%s\t%d/%d\t%d\t%.0f ms\t%.1f ms\t%.1f%%\t%.1f%%",
 			deployment(c.Config),

@@ -1,0 +1,44 @@
+package litegpu
+
+import "litegpu/internal/kv"
+
+// KV-cache memory as a simulated resource, re-exported from
+// internal/kv. See docs/memory.md for the model and when it matters.
+type (
+	// ServeKVConfig selects the KV-cache memory model a serving
+	// simulation runs under: the preemption recovery policy, the page
+	// size in tokens, prefix caching, and an optional block-budget
+	// override. The zero value is the historical infinite-memory
+	// decode. Set it on ServeConfig.KV.
+	ServeKVConfig = kv.Config
+	// KVPolicy is the preemption recovery discipline (off, recompute,
+	// swap).
+	KVPolicy = kv.Policy
+)
+
+// KV preemption recovery policies.
+const (
+	// KVOff disables the memory model: admission is gated by the batch
+	// caps alone. The zero value.
+	KVOff = kv.Off
+	// KVRecompute frees a preempted sequence's blocks and re-runs its
+	// prefill when capacity frees up (vLLM's default recovery).
+	KVRecompute = kv.Recompute
+	// KVSwap moves a preempted sequence's blocks to remote memory and
+	// back, priced as a fabric transfer when the network is in the
+	// event loop.
+	KVSwap = kv.Swap
+)
+
+// ParseKVConfig parses a CLI KV spec — "off", or "policy[+prefix]"
+// with policy ∈ {recompute, swap}, e.g. "recompute+prefix".
+func ParseKVConfig(spec string) (ServeKVConfig, error) {
+	return kv.ParseConfig(spec)
+}
+
+// DefaultKVPolicyCandidates returns the KV memory configs the capacity
+// planner searches when asked for a memory axis: the infinite-memory
+// baseline and both preemption disciplines with prefix caching on.
+func DefaultKVPolicyCandidates() []ServeKVConfig {
+	return kv.DefaultPolicyCandidates()
+}

@@ -66,6 +66,12 @@ type SweepSpec struct {
 	// point with each fabric in the event loop, on identical traces, so
 	// the fabric columns isolate what the network costs each deployment.
 	Fabrics []ServeNetworkConfig
+	// KVPolicies is the KV-memory axis (default: the single zero config
+	// — infinite decode memory). Add entries (e.g. recompute+prefix and
+	// swap+prefix) to simulate every grid point under each memory model,
+	// on identical traces, so the KV columns isolate what finite cache
+	// memory costs each deployment.
+	KVPolicies []ServeKVConfig
 
 	// Horizon is the arrival window (default 300 s); the simulation runs
 	// Drain (default 120 s) past it so in-flight requests can finish.
@@ -115,6 +121,9 @@ func (s SweepSpec) withDefaults() SweepSpec {
 	if len(s.Fabrics) == 0 {
 		s.Fabrics = []ServeNetworkConfig{{}}
 	}
+	if len(s.KVPolicies) == 0 {
+		s.KVPolicies = []ServeKVConfig{{}}
+	}
 	if s.Horizon <= 0 {
 		s.Horizon = 300
 	}
@@ -154,6 +163,9 @@ type SweepCell struct {
 	// Fabric names the cell's network config ("off" when the fabric
 	// axis is not in play).
 	Fabric string
+	// KV names the cell's KV-memory config ("off" when the memory axis
+	// is not in play).
+	KV string
 
 	// Config is the auto-sized deployment the cell simulated.
 	Config ServeConfig
@@ -164,9 +176,9 @@ type SweepCell struct {
 }
 
 // Sweep crosses GPU types × models × workloads × arrival rates ×
-// scheduling policies × failure modes × fabrics and simulates a
-// serving deployment for every combination, fanning the grid over a
-// worker pool. Cell order is the nested enumeration order of the spec
+// scheduling policies × failure modes × fabrics × KV-memory configs
+// and simulates a serving deployment for every combination, fanning
+// the grid over a worker pool. Cell order is the nested enumeration order of the spec
 // slices, and each cell's workload seed derives from its grid index —
 // so the returned slice is byte-identical whether it ran on one worker
 // or many.
@@ -183,6 +195,7 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 		sched    SchedulerPolicy
 		failure  SweepFailureMode
 		fabric   ServeNetworkConfig
+		kvc      ServeKVConfig
 	}
 	var points []point
 	for _, g := range spec.GPUs {
@@ -192,7 +205,9 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 					for _, sp := range spec.Schedulers {
 						for _, f := range spec.FailureModes {
 							for _, nc := range spec.Fabrics {
-								points = append(points, point{gpu: g, model: m, workload: w, rate: r, sched: sp, failure: f, fabric: nc})
+								for _, kvc := range spec.KVPolicies {
+									points = append(points, point{gpu: g, model: m, workload: w, rate: r, sched: sp, failure: f, fabric: nc, kvc: kvc})
+								}
 							}
 						}
 					}
@@ -207,12 +222,12 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 	// within the grid are noise-free. The seed position is the
 	// workload×rate coordinate of the cell.
 	traceBlock := len(spec.Workloads) * len(spec.Rates)
-	innerModes := len(spec.Schedulers) * len(spec.FailureModes) * len(spec.Fabrics)
+	innerModes := len(spec.Schedulers) * len(spec.FailureModes) * len(spec.Fabrics) * len(spec.KVPolicies)
 
 	return sweep.RunN(ctx, spec.Workers, points,
 		func(_ context.Context, idx int, p point) (SweepCell, error) {
 			c := SweepCell{GPU: p.gpu.Name, Model: p.model.Name, Workload: p.workload.Name, Rate: p.rate,
-				Scheduler: p.sched.String(), Failure: p.failure.Name, Fabric: p.fabric.String()}
+				Scheduler: p.sched.String(), Failure: p.failure.Name, Fabric: p.fabric.String(), KV: p.kvc.String()}
 			pTP, err := inference.MinFeasibleTP(p.gpu, p.model, Prefill, spec.Opts)
 			if err != nil {
 				c.Err = err.Error()
@@ -230,6 +245,7 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 				DecodeInstances: spec.DecodeInstances, DecodeGPUs: dTP,
 				MaxPrefillBatch: spec.MaxPrefillBatch, MaxDecodeBatch: spec.MaxDecodeBatch,
 				Network: p.fabric,
+				KV:      p.kvc,
 			}
 			gen := p.workload.Make(p.rate, mathx.DeriveSeed(spec.Seed, uint64((idx/innerModes)%traceBlock)))
 			// Arrivals stream into the simulation on demand — no cell ever

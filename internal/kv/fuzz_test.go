@@ -1,0 +1,236 @@
+package kv
+
+import (
+	"testing"
+)
+
+// refAllocator is the naive reference the fuzzer checks the real
+// allocator against: maps and slices, no arenas, no open addressing —
+// the obviously-correct implementation of the same semantics (free
+// stack before idle LRU, oldest idle evicted first, per-block
+// refcounts, full-block prefix caching).
+type refAllocator struct {
+	blockTokens int
+	prefix      bool
+	total       int
+	free        int            // reclaimable uncached blocks
+	idle        []uint64       // cached refcount-zero block keys, oldest first
+	cache       map[uint64]int // key → refcount (resident prefix blocks)
+	seqs        map[int]*refSeq
+	nextID      int
+}
+
+type refSeq struct {
+	tokens  int
+	shared  []uint64 // one entry per cacheable block position
+	private int      // uncacheable block count
+}
+
+func newRef(blocks, blockTokens int, prefix bool) *refAllocator {
+	return &refAllocator{
+		blockTokens: blockTokens, prefix: prefix, total: blocks,
+		free: blocks, cache: map[uint64]int{}, seqs: map[int]*refSeq{},
+	}
+}
+
+func (r *refAllocator) inUse() int { return r.total - r.free - len(r.idle) }
+
+// obtain takes one reclaimable block: free stack first, then evict the
+// oldest idle cached block.
+func (r *refAllocator) obtain() bool {
+	if r.free > 0 {
+		r.free--
+		return true
+	}
+	if len(r.idle) > 0 {
+		delete(r.cache, r.idle[0])
+		r.idle = r.idle[1:]
+		return true
+	}
+	return false
+}
+
+func (r *refAllocator) alloc(tokens int, prefixKey uint64, prefixTokens int) (id, hits, lookups int, ok bool) {
+	nb := (tokens + r.blockTokens - 1) / r.blockTokens
+	cacheable := 0
+	if r.prefix && prefixKey != 0 && prefixTokens > 0 {
+		if prefixTokens > tokens {
+			prefixTokens = tokens
+		}
+		cacheable = prefixTokens / r.blockTokens
+		if cacheable > nb {
+			cacheable = nb
+		}
+	}
+	idleHits := 0
+	for i := 0; i < cacheable; i++ {
+		if ref, found := r.cache[blockKey(prefixKey, i)]; found {
+			hits++
+			if ref == 0 {
+				idleHits++
+			}
+		}
+	}
+	lookups = cacheable
+	if nb-hits > r.free+(len(r.idle)-idleHits) {
+		return 0, hits, lookups, false
+	}
+	if len(r.seqs) == r.total {
+		return 0, hits, lookups, false // sequence table full
+	}
+	s := &refSeq{tokens: tokens, private: nb - cacheable}
+	// Claim hits and insert misses in index order; then obtain blocks
+	// for every miss and every private position.
+	for i := 0; i < cacheable; i++ {
+		key := blockKey(prefixKey, i)
+		if ref, found := r.cache[key]; found {
+			if ref == 0 {
+				r.removeIdle(key)
+			}
+			r.cache[key] = ref + 1
+		} else {
+			if !r.obtain() {
+				panic("ref: capacity check violated")
+			}
+			r.cache[key] = 1
+		}
+		s.shared = append(s.shared, key)
+	}
+	for i := 0; i < s.private; i++ {
+		if !r.obtain() {
+			panic("ref: capacity check violated")
+		}
+	}
+	id = r.nextID
+	r.nextID++
+	r.seqs[id] = s
+	return id, hits, lookups, true
+}
+
+func (r *refAllocator) removeIdle(key uint64) {
+	for i, k := range r.idle {
+		if k == key {
+			r.idle = append(r.idle[:i], r.idle[i+1:]...)
+			return
+		}
+	}
+	panic("ref: idle key missing")
+}
+
+func (r *refAllocator) grow(id int) bool {
+	s := r.seqs[id]
+	if s.tokens < (len(s.shared)+s.private)*r.blockTokens {
+		s.tokens++
+		return true
+	}
+	if !r.obtain() {
+		return false
+	}
+	s.private++
+	s.tokens++
+	return true
+}
+
+func (r *refAllocator) freeSeq(id int) {
+	s := r.seqs[id]
+	for _, key := range s.shared {
+		ref := r.cache[key] - 1
+		if ref < 0 {
+			panic("ref: negative refcount")
+		}
+		r.cache[key] = ref
+		if ref == 0 {
+			r.idle = append(r.idle, key)
+		}
+	}
+	r.free += s.private
+	delete(r.seqs, id)
+}
+
+// FuzzKVAllocator drives random alloc/grow/free/reset sequences
+// through the real allocator and the naive reference in lockstep,
+// comparing every return value and the full block accounting after
+// every operation.
+func FuzzKVAllocator(f *testing.F) {
+	f.Add([]byte{0, 0, 40, 1, 60, 0, 0, 10, 2, 8, 1, 0, 2, 5, 3, 0})
+	f.Add([]byte{1, 0, 255, 1, 255, 0, 100, 3, 200, 1, 1, 2, 30, 1, 0})
+	f.Add([]byte{1, 0, 17, 2, 16, 0, 17, 2, 16, 1, 0, 0, 17, 2, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		prefix := data[0]%2 == 1
+		data = data[1:]
+		const blocks, blockTokens = 24, 8
+		a := NewAllocator(blocks, blockTokens, prefix)
+		r := newRef(blocks, blockTokens, prefix)
+		type pair struct {
+			real SeqID
+			ref  int
+		}
+		var live []pair
+		check := func() {
+			t.Helper()
+			if a.FreeBlocks() != r.free || a.IdleBlocks() != len(r.idle) || a.InUse() != r.inUse() {
+				t.Fatalf("state diverged: real %d/%d/%d, ref %d/%d/%d",
+					a.FreeBlocks(), a.IdleBlocks(), a.InUse(), r.free, len(r.idle), r.inUse())
+			}
+			if a.FreeBlocks()+a.IdleBlocks()+a.InUse() != a.Total() {
+				t.Fatalf("conservation violated: %d+%d+%d != %d",
+					a.FreeBlocks(), a.IdleBlocks(), a.InUse(), a.Total())
+			}
+		}
+		for len(data) >= 4 {
+			op := data[0] % 8
+			switch {
+			case op <= 3: // alloc, weighted heaviest
+				tokens := 1 + int(data[1])
+				key := uint64(data[2] % 5)
+				ptoks := int(data[3])
+				id, hits, lookups, ok := a.Alloc(tokens, key, ptoks)
+				rid, rhits, rlookups, rok := r.alloc(tokens, key, ptoks)
+				if ok != rok || hits != rhits || lookups != rlookups {
+					t.Fatalf("alloc(%d,%d,%d) diverged: real (%d,%d,%v), ref (%d,%d,%v)",
+						tokens, key, ptoks, hits, lookups, ok, rhits, rlookups, rok)
+				}
+				if ok {
+					if a.SeqTokens(id) != r.seqs[rid].tokens {
+						t.Fatalf("seq tokens diverged: %d vs %d", a.SeqTokens(id), r.seqs[rid].tokens)
+					}
+					live = append(live, pair{id, rid})
+				}
+			case op <= 5 && len(live) > 0: // grow
+				p := live[int(data[1])%len(live)]
+				n := 1 + int(data[2]%32)
+				for i := 0; i < n; i++ {
+					if got, want := a.Grow(p.real), r.grow(p.ref); got != want {
+						t.Fatalf("grow diverged: real %v, ref %v", got, want)
+					}
+				}
+				if a.SeqTokens(p.real) != r.seqs[p.ref].tokens {
+					t.Fatalf("grown tokens diverged")
+				}
+			case op == 6 && len(live) > 0: // free
+				i := int(data[1]) % len(live)
+				a.Free(live[i].real)
+				r.freeSeq(live[i].ref)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case op == 7 && data[1] == 0: // rare full reset
+				a.Reset()
+				r = newRef(blocks, blockTokens, prefix)
+				live = live[:0]
+			}
+			check()
+			data = data[4:]
+		}
+		for _, p := range live {
+			a.Free(p.real)
+			r.freeSeq(p.ref)
+			check()
+		}
+		if a.InUse() != 0 {
+			t.Fatalf("leak: %d blocks in use after freeing all", a.InUse())
+		}
+	})
+}

@@ -1,0 +1,698 @@
+// Package kv models KV-cache memory as a first-class simulated
+// resource: a deterministic, allocation-free paged block allocator in
+// the style of vLLM's PagedAttention.
+//
+// Each serving instance owns one Allocator over a fixed budget of
+// fixed-size blocks (BlockTokens tokens each), sized by internal/serve
+// from the GPU's HBM capacity net of model weights and the model's
+// KV-bytes/token at the instance's tensor-parallel degree. Sequences
+// allocate blocks at admission, grow one block per BlockTokens decoded
+// tokens, and free on completion; when the pool runs dry the scheduler
+// preempts (see Policy). With PrefixCache set, the leading full blocks
+// of a request's shared prefix are content-addressed by hash: freed
+// prefix blocks park in an idle LRU instead of the free stack and later
+// requests with the same prefix re-reference them instead of
+// reallocating.
+//
+// The zero-value Config disables the memory model entirely — the
+// historical infinite-memory behavior, byte-identical to every golden
+// corpus captured before this package existed.
+//
+// Determinism and allocation discipline follow the repo invariants
+// (docs/correctness.md): no maps (the prefix index is an open-addressed
+// table with backward-shift deletion), no wall clock, no global rand,
+// and the steady-state operations (Alloc, Grow, Free) are
+// //litegpu:hotpath-annotated and AllocsPerRun-pinned at zero.
+package kv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy selects what the scheduler does when a decode step needs a KV
+// block and the allocator has none: nothing (Off — the infinite-memory
+// zero value), drop the victim's blocks and re-run its prefill
+// (Recompute), or move the victim's blocks out and back over the
+// fabric (Swap).
+type Policy int
+
+const (
+	// Off disables the KV memory model: admission is gated by the batch
+	// caps alone and no blocks are tracked. The zero value.
+	Off Policy = iota
+	// Recompute frees a preempted sequence's blocks outright and
+	// re-runs its prefill (prompt plus already-generated tokens) when
+	// capacity frees up — vLLM's default recovery.
+	Recompute
+	// Swap moves a preempted sequence's blocks to remote memory and
+	// back, priced as a fabric transfer when the network is in the
+	// event loop (instantaneous otherwise); no compute is re-run.
+	Swap
+)
+
+// String returns the policy's CLI name.
+func (p Policy) String() string {
+	switch p {
+	case Recompute:
+		return "recompute"
+	case Swap:
+		return "swap"
+	default:
+		return "off"
+	}
+}
+
+// Config parameterizes the per-instance KV memory model. The zero
+// value keeps the historical infinite-memory semantics byte-identical.
+type Config struct {
+	// Policy enables the model and selects the preemption recovery
+	// discipline. Off (the zero value) disables block accounting.
+	Policy Policy
+	// BlockTokens is the page size in tokens (default 16, vLLM's
+	// default).
+	BlockTokens int
+	// PrefixCache enables hash-based prefix caching: the leading full
+	// blocks of a request's declared shared prefix are ref-count-shared
+	// across sequences and survive frees in an idle LRU.
+	PrefixCache bool
+	// Blocks overrides the per-instance block budget (0 = derive from
+	// HBM capacity net of model weights).
+	Blocks int
+}
+
+// Enabled reports whether the KV memory model is on.
+func (c Config) Enabled() bool { return c.Policy != Off }
+
+// Validate reports the first configuration problem, or nil.
+func (c Config) Validate() error {
+	if c.Policy < Off || c.Policy > Swap {
+		return fmt.Errorf("kv: unknown policy %d", int(c.Policy))
+	}
+	if c.BlockTokens < 0 {
+		return fmt.Errorf("kv: negative BlockTokens %d", c.BlockTokens)
+	}
+	if c.Blocks < 0 {
+		return fmt.Errorf("kv: negative Blocks %d", c.Blocks)
+	}
+	if !c.Enabled() && (c.BlockTokens != 0 || c.PrefixCache || c.Blocks != 0) {
+		return fmt.Errorf("kv: block parameters set but Policy is off")
+	}
+	return nil
+}
+
+// String renders the config as its CLI spec: "off" or
+// "policy[+prefix]".
+func (c Config) String() string {
+	if !c.Enabled() {
+		return "off"
+	}
+	s := c.Policy.String()
+	if c.PrefixCache {
+		s += "+prefix"
+	}
+	return s
+}
+
+// ParseConfig parses a CLI KV spec: "off", or "policy[+prefix]" with
+// policy ∈ {recompute, swap}. BlockTokens and Blocks keep their
+// defaults; set them on the returned Config directly when needed.
+func ParseConfig(spec string) (Config, error) {
+	var c Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" || spec == "none" {
+		return c, nil
+	}
+	parts := strings.Split(spec, "+")
+	switch parts[0] {
+	case "recompute":
+		c.Policy = Recompute
+	case "swap":
+		c.Policy = Swap
+	default:
+		return Config{}, fmt.Errorf("kv: unknown policy %q (want off, recompute, or swap)", parts[0])
+	}
+	for _, p := range parts[1:] {
+		switch p {
+		case "prefix":
+			c.PrefixCache = true
+		default:
+			return Config{}, fmt.Errorf("kv: unknown option %q (want prefix)", p)
+		}
+	}
+	return c, nil
+}
+
+// DefaultPolicyCandidates returns the KV policies the capacity planner
+// crosses when asked to search the memory axis: the historical
+// infinite-memory baseline, and both preemption disciplines with
+// prefix caching on.
+func DefaultPolicyCandidates() []Config {
+	return []Config{
+		{},
+		{Policy: Recompute, PrefixCache: true},
+		{Policy: Swap, PrefixCache: true},
+	}
+}
+
+// BlockTokensOrDefault resolves the page size.
+func (c Config) BlockTokensOrDefault() int {
+	if c.BlockTokens > 0 {
+		return c.BlockTokens
+	}
+	return 16
+}
+
+// SeqID is a handle to a live sequence's block set. Handles are
+// recycled after Free; using a freed handle panics.
+type SeqID int32
+
+const nilBlock int32 = -1
+
+// seqState is one sequence's allocation: its block list (retained
+// across handle reuse so steady state never allocates), its token
+// count, and liveness.
+type seqState struct {
+	blocks []int32
+	tokens int
+	live   bool
+}
+
+// Allocator is one instance's paged KV block pool. All state lives in
+// preallocated arrays indexed by block number; the prefix index is an
+// open-addressed hash table (linear probing, backward-shift deletion)
+// so steady-state operation performs zero heap allocations and is
+// deterministic — no Go map is ever iterated or probed.
+//
+// Block accounting invariant, checked by the property tests after
+// every operation: free + idle + in-use == total, where idle blocks
+// are cached prefix blocks with refcount zero (reclaimable, LRU) and
+// in-use blocks have refcount ≥ 1 (possibly shared across sequences).
+type Allocator struct {
+	blockTokens int
+	prefix      bool
+	total       int
+
+	refs    []int32  // per-block reference count
+	hashes  []uint64 // per-block content key (0 = uncached)
+	inCache []bool   // per-block: key present in the prefix index
+	next    []int32  // idle-LRU forward links (toward tail)
+	prev    []int32  // idle-LRU backward links (toward head)
+
+	free      []int32 // never-cached reclaimed blocks, LIFO
+	idleHead  int32   // oldest idle cached block (evicted first)
+	idleTail  int32   // most recently idled cached block
+	idleCount int
+
+	// Open-addressed prefix index: key → block. Power-of-two sized at
+	// ≥2× total so load factor stays below one half.
+	tabKeys []uint64
+	tabVals []int32
+	tabMask uint64
+
+	seqs     []seqState
+	freeSeqs []int32
+}
+
+// NewAllocator builds an allocator over `blocks` blocks of
+// `blockTokens` tokens each. prefixCache enables the content-addressed
+// prefix index. Panics on a non-positive budget or page size —
+// internal/serve validates sizing before construction.
+func NewAllocator(blocks, blockTokens int, prefixCache bool) *Allocator {
+	if blocks <= 0 || blockTokens <= 0 {
+		panic("kv: NewAllocator needs positive blocks and blockTokens")
+	}
+	tabSize := 8
+	for tabSize < 2*blocks {
+		tabSize *= 2
+	}
+	a := &Allocator{
+		blockTokens: blockTokens,
+		prefix:      prefixCache,
+		total:       blocks,
+		refs:        make([]int32, blocks),
+		hashes:      make([]uint64, blocks),
+		inCache:     make([]bool, blocks),
+		next:        make([]int32, blocks),
+		prev:        make([]int32, blocks),
+		free:        make([]int32, 0, blocks),
+		idleHead:    nilBlock,
+		idleTail:    nilBlock,
+		tabKeys:     make([]uint64, tabSize),
+		tabVals:     make([]int32, tabSize),
+		tabMask:     uint64(tabSize - 1),
+		// A sequence holds ≥1 block, so `blocks` sequence slots suffice.
+		seqs:     make([]seqState, blocks),
+		freeSeqs: make([]int32, 0, blocks),
+	}
+	a.Reset()
+	return a
+}
+
+// Reset returns every block to the free stack and kills every
+// sequence — the instance-failure path (a dead instance's HBM content
+// is gone). Block lists inside recycled sequence slots are retained so
+// post-reset operation stays allocation-free.
+func (a *Allocator) Reset() {
+	a.free = a.free[:0]
+	// Reverse push order so the first post-reset pop yields block 0:
+	// allocation order is part of the deterministic contract.
+	for i := a.total - 1; i >= 0; i-- {
+		a.refs[i] = 0
+		a.hashes[i] = 0
+		a.inCache[i] = false
+		a.next[i] = nilBlock
+		a.prev[i] = nilBlock
+		a.free = append(a.free, int32(i))
+	}
+	a.idleHead, a.idleTail, a.idleCount = nilBlock, nilBlock, 0
+	for i := range a.tabKeys {
+		a.tabKeys[i] = 0
+		a.tabVals[i] = 0
+	}
+	a.freeSeqs = a.freeSeqs[:0]
+	for i := len(a.seqs) - 1; i >= 0; i-- {
+		a.seqs[i].tokens = 0
+		a.seqs[i].live = false
+		a.seqs[i].blocks = a.seqs[i].blocks[:0]
+		a.freeSeqs = append(a.freeSeqs, int32(i))
+	}
+}
+
+// Accessors ------------------------------------------------------------------
+
+// Total returns the block budget.
+func (a *Allocator) Total() int { return a.total }
+
+// BlockTokens returns the page size in tokens.
+func (a *Allocator) BlockTokens() int { return a.blockTokens }
+
+// FreeBlocks returns the count of never-cached reclaimable blocks.
+func (a *Allocator) FreeBlocks() int { return len(a.free) }
+
+// IdleBlocks returns the count of cached blocks with refcount zero
+// (reclaimable by LRU eviction).
+func (a *Allocator) IdleBlocks() int { return a.idleCount }
+
+// InUse returns the count of blocks referenced by at least one live
+// sequence.
+//
+//litegpu:hotpath
+func (a *Allocator) InUse() int { return a.total - len(a.free) - a.idleCount }
+
+// SeqTokens returns a live sequence's token count.
+func (a *Allocator) SeqTokens(id SeqID) int {
+	s := &a.seqs[id]
+	if !s.live {
+		panic("kv: SeqTokens on a freed sequence")
+	}
+	return s.tokens
+}
+
+// SeqBlocks returns a live sequence's block count.
+func (a *Allocator) SeqBlocks(id SeqID) int {
+	s := &a.seqs[id]
+	if !s.live {
+		panic("kv: SeqBlocks on a freed sequence")
+	}
+	return len(s.blocks)
+}
+
+// Hashing --------------------------------------------------------------------
+
+// mix is the splitmix64 finalizer — the block content keys' hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// blockKey derives the content key of prefix block i of a shared
+// prefix. Key 0 is the table's empty sentinel, so keys are coerced
+// nonzero.
+func blockKey(prefixKey uint64, i int) uint64 {
+	k := mix(prefixKey + uint64(i)*0x9e3779b97f4a7c15)
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// Prefix index ---------------------------------------------------------------
+
+// lookup returns the block cached under key, or nilBlock.
+//
+//litegpu:hotpath
+func (a *Allocator) lookup(key uint64) int32 {
+	i := mix(key) & a.tabMask
+	for {
+		switch a.tabKeys[i] {
+		case key:
+			return a.tabVals[i]
+		case 0:
+			return nilBlock
+		}
+		i = (i + 1) & a.tabMask
+	}
+}
+
+// insert records key → block. The table is sized at 2× the block
+// budget and every cached block holds exactly one key, so it never
+// fills.
+//
+//litegpu:hotpath
+func (a *Allocator) insert(key uint64, b int32) {
+	i := mix(key) & a.tabMask
+	for a.tabKeys[i] != 0 {
+		i = (i + 1) & a.tabMask
+	}
+	a.tabKeys[i] = key
+	a.tabVals[i] = b
+}
+
+// remove deletes key from the table with backward-shift deletion, so
+// probe chains stay tombstone-free (tombstones would make probe length
+// — and thus allocation-free operation — degrade over a long run).
+//
+//litegpu:hotpath
+func (a *Allocator) remove(key uint64) {
+	i := mix(key) & a.tabMask
+	for a.tabKeys[i] != key {
+		if a.tabKeys[i] == 0 {
+			return
+		}
+		i = (i + 1) & a.tabMask
+	}
+	// Backward-shift: close the gap by moving displaced entries up.
+	j := i
+	for {
+		j = (j + 1) & a.tabMask
+		if a.tabKeys[j] == 0 {
+			break
+		}
+		home := mix(a.tabKeys[j]) & a.tabMask
+		// Entry j may move into slot i iff its home position does not lie
+		// (cyclically) strictly between i and j.
+		if (j-home)&a.tabMask >= (j-i)&a.tabMask {
+			a.tabKeys[i] = a.tabKeys[j]
+			a.tabVals[i] = a.tabVals[j]
+			i = j
+		}
+	}
+	a.tabKeys[i] = 0
+	a.tabVals[i] = 0
+}
+
+// Idle LRU -------------------------------------------------------------------
+
+// pushIdle parks a cached block at the LRU tail (most recently used).
+//
+//litegpu:hotpath
+func (a *Allocator) pushIdle(b int32) {
+	a.prev[b] = a.idleTail
+	a.next[b] = nilBlock
+	if a.idleTail != nilBlock {
+		a.next[a.idleTail] = b
+	} else {
+		a.idleHead = b
+	}
+	a.idleTail = b
+	a.idleCount++
+}
+
+// unlinkIdle removes a block from anywhere in the idle LRU.
+//
+//litegpu:hotpath
+func (a *Allocator) unlinkIdle(b int32) {
+	if a.prev[b] != nilBlock {
+		a.next[a.prev[b]] = a.next[b]
+	} else {
+		a.idleHead = a.next[b]
+	}
+	if a.next[b] != nilBlock {
+		a.prev[a.next[b]] = a.prev[b]
+	} else {
+		a.idleTail = a.prev[b]
+	}
+	a.next[b] = nilBlock
+	a.prev[b] = nilBlock
+	a.idleCount--
+}
+
+// obtain claims a reclaimable block: the free stack first, then the
+// oldest idle cached block (evicting its cache entry). Returns
+// nilBlock when nothing is reclaimable.
+//
+//litegpu:hotpath
+func (a *Allocator) obtain() int32 {
+	if n := len(a.free); n > 0 {
+		b := a.free[n-1]
+		a.free = a.free[:n-1]
+		return b
+	}
+	b := a.idleHead
+	if b == nilBlock {
+		return nilBlock
+	}
+	a.unlinkIdle(b)
+	a.remove(a.hashes[b])
+	a.hashes[b] = 0
+	a.inCache[b] = false
+	return b
+}
+
+// Operations -----------------------------------------------------------------
+
+// Alloc reserves blocks for a sequence of `tokens` tokens whose
+// leading prefixTokens tokens belong to the shared prefix identified
+// by prefixKey (0 = no shared prefix). With prefix caching enabled,
+// leading full prefix blocks already resident are re-referenced
+// instead of allocated.
+//
+// On success it returns the sequence handle plus the cache-hit and
+// lookup counts for the caller's hit-rate metric. On failure (the
+// residual demand exceeds reclaimable capacity) it returns ok=false
+// with the allocator state untouched — admission gating relies on
+// failed Allocs being free of side effects.
+//
+//litegpu:hotpath
+func (a *Allocator) Alloc(tokens int, prefixKey uint64, prefixTokens int) (id SeqID, hits, lookups int, ok bool) {
+	if tokens <= 0 {
+		panic("kv: Alloc of a non-positive token count")
+	}
+	nb := (tokens + a.blockTokens - 1) / a.blockTokens
+	cacheable := 0
+	if a.prefix && prefixKey != 0 && prefixTokens > 0 {
+		if prefixTokens > tokens {
+			prefixTokens = tokens
+		}
+		cacheable = prefixTokens / a.blockTokens
+		if cacheable > nb {
+			cacheable = nb
+		}
+	}
+
+	// Phase 1: probe only. Count resident prefix blocks and how many of
+	// them sit in the idle list (claiming those consumes idle capacity
+	// that eviction can then no longer reclaim).
+	idleHits := 0
+	for i := 0; i < cacheable; i++ {
+		b := a.lookup(blockKey(prefixKey, i))
+		if b == nilBlock {
+			continue
+		}
+		hits++
+		if a.refs[b] == 0 {
+			idleHits++
+		}
+	}
+	lookups = cacheable
+	if nb-hits > len(a.free)+(a.idleCount-idleHits) {
+		return 0, hits, lookups, false
+	}
+
+	n := len(a.freeSeqs)
+	if n == 0 {
+		// Prefix sharing can pack more live sequences than blocks (many
+		// one-block sequences on one shared block); a full sequence table
+		// is memory pressure like any other, so admission fails cleanly.
+		return 0, hits, lookups, false
+	}
+	id = SeqID(a.freeSeqs[n-1])
+	a.freeSeqs = a.freeSeqs[:n-1]
+	s := &a.seqs[id]
+	s.blocks = s.blocks[:0]
+	s.tokens = tokens
+	s.live = true
+
+	// Phase 2a: claim the hits first, so phase 2b's evictions can never
+	// reclaim a block this very sequence is about to share.
+	for i := 0; i < nb; i++ {
+		b := nilBlock
+		if i < cacheable {
+			b = a.lookup(blockKey(prefixKey, i))
+		}
+		if b != nilBlock {
+			if a.refs[b] == 0 {
+				a.unlinkIdle(b)
+			}
+			a.refs[b]++
+		}
+		s.blocks = append(s.blocks, b)
+	}
+	// Phase 2b: allocate the misses. New prefix-range blocks enter the
+	// index immediately so concurrent same-prefix admissions share them.
+	for i := 0; i < nb; i++ {
+		if s.blocks[i] != nilBlock {
+			continue
+		}
+		b := a.obtain()
+		if b == nilBlock {
+			// Unreachable: phase 1 verified capacity and phase 2a only
+			// removed idle blocks it turned into (uncountable) hits.
+			panic("kv: capacity check violated")
+		}
+		a.refs[b] = 1
+		if i < cacheable {
+			key := blockKey(prefixKey, i)
+			if a.lookup(key) == nilBlock {
+				a.hashes[b] = key
+				a.inCache[b] = true
+				a.insert(key, b)
+			}
+		}
+		s.blocks[i] = b
+	}
+	return id, hits, lookups, true
+}
+
+// Grow extends a live sequence by one token, claiming a fresh block
+// when the current ones are full. Returns false — with no state
+// change — when a block is needed and nothing is reclaimable; the
+// caller preempts and retries.
+//
+//litegpu:hotpath
+func (a *Allocator) Grow(id SeqID) bool {
+	s := &a.seqs[id]
+	if !s.live {
+		panic("kv: Grow on a freed sequence")
+	}
+	if s.tokens < len(s.blocks)*a.blockTokens {
+		s.tokens++
+		return true
+	}
+	b := a.obtain()
+	if b == nilBlock {
+		return false
+	}
+	a.refs[b] = 1 // generated tokens are sequence-private, never cached
+	s.blocks = append(s.blocks, b)
+	s.tokens++
+	return true
+}
+
+// Free releases a sequence's references. Blocks reaching refcount
+// zero return to the free stack, or — cached prefix blocks — park in
+// the idle LRU awaiting a future hit or eviction. Double-frees and
+// negative refcounts panic: they are simulator bugs, not recoverable
+// conditions.
+//
+//litegpu:hotpath
+func (a *Allocator) Free(id SeqID) {
+	s := &a.seqs[id]
+	if !s.live {
+		panic("kv: double free")
+	}
+	for _, b := range s.blocks {
+		a.refs[b]--
+		if a.refs[b] < 0 {
+			panic("kv: negative refcount")
+		}
+		if a.refs[b] > 0 {
+			continue
+		}
+		if a.inCache[b] {
+			a.pushIdle(b)
+		} else {
+			a.free = append(a.free, b)
+		}
+	}
+	s.blocks = s.blocks[:0]
+	s.tokens = 0
+	s.live = false
+	a.freeSeqs = append(a.freeSeqs, int32(id))
+}
+
+// Snapshot / Restore ---------------------------------------------------------
+
+// Snap is a deep copy of an Allocator's mutable state, opaque to
+// callers; see Snapshot.
+type Snap struct {
+	refs     []int32
+	hashes   []uint64
+	inCache  []bool
+	next     []int32
+	prev     []int32
+	free     []int32
+	idleHead int32
+	idleTail int32
+	idleCnt  int
+	tabKeys  []uint64
+	tabVals  []int32
+	seqs     []seqState
+	freeSeqs []int32
+}
+
+// Snapshot deep-copies the allocator's mutable state. It allocates —
+// snapshotting is a planner-fork operation, not a hot path.
+func (a *Allocator) Snapshot() *Snap {
+	s := &Snap{
+		refs:     append([]int32(nil), a.refs...),
+		hashes:   append([]uint64(nil), a.hashes...),
+		inCache:  append([]bool(nil), a.inCache...),
+		next:     append([]int32(nil), a.next...),
+		prev:     append([]int32(nil), a.prev...),
+		free:     append([]int32(nil), a.free...),
+		idleHead: a.idleHead,
+		idleTail: a.idleTail,
+		idleCnt:  a.idleCount,
+		tabKeys:  append([]uint64(nil), a.tabKeys...),
+		tabVals:  append([]int32(nil), a.tabVals...),
+		seqs:     make([]seqState, len(a.seqs)),
+		freeSeqs: append([]int32(nil), a.freeSeqs...),
+	}
+	for i := range a.seqs {
+		s.seqs[i] = seqState{
+			blocks: append([]int32(nil), a.seqs[i].blocks...),
+			tokens: a.seqs[i].tokens,
+			live:   a.seqs[i].live,
+		}
+	}
+	return s
+}
+
+// Restore rewinds the allocator, in place, to a snapshot it produced
+// earlier. Existing backing arrays are reused; the snapshot's storage
+// is never adopted, so one snapshot supports any number of restores.
+func (a *Allocator) Restore(s *Snap) {
+	copy(a.refs, s.refs)
+	copy(a.hashes, s.hashes)
+	copy(a.inCache, s.inCache)
+	copy(a.next, s.next)
+	copy(a.prev, s.prev)
+	a.free = append(a.free[:0], s.free...)
+	a.idleHead = s.idleHead
+	a.idleTail = s.idleTail
+	a.idleCount = s.idleCnt
+	copy(a.tabKeys, s.tabKeys)
+	copy(a.tabVals, s.tabVals)
+	for i := range a.seqs {
+		a.seqs[i].blocks = append(a.seqs[i].blocks[:0], s.seqs[i].blocks...)
+		a.seqs[i].tokens = s.seqs[i].tokens
+		a.seqs[i].live = s.seqs[i].live
+	}
+	a.freeSeqs = append(a.freeSeqs[:0], s.freeSeqs...)
+}

@@ -1,0 +1,410 @@
+package kv
+
+import (
+	"testing"
+
+	"litegpu/internal/mathx"
+)
+
+// checkConservation asserts the block accounting invariant after an
+// operation: free + idle + in-use == total.
+func checkConservation(t *testing.T, a *Allocator) {
+	t.Helper()
+	if got := a.FreeBlocks() + a.IdleBlocks() + a.InUse(); got != a.Total() {
+		t.Fatalf("conservation violated: free %d + idle %d + inuse %d = %d, total %d",
+			a.FreeBlocks(), a.IdleBlocks(), a.InUse(), got, a.Total())
+	}
+}
+
+func TestConfigParseStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{"off", "recompute", "swap", "recompute+prefix", "swap+prefix"} {
+		c, err := ParseConfig(spec)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", spec, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Validate(%q): %v", spec, err)
+		}
+		if got := c.String(); got != spec {
+			t.Fatalf("ParseConfig(%q).String() = %q", spec, got)
+		}
+	}
+	for _, spec := range []string{"", "none"} {
+		c, err := ParseConfig(spec)
+		if err != nil || c.Enabled() {
+			t.Fatalf("ParseConfig(%q) = %+v, %v; want zero config", spec, c, err)
+		}
+	}
+	for _, bad := range []string{"paged", "swap+lru", "recompute+prefix+x"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Fatalf("ParseConfig(%q) accepted", bad)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		c  Config
+		ok bool
+	}{
+		{Config{}, true},
+		{Config{Policy: Recompute}, true},
+		{Config{Policy: Swap, PrefixCache: true, BlockTokens: 32, Blocks: 100}, true},
+		{Config{Policy: Policy(99)}, false},
+		{Config{Policy: Policy(-1)}, false},
+		{Config{Policy: Recompute, BlockTokens: -1}, false},
+		{Config{Policy: Recompute, Blocks: -5}, false},
+		{Config{BlockTokens: 16}, false}, // parameters without a policy
+		{Config{PrefixCache: true}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); (err == nil) != tc.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", tc.c, err, tc.ok)
+		}
+	}
+	if (Config{}).BlockTokensOrDefault() != 16 {
+		t.Fatal("default BlockTokens is not 16")
+	}
+	if (Config{BlockTokens: 8}).BlockTokensOrDefault() != 8 {
+		t.Fatal("explicit BlockTokens ignored")
+	}
+	if got := len(DefaultPolicyCandidates()); got != 3 {
+		t.Fatalf("DefaultPolicyCandidates: %d candidates", got)
+	}
+}
+
+func TestAllocGrowFreeBasics(t *testing.T) {
+	a := NewAllocator(10, 4, false)
+	checkConservation(t, a)
+
+	// 7 tokens → 2 blocks of 4.
+	id, hits, lookups, ok := a.Alloc(7, 0, 0)
+	if !ok || hits != 0 || lookups != 0 {
+		t.Fatalf("Alloc = %v %d %d %v", id, hits, lookups, ok)
+	}
+	if a.InUse() != 2 || a.SeqBlocks(id) != 2 || a.SeqTokens(id) != 7 {
+		t.Fatalf("after alloc: inuse %d blocks %d tokens %d", a.InUse(), a.SeqBlocks(id), a.SeqTokens(id))
+	}
+	checkConservation(t, a)
+
+	// One grow fills the slack (token 8), the next claims block 3.
+	if !a.Grow(id) || a.SeqBlocks(id) != 2 {
+		t.Fatalf("slack grow claimed a block (blocks=%d)", a.SeqBlocks(id))
+	}
+	if !a.Grow(id) || a.SeqBlocks(id) != 3 || a.SeqTokens(id) != 9 {
+		t.Fatalf("boundary grow: blocks=%d tokens=%d", a.SeqBlocks(id), a.SeqTokens(id))
+	}
+	checkConservation(t, a)
+
+	a.Free(id)
+	if a.InUse() != 0 || a.FreeBlocks() != 10 {
+		t.Fatalf("after free: inuse %d free %d", a.InUse(), a.FreeBlocks())
+	}
+	checkConservation(t, a)
+}
+
+func TestAllocFailureHasNoSideEffects(t *testing.T) {
+	a := NewAllocator(4, 4, false)
+	id, _, _, ok := a.Alloc(12, 0, 0) // 3 of 4 blocks
+	if !ok {
+		t.Fatal("seed alloc failed")
+	}
+	free, idle, inuse := a.FreeBlocks(), a.IdleBlocks(), a.InUse()
+	if _, _, _, ok := a.Alloc(8, 0, 0); ok { // needs 2, only 1 free
+		t.Fatal("over-capacity alloc succeeded")
+	}
+	if a.FreeBlocks() != free || a.IdleBlocks() != idle || a.InUse() != inuse {
+		t.Fatalf("failed alloc mutated state: %d/%d/%d → %d/%d/%d",
+			free, idle, inuse, a.FreeBlocks(), a.IdleBlocks(), a.InUse())
+	}
+	// Grow failure is likewise side-effect-free.
+	a2 := NewAllocator(1, 1, false)
+	gid, _, _, _ := a2.Alloc(1, 0, 0)
+	if a2.Grow(gid) {
+		t.Fatal("grow succeeded with zero reclaimable blocks")
+	}
+	if a2.SeqTokens(gid) != 1 || a2.SeqBlocks(gid) != 1 {
+		t.Fatal("failed grow mutated the sequence")
+	}
+	_ = id
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := NewAllocator(4, 4, false)
+	id, _, _, _ := a.Alloc(4, 0, 0)
+	a.Free(id)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(id)
+}
+
+func TestFreedHandleOpsPanic(t *testing.T) {
+	a := NewAllocator(4, 4, false)
+	id, _, _, _ := a.Alloc(4, 0, 0)
+	a.Free(id)
+	for name, f := range map[string]func(){
+		"Grow":      func() { a.Grow(id) },
+		"SeqTokens": func() { a.SeqTokens(id) },
+		"SeqBlocks": func() { a.SeqBlocks(id) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on freed handle did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPrefixSharingAndRefcounts(t *testing.T) {
+	a := NewAllocator(16, 4, true)
+	const key = 0xabc
+
+	// First request: 12-token prompt, 8 of them shared prefix → blocks
+	// 0 and 1 cacheable, block 2 private.
+	id1, hits, lookups, ok := a.Alloc(12, key, 8)
+	if !ok || hits != 0 || lookups != 2 {
+		t.Fatalf("first alloc: hits %d lookups %d ok %v", hits, lookups, ok)
+	}
+	if a.InUse() != 3 {
+		t.Fatalf("inuse %d", a.InUse())
+	}
+	checkConservation(t, a)
+
+	// Second request, same prefix: both cacheable blocks hit while the
+	// first sequence is still live (shared-active).
+	id2, hits, lookups, ok := a.Alloc(12, key, 8)
+	if !ok || hits != 2 || lookups != 2 {
+		t.Fatalf("second alloc: hits %d lookups %d ok %v", hits, lookups, ok)
+	}
+	if a.InUse() != 4 { // 2 shared + 2 private
+		t.Fatalf("inuse %d after sharing", a.InUse())
+	}
+	checkConservation(t, a)
+
+	// Free the first: shared blocks stay in use (ref 1), private returns.
+	a.Free(id1)
+	if a.InUse() != 3 || a.IdleBlocks() != 0 {
+		t.Fatalf("after free1: inuse %d idle %d", a.InUse(), a.IdleBlocks())
+	}
+	checkConservation(t, a)
+
+	// Free the second: prefix blocks idle in cache, private block frees.
+	a.Free(id2)
+	if a.InUse() != 0 || a.IdleBlocks() != 2 {
+		t.Fatalf("after free2: inuse %d idle %d", a.InUse(), a.IdleBlocks())
+	}
+	checkConservation(t, a)
+
+	// Third request hits the idle blocks without allocating them anew.
+	id3, hits, _, ok := a.Alloc(8, key, 8)
+	if !ok || hits != 2 || a.IdleBlocks() != 0 || a.InUse() != 2 {
+		t.Fatalf("idle revival: hits %d idle %d inuse %d ok %v", hits, a.IdleBlocks(), a.InUse(), ok)
+	}
+	checkConservation(t, a)
+	a.Free(id3)
+
+	// A different prefix key shares nothing.
+	id4, hits, _, ok := a.Alloc(8, 0xdef, 8)
+	if !ok || hits != 0 {
+		t.Fatalf("foreign prefix hit: hits %d", hits)
+	}
+	a.Free(id4)
+	checkConservation(t, a)
+}
+
+func TestIdleLRUEvictionOrder(t *testing.T) {
+	// 4 blocks of 4 tokens, prefix caching on. Park two single-block
+	// prefixes idle, then exhaust memory: the oldest idle block must be
+	// evicted first (its prefix stops hitting; the newer one survives).
+	a := NewAllocator(4, 4, true)
+	idA, _, _, _ := a.Alloc(4, 0xa, 4)
+	a.Free(idA) // block for prefix A idles first (LRU-oldest)
+	idB, _, _, _ := a.Alloc(4, 0xb, 4)
+	a.Free(idB) // prefix B idles second
+	if a.IdleBlocks() != 2 || a.FreeBlocks() != 2 {
+		t.Fatalf("setup: idle %d free %d", a.IdleBlocks(), a.FreeBlocks())
+	}
+	// Claim three blocks: two from free, the third must evict prefix A.
+	id, _, _, ok := a.Alloc(12, 0, 0)
+	if !ok {
+		t.Fatal("eviction alloc failed")
+	}
+	checkConservation(t, a)
+	if hitsB := probeHits(a, 0xb, 1); hitsB != 1 {
+		t.Fatalf("newer idle prefix evicted (hits %d)", hitsB)
+	}
+	if hitsA := probeHits(a, 0xa, 1); hitsA != 0 {
+		t.Fatalf("oldest idle prefix survived eviction (hits %d)", hitsA)
+	}
+	a.Free(id)
+}
+
+// probeHits counts resident prefix blocks without mutating state, via
+// a failed alloc... actually via lookup directly (same package).
+func probeHits(a *Allocator, prefixKey uint64, blocks int) int {
+	n := 0
+	for i := 0; i < blocks; i++ {
+		if a.lookup(blockKey(prefixKey, i)) != nilBlock {
+			n++
+		}
+	}
+	return n
+}
+
+func TestResetReturnsEverything(t *testing.T) {
+	a := NewAllocator(8, 4, true)
+	a.Alloc(16, 0x1, 8)
+	id, _, _, _ := a.Alloc(8, 0x2, 8)
+	a.Free(id)
+	a.Reset()
+	if a.FreeBlocks() != 8 || a.IdleBlocks() != 0 || a.InUse() != 0 {
+		t.Fatalf("after reset: free %d idle %d inuse %d", a.FreeBlocks(), a.IdleBlocks(), a.InUse())
+	}
+	if probeHits(a, 0x1, 2)+probeHits(a, 0x2, 2) != 0 {
+		t.Fatal("prefix index survived reset")
+	}
+	// Full capacity is allocatable again.
+	if _, _, _, ok := a.Alloc(32, 0, 0); !ok {
+		t.Fatal("post-reset full alloc failed")
+	}
+	checkConservation(t, a)
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	a := NewAllocator(8, 4, true)
+	id1, _, _, _ := a.Alloc(12, 0x7, 8)
+	id2, _, _, _ := a.Alloc(8, 0x7, 8)
+	a.Free(id1)
+	snap := a.Snapshot()
+	free, idle, inuse := a.FreeBlocks(), a.IdleBlocks(), a.InUse()
+	tok2 := a.SeqTokens(id2)
+
+	// Diverge: grow, free, allocate something else.
+	a.Grow(id2)
+	a.Free(id2)
+	a.Alloc(32, 0, 0)
+
+	a.Restore(snap)
+	if a.FreeBlocks() != free || a.IdleBlocks() != idle || a.InUse() != inuse {
+		t.Fatalf("restore mismatch: %d/%d/%d want %d/%d/%d",
+			a.FreeBlocks(), a.IdleBlocks(), a.InUse(), free, idle, inuse)
+	}
+	if a.SeqTokens(id2) != tok2 {
+		t.Fatalf("seq tokens %d want %d", a.SeqTokens(id2), tok2)
+	}
+	checkConservation(t, a)
+
+	// The same snapshot restores again after further divergence.
+	a.Free(id2)
+	a.Restore(snap)
+	if a.SeqTokens(id2) != tok2 {
+		t.Fatal("second restore from one snapshot failed")
+	}
+	// And the restored state behaves: free id2, everything reclaimable.
+	a.Free(id2)
+	if a.InUse() != 0 {
+		t.Fatalf("inuse %d after restored free", a.InUse())
+	}
+	checkConservation(t, a)
+}
+
+// TestRandomOpsConservation drives long random op sequences, checking
+// the conservation invariant after every single operation. Run under
+// -count=2 -race -shuffle=on in CI, where any hidden global state or
+// order dependence would flake.
+func TestRandomOpsConservation(t *testing.T) {
+	for _, prefix := range []bool{false, true} {
+		rng := mathx.NewRNG(42)
+		a := NewAllocator(64, 16, prefix)
+		var live []SeqID
+		for op := 0; op < 5000; op++ {
+			switch {
+			case len(live) > 0 && rng.Uint64()%3 == 0:
+				i := int(rng.Uint64() % uint64(len(live)))
+				a.Free(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case len(live) > 0 && rng.Uint64()%2 == 0:
+				a.Grow(live[int(rng.Uint64()%uint64(len(live)))])
+			default:
+				tokens := 1 + int(rng.Uint64()%200)
+				key := rng.Uint64() % 4
+				ptoks := int(rng.Uint64() % uint64(tokens+1))
+				if id, _, _, ok := a.Alloc(tokens, key, ptoks); ok {
+					live = append(live, id)
+				}
+			}
+			checkConservation(t, a)
+		}
+		for _, id := range live {
+			a.Free(id)
+			checkConservation(t, a)
+		}
+		if a.InUse() != 0 {
+			t.Fatalf("leak: %d blocks in use after freeing all", a.InUse())
+		}
+	}
+}
+
+// TestDeterministicReplay pins that two allocators fed the identical
+// op sequence evolve identically — the property -count=2 exercises at
+// the process level.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (sig uint64) {
+		rng := mathx.NewRNG(7)
+		a := NewAllocator(32, 8, true)
+		var live []SeqID
+		for op := 0; op < 2000; op++ {
+			if len(live) > 0 && rng.Uint64()%3 == 0 {
+				i := int(rng.Uint64() % uint64(len(live)))
+				a.Free(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				tokens := 1 + int(rng.Uint64()%64)
+				if id, hits, _, ok := a.Alloc(tokens, rng.Uint64()%3, tokens); ok {
+					live = append(live, id)
+					sig = sig*31 + uint64(id) + uint64(hits)<<16
+				}
+			}
+			sig = sig*31 + uint64(a.FreeBlocks()) + uint64(a.IdleBlocks())<<20
+		}
+		return sig
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replay diverged: %x vs %x", a, b)
+	}
+}
+
+// TestSteadyStateAllocFree pins the zero-alloc contract: after warmup,
+// Alloc/Grow/Free cycles perform no heap allocations.
+func TestSteadyStateAllocFree(t *testing.T) {
+	a := NewAllocator(64, 16, true)
+	// Warm up every code path: cache fills, idle list cycles, table
+	// inserts/removes, sequence slots recycle.
+	for i := 0; i < 10; i++ {
+		id1, _, _, _ := a.Alloc(100, uint64(i%3+1), 64)
+		id2, _, _, _ := a.Alloc(50, uint64(i%3+1), 48)
+		a.Grow(id1)
+		a.Free(id1)
+		a.Free(id2)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		id1, _, _, _ := a.Alloc(100, 1, 64)
+		id2, _, _, _ := a.Alloc(50, 2, 48)
+		for i := 0; i < 20; i++ {
+			a.Grow(id1)
+		}
+		a.Free(id1)
+		a.Free(id2)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocator allocated %.1f times per cycle, want 0", allocs)
+	}
+}

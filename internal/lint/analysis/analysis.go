@@ -129,6 +129,7 @@ var simPackages = map[string]bool{
 	"trace":   true,
 	"sweep":   true,
 	"failure": true,
+	"kv":      true,
 }
 
 // IsSimPackage reports whether the import path names a simulation

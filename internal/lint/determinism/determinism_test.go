@@ -23,6 +23,14 @@ func TestNonSimPackageSilent(t *testing.T) {
 	analysistest.Run(t, testdata, "notsim", determinism.Analyzer)
 }
 
+// TestKVPackageInScope pins that the KV allocator package is simulation
+// scope: map-order eviction, wall-clock stamps, and implicit
+// randomness are findings there, while the sorted-eviction and
+// seeded-draw idioms stay silent.
+func TestKVPackageInScope(t *testing.T) {
+	analysistest.Run(t, testdata, "kv", determinism.Analyzer)
+}
+
 // TestWaivers pins the waiver contract: //litegpu:ordered-ok suppresses
 // exactly the finding on the line it covers (trailing or next-line),
 // while stale waivers, reasonless waivers, and unknown directives are

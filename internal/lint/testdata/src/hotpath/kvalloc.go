@@ -1,0 +1,56 @@
+// KV-allocator-shaped cases: the paged-allocator idioms the kv package
+// leans on — free-list pops, intrusive-list relinks, table lookups by
+// key mixing — must all be expressible without allocation, and the
+// tempting shortcuts (per-call scratch maps, growing a local eviction
+// list) are exactly what the analyzer flags.
+package hotpath
+
+type seq struct {
+	blocks []int32
+}
+
+type alloc struct {
+	free []int32
+	seqs []seq
+	refs []int16
+}
+
+// obtain is the sanctioned steady-state form: pop the free stack and
+// relink fixed-size tables in place — no allocation anywhere.
+//
+//litegpu:hotpath
+func (a *alloc) obtain() int32 {
+	if n := len(a.free); n > 0 {
+		b := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.refs[b]++
+		return b
+	}
+	return -1
+}
+
+// release recycles a block back through the same backing array.
+//
+//litegpu:hotpath
+func (a *alloc) release(b int32) {
+	a.refs[b]--
+	a.free = append(a.free, b) // self-append to field buffer: reuse, allowed
+}
+
+//litegpu:hotpath
+func (a *alloc) evictBatch(n int) []int32 {
+	victims := []int32{} // want "slice literal allocates"
+	for i := 0; i < n; i++ {
+		victims = append(victims, a.obtain()) // want "append grows function-local slice victims"
+	}
+	return victims
+}
+
+//litegpu:hotpath
+func (a *alloc) lookupScratch(keys []uint64) int {
+	seen := map[uint64]bool{} // want "map literal allocates"
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,55 @@
+// Fixture for the determinism analyzer's kv scope: the package path
+// ends in "kv", so the allocator package is held to the same
+// determinism contract as the event engines — block-table iteration
+// order, eviction tie-breaks, and timestamps must never depend on map
+// order, wall clocks, or implicit randomness.
+package kv
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var blockRefs = map[uint64]int{}
+
+// EvictAny picks a victim by map range — exactly the nondeterminism
+// that would make two identical runs preempt different sequences.
+func EvictAny() uint64 {
+	for key := range blockRefs { // want "range over map"
+		return key
+	}
+	return 0
+}
+
+// EvictOldest is the sanctioned form: collect keys (the exempt idiom),
+// sort, take the first — a total order no map seed can perturb.
+func EvictOldest() uint64 {
+	keys := make([]uint64, 0, len(blockRefs))
+	for k := range blockRefs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) == 0 {
+		return 0
+	}
+	return keys[0]
+}
+
+// StampNow timestamps an allocation off the wall clock instead of the
+// simulated clock.
+func StampNow() int64 {
+	return time.Now().UnixNano() // want "wall clock in simulation package: time.Now"
+}
+
+// RandomVictim draws from the implicitly seeded global generator.
+func RandomVictim(n int) int {
+	return rand.Intn(n) // want "rand.Intn is implicitly seeded"
+}
+
+// SeededVictim is the sanctioned draw: an explicit seed, so eviction
+// choices replay bit-for-bit.
+func SeededVictim(n int, seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"litegpu/internal/inference"
+	"litegpu/internal/kv"
 	"litegpu/internal/mathx"
 	"litegpu/internal/sim"
 	"litegpu/internal/trace"
@@ -39,6 +40,12 @@ type colocEngine struct {
 
 	pBusy float64
 	dBusy float64
+
+	// al is the instance's paged KV allocator; nil with Config.KV off.
+	// Admitted-but-pending requests hold a full prompt reservation — a
+	// colocated instance prefills into the same HBM its decode cache
+	// lives in.
+	al *kv.Allocator
 }
 
 // colocSched implements the two colocated policies. With chunked=false
@@ -111,6 +118,19 @@ func newColocSched(cs *clusterSim, pool *poolSim) (*colocSched, error) {
 		chunkTime:   newChunkTimer(cfg, opts, g),
 	}
 	c.stepDoneH = c.onStepDone
+	if cfg.KV.Enabled() {
+		blocks, err := kvBlocksPerInstance(cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		bt := cfg.KV.BlockTokensOrDefault()
+		for j := range c.engines {
+			c.engines[j].al = kv.NewAllocator(blocks, bt, cfg.KV.PrefixCache)
+		}
+		// With paged KV the allocator is the memory gate: the
+		// whole-context MaxFeasibleBatch cap above no longer applies.
+		c.cap = cfg.MaxDecodeBatch
+	}
 	return c, nil
 }
 
@@ -176,12 +196,20 @@ func (c *colocSched) admit(e *colocEngine, now float64) {
 		a := c.q.At(0)
 		if a.promptLeft > 0 {
 			c.one[0] = a.req
+			if e.al != nil && a.promptLeft != a.req.PromptTokens {
+				// A recompute victim rebuilds its whole context, prompt
+				// plus generated tokens; time the pass at that length.
+				c.one[0].PromptTokens = a.promptLeft
+			}
 			if math.IsInf(c.prefillTime(c.one[:]), 1) {
 				c.q.PopFront()
 				c.pool.m.Dropped++
 				c.pool.freeActive(a)
 				continue
 			}
+		}
+		if e.al != nil && !c.pool.kvAdmit(e.al, a, now) {
+			break // head-of-line waits for blocks to free
 		}
 		c.q.PopFront()
 		if a.promptLeft > 0 {
@@ -207,6 +235,11 @@ func (c *colocSched) admit(e *colocEngine, now float64) {
 func (c *colocSched) startStep(j int, now float64) {
 	e := &c.engines[j]
 	c.admit(e, now)
+	if e.al != nil && len(e.active) > 0 && (c.chunked || e.pending.Len() == 0) {
+		// This step will decode: claim every survivor's token growth
+		// before timing it (growth can shrink the batch by preemption).
+		c.kvGrowActives(j, now)
+	}
 	var pDt, dDt float64
 	nPrefill, chunkTokens := 0, 0
 	if c.chunked {
@@ -233,7 +266,12 @@ func (c *colocSched) startStep(j int, now float64) {
 		// alone, so n ≥ 1 always succeeds.
 		c.reqScratch = c.reqScratch[:0]
 		for i := 0; i < n; i++ {
-			c.reqScratch = append(c.reqScratch, e.pending.At(i).req)
+			r := e.pending.At(i).req
+			if e.al != nil && e.pending.At(i).promptLeft != r.PromptTokens {
+				// Recompute victims re-prefill their whole context.
+				r.PromptTokens = e.pending.At(i).promptLeft
+			}
+			c.reqScratch = append(c.reqScratch, r)
 		}
 		pDt = math.Inf(1)
 		for ; n >= 1; n-- {
@@ -265,6 +303,109 @@ func (c *colocSched) startStep(j int, now float64) {
 	e.doneEv = c.cs.eng.ScheduleCall(e.stepEnd, prio, c.stepDoneH, uint64(j))
 }
 
+// kvGrowActives claims the block growth for the token each active
+// sequence emits this step. When the allocator runs dry, eviction
+// prefers the cheapest memory first: pending reservations (nothing
+// decoded yet — they just release and requeue, uncounted), then the
+// newest active sequences (least sunk decode work). A sole occupant
+// that still cannot grow is dropped — nothing is left to evict.
+//
+//litegpu:hotpath
+func (c *colocSched) kvGrowActives(j int, now float64) {
+	e := &c.engines[j]
+	p := c.pool
+	for i := 0; i < len(e.active); {
+		a := e.active[i]
+		if p.kvGrow(e.al, a, now) {
+			i++
+			continue
+		}
+		if e.pending.Len() > 0 {
+			v := e.pending.PopFront()
+			p.kvRelease(e.al, v, now)
+			c.q.PushFront(v)
+			continue
+		}
+		last := len(e.active) - 1
+		if last > i {
+			victim := e.active[last]
+			e.active[last] = nil
+			e.active = e.active[:last]
+			c.preempt(j, victim, now)
+			continue // retry a's growth with the freed blocks
+		}
+		if i > 0 {
+			// a itself is the newest remaining sequence: evict it.
+			e.active[last] = nil
+			e.active = e.active[:last]
+			c.preempt(j, a, now)
+			return
+		}
+		// Sole occupant that cannot grow: it can never finish.
+		p.kvRelease(e.al, a, now)
+		p.m.Dropped++
+		p.freeActive(a)
+		e.active[0] = nil
+		e.active = e.active[:0]
+		return
+	}
+}
+
+// preempt evicts victim from engine j mid-generation: its blocks are
+// released and its KV either rides the fabric out and back (Swap) or is
+// discarded and rebuilt by a prefill pass over its whole context
+// (Recompute — promptLeft is reset to prompt plus generated tokens, so
+// re-admission routes it through the pending prefill path).
+//
+//litegpu:hotpath
+func (c *colocSched) preempt(j int, victim *activeReq, now float64) {
+	p := c.pool
+	e := &c.engines[j]
+	p.kvPreempt++
+	tokens := kvTokens(victim)
+	p.kvRelease(e.al, victim, now)
+	if c.cfg.KV.Policy == kv.Swap {
+		c.startSwap(j, victim, now, tokens)
+		return
+	}
+	p.kvRecompute += tokens
+	victim.promptLeft = tokens
+	c.q.PushFront(victim)
+}
+
+// startSwap prices a preemption swap as one fabric transfer of twice
+// the sequence's block payload — swap-out to router-attached remote
+// memory plus the eventual swap-in — delivered as an xferSwap.
+//
+//litegpu:hotpath
+func (c *colocSched) startSwap(j int, a *activeReq, now float64, tokens int) {
+	p := c.pool
+	if c.cs.fab == nil {
+		// No fabric configured: the round-trip is free.
+		c.swapReturn(a, now)
+		return
+	}
+	idx := p.newXfer()
+	rec := &p.xfers[idx]
+	*rec = xferRec{
+		kind: xferSwap, src: int32(j), dst: int32(j),
+		a: a, start: now,
+		bytes: 2 * p.kvXferBytes(tokens),
+	}
+	rec.tid = c.cs.fab.Start(p.epBase+j, 0, rec.bytes,
+		prioTransfer+c.engines[j].prio, c.cs.xferH, packArg(p.idx, int(idx)))
+	p.liveXfers = append(p.liveXfers, idx)
+}
+
+// swapReturn puts a preempted sequence back at the head of the queue
+// once its KV is recoverable (its promptLeft is zero, so admission
+// routes it straight back into a decode batch).
+//
+//litegpu:hotpath
+func (c *colocSched) swapReturn(a *activeReq, now float64) {
+	c.q.PushFront(a)
+}
+
 //litegpu:hotpath
 func (c *colocSched) onStepDone(now float64, arg uint64) {
 	c.completeStep(int(arg), now)
@@ -281,6 +422,9 @@ func (c *colocSched) completeStep(j int, now float64) {
 				e.active[w] = a
 				w++
 			} else {
+				if e.al != nil {
+					c.pool.kvRelease(e.al, a, now)
+				}
 				c.pool.freeActive(a)
 			}
 		}
@@ -344,33 +488,80 @@ func (c *colocSched) fail(id int, now float64, drop bool) {
 		e.stepEnd, e.stepPfx, e.stepDec = 0, 0, 0
 		e.stepPrefill, e.stepChunk = 0, 0
 	}
-	n := e.pending.Len() + len(e.active)
-	if n == 0 {
-		return
-	}
-	if drop {
-		c.pool.m.DroppedOnFailure += n
-		for e.pending.Len() > 0 {
-			c.pool.freeActive(e.pending.PopFront())
-		}
+	if e.al != nil {
+		// The HBM died with the instance: every resident sequence, every
+		// pending reservation, and the shared prefix cache are gone.
+		// Requeued requests re-admit from scratch on a live instance.
 		for _, a := range e.active {
-			c.pool.freeActive(a)
+			a.kvSeq = -1
 		}
-	} else {
-		c.pool.m.Requeued += n
-		// Requeue ahead of the waiting queue, preserving [pending...,
-		// active..., old queue...] order: push active first, then
-		// pending, each back-to-front.
-		for i := len(e.active) - 1; i >= 0; i-- {
-			c.q.PushFront(e.active[i])
+		for i := 0; i < e.pending.Len(); i++ {
+			e.pending.At(i).kvSeq = -1
 		}
-		for i := e.pending.Len() - 1; i >= 0; i-- {
-			c.q.PushFront(e.pending.At(i))
+		if used := e.al.InUse(); used != 0 {
+			c.pool.kvAccount(now, -used)
 		}
-		e.pending.DiscardFront(e.pending.Len())
+		e.al.Reset()
 	}
-	clearTail(e.active, 0)
-	e.active = e.active[:0]
+	n := e.pending.Len() + len(e.active)
+	if n > 0 {
+		if drop {
+			c.pool.m.DroppedOnFailure += n
+			for e.pending.Len() > 0 {
+				c.pool.freeActive(e.pending.PopFront())
+			}
+			for _, a := range e.active {
+				c.pool.freeActive(a)
+			}
+		} else {
+			c.pool.m.Requeued += n
+			// Requeue ahead of the waiting queue, preserving [pending...,
+			// active..., old queue...] order: push active first, then
+			// pending, each back-to-front.
+			for i := len(e.active) - 1; i >= 0; i-- {
+				c.q.PushFront(e.active[i])
+			}
+			for i := e.pending.Len() - 1; i >= 0; i-- {
+				c.q.PushFront(e.pending.At(i))
+			}
+			e.pending.DiscardFront(e.pending.Len())
+		}
+		clearTail(e.active, 0)
+		e.active = e.active[:0]
+	}
+	if e.al != nil && c.cs.fab != nil {
+		c.failSwaps(id, now, drop)
+	}
+}
+
+// failSwaps reclaims in-flight swap transfers touching a dead instance.
+// The swapped-out copy lives in remote memory and survives the failure;
+// under the requeue policy the sequence just needs a live instance to
+// swap back into, under drop it is abandoned.
+//
+//litegpu:hotpath
+func (c *colocSched) failSwaps(id int, now float64, drop bool) {
+	p := c.pool
+	live := p.liveXfers
+	w := 0
+	for _, idx := range live {
+		rec := &p.xfers[idx]
+		if int(rec.src) != id && int(rec.dst) != id {
+			live[w] = idx
+			w++
+			continue
+		}
+		c.cs.fab.Cancel(rec.tid)
+		if drop {
+			p.m.DroppedOnFailure++
+			p.freeActive(rec.a)
+		} else {
+			p.m.Requeued++
+			c.q.PushFront(rec.a)
+		}
+		p.freeXfer(idx)
+	}
+	p.liveXfers = live[:w]
 }
 
 func (c *colocSched) recovered(int, float64) {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"litegpu/internal/failure"
+	"litegpu/internal/kv"
 	"litegpu/internal/mathx"
 	"litegpu/internal/netsim"
 	"litegpu/internal/sim"
@@ -50,6 +51,11 @@ type activeReq struct {
 	// skips tokens across requeues.
 	promptLeft int
 	ttftDone   bool
+
+	// kvSeq is the request's sequence handle in its decode engine's
+	// paged KV allocator; -1 when it holds no blocks (KV off, queued,
+	// preempted, or its allocator was reset by an instance failure).
+	kvSeq kv.SeqID
 }
 
 // instanceState is the failure-facing side of an engine: every serving
@@ -81,6 +87,7 @@ const ingressBytesPerToken = 4
 const (
 	xferKV      int8 = iota // KV-cache handoff: prefill → decode instance
 	xferIngress             // routed arrival: router → pool instance
+	xferSwap                // preempted KV returning to decode: swap round-trip or recompute handoff (no TTFT stamp)
 )
 
 // xferRec is one in-flight fabric transfer's serving-side state,
@@ -136,6 +143,21 @@ type poolSim struct {
 	xfers      []xferRec
 	freeXferIx []int32
 	liveXfers  []int32
+
+	// KV-memory accumulators (all zero with Config.KV disabled).
+	// kvBlockTokens caches the pool's block granularity so fabric
+	// transfer sizing can round payloads up to whole blocks; kvInUse /
+	// kvBlockSec / kvLastT implement the time-weighted occupancy
+	// integral across the pool's allocators.
+	kvBlockTokens int
+	kvInUse       int
+	kvPeak        int
+	kvBlockSec    float64
+	kvLastT       float64
+	kvHits        int
+	kvLookups     int
+	kvPreempt     int
+	kvRecompute   int
 
 	m          Metrics
 	goodTokens int
@@ -203,7 +225,7 @@ func (p *poolSim) newActive(r trace.Request) *activeReq {
 	}
 	a := p.freeReqs[len(p.freeReqs)-1]
 	p.freeReqs = p.freeReqs[:len(p.freeReqs)-1]
-	*a = activeReq{req: r, remaining: r.OutputTokens}
+	*a = activeReq{req: r, remaining: r.OutputTokens, kvSeq: -1}
 	return a
 }
 
@@ -213,6 +235,105 @@ func (p *poolSim) newActive(r trace.Request) *activeReq {
 //litegpu:hotpath
 func (p *poolSim) freeActive(a *activeReq) {
 	p.freeReqs = append(p.freeReqs, a)
+}
+
+// kvTokens is the token count a sequence's KV must cover right now:
+// the prompt plus every token decoded so far.
+//
+//litegpu:hotpath
+func kvTokens(a *activeReq) int {
+	return a.req.PromptTokens + (a.req.OutputTokens - a.remaining)
+}
+
+// kvAccount advances the pool's time-weighted block-occupancy integral
+// to now and applies a blocks-in-use delta.
+//
+//litegpu:hotpath
+func (p *poolSim) kvAccount(now float64, delta int) {
+	p.kvBlockSec += float64(p.kvInUse) * (now - p.kvLastT)
+	p.kvLastT = now
+	p.kvInUse += delta
+	if p.kvInUse > p.kvPeak {
+		p.kvPeak = p.kvInUse
+	}
+}
+
+// kvAdmit claims KV blocks for a's current footprint from al, consulting
+// the prefix cache when a declares a shared prefix. It reports whether
+// the sequence fits; on failure nothing is claimed and the caller leaves
+// a at the head of its queue. Hit/lookup statistics are recorded only
+// for admissions that succeed, so a blocked head-of-line request retried
+// every dispatch does not inflate the ratio.
+//
+//litegpu:hotpath
+func (p *poolSim) kvAdmit(al *kv.Allocator, a *activeReq, now float64) bool {
+	if a.kvSeq >= 0 {
+		return true
+	}
+	var key uint64
+	ptoks := 0
+	if a.req.PrefixTokens > 0 && a.req.PrefixID != 0 {
+		key = uint64(a.req.PrefixID)
+		ptoks = a.req.PrefixTokens
+	}
+	before := al.InUse()
+	id, hits, lookups, ok := al.Alloc(kvTokens(a), key, ptoks)
+	if !ok {
+		return false
+	}
+	p.kvHits += hits
+	p.kvLookups += lookups
+	a.kvSeq = id
+	if d := al.InUse() - before; d != 0 {
+		p.kvAccount(now, d)
+	}
+	return true
+}
+
+// kvGrow extends a's sequence by one token, claiming a fresh block at
+// block boundaries. It reports whether the token fits.
+//
+//litegpu:hotpath
+func (p *poolSim) kvGrow(al *kv.Allocator, a *activeReq, now float64) bool {
+	before := al.InUse()
+	if !al.Grow(a.kvSeq) {
+		return false
+	}
+	if d := al.InUse() - before; d != 0 {
+		p.kvAccount(now, d)
+	}
+	return true
+}
+
+// kvRelease returns a's blocks to al (shared prefix blocks merely drop
+// a reference). A handle-less request is a no-op, so callers free
+// unconditionally on completion, preemption, and failure paths.
+//
+//litegpu:hotpath
+func (p *poolSim) kvRelease(al *kv.Allocator, a *activeReq, now float64) {
+	if a.kvSeq < 0 {
+		return
+	}
+	before := al.InUse()
+	al.Free(a.kvSeq)
+	a.kvSeq = -1
+	if d := al.InUse() - before; d != 0 {
+		p.kvAccount(now, d)
+	}
+}
+
+// kvXferBytes sizes a KV payload of the given token count on the wire.
+// With paged KV enabled whole blocks cross the fabric, so the count
+// rounds up to the block granularity; with KV off it is the exact
+// per-token footprint (the historical PR-5 sizing).
+//
+//litegpu:hotpath
+func (p *poolSim) kvXferBytes(tokens int) float64 {
+	if p.kvBlockTokens > 0 {
+		blocks := (tokens + p.kvBlockTokens - 1) / p.kvBlockTokens
+		tokens = blocks * p.kvBlockTokens
+	}
+	return p.kvPerToken * float64(tokens)
 }
 
 // recordTTFT appends one time-to-first-token sample and its SLO check.
@@ -378,6 +499,9 @@ func newClusterSimAt(cc ClusterConfig, horizon float64, poolBase, instBase int) 
 			afrPerGPU:   fp.AFR(cfg.GPU),
 			flopsPerGPU: float64(cfg.GPU.FLOPS),
 		}
+		if cfg.KV.Enabled() {
+			p.kvBlockTokens = cfg.KV.BlockTokensOrDefault()
+		}
 		var err error
 		if cfg.Scheduler.Colocated() {
 			p.sched, err = newColocSched(s, p)
@@ -484,6 +608,10 @@ func (s *clusterSim) onXfer(now float64, arg uint64) {
 		a := rec.a
 		p.recordTTFT(now - float64(a.req.Arrival))
 		p.sched.deliverKV(a, now)
+	case xferSwap:
+		// A preempted sequence's KV is back: no TTFT stamp (its first
+		// token shipped before preemption), straight to the decode path.
+		p.sched.swapReturn(rec.a, now)
 	default:
 		p.sched.enqueue(rec.req)
 	}
@@ -815,6 +943,7 @@ func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 		blastLoss               float64
 		goodTokens              int
 		netSec, e2eSec          float64
+		kvHits, kvLookups       int
 	)
 	if len(pools) > 1 {
 		// Preallocate the cross-pool sample unions; the single-pool case
@@ -845,6 +974,16 @@ func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 		}
 		if p.netSec > 0 && poolE2E > 0 {
 			m.NetworkBoundFraction = p.netSec / poolE2E
+		}
+		// KV occupancy: close the time-weighted integral at the horizon
+		// without mutating the accumulators — the planner's fork path
+		// assembles the same pools twice.
+		m.KVPreemptions = p.kvPreempt
+		m.KVRecomputeTokens = p.kvRecompute
+		m.KVPeakBlocks = p.kvPeak
+		m.KVCacheHitRate = ratio(p.kvHits, p.kvLookups)
+		if h > 0 {
+			m.KVMeanBlocks = (p.kvBlockSec + float64(p.kvInUse)*(h-p.kvLastT)) / h
 		}
 
 		shape := p.sched.shape()
@@ -891,6 +1030,12 @@ func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 		cm.Total.Requeued += m.Requeued
 		cm.Total.DroppedOnFailure += m.DroppedOnFailure
 		cm.Total.NetTransfers += m.NetTransfers
+		cm.Total.KVPreemptions += m.KVPreemptions
+		cm.Total.KVRecomputeTokens += m.KVRecomputeTokens
+		cm.Total.KVPeakBlocks += m.KVPeakBlocks
+		cm.Total.KVMeanBlocks += m.KVMeanBlocks
+		kvHits += p.kvHits
+		kvLookups += p.kvLookups
 		netSec += p.netSec
 		e2eSec += poolE2E
 		if len(pools) == 1 {
@@ -945,6 +1090,7 @@ func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 	t.TTFTAttainmentCompleted = ratio(ttftOK, len(allTTFT))
 	t.TTFTAttainment = ratio(ttftOK, t.Arrived-t.Dropped)
 	t.TBTAttainment = ratio(tbtOK, len(allTBT))
+	t.KVCacheHitRate = ratio(kvHits, kvLookups)
 	if h > 0 {
 		t.PrefillUtilization = pBusyGPU / (h * float64(pGPUs))
 		t.DecodeUtilization = dBusyGPU / (h * float64(dGPUs))

@@ -33,6 +33,7 @@ type goldenScenario struct {
 	rate    float64
 	seed    uint64
 	conv    bool // conversation workload instead of coding
+	agent   bool // shared-prefix agent workload (overrides conv)
 	arrive  units.Seconds
 	horizon units.Seconds
 }
@@ -133,23 +134,94 @@ func legacyView(m Metrics) legacyMetrics {
 	}
 }
 
+// preKVMetrics is the exact pre-PR-8 Metrics field set, in order:
+// the legacy fields plus the PR-5 network-transfer fields. The network
+// golden corpus was captured before Metrics gained the KV-memory
+// fields, so it pins this view verbatim; a separate corpus
+// (kv_goldens.txt) pins the full struct for memory-enabled runs. With
+// Config.KV zeroed the KV fields are all zero, so this view loses
+// nothing the network corpus could have checked.
+type preKVMetrics struct {
+	Arrived                 int
+	Completed               int
+	Dropped                 int
+	TTFT                    mathx.Summary
+	TBT                     mathx.Summary
+	E2E                     mathx.Summary
+	TTFTAttainment          float64
+	TTFTAttainmentCompleted float64
+	TBTAttainment           float64
+	PrefillUtilization      float64
+	DecodeUtilization       float64
+	TokensGenerated         int
+	FailureEvents           int
+	Requeued                int
+	DroppedOnFailure        int
+	Availability            float64
+	Goodput                 float64
+	BlastRadius             float64
+	NetTransfers            int
+	TransferBytes           mathx.Summary
+	TransferTime            mathx.Summary
+	NetworkBoundFraction    float64
+}
+
+func preKVView(m Metrics) preKVMetrics {
+	return preKVMetrics{
+		Arrived: m.Arrived, Completed: m.Completed, Dropped: m.Dropped,
+		TTFT: m.TTFT, TBT: m.TBT, E2E: m.E2E,
+		TTFTAttainment:          m.TTFTAttainment,
+		TTFTAttainmentCompleted: m.TTFTAttainmentCompleted,
+		TBTAttainment:           m.TBTAttainment,
+		PrefillUtilization:      m.PrefillUtilization,
+		DecodeUtilization:       m.DecodeUtilization,
+		TokensGenerated:         m.TokensGenerated,
+		FailureEvents:           m.FailureEvents,
+		Requeued:                m.Requeued,
+		DroppedOnFailure:        m.DroppedOnFailure,
+		Availability:            m.Availability,
+		Goodput:                 m.Goodput,
+		BlastRadius:             m.BlastRadius,
+		NetTransfers:            m.NetTransfers,
+		TransferBytes:           m.TransferBytes,
+		TransferTime:            m.TransferTime,
+		NetworkBoundFraction:    m.NetworkBoundFraction,
+	}
+}
+
+// goldenView selects which slice of Metrics a corpus pins: each corpus
+// renders exactly the field set that existed when it was captured, so
+// later PRs can append Metrics fields without invalidating it.
+type goldenView int
+
+const (
+	viewLegacy goldenView = iota // pre-PR-5 fields (static, scheduler corpora)
+	viewPreKV                    // pre-PR-8 fields (network corpus)
+	viewFull                     // entire Metrics struct (kv corpus)
+)
+
 // goldenReport renders every scenario's ClusterMetrics in hex-float
-// form: one block per scenario, one line per pool plus the aggregate.
-// full=false renders the legacy field set (the pre-network corpora);
-// full=true renders the entire Metrics struct, network fields included.
-func goldenReport(t *testing.T, scenarios []goldenScenario, full bool) string {
+// form: one block per scenario, one line per pool plus the aggregate,
+// fields selected by the view.
+func goldenReport(t *testing.T, scenarios []goldenScenario, view goldenView) string {
 	t.Helper()
 	var b strings.Builder
 	render := func(m Metrics) string {
-		if full {
-			return fmt.Sprintf("%x", m)
+		switch view {
+		case viewLegacy:
+			return fmt.Sprintf("%x", legacyView(m))
+		case viewPreKV:
+			return fmt.Sprintf("%x", preKVView(m))
 		}
-		return fmt.Sprintf("%x", legacyView(m))
+		return fmt.Sprintf("%x", m)
 	}
 	for _, sc := range scenarios {
 		gen := trace.CodingWorkload(sc.rate, sc.seed)
 		if sc.conv {
 			gen = trace.ConversationWorkload(sc.rate, sc.seed)
+		}
+		if sc.agent {
+			gen = trace.AgentWorkload(sc.rate, sc.seed)
 		}
 		reqs, err := gen.Generate(sc.arrive)
 		if err != nil {
@@ -176,7 +248,7 @@ func goldenReport(t *testing.T, scenarios []goldenScenario, full bool) string {
 //
 //	LITEGPU_UPDATE_GOLDENS=1 go test ./internal/serve -run Golden
 func TestStaticSchedulerMatchesPreRefactorGoldens(t *testing.T) {
-	compareGoldens(t, goldenFile, goldenReport(t, goldenScenarios(), false))
+	compareGoldens(t, goldenFile, goldenReport(t, goldenScenarios(), viewLegacy))
 }
 
 // compareGoldens checks (or, under LITEGPU_UPDATE_GOLDENS, rewrites) one

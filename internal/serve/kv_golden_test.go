@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"testing"
+
+	"litegpu/internal/kv"
+)
+
+// kvGoldenFile extends the byte-identity corpus to memory-enabled runs.
+// Like network_goldens.txt it pins the KV memory model from its first
+// commit: the FULL Metrics struct — KV fields included — in %x, so any
+// future rework of the allocator, the admission gate, preemption, or
+// prefix caching must reproduce these runs bit-for-bit or knowingly
+// regenerate.
+const kvGoldenFile = "testdata/kv_goldens.txt"
+
+// kvGoldenScenarios covers what the earlier corpora cannot: block
+// accounting under ample memory (every scheduler), genuine scarcity
+// with preemptions under both recovery policies, prefix caching on the
+// shared-prefix agent workload, swap priced over an in-loop fabric,
+// and the accelerated failure regime with allocator state dying and
+// resetting mid-run.
+func kvGoldenScenarios() []goldenScenario {
+	recompute := kv.Config{Policy: kv.Recompute}
+	scarce := kv.Config{Policy: kv.Recompute, Blocks: 600}
+	scarcePrefix := kv.Config{Policy: kv.Recompute, PrefixCache: true, Blocks: 600}
+	swapScarce := kv.Config{Policy: kv.Swap, Blocks: 800}
+
+	small := smallConfig()
+	small.KV = recompute
+
+	cont := smallConfig()
+	cont.Scheduler = ContinuousBatching
+	cont.KV = scarce
+
+	chunk := smallConfig()
+	chunk.Scheduler = ChunkedPrefill
+	chunk.PrefillChunk = 256
+	chunk.KV = scarce
+
+	pressed := smallConfig()
+	pressed.KV = scarce
+
+	agent := smallConfig()
+	agent.KV = scarcePrefix
+
+	// Swap preemptions round-tripping a real fabric: the l70 shape puts
+	// every instance on its own scale-up node, so swap traffic contends
+	// with KV handoffs on the same links.
+	swapFab := l70Config()
+	swapFab.Network = pluggablePacket()
+	swapFab.KV = swapScarce
+
+	// The failure regime that actually bites (no drain, decode-heavy,
+	// accelerated clock) with scarce memory: dead instances drop their
+	// allocator state, requeued sequences re-admit from zero.
+	failCluster := clusterOf(pressed)
+	failCluster.Failures = acceleratedFailures(0)
+
+	return []goldenScenario{
+		{name: "kv-small-ample", cluster: clusterOf(small), rate: 1.0, seed: 7, arrive: 200, horizon: 400},
+		{name: "kv-static-scarce-conv", cluster: clusterOf(pressed), rate: 8.0, seed: 3, conv: true, arrive: 120, horizon: 240},
+		{name: "kv-continuous-scarce-conv", cluster: clusterOf(cont), rate: 8.0, seed: 3, conv: true, arrive: 120, horizon: 240},
+		{name: "kv-chunked256-scarce-conv", cluster: clusterOf(chunk), rate: 8.0, seed: 3, conv: true, arrive: 120, horizon: 240},
+		{name: "kv-prefix-agent-nodrain", cluster: clusterOf(agent), rate: 8.0, seed: 42, agent: true, arrive: 150, horizon: 150},
+		{name: "kv-swap-fabric-conv", cluster: clusterOf(swapFab), rate: 4.0, seed: 11, conv: true, arrive: 120, horizon: 240},
+		{name: "kv-scarce-fail-nodrain", cluster: failCluster, rate: 8.0, seed: 11, conv: true, arrive: 150, horizon: 150},
+	}
+}
+
+// TestKVGoldens pins the memory-enabled simulator byte-for-byte.
+// Regenerate (only when knowingly changing memory semantics) with:
+//
+//	LITEGPU_UPDATE_GOLDENS=1 go test ./internal/serve -run Golden
+func TestKVGoldens(t *testing.T) {
+	compareGoldens(t, kvGoldenFile, goldenReport(t, kvGoldenScenarios(), viewFull))
+}

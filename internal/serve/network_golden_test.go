@@ -9,10 +9,10 @@ import (
 // networkGoldenFile extends the byte-identity corpus to
 // network-in-the-loop runs. Unlike the static and scheduler corpora
 // (captured at pre-refactor commits), this one pins the fabric
-// simulator from its first commit: the full Metrics struct — transfer
-// summaries included — in %x, so any future rework of netsim or the
-// handoff wiring must reproduce these runs bit-for-bit or knowingly
-// regenerate.
+// simulator from its first commit: the pre-PR-8 Metrics field set —
+// transfer summaries included — in %x, so any future rework of netsim
+// or the handoff wiring must reproduce these runs bit-for-bit or
+// knowingly regenerate.
 const networkGoldenFile = "testdata/network_goldens.txt"
 
 func networkGoldenScenarios() []goldenScenario {
@@ -65,5 +65,5 @@ func networkGoldenScenarios() []goldenScenario {
 //
 //	LITEGPU_UPDATE_GOLDENS=1 go test ./internal/serve -run Golden
 func TestNetworkGoldens(t *testing.T) {
-	compareGoldens(t, networkGoldenFile, goldenReport(t, networkGoldenScenarios(), true))
+	compareGoldens(t, networkGoldenFile, goldenReport(t, networkGoldenScenarios(), viewPreKV))
 }

@@ -8,6 +8,7 @@ import (
 	"litegpu/internal/failure"
 	"litegpu/internal/hw"
 	"litegpu/internal/inference"
+	"litegpu/internal/kv"
 	"litegpu/internal/model"
 	"litegpu/internal/network"
 	"litegpu/internal/sweep"
@@ -100,6 +101,17 @@ type PlanRequest struct {
 	// DefaultFabricCandidates for a sensible axis.
 	Network NetworkConfig
 	Fabrics []NetworkConfig
+
+	// KV selects the KV-cache memory model the sizing simulations run
+	// under. The zero value keeps the historical behavior: decode
+	// memory is infinite and admission never blocks on cache blocks.
+	// KVPolicies, when non-empty, overrides it with a set of candidate
+	// memory configs: the KV policy joins scheduler and fabric as a
+	// search axis — every (scheduler, fabric, kv) triple is sized
+	// independently and the cheapest feasible plan per Mtoken wins. See
+	// kv.DefaultPolicyCandidates for a sensible axis.
+	KV         kv.Config
+	KVPolicies []kv.Config
 
 	// PrefillGPUs and DecodeGPUs set the tensor-parallel degree per
 	// instance; zero means the smallest degree the model fits on.
@@ -250,14 +262,21 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	if len(fabrics) == 0 {
 		fabrics = []NetworkConfig{req.Network}
 	}
+	kvcs := req.KVPolicies
+	if len(kvcs) == 0 {
+		kvcs = []kv.Config{req.KV}
+	}
 	type candidate struct {
 		pol SchedulerPolicy
 		nc  NetworkConfig
+		kvc kv.Config
 	}
 	var cands []candidate
 	for _, pol := range policies {
 		for _, nc := range fabrics {
-			cands = append(cands, candidate{pol: pol, nc: nc})
+			for _, kvc := range kvcs {
+				cands = append(cands, candidate{pol: pol, nc: nc, kvc: kvc})
+			}
 		}
 	}
 	// Split the worker budget between the two nesting levels so total
@@ -272,7 +291,7 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	}
 	outcomes, err := sweep.RunN(context.Background(), candWorkers, cands,
 		func(_ context.Context, _ int, c candidate) (polOutcome, error) {
-			plan, perr := planPolicy(req, slo, c.pol, c.nc, reqs, simHorizon, waveWorkers)
+			plan, perr := planPolicy(req, slo, c.pol, c.nc, c.kvc, reqs, simHorizon, waveWorkers)
 			return polOutcome{plan: plan, err: perr}, nil
 		})
 	if err != nil {
@@ -307,12 +326,13 @@ func planWorkers(req PlanRequest) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// planPolicy sizes one (scheduling policy, fabric) candidate's
-// cheapest feasible deployment, probing up to waveWorkers
+// planPolicy sizes one (scheduling policy, fabric, kv policy)
+// candidate's cheapest feasible deployment, probing up to waveWorkers
 // doubling-ladder points concurrently. The fabric rides inside every
 // sizing simulation (nc zero = the historical infinite fabric) and
-// prices the final plan.
-func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig, reqs []trace.Request, simHorizon units.Seconds, waveWorkers int) (Plan, error) {
+// prices the final plan; the kv config rides inside every sizing
+// simulation too (kvc zero = the historical infinite-memory decode).
+func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig, kvc kv.Config, reqs []trace.Request, simHorizon units.Seconds, waveWorkers int) (Plan, error) {
 	baseCfg := Config{
 		GPU: req.GPU, Model: req.Model, Opts: req.Opts,
 		Scheduler:    pol,
@@ -320,6 +340,7 @@ func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig,
 		PrefillGPUs:  req.PrefillGPUs, DecodeGPUs: req.DecodeGPUs,
 		MaxPrefillBatch: req.MaxPrefillBatch, MaxDecodeBatch: req.MaxDecodeBatch,
 		Network: nc,
+		KV:      kvc,
 	}
 	// Colocated policies derive InstanceGPUs = max(PrefillGPUs,
 	// DecodeGPUs) from baseCfg (an instance must fit both phases).

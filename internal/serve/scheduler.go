@@ -110,6 +110,12 @@ type scheduler interface {
 	// dispatch hands queued work to idle instances; called exactly once
 	// per event timestamp, after all completions at that time.
 	dispatch(now float64)
+	// swapReturn accepts a preempted sequence whose KV just finished its
+	// swap round-trip or recompute handoff: it rejoins the decode path
+	// at the head of the queue, holding no blocks and stamping no TTFT
+	// (its first token was already served before preemption). Only
+	// reachable with Config.KV enabled.
+	swapReturn(a *activeReq, now float64)
 	// fail reclaims instance id's in-flight work when it dies:
 	// un-counting the unfinished busy tail and requeueing (or, when drop
 	// is set, abandoning) the work. Generic down-marking, completion-

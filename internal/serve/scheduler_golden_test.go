@@ -102,5 +102,5 @@ func schedulerGoldenScenarios() []goldenScenario {
 //
 //	LITEGPU_UPDATE_GOLDENS=1 go test ./internal/serve -run Golden
 func TestSchedulerGoldens(t *testing.T) {
-	compareGoldens(t, schedulerGoldenFile, goldenReport(t, schedulerGoldenScenarios(), false))
+	compareGoldens(t, schedulerGoldenFile, goldenReport(t, schedulerGoldenScenarios(), viewLegacy))
 }

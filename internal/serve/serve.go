@@ -35,6 +35,7 @@ import (
 
 	"litegpu/internal/hw"
 	"litegpu/internal/inference"
+	"litegpu/internal/kv"
 	"litegpu/internal/mathx"
 	"litegpu/internal/model"
 	"litegpu/internal/trace"
@@ -95,6 +96,18 @@ type Config struct {
 	// Metrics gain transfer statistics. In a multi-pool cluster the
 	// fabric is cluster-wide; see ClusterConfig.Network.
 	Network NetworkConfig
+
+	// KV puts KV-cache memory inside the event loop. The zero value is
+	// the historical infinite-memory behavior: admission is bounded by
+	// the batch caps alone and no blocks are tracked. With a policy
+	// selected, every decode-capable instance owns a paged block
+	// allocator sized from its HBM net of model weights (internal/kv);
+	// admission is gated by free blocks, decode growth claims a block
+	// per BlockTokens generated tokens, exhaustion preempts (recompute
+	// re-runs prefill; swap rides the fabric), and prefix caching
+	// shares ref-counted blocks across requests that declare a common
+	// prefix. The Metrics gain KV statistics.
+	KV kv.Config
 }
 
 // colocShape returns the colocated deployment size: the explicit
@@ -142,6 +155,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: batch caps must be positive")
 	}
 	if err := c.Network.Validate(); err != nil {
+		return err
+	}
+	if err := c.KV.Validate(); err != nil {
 		return err
 	}
 	if c.Scheduler.Colocated() {
@@ -264,6 +280,30 @@ type Metrics struct {
 	// pool's delivered latency that the fabric contributed. It is an
 	// aggregate ratio over the whole run, not a per-request mean.
 	NetworkBoundFraction float64
+
+	// The remaining fields are KV-memory metrics (PR 8). With Config.KV
+	// zeroed they hold their zero values, and the golden corpora pin
+	// the earlier field sets byte-for-byte.
+
+	// KVPreemptions counts sequences evicted from a decode batch because
+	// their instance ran out of KV blocks mid-generation.
+	KVPreemptions int
+	// KVCacheHitRate is prefix-cache block hits over prefix-cache block
+	// lookups at admission — an aggregate ratio over the run, zero when
+	// prefix caching is off or no request declared a shared prefix.
+	KVCacheHitRate float64
+	// KVPeakBlocks is the high-water mark of blocks in use. For a pool
+	// it sums per-instance peaks (instances peak at different times, so
+	// this is an upper bound on the pool-wide instantaneous peak).
+	KVPeakBlocks int
+	// KVMeanBlocks is the time-averaged number of blocks in use over the
+	// horizon, summed across instances.
+	KVMeanBlocks float64
+	// KVRecomputeTokens counts tokens re-prefetched through prefill
+	// because a preempted sequence's KV was discarded (Recompute
+	// policy). Pure overhead: these passes occupy prefill capacity but
+	// stamp no TTFT and generate no output.
+	KVRecomputeTokens int
 }
 
 // Run simulates serving the request stream until the horizon, with no
@@ -315,6 +355,37 @@ func pickSLO(v units.Seconds, def units.Seconds) units.Seconds {
 		return v
 	}
 	return def
+}
+
+// kvBlocksPerInstance sizes one decode-capable instance's paged KV
+// allocator at tensor-parallel degree gpus: HBM capacity net of the
+// instance's weight shard, divided by the per-block KV footprint. An
+// explicit Config.KV.Blocks overrides the derivation (tests and studies
+// use it to force memory pressure independent of the hardware).
+func kvBlocksPerInstance(cfg Config, gpus int) (int, error) {
+	if cfg.KV.Blocks > 0 {
+		return cfg.KV.Blocks, nil
+	}
+	opts := cfg.Opts
+	shard := model.Shard{
+		TP: gpus, Batch: 1, SeqIn: 1, KVLen: 1,
+		Prec:    opts.EffectivePrecision(),
+		IdealKV: !opts.KVReplication,
+	}
+	if err := shard.Validate(cfg.Model); err != nil {
+		return 0, err
+	}
+	free := float64(cfg.GPU.Capacity) - float64(cfg.Model.ShardWeightBytes(shard))
+	perBlock := float64(cfg.KV.BlockTokensOrDefault()) * float64(cfg.Model.ShardKVBytesPerToken(shard))
+	blocks := 0
+	if free > 0 && perBlock > 0 {
+		blocks = int(free / perBlock)
+	}
+	if blocks <= 0 {
+		return 0, fmt.Errorf("serve: no KV blocks fit on a %d-GPU %s instance after %s weights",
+			gpus, cfg.GPU.Name, cfg.Model.Name)
+	}
+	return blocks, nil
 }
 
 // newPrefillTimer returns a memoized batch-prefill duration function at

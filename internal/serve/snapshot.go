@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 
+	"litegpu/internal/kv"
 	"litegpu/internal/netsim"
 	"litegpu/internal/sim"
 	"litegpu/internal/trace"
@@ -62,11 +63,12 @@ func (s *instSnap) restore(st *instanceState) {
 
 // staticSnap freezes a staticSched.
 type staticSnap struct {
-	prefills []prefillEngSnap
-	decodes  []decodeEngSnap
-	prefillQ []trace.Request
-	decodeQ  []*activeReq
-	decodeRR int
+	prefills   []prefillEngSnap
+	decodes    []decodeEngSnap
+	prefillQ   []trace.Request
+	decodeQ    []*activeReq
+	reprefillQ []*activeReq
+	decodeRR   int
 }
 
 type prefillEngSnap struct {
@@ -74,6 +76,7 @@ type prefillEngSnap struct {
 	freeAt float64
 	busy   float64
 	batch  []trace.Request
+	re     *activeReq
 }
 
 type decodeEngSnap struct {
@@ -81,15 +84,17 @@ type decodeEngSnap struct {
 	active  []*activeReq
 	stepEnd float64
 	busy    float64
+	al      *kv.Snap
 }
 
 func (sc *staticSched) snapshot(reqs []savedReq) (any, []savedReq) {
 	sn := &staticSnap{
-		prefills: make([]prefillEngSnap, len(sc.prefills)),
-		decodes:  make([]decodeEngSnap, len(sc.decodes)),
-		prefillQ: sc.prefillQ.save(nil),
-		decodeQ:  sc.decodeQ.save(nil),
-		decodeRR: sc.decodeRR,
+		prefills:   make([]prefillEngSnap, len(sc.prefills)),
+		decodes:    make([]decodeEngSnap, len(sc.decodes)),
+		prefillQ:   sc.prefillQ.save(nil),
+		decodeQ:    sc.decodeQ.save(nil),
+		reprefillQ: sc.reprefillQ.save(nil),
+		decodeRR:   sc.decodeRR,
 	}
 	for i := range sc.prefills {
 		e := &sc.prefills[i]
@@ -98,6 +103,10 @@ func (sc *staticSched) snapshot(reqs []savedReq) (any, []savedReq) {
 			freeAt: e.freeAt,
 			busy:   e.busy,
 			batch:  append([]trace.Request(nil), e.batch...),
+			re:     e.re,
+		}
+		if e.re != nil {
+			reqs = append(reqs, savedReq{a: e.re, val: *e.re})
 		}
 	}
 	for j := range sc.decodes {
@@ -108,9 +117,13 @@ func (sc *staticSched) snapshot(reqs []savedReq) (any, []savedReq) {
 			stepEnd: e.stepEnd,
 			busy:    e.busy,
 		}
+		if e.al != nil {
+			sn.decodes[j].al = e.al.Snapshot()
+		}
 		reqs = saveReqs(reqs, e.active)
 	}
 	reqs = saveReqs(reqs, sn.decodeQ)
+	reqs = saveReqs(reqs, sn.reprefillQ)
 	return sn, reqs
 }
 
@@ -122,6 +135,7 @@ func (sc *staticSched) restore(snap any) {
 		s.inst.restore(&e.instanceState)
 		e.freeAt, e.busy = s.freeAt, s.busy
 		e.batch = append(e.batch[:0], s.batch...)
+		e.re = s.re
 	}
 	for j := range sc.decodes {
 		e := &sc.decodes[j]
@@ -130,9 +144,13 @@ func (sc *staticSched) restore(snap any) {
 		clearTail(e.active, 0)
 		e.active = append(e.active[:0], s.active...)
 		e.stepEnd, e.busy = s.stepEnd, s.busy
+		if e.al != nil {
+			e.al.Restore(s.al)
+		}
 	}
 	sc.prefillQ.load(sn.prefillQ)
 	sc.decodeQ.load(sn.decodeQ)
+	sc.reprefillQ.load(sn.reprefillQ)
 	sc.decodeRR = sn.decodeRR
 }
 
@@ -155,6 +173,7 @@ type colocEngSnap struct {
 	stepChunk   int
 	pBusy       float64
 	dBusy       float64
+	al          *kv.Snap
 }
 
 func (c *colocSched) snapshot(reqs []savedReq) (any, []savedReq) {
@@ -176,6 +195,9 @@ func (c *colocSched) snapshot(reqs []savedReq) (any, []savedReq) {
 			pBusy:       e.pBusy,
 			dBusy:       e.dBusy,
 		}
+		if e.al != nil {
+			sn.engines[i].al = e.al.Snapshot()
+		}
 		reqs = saveReqs(reqs, sn.engines[i].active)
 		reqs = saveReqs(reqs, sn.engines[i].pending)
 	}
@@ -195,6 +217,9 @@ func (c *colocSched) restore(snap any) {
 		e.stepEnd, e.stepPfx, e.stepDec = s.stepEnd, s.stepPfx, s.stepDec
 		e.stepPrefill, e.stepChunk = s.stepPrefill, s.stepChunk
 		e.pBusy, e.dBusy = s.pBusy, s.dBusy
+		if e.al != nil {
+			e.al.Restore(s.al)
+		}
 	}
 	c.q.load(sn.q)
 }
@@ -255,6 +280,15 @@ type poolSnap struct {
 	netSec     float64
 	ttftOK     int
 	tbtOK      int
+
+	kvInUse     int
+	kvPeak      int
+	kvBlockSec  float64
+	kvLastT     float64
+	kvHits      int
+	kvLookups   int
+	kvPreempt   int
+	kvRecompute int
 
 	reqs []savedReq
 }
@@ -329,6 +363,14 @@ func (s *clusterSim) takeSnapshot(p *poolSim, id int, now float64) {
 		ps.netSec = pl.netSec
 		ps.ttftOK = pl.ttftOK
 		ps.tbtOK = pl.tbtOK
+		ps.kvInUse = pl.kvInUse
+		ps.kvPeak = pl.kvPeak
+		ps.kvBlockSec = pl.kvBlockSec
+		ps.kvLastT = pl.kvLastT
+		ps.kvHits = pl.kvHits
+		ps.kvLookups = pl.kvLookups
+		ps.kvPreempt = pl.kvPreempt
+		ps.kvRecompute = pl.kvRecompute
 	}
 	s.snap = sn
 }
@@ -368,6 +410,14 @@ func (s *clusterSim) restoreSnapshot() {
 		pl.netSec = ps.netSec
 		pl.ttftOK = ps.ttftOK
 		pl.tbtOK = ps.tbtOK
+		pl.kvInUse = ps.kvInUse
+		pl.kvPeak = ps.kvPeak
+		pl.kvBlockSec = ps.kvBlockSec
+		pl.kvLastT = ps.kvLastT
+		pl.kvHits = ps.kvHits
+		pl.kvLookups = ps.kvLookups
+		pl.kvPreempt = ps.kvPreempt
+		pl.kvRecompute = ps.kvRecompute
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"litegpu/internal/inference"
+	"litegpu/internal/kv"
 	"litegpu/internal/mathx"
 	"litegpu/internal/sim"
 	"litegpu/internal/trace"
@@ -33,6 +34,12 @@ type staticSched struct {
 	decodeQ  deque[*activeReq]
 	decodeRR int // KV-handoff destination rotation
 
+	// reprefillQ holds preempted sequences whose KV must be rebuilt by a
+	// prefill pass (Recompute policy); `one` is the reusable batch-of-one
+	// buffer those passes are timed with. Both stay empty with KV off.
+	reprefillQ deque[*activeReq]
+	one        [1]trace.Request
+
 	prefillDoneH sim.Handler
 	decodeDoneH  sim.Handler
 
@@ -46,6 +53,7 @@ type prefillEngine struct {
 	freeAt float64
 	busy   float64
 	batch  []trace.Request // reused across passes; empty when idle
+	re     *activeReq      // in-flight recompute pass (KV rebuild), nil otherwise
 }
 
 type decodeEngine struct {
@@ -53,6 +61,11 @@ type decodeEngine struct {
 	active  []*activeReq // reused across steps
 	stepEnd float64      // 0 when idle
 	busy    float64
+	// al is the instance's paged KV allocator; nil with Config.KV off.
+	// Prefill engines hold none: the simulation models decode-side HBM,
+	// where the cache lives for a sequence's whole generation (prefill
+	// working memory is covered by MaxFeasibleBatch validation).
+	al *kv.Allocator
 }
 
 func newStaticSched(cs *clusterSim, pool *poolSim) (*staticSched, error) {
@@ -83,6 +96,20 @@ func newStaticSched(cs *clusterSim, pool *poolSim) (*staticSched, error) {
 	}
 	sc.prefillDoneH = sc.onPrefillDone
 	sc.decodeDoneH = sc.onDecodeDone
+	if cfg.KV.Enabled() {
+		blocks, err := kvBlocksPerInstance(cfg, cfg.DecodeGPUs)
+		if err != nil {
+			return nil, err
+		}
+		bt := cfg.KV.BlockTokensOrDefault()
+		for j := range sc.decodes {
+			sc.decodes[j].al = kv.NewAllocator(blocks, bt, cfg.KV.PrefixCache)
+		}
+		// With paged KV the allocator is the memory gate: admission is
+		// bounded by free blocks at actual sequence lengths, so the
+		// whole-context MaxFeasibleBatch cap above no longer applies.
+		sc.decodeCap = cfg.MaxDecodeBatch
+	}
 	return sc, nil
 }
 
@@ -119,9 +146,12 @@ func (sc *staticSched) enqueue(r trace.Request) {
 }
 
 func (sc *staticSched) outstanding() int {
-	outstanding := sc.prefillQ.Len() + sc.decodeQ.Len()
+	outstanding := sc.prefillQ.Len() + sc.decodeQ.Len() + sc.reprefillQ.Len()
 	for i := range sc.prefills {
 		outstanding += len(sc.prefills[i].batch)
+		if sc.prefills[i].re != nil {
+			outstanding++
+		}
 	}
 	for j := range sc.decodes {
 		outstanding += len(sc.decodes[j].active)
@@ -156,6 +186,28 @@ func (sc *staticSched) dispatchPrefill(now float64) {
 		e := &sc.prefills[i]
 		if !e.up {
 			continue
+		}
+		// Recompute passes first: a preempted sequence blocks a decode
+		// slot's worth of progress until its KV is rebuilt, so rebuilds
+		// outrank fresh prompts. Each runs as a batch of one (the KV must
+		// be recontiguous before decode resumes).
+		for e.freeAt <= now && sc.reprefillQ.Len() > 0 {
+			a := sc.reprefillQ.At(0)
+			sc.one[0] = trace.Request{PromptTokens: kvTokens(a)}
+			dt := sc.prefillTime(sc.one[:])
+			if math.IsInf(dt, 1) {
+				// The grown sequence no longer fits even a batch-of-one
+				// pass: it can never resume.
+				sc.reprefillQ.PopFront()
+				sc.pool.m.Dropped++
+				sc.pool.freeActive(a)
+				continue
+			}
+			sc.reprefillQ.PopFront()
+			e.re = a
+			e.freeAt = now + dt
+			e.busy += dt
+			e.doneEv = sc.cs.eng.ScheduleCall(e.freeAt, prioPrefill+e.prio, sc.prefillDoneH, uint64(i))
 		}
 		for e.freeAt <= now && sc.prefillQ.Len() > 0 {
 			n := sc.cfg.MaxPrefillBatch
@@ -199,6 +251,10 @@ func (sc *staticSched) onPrefillDone(now float64, arg uint64) {
 func (sc *staticSched) completePrefill(i int, now float64) {
 	e := &sc.prefills[i]
 	e.doneEv = 0
+	if a := e.re; a != nil {
+		e.re = nil
+		sc.finishReprefill(i, a, now)
+	}
 	for _, r := range e.batch {
 		sc.finishPrefillReq(i, r, now)
 	}
@@ -235,7 +291,7 @@ func (sc *staticSched) finishPrefillReq(i int, r trace.Request, now float64) {
 	*rec = xferRec{
 		kind: xferKV, src: int32(i), dst: int32(dstID),
 		a: p.newActive(r), start: now,
-		bytes: p.kvPerToken * float64(r.PromptTokens),
+		bytes: p.kvXferBytes(r.PromptTokens),
 	}
 	rec.tid = sc.cs.fab.Start(p.epBase+i, p.epBase+dstID, rec.bytes,
 		prioTransfer+sc.decodes[dst].prio, sc.cs.xferH, packArg(p.idx, int(idx)))
@@ -271,17 +327,66 @@ func (sc *staticSched) deliverKV(a *activeReq, now float64) {
 	sc.decodeQ.PushBack(a)
 }
 
+// finishReprefill hands a recomputed KV cache back to decode: same
+// node-bypass logic as finishPrefillReq, but the sequence already served
+// its first token, so no TTFT stamps and the cross-node leg rides an
+// xferSwap whose delivery lands in swapReturn.
+//
+//litegpu:hotpath
+func (sc *staticSched) finishReprefill(i int, a *activeReq, now float64) {
+	p := sc.pool
+	if sc.cs.fab == nil {
+		sc.decodeQ.PushFront(a)
+		return
+	}
+	dst := sc.pickDecodeDst()
+	dstID := len(sc.prefills) + dst
+	if p.nodeOf[i] == p.nodeOf[dstID] {
+		sc.decodeQ.PushFront(a)
+		return
+	}
+	idx := p.newXfer()
+	rec := &p.xfers[idx]
+	*rec = xferRec{
+		kind: xferSwap, src: int32(i), dst: int32(dstID),
+		a: a, start: now,
+		bytes: p.kvXferBytes(kvTokens(a)),
+	}
+	rec.tid = sc.cs.fab.Start(p.epBase+i, p.epBase+dstID, rec.bytes,
+		prioTransfer+sc.decodes[dst].prio, sc.cs.xferH, packArg(p.idx, int(idx)))
+	p.liveXfers = append(p.liveXfers, idx)
+}
+
+// swapReturn puts a preempted sequence back at the head of the decode
+// queue once its KV is recoverable again (swap round-trip delivered, or
+// recompute pass handed off). Head, not tail: it already consumed
+// prefill capacity once and every queued request behind it is younger.
+//
+//litegpu:hotpath
+func (sc *staticSched) swapReturn(a *activeReq, now float64) {
+	sc.decodeQ.PushFront(a)
+}
+
 //litegpu:hotpath
 func (sc *staticSched) startDecodeStep(j int, now float64) {
 	e := &sc.decodes[j]
-	// Admit from the queue up to capacity, then step if non-empty.
+	// Admit from the queue up to capacity, then step if non-empty. With
+	// paged KV the head of the queue must also fit in free blocks;
+	// admission is head-of-line (no skipping), so a blocked head waits
+	// for completions or preemptions to free memory.
 	for len(e.active) < sc.decodeCap && sc.decodeQ.Len() > 0 {
+		if e.al != nil && !sc.pool.kvAdmit(e.al, sc.decodeQ.At(0), now) {
+			break
+		}
 		a := sc.decodeQ.PopFront()
 		if !a.admitted {
 			a.admitted = true
 			a.decodeAt = now
 		}
 		e.active = append(e.active, a)
+	}
+	if e.al != nil {
+		sc.kvGrowActives(j, now)
 	}
 	if len(e.active) == 0 {
 		e.stepEnd = 0
@@ -291,6 +396,93 @@ func (sc *staticSched) startDecodeStep(j int, now float64) {
 	e.stepEnd = now + dt
 	e.busy += dt
 	e.doneEv = sc.cs.eng.ScheduleCall(e.stepEnd, prioDecode+e.prio, sc.decodeDoneH, uint64(j))
+}
+
+// kvGrowActives claims the block growth for the token each active
+// sequence emits this step. When the allocator runs dry the newest
+// admissions are preempted first (they have the least sunk work), and a
+// sole occupant that still cannot grow is dropped — with the whole
+// allocator to itself there is nothing left to evict.
+//
+//litegpu:hotpath
+func (sc *staticSched) kvGrowActives(j int, now float64) {
+	e := &sc.decodes[j]
+	p := sc.pool
+	for i := 0; i < len(e.active); {
+		a := e.active[i]
+		if p.kvGrow(e.al, a, now) {
+			i++
+			continue
+		}
+		last := len(e.active) - 1
+		if last > i {
+			victim := e.active[last]
+			e.active[last] = nil
+			e.active = e.active[:last]
+			sc.preempt(j, victim, now)
+			continue // retry a's growth with the freed blocks
+		}
+		if i > 0 {
+			// a itself is the newest remaining sequence: evict it.
+			e.active[last] = nil
+			e.active = e.active[:last]
+			sc.preempt(j, a, now)
+			return
+		}
+		// Sole occupant that cannot grow: it can never finish.
+		p.kvRelease(e.al, a, now)
+		p.m.Dropped++
+		p.freeActive(a)
+		e.active[0] = nil
+		e.active = e.active[:0]
+		return
+	}
+}
+
+// preempt evicts victim from decode engine j: its blocks are released
+// and its KV either rides the fabric to remote memory and back (Swap)
+// or is discarded and rebuilt by a prefill pass (Recompute).
+//
+//litegpu:hotpath
+func (sc *staticSched) preempt(j int, victim *activeReq, now float64) {
+	p := sc.pool
+	e := &sc.decodes[j]
+	p.kvPreempt++
+	tokens := kvTokens(victim)
+	p.kvRelease(e.al, victim, now)
+	if sc.cfg.KV.Policy == kv.Swap {
+		sc.startSwap(j, victim, now, tokens)
+		return
+	}
+	p.kvRecompute += tokens
+	sc.reprefillQ.PushBack(victim)
+}
+
+// startSwap prices a preemption swap as one fabric transfer of twice
+// the sequence's block payload — the swap-out to router-attached remote
+// memory plus the eventual swap-in — delivered as an xferSwap so the
+// sequence rejoins decode with no TTFT stamp.
+//
+//litegpu:hotpath
+func (sc *staticSched) startSwap(j int, a *activeReq, now float64, tokens int) {
+	p := sc.pool
+	if sc.cs.fab == nil {
+		// No fabric configured: the historical infinite interconnect —
+		// the round-trip is free and the sequence requeues immediately.
+		sc.swapReturn(a, now)
+		return
+	}
+	dstID := len(sc.prefills) + j
+	idx := p.newXfer()
+	rec := &p.xfers[idx]
+	*rec = xferRec{
+		kind: xferSwap, src: int32(dstID), dst: int32(dstID),
+		a: a, start: now,
+		bytes: 2 * p.kvXferBytes(tokens),
+	}
+	rec.tid = sc.cs.fab.Start(p.epBase+dstID, 0, rec.bytes,
+		prioTransfer+sc.decodes[j].prio, sc.cs.xferH, packArg(p.idx, int(idx)))
+	p.liveXfers = append(p.liveXfers, idx)
 }
 
 //litegpu:hotpath
@@ -309,6 +501,9 @@ func (sc *staticSched) completeDecodeStep(j int, now float64) {
 			e.active[w] = a
 			w++
 		} else {
+			if e.al != nil {
+				sc.pool.kvRelease(e.al, a, now)
+			}
 			sc.pool.freeActive(a)
 		}
 	}
@@ -327,6 +522,20 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 	p := sc.pool
 	if id < len(sc.prefills) {
 		e := &sc.prefills[id]
+		if a := e.re; a != nil {
+			// An in-flight recompute pass died with the engine: the
+			// rebuilt KV is lost, so the sequence re-enters the rebuild
+			// queue (or is abandoned).
+			e.re = nil
+			e.busy -= e.freeAt - now
+			if drop {
+				p.m.DroppedOnFailure++
+				p.freeActive(a)
+			} else {
+				p.m.Requeued++
+				sc.reprefillQ.PushFront(a)
+			}
+		}
 		if len(e.batch) > 0 {
 			// The pass died before completing: un-count its unfinished
 			// busy tail and put the prompts back at the head of the
@@ -348,6 +557,18 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 		if e.stepEnd > 0 {
 			e.busy -= e.stepEnd - now
 			e.stepEnd = 0
+		}
+		if e.al != nil {
+			// The HBM died with the instance: every resident sequence —
+			// and the shared prefix cache — is gone. Requeued sequences
+			// re-admit from scratch on a surviving instance.
+			for _, a := range e.active {
+				a.kvSeq = -1
+			}
+			if used := e.al.InUse(); used != 0 {
+				p.kvAccount(now, -used)
+			}
+			e.al.Reset()
 		}
 		if len(e.active) > 0 {
 			if drop {
@@ -394,6 +615,21 @@ func (sc *staticSched) failXfers(id int, now float64, drop bool) {
 		if drop {
 			p.m.DroppedOnFailure++
 			p.freeActive(rec.a)
+			p.freeXfer(idx)
+			continue
+		}
+		if rec.kind == xferSwap {
+			p.m.Requeued++
+			if int(rec.src) < len(sc.prefills) {
+				// A recompute handoff: the rebuilt KV died with its
+				// prefill engine, so the sequence rebuilds again.
+				sc.reprefillQ.PushFront(rec.a)
+			} else {
+				// A swap round-trip: the swapped-out copy survives in
+				// remote memory; the sequence just needs a live instance
+				// to swap back into.
+				sc.decodeQ.PushFront(rec.a)
+			}
 			p.freeXfer(idx)
 			continue
 		}

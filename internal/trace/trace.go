@@ -25,6 +25,14 @@ type Request struct {
 	PromptTokens int
 	// OutputTokens is the number of tokens to decode.
 	OutputTokens int
+	// PrefixTokens is how many leading prompt tokens belong to a shared
+	// prefix (a system prompt, tool definitions, conversation history)
+	// identified by PrefixID; zero means no shared prefix. Only the KV
+	// prefix cache reads these fields — they change nothing elsewhere.
+	PrefixTokens int
+	// PrefixID names which shared prefix the request reuses; requests
+	// with equal nonzero PrefixID share prefix content.
+	PrefixID int
 }
 
 // Generator produces synthetic request streams. The zero value is not
@@ -49,6 +57,15 @@ type Generator struct {
 	BurstFraction float64
 	// BurstDwell is the mean dwell time in each burst state.
 	BurstDwell units.Seconds
+
+	// PrefixTokens and PrefixGroups mark every request as reusing one of
+	// PrefixGroups shared prefixes of PrefixTokens leading prompt tokens
+	// (clamped to the request's own prompt length). Group assignment
+	// cycles deterministically by request index and consumes no
+	// randomness, so setting these fields never perturbs the arrival or
+	// length streams. Zero disables prefix marking.
+	PrefixTokens int
+	PrefixGroups int
 
 	// Seed makes the stream reproducible.
 	Seed uint64
@@ -79,6 +96,23 @@ func ConversationWorkload(rate float64, seed uint64) Generator {
 	}
 }
 
+// AgentWorkload returns an agentic mix: long prompts that open with a
+// shared system-prompt-plus-tool-definitions prefix reused across a
+// small set of agent templates, and tool-call-sized outputs. The shared
+// 1024-token prefix across 4 templates is what the KV prefix cache
+// exploits; with prefix caching off the stream behaves like any other
+// long-prompt workload.
+func AgentWorkload(rate float64, seed uint64) Generator {
+	return Generator{
+		Rate:         rate,
+		PromptMedian: 2000, PromptP99: 7500,
+		OutputMedian: 150, OutputP99: 900,
+		MaxTokens:    8192,
+		PrefixTokens: 1024, PrefixGroups: 4,
+		Seed: seed,
+	}
+}
+
 // Validate reports the first parameter problem, or nil.
 func (g Generator) Validate() error {
 	switch {
@@ -90,6 +124,8 @@ func (g Generator) Validate() error {
 		return fmt.Errorf("trace: non-positive MaxTokens")
 	case mathx.ExactNe(g.BurstFactor, 0) && g.BurstFactor < 1:
 		return fmt.Errorf("trace: BurstFactor must be ≥ 1 when set")
+	case g.PrefixTokens < 0 || g.PrefixGroups < 0:
+		return fmt.Errorf("trace: negative prefix parameters")
 	}
 	return nil
 }
@@ -273,6 +309,12 @@ func (s *Stream) Next() (Request, bool) {
 		Arrival:      units.Seconds(s.t),
 		PromptTokens: g.sampleLen(s.lenRNG, s.pMu, s.pSigma),
 		OutputTokens: g.sampleLen(s.lenRNG, s.oMu, s.oSigma),
+	}
+	if g.PrefixGroups > 0 && g.PrefixTokens > 0 {
+		// Derived from the request index, not the RNGs: streams with and
+		// without prefix marking are otherwise byte-identical.
+		r.PrefixID = 1 + s.n%g.PrefixGroups
+		r.PrefixTokens = min(g.PrefixTokens, r.PromptTokens)
 	}
 	s.n++
 	return r, true

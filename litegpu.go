@@ -293,6 +293,13 @@ func ConversationWorkload(rate float64, seed uint64) Workload {
 	return trace.ConversationWorkload(rate, seed)
 }
 
+// AgentWorkload returns an agentic workload: long prompts sharing one
+// of a few long common prefixes (system prompt plus tool schemas), the
+// shape that makes KV prefix caching pay off.
+func AgentWorkload(rate float64, seed uint64) Workload {
+	return trace.AgentWorkload(rate, seed)
+}
+
 // Reports ----------------------------------------------------------------------
 
 // WriteReport renders every table, figure, and claim study to w — the
