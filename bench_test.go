@@ -940,3 +940,42 @@ func BenchmarkServingSimPaged(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServingSimClosedLoop measures the serving simulator with the
+// full overload loop live: two tenant classes under a flash crowd,
+// closed-loop clients timing out and retrying with seeded backoff, the
+// adaptive admission gate shedding, and KV scarcity preempting. Compare
+// against BenchmarkServingSimPaged for the event-loop cost of the
+// client/admission machinery.
+func BenchmarkServingSimClosedLoop(b *testing.B) {
+	cfg := benchPagedConfig(b)
+	cfg.KV.PrefixCache = false
+	cfg.Client = ServeClientConfig{
+		Default: ClientBehavior{Timeout: 10, Retries: 2, BackoffBase: 1, Jitter: 0.5},
+		Seed:    11,
+	}
+	cfg.Admission = ServeAdmissionConfig{Policy: AdmitAdaptive, QueueLimit: 32, Levels: 2}
+	workload := MultiWorkload{
+		Classes: []TenantClass{
+			{Name: "paid", Gen: ConversationWorkload(6, 0), Priority: 1},
+			{Name: "free", Gen: ConversationWorkload(18, 0), Priority: 0},
+		},
+		Envelope: WorkloadEnvelope{Flash: []FlashCrowd{{At: 30, Duration: 60, Factor: 2}}},
+		Seed:     5,
+	}
+	reqs, err := workload.Generate(120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Serve(cfg, reqs, 240)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Shed == 0 || m.ClientRetries == 0 {
+			b.Fatal("closed-loop benchmark never shed or retried")
+		}
+	}
+}

@@ -80,12 +80,33 @@
 // axis and the cheapest feasible plan per Mtoken wins:
 //
 //	litegpu-serve -plan -gpu Lite -model Llama3-8B -rate 20 -kv auto
+//
+// With -tenants, several tenant classes share the deployment, each with
+// its own workload shape, rate, and scheduling priority; -flash and
+// -diurnal shape the aggregate arrival rate over time. -client-timeout
+// turns the clients into a closed loop (deadlines, capped-exponential
+// retry backoff, abandonment), -admission picks the overload gate, and
+// -autoscale turns on the elastic control loop:
+//
+//	litegpu-serve -tenants paid:conversation:5:1,free:conversation:15:0 \
+//	    -flash 60:120:2 -client-timeout 15 -client-retries 2 \
+//	    -admission adaptive -queue-limit 48
+//	litegpu-serve -autoscale -decode-instances 4 -flash 60:60:3
+//
+// In plan mode -admission can also be "auto": the gate joins scheduler,
+// fabric, and kv as a search axis and the cheapest feasible plan per
+// Mtoken wins. -straggler-cv gives every instance a persistent slow
+// factor so the plan holds on a fleet with realistic spread:
+//
+//	litegpu-serve -plan -rate 20 -client-timeout 30 -admission auto -queue-limit 64
+//	litegpu-serve -plan -rate 20 -straggler-cv 0.2 -straggler-tail lognormal
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"litegpu"
@@ -124,6 +145,27 @@ func main() {
 	minCompletion := flag.Float64("min-completion", 0.95, "plan mode: required fraction of arrived requests completing")
 	minAvailability := flag.Float64("min-availability", 0.999, "plan mode with -afr: required analytic availability of the spared deployment")
 	maxInstances := flag.Int("max-instances", 64, "plan mode: per-pool instance-count search ceiling")
+	tenants := flag.String("tenants", "", "multi-tenant trace: comma-separated name:workload:rate:priority classes (overrides -workload/-rate), e.g. paid:conversation:5:1,free:coding:15:0")
+	flash := flag.String("flash", "", "flash crowds layered on the arrival rate: comma-separated at:duration:factor entries, e.g. 60:120:3")
+	diurnal := flag.Float64("diurnal", 0, "diurnal rate-swing amplitude in [0,1)")
+	diurnalPeriod := flag.Float64("diurnal-period", 0, "diurnal period in seconds (0 = one day)")
+	clientTimeout := flag.Float64("client-timeout", 0, "closed-loop client deadline in seconds (0 = open-loop clients)")
+	clientRetries := flag.Int("client-retries", 0, "client retry budget after a timeout or shed")
+	clientBackoff := flag.Float64("client-backoff", 0, "base retry backoff in seconds, doubling per attempt (0 = default 1)")
+	clientBackoffCap := flag.Float64("client-backoff-cap", 0, "retry backoff ceiling in seconds (0 = default 30)")
+	clientJitter := flag.Float64("client-jitter", 0, "multiplicative backoff jitter in [0,1)")
+	ttftSLO := flag.Float64("ttft-slo", 0, "per-class TTFT SLO in seconds for closed-loop attainment accounting (0 = the option's TTFT limit)")
+	admission := flag.String("admission", "none", "overload gate: none | priority | adaptive; plan mode also accepts auto (search all three)")
+	queueLimit := flag.Int("queue-limit", 0, "admission outstanding-work threshold (required for -admission priority/adaptive)")
+	minPriority := flag.Int("min-priority", 1, "-admission priority: arrivals below this priority shed at the limit")
+	admissionLevels := flag.Int("admission-levels", 0, "-admission adaptive: priority band count (0 = default 4)")
+	autoscale := flag.Bool("autoscale", false, "enable the elastic autoscaler: instances beyond the floor park and unpark under load")
+	autoscaleHigh := flag.Float64("autoscale-high", 0, "scale up above this outstanding work per live instance (0 = default 8)")
+	autoscaleLow := flag.Float64("autoscale-low", 0, "scale down below this outstanding work per live instance (0 = default 1)")
+	autoscaleMin := flag.Int("autoscale-min", 0, "always-on instance floor (0 = default 1)")
+	autoscaleWarmup := flag.Float64("autoscale-warmup", 0, "cold-start warm-up seconds before an unparked instance takes traffic (0 = default 30)")
+	stragglerCV := flag.Float64("straggler-cv", 0, "persistent per-instance slow-factor coefficient of variation (0 = uniform instances)")
+	stragglerTail := flag.String("straggler-tail", "gaussian", "straggler distribution shape: gaussian | exponential | lognormal")
 	flag.Parse()
 
 	gpu, ok := litegpu.GPUByName(*gpuName)
@@ -134,16 +176,63 @@ func main() {
 	if !ok {
 		fatalf("unknown model %q", *modelName)
 	}
-	var gen litegpu.Workload
-	switch *workload {
-	case "coding":
-		gen = litegpu.CodingWorkload(*rate, *seed)
-	case "conversation":
-		gen = litegpu.ConversationWorkload(*rate, *seed)
-	case "agent":
-		gen = litegpu.AgentWorkload(*rate, *seed)
-	default:
-		fatalf("unknown workload %q", *workload)
+	makeGen := func(shape string, r float64, sd uint64) litegpu.Workload {
+		switch shape {
+		case "coding":
+			return litegpu.CodingWorkload(r, sd)
+		case "conversation":
+			return litegpu.ConversationWorkload(r, sd)
+		case "agent":
+			return litegpu.AgentWorkload(r, sd)
+		}
+		fatalf("unknown workload %q", shape)
+		panic("unreachable")
+	}
+	gen := makeGen(*workload, *rate, *seed)
+	envelope := litegpu.WorkloadEnvelope{
+		DiurnalAmplitude: *diurnal,
+		DiurnalPeriod:    litegpu.Seconds(*diurnalPeriod),
+	}
+	if *flash != "" {
+		for _, spec := range strings.Split(*flash, ",") {
+			f := strings.Split(spec, ":")
+			if len(f) != 3 {
+				fatalf("bad -flash entry %q (want at:duration:factor)", spec)
+			}
+			at := parseF(f[0], "flash start")
+			dur := parseF(f[1], "flash duration")
+			fac := parseF(f[2], "flash factor")
+			envelope.Flash = append(envelope.Flash, litegpu.FlashCrowd{
+				At: litegpu.Seconds(at), Duration: litegpu.Seconds(dur), Factor: fac,
+			})
+		}
+	}
+	var multi *litegpu.MultiWorkload
+	if *tenants != "" {
+		mw := litegpu.MultiWorkload{Envelope: envelope, Seed: *seed}
+		for _, spec := range strings.Split(*tenants, ",") {
+			f := strings.Split(spec, ":")
+			if len(f) != 4 {
+				fatalf("bad -tenants entry %q (want name:workload:rate:priority)", spec)
+			}
+			r := parseF(f[2], "tenant rate")
+			prio, err := strconv.Atoi(f[3])
+			if err != nil {
+				fatalf("bad tenant priority %q: %v", f[3], err)
+			}
+			mw.Classes = append(mw.Classes, litegpu.TenantClass{
+				Name: f[0], Gen: makeGen(f[1], r, 0), Priority: prio,
+			})
+		}
+		multi = &mw
+	} else if envelope.Enabled() {
+		// A single-tenant trace still takes the rate envelope by riding
+		// through a one-class multi-tenant generator.
+		multi = &litegpu.MultiWorkload{
+			Classes:  []litegpu.TenantClass{{Name: *workload, Gen: gen}},
+			Envelope: envelope,
+			Seed:     *seed,
+		}
 	}
 	failures := litegpu.ServeFailureConfig{}
 	if *afr > 0 {
@@ -243,6 +332,76 @@ func main() {
 	for i := range kvCandidates {
 		applyKVKnobs(&kvCandidates[i])
 	}
+	var client litegpu.ServeClientConfig
+	if *clientTimeout > 0 {
+		client = litegpu.ServeClientConfig{
+			Default: litegpu.ClientBehavior{
+				Timeout:     litegpu.Seconds(*clientTimeout),
+				Retries:     *clientRetries,
+				BackoffBase: litegpu.Seconds(*clientBackoff),
+				BackoffCap:  litegpu.Seconds(*clientBackoffCap),
+				Jitter:      *clientJitter,
+				TTFTSLO:     litegpu.Seconds(*ttftSLO),
+			},
+			Seed: *seed,
+		}
+	}
+	var admCandidates []litegpu.ServeAdmissionConfig
+	var adm litegpu.ServeAdmissionConfig
+	if *admission == "auto" {
+		if !*plan {
+			fatalf("-admission auto only applies with -plan; pick none, priority, or adaptive")
+		}
+		ql := *queueLimit
+		if ql <= 0 {
+			ql = 64
+		}
+		admCandidates = []litegpu.ServeAdmissionConfig{
+			{},
+			{Policy: litegpu.AdmitPriority, QueueLimit: ql, MinPriority: *minPriority},
+			{Policy: litegpu.AdmitAdaptive, QueueLimit: ql, Levels: *admissionLevels},
+		}
+	} else {
+		pol, err := litegpu.ParseAdmissionPolicy(*admission)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		adm = litegpu.ServeAdmissionConfig{
+			Policy: pol, QueueLimit: *queueLimit,
+			MinPriority: *minPriority, Levels: *admissionLevels,
+		}
+		if pol == litegpu.AdmitAll {
+			adm = litegpu.ServeAdmissionConfig{}
+		}
+	}
+	var scale litegpu.ServeAutoscaleConfig
+	if *autoscale {
+		scale = litegpu.ServeAutoscaleConfig{
+			Enabled:      true,
+			HighWater:    *autoscaleHigh,
+			LowWater:     *autoscaleLow,
+			MinInstances: *autoscaleMin,
+			WarmUp:       litegpu.Seconds(*autoscaleWarmup),
+		}
+	}
+	var strag litegpu.ServeStragglerConfig
+	if *stragglerCV > 0 {
+		var tail litegpu.StragglerTail
+		switch *stragglerTail {
+		case "gaussian":
+			tail = litegpu.StragglerGaussian
+		case "exponential", "exp":
+			tail = litegpu.StragglerExponential
+		case "lognormal":
+			tail = litegpu.StragglerLogNormal
+		default:
+			fatalf("unknown straggler tail %q (want gaussian, exponential, or lognormal)", *stragglerTail)
+		}
+		strag = litegpu.ServeStragglerConfig{
+			Jitter: litegpu.StragglerJitter{CV: *stragglerCV, Tail: tail},
+			Seed:   *seed,
+		}
+	}
 	var routerPolicy litegpu.ServeRouterPolicy
 	switch *router {
 	case "rr", "round-robin":
@@ -255,6 +414,9 @@ func main() {
 	if *plan {
 		if *secondGPU != "" {
 			fatalf("-plan sizes a single homogeneous pool; it cannot be combined with -second-gpu")
+		}
+		if multi != nil {
+			fatalf("-plan sizes against a single-tenant workload; -tenants, -flash, and -diurnal only apply without -plan")
 		}
 		// The spare count and router are planner outputs / serving-only
 		// knobs: reject explicit settings rather than silently ignore.
@@ -289,6 +451,11 @@ func main() {
 			Fabrics:         fabricCandidates,
 			KV:              kvc,
 			KVPolicies:      kvCandidates,
+			Client:          client,
+			Admission:       adm,
+			Admissions:      admCandidates,
+			Autoscale:       scale,
+			Straggler:       strag,
 		}
 		// The instance-count flags are what the planner searches over,
 		// but an explicitly-set TP degree is a constraint to respect;
@@ -323,6 +490,10 @@ func main() {
 			fmt.Printf("  reliability: %d hot spares for %.6f availability (target %.6f), blast radius %.1f%%\n",
 				p.Spares, p.Availability, *minAvailability, p.Metrics.BlastRadius*100)
 		}
+		if p.Config.Admission.Policy != litegpu.AdmitAll {
+			fmt.Printf("  admission: %s gate, queue limit %d (shed %d of %d)\n",
+				p.Config.Admission.Policy, p.Config.Admission.QueueLimit, p.Metrics.Shed, p.Metrics.Arrived)
+		}
 		fmt.Printf("  fabric: %s (%s)\n", p.Fabric, p.Config.Network)
 		if p.Config.Network.Enabled() && p.Metrics.NetTransfers > 0 {
 			fmt.Printf("  network: %d transfers, p99 %.2f ms, %.1f%% of delivered latency\n",
@@ -341,9 +512,19 @@ func main() {
 	// materialized trace, request for request), so even a huge
 	// -rate × -horizon product runs in memory proportional to the
 	// in-flight working set.
-	stream, err := gen.Stream(litegpu.Seconds(*horizon))
-	if err != nil {
-		fatalf("generate workload: %v", err)
+	var stream litegpu.RequestSource
+	if multi != nil {
+		ms, err := multi.Stream(litegpu.Seconds(*horizon))
+		if err != nil {
+			fatalf("generate workload: %v", err)
+		}
+		stream = ms
+	} else {
+		ts, err := gen.Stream(litegpu.Seconds(*horizon))
+		if err != nil {
+			fatalf("generate workload: %v", err)
+		}
+		stream = ts
 	}
 
 	cfg := litegpu.ServeConfig{
@@ -359,6 +540,10 @@ func main() {
 		MaxPrefillBatch:  *maxPrefill,
 		MaxDecodeBatch:   *maxDecode,
 		KV:               kvc,
+		Client:           client,
+		Admission:        adm,
+		Autoscale:        scale,
+		Straggler:        strag,
 	}
 	cc := litegpu.ServeClusterConfig{
 		Pools:    []litegpu.ServePool{{Name: gpu.Name, Config: cfg}},
@@ -392,13 +577,26 @@ func main() {
 		fatalf("simulate: %v", err)
 	}
 
-	fmt.Printf("workload: %s @ %.2f req/s for %.0f s (seed %d)\n", *workload, *rate, *horizon, *seed)
+	if multi == nil {
+		fmt.Printf("workload: %s @ %.2f req/s for %.0f s (seed %d)\n", *workload, *rate, *horizon, *seed)
+	} else {
+		fmt.Printf("workload: %d tenant classes for %.0f s (seed %d)\n", len(multi.Classes), *horizon, *seed)
+	}
 	if failures.Enabled {
 		fmt.Printf("failure injection: AFR %.2f ×%.0f, %d spares/pool, policy %s\n",
 			*afr, *timescale, *spares, map[bool]string{false: "requeue", true: "drop"}[*dropOnFailure])
 	}
 	if kvc.Enabled() {
 		fmt.Printf("kv memory: %s policy, %d-token blocks\n", kvc, kvc.BlockTokensOrDefault())
+	}
+	if multi != nil && len(multi.Classes) > 1 {
+		fmt.Printf("tenants: %s\n", *tenants)
+	}
+	if *clientTimeout > 0 {
+		fmt.Printf("closed-loop clients: %.0fs deadline, %d retries\n", *clientTimeout, *clientRetries)
+	}
+	if adm.Policy != litegpu.AdmitAll {
+		fmt.Printf("admission: %s gate, queue limit %d\n", adm.Policy, adm.QueueLimit)
 	}
 	for i, pm := range cm.Pools {
 		pc := cc.Pools[i].Config // RunCluster reports pools in input order
@@ -450,6 +648,27 @@ func printMetrics(indent string, mets litegpu.ServeMetrics, withFailures, withKV
 			indent, mets.KVPreemptions, mets.KVPeakBlocks, mets.KVMeanBlocks,
 			mets.KVCacheHitRate*100, mets.KVRecomputeTokens)
 	}
+	if mets.ClientTimeouts+mets.ClientRetries+mets.Abandoned+mets.Shed > 0 {
+		fmt.Printf("%soverload: %d timeouts, %d retries, %d abandoned, %d shed; useful goodput %.1f tok/s\n",
+			indent, mets.ClientTimeouts, mets.ClientRetries, mets.Abandoned, mets.Shed, mets.UsefulGoodput)
+	}
+	if mets.ScaleUps+mets.ScaleDowns > 0 {
+		fmt.Printf("%sautoscaler: %d scale-ups, %d scale-downs, mean live instances %.2f\n",
+			indent, mets.ScaleUps, mets.ScaleDowns, mets.MeanLiveInstances)
+	}
+	for _, c := range mets.Classes {
+		fmt.Printf("%sclass %d: arrived %d, completed %d, shed %d, abandoned %d, TTFT attainment %.1f%%, goodput %.1f tok/s\n",
+			indent, c.Class, c.Arrived, c.Completed, c.Shed, c.Abandoned, c.TTFTAttainment*100, c.Goodput)
+	}
+}
+
+// parseF parses a float flag component or dies with context.
+func parseF(s, what string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		fatalf("bad %s %q: %v", what, s, err)
+	}
+	return v
 }
 
 func fatalf(format string, args ...any) {

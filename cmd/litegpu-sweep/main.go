@@ -15,10 +15,17 @@
 //	litegpu-sweep -scheduler static,continuous,chunked  # add a scheduling-policy axis
 //	litegpu-sweep -fabric off,clos:pluggable,flat-circuit:cpo:circuit  # add a fabric axis
 //	litegpu-sweep -kv off,recompute+prefix,swap+prefix  # add a KV-memory axis
+//	litegpu-sweep -admission none,adaptive -queue-limit 48 -client-timeout 15  # add an overload-gate axis
 //
 // With -scheduler listing several policies, every grid point is
 // simulated once per policy on the identical trace and silicon, so the
 // scheduler columns are directly comparable.
+//
+// With -admission listing several gates, every grid point is simulated
+// once per gate on the identical trace, so the admission columns
+// isolate what shedding buys (and costs) under overload; -client-timeout
+// makes the grid's clients a closed loop (deadlines, retry backoff,
+// abandonment), which is when the gates matter.
 //
 // With -afr, every grid point is simulated twice — clean and with GPU
 // failure injection at the given reference AFR (optionally accelerated
@@ -55,6 +62,11 @@ func main() {
 	fabricList := flag.String("fabric", "off", "comma-separated fabric axis: off and/or fabric[:link[:switch]] specs (clos | leaf-spine | flat-circuit), each simulated in the event loop per grid point")
 	linkName := flag.String("link", "", "default link technology for -fabric specs that omit one: copper | pluggable | cpo")
 	kvList := flag.String("kv", "off", "comma-separated KV-memory axis: off and/or policy[+prefix] specs (recompute | swap), each simulated per grid point")
+	admList := flag.String("admission", "none", "comma-separated overload-gate axis: none | priority | adaptive, each simulated per grid point")
+	queueLimit := flag.Int("queue-limit", 64, "admission outstanding-work threshold for the priority/adaptive gates")
+	clientTimeout := flag.Float64("client-timeout", 0, "closed-loop client deadline in seconds for every cell (0 = open-loop clients)")
+	clientRetries := flag.Int("client-retries", 1, "client retry budget when -client-timeout is set")
+	stragglerCV := flag.Float64("straggler-cv", 0, "persistent per-instance slow-factor coefficient of variation for every cell (0 = uniform)")
 	prefillInst := flag.Int("prefill-instances", 1, "prefill engines per deployment")
 	decodeInst := flag.Int("decode-instances", 1, "decode engines per deployment")
 	horizon := flag.Float64("horizon", 300, "arrival window in simulated seconds")
@@ -166,6 +178,38 @@ func main() {
 	}
 	withKV = withKV || len(spec.KVPolicies) > 1
 
+	withAdmissions := false
+	for _, name := range splitList(*admList) {
+		pol, err := litegpu.ParseAdmissionPolicy(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		adm := litegpu.ServeAdmissionConfig{}
+		if pol != litegpu.AdmitAll {
+			adm = litegpu.ServeAdmissionConfig{Policy: pol, QueueLimit: *queueLimit, MinPriority: 1}
+			withAdmissions = true
+		}
+		spec.Admissions = append(spec.Admissions, adm)
+	}
+	withAdmissions = withAdmissions || len(spec.Admissions) > 1
+	withClients := *clientTimeout > 0
+	if withClients {
+		spec.Client = litegpu.ServeClientConfig{
+			Default: litegpu.ClientBehavior{
+				Timeout: litegpu.Seconds(*clientTimeout),
+				Retries: *clientRetries,
+				Jitter:  0.5,
+			},
+			Seed: *seed,
+		}
+	}
+	if *stragglerCV > 0 {
+		spec.Straggler = litegpu.ServeStragglerConfig{
+			Jitter: litegpu.StragglerJitter{CV: *stragglerCV, Tail: litegpu.StragglerLogNormal},
+			Seed:   *seed,
+		}
+	}
+
 	withFailures := *afr > 0
 	if withFailures {
 		spec.FailureModes = []litegpu.SweepFailureMode{
@@ -197,11 +241,15 @@ func main() {
 	if !withKV {
 		kvCols = ""
 	}
+	admCols := "\tGate\tShed/Abandon"
+	if !withAdmissions && !withClients {
+		admCols = ""
+	}
 	failCols := "\tFailures\tAvail/Ev"
 	if !withFailures {
 		failCols = ""
 	}
-	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s"+schedCol+fabricCols+kvCols+"\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att."+failCols)
+	fmt.Fprintln(tw, "GPU\tModel\tWorkload\treq/s"+schedCol+fabricCols+kvCols+admCols+"\tDeployment\tDone/Arrived\tDrop\tTTFT p99\tTBT p99\tTTFT att.\tTBT att."+failCols)
 	for _, c := range cells {
 		row := fmt.Sprintf("%s\t%s\t%s\t%.2f", c.GPU, c.Model, c.Workload, c.Rate)
 		if withSchedulers {
@@ -213,6 +261,9 @@ func main() {
 			}
 			if withKV {
 				row += fmt.Sprintf("\t%s\t", c.KV)
+			}
+			if withAdmissions || withClients {
+				row += fmt.Sprintf("\t%s\t", c.Admission)
 			}
 			row += fmt.Sprintf("\tinfeasible: %s\t\t\t\t\t\t", c.Err)
 			if withFailures {
@@ -227,6 +278,9 @@ func main() {
 		}
 		if withKV {
 			row += fmt.Sprintf("\t%s\t%d/%.0f%%", c.KV, m.KVPreemptions, m.KVCacheHitRate*100)
+		}
+		if withAdmissions || withClients {
+			row += fmt.Sprintf("\t%s\t%d/%d", c.Admission, m.Shed, m.Abandoned)
 		}
 		row += fmt.Sprintf("\t%s\t%d/%d\t%d\t%.0f ms\t%.1f ms\t%.1f%%\t%.1f%%",
 			deployment(c.Config),

@@ -1,6 +1,9 @@
 package litegpu
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestServeWithFailuresBlastRadius is the paper's headline serving
 // claim: at equal aggregate throughput and paper-calibrated AFRs, the
@@ -69,7 +72,7 @@ func TestServeWithFailuresDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Error("repeated ServeWithFailures runs diverge")
 	}
 }

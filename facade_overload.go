@@ -1,0 +1,89 @@
+package litegpu
+
+import (
+	"litegpu/internal/serve"
+	"litegpu/internal/straggler"
+	"litegpu/internal/trace"
+)
+
+// Overload robustness: multi-tenant workloads, closed-loop clients,
+// admission control, elastic autoscaling, and persistent stragglers.
+// See docs/workloads.md for the model and when each knob matters.
+type (
+	// TenantClass is one tenant population of a multi-tenant workload:
+	// a named generator plus the scheduling priority its requests carry.
+	TenantClass = trace.TenantClass
+	// MultiWorkload interleaves several tenant classes into one
+	// arrival-ordered stream, optionally shaped by a rate envelope.
+	MultiWorkload = trace.MultiGenerator
+	// WorkloadEnvelope shapes arrival rates over time: a diurnal
+	// sinusoid plus transient flash crowds. The zero value is flat.
+	WorkloadEnvelope = trace.Envelope
+	// FlashCrowd is one transient arrival surge inside an envelope.
+	FlashCrowd = trace.FlashCrowd
+
+	// ClientBehavior is one request class's closed-loop patience:
+	// deadline, retry budget, capped-exponential backoff, jitter, and
+	// TTFT SLO.
+	ClientBehavior = serve.ClientBehavior
+	// ServeClientConfig attaches closed-loop clients to a serving
+	// simulation: per-class behaviors, a seeded backoff RNG, and the
+	// ObserveOnly open-loop baseline switch. The zero value keeps the
+	// historical open-loop clients.
+	ServeClientConfig = serve.ClientConfig
+
+	// AdmissionPolicy selects how a pool sheds load under overload
+	// (none | priority | adaptive).
+	AdmissionPolicy = serve.AdmissionPolicy
+	// ServeAdmissionConfig is a pool's load-shedding gate. The zero
+	// value admits everything.
+	ServeAdmissionConfig = serve.AdmissionConfig
+
+	// ServeAutoscaleConfig is a pool's elastic control loop: instances
+	// beyond the floor start parked and warm up under load. The zero
+	// value keeps the whole fleet always on.
+	ServeAutoscaleConfig = serve.AutoscaleConfig
+
+	// ServeStragglerConfig gives each simulated instance a persistent
+	// step-time slow factor drawn at construction. The zero value keeps
+	// instances uniform.
+	ServeStragglerConfig = serve.StragglerConfig
+	// StragglerJitter parameterizes the straggler distribution (CV and
+	// tail shape); it is shared with the gang-slowdown studies.
+	StragglerJitter = straggler.Jitter
+	// StragglerTail selects the straggler distribution shape.
+	StragglerTail = straggler.Tail
+
+	// ClassMetrics is the per-tenant-class slice of ServeMetrics.
+	ClassMetrics = serve.ClassMetrics
+)
+
+// The three admission policies.
+const (
+	// AdmitAll queues every arrival (the default).
+	AdmitAll = serve.AdmitAll
+	// AdmitPriority sheds arrivals below MinPriority at the queue limit.
+	AdmitPriority = serve.AdmitPriority
+	// AdmitAdaptive sheds the lowest priority tiers first, scaling each
+	// tier's queue-depth threshold with its rank.
+	AdmitAdaptive = serve.AdmitAdaptive
+)
+
+// The straggler tail shapes.
+const (
+	// StragglerGaussian is light-tailed jitter (clock/thermal noise).
+	StragglerGaussian = straggler.Gaussian
+	// StragglerExponential is heavier-tailed (interference, ECC retries).
+	StragglerExponential = straggler.Exponential
+	// StragglerLogNormal models occasional long stalls.
+	StragglerLogNormal = straggler.LogNormal
+)
+
+// ParseAdmissionPolicy maps a CLI name (none | priority | adaptive) to
+// its AdmissionPolicy.
+func ParseAdmissionPolicy(name string) (AdmissionPolicy, error) {
+	return serve.ParseAdmissionPolicy(name)
+}
+
+// AdmissionPolicies returns the admission policies in definition order.
+func AdmissionPolicies() []AdmissionPolicy { return serve.AdmissionPolicies() }

@@ -72,6 +72,20 @@ type SweepSpec struct {
 	// on identical traces, so the KV columns isolate what finite cache
 	// memory costs each deployment.
 	KVPolicies []ServeKVConfig
+	// Admissions is the overload-gate axis (default: the single zero
+	// config — admit everything). Add entries (e.g. a priority gate and
+	// an adaptive gate) to simulate every grid point behind each gate,
+	// on identical traces, so the admission columns isolate what
+	// shedding buys (and costs) each deployment under overload.
+	Admissions []ServeAdmissionConfig
+
+	// Client attaches closed-loop client behavior (deadlines, retries
+	// with backoff, abandonment) to every cell. The zero value keeps
+	// the historical open-loop clients.
+	Client ServeClientConfig
+	// Straggler attaches the persistent slow-instance model to every
+	// cell. The zero value keeps instances uniform.
+	Straggler ServeStragglerConfig
 
 	// Horizon is the arrival window (default 300 s); the simulation runs
 	// Drain (default 120 s) past it so in-flight requests can finish.
@@ -124,6 +138,9 @@ func (s SweepSpec) withDefaults() SweepSpec {
 	if len(s.KVPolicies) == 0 {
 		s.KVPolicies = []ServeKVConfig{{}}
 	}
+	if len(s.Admissions) == 0 {
+		s.Admissions = []ServeAdmissionConfig{{}}
+	}
 	if s.Horizon <= 0 {
 		s.Horizon = 300
 	}
@@ -166,6 +183,9 @@ type SweepCell struct {
 	// KV names the cell's KV-memory config ("off" when the memory axis
 	// is not in play).
 	KV string
+	// Admission names the cell's overload gate ("none" when the
+	// admission axis is not in play).
+	Admission string
 
 	// Config is the auto-sized deployment the cell simulated.
 	Config ServeConfig
@@ -176,8 +196,8 @@ type SweepCell struct {
 }
 
 // Sweep crosses GPU types × models × workloads × arrival rates ×
-// scheduling policies × failure modes × fabrics × KV-memory configs
-// and simulates a serving deployment for every combination, fanning
+// scheduling policies × failure modes × fabrics × KV-memory configs ×
+// admission gates and simulates a serving deployment for every combination, fanning
 // the grid over a worker pool. Cell order is the nested enumeration order of the spec
 // slices, and each cell's workload seed derives from its grid index —
 // so the returned slice is byte-identical whether it ran on one worker
@@ -196,6 +216,7 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 		failure  SweepFailureMode
 		fabric   ServeNetworkConfig
 		kvc      ServeKVConfig
+		adm      ServeAdmissionConfig
 	}
 	var points []point
 	for _, g := range spec.GPUs {
@@ -206,7 +227,9 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 						for _, f := range spec.FailureModes {
 							for _, nc := range spec.Fabrics {
 								for _, kvc := range spec.KVPolicies {
-									points = append(points, point{gpu: g, model: m, workload: w, rate: r, sched: sp, failure: f, fabric: nc, kvc: kvc})
+									for _, adm := range spec.Admissions {
+										points = append(points, point{gpu: g, model: m, workload: w, rate: r, sched: sp, failure: f, fabric: nc, kvc: kvc, adm: adm})
+									}
 								}
 							}
 						}
@@ -222,12 +245,13 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 	// within the grid are noise-free. The seed position is the
 	// workload×rate coordinate of the cell.
 	traceBlock := len(spec.Workloads) * len(spec.Rates)
-	innerModes := len(spec.Schedulers) * len(spec.FailureModes) * len(spec.Fabrics) * len(spec.KVPolicies)
+	innerModes := len(spec.Schedulers) * len(spec.FailureModes) * len(spec.Fabrics) * len(spec.KVPolicies) * len(spec.Admissions)
 
 	return sweep.RunN(ctx, spec.Workers, points,
 		func(_ context.Context, idx int, p point) (SweepCell, error) {
 			c := SweepCell{GPU: p.gpu.Name, Model: p.model.Name, Workload: p.workload.Name, Rate: p.rate,
-				Scheduler: p.sched.String(), Failure: p.failure.Name, Fabric: p.fabric.String(), KV: p.kvc.String()}
+				Scheduler: p.sched.String(), Failure: p.failure.Name, Fabric: p.fabric.String(), KV: p.kvc.String(),
+				Admission: p.adm.Policy.String()}
 			pTP, err := inference.MinFeasibleTP(p.gpu, p.model, Prefill, spec.Opts)
 			if err != nil {
 				c.Err = err.Error()
@@ -244,8 +268,11 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 				PrefillInstances: spec.PrefillInstances, PrefillGPUs: pTP,
 				DecodeInstances: spec.DecodeInstances, DecodeGPUs: dTP,
 				MaxPrefillBatch: spec.MaxPrefillBatch, MaxDecodeBatch: spec.MaxDecodeBatch,
-				Network: p.fabric,
-				KV:      p.kvc,
+				Network:   p.fabric,
+				KV:        p.kvc,
+				Admission: p.adm,
+				Client:    spec.Client,
+				Straggler: spec.Straggler,
 			}
 			gen := p.workload.Make(p.rate, mathx.DeriveSeed(spec.Seed, uint64((idx/innerModes)%traceBlock)))
 			// Arrivals stream into the simulation on demand — no cell ever

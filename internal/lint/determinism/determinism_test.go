@@ -31,6 +31,14 @@ func TestKVPackageInScope(t *testing.T) {
 	analysistest.Run(t, testdata, "kv", determinism.Analyzer)
 }
 
+// TestServeBackoffFixture pins the closed-loop client contract: retry
+// backoff jitter may be drawn only from an explicitly seeded generator.
+// Global-stream jitter, wall-clock deadlines, and global-stream retry
+// shuffles are findings; the seeded-RNG backoff stays silent.
+func TestServeBackoffFixture(t *testing.T) {
+	analysistest.Run(t, testdata, "serve", determinism.Analyzer)
+}
+
 // TestWaivers pins the waiver contract: //litegpu:ordered-ok suppresses
 // exactly the finding on the line it covers (trailing or next-line),
 // while stale waivers, reasonless waivers, and unknown directives are

@@ -1,0 +1,62 @@
+// Fixture for the determinism analyzer over the closed-loop client
+// idiom: the package path ends in "serve" (simulation scope), and the
+// retry/backoff machinery must draw jitter only from an explicitly
+// seeded generator — never the global math/rand stream or a wall
+// clock. This pins the contract docs/workloads.md states for
+// ClientConfig: backoff jitter comes from the pool's seeded RNG, so
+// closed-loop runs stay byte-identical.
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Client mirrors the shape of the real closed-loop client state: a
+// backoff policy plus a generator seeded once at construction.
+type Client struct {
+	Base, Cap, Jitter float64
+	rng               *rand.Rand
+}
+
+// NewClient seeds the retry RNG explicitly — the sanctioned form.
+func NewClient(seed int64) *Client {
+	return &Client{Base: 1, Cap: 30, Jitter: 0.5, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Backoff is the sanctioned retry delay: capped exponential growth with
+// jitter drawn from the client's own seeded generator. No findings.
+func (c *Client) Backoff(attempt int) float64 {
+	d := c.Base
+	for a := 0; a < attempt && d < c.Cap; a++ {
+		d *= 2
+	}
+	if d > c.Cap {
+		d = c.Cap
+	}
+	if c.Jitter > 0 {
+		d *= 1 + c.Jitter*c.rng.Float64()
+	}
+	return d
+}
+
+// globalJitterBackoff is the bug the analyzer exists to catch: jitter
+// from the implicitly seeded global stream makes every retry schedule
+// differ run to run.
+func globalJitterBackoff(base, jitter float64) float64 {
+	return base * (1 + jitter*rand.Float64()) // want "rand.Float64 is implicitly seeded"
+}
+
+// wallClockDeadline is the other classic leak: deadlines must be
+// simulated-time offsets, not wall-clock stamps.
+func wallClockDeadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout) // want "wall clock in simulation package: time.Now"
+}
+
+// shuffledRetryOrder: reordering pending retries through the global
+// stream is just as nondeterministic as drawing from it.
+func shuffledRetryOrder(pending []int) {
+	rand.Shuffle(len(pending), func(i, j int) { // want "rand.Shuffle is implicitly seeded"
+		pending[i], pending[j] = pending[j], pending[i]
+	})
+}

@@ -65,10 +65,10 @@ func TestSinglePoolClusterMatchesRun(t *testing.T) {
 	if len(cm.Pools) != 1 {
 		t.Fatalf("pools = %d, want 1", len(cm.Pools))
 	}
-	if cm.Pools[0].Metrics != m {
+	if !reflect.DeepEqual(cm.Pools[0].Metrics, m) {
 		t.Errorf("pool metrics diverge from Run:\n%+v\nvs\n%+v", cm.Pools[0].Metrics, m)
 	}
-	if cm.Total != m {
+	if !reflect.DeepEqual(cm.Total, m) {
 		t.Errorf("single-pool aggregate diverges from Run:\n%+v\nvs\n%+v", cm.Total, m)
 	}
 	if cm.Pools[0].Name != cfg.GPU.Name {

@@ -164,6 +164,14 @@ func (c *colocSched) outstanding() int {
 	return outstanding
 }
 
+// scalable exposes every colocated instance to the autoscaler.
+func (c *colocSched) scalable() (lo, hi int) { return 0, len(c.engines) }
+
+func (c *colocSched) idle(id int) bool {
+	e := &c.engines[id]
+	return mathx.ExactEq(e.stepEnd, 0) && len(e.active) == 0 && e.pending.Len() == 0
+}
+
 func (c *colocSched) busy() (prefill, decode float64) {
 	for i := range c.engines {
 		prefill += c.engines[i].pBusy
@@ -178,7 +186,7 @@ func (c *colocSched) busy() (prefill, decode float64) {
 func (c *colocSched) dispatch(now float64) {
 	for j := range c.engines {
 		e := &c.engines[j]
-		if e.up && mathx.ExactEq(e.stepEnd, 0) {
+		if e.up && !e.parked && mathx.ExactEq(e.stepEnd, 0) {
 			c.startStep(j, now)
 		}
 	}
@@ -194,6 +202,13 @@ func (c *colocSched) dispatch(now float64) {
 func (c *colocSched) admit(e *colocEngine, now float64) {
 	for len(e.active)+e.pending.Len() < c.cap && c.q.Len() > 0 {
 		a := c.q.At(0)
+		if c.pool.clientOn && c.pool.isCancelled(a.req.ID) {
+			// The client gave up while the request queued: reclaim it
+			// before it occupies a batch slot.
+			c.q.PopFront()
+			c.pool.settleCancelled(a.req.ID, a)
+			continue
+		}
 		if a.promptLeft > 0 {
 			c.one[0] = a.req
 			if e.al != nil && a.promptLeft != a.req.PromptTokens {
@@ -204,6 +219,7 @@ func (c *colocSched) admit(e *colocEngine, now float64) {
 			if math.IsInf(c.prefillTime(c.one[:]), 1) {
 				c.q.PopFront()
 				c.pool.m.Dropped++
+				c.pool.clientSettle(a.req.ID)
 				c.pool.freeActive(a)
 				continue
 			}
@@ -234,7 +250,24 @@ func (c *colocSched) admit(e *colocEngine, now float64) {
 //litegpu:hotpath
 func (c *colocSched) startStep(j int, now float64) {
 	e := &c.engines[j]
-	c.admit(e, now)
+	if c.pool.clientOn {
+		// Purge cancelled pending heads first: they hold full prompt KV
+		// reservations that admission is waiting on.
+		for e.pending.Len() > 0 {
+			a := e.pending.At(0)
+			if !c.pool.isCancelled(a.req.ID) {
+				break
+			}
+			e.pending.PopFront()
+			if e.al != nil {
+				c.pool.kvRelease(e.al, a, now)
+			}
+			c.pool.settleCancelled(a.req.ID, a)
+		}
+	}
+	if !e.draining {
+		c.admit(e, now)
+	}
 	if e.al != nil && len(e.active) > 0 && (c.chunked || e.pending.Len() == 0) {
 		// This step will decode: claim every survivor's token growth
 		// before timing it (growth can shrink the batch by preemption).
@@ -283,8 +316,17 @@ func (c *colocSched) startStep(j int, now float64) {
 	} else if len(e.active) > 0 {
 		dDt = c.decodeTime(len(e.active))
 	}
+	if e.slow > 0 {
+		// A straggling instance stretches both phases; scaling each
+		// share keeps the busy-split consistent for failure un-counting.
+		pDt *= e.slow
+		dDt *= e.slow
+	}
 	dt := pDt + dDt
 	if dt <= 0 || math.IsInf(dt, 1) {
+		if e.draining && len(e.active) == 0 && e.pending.Len() == 0 {
+			c.pool.parkInstance(&e.instanceState, now)
+		}
 		e.stepEnd = 0
 		return
 	}
@@ -344,6 +386,7 @@ func (c *colocSched) kvGrowActives(j int, now float64) {
 		// Sole occupant that cannot grow: it can never finish.
 		p.kvRelease(e.al, a, now)
 		p.m.Dropped++
+		p.clientSettle(a.req.ID)
 		p.freeActive(a)
 		e.active[0] = nil
 		e.active = e.active[:0]
@@ -418,6 +461,15 @@ func (c *colocSched) completeStep(j int, now float64) {
 	if e.stepDec > 0 {
 		w := 0
 		for _, a := range e.active {
+			if c.pool.clientOn && c.pool.isCancelled(a.req.ID) {
+				// The client timed out mid-step: the batch member leaves
+				// without emitting; its step share is sunk cost.
+				if e.al != nil {
+					c.pool.kvRelease(e.al, a, now)
+				}
+				c.pool.settleCancelled(a.req.ID, a)
+				continue
+			}
 			if !c.pool.emitToken(a, now) {
 				e.active[w] = a
 				w++
@@ -438,13 +490,27 @@ func (c *colocSched) completeStep(j int, now float64) {
 			if head.promptLeft <= 0 {
 				head.promptLeft = 0
 				e.pending.PopFront()
-				c.finishPrefill(head, now)
-				e.active = append(e.active, head)
+				if c.pool.clientOn && c.pool.isCancelled(head.req.ID) {
+					if e.al != nil {
+						c.pool.kvRelease(e.al, head, now)
+					}
+					c.pool.settleCancelled(head.req.ID, head)
+				} else {
+					c.finishPrefill(head, now)
+					e.active = append(e.active, head)
+				}
 			}
 		} else {
 			for k := 0; k < e.stepPrefill; k++ {
 				a := e.pending.PopFront()
 				a.promptLeft = 0
+				if c.pool.clientOn && c.pool.isCancelled(a.req.ID) {
+					if e.al != nil {
+						c.pool.kvRelease(e.al, a, now)
+					}
+					c.pool.settleCancelled(a.req.ID, a)
+					continue
+				}
 				c.finishPrefill(a, now)
 				e.active = append(e.active, a)
 			}
@@ -462,7 +528,7 @@ func (c *colocSched) completeStep(j int, now float64) {
 func (c *colocSched) finishPrefill(a *activeReq, now float64) {
 	if !a.ttftDone {
 		a.ttftDone = true
-		c.pool.recordTTFT(now - float64(a.req.Arrival))
+		c.pool.recordTTFT(now-float64(a.req.Arrival), a.req.Class)
 	}
 	if !a.admitted {
 		a.admitted = true
@@ -508,9 +574,12 @@ func (c *colocSched) fail(id int, now float64, drop bool) {
 		if drop {
 			c.pool.m.DroppedOnFailure += n
 			for e.pending.Len() > 0 {
-				c.pool.freeActive(e.pending.PopFront())
+				a := e.pending.PopFront()
+				c.pool.clientSettle(a.req.ID)
+				c.pool.freeActive(a)
 			}
 			for _, a := range e.active {
+				c.pool.clientSettle(a.req.ID)
 				c.pool.freeActive(a)
 			}
 		} else {
@@ -554,6 +623,7 @@ func (c *colocSched) failSwaps(id int, now float64, drop bool) {
 		c.cs.fab.Cancel(rec.tid)
 		if drop {
 			p.m.DroppedOnFailure++
+			p.clientSettle(rec.a.req.ID)
 			p.freeActive(rec.a)
 		} else {
 			p.m.Requeued++

@@ -29,6 +29,7 @@ const (
 	prioDecode   = 2 << 20 // + global decode engine index
 	prioFailure  = 3 << 20 // + global instance index
 	prioTransfer = 4 << 20 // + destination instance index: fabric deliveries
+	prioClient   = 5 << 20 // + pool index base: client deadlines/retries; +1 for autoscale ticks
 	prioDispatch = 1 << 30
 )
 
@@ -69,6 +70,20 @@ type instanceState struct {
 	rate    float64 // instance failure rate per simulated second
 	prio    int     // unique per-instance offset added to a priority band
 	doneEv  sim.EventID
+
+	// Autoscale state (all false/zero with Config.Autoscale off): a
+	// parked instance draws no dispatch; a warming one is mid cold
+	// start; a draining one finishes in-flight work then parks itself.
+	// parkedAt/parkedSec integrate parked time for MeanLiveInstances.
+	parked    bool
+	warming   bool
+	draining  bool
+	parkedAt  float64
+	parkedSec float64
+
+	// slow is the instance's persistent step-time stretch factor drawn
+	// from Config.Straggler; 0 means nominal (straggler modeling off).
+	slow float64
 }
 
 // activeChunk is the allocation unit of the activeReq freelist: live
@@ -159,16 +174,47 @@ type poolSim struct {
 	kvPreempt     int
 	kvRecompute   int
 
+	// Closed-loop client state (all empty with Config.Client timeouts
+	// off). trackArena/freeTracks recycle clientTrack slots; tracks maps
+	// a live attempt's request ID to its slot (invariant: present ⇔
+	// open && deadline armed); cancelled maps a timed-out request's ID
+	// to its tombstone slot until a scheduler choke point reclaims the
+	// in-queue copy. retrySeq hands out fresh negative IDs to
+	// resubmissions so they never collide with trace IDs. eng/prioBase
+	// mirror the cluster's engine and the pool's priority offset so
+	// pool-level settle paths can cancel deadline events.
+	eng        *sim.Engine
+	prioBase   int
+	clientOn   bool
+	classesOn  bool
+	trackArena []clientTrack
+	freeTracks []int32
+	tracks     map[int]int32
+	cancelled  map[int]int32
+	retrySeq   int
+	clientRNG  *mathx.RNG
+	classes    []classAcc
+
+	// Autoscale bounds: the scheduler's scalable instance-id range and
+	// the always-on floor.
+	scaleOn  bool
+	scaleLo  int
+	scaleHi  int
+	scaleMin int
+
 	m          Metrics
 	goodTokens int
-	ttfts      []float64
-	tbts       []float64
-	e2es       []float64
-	xferT      []float64
-	xferB      []float64
-	netSec     float64
-	ttftOK     int
-	tbtOK      int
+	// usefulTokens counts goodTokens whose request completed within its
+	// class's client deadline (all of them when no deadline is set).
+	usefulTokens int
+	ttfts        []float64
+	tbts         []float64
+	e2es         []float64
+	xferT        []float64
+	xferB        []float64
+	netSec       float64
+	ttftOK       int
+	tbtOK        int
 }
 
 // newXfer returns a fresh transfer-record index from the pool's arena.
@@ -336,13 +382,18 @@ func (p *poolSim) kvXferBytes(tokens int) float64 {
 	return p.kvPerToken * float64(tokens)
 }
 
-// recordTTFT appends one time-to-first-token sample and its SLO check.
+// recordTTFT appends one time-to-first-token sample and its SLO checks
+// (pool-wide, and per class against the class's own SLO when class
+// accounting is on).
 //
 //litegpu:hotpath
-func (p *poolSim) recordTTFT(ttft float64) {
+func (p *poolSim) recordTTFT(ttft float64, class int) {
 	p.ttfts = append(p.ttfts, ttft)
 	if units.Seconds(ttft) <= pickSLO(p.cfg.Opts.TTFTLimit, 1.0) {
 		p.ttftOK++
+	}
+	if p.classesOn && units.Seconds(ttft) <= p.classSLO(class) {
+		p.classAt(class).ttftOK++
 	}
 }
 
@@ -363,6 +414,15 @@ func (p *poolSim) emitToken(a *activeReq, now float64) bool {
 	}
 	p.m.Completed++
 	p.goodTokens += a.req.OutputTokens
+	if d := p.behavior(a.req.Class).Timeout; d <= 0 || units.Seconds(now-float64(a.req.Arrival)) <= d {
+		p.usefulTokens += a.req.OutputTokens
+	}
+	if p.classesOn {
+		acc := p.classAt(a.req.Class)
+		acc.completed++
+		acc.goodTokens += a.req.OutputTokens
+	}
+	p.clientSettle(a.req.ID)
 	// Time-between-tokens is defined over the gaps between
 	// consecutive tokens: n tokens have n-1 intervals spanning first
 	// token → last token. A single-token output has no inter-token
@@ -426,6 +486,10 @@ type clusterSim struct {
 	repairH   sim.Handler
 	recoverH  sim.Handler
 	xferH     sim.Handler
+	deadlineH sim.Handler
+	retryH    sim.Handler
+	scaleH    sim.Handler
+	warmH     sim.Handler
 
 	failMTTR     float64
 	failRecovery float64
@@ -474,6 +538,10 @@ func newClusterSimAt(cc ClusterConfig, horizon float64, poolBase, instBase int) 
 	s.repairH = s.onRepair
 	s.recoverH = s.onRecover
 	s.xferH = s.onXfer
+	s.deadlineH = s.onDeadline
+	s.retryH = s.onRetry
+	s.scaleH = s.onScale
+	s.warmH = s.onWarm
 	fp := cc.Failures.params()
 	scale := cc.Failures.timeScale()
 	s.failMTTR = float64(fp.MTTR)
@@ -502,6 +570,15 @@ func newClusterSimAt(cc ClusterConfig, horizon float64, poolBase, instBase int) 
 		if cfg.KV.Enabled() {
 			p.kvBlockTokens = cfg.KV.BlockTokensOrDefault()
 		}
+		p.eng = s.eng
+		p.prioBase = poolIndexBase(poolBase + pi)
+		if cfg.Client.enabled() {
+			p.clientOn = true
+			p.tracks = make(map[int]int32)
+			p.cancelled = make(map[int]int32)
+			p.clientRNG = mathx.NewRNG(mathx.DeriveSeed(cfg.Client.Seed, uint64(poolBase+pi)))
+		}
+		p.classesOn = len(cfg.Client.Classes) > 0 || cfg.Admission.Policy != AdmitAll
 		var err error
 		if cfg.Scheduler.Colocated() {
 			p.sched, err = newColocSched(s, p)
@@ -516,8 +593,30 @@ func newClusterSimAt(cc ClusterConfig, horizon float64, poolBase, instBase int) 
 			st := p.sched.state(id)
 			st.up = true
 			st.prio = poolIndexBase(poolBase+pi) + id
+			if cfg.Straggler.Enabled() {
+				// One persistent draw per global instance index, so shards
+				// and the sequential run see identical slow sets.
+				st.slow = cfg.Straggler.Jitter.Draw(
+					mathx.NewRNG(mathx.DeriveSeed(cfg.Straggler.Seed, uint64(globalInstance))))
+			}
 			s.initFailure(st, perGPURate*float64(p.sched.gpus(id)), globalInstance)
 			globalInstance++
+		}
+		if cfg.Autoscale.Enabled {
+			lo, hi := p.sched.scalable()
+			p.scaleOn = true
+			p.scaleLo, p.scaleHi = lo, hi
+			p.scaleMin = cfg.Autoscale.minInstances()
+			if p.scaleMin > hi-lo {
+				p.scaleMin = hi - lo
+			}
+			// Instances above the floor start parked; the control loop
+			// unparks them under load.
+			for id := lo + p.scaleMin; id < hi; id++ {
+				st := p.sched.state(id)
+				st.parked = true
+				st.parkedAt = 0
+			}
 		}
 		s.pools = append(s.pools, p)
 	}
@@ -606,13 +705,26 @@ func (s *clusterSim) onXfer(now float64, arg uint64) {
 	switch rec.kind {
 	case xferKV:
 		a := rec.a
-		p.recordTTFT(now - float64(a.req.Arrival))
+		if p.clientOn && p.isCancelled(a.req.ID) {
+			// The client timed out while the KV handoff was in flight
+			// and the transfer beat the eager cancel scan (or the
+			// tombstone was laid after dispatch): drop the delivery.
+			p.settleCancelled(a.req.ID, a)
+			break
+		}
+		p.recordTTFT(now-float64(a.req.Arrival), a.req.Class)
 		p.sched.deliverKV(a, now)
 	case xferSwap:
 		// A preempted sequence's KV is back: no TTFT stamp (its first
 		// token shipped before preemption), straight to the decode path.
 		p.sched.swapReturn(rec.a, now)
 	default:
+		if p.clientOn && p.isCancelled(rec.req.ID) {
+			// Routed arrival whose client gave up mid-ingress: the copy
+			// rode the transfer by value, so the tombstone settles here.
+			p.settleCancelled(rec.req.ID, nil)
+			break
+		}
 		p.sched.enqueue(rec.req)
 	}
 	p.dropLive(int32(idx))
@@ -722,6 +834,16 @@ func (s *clusterSim) start(src RequestSource) {
 			}
 		}
 	}
+
+	// Autoscale control loops: one periodic tick per scaling pool.
+	// Booked here rather than at construction so shards (which call
+	// start too) run their own pools' loops.
+	for _, p := range s.pools {
+		if p.scaleOn {
+			s.eng.ScheduleCall(p.cfg.Autoscale.interval(),
+				prioClient+p.prioBase+1, s.scaleH, packArg(p.idx, 0))
+		}
+	}
 }
 
 // scheduleArrival books the next pulled request's arrival event,
@@ -753,6 +875,37 @@ func (s *clusterSim) arrive(now float64, _ uint64) {
 	s.requestDispatch(now)
 }
 
+// jsqPick returns the join-shortest-queue pool index: least outstanding
+// work per live (up, unparked) instance. Shared by the sequential
+// router and the sharded runner's JSQ controller, which replicates the
+// same decision over its global pool view.
+//
+//litegpu:hotpath
+func jsqPick(pools []*poolSim) int {
+	best := math.Inf(1)
+	pick := 0
+	for i, cand := range pools {
+		outstanding := cand.sched.outstanding()
+		live := 0
+		for id := 0; id < cand.sched.numInstances(); id++ {
+			st := cand.sched.state(id)
+			if st.up && !st.parked {
+				live++
+			}
+		}
+		if live == 0 {
+			live = 1 // a fully-down pool still queues, at worst-case load
+			outstanding += 1 << 20
+		}
+		load := float64(outstanding) / float64(live)
+		if load < best {
+			best = load
+			pick = i
+		}
+	}
+	return pick
+}
+
 // route assigns an arriving request to a pool.
 //
 //litegpu:hotpath
@@ -760,30 +913,55 @@ func (s *clusterSim) route(r trace.Request, now float64) {
 	var p *poolSim
 	switch s.cc.Router {
 	case JoinShortestQueue:
-		best := math.Inf(1)
-		for _, cand := range s.pools {
-			outstanding := cand.sched.outstanding()
-			live := 0
-			for id := 0; id < cand.sched.numInstances(); id++ {
-				if cand.sched.state(id).up {
-					live++
-				}
-			}
-			if live == 0 {
-				live = 1 // a fully-down pool still queues, at worst-case load
-				outstanding += 1 << 20
-			}
-			load := float64(outstanding) / float64(live)
-			if load < best {
-				best = load
-				p = cand
-			}
-		}
+		p = s.pools[jsqPick(s.pools)]
 	default: // RoundRobin
 		p = s.pools[s.rrNext%len(s.pools)]
 		s.rrNext++
 	}
+	s.acceptArrival(p, r, now)
+}
+
+// acceptArrival runs a routed request through the pool's frontend:
+// arrival accounting, the admission gate, and the client loop, then
+// queues it (directly, or over the fabric in multi-pool clusters). The
+// sharded runner's JSQ controller calls it on the owning shard, so
+// admission and client behavior are identical under sharding.
+//
+//litegpu:hotpath
+func (s *clusterSim) acceptArrival(p *poolSim, r trace.Request, now float64) {
 	p.m.Arrived++
+	if p.classesOn {
+		p.classAt(r.Class).arrived++
+	}
+	if p.cfg.Admission.Policy != AdmitAll && p.shouldShed(r) {
+		p.m.Shed++
+		if p.classesOn {
+			p.classAt(r.Class).shed++
+		}
+		// A shed closed-loop client behaves like a timed-out one: it
+		// retries with backoff while it has budget, then gives up for
+		// good. Open-loop classes (no timeout) just vanish, as before.
+		if p.clientOn {
+			b := p.behavior(r.Class)
+			if b.Timeout > 0 && b.Retries > 0 {
+				idx := p.newTrack()
+				tr := &p.trackArena[idx]
+				*tr = clientTrack{id: r.ID, class: int32(r.Class), open: true, req: r}
+				s.scheduleRetry(p, int(idx), now, b)
+				return
+			}
+			if b.Timeout > 0 {
+				p.m.Abandoned++
+				if p.classesOn {
+					p.classAt(r.Class).abandoned++
+				}
+			}
+		}
+		return
+	}
+	if p.clientOn {
+		s.openTrack(p, r, 0, now)
+	}
 	// With a fabric and more than one pool, the router's handoff to
 	// the pool crosses the network: the prompt rides an ingress
 	// transfer and joins the pool's queue on delivery. A single pool
@@ -942,8 +1120,10 @@ func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 		totalRate               float64
 		blastLoss               float64
 		goodTokens              int
+		usefulTokens            int
 		netSec, e2eSec          float64
 		kvHits, kvLookups       int
+		classTotals             []classAcc
 	)
 	if len(pools) > 1 {
 		// Preallocate the cross-pool sample unions; the single-pool case
@@ -992,6 +1172,27 @@ func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 			m.PrefillUtilization = poolPBusy / (h * float64(shape.prefillInstances))
 			m.DecodeUtilization = poolDBusy / (h * float64(shape.decodeInstances))
 			m.Goodput = float64(p.goodTokens) / h
+			m.UsefulGoodput = float64(p.usefulTokens) / h
+		}
+
+		// Closed-loop / autoscale reporting. Utilization denominators
+		// above deliberately stay provisioned-fleet based — parked
+		// capacity is still paid for; MeanLiveInstances reports what was
+		// actually serving. Classes is rebuilt from the raw accumulators
+		// on every assemble (the planner's fork path assembles twice).
+		if p.scaleOn && h > 0 {
+			parked := 0.0
+			for id := p.scaleLo; id < p.scaleHi; id++ {
+				st := p.sched.state(id)
+				parked += st.parkedSec
+				if st.parked {
+					parked += h - st.parkedAt
+				}
+			}
+			m.MeanLiveInstances = float64(p.sched.numInstances()) - parked/h
+		}
+		if p.classesOn {
+			m.Classes = buildClassMetrics(p, h)
 		}
 
 		// Availability: GPU-weighted uptime over the horizon, counting
@@ -1034,6 +1235,27 @@ func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 		cm.Total.KVRecomputeTokens += m.KVRecomputeTokens
 		cm.Total.KVPeakBlocks += m.KVPeakBlocks
 		cm.Total.KVMeanBlocks += m.KVMeanBlocks
+		cm.Total.ClientTimeouts += m.ClientTimeouts
+		cm.Total.ClientRetries += m.ClientRetries
+		cm.Total.Abandoned += m.Abandoned
+		cm.Total.Shed += m.Shed
+		cm.Total.ScaleUps += m.ScaleUps
+		cm.Total.ScaleDowns += m.ScaleDowns
+		cm.Total.MeanLiveInstances += m.MeanLiveInstances
+		for ci := range p.classes {
+			for len(classTotals) <= ci {
+				classTotals = append(classTotals, classAcc{})
+			}
+			src, dst := &p.classes[ci], &classTotals[ci]
+			dst.arrived += src.arrived
+			dst.completed += src.completed
+			dst.shed += src.shed
+			dst.timedOut += src.timedOut
+			dst.retries += src.retries
+			dst.abandoned += src.abandoned
+			dst.ttftOK += src.ttftOK
+			dst.goodTokens += src.goodTokens
+		}
 		kvHits += p.kvHits
 		kvLookups += p.kvLookups
 		netSec += p.netSec
@@ -1068,6 +1290,7 @@ func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 			blastLoss += rateW * g * p.flopsPerGPU // ÷ totalFLOPs below
 		}
 		goodTokens += p.goodTokens
+		usefulTokens += p.usefulTokens
 	}
 
 	t := &cm.Total
@@ -1095,6 +1318,7 @@ func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 		t.PrefillUtilization = pBusyGPU / (h * float64(pGPUs))
 		t.DecodeUtilization = dBusyGPU / (h * float64(dGPUs))
 		t.Goodput = float64(goodTokens) / h
+		t.UsefulGoodput = float64(usefulTokens) / h
 	}
 	t.Availability = 1
 	if h > 0 && totalFLOPs > 0 {
@@ -1106,6 +1330,27 @@ func assemblePools(pools []*poolSim, h float64) ClusterMetrics {
 	// formula.
 	if totalRate > 0 && totalFLOPs > 0 {
 		t.BlastRadius = blastLoss / totalRate / totalFLOPs
+	}
+	// Cross-pool class totals: ratios recomputed from the merged raw
+	// accumulators, never averaged across pools.
+	if len(classTotals) > 0 {
+		t.Classes = make([]ClassMetrics, len(classTotals))
+		for i := range classTotals {
+			acc := &classTotals[i]
+			t.Classes[i] = ClassMetrics{
+				Class:          i,
+				Arrived:        acc.arrived,
+				Completed:      acc.completed,
+				Shed:           acc.shed,
+				TimedOut:       acc.timedOut,
+				Retries:        acc.retries,
+				Abandoned:      acc.abandoned,
+				TTFTAttainment: ratio(acc.ttftOK, acc.arrived),
+			}
+			if h > 0 {
+				t.Classes[i].Goodput = float64(acc.goodTokens) / h
+			}
+		}
 	}
 	return cm
 }

@@ -189,15 +189,82 @@ func preKVView(m Metrics) preKVMetrics {
 	}
 }
 
+// preOverloadMetrics is the exact pre-PR-9 Metrics field set, in
+// order: the preKV fields plus the PR-8 KV-memory fields. The KV golden
+// corpus was captured before Metrics gained the closed-loop overload
+// fields, so it pins this view verbatim; a separate corpus
+// (overload_goldens.txt) pins the full struct for client-loop-enabled
+// runs. With Config.Client, Admission, Autoscale, and Straggler zeroed
+// the overload fields are all zero, so this view loses nothing the KV
+// corpus could have checked.
+type preOverloadMetrics struct {
+	Arrived                 int
+	Completed               int
+	Dropped                 int
+	TTFT                    mathx.Summary
+	TBT                     mathx.Summary
+	E2E                     mathx.Summary
+	TTFTAttainment          float64
+	TTFTAttainmentCompleted float64
+	TBTAttainment           float64
+	PrefillUtilization      float64
+	DecodeUtilization       float64
+	TokensGenerated         int
+	FailureEvents           int
+	Requeued                int
+	DroppedOnFailure        int
+	Availability            float64
+	Goodput                 float64
+	BlastRadius             float64
+	NetTransfers            int
+	TransferBytes           mathx.Summary
+	TransferTime            mathx.Summary
+	NetworkBoundFraction    float64
+	KVPreemptions           int
+	KVCacheHitRate          float64
+	KVPeakBlocks            int
+	KVMeanBlocks            float64
+	KVRecomputeTokens       int
+}
+
+func preOverloadView(m Metrics) preOverloadMetrics {
+	return preOverloadMetrics{
+		Arrived: m.Arrived, Completed: m.Completed, Dropped: m.Dropped,
+		TTFT: m.TTFT, TBT: m.TBT, E2E: m.E2E,
+		TTFTAttainment:          m.TTFTAttainment,
+		TTFTAttainmentCompleted: m.TTFTAttainmentCompleted,
+		TBTAttainment:           m.TBTAttainment,
+		PrefillUtilization:      m.PrefillUtilization,
+		DecodeUtilization:       m.DecodeUtilization,
+		TokensGenerated:         m.TokensGenerated,
+		FailureEvents:           m.FailureEvents,
+		Requeued:                m.Requeued,
+		DroppedOnFailure:        m.DroppedOnFailure,
+		Availability:            m.Availability,
+		Goodput:                 m.Goodput,
+		BlastRadius:             m.BlastRadius,
+		NetTransfers:            m.NetTransfers,
+		TransferBytes:           m.TransferBytes,
+		TransferTime:            m.TransferTime,
+		NetworkBoundFraction:    m.NetworkBoundFraction,
+		KVPreemptions:           m.KVPreemptions,
+		KVCacheHitRate:          m.KVCacheHitRate,
+		KVPeakBlocks:            m.KVPeakBlocks,
+		KVMeanBlocks:            m.KVMeanBlocks,
+		KVRecomputeTokens:       m.KVRecomputeTokens,
+	}
+}
+
 // goldenView selects which slice of Metrics a corpus pins: each corpus
 // renders exactly the field set that existed when it was captured, so
 // later PRs can append Metrics fields without invalidating it.
 type goldenView int
 
 const (
-	viewLegacy goldenView = iota // pre-PR-5 fields (static, scheduler corpora)
-	viewPreKV                    // pre-PR-8 fields (network corpus)
-	viewFull                     // entire Metrics struct (kv corpus)
+	viewLegacy      goldenView = iota // pre-PR-5 fields (static, scheduler corpora)
+	viewPreKV                         // pre-PR-8 fields (network corpus)
+	viewPreOverload                   // pre-PR-9 fields (kv corpus)
+	viewFull                          // entire Metrics struct (overload corpus)
 )
 
 // goldenReport renders every scenario's ClusterMetrics in hex-float
@@ -212,6 +279,8 @@ func goldenReport(t *testing.T, scenarios []goldenScenario, view goldenView) str
 			return fmt.Sprintf("%x", legacyView(m))
 		case viewPreKV:
 			return fmt.Sprintf("%x", preKVView(m))
+		case viewPreOverload:
+			return fmt.Sprintf("%x", preOverloadView(m))
 		}
 		return fmt.Sprintf("%x", m)
 	}

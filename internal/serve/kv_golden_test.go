@@ -73,5 +73,5 @@ func kvGoldenScenarios() []goldenScenario {
 //
 //	LITEGPU_UPDATE_GOLDENS=1 go test ./internal/serve -run Golden
 func TestKVGoldens(t *testing.T) {
-	compareGoldens(t, kvGoldenFile, goldenReport(t, kvGoldenScenarios(), viewFull))
+	compareGoldens(t, kvGoldenFile, goldenReport(t, kvGoldenScenarios(), viewPreOverload))
 }

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"litegpu/internal/kv"
+	"litegpu/internal/straggler"
+	"litegpu/internal/trace"
+	"litegpu/internal/units"
+)
+
+// overloadGoldenFile extends the byte-identity corpus to closed-loop
+// runs. Like kv_goldens.txt it pins the overload machinery from its
+// first commit: the FULL Metrics struct — client-loop, admission,
+// autoscale, and per-class fields included — in %x, so any future
+// rework of deadlines, retry backoff, shedding, or the autoscaler must
+// reproduce these runs bit-for-bit or knowingly regenerate.
+const overloadGoldenFile = "testdata/overload_goldens.txt"
+
+// overloadScenario is one (deployment, materialized trace) pair: unlike
+// goldenScenario it carries its requests directly, because several
+// scenarios use multi-tenant traces that trace.Generator cannot
+// express.
+type overloadScenario struct {
+	name    string
+	cluster ClusterConfig
+	reqs    []trace.Request
+	horizon units.Seconds
+}
+
+// twoTenantTrace is the corpus's shared multi-tenant overload trace: a
+// paid tier (priority 1) and a heavier free tier (priority 0), with a
+// mid-run flash crowd tripling arrivals — the regime admission control
+// exists for.
+func twoTenantTrace(t *testing.T, paidRate, freeRate float64, horizon units.Seconds) []trace.Request {
+	t.Helper()
+	mg := trace.MultiGenerator{
+		Classes: []trace.TenantClass{
+			{Name: "paid", Gen: trace.ConversationWorkload(paidRate, 0), Priority: 1},
+			{Name: "free", Gen: trace.ConversationWorkload(freeRate, 0), Priority: 0},
+		},
+		Envelope: trace.Envelope{
+			Flash: []trace.FlashCrowd{{At: 60, Duration: 60, Factor: 3}},
+		},
+		Seed: 9,
+	}
+	reqs, err := mg.Generate(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func overloadScenarios(t *testing.T) []overloadScenario {
+	t.Helper()
+
+	// Closed-loop clients on a single-tenant overload: deadlines fire,
+	// retries back off with jitter, some clients abandon.
+	closed := smallConfig()
+	closed.Client = ClientConfig{
+		Default: ClientBehavior{Timeout: 20, Retries: 2, BackoffBase: 2, Jitter: 0.5},
+		Seed:    7,
+	}
+
+	tenants := twoTenantTrace(t, 10.0, 30.0, 150)
+
+	// Static two-tier gate: the free tier sheds at the queue limit, the
+	// paid tier always admits.
+	shedPrio := smallConfig()
+	shedPrio.Client = ClientConfig{
+		Default: ClientBehavior{Timeout: 30, Retries: 1, BackoffBase: 2},
+		Classes: []ClientBehavior{
+			{Timeout: 30, Retries: 2, BackoffBase: 1, Jitter: 0.25, TTFTSLO: 2},
+			{Timeout: 15, Retries: 1, BackoffBase: 4},
+		},
+		Seed: 7,
+	}
+	shedPrio.Admission = AdmissionConfig{Policy: AdmitPriority, QueueLimit: 24, MinPriority: 1}
+
+	// Adaptive gate on the same trace: per-priority queue-depth
+	// thresholds shed the lowest tier first.
+	shedAdpt := shedPrio
+	shedAdpt.Admission = AdmissionConfig{Policy: AdmitAdaptive, QueueLimit: 24, Levels: 2}
+
+	// Elastic decode fleet riding the flash crowd: instances beyond the
+	// floor start parked, warm up under load, drain back after the spike.
+	scale := smallConfig()
+	scale.DecodeInstances = 4
+	scale.MaxDecodeBatch = 16
+	scale.Autoscale = AutoscaleConfig{
+		Enabled: true, Interval: 5, HighWater: 6, LowWater: 1, MinInstances: 1, WarmUp: 10,
+	}
+
+	// Persistent stragglers: every instance draws a step-time factor at
+	// construction; the slow decode engine drags TBT.
+	slow := smallConfig()
+	slow.DecodeInstances = 2
+	slow.Straggler = StragglerConfig{
+		Jitter: straggler.Jitter{CV: 0.5, Tail: straggler.LogNormal},
+		Seed:   3,
+	}
+
+	// Everything at once, plus KV scarcity and accelerated failures:
+	// the chaos regime the control loops must stay deterministic in.
+	chaos := smallConfig()
+	chaos.DecodeInstances = 3
+	chaos.Client = shedPrio.Client
+	chaos.Admission = AdmissionConfig{Policy: AdmitAdaptive, QueueLimit: 24, Levels: 2}
+	chaos.Autoscale = AutoscaleConfig{
+		Enabled: true, Interval: 5, HighWater: 6, LowWater: 1, MinInstances: 1, WarmUp: 10,
+	}
+	chaos.Straggler = slow.Straggler
+	chaos.KV = kv.Config{Policy: kv.Recompute, Blocks: 600}
+	chaosCluster := clusterOf(chaos)
+	chaosCluster.Failures = acceleratedFailures(0)
+
+	single := func(cfg Config) ClusterConfig { return clusterOf(cfg) }
+	gen := func(g trace.Generator, span units.Seconds) []trace.Request {
+		reqs, err := g.Generate(span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reqs
+	}
+
+	return []overloadScenario{
+		{name: "ol-closed-loop-conv", cluster: single(closed), reqs: gen(trace.ConversationWorkload(90, 7), 120), horizon: 240},
+		{name: "ol-shed-priority", cluster: single(shedPrio), reqs: tenants, horizon: 240},
+		{name: "ol-shed-adaptive", cluster: single(shedAdpt), reqs: tenants, horizon: 240},
+		{name: "ol-autoscale-flash", cluster: single(scale), reqs: gen(trace.CodingWorkload(24, 13), 120), horizon: 300},
+		{name: "ol-straggler", cluster: single(slow), reqs: gen(trace.CodingWorkload(2, 11), 150), horizon: 240},
+		{name: "ol-chaos", cluster: chaosCluster, reqs: tenants, horizon: 240},
+	}
+}
+
+// TestOverloadGoldens pins the closed-loop simulator byte-for-byte.
+// Regenerate (only when knowingly changing overload semantics) with:
+//
+//	LITEGPU_UPDATE_GOLDENS=1 go test ./internal/serve -run Golden
+func TestOverloadGoldens(t *testing.T) {
+	var b strings.Builder
+	for _, sc := range overloadScenarios(t) {
+		cm, err := RunCluster(sc.cluster, sc.reqs, sc.horizon)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		fmt.Fprintf(&b, "== %s\n", sc.name)
+		for _, pm := range cm.Pools {
+			fmt.Fprintf(&b, "pool %s: %x\n", pm.Name, pm.Metrics)
+		}
+		fmt.Fprintf(&b, "total: %x\n", cm.Total)
+	}
+	compareGoldens(t, overloadGoldenFile, b.String())
+}

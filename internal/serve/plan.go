@@ -113,6 +113,35 @@ type PlanRequest struct {
 	KV         kv.Config
 	KVPolicies []kv.Config
 
+	// Client attaches closed-loop client behavior (deadlines, retries
+	// with backoff, abandonment) to every sizing simulation. The zero
+	// value keeps the historical open-loop clients. Sizing against
+	// impatient clients is more conservative than it looks: retries
+	// re-prefill, so an underprovisioned candidate fails the completion
+	// floor faster than an open-loop run would show.
+	Client ClientConfig
+
+	// Admission selects the overload gate the sizing simulations run
+	// behind (zero = admit everything, the historical behavior).
+	// Admissions, when non-empty, overrides it with a set of candidate
+	// gates: admission joins scheduler, fabric, and kv as a search axis
+	// — every (scheduler, fabric, kv, admission) tuple is sized
+	// independently and the cheapest feasible plan per Mtoken wins.
+	Admission  AdmissionConfig
+	Admissions []AdmissionConfig
+
+	// Autoscale attaches the elastic control loop to every sizing
+	// simulation (zero = all instances always live). An autoscaled plan
+	// sizes the provisioned fleet; MeanLiveInstances in the plan's
+	// metrics reports how much of it the control loop actually kept
+	// unparked.
+	Autoscale AutoscaleConfig
+
+	// Straggler attaches the persistent slow-instance model to every
+	// sizing simulation (zero = uniform instances), so the plan holds
+	// on a fleet with realistic performance spread.
+	Straggler StragglerConfig
+
 	// PrefillGPUs and DecodeGPUs set the tensor-parallel degree per
 	// instance; zero means the smallest degree the model fits on.
 	// Colocated policies run one instance kind at the larger of the two
@@ -266,16 +295,23 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	if len(kvcs) == 0 {
 		kvcs = []kv.Config{req.KV}
 	}
+	adms := req.Admissions
+	if len(adms) == 0 {
+		adms = []AdmissionConfig{req.Admission}
+	}
 	type candidate struct {
 		pol SchedulerPolicy
 		nc  NetworkConfig
 		kvc kv.Config
+		adm AdmissionConfig
 	}
 	var cands []candidate
 	for _, pol := range policies {
 		for _, nc := range fabrics {
 			for _, kvc := range kvcs {
-				cands = append(cands, candidate{pol: pol, nc: nc, kvc: kvc})
+				for _, adm := range adms {
+					cands = append(cands, candidate{pol: pol, nc: nc, kvc: kvc, adm: adm})
+				}
 			}
 		}
 	}
@@ -291,7 +327,7 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	}
 	outcomes, err := sweep.RunN(context.Background(), candWorkers, cands,
 		func(_ context.Context, _ int, c candidate) (polOutcome, error) {
-			plan, perr := planPolicy(req, slo, c.pol, c.nc, c.kvc, reqs, simHorizon, waveWorkers)
+			plan, perr := planPolicy(req, slo, c.pol, c.nc, c.kvc, c.adm, reqs, simHorizon, waveWorkers)
 			return polOutcome{plan: plan, err: perr}, nil
 		})
 	if err != nil {
@@ -326,21 +362,27 @@ func planWorkers(req PlanRequest) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// planPolicy sizes one (scheduling policy, fabric, kv policy)
-// candidate's cheapest feasible deployment, probing up to waveWorkers
-// doubling-ladder points concurrently. The fabric rides inside every
-// sizing simulation (nc zero = the historical infinite fabric) and
-// prices the final plan; the kv config rides inside every sizing
-// simulation too (kvc zero = the historical infinite-memory decode).
-func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig, kvc kv.Config, reqs []trace.Request, simHorizon units.Seconds, waveWorkers int) (Plan, error) {
+// planPolicy sizes one (scheduling policy, fabric, kv policy,
+// admission gate) candidate's cheapest feasible deployment, probing up
+// to waveWorkers doubling-ladder points concurrently. The fabric rides
+// inside every sizing simulation (nc zero = the historical infinite
+// fabric) and prices the final plan; the kv config rides inside every
+// sizing simulation too (kvc zero = the historical infinite-memory
+// decode), as do the request's closed-loop client, autoscaler, and
+// straggler settings and the candidate's admission gate.
+func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig, kvc kv.Config, adm AdmissionConfig, reqs []trace.Request, simHorizon units.Seconds, waveWorkers int) (Plan, error) {
 	baseCfg := Config{
 		GPU: req.GPU, Model: req.Model, Opts: req.Opts,
 		Scheduler:    pol,
 		PrefillChunk: req.PrefillChunk,
 		PrefillGPUs:  req.PrefillGPUs, DecodeGPUs: req.DecodeGPUs,
 		MaxPrefillBatch: req.MaxPrefillBatch, MaxDecodeBatch: req.MaxDecodeBatch,
-		Network: nc,
-		KV:      kvc,
+		Network:   nc,
+		KV:        kvc,
+		Client:    req.Client,
+		Admission: adm,
+		Autoscale: req.Autoscale,
+		Straggler: req.Straggler,
 	}
 	// Colocated policies derive InstanceGPUs = max(PrefillGPUs,
 	// DecodeGPUs) from baseCfg (an instance must fit both phases).

@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"litegpu/internal/hw"
 	"litegpu/internal/inference"
 	"litegpu/internal/model"
+	"litegpu/internal/straggler"
 	"litegpu/internal/trace"
 )
 
@@ -99,10 +101,10 @@ func TestPlanCapacityDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Config != b.Config || a.TotalGPUs != b.TotalGPUs {
+	if !reflect.DeepEqual(a.Config, b.Config) || a.TotalGPUs != b.TotalGPUs {
 		t.Errorf("repeated plans differ: %+v vs %+v", a.Config, b.Config)
 	}
-	if a.Metrics != b.Metrics {
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
 		t.Error("repeated plan metrics differ")
 	}
 }
@@ -203,7 +205,7 @@ func TestPlanCapacityAvailabilityDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Config != b.Config || a.Spares != b.Spares || a.Metrics != b.Metrics {
+	if !reflect.DeepEqual(a.Config, b.Config) || a.Spares != b.Spares || !reflect.DeepEqual(a.Metrics, b.Metrics) {
 		t.Error("repeated availability-aware plans differ")
 	}
 }
@@ -225,9 +227,49 @@ func TestPlanCapacityWorkerCountInvariant(t *testing.T) {
 		plans = append(plans, plan)
 	}
 	for i := 1; i < len(plans); i++ {
-		if plans[i].Config != plans[0].Config || plans[i].Metrics != plans[0].Metrics ||
+		if !reflect.DeepEqual(plans[i].Config, plans[0].Config) || !reflect.DeepEqual(plans[i].Metrics, plans[0].Metrics) ||
 			plans[i].Cost != plans[0].Cost || plans[i].TotalGPUs != plans[0].TotalGPUs {
 			t.Errorf("plan at worker count %d differs from sequential plan", []int{1, 3, 8}[i])
 		}
+	}
+}
+
+func TestPlanCapacityWithOverloadAxis(t *testing.T) {
+	// Closed-loop clients, an admission-gate axis, and the straggler
+	// model all ride inside the sizing simulations; the chosen plan
+	// carries its winning gate and must still be deterministic.
+	req := planRequest(20)
+	req.Client = ClientConfig{
+		Default: ClientBehavior{Timeout: 30, Retries: 1, BackoffBase: 1, Jitter: 0.5},
+		Seed:    3,
+	}
+	req.Admissions = []AdmissionConfig{
+		{},
+		{Policy: AdmitAdaptive, QueueLimit: 64, Levels: 2},
+	}
+	req.Straggler = StragglerConfig{Jitter: straggler.Jitter{CV: 0.1}, Seed: 2}
+	slo := SLO{TTFTAttainment: 0.95, TBTAttainment: 0.95, MinCompletion: 0.9}
+	a, err := PlanCapacity(req, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanCapacity(req, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Config, b.Config) || !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Error("overload-axis plan not deterministic")
+	}
+	if !reflect.DeepEqual(a.Config.Client, req.Client) {
+		t.Error("plan config dropped the client loop")
+	}
+	found := false
+	for _, adm := range req.Admissions {
+		if reflect.DeepEqual(a.Config.Admission, adm) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("plan admission %+v not among the candidates", a.Config.Admission)
 	}
 }

@@ -126,6 +126,13 @@ type scheduler interface {
 	// outstanding returns queued plus in-flight request count — the
 	// router's load figure.
 	outstanding() int
+	// scalable returns the [lo, hi) instance-id range the autoscaler may
+	// park and unpark: every instance for colocated policies, decode
+	// engines only for the static split (prefill capacity stays fixed).
+	scalable() (lo, hi int)
+	// idle reports whether instance id holds no in-flight work — the
+	// condition for parking it immediately instead of draining.
+	idle(id int) bool
 	// busy returns accumulated (prefill, decode) busy-seconds, summed in
 	// stable instance order so metric assembly stays byte-deterministic.
 	busy() (prefill, decode float64)

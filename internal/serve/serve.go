@@ -108,6 +108,27 @@ type Config struct {
 	// shares ref-counted blocks across requests that declare a common
 	// prefix. The Metrics gain KV statistics.
 	KV kv.Config
+
+	// Client closes the serving loop (PR 9): per-request deadlines,
+	// retries with capped exponential backoff plus seeded jitter, and
+	// abandonment, per tenant class. The zero value is the historical
+	// open loop — no request ever times out.
+	Client ClientConfig
+
+	// Admission is the pool's load-shedding gate. The zero value admits
+	// every arrival, however deep the backlog.
+	Admission AdmissionConfig
+
+	// Autoscale runs an elastic control loop over the pool's instances:
+	// parked capacity unparks under load after a cold-start warm-up and
+	// drains back when load falls. The zero value keeps the provisioned
+	// fleet always on.
+	Autoscale AutoscaleConfig
+
+	// Straggler plants persistently slow instances: each draws one
+	// step-time stretch factor from the jitter distribution at
+	// construction. The zero value leaves every instance nominal.
+	Straggler StragglerConfig
 }
 
 // colocShape returns the colocated deployment size: the explicit
@@ -158,6 +179,18 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.KV.Validate(); err != nil {
+		return err
+	}
+	if err := c.Client.Validate(); err != nil {
+		return err
+	}
+	if err := c.Admission.Validate(); err != nil {
+		return err
+	}
+	if err := c.Autoscale.Validate(); err != nil {
+		return err
+	}
+	if err := c.Straggler.Validate(); err != nil {
 		return err
 	}
 	if c.Scheduler.Colocated() {
@@ -304,6 +337,42 @@ type Metrics struct {
 	// policy). Pure overhead: these passes occupy prefill capacity but
 	// stamp no TTFT and generate no output.
 	KVRecomputeTokens int
+
+	// The remaining fields are closed-loop overload metrics (PR 9). With
+	// Config.Client, Admission, Autoscale, and Straggler zeroed they hold
+	// their zero values, and the golden corpora pin the earlier field
+	// sets byte-for-byte.
+
+	// ClientTimeouts counts client deadline expiries; one request can
+	// time out on several attempts.
+	ClientTimeouts int
+	// ClientRetries counts resubmissions after a timeout or a shed.
+	ClientRetries int
+	// Abandoned counts requests whose client gave up for good after
+	// exhausting its retries. Not included in Dropped.
+	Abandoned int
+	// Shed counts arrivals (and retries) rejected by admission control.
+	// Shed requests are counted in Arrived but can never complete.
+	Shed int
+	// ScaleUps and ScaleDowns count autoscaler actions (per instance,
+	// not per control tick).
+	ScaleUps   int
+	ScaleDowns int
+	// MeanLiveInstances is the time-averaged unparked instance count
+	// under autoscaling; zero when the autoscaler is off. Utilization
+	// fields stay normalized by the provisioned fleet — parked silicon
+	// is still paid for.
+	MeanLiveInstances float64
+	// UsefulGoodput is Goodput restricted to completions a client would
+	// have waited for: output tokens of requests finishing within their
+	// class's Client timeout, per second. Equal to Goodput when no
+	// timeout is configured, and (by construction) when deadlines are
+	// enforced; under ClientConfig.ObserveOnly it is the open-loop
+	// baseline's deadline-qualified goodput.
+	UsefulGoodput float64
+	// Classes breaks the run down per tenant class, reported when
+	// Client.Classes or admission control is configured; nil otherwise.
+	Classes []ClassMetrics
 }
 
 // Run simulates serving the request stream until the horizon, with no

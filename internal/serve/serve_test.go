@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"litegpu/internal/hw"
@@ -345,7 +346,7 @@ func TestDecodeCapClampedByKVCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mAbsurd != mClamped {
+	if !reflect.DeepEqual(mAbsurd, mClamped) {
 		t.Errorf("KV clamp not effective: absurd cap %+v vs clamped %+v", mAbsurd, mClamped)
 	}
 	if mAbsurd.Completed == 0 {

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"math"
 	"sort"
 
 	"litegpu/internal/trace"
@@ -170,33 +169,17 @@ func runShardedCluster(cc ClusterConfig, reqs []trace.Request, h float64) (Clust
 			// Barrier: every shard reaches the state a sequential run
 			// has when the arrival event (lowest priority at t) fires.
 			advanceShards(shards, t, true)
-			// Replicate route()'s JoinShortestQueue scan over the
-			// global pool list, byte for byte: same loads, same strict
-			// <, same lowest-index tie-break.
-			best := math.Inf(1)
-			tgt := -1
-			for gi, p := range pools {
-				outstanding := p.sched.outstanding()
-				live := 0
-				for id := 0; id < p.sched.numInstances(); id++ {
-					if p.sched.state(id).up {
-						live++
-					}
-				}
-				if live == 0 {
-					live = 1 // a fully-down pool still queues, at worst-case load
-					outstanding += 1 << 20
-				}
-				load := float64(outstanding) / float64(live)
-				if load < best {
-					best = load
-					tgt = gi
-				}
-			}
+			// Replicate route()'s JoinShortestQueue decision over the
+			// global pool list, byte for byte (same jsqPick), then run
+			// the arrival through the owning shard's frontend so
+			// admission control and the closed client loop behave
+			// identically under sharding — the shard's engine owns every
+			// event acceptArrival books (deadlines are pool-local).
+			tgt := jsqPick(pools)
 			p := pools[tgt]
-			p.m.Arrived++
-			p.sched.enqueue(r)
-			shards[poolShard[tgt]].sim.requestDispatch(t)
+			sub := shards[poolShard[tgt]].sim
+			sub.acceptArrival(p, r, t)
+			sub.requestDispatch(t)
 		}
 	}
 

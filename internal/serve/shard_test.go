@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -188,7 +189,7 @@ func TestPlanSnapshotReuseInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if on.Config != off.Config || on.Spares != off.Spares || on.TotalGPUs != off.TotalGPUs {
+	if !reflect.DeepEqual(on.Config, off.Config) || on.Spares != off.Spares || on.TotalGPUs != off.TotalGPUs {
 		t.Errorf("snapshot reuse changed the chosen deployment: %+v vs %+v", on.Config, off.Config)
 	}
 	if fmt.Sprintf("%x", on.Metrics) != fmt.Sprintf("%x", off.Metrics) {

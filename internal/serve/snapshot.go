@@ -270,16 +270,17 @@ type poolSnap struct {
 	freeXferIx []int32
 	liveXfers  []int32
 
-	m          Metrics
-	goodTokens int
-	ttfts      []float64
-	tbts       []float64
-	e2es       []float64
-	xferT      []float64
-	xferB      []float64
-	netSec     float64
-	ttftOK     int
-	tbtOK      int
+	m            Metrics
+	goodTokens   int
+	usefulTokens int
+	ttfts        []float64
+	tbts         []float64
+	e2es         []float64
+	xferT        []float64
+	xferB        []float64
+	netSec       float64
+	ttftOK       int
+	tbtOK        int
 
 	kvInUse     int
 	kvPeak      int
@@ -289,6 +290,12 @@ type poolSnap struct {
 	kvLookups   int
 	kvPreempt   int
 	kvRecompute int
+
+	trackArena []clientTrack
+	freeTracks []int32
+	retrySeq   int
+	clientRNG  uint64
+	classes    []classAcc
 
 	reqs []savedReq
 }
@@ -355,6 +362,7 @@ func (s *clusterSim) takeSnapshot(p *poolSim, id int, now float64) {
 		ps.liveXfers = append([]int32(nil), pl.liveXfers...)
 		ps.m = pl.m
 		ps.goodTokens = pl.goodTokens
+		ps.usefulTokens = pl.usefulTokens
 		ps.ttfts = append([]float64(nil), pl.ttfts...)
 		ps.tbts = append([]float64(nil), pl.tbts...)
 		ps.e2es = append([]float64(nil), pl.e2es...)
@@ -371,6 +379,13 @@ func (s *clusterSim) takeSnapshot(p *poolSim, id int, now float64) {
 		ps.kvLookups = pl.kvLookups
 		ps.kvPreempt = pl.kvPreempt
 		ps.kvRecompute = pl.kvRecompute
+		ps.trackArena = append([]clientTrack(nil), pl.trackArena...)
+		ps.freeTracks = append([]int32(nil), pl.freeTracks...)
+		ps.retrySeq = pl.retrySeq
+		if pl.clientRNG != nil {
+			ps.clientRNG = pl.clientRNG.State()
+		}
+		ps.classes = append([]classAcc(nil), pl.classes...)
 	}
 	s.snap = sn
 }
@@ -402,6 +417,7 @@ func (s *clusterSim) restoreSnapshot() {
 		pl.liveXfers = append(pl.liveXfers[:0], ps.liveXfers...)
 		pl.m = ps.m
 		pl.goodTokens = ps.goodTokens
+		pl.usefulTokens = ps.usefulTokens
 		pl.ttfts = append(pl.ttfts[:0], ps.ttfts...)
 		pl.tbts = append(pl.tbts[:0], ps.tbts...)
 		pl.e2es = append(pl.e2es[:0], ps.e2es...)
@@ -418,6 +434,32 @@ func (s *clusterSim) restoreSnapshot() {
 		pl.kvLookups = ps.kvLookups
 		pl.kvPreempt = ps.kvPreempt
 		pl.kvRecompute = ps.kvRecompute
+		pl.trackArena = append(pl.trackArena[:0], ps.trackArena...)
+		pl.freeTracks = append(pl.freeTracks[:0], ps.freeTracks...)
+		pl.retrySeq = ps.retrySeq
+		if pl.clientRNG != nil {
+			pl.clientRNG.SetState(ps.clientRNG)
+		}
+		pl.classes = append(pl.classes[:0], ps.classes...)
+		if pl.clientOn {
+			// The id→slot maps are rebuilt from the restored arena
+			// rather than saved: a live attempt is an open slot with an
+			// armed deadline, a cancellation tombstone is an open slot
+			// flagged cancelled with its deadline already consumed.
+			pl.tracks = make(map[int]int32, len(pl.trackArena))
+			pl.cancelled = make(map[int]int32)
+			for ti := range pl.trackArena {
+				tr := &pl.trackArena[ti]
+				if !tr.open {
+					continue
+				}
+				if tr.cancelled && tr.deadline == 0 {
+					pl.cancelled[tr.id] = int32(ti)
+				} else if tr.deadline != 0 {
+					pl.tracks[tr.id] = int32(ti)
+				}
+			}
+		}
 	}
 }
 

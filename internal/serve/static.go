@@ -159,6 +159,22 @@ func (sc *staticSched) outstanding() int {
 	return outstanding
 }
 
+// scalable exposes the decode pool to the autoscaler; prefill capacity
+// is fixed — the static split sizes it for ingest, and parking it would
+// starve TTFT rather than save meaningful decode capacity.
+func (sc *staticSched) scalable() (lo, hi int) {
+	return len(sc.prefills), len(sc.prefills) + len(sc.decodes)
+}
+
+func (sc *staticSched) idle(id int) bool {
+	if id < len(sc.prefills) {
+		e := &sc.prefills[id]
+		return len(e.batch) == 0 && e.re == nil
+	}
+	e := &sc.decodes[id-len(sc.prefills)]
+	return mathx.ExactEq(e.stepEnd, 0) && len(e.active) == 0
+}
+
 func (sc *staticSched) busy() (prefill, decode float64) {
 	for i := range sc.prefills {
 		prefill += sc.prefills[i].busy
@@ -174,7 +190,7 @@ func (sc *staticSched) dispatch(now float64) {
 	sc.dispatchPrefill(now)
 	for j := range sc.decodes {
 		e := &sc.decodes[j]
-		if e.up && mathx.ExactEq(e.stepEnd, 0) {
+		if e.up && !e.parked && mathx.ExactEq(e.stepEnd, 0) {
 			sc.startDecodeStep(j, now)
 		}
 	}
@@ -193,6 +209,13 @@ func (sc *staticSched) dispatchPrefill(now float64) {
 		// be recontiguous before decode resumes).
 		for e.freeAt <= now && sc.reprefillQ.Len() > 0 {
 			a := sc.reprefillQ.At(0)
+			if sc.pool.clientOn && sc.pool.isCancelled(a.req.ID) {
+				// The client timed out while the sequence waited for its
+				// KV rebuild: reclaim it instead of re-running prefill.
+				sc.reprefillQ.PopFront()
+				sc.pool.settleCancelled(a.req.ID, a)
+				continue
+			}
 			sc.one[0] = trace.Request{PromptTokens: kvTokens(a)}
 			dt := sc.prefillTime(sc.one[:])
 			if math.IsInf(dt, 1) {
@@ -200,16 +223,35 @@ func (sc *staticSched) dispatchPrefill(now float64) {
 				// pass: it can never resume.
 				sc.reprefillQ.PopFront()
 				sc.pool.m.Dropped++
+				sc.pool.clientSettle(a.req.ID)
 				sc.pool.freeActive(a)
 				continue
 			}
 			sc.reprefillQ.PopFront()
+			if e.slow > 0 {
+				dt *= e.slow
+			}
 			e.re = a
 			e.freeAt = now + dt
 			e.busy += dt
 			e.doneEv = sc.cs.eng.ScheduleCall(e.freeAt, prioPrefill+e.prio, sc.prefillDoneH, uint64(i))
 		}
 		for e.freeAt <= now && sc.prefillQ.Len() > 0 {
+			if sc.pool.clientOn {
+				// Purge cancelled prompts before staging a batch: their
+				// clients already gave up.
+				for sc.prefillQ.Len() > 0 {
+					r := sc.prefillQ.At(0)
+					if !sc.pool.isCancelled(r.ID) {
+						break
+					}
+					sc.prefillQ.PopFront()
+					sc.pool.settleCancelled(r.ID, nil)
+				}
+				if sc.prefillQ.Len() == 0 {
+					break
+				}
+			}
 			n := sc.cfg.MaxPrefillBatch
 			if n > sc.prefillQ.Len() {
 				n = sc.prefillQ.Len()
@@ -228,13 +270,17 @@ func (sc *staticSched) dispatchPrefill(now float64) {
 				}
 			}
 			if n < 1 {
-				sc.prefillQ.PopFront()
+				r := sc.prefillQ.PopFront()
 				sc.pool.m.Dropped++
+				sc.pool.clientSettle(r.ID)
 				e.batch = e.batch[:0]
 				continue
 			}
 			sc.prefillQ.DiscardFront(n)
 			e.batch = e.batch[:n]
+			if e.slow > 0 {
+				dt *= e.slow
+			}
 			e.freeAt = now + dt
 			e.busy += dt
 			e.doneEv = sc.cs.eng.ScheduleCall(e.freeAt, prioPrefill+e.prio, sc.prefillDoneH, uint64(i))
@@ -274,15 +320,21 @@ func (sc *staticSched) completePrefill(i int, now float64) {
 //litegpu:hotpath
 func (sc *staticSched) finishPrefillReq(i int, r trace.Request, now float64) {
 	p := sc.pool
+	if p.clientOn && p.isCancelled(r.ID) {
+		// The client timed out while the prompt was mid-prefill: the
+		// pass's compute is sunk, but no KV ships and no TTFT stamps.
+		p.settleCancelled(r.ID, nil)
+		return
+	}
 	if sc.cs.fab == nil {
-		p.recordTTFT(now - float64(r.Arrival))
+		p.recordTTFT(now-float64(r.Arrival), r.Class)
 		sc.decodeQ.PushBack(p.newActive(r))
 		return
 	}
 	dst := sc.pickDecodeDst()
 	dstID := len(sc.prefills) + dst
 	if p.nodeOf[i] == p.nodeOf[dstID] {
-		p.recordTTFT(now - float64(r.Arrival))
+		p.recordTTFT(now-float64(r.Arrival), r.Class)
 		sc.decodeQ.PushBack(p.newActive(r))
 		return
 	}
@@ -307,6 +359,18 @@ func (sc *staticSched) finishPrefillReq(i int, r trace.Request, now float64) {
 //litegpu:hotpath
 func (sc *staticSched) pickDecodeDst() int {
 	n := len(sc.decodes)
+	// Prefer instances actually taking traffic; fall back to any live
+	// one (a parked target still lands in the shared queue), then to the
+	// plain rotation. With autoscale off the first loop is the
+	// historical scan.
+	for k := 0; k < n; k++ {
+		j := (sc.decodeRR + k) % n
+		e := &sc.decodes[j]
+		if e.up && !e.parked && !e.draining {
+			sc.decodeRR = j + 1
+			return j
+		}
+	}
 	for k := 0; k < n; k++ {
 		j := (sc.decodeRR + k) % n
 		if sc.decodes[j].up {
@@ -335,6 +399,10 @@ func (sc *staticSched) deliverKV(a *activeReq, now float64) {
 //litegpu:hotpath
 func (sc *staticSched) finishReprefill(i int, a *activeReq, now float64) {
 	p := sc.pool
+	if p.clientOn && p.isCancelled(a.req.ID) {
+		p.settleCancelled(a.req.ID, a)
+		return
+	}
 	if sc.cs.fab == nil {
 		sc.decodeQ.PushFront(a)
 		return
@@ -370,15 +438,26 @@ func (sc *staticSched) swapReturn(a *activeReq, now float64) {
 //litegpu:hotpath
 func (sc *staticSched) startDecodeStep(j int, now float64) {
 	e := &sc.decodes[j]
+	p := sc.pool
 	// Admit from the queue up to capacity, then step if non-empty. With
 	// paged KV the head of the queue must also fit in free blocks;
 	// admission is head-of-line (no skipping), so a blocked head waits
-	// for completions or preemptions to free memory.
-	for len(e.active) < sc.decodeCap && sc.decodeQ.Len() > 0 {
-		if e.al != nil && !sc.pool.kvAdmit(e.al, sc.decodeQ.At(0), now) {
+	// for completions or preemptions to free memory. A draining instance
+	// admits nothing — it finishes its in-flight work and parks.
+	for !e.draining && len(e.active) < sc.decodeCap && sc.decodeQ.Len() > 0 {
+		a := sc.decodeQ.At(0)
+		if p.clientOn && p.isCancelled(a.req.ID) {
+			sc.decodeQ.PopFront()
+			if e.al != nil {
+				p.kvRelease(e.al, a, now)
+			}
+			p.settleCancelled(a.req.ID, a)
+			continue
+		}
+		if e.al != nil && !p.kvAdmit(e.al, a, now) {
 			break
 		}
-		a := sc.decodeQ.PopFront()
+		sc.decodeQ.PopFront()
 		if !a.admitted {
 			a.admitted = true
 			a.decodeAt = now
@@ -389,10 +468,16 @@ func (sc *staticSched) startDecodeStep(j int, now float64) {
 		sc.kvGrowActives(j, now)
 	}
 	if len(e.active) == 0 {
+		if e.draining {
+			p.parkInstance(&e.instanceState, now)
+		}
 		e.stepEnd = 0
 		return
 	}
 	dt := sc.decodeTime(len(e.active))
+	if e.slow > 0 {
+		dt *= e.slow
+	}
 	e.stepEnd = now + dt
 	e.busy += dt
 	e.doneEv = sc.cs.eng.ScheduleCall(e.stepEnd, prioDecode+e.prio, sc.decodeDoneH, uint64(j))
@@ -432,6 +517,7 @@ func (sc *staticSched) kvGrowActives(j int, now float64) {
 		// Sole occupant that cannot grow: it can never finish.
 		p.kvRelease(e.al, a, now)
 		p.m.Dropped++
+		p.clientSettle(a.req.ID)
 		p.freeActive(a)
 		e.active[0] = nil
 		e.active = e.active[:0]
@@ -494,9 +580,19 @@ func (sc *staticSched) onDecodeDone(now float64, arg uint64) {
 func (sc *staticSched) completeDecodeStep(j int, now float64) {
 	e := &sc.decodes[j]
 	e.doneEv = 0
-	// Filter survivors in place; completed requests recycle.
+	// Filter survivors in place; completed requests recycle. A batch
+	// member whose client timed out since the step began leaves without
+	// emitting — its step share is sunk cost, like a real cancelled
+	// stream's.
 	w := 0
 	for _, a := range e.active {
+		if sc.pool.clientOn && sc.pool.isCancelled(a.req.ID) {
+			if e.al != nil {
+				sc.pool.kvRelease(e.al, a, now)
+			}
+			sc.pool.settleCancelled(a.req.ID, a)
+			continue
+		}
 		if !sc.pool.emitToken(a, now) {
 			e.active[w] = a
 			w++
@@ -530,6 +626,7 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 			e.busy -= e.freeAt - now
 			if drop {
 				p.m.DroppedOnFailure++
+				p.clientSettle(a.req.ID)
 				p.freeActive(a)
 			} else {
 				p.m.Requeued++
@@ -543,6 +640,9 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 			e.busy -= e.freeAt - now
 			if drop {
 				p.m.DroppedOnFailure += len(e.batch)
+				for _, r := range e.batch {
+					p.clientSettle(r.ID)
+				}
 			} else {
 				p.m.Requeued += len(e.batch)
 				for i := len(e.batch) - 1; i >= 0; i-- {
@@ -574,6 +674,7 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 			if drop {
 				p.m.DroppedOnFailure += len(e.active)
 				for _, a := range e.active {
+					p.clientSettle(a.req.ID)
 					p.freeActive(a)
 				}
 			} else {
@@ -614,6 +715,7 @@ func (sc *staticSched) failXfers(id int, now float64, drop bool) {
 		sc.cs.fab.Cancel(rec.tid)
 		if drop {
 			p.m.DroppedOnFailure++
+			p.clientSettle(rec.a.req.ID)
 			p.freeActive(rec.a)
 			p.freeXfer(idx)
 			continue
@@ -647,7 +749,7 @@ func (sc *staticSched) failXfers(id int, now float64, drop bool) {
 			// the same bypass finishPrefillReq applies — deliver
 			// immediately over the node interconnect instead of
 			// retransmitting on the fabric.
-			p.recordTTFT(now - float64(rec.a.req.Arrival))
+			p.recordTTFT(now-float64(rec.a.req.Arrival), rec.a.req.Class)
 			sc.decodeQ.PushBack(rec.a)
 			p.freeXfer(idx)
 			continue

@@ -59,6 +59,12 @@ func (t Tail) String() string {
 	}
 }
 
+// Draw returns one (1 + X) step-time factor from the jitter
+// distribution, floored at 0.5. The serving simulator draws one factor
+// per instance from a seeded stream to model persistently slow
+// stragglers (serve.StragglerConfig).
+func (j Jitter) Draw(rng *mathx.RNG) float64 { return j.draw(rng) }
+
 // draw returns one (1 + X) factor, ≥ some small positive floor.
 func (j Jitter) draw(rng *mathx.RNG) float64 {
 	var x float64

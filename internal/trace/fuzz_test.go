@@ -95,3 +95,104 @@ func FuzzGeneratorStream(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTenantTraceStream drives the multi-tenant generator across class
+// counts, priorities, and envelope shapes. Every configuration that
+// validates must produce a merged stream with nondecreasing arrivals
+// inside the horizon, sequential IDs, class labels inside [0, classes),
+// class-consistent priorities — and MultiGenerator.Generate must be
+// byte-identical to MultiGenerator.Stream.
+func FuzzTenantTraceStream(f *testing.F) {
+	f.Add(uint(2), 4.0, 2.0, 10, 0.0, 0.0, 0.0, 0.0, 0.0, uint64(9))
+	f.Add(uint(3), 8.0, 1.0, 3, 0.5, 120.0, 50.0, 30.0, 4.0, uint64(42))
+	f.Add(uint(1), 50.0, 0.0, 0, 0.9, 10.0, 0.0, 0.0, 1.0, uint64(0))
+	f.Add(uint(9), 1e9, -2.0, -5, 2.0, -1.0, 5.0, -3.0, 0.25, uint64(7))
+
+	f.Fuzz(func(t *testing.T, classes uint, rateA, rateB float64, prioB int,
+		amp, period, flashAt, flashDur, flashFactor float64, seed uint64) {
+		if classes > 8 {
+			classes = classes%8 + 1
+		}
+		m := MultiGenerator{Seed: seed}
+		for i := uint(0); i < classes; i++ {
+			g := ConversationWorkload(rateA, 0)
+			prio := 0
+			if i%2 == 1 {
+				g = CodingWorkload(rateB, 0)
+				prio = prioB
+			}
+			m.Classes = append(m.Classes, TenantClass{Gen: g, Priority: prio})
+		}
+		if amp != 0 || flashFactor != 0 {
+			m.Envelope = Envelope{
+				DiurnalAmplitude: amp,
+				DiurnalPeriod:    units.Seconds(period),
+			}
+			if flashFactor != 0 {
+				m.Envelope.Flash = []FlashCrowd{{
+					At: units.Seconds(flashAt), Duration: units.Seconds(flashDur),
+					Factor: flashFactor,
+				}}
+			}
+		}
+		if m.Validate() != nil {
+			if _, err := m.Generate(1); err == nil {
+				t.Fatal("Generate succeeded on a MultiGenerator that fails Validate")
+			}
+			return
+		}
+		// Bound work per input: thinning generates at peak rate.
+		peak := m.Envelope.peak()
+		var effRate float64
+		for _, c := range m.Classes {
+			r := c.Gen.Rate
+			if c.Gen.BurstFactor > 1 {
+				r *= c.Gen.BurstFactor
+			}
+			effRate += r * peak
+		}
+		if effRate > 20000 || effRate != effRate {
+			return
+		}
+		const horizon = units.Seconds(0.5)
+
+		reqs, err := m.Generate(horizon)
+		if err != nil {
+			t.Fatalf("Generate failed on a validated MultiGenerator: %v", err)
+		}
+		prev := 0.0
+		for i, r := range reqs {
+			if r.ID != i {
+				t.Fatalf("request %d has ID %d, want sequential", i, r.ID)
+			}
+			at := float64(r.Arrival)
+			if at < prev || at > float64(horizon) {
+				t.Fatalf("request %d arrival %v outside [%v, %v]", i, at, prev, horizon)
+			}
+			prev = at
+			if r.Class < 0 || r.Class >= len(m.Classes) {
+				t.Fatalf("request %d class %d outside [0, %d)", i, r.Class, len(m.Classes))
+			}
+			if r.Priority != m.Classes[r.Class].Priority {
+				t.Fatalf("request %d priority %d disagrees with class %d", i, r.Priority, r.Class)
+			}
+		}
+
+		s, err := m.Stream(horizon)
+		if err != nil {
+			t.Fatalf("Stream failed on a validated MultiGenerator: %v", err)
+		}
+		for i := 0; ; i++ {
+			r, ok := s.Next()
+			if !ok {
+				if i != len(reqs) {
+					t.Fatalf("Stream produced %d requests, Generate %d", i, len(reqs))
+				}
+				break
+			}
+			if i >= len(reqs) || r != reqs[i] {
+				t.Fatalf("Stream diverges from Generate at request %d", i)
+			}
+		}
+	})
+}

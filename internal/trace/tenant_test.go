@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"testing"
+
+	"litegpu/internal/units"
+)
+
+func twoClassGen(seed uint64) MultiGenerator {
+	return MultiGenerator{
+		Classes: []TenantClass{
+			{Name: "free", Gen: ConversationWorkload(4, 0), Priority: 0},
+			{Name: "paid", Gen: CodingWorkload(2, 0), Priority: 10},
+		},
+		Seed: seed,
+	}
+}
+
+// A single-class MultiGenerator with a pinned class seed and no
+// envelope must reproduce the standalone Generator stream byte for
+// byte, modulo the class/priority stamp — the zero-value contract that
+// lets existing studies adopt MultiGenerator without re-baselining.
+func TestSingleClassMatchesGenerator(t *testing.T) {
+	g := CodingWorkload(3, 77)
+	m := MultiGenerator{Classes: []TenantClass{{Name: "only", Gen: g, Priority: 5}}}
+	const horizon = units.Seconds(200)
+	want, err := g.Generate(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Generate(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: multi %d vs plain %d", len(got), len(want))
+	}
+	for i := range got {
+		w := want[i]
+		w.Class, w.Priority = 0, 5
+		if got[i] != w {
+			t.Fatalf("request %d differs: %+v vs %+v", i, got[i], w)
+		}
+	}
+}
+
+// The merged stream must interleave classes in arrival order with
+// globally sequential IDs, valid class labels, per-class priorities —
+// and Generate must equal Stream.
+func TestMultiStreamMergeInvariants(t *testing.T) {
+	m := twoClassGen(9)
+	const horizon = units.Seconds(300)
+	reqs, err := m.Generate(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) < 100 {
+		t.Fatalf("suspiciously short merged trace: %d requests", len(reqs))
+	}
+	seen := make([]int, len(m.Classes))
+	prev := units.Seconds(0)
+	for i, r := range reqs {
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d, want sequential", i, r.ID)
+		}
+		if r.Arrival < prev || r.Arrival > horizon {
+			t.Fatalf("request %d arrival %v out of order or past horizon", i, r.Arrival)
+		}
+		prev = r.Arrival
+		if r.Class < 0 || r.Class >= len(m.Classes) {
+			t.Fatalf("request %d has invalid class %d", i, r.Class)
+		}
+		if r.Priority != m.Classes[r.Class].Priority {
+			t.Fatalf("request %d priority %d, want class %d's %d",
+				i, r.Priority, r.Class, m.Classes[r.Class].Priority)
+		}
+		seen[r.Class]++
+	}
+	for c, n := range seen {
+		if n == 0 {
+			t.Fatalf("class %d produced no arrivals", c)
+		}
+	}
+
+	s, err := m.Stream(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		r, ok := s.Next()
+		if !ok {
+			if i != len(reqs) {
+				t.Fatalf("stream ended after %d requests, Generate produced %d", i, len(reqs))
+			}
+			break
+		}
+		if r != reqs[i] {
+			t.Fatalf("stream diverges from Generate at %d: %+v vs %+v", i, r, reqs[i])
+		}
+	}
+}
+
+// A flash crowd must multiply the arrival intensity inside its window
+// and leave the rest of the horizon statistically untouched.
+func TestFlashCrowdShapesRate(t *testing.T) {
+	m := twoClassGen(11)
+	m.Envelope = Envelope{Flash: []FlashCrowd{{At: 100, Duration: 50, Factor: 4}}}
+	const horizon = units.Seconds(300)
+	reqs, err := m.Generate(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, out int
+	for _, r := range reqs {
+		if r.Arrival >= 100 && r.Arrival < 150 {
+			in++
+		} else {
+			out++
+		}
+	}
+	// Base rate 6/s: expect ~50·6·4=1200 inside, ~250·6=1500 outside.
+	inRate := float64(in) / 50
+	outRate := float64(out) / 250
+	if inRate < 3*outRate {
+		t.Fatalf("flash window rate %.1f/s not ≳ 3× the baseline %.1f/s", inRate, outRate)
+	}
+	if outRate < 4 || outRate > 8 {
+		t.Fatalf("baseline rate %.1f/s drifted from the configured 6/s", outRate)
+	}
+}
+
+// The diurnal swing must move mass from trough to crest.
+func TestDiurnalEnvelope(t *testing.T) {
+	m := MultiGenerator{
+		Classes: []TenantClass{{Gen: ConversationWorkload(10, 0)}},
+		Envelope: Envelope{
+			DiurnalAmplitude: 0.8,
+			DiurnalPeriod:    400,
+		},
+		Seed: 21,
+	}
+	reqs, err := m.Generate(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crest, trough int
+	for _, r := range reqs {
+		// sin peaks in the first half-period, troughs in the second.
+		if r.Arrival < 200 {
+			crest++
+		} else {
+			trough++
+		}
+	}
+	if crest < 2*trough {
+		t.Fatalf("crest half %d not ≫ trough half %d under 0.8 amplitude", crest, trough)
+	}
+}
+
+func TestMultiGeneratorValidate(t *testing.T) {
+	cases := []MultiGenerator{
+		{},
+		{Classes: []TenantClass{{Gen: Generator{}}}},
+		{Classes: []TenantClass{{Gen: CodingWorkload(1, 0), Priority: -1}}},
+		{Classes: []TenantClass{{Gen: CodingWorkload(1, 0)}},
+			Envelope: Envelope{DiurnalAmplitude: 1.5}},
+		{Classes: []TenantClass{{Gen: CodingWorkload(1, 0)}},
+			Envelope: Envelope{Flash: []FlashCrowd{{At: 1, Duration: 0, Factor: 2}}}},
+		{Classes: []TenantClass{{Gen: CodingWorkload(1, 0)}},
+			Envelope: Envelope{Flash: []FlashCrowd{{At: 1, Duration: 5, Factor: 0.5}}}},
+	}
+	for i, m := range cases {
+		if m.Validate() == nil {
+			t.Errorf("case %d: Validate accepted an invalid MultiGenerator", i)
+		}
+		if _, err := m.Generate(1); err == nil {
+			t.Errorf("case %d: Generate accepted an invalid MultiGenerator", i)
+		}
+	}
+	if err := twoClassGen(1).Validate(); err != nil {
+		t.Fatalf("valid MultiGenerator rejected: %v", err)
+	}
+}
+
+// Independent class streams: adding a class must not perturb the
+// arrivals of the existing ones (their requests keep identical arrival
+// times and token counts, only IDs renumber).
+func TestClassIndependence(t *testing.T) {
+	base := MultiGenerator{
+		Classes: []TenantClass{{Name: "a", Gen: CodingWorkload(2, 0)}},
+		Seed:    5,
+	}
+	grown := MultiGenerator{
+		Classes: []TenantClass{
+			{Name: "a", Gen: CodingWorkload(2, 0)},
+			{Name: "b", Gen: ConversationWorkload(3, 0)},
+		},
+		Seed: 5,
+	}
+	const horizon = units.Seconds(120)
+	one, err := base.Generate(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := grown.Generate(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onlyA []Request
+	for _, r := range two {
+		if r.Class == 0 {
+			onlyA = append(onlyA, r)
+		}
+	}
+	if len(onlyA) != len(one) {
+		t.Fatalf("class a yielded %d requests alone, %d merged", len(one), len(onlyA))
+	}
+	for i := range one {
+		a, b := one[i], onlyA[i]
+		a.ID, b.ID = 0, 0
+		if a != b {
+			t.Fatalf("class a request %d perturbed by adding class b: %+v vs %+v", i, one[i], onlyA[i])
+		}
+	}
+}

@@ -33,6 +33,14 @@ type Request struct {
 	// PrefixID names which shared prefix the request reuses; requests
 	// with equal nonzero PrefixID share prefix content.
 	PrefixID int
+	// Class is the tenant class index the request belongs to (its
+	// position in MultiGenerator.Classes); zero for single-tenant
+	// streams. Only multi-tenant serving features read it.
+	Class int
+	// Priority is the request's scheduling priority, copied from its
+	// tenant class (higher is more important); zero for single-tenant
+	// streams. Only admission control reads it.
+	Priority int
 }
 
 // Generator produces synthetic request streams. The zero value is not
