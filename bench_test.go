@@ -979,3 +979,46 @@ func BenchmarkServingSimClosedLoop(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServingSimObserved runs the identical closed-loop scenario
+// with a live observer: timeline sampling on every request event plus
+// 5-second probe ticks. Compare against BenchmarkServingSimClosedLoop
+// for the event-loop cost of telemetry capture — the observer-off cost
+// is pinned at zero by TestObserverDisabledAllocationFree, so only the
+// observed run pays.
+func BenchmarkServingSimObserved(b *testing.B) {
+	cfg := benchPagedConfig(b)
+	cfg.KV.PrefixCache = false
+	cfg.Client = ServeClientConfig{
+		Default: ClientBehavior{Timeout: 10, Retries: 2, BackoffBase: 1, Jitter: 0.5},
+		Seed:    11,
+	}
+	cfg.Admission = ServeAdmissionConfig{Policy: AdmitAdaptive, QueueLimit: 32, Levels: 2}
+	workload := MultiWorkload{
+		Classes: []TenantClass{
+			{Name: "paid", Gen: ConversationWorkload(6, 0), Priority: 1},
+			{Name: "free", Gen: ConversationWorkload(18, 0), Priority: 0},
+		},
+		Envelope: WorkloadEnvelope{Flash: []FlashCrowd{{At: 30, Duration: 60, Factor: 2}}},
+		Seed:     5,
+	}
+	reqs, err := workload.Generate(120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := NewObserver(ObserverOptions{Seed: 42, ProbeInterval: 5})
+		cc := ServeClusterConfig{Pools: []ServePool{{Config: cfg}}, Observer: rec}
+		if _, err := ServeCluster(cc, reqs, 240); err != nil {
+			b.Fatal(err)
+		}
+		if held, seen := rec.Sampled(); held == 0 || seen == 0 {
+			b.Fatal("observed benchmark sampled nothing")
+		}
+		if len(rec.Probes()) == 0 {
+			b.Fatal("observed benchmark probed nothing")
+		}
+	}
+}

@@ -100,14 +100,38 @@
 //
 //	litegpu-serve -plan -rate 20 -client-timeout 30 -admission auto -queue-limit 64
 //	litegpu-serve -plan -rate 20 -straggler-cv 0.2 -straggler-tail lognormal
+//
+// With -trace-out, the run records sampled per-request span timelines
+// and exports them as Chrome trace_event JSON (load the file in
+// Perfetto: pools render as processes, instances as threads, requests
+// as flow arrows). -probe-interval/-probe-out export windowed
+// time-series probes (queue depth, live instances, KV blocks, shed and
+// retry rates, goodput) as CSV or JSON, and -progress prints a
+// wall-clock heartbeat to stderr. Attaching the observer never changes
+// results — outputs are byte-identical with or without it:
+//
+//	litegpu-serve -flash 60:60:3 -admission adaptive -queue-limit 48 \
+//	    -trace-out trace.json -probe-interval 5 -probe-out probes.csv
+//	litegpu-serve -rate 50 -horizon 3600 -progress
+//
+// In plan mode, -explain prints the planner's per-candidate decision
+// trace (every sizing rung with its SLO verdict, and why the winner
+// won), and -plan-trace exports the same record as JSON:
+//
+//	litegpu-serve -plan -gpu Lite -model Llama3-8B -rate 20 -scheduler auto -explain
+//	litegpu-serve -plan -rate 20 -kv auto -plan-trace plan.json
+//
+// See docs/observability.md for the event taxonomy and export schemas.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"litegpu"
 )
@@ -166,6 +190,13 @@ func main() {
 	autoscaleWarmup := flag.Float64("autoscale-warmup", 0, "cold-start warm-up seconds before an unparked instance takes traffic (0 = default 30)")
 	stragglerCV := flag.Float64("straggler-cv", 0, "persistent per-instance slow-factor coefficient of variation (0 = uniform instances)")
 	stragglerTail := flag.String("straggler-tail", "gaussian", "straggler distribution shape: gaussian | exponential | lognormal")
+	traceOut := flag.String("trace-out", "", "export sampled request timelines as Chrome trace_event JSON to this file (load in Perfetto; see docs/observability.md)")
+	traceSamples := flag.Int("trace-samples", 0, "timeline reservoir capacity for -trace-out (0 = default 4096)")
+	probeInterval := flag.Float64("probe-interval", 0, "sample windowed time-series probes every this many simulated seconds (required for -probe-out)")
+	probeOut := flag.String("probe-out", "", "export time-series probes to this file (CSV, or JSON when the name ends in .json)")
+	progress := flag.Bool("progress", false, "print a heartbeat (simulated time + completed requests) to stderr every few wall-clock seconds")
+	explain := flag.Bool("explain", false, "plan mode: print the per-candidate decision trace (every sizing rung, why the winner won)")
+	planTraceOut := flag.String("plan-trace", "", "plan mode: export the decision trace as JSON to this file")
 	flag.Parse()
 
 	gpu, ok := litegpu.GPUByName(*gpuName)
@@ -426,6 +457,8 @@ func main() {
 				fatalf("-plan searches the spare count itself (see -min-availability); -spares only applies without -plan")
 			case "router", "drop-on-failure":
 				fatalf("-%s only applies without -plan", f.Name)
+			case "trace-out", "trace-samples", "probe-interval", "probe-out", "progress":
+				fatalf("-%s instruments a serving run; it only applies without -plan (use -explain / -plan-trace for planner telemetry)", f.Name)
 			}
 		})
 		slo := litegpu.CapacitySLO{
@@ -468,9 +501,30 @@ func main() {
 				req.DecodeGPUs = *decodeGPUs
 			}
 		})
+		var ptrace *litegpu.PlanTrace
+		if *explain || *planTraceOut != "" {
+			ptrace = &litegpu.PlanTrace{}
+			req.Trace = ptrace
+		}
 		p, err := litegpu.PlanCapacityRequest(req, slo)
-		if err != nil {
+		if err != nil && ptrace == nil {
 			fatalf("plan: %v", err)
+		}
+		if ptrace != nil {
+			// The decision trace exports even when no candidate was
+			// feasible — that is exactly when "why rejected" matters.
+			if *planTraceOut != "" {
+				writeExport(*planTraceOut, ptrace.WriteJSON)
+			}
+			if *explain {
+				fmt.Println("decision trace:")
+				if werr := ptrace.Render(os.Stdout); werr != nil {
+					fatalf("render decision trace: %v", werr)
+				}
+			}
+			if err != nil {
+				fatalf("plan: %v", err)
+			}
 		}
 		c := p.Config
 		fmt.Printf("capacity plan: %s serving %s at %.2f req/s (%s workload, seed %d)\n",
@@ -506,6 +560,13 @@ func main() {
 		}
 		fmt.Printf("  TCO: %v\n", p.Cost)
 		return
+	}
+
+	if *explain || *planTraceOut != "" {
+		fatalf("-explain and -plan-trace only apply with -plan")
+	}
+	if *probeOut != "" && *probeInterval <= 0 {
+		fatalf("-probe-out needs a positive -probe-interval")
 	}
 
 	// Arrivals stream into the simulator on demand (identical to a
@@ -572,9 +633,39 @@ func main() {
 		cc.Pools = append(cc.Pools, litegpu.ServePool{Name: g2.Name, Config: cfg2})
 	}
 
+	// Observability: one Recorder sees the whole cluster (attaching it
+	// is read-only — results are byte-identical with or without it).
+	var recorder *litegpu.Observer
+	if *traceOut != "" || *probeOut != "" || *progress {
+		o := litegpu.ObserverOptions{
+			Seed:          *seed,
+			SampleTargets: *traceSamples,
+			ProbeInterval: *probeInterval,
+		}
+		if *progress {
+			start := time.Now()
+			last := start
+			o.Heartbeat = func(now float64, completed int64) {
+				if time.Since(last) < 2*time.Second {
+					return
+				}
+				last = time.Now()
+				fmt.Fprintf(os.Stderr, "litegpu-serve: t=%.0fs simulated, %d completed (%.0fs elapsed)\n",
+					now, completed, time.Since(start).Seconds())
+			}
+		}
+		recorder = litegpu.NewObserver(o)
+		cc.Observer = recorder
+	}
+
+	simStart := time.Now()
 	cm, err := litegpu.ServeClusterFrom(cc, stream, litegpu.Seconds(*horizon)+120)
 	if err != nil {
 		fatalf("simulate: %v", err)
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "litegpu-serve: done, %d completed in %.1fs wall\n",
+			cm.Total.Completed, time.Since(simStart).Seconds())
 	}
 
 	if multi == nil {
@@ -607,6 +698,37 @@ func main() {
 	if len(cm.Pools) > 1 {
 		fmt.Printf("cluster total (router %s):\n", *router)
 		printMetrics("  ", cm.Total, failures.Enabled, kvc.Enabled())
+	}
+	if recorder != nil {
+		if *traceOut != "" {
+			writeExport(*traceOut, recorder.WriteTrace)
+			held, seen := recorder.Sampled()
+			fmt.Printf("timeline trace: %d of %d requests sampled → %s (load in Perfetto)\n", held, seen, *traceOut)
+		}
+		if *probeOut != "" {
+			write := recorder.WriteProbesCSV
+			if strings.HasSuffix(*probeOut, ".json") {
+				write = recorder.WriteProbesJSON
+			}
+			writeExport(*probeOut, write)
+			fmt.Printf("probes: %d samples at %.0fs intervals → %s\n", len(recorder.Probes()), *probeInterval, *probeOut)
+		}
+	}
+}
+
+// writeExport writes one telemetry artifact, dying with context on any
+// filesystem error — a truncated trace is worse than no trace.
+func writeExport(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalf("write %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("close %s: %v", path, err)
 	}
 }
 

@@ -37,12 +37,19 @@
 // stream into each cell's simulation on demand, so memory stays
 // bounded by the in-flight working set per worker regardless of
 // -horizon × -rates; see docs/performance.md.
+//
+// With -trace-out/-probe-interval/-probe-out, the grid's first cell
+// runs with an observer attached and exports its sampled request
+// timelines (Chrome trace_event JSON, Perfetto-loadable) and windowed
+// time-series probes; the instrumented cell's results stay
+// byte-identical to the uninstrumented run. See docs/observability.md.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -78,6 +85,9 @@ func main() {
 	timescale := flag.Float64("failure-timescale", 1, "failure-clock acceleration in the failure mode")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
+	traceOut := flag.String("trace-out", "", "instrument the grid's first cell and export its sampled request timelines as Chrome trace_event JSON to this file")
+	probeInterval := flag.Float64("probe-interval", 0, "time-series probe period in simulated seconds for the instrumented cell (required for -probe-out)")
+	probeOut := flag.String("probe-out", "", "export the instrumented cell's time-series probes to this file (CSV, or JSON when the name ends in .json)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -223,9 +233,47 @@ func main() {
 		}
 	}
 
+	if *probeOut != "" && *probeInterval <= 0 {
+		fatalf("-probe-out needs a positive -probe-interval")
+	}
+	var recorder *litegpu.Observer
+	if *traceOut != "" || *probeOut != "" {
+		recorder = litegpu.NewObserver(litegpu.ObserverOptions{
+			Seed:          *seed,
+			ProbeInterval: *probeInterval,
+		})
+		spec.Observer = recorder
+	}
+
 	cells, err := litegpu.Sweep(context.Background(), spec)
 	if err != nil {
 		fatalf("sweep: %v", err)
+	}
+
+	if recorder != nil {
+		writeExport := func(path string, write func(io.Writer) error) {
+			f, err := os.Create(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				fatalf("write %s: %v", path, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("close %s: %v", path, err)
+			}
+		}
+		if *traceOut != "" {
+			writeExport(*traceOut, recorder.WriteTrace)
+		}
+		if *probeOut != "" {
+			write := recorder.WriteProbesCSV
+			if strings.HasSuffix(*probeOut, ".json") {
+				write = recorder.WriteProbesJSON
+			}
+			writeExport(*probeOut, write)
+		}
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -111,6 +111,13 @@ type SweepSpec struct {
 
 	// Workers caps the worker pool (0 = GOMAXPROCS; 1 = sequential).
 	Workers int
+
+	// Observer, when non-nil, attaches to the grid's first cell (index
+	// 0). Cells run concurrently and an Observer is single-writer, so
+	// the sweep instruments one representative cell — the first in
+	// enumeration order — rather than racing the whole grid; the other
+	// cells run unobserved and unaffected.
+	Observer *Observer
 }
 
 func (s SweepSpec) withDefaults() SweepSpec {
@@ -286,6 +293,9 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 			cc := ServeClusterConfig{
 				Pools:    []ServePool{{Name: c.GPU, Config: c.Config}},
 				Failures: p.failure.Failures,
+			}
+			if idx == 0 {
+				cc.Observer = spec.Observer
 			}
 			// Each cell's failure processes get their own derived stream.
 			cc.Failures.Seed = mathx.DeriveSeed(spec.Seed^0xfa11, uint64(idx))

@@ -130,6 +130,7 @@ var simPackages = map[string]bool{
 	"sweep":   true,
 	"failure": true,
 	"kv":      true,
+	"obs":     true,
 }
 
 // IsSimPackage reports whether the import path names a simulation

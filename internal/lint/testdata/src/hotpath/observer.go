@@ -1,0 +1,54 @@
+// Fixture for the observer-hook idiom: telemetry hooks threaded
+// through //litegpu:hotpath functions must be a nil-guarded method
+// call on a concrete recorder pointer with scalar arguments only —
+// that form is free when the recorder is nil and allocation-free when
+// it is live. Boxing the payload into an interface or rendering it
+// with fmt turns the hook into a per-event allocation and is flagged.
+package hotpath
+
+import "fmt"
+
+// recorder mimics internal/obs.Recorder: a concrete pointer type whose
+// hook method takes only scalar words.
+type recorder struct{ events int }
+
+func (r *recorder) request(kind uint8, t float64, pool, inst int32, req int64, val float64) {
+	r.events++
+}
+
+type observedPool struct {
+	rec *recorder
+}
+
+// The sanctioned hook form: nil-guard on the concrete pointer, scalar
+// arguments, nothing formatted, nothing boxed.
+//
+//litegpu:hotpath
+func (p *observedPool) dispatch(now float64, id int64, tokens int) {
+	if p.rec != nil {
+		p.rec.request(1, now, 0, -1, id, float64(tokens))
+	}
+}
+
+// Formatting the event label defeats the zero-cost contract even
+// behind the nil guard.
+//
+//litegpu:hotpath
+func (p *observedPool) dispatchFormatted(now float64, id int64) {
+	if p.rec != nil {
+		label := fmt.Sprintf("req %d", id) // want "fmt.Sprintf allocates"
+		_ = label
+		p.rec.request(1, now, 0, -1, id, 0)
+	}
+}
+
+// Boxing the payload into an interface allocates per event; the hook
+// signature must stay scalar.
+//
+//litegpu:hotpath
+func (p *observedPool) dispatchBoxed(now float64, id int64) {
+	if p.rec != nil {
+		consume(id) // want "passing int64 as interface"
+		p.rec.request(1, now, 0, -1, id, 0)
+	}
+}

@@ -15,6 +15,7 @@ type Summary struct {
 	P50    float64
 	P90    float64
 	P99    float64
+	P999   float64
 }
 
 // Summarize computes summary statistics over xs. An empty sample yields a
@@ -46,6 +47,7 @@ func Summarize(xs []float64) Summary {
 	s.P50 = quantileSorted(sorted, 0.50)
 	s.P90 = quantileSorted(sorted, 0.90)
 	s.P99 = quantileSorted(sorted, 0.99)
+	s.P999 = quantileSorted(sorted, 0.999)
 	return s
 }
 

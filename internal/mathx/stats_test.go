@@ -201,7 +201,7 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
-// Property: Summarize min ≤ p50 ≤ p99 ≤ max for any sample.
+// Property: Summarize min ≤ p50 ≤ p999 ≤ max for any sample.
 func TestSummarizeOrderProperty(t *testing.T) {
 	f := func(raws []uint16) bool {
 		if len(raws) == 0 {
@@ -212,7 +212,7 @@ func TestSummarizeOrderProperty(t *testing.T) {
 			xs[i] = float64(v)
 		}
 		s := Summarize(xs)
-		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fill drives a recorder through n synthetic request lifecycles plus a
+// couple of cluster events, deterministically from the recorder's own
+// reservoir stream.
+func fill(r *Recorder, n int) {
+	for i := 0; i < n; i++ {
+		id := int64(i)
+		t := float64(i) * 0.25
+		r.Request(Arrival, t, 0, -1, id, 128)
+		r.Request(Enqueue, t, 0, -1, id, 0)
+		r.Request(PrefillStart, t+0.1, 0, int32(i%4), id, 8)
+		r.Request(PrefillEnd, t+0.3, 0, int32(i%4), id, 0)
+		r.Request(FirstToken, t+0.35, 0, int32(i%4), id, 0.35)
+		r.Request(Complete, t+1.5, 0, int32(i%4), id, 1.5)
+	}
+	r.Cluster(InstanceDown, 10, 0, 2, 1)
+	r.Cluster(InstanceUp, 30, 0, 2, 0)
+}
+
+func TestReservoirBoundsAndDeterminism(t *testing.T) {
+	r := New(Options{Seed: 42, SampleTargets: 64})
+	fill(r, 10_000)
+	held, seen := r.Sampled()
+	if held != 64 {
+		t.Fatalf("held %d timelines, want capacity 64", held)
+	}
+	if seen != 10_000 {
+		t.Fatalf("seen %d arrivals, want 10000", seen)
+	}
+	// Live map must exactly mirror the slots.
+	if len(r.live) != 64 {
+		t.Fatalf("live map has %d entries, want 64", len(r.live))
+	}
+	for id, idx := range r.live {
+		if r.slots[idx].id != id {
+			t.Fatalf("live[%d] -> slot %d which holds id %d", id, idx, r.slots[idx].id)
+		}
+	}
+
+	// Same seed, same feed: byte-identical exports.
+	r2 := New(Options{Seed: 42, SampleTargets: 64})
+	fill(r2, 10_000)
+	var a, b bytes.Buffer
+	if err := r.WriteTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed + feed produced different trace bytes")
+	}
+	if !json.Valid(a.Bytes()) {
+		t.Fatal("trace export is not valid JSON")
+	}
+
+	// A different seed samples a different subset.
+	r3 := New(Options{Seed: 43, SampleTargets: 64})
+	fill(r3, 10_000)
+	var c bytes.Buffer
+	if err := r3.WriteTrace(&c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different reservoir seeds produced identical samples")
+	}
+}
+
+func TestSmallRunKeepsEveryTimeline(t *testing.T) {
+	r := New(Options{Seed: 1, SampleTargets: 100})
+	fill(r, 40)
+	held, seen := r.Sampled()
+	if held != 40 || seen != 40 {
+		t.Fatalf("held/seen = %d/%d, want 40/40 (no eviction below capacity)", held, seen)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(buf.Bytes(), []byte(`"complete"`)); got != 40 {
+		t.Fatalf("trace shows %d completions, want 40", got)
+	}
+	// All 40 completions also produce flow arrows.
+	if got := bytes.Count(buf.Bytes(), []byte(`"ph":"f"`)); got != 40 {
+		t.Fatalf("trace shows %d flow-finish events, want 40", got)
+	}
+}
+
+func TestAdoptExtendsTimelineAcrossRetry(t *testing.T) {
+	r := New(Options{Seed: 5, SampleTargets: 8})
+	r.Request(Arrival, 0, 0, -1, 1, 64)
+	r.Request(Timeout, 20, 0, -1, 1, 0)
+	r.Adopt(1, 2)
+	r.Request(Retry, 22, 0, -1, 2, 0)
+	r.Request(Complete, 30, 0, 0, 2, 8)
+
+	if _, ok := r.live[1]; ok {
+		t.Fatal("old id still tracked after Adopt")
+	}
+	idx, ok := r.live[2]
+	if !ok {
+		t.Fatal("new id not tracked after Adopt")
+	}
+	s := r.slots[idx]
+	if s.id != 2 {
+		t.Fatalf("slot id = %d, want re-keyed to 2", s.id)
+	}
+	if len(s.events) != 4 {
+		t.Fatalf("timeline has %d events, want 4 (arrival..complete on one slot)", len(s.events))
+	}
+	// Adopting an untracked id is a no-op.
+	r.Adopt(99, 100)
+	if _, ok := r.live[100]; ok {
+		t.Fatal("Adopt of untracked id created a live entry")
+	}
+}
+
+func TestAdoptSurvivesEviction(t *testing.T) {
+	// After Adopt re-keys a slot, evicting that slot must remove the
+	// *new* id from the live map — the stale-alias regression.
+	r := New(Options{Seed: 7, SampleTargets: 4})
+	for i := int64(0); i < 4; i++ {
+		r.Request(Arrival, float64(i), 0, -1, i, 1)
+	}
+	r.Adopt(2, 1002)
+	for i := int64(4); i < 5000; i++ {
+		r.Request(Arrival, float64(i), 0, -1, i, 1)
+	}
+	if len(r.live) != 4 {
+		t.Fatalf("live map has %d entries, want 4", len(r.live))
+	}
+	for id, idx := range r.live {
+		if r.slots[idx].id != id {
+			t.Fatalf("stale alias: live[%d] -> slot holding id %d", id, r.slots[idx].id)
+		}
+	}
+}
+
+func TestProbeExports(t *testing.T) {
+	r := New(Options{Seed: 1, ProbeInterval: 5})
+	if r.ProbeInterval() != 5 {
+		t.Fatalf("ProbeInterval() = %v, want 5", r.ProbeInterval())
+	}
+	for i := 0; i < 4; i++ {
+		r.Probe(ProbeSample{
+			T: float64(i+1) * 5, Pool: 0,
+			Queue: 10 - i, Live: 2,
+			Arrived: 20 * (i + 1), Completed: 15 * (i + 1),
+			Shed: 2 * i, Tokens: 1000 * (i + 1),
+			PrefillBusy: float64(i+1) * 4, DecodeBusy: float64(i+1) * 8,
+			Events: uint64(100 * (i + 1)),
+		})
+		r.Probe(ProbeSample{T: float64(i+1) * 5, Pool: 1, Live: 1, Events: uint64(100 * (i + 1))})
+	}
+
+	var csv bytes.Buffer
+	if err := r.WriteProbesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(csv.String(), "\n"), "\n")
+	if len(lines) != 1+8 {
+		t.Fatalf("CSV has %d lines, want header + 8 rows", len(lines))
+	}
+	if lines[0] != strings.TrimSuffix(probeHeader, "\n") {
+		t.Fatalf("CSV header mismatch:\n%s", lines[0])
+	}
+	cols := strings.Count(lines[0], ",") + 1
+	for i, ln := range lines[1:] {
+		if got := strings.Count(ln, ",") + 1; got != cols {
+			t.Fatalf("row %d has %d columns, want %d: %s", i, got, cols, ln)
+		}
+	}
+	// First pool-0 window: 1000 tokens over 5s (prev implicit zero at t=0).
+	if !strings.HasPrefix(lines[1], "5,0,") || !strings.Contains(lines[1], ",200,") {
+		t.Fatalf("first pool-0 row lacks goodput 200 tok/s: %s", lines[1])
+	}
+	// Second pool-0 window is also a 1000-token delta.
+	if !strings.Contains(lines[3], ",200,") {
+		t.Fatalf("second pool-0 row lacks windowed goodput 200 tok/s: %s", lines[3])
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteProbesJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(js.Bytes()) {
+		t.Fatal("probe JSON export is not valid JSON")
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(js.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("JSON export has %d rows, want 8", len(rows))
+	}
+	if rows[2]["goodput"].(float64) != 200 {
+		t.Fatalf("JSON row 2 goodput = %v, want windowed 200", rows[2]["goodput"])
+	}
+}
+
+func TestPlanTraceRender(t *testing.T) {
+	pt := PlanTrace{Candidates: []PlanCandidate{
+		{
+			Scheduler: "static", Fabric: "nvlink",
+			Rungs: []PlanRung{
+				{Prefill: 1, Decode: 1, TTFTAttainment: 0.41, TBTAttainment: 0.90, Arrived: 100, Completed: 55},
+				{Prefill: 2, Decode: 2, TTFTAttainment: 0.97, TBTAttainment: 0.99, Arrived: 100, Completed: 98, Feasible: true},
+			},
+			Feasible: true, Winner: true,
+			PrefillInstances: 2, DecodeInstances: 2, TotalGPUs: 4,
+			CostPerMTok: 1.25, Reason: "cheapest feasible candidate",
+		},
+		{
+			Scheduler: "colocated",
+			Feasible:  false, Reason: "no sizing within budget met the TTFT SLO",
+		},
+	}}
+
+	var human bytes.Buffer
+	if err := pt.Render(&human); err != nil {
+		t.Fatal(err)
+	}
+	out := human.String()
+	for _, want := range []string{
+		"★ candidate static fabric=nvlink",
+		"try 1P+1D", "try 2P+2D", "meets SLO",
+		"= 4 GPUs", "$1.25/Mtok", "cheapest feasible candidate",
+		"✗ candidate colocated", "no sizing within budget",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered trace missing %q:\n%s", want, out)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := pt.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(js.Bytes()) {
+		t.Fatal("plan trace JSON is invalid")
+	}
+	var back PlanTrace
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Candidates) != 2 || !back.Candidates[0].Winner || back.Candidates[1].Feasible {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestPoolNames(t *testing.T) {
+	r := New(Options{})
+	if got := r.poolName(0); got != "pool" {
+		t.Fatalf("unnamed pool renders %q", got)
+	}
+	r.SetPoolName(2, "decode-eu")
+	if got := r.poolName(2); got != "decode-eu" {
+		t.Fatalf("named pool renders %q", got)
+	}
+	if got := r.poolName(1); got != "pool" {
+		t.Fatalf("gap pool renders %q", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"litegpu/internal/failure"
+	"litegpu/internal/obs"
 	"litegpu/internal/trace"
 	"litegpu/internal/units"
 )
@@ -114,6 +115,16 @@ type ClusterConfig struct {
 	// disagree.
 	Network NetworkConfig
 
+	// Observer, when non-nil, receives the run's telemetry: sampled
+	// per-request span timelines, instance-level events, and (when its
+	// probe interval is set) fixed-interval time-series samples. The
+	// observer is strictly read-only — attaching one never changes
+	// simulation results; the golden corpora pass byte-identical with an
+	// observer live. Attaching an observer forces the sequential
+	// execution path (which is byte-identical to the sharded one), so a
+	// single Recorder sees the whole cluster.
+	Observer *obs.Recorder
+
 	// Shards asks RunCluster to simulate pools in parallel across up to
 	// Shards workers (bounded by the pool count), using conservative
 	// time-window synchronization at router decisions. The result is
@@ -223,11 +234,12 @@ func RunCluster(cc ClusterConfig, reqs []trace.Request, horizon units.Seconds) (
 
 // shardable reports whether this configuration takes the sharded
 // execution path: parallelism was requested, there is more than one
-// pool to spread, and no fabric couples the pools through shared
-// links (fabric contention is global state every event can touch, so
-// fabric runs stay sequential).
+// pool to spread, no fabric couples the pools through shared links
+// (fabric contention is global state every event can touch, so fabric
+// runs stay sequential), and no observer is attached (a Recorder is a
+// single-writer cluster-wide view).
 func (cc ClusterConfig) shardable() bool {
-	return cc.Shards > 1 && len(cc.Pools) > 1 && !cc.resolvedNetwork().Enabled()
+	return cc.Shards > 1 && len(cc.Pools) > 1 && !cc.resolvedNetwork().Enabled() && cc.Observer == nil
 }
 
 // RunClusterFrom is RunCluster over a lazy request source: arrivals are

@@ -7,6 +7,7 @@ import (
 	"litegpu/internal/inference"
 	"litegpu/internal/kv"
 	"litegpu/internal/mathx"
+	"litegpu/internal/obs"
 	"litegpu/internal/sim"
 	"litegpu/internal/trace"
 )
@@ -218,6 +219,9 @@ func (c *colocSched) admit(e *colocEngine, now float64) {
 			}
 			if math.IsInf(c.prefillTime(c.one[:]), 1) {
 				c.q.PopFront()
+				if c.pool.rec != nil {
+					c.pool.rec.Request(obs.Drop, now, int32(c.pool.idx), -1, int64(a.req.ID), float64(a.req.PromptTokens))
+				}
 				c.pool.m.Dropped++
 				c.pool.clientSettle(a.req.ID)
 				c.pool.freeActive(a)
@@ -335,6 +339,16 @@ func (c *colocSched) startStep(j int, now float64) {
 	e.stepPrefill, e.stepChunk = nPrefill, chunkTokens
 	e.pBusy += pDt
 	e.dBusy += dDt
+	if c.pool.rec != nil && nPrefill > 0 {
+		if c.chunked {
+			head := e.pending.At(0)
+			c.pool.rec.Request(obs.PrefillStart, now, int32(c.pool.idx), int32(j), int64(head.req.ID), float64(chunkTokens))
+		} else {
+			for i := 0; i < nPrefill; i++ {
+				c.pool.rec.Request(obs.PrefillStart, now, int32(c.pool.idx), int32(j), int64(e.pending.At(i).req.ID), float64(nPrefill))
+			}
+		}
+	}
 	// Steps that emit tokens complete in the decode priority band;
 	// pure prefill passes complete in the prefill band, matching the
 	// static policy's same-timestamp phase order.
@@ -384,6 +398,9 @@ func (c *colocSched) kvGrowActives(j int, now float64) {
 			return
 		}
 		// Sole occupant that cannot grow: it can never finish.
+		if p.rec != nil {
+			p.rec.Request(obs.Drop, now, int32(p.idx), int32(j), int64(a.req.ID), float64(a.req.PromptTokens))
+		}
 		p.kvRelease(e.al, a, now)
 		p.m.Dropped++
 		p.clientSettle(a.req.ID)
@@ -406,6 +423,9 @@ func (c *colocSched) preempt(j int, victim *activeReq, now float64) {
 	e := &c.engines[j]
 	p.kvPreempt++
 	tokens := kvTokens(victim)
+	if p.rec != nil {
+		p.rec.Request(obs.KVPreempt, now, int32(p.idx), int32(j), int64(victim.req.ID), float64(tokens))
+	}
 	p.kvRelease(e.al, victim, now)
 	if c.cfg.KV.Policy == kv.Swap {
 		c.startSwap(j, victim, now, tokens)
@@ -438,6 +458,9 @@ func (c *colocSched) startSwap(j int, a *activeReq, now float64, tokens int) {
 	rec.tid = c.cs.fab.Start(p.epBase+j, 0, rec.bytes,
 		prioTransfer+c.engines[j].prio, c.cs.xferH, packArg(p.idx, int(idx)))
 	p.liveXfers = append(p.liveXfers, idx)
+	if p.rec != nil {
+		p.rec.Request(obs.KVSwapOut, now, int32(p.idx), int32(j), int64(a.req.ID), rec.bytes)
+	}
 }
 
 // swapReturn puts a preempted sequence back at the head of the queue
@@ -496,9 +519,14 @@ func (c *colocSched) completeStep(j int, now float64) {
 					}
 					c.pool.settleCancelled(head.req.ID, head)
 				} else {
+					if c.pool.rec != nil {
+						c.pool.rec.Request(obs.PrefillEnd, now, int32(c.pool.idx), int32(j), int64(head.req.ID), 0)
+					}
 					c.finishPrefill(head, now)
 					e.active = append(e.active, head)
 				}
+			} else if c.pool.rec != nil {
+				c.pool.rec.Request(obs.Chunk, now, int32(c.pool.idx), int32(j), int64(head.req.ID), float64(head.promptLeft))
 			}
 		} else {
 			for k := 0; k < e.stepPrefill; k++ {
@@ -510,6 +538,9 @@ func (c *colocSched) completeStep(j int, now float64) {
 					}
 					c.pool.settleCancelled(a.req.ID, a)
 					continue
+				}
+				if c.pool.rec != nil {
+					c.pool.rec.Request(obs.PrefillEnd, now, int32(c.pool.idx), int32(j), int64(a.req.ID), 0)
 				}
 				c.finishPrefill(a, now)
 				e.active = append(e.active, a)
@@ -571,6 +602,18 @@ func (c *colocSched) fail(id int, now float64, drop bool) {
 	}
 	n := e.pending.Len() + len(e.active)
 	if n > 0 {
+		if c.pool.rec != nil {
+			k := obs.Requeue
+			if drop {
+				k = obs.Drop
+			}
+			for i := 0; i < e.pending.Len(); i++ {
+				c.pool.rec.Request(k, now, int32(c.pool.idx), int32(id), int64(e.pending.At(i).req.ID), 0)
+			}
+			for _, a := range e.active {
+				c.pool.rec.Request(k, now, int32(c.pool.idx), int32(id), int64(a.req.ID), 0)
+			}
+		}
 		if drop {
 			c.pool.m.DroppedOnFailure += n
 			for e.pending.Len() > 0 {

@@ -9,6 +9,7 @@ import (
 	"litegpu/internal/kv"
 	"litegpu/internal/mathx"
 	"litegpu/internal/netsim"
+	"litegpu/internal/obs"
 	"litegpu/internal/sim"
 	"litegpu/internal/trace"
 	"litegpu/internal/units"
@@ -31,6 +32,12 @@ const (
 	prioTransfer = 4 << 20 // + destination instance index: fabric deliveries
 	prioClient   = 5 << 20 // + pool index base: client deadlines/retries; +1 for autoscale ticks
 	prioDispatch = 1 << 30
+	// prioProbe orders observability probe ticks after the dispatch pass
+	// at their timestamp, so probes sample settled post-dispatch state.
+	// Probe events are read-only and exist only with an observer
+	// attached; the engine's insertion-seq tiebreak is monotonic, so the
+	// extra events never reorder simulation events at other priorities.
+	prioProbe = prioDispatch + 1
 )
 
 // activeReq is one request's live state as it moves through a
@@ -202,6 +209,11 @@ type poolSim struct {
 	scaleHi  int
 	scaleMin int
 
+	// rec is the cluster's observer, mirrored per pool so hook sites
+	// reach it without chasing the clusterSim; nil means observability
+	// off, and every hook is guarded on that nil.
+	rec *obs.Recorder
+
 	m          Metrics
 	goodTokens int
 	// usefulTokens counts goodTokens whose request completed within its
@@ -333,6 +345,9 @@ func (p *poolSim) kvAdmit(al *kv.Allocator, a *activeReq, now float64) bool {
 	if d := al.InUse() - before; d != 0 {
 		p.kvAccount(now, d)
 	}
+	if p.rec != nil {
+		p.rec.Request(obs.KVAlloc, now, int32(p.idx), -1, int64(a.req.ID), float64(p.kvInUse))
+	}
 	return true
 }
 
@@ -347,6 +362,9 @@ func (p *poolSim) kvGrow(al *kv.Allocator, a *activeReq, now float64) bool {
 	}
 	if d := al.InUse() - before; d != 0 {
 		p.kvAccount(now, d)
+		if p.rec != nil {
+			p.rec.Request(obs.KVGrow, now, int32(p.idx), -1, int64(a.req.ID), float64(p.kvInUse))
+		}
 	}
 	return true
 }
@@ -365,6 +383,9 @@ func (p *poolSim) kvRelease(al *kv.Allocator, a *activeReq, now float64) {
 	a.kvSeq = -1
 	if d := al.InUse() - before; d != 0 {
 		p.kvAccount(now, d)
+	}
+	if p.rec != nil {
+		p.rec.Request(obs.KVRelease, now, int32(p.idx), -1, int64(a.req.ID), float64(p.kvInUse))
 	}
 }
 
@@ -408,6 +429,9 @@ func (p *poolSim) emitToken(a *activeReq, now float64) bool {
 	if !a.emitted {
 		a.emitted = true
 		a.firstAt = now
+		if p.rec != nil {
+			p.rec.Request(obs.FirstToken, now, int32(p.idx), -1, int64(a.req.ID), now-float64(a.req.Arrival))
+		}
 	}
 	if a.remaining > 0 {
 		return false
@@ -436,6 +460,9 @@ func (p *poolSim) emitToken(a *activeReq, now float64) bool {
 		p.tbtOK++
 	}
 	p.e2es = append(p.e2es, now-float64(a.req.Arrival))
+	if p.rec != nil {
+		p.rec.Request(obs.Complete, now, int32(p.idx), -1, int64(a.req.ID), now-float64(a.req.Arrival))
+	}
 	return true
 }
 
@@ -490,6 +517,10 @@ type clusterSim struct {
 	retryH    sim.Handler
 	scaleH    sim.Handler
 	warmH     sim.Handler
+	probeH    sim.Handler
+
+	// rec is the attached observer (nil = observability off).
+	rec *obs.Recorder
 
 	failMTTR     float64
 	failRecovery float64
@@ -542,6 +573,8 @@ func newClusterSimAt(cc ClusterConfig, horizon float64, poolBase, instBase int) 
 	s.retryH = s.onRetry
 	s.scaleH = s.onScale
 	s.warmH = s.onWarm
+	s.probeH = s.onProbe
+	s.rec = cc.Observer
 	fp := cc.Failures.params()
 	scale := cc.Failures.timeScale()
 	s.failMTTR = float64(fp.MTTR)
@@ -572,6 +605,10 @@ func newClusterSimAt(cc ClusterConfig, horizon float64, poolBase, instBase int) 
 		}
 		p.eng = s.eng
 		p.prioBase = poolIndexBase(poolBase + pi)
+		p.rec = s.rec
+		if s.rec != nil {
+			s.rec.SetPoolName(pi, name)
+		}
 		if cfg.Client.enabled() {
 			p.clientOn = true
 			p.tracks = make(map[int]int32)
@@ -702,6 +739,13 @@ func (s *clusterSim) onXfer(now float64, arg uint64) {
 	p.xferB = append(p.xferB, rec.bytes)
 	p.netSec += dur
 	p.m.NetTransfers++
+	if p.rec != nil {
+		id := int64(rec.req.ID)
+		if rec.a != nil {
+			id = int64(rec.a.req.ID)
+		}
+		p.rec.Request(obs.XferDeliver, now, int32(p.idx), rec.dst, id, dur)
+	}
 	switch rec.kind {
 	case xferKV:
 		a := rec.a
@@ -724,6 +768,9 @@ func (s *clusterSim) onXfer(now float64, arg uint64) {
 			// rode the transfer by value, so the tombstone settles here.
 			p.settleCancelled(rec.req.ID, nil)
 			break
+		}
+		if p.rec != nil {
+			p.rec.Request(obs.Enqueue, now, int32(p.idx), -1, int64(rec.req.ID), 0)
 		}
 		p.sched.enqueue(rec.req)
 	}
@@ -751,6 +798,9 @@ func (s *clusterSim) startIngress(p *poolSim, r trace.Request, now float64) {
 	}
 	rec.tid = s.fab.Start(0, p.epBase+inst, rec.bytes,
 		prioTransfer+p.sched.state(inst).prio, s.xferH, packArg(p.idx, int(idx)))
+	if p.rec != nil {
+		p.rec.Request(obs.XferStart, now, int32(p.idx), -1, int64(r.ID), rec.bytes)
+	}
 }
 
 // poolIndexBase spaces engine priorities so that pool 0's engines
@@ -844,6 +894,51 @@ func (s *clusterSim) start(src RequestSource) {
 				prioClient+p.prioBase+1, s.scaleH, packArg(p.idx, 0))
 		}
 	}
+
+	// Observability probe ticks: one cluster-wide periodic sampler,
+	// read-only, firing after the dispatch pass at its timestamp.
+	if s.rec != nil {
+		if iv := s.rec.ProbeInterval(); iv > 0 && iv <= s.h {
+			s.eng.ScheduleCall(iv, prioProbe, s.probeH, 0)
+		}
+	}
+}
+
+// onProbe samples every pool's instantaneous state plus the cumulative
+// counters into the observer, then re-arms itself. It is read-only:
+// no RNG draws, no simulation state mutated.
+func (s *clusterSim) onProbe(now float64, _ uint64) {
+	inFlight := 0
+	if s.fab != nil {
+		inFlight = s.fab.InFlight()
+	}
+	fired := s.eng.EventsFired()
+	for _, p := range s.pools {
+		live, parked := 0, 0
+		for id := 0; id < p.sched.numInstances(); id++ {
+			st := p.sched.state(id)
+			switch {
+			case st.parked:
+				parked++
+			case st.up:
+				live++
+			}
+		}
+		pBusy, dBusy := p.sched.busy()
+		s.rec.Probe(obs.ProbeSample{
+			T: now, Pool: int32(p.idx),
+			Queue: p.sched.outstanding(), Live: live, Parked: parked,
+			KVBlocks: p.kvInUse, NetInFlight: inFlight,
+			PrefillBusy: pBusy, DecodeBusy: dBusy,
+			Arrived: p.m.Arrived, Completed: p.m.Completed,
+			Shed: p.m.Shed, Retries: p.m.ClientRetries,
+			Abandoned: p.m.Abandoned, Timeouts: p.m.ClientTimeouts,
+			Tokens: p.m.TokensGenerated, Events: fired,
+		})
+	}
+	if next := now + s.rec.ProbeInterval(); next <= s.h {
+		s.eng.ScheduleCall(next, prioProbe, s.probeH, 0)
+	}
 }
 
 // scheduleArrival books the next pulled request's arrival event,
@@ -933,10 +1028,16 @@ func (s *clusterSim) acceptArrival(p *poolSim, r trace.Request, now float64) {
 	if p.classesOn {
 		p.classAt(r.Class).arrived++
 	}
+	if p.rec != nil {
+		p.rec.Request(obs.Arrival, now, int32(p.idx), -1, int64(r.ID), float64(r.PromptTokens))
+	}
 	if p.cfg.Admission.Policy != AdmitAll && p.shouldShed(r) {
 		p.m.Shed++
 		if p.classesOn {
 			p.classAt(r.Class).shed++
+		}
+		if p.rec != nil {
+			p.rec.Request(obs.Shed, now, int32(p.idx), -1, int64(r.ID), float64(r.Class))
 		}
 		// A shed closed-loop client behaves like a timed-out one: it
 		// retries with backoff while it has budget, then gives up for
@@ -955,6 +1056,9 @@ func (s *clusterSim) acceptArrival(p *poolSim, r trace.Request, now float64) {
 				if p.classesOn {
 					p.classAt(r.Class).abandoned++
 				}
+				if p.rec != nil {
+					p.rec.Request(obs.Abandon, now, int32(p.idx), -1, int64(r.ID), 0)
+				}
 			}
 		}
 		return
@@ -969,6 +1073,9 @@ func (s *clusterSim) acceptArrival(p *poolSim, r trace.Request, now float64) {
 	if s.fab != nil && len(s.pools) > 1 {
 		s.startIngress(p, r, now)
 		return
+	}
+	if p.rec != nil {
+		p.rec.Request(obs.Enqueue, now, int32(p.idx), -1, int64(r.ID), 0)
 	}
 	p.sched.enqueue(r)
 }
@@ -1046,6 +1153,9 @@ func (s *clusterSim) failInstance(p *poolSim, id int, now float64) {
 	st.up = false
 	st.downAt = now
 	p.m.FailureEvents++
+	if p.rec != nil {
+		p.rec.Cluster(obs.InstanceDown, now, int32(p.idx), int32(id), float64(p.sched.gpus(id)))
+	}
 	if st.doneEv != 0 {
 		s.eng.Cancel(st.doneEv)
 		st.doneEv = 0
@@ -1091,6 +1201,9 @@ func (s *clusterSim) recoverInstance(p *poolSim, id int, now float64) {
 	st := p.sched.state(id)
 	st.up = true
 	st.downSec += now - st.downAt
+	if p.rec != nil {
+		p.rec.Cluster(obs.InstanceUp, now, int32(p.idx), int32(id), now-st.downAt)
+	}
 	p.sched.recovered(id, now)
 	s.scheduleFailure(p, id, now)
 	s.requestDispatch(now)

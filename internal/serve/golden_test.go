@@ -87,6 +87,29 @@ func goldenScenarios() []goldenScenario {
 	}
 }
 
+// legacySummary is the exact pre-PR-10 mathx.Summary field set, in
+// order. Every golden corpus below predates the P999 quantile, and %x
+// renders every Summary field — so the frozen views embed this struct,
+// verbatim, and new corpora pin the full Summary.
+type legacySummary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P99    float64
+}
+
+func legacySum(s mathx.Summary) legacySummary {
+	return legacySummary{
+		N: s.N, Mean: s.Mean, Stddev: s.Stddev,
+		Min: s.Min, Max: s.Max,
+		P50: s.P50, P90: s.P90, P99: s.P99,
+	}
+}
+
 // legacyMetrics is the exact pre-PR-5 Metrics field set, in order.
 // The static and scheduler golden corpora were captured before Metrics
 // gained the network-transfer fields, and %x renders every field — so
@@ -98,9 +121,9 @@ type legacyMetrics struct {
 	Arrived                 int
 	Completed               int
 	Dropped                 int
-	TTFT                    mathx.Summary
-	TBT                     mathx.Summary
-	E2E                     mathx.Summary
+	TTFT                    legacySummary
+	TBT                     legacySummary
+	E2E                     legacySummary
 	TTFTAttainment          float64
 	TTFTAttainmentCompleted float64
 	TBTAttainment           float64
@@ -118,7 +141,7 @@ type legacyMetrics struct {
 func legacyView(m Metrics) legacyMetrics {
 	return legacyMetrics{
 		Arrived: m.Arrived, Completed: m.Completed, Dropped: m.Dropped,
-		TTFT: m.TTFT, TBT: m.TBT, E2E: m.E2E,
+		TTFT: legacySum(m.TTFT), TBT: legacySum(m.TBT), E2E: legacySum(m.E2E),
 		TTFTAttainment:          m.TTFTAttainment,
 		TTFTAttainmentCompleted: m.TTFTAttainmentCompleted,
 		TBTAttainment:           m.TBTAttainment,
@@ -145,9 +168,9 @@ type preKVMetrics struct {
 	Arrived                 int
 	Completed               int
 	Dropped                 int
-	TTFT                    mathx.Summary
-	TBT                     mathx.Summary
-	E2E                     mathx.Summary
+	TTFT                    legacySummary
+	TBT                     legacySummary
+	E2E                     legacySummary
 	TTFTAttainment          float64
 	TTFTAttainmentCompleted float64
 	TBTAttainment           float64
@@ -161,15 +184,15 @@ type preKVMetrics struct {
 	Goodput                 float64
 	BlastRadius             float64
 	NetTransfers            int
-	TransferBytes           mathx.Summary
-	TransferTime            mathx.Summary
+	TransferBytes           legacySummary
+	TransferTime            legacySummary
 	NetworkBoundFraction    float64
 }
 
 func preKVView(m Metrics) preKVMetrics {
 	return preKVMetrics{
 		Arrived: m.Arrived, Completed: m.Completed, Dropped: m.Dropped,
-		TTFT: m.TTFT, TBT: m.TBT, E2E: m.E2E,
+		TTFT: legacySum(m.TTFT), TBT: legacySum(m.TBT), E2E: legacySum(m.E2E),
 		TTFTAttainment:          m.TTFTAttainment,
 		TTFTAttainmentCompleted: m.TTFTAttainmentCompleted,
 		TBTAttainment:           m.TBTAttainment,
@@ -183,8 +206,8 @@ func preKVView(m Metrics) preKVMetrics {
 		Goodput:                 m.Goodput,
 		BlastRadius:             m.BlastRadius,
 		NetTransfers:            m.NetTransfers,
-		TransferBytes:           m.TransferBytes,
-		TransferTime:            m.TransferTime,
+		TransferBytes:           legacySum(m.TransferBytes),
+		TransferTime:            legacySum(m.TransferTime),
 		NetworkBoundFraction:    m.NetworkBoundFraction,
 	}
 }
@@ -201,9 +224,9 @@ type preOverloadMetrics struct {
 	Arrived                 int
 	Completed               int
 	Dropped                 int
-	TTFT                    mathx.Summary
-	TBT                     mathx.Summary
-	E2E                     mathx.Summary
+	TTFT                    legacySummary
+	TBT                     legacySummary
+	E2E                     legacySummary
 	TTFTAttainment          float64
 	TTFTAttainmentCompleted float64
 	TBTAttainment           float64
@@ -217,8 +240,8 @@ type preOverloadMetrics struct {
 	Goodput                 float64
 	BlastRadius             float64
 	NetTransfers            int
-	TransferBytes           mathx.Summary
-	TransferTime            mathx.Summary
+	TransferBytes           legacySummary
+	TransferTime            legacySummary
 	NetworkBoundFraction    float64
 	KVPreemptions           int
 	KVCacheHitRate          float64
@@ -230,7 +253,7 @@ type preOverloadMetrics struct {
 func preOverloadView(m Metrics) preOverloadMetrics {
 	return preOverloadMetrics{
 		Arrived: m.Arrived, Completed: m.Completed, Dropped: m.Dropped,
-		TTFT: m.TTFT, TBT: m.TBT, E2E: m.E2E,
+		TTFT: legacySum(m.TTFT), TBT: legacySum(m.TBT), E2E: legacySum(m.E2E),
 		TTFTAttainment:          m.TTFTAttainment,
 		TTFTAttainmentCompleted: m.TTFTAttainmentCompleted,
 		TBTAttainment:           m.TBTAttainment,
@@ -244,14 +267,96 @@ func preOverloadView(m Metrics) preOverloadMetrics {
 		Goodput:                 m.Goodput,
 		BlastRadius:             m.BlastRadius,
 		NetTransfers:            m.NetTransfers,
-		TransferBytes:           m.TransferBytes,
-		TransferTime:            m.TransferTime,
+		TransferBytes:           legacySum(m.TransferBytes),
+		TransferTime:            legacySum(m.TransferTime),
 		NetworkBoundFraction:    m.NetworkBoundFraction,
 		KVPreemptions:           m.KVPreemptions,
 		KVCacheHitRate:          m.KVCacheHitRate,
 		KVPeakBlocks:            m.KVPeakBlocks,
 		KVMeanBlocks:            m.KVMeanBlocks,
 		KVRecomputeTokens:       m.KVRecomputeTokens,
+	}
+}
+
+// preObsMetrics is the exact pre-PR-10 Metrics field set, in order:
+// the preOverload fields plus the PR-9 closed-loop overload fields,
+// with every Summary rendered through the pre-P999 legacySummary. The
+// overload golden corpus was captured before mathx.Summary gained
+// P999, so it pins this view verbatim; P999 is itself pinned by the
+// deterministic-export corpus the observability tests add.
+type preObsMetrics struct {
+	Arrived                 int
+	Completed               int
+	Dropped                 int
+	TTFT                    legacySummary
+	TBT                     legacySummary
+	E2E                     legacySummary
+	TTFTAttainment          float64
+	TTFTAttainmentCompleted float64
+	TBTAttainment           float64
+	PrefillUtilization      float64
+	DecodeUtilization       float64
+	TokensGenerated         int
+	FailureEvents           int
+	Requeued                int
+	DroppedOnFailure        int
+	Availability            float64
+	Goodput                 float64
+	BlastRadius             float64
+	NetTransfers            int
+	TransferBytes           legacySummary
+	TransferTime            legacySummary
+	NetworkBoundFraction    float64
+	KVPreemptions           int
+	KVCacheHitRate          float64
+	KVPeakBlocks            int
+	KVMeanBlocks            float64
+	KVRecomputeTokens       int
+	ClientTimeouts          int
+	ClientRetries           int
+	Abandoned               int
+	Shed                    int
+	ScaleUps                int
+	ScaleDowns              int
+	MeanLiveInstances       float64
+	UsefulGoodput           float64
+	Classes                 []ClassMetrics
+}
+
+func preObsView(m Metrics) preObsMetrics {
+	return preObsMetrics{
+		Arrived: m.Arrived, Completed: m.Completed, Dropped: m.Dropped,
+		TTFT: legacySum(m.TTFT), TBT: legacySum(m.TBT), E2E: legacySum(m.E2E),
+		TTFTAttainment:          m.TTFTAttainment,
+		TTFTAttainmentCompleted: m.TTFTAttainmentCompleted,
+		TBTAttainment:           m.TBTAttainment,
+		PrefillUtilization:      m.PrefillUtilization,
+		DecodeUtilization:       m.DecodeUtilization,
+		TokensGenerated:         m.TokensGenerated,
+		FailureEvents:           m.FailureEvents,
+		Requeued:                m.Requeued,
+		DroppedOnFailure:        m.DroppedOnFailure,
+		Availability:            m.Availability,
+		Goodput:                 m.Goodput,
+		BlastRadius:             m.BlastRadius,
+		NetTransfers:            m.NetTransfers,
+		TransferBytes:           legacySum(m.TransferBytes),
+		TransferTime:            legacySum(m.TransferTime),
+		NetworkBoundFraction:    m.NetworkBoundFraction,
+		KVPreemptions:           m.KVPreemptions,
+		KVCacheHitRate:          m.KVCacheHitRate,
+		KVPeakBlocks:            m.KVPeakBlocks,
+		KVMeanBlocks:            m.KVMeanBlocks,
+		KVRecomputeTokens:       m.KVRecomputeTokens,
+		ClientTimeouts:          m.ClientTimeouts,
+		ClientRetries:           m.ClientRetries,
+		Abandoned:               m.Abandoned,
+		Shed:                    m.Shed,
+		ScaleUps:                m.ScaleUps,
+		ScaleDowns:              m.ScaleDowns,
+		MeanLiveInstances:       m.MeanLiveInstances,
+		UsefulGoodput:           m.UsefulGoodput,
+		Classes:                 m.Classes,
 	}
 }
 
@@ -264,7 +369,8 @@ const (
 	viewLegacy      goldenView = iota // pre-PR-5 fields (static, scheduler corpora)
 	viewPreKV                         // pre-PR-8 fields (network corpus)
 	viewPreOverload                   // pre-PR-9 fields (kv corpus)
-	viewFull                          // entire Metrics struct (overload corpus)
+	viewPreObs                        // pre-PR-10 fields (overload corpus)
+	viewFull                          // entire Metrics struct (future corpora)
 )
 
 // goldenReport renders every scenario's ClusterMetrics in hex-float
@@ -281,6 +387,8 @@ func goldenReport(t *testing.T, scenarios []goldenScenario, view goldenView) str
 			return fmt.Sprintf("%x", preKVView(m))
 		case viewPreOverload:
 			return fmt.Sprintf("%x", preOverloadView(m))
+		case viewPreObs:
+			return fmt.Sprintf("%x", preObsView(m))
 		}
 		return fmt.Sprintf("%x", m)
 	}

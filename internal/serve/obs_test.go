@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"litegpu/internal/kv"
+	"litegpu/internal/obs"
+	"litegpu/internal/trace"
+	"litegpu/internal/units"
+)
+
+// observedChaosCluster builds the ol-chaos deployment from the overload
+// corpus under the given scheduler: closed-loop clients, adaptive
+// admission, an elastic decode fleet, persistent stragglers, KV
+// scarcity and accelerated failures all at once — the regime where a
+// read-only observer has the most state to watch and the most ways to
+// accidentally perturb it.
+func observedChaosCluster(t *testing.T, pol SchedulerPolicy) (ClusterConfig, []trace.Request, units.Seconds) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Scheduler = pol
+	cfg.DecodeInstances = 3
+	cfg.Client = ClientConfig{
+		Default: ClientBehavior{Timeout: 30, Retries: 1, BackoffBase: 2},
+		Classes: []ClientBehavior{
+			{Timeout: 30, Retries: 2, BackoffBase: 1, Jitter: 0.25, TTFTSLO: 2},
+			{Timeout: 15, Retries: 1, BackoffBase: 4},
+		},
+		Seed: 7,
+	}
+	cfg.Admission = AdmissionConfig{Policy: AdmitAdaptive, QueueLimit: 24, Levels: 2}
+	cfg.Autoscale = AutoscaleConfig{
+		Enabled: true, Interval: 5, HighWater: 6, LowWater: 1, MinInstances: 1, WarmUp: 10,
+	}
+	cfg.KV = kv.Config{Policy: kv.Recompute, Blocks: 600}
+	cc := clusterOf(cfg)
+	cc.Failures = acceleratedFailures(0)
+	return cc, twoTenantTrace(t, 10.0, 30.0, 150), 240
+}
+
+// runObserved attaches a fresh recorder (fixed seed, probes every 5 s)
+// to the cluster, runs it, and returns the metrics plus the two export
+// artifacts as strings.
+func runObserved(t *testing.T, cc ClusterConfig, reqs []trace.Request, horizon units.Seconds) (ClusterMetrics, string, string) {
+	t.Helper()
+	rec := obs.New(obs.Options{Seed: 42, SampleTargets: 256, ProbeInterval: 5})
+	cc.Observer = rec
+	cm, err := RunCluster(cc, reqs, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr, pb bytes.Buffer
+	if err := rec.WriteTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteProbesCSV(&pb); err != nil {
+		t.Fatal(err)
+	}
+	return cm, tr.String(), pb.String()
+}
+
+// TestObservedRunsAreDeterministic pins the observer's own outputs:
+// the same seed and config must export byte-identical timeline JSON and
+// probe CSV under every scheduler, with failures, KV scarcity, and
+// closed-loop clients all active. The reservoir RNG rides its own
+// DeriveSeed stream, so sampling decisions replay exactly.
+func TestObservedRunsAreDeterministic(t *testing.T) {
+	for _, pol := range SchedulerPolicies() {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cc, reqs, horizon := observedChaosCluster(t, pol)
+			_, trace1, probes1 := runObserved(t, cc, reqs, horizon)
+			_, trace2, probes2 := runObserved(t, cc, reqs, horizon)
+			if trace1 != trace2 {
+				t.Errorf("timeline JSON differs between identical runs (%d vs %d bytes)", len(trace1), len(trace2))
+			}
+			if probes1 != probes2 {
+				t.Errorf("probe CSV differs between identical runs (%d vs %d bytes)", len(probes1), len(probes2))
+			}
+			if !strings.Contains(trace1, `"ph"`) {
+				t.Error("timeline export contains no trace events")
+			}
+			// One probe row per pool per interval across the horizon,
+			// plus the header.
+			rows := strings.Count(probes1, "\n") - 1
+			want := int(float64(horizon)/5) * len(cc.Pools)
+			if rows != want {
+				t.Errorf("probe CSV has %d rows, want %d (horizon %v / interval 5 × %d pools)",
+					rows, want, horizon, len(cc.Pools))
+			}
+		})
+	}
+}
+
+// TestObserverDoesNotPerturbSimulation is the read-only contract: a
+// live observer must leave every simulated metric byte-identical to the
+// unobserved run, under every scheduler, in the chaos regime. Renders
+// through the same %x hex-float view the golden corpus uses, so any
+// drift the goldens would catch is caught here with the observer live.
+func TestObserverDoesNotPerturbSimulation(t *testing.T) {
+	render := func(cm ClusterMetrics) string {
+		var b strings.Builder
+		for _, pm := range cm.Pools {
+			fmt.Fprintf(&b, "pool %s: %x\n", pm.Name, preObsView(pm.Metrics))
+		}
+		fmt.Fprintf(&b, "total: %x\n", preObsView(cm.Total))
+		return b.String()
+	}
+	for _, pol := range SchedulerPolicies() {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cc, reqs, horizon := observedChaosCluster(t, pol)
+			bare, err := RunCluster(cc, reqs, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			observed, _, _ := runObserved(t, cc, reqs, horizon)
+			if got, want := render(observed), render(bare); got != want {
+				t.Errorf("observer perturbed the simulation:\nobserved: %swant:     %s", got, want)
+			}
+		})
+	}
+}
+
+// TestObserverHeartbeatCountsEveryCompletion pins the -progress
+// mechanism end to end: the heartbeat callback fires once per completed
+// request — before reservoir sampling, so the count is exact — with
+// non-decreasing simulated time, and its final count matches the
+// metrics the run reports.
+func TestObserverHeartbeatCountsEveryCompletion(t *testing.T) {
+	cc, reqs, horizon := observedChaosCluster(t, StaticDisaggregated)
+	var calls int64
+	lastT := -1.0
+	rec := obs.New(obs.Options{
+		Seed:          42,
+		SampleTargets: 4, // tiny reservoir: the count must not depend on sampling
+		Heartbeat: func(now float64, completed int64) {
+			calls++
+			if completed != calls {
+				t.Fatalf("heartbeat completed=%d on call %d; must increment by exactly one", completed, calls)
+			}
+			if now < lastT {
+				t.Fatalf("heartbeat time went backwards: %v after %v", now, lastT)
+			}
+			lastT = now
+		},
+	})
+	cc.Observer = rec
+	cm, err := RunCluster(cc, reqs, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("heartbeat never fired")
+	}
+	if calls != int64(cm.Total.Completed) {
+		t.Errorf("heartbeat fired %d times, metrics report %d completions", calls, cm.Total.Completed)
+	}
+}
+
+// TestObserverDisabledAllocationFree pins the dormant-hook cost at
+// zero: with Observer nil (the default) the nil-guarded hooks threaded
+// through the cluster path must not allocate per request, so cluster
+// allocations stay flat as the trace grows — same contract and budget
+// as TestServeAllocationsDoNotScaleWithRequests, measured through
+// RunCluster so the engine-level hooks (ingress, probes) are on the
+// measured path too.
+func TestObserverDisabledAllocationFree(t *testing.T) {
+	for _, pol := range SchedulerPolicies() {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Scheduler = pol
+			gen := trace.CodingWorkload(1.0, 7)
+			short, err := gen.Generate(100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			long, err := gen.Generate(400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocs := func(reqs []trace.Request, horizon units.Seconds) float64 {
+				return testing.AllocsPerRun(3, func() {
+					if _, err := RunCluster(clusterOf(cfg), reqs, horizon); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			aShort := allocs(short, 200)
+			aLong := allocs(long, 500)
+			extraReqs := len(long) - len(short)
+			extra := aLong - aShort
+			if extra > 160 || extra > 0.5*float64(extraReqs) {
+				t.Errorf("%s: %d extra requests cost %.0f extra allocations with observer disabled (short %.0f, long %.0f)",
+					pol, extraReqs, extra, aShort, aLong)
+			}
+		})
+	}
+}

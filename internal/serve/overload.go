@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"litegpu/internal/obs"
 	"litegpu/internal/sim"
 	"litegpu/internal/straggler"
 	"litegpu/internal/trace"
@@ -555,6 +556,9 @@ func (s *clusterSim) onDeadline(now float64, arg uint64) {
 	if p.classesOn {
 		p.classAt(int(tr.class)).timedOut++
 	}
+	if p.rec != nil {
+		p.rec.Request(obs.Timeout, now, int32(p.idx), -1, int64(tr.id), float64(tr.attempts))
+	}
 	if !s.cancelClientXfer(p, tr.id) {
 		// The copy is woven through a queue, batch, or ingress
 		// transfer: leave a tombstone for the choke points.
@@ -570,6 +574,9 @@ func (s *clusterSim) onDeadline(now float64, arg uint64) {
 		p.m.Abandoned++
 		if p.classesOn {
 			p.classAt(int(tr.class)).abandoned++
+		}
+		if p.rec != nil {
+			p.rec.Request(obs.Abandon, now, int32(p.idx), -1, int64(tr.id), float64(tr.attempts))
 		}
 		p.freeTrack(int32(idx))
 	}
@@ -625,6 +632,9 @@ func (s *clusterSim) scheduleRetry(p *poolSim, idx int, now float64, b ClientBeh
 	if b.Jitter > 0 {
 		backoff *= 1 + b.Jitter*p.clientRNG.Float64()
 	}
+	if p.rec != nil {
+		p.rec.Request(obs.Backoff, now, int32(p.idx), -1, int64(tr.id), backoff)
+	}
 	s.eng.ScheduleCall(now+backoff, prioClient+p.prioBase, s.retryH, packArg(p.idx, idx))
 }
 
@@ -640,16 +650,26 @@ func (s *clusterSim) onRetry(now float64, arg uint64) {
 	p := s.pools[pi]
 	tr := &p.trackArena[idx]
 	r := tr.req
+	oldID := tr.id
 	p.retrySeq--
 	r.ID = p.retrySeq
 	r.Arrival = units.Seconds(now)
 	tr.id = r.ID
 	tr.req = r
 	tr.attempts++
+	if p.rec != nil {
+		// Retries extend the original submission's sampled timeline
+		// rather than re-entering the reservoir.
+		p.rec.Adopt(int64(oldID), int64(r.ID))
+		p.rec.Request(obs.Retry, now, int32(p.idx), -1, int64(r.ID), float64(tr.attempts))
+	}
 	if p.cfg.Admission.Policy != AdmitAll && p.shouldShed(r) {
 		p.m.Shed++
 		if p.classesOn {
 			p.classAt(int(tr.class)).shed++
+		}
+		if p.rec != nil {
+			p.rec.Request(obs.Shed, now, int32(p.idx), -1, int64(r.ID), float64(tr.class))
 		}
 		b := p.behavior(int(tr.class))
 		if int(tr.attempts) < b.Retries {
@@ -659,6 +679,9 @@ func (s *clusterSim) onRetry(now float64, arg uint64) {
 		p.m.Abandoned++
 		if p.classesOn {
 			p.classAt(int(tr.class)).abandoned++
+		}
+		if p.rec != nil {
+			p.rec.Request(obs.Abandon, now, int32(p.idx), -1, int64(r.ID), float64(tr.attempts))
 		}
 		p.freeTrack(int32(idx))
 		return
@@ -670,6 +693,9 @@ func (s *clusterSim) onRetry(now float64, arg uint64) {
 	if s.fab != nil && len(s.pools) > 1 {
 		s.startIngress(p, r, now)
 	} else {
+		if p.rec != nil {
+			p.rec.Request(obs.Enqueue, now, int32(p.idx), -1, int64(r.ID), 0)
+		}
 		p.sched.enqueue(r)
 	}
 	s.requestDispatch(now)
@@ -715,6 +741,9 @@ func (s *clusterSim) onScale(now float64, arg uint64) {
 				break
 			}
 			p.m.ScaleUps++
+			if p.rec != nil {
+				p.rec.Cluster(obs.ScaleUp, now, int32(p.idx), -1, load)
+			}
 		}
 	} else if load < a.lowWater() && live > p.scaleMin {
 		for n := a.step(); n > 0 && live > p.scaleMin; n-- {
@@ -723,6 +752,9 @@ func (s *clusterSim) onScale(now float64, arg uint64) {
 			}
 			p.m.ScaleDowns++
 			live--
+			if p.rec != nil {
+				p.rec.Cluster(obs.ScaleDown, now, int32(p.idx), -1, load)
+			}
 		}
 	}
 	s.eng.ScheduleCall(now+a.interval(), prioClient+p.prioBase+1, s.scaleH, arg)

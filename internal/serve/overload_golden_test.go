@@ -13,8 +13,9 @@ import (
 
 // overloadGoldenFile extends the byte-identity corpus to closed-loop
 // runs. Like kv_goldens.txt it pins the overload machinery from its
-// first commit: the FULL Metrics struct — client-loop, admission,
-// autoscale, and per-class fields included — in %x, so any future
+// first commit: the full PR-9-era Metrics field set — client-loop,
+// admission, autoscale, and per-class fields included — in %x (see
+// preObsMetrics; the corpus predates Summary.P999), so any future
 // rework of deadlines, retry backoff, shedding, or the autoscaler must
 // reproduce these runs bit-for-bit or knowingly regenerate.
 const overloadGoldenFile = "testdata/overload_goldens.txt"
@@ -148,9 +149,9 @@ func TestOverloadGoldens(t *testing.T) {
 		}
 		fmt.Fprintf(&b, "== %s\n", sc.name)
 		for _, pm := range cm.Pools {
-			fmt.Fprintf(&b, "pool %s: %x\n", pm.Name, pm.Metrics)
+			fmt.Fprintf(&b, "pool %s: %x\n", pm.Name, preObsView(pm.Metrics))
 		}
-		fmt.Fprintf(&b, "total: %x\n", cm.Total)
+		fmt.Fprintf(&b, "total: %x\n", preObsView(cm.Total))
 	}
 	compareGoldens(t, overloadGoldenFile, b.String())
 }

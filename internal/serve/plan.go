@@ -11,6 +11,7 @@ import (
 	"litegpu/internal/kv"
 	"litegpu/internal/model"
 	"litegpu/internal/network"
+	"litegpu/internal/obs"
 	"litegpu/internal/sweep"
 	"litegpu/internal/tco"
 	"litegpu/internal/trace"
@@ -185,6 +186,17 @@ type PlanRequest struct {
 	// worker count: speculation only changes how many candidates are
 	// simulated, never which one is selected.
 	Workers int
+
+	// Trace, when non-nil, receives the planner's decision record: one
+	// obs.PlanCandidate per (scheduler, fabric, kv, admission)
+	// combination in enumeration order, carrying every sizing rung the
+	// search walked (doubling-ladder probes plus refinement steps, in
+	// the order the equivalent sequential search would have tried them),
+	// the settled deployment, and why the candidate won or lost. The
+	// trace is deterministic at any worker count: speculative ladder
+	// points that the sequential search would never have reached are
+	// evaluated but not recorded.
+	Trace *obs.PlanTrace
 }
 
 // Plan is a feasible deployment returned by PlanCapacity.
@@ -315,6 +327,24 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 			}
 		}
 	}
+	if req.Trace != nil {
+		// Pre-size the trace so each candidate's sizing goroutine owns
+		// its slot — concurrent planPolicy calls never share a record.
+		req.Trace.Candidates = make([]obs.PlanCandidate, len(cands))
+		for i, c := range cands {
+			tc := &req.Trace.Candidates[i]
+			tc.Scheduler = c.pol.String()
+			if c.nc.Enabled() {
+				tc.Fabric = c.nc.String()
+			}
+			if c.kvc.Enabled() {
+				tc.KV = c.kvc.String()
+			}
+			if c.adm.Policy != AdmitAll {
+				tc.Admission = fmt.Sprintf("%s(limit=%d)", c.adm.Policy, c.adm.QueueLimit)
+			}
+		}
+	}
 	// Split the worker budget between the two nesting levels so total
 	// concurrency stays ~Workers: candWorkers candidates in flight,
 	// each probing waveWorkers ladder points per doubling round.
@@ -326,8 +356,12 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 		err  error
 	}
 	outcomes, err := sweep.RunN(context.Background(), candWorkers, cands,
-		func(_ context.Context, _ int, c candidate) (polOutcome, error) {
-			plan, perr := planPolicy(req, slo, c.pol, c.nc, c.kvc, c.adm, reqs, simHorizon, waveWorkers)
+		func(_ context.Context, i int, c candidate) (polOutcome, error) {
+			var tc *obs.PlanCandidate
+			if req.Trace != nil {
+				tc = &req.Trace.Candidates[i]
+			}
+			plan, perr := planPolicy(req, slo, c.pol, c.nc, c.kvc, c.adm, reqs, simHorizon, waveWorkers, tc)
 			return polOutcome{plan: plan, err: perr}, nil
 		})
 	if err != nil {
@@ -335,8 +369,9 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 	}
 	var best Plan
 	var bestOK bool
+	var bestIdx int
 	var firstErr error
-	for _, o := range outcomes {
+	for i, o := range outcomes {
 		if o.err != nil {
 			if firstErr == nil {
 				firstErr = o.err
@@ -346,6 +381,39 @@ func PlanCapacity(req PlanRequest, slo SLO) (Plan, error) {
 		if !bestOK || o.plan.Cost.CostPerMTokens < best.Cost.CostPerMTokens {
 			best = o.plan
 			bestOK = true
+			bestIdx = i
+		}
+	}
+	if req.Trace != nil {
+		for i := range outcomes {
+			o := &outcomes[i]
+			tc := &req.Trace.Candidates[i]
+			if o.err != nil {
+				tc.Feasible = false
+				tc.Reason = o.err.Error()
+				continue
+			}
+			tc.Feasible = true
+			p := o.plan
+			if p.Config.Scheduler.Colocated() {
+				tc.PrefillInstances = p.Config.Instances
+			} else {
+				tc.PrefillInstances = p.Config.PrefillInstances
+				tc.DecodeInstances = p.Config.DecodeInstances
+			}
+			tc.Spares = p.Spares
+			tc.TotalGPUs = p.TotalGPUs
+			if req.Failures.Enabled {
+				tc.Availability = p.Availability
+			}
+			tc.CostPerMTok = float64(p.Cost.CostPerMTokens)
+			if bestOK && i == bestIdx {
+				tc.Winner = true
+				tc.Reason = fmt.Sprintf("won: cheapest feasible plan at $%.2f/Mtok", p.Cost.CostPerMTokens)
+			} else if bestOK {
+				tc.Reason = fmt.Sprintf("feasible but $%.2f/Mtok loses to winner's $%.2f/Mtok",
+					p.Cost.CostPerMTokens, best.Cost.CostPerMTokens)
+			}
 		}
 	}
 	if !bestOK {
@@ -369,8 +437,11 @@ func planWorkers(req PlanRequest) int {
 // fabric) and prices the final plan; the kv config rides inside every
 // sizing simulation too (kvc zero = the historical infinite-memory
 // decode), as do the request's closed-loop client, autoscaler, and
-// straggler settings and the candidate's admission gate.
-func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig, kvc kv.Config, adm AdmissionConfig, reqs []trace.Request, simHorizon units.Seconds, waveWorkers int) (Plan, error) {
+// straggler settings and the candidate's admission gate. When tc is
+// non-nil the search appends one obs.PlanRung per sizing decision it
+// makes — only the rungs the equivalent sequential search would have
+// walked, so the record is identical at any worker count.
+func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig, kvc kv.Config, adm AdmissionConfig, reqs []trace.Request, simHorizon units.Seconds, waveWorkers int, tc *obs.PlanCandidate) (Plan, error) {
 	baseCfg := Config{
 		GPU: req.GPU, Model: req.Model, Opts: req.Opts,
 		Scheduler:    pol,
@@ -430,11 +501,30 @@ func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig,
 		return attemptResult{m: m, ok: ok, fork: fork}, nil
 	}
 
+	// rung records one sizing decision in the candidate's trace.
+	rung := func(p, d int, r attemptResult, refine bool) {
+		if tc == nil {
+			return
+		}
+		tc.Rungs = append(tc.Rungs, obs.PlanRung{
+			Prefill: p, Decode: d, Refine: refine,
+			TTFTAttainment: r.m.TTFTAttainment,
+			TBTAttainment:  r.m.TBTAttainment,
+			Completed:      r.m.Completed,
+			Arrived:        r.m.Arrived,
+			Feasible:       r.ok,
+		})
+	}
+
 	// attempt memoizes evalPoint on the pool sizes: the growth phase,
 	// the bisections, and the final joint check can revisit a point.
+	// Every attempt call is a refinement decision — memoized or not —
+	// so each records a rung; attempt only runs on the sequential
+	// search spine, never inside speculative goroutines.
 	tried := make(map[[2]int]attemptResult)
 	attempt := func(p, d int) (Metrics, bool, error) {
 		if r, seen := tried[[2]int{p, d}]; seen {
+			rung(p, d, r, true)
 			return r.m, r.ok, nil
 		}
 		r, err := evalPoint(p, d)
@@ -442,6 +532,7 @@ func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig,
 			return Metrics{}, false, err
 		}
 		tried[[2]int{p, d}] = r
+		rung(p, d, r, true)
 		return r.m, r.ok, nil
 	}
 
@@ -494,6 +585,11 @@ func planPolicy(req PlanRequest, slo SLO, pol SchedulerPolicy, nc NetworkConfig,
 				continue
 			}
 			tried[wave[i]] = o.r
+			if grown < 0 {
+				// Still climbing: this is a point the sequential doubling
+				// loop would have evaluated, so it earns a trace rung.
+				rung(wave[i][0], wave[i][1], o.r, false)
+			}
 			if o.r.ok && grown < 0 {
 				grown = lo + i
 			}

@@ -7,6 +7,7 @@ import (
 	"litegpu/internal/inference"
 	"litegpu/internal/kv"
 	"litegpu/internal/mathx"
+	"litegpu/internal/obs"
 	"litegpu/internal/sim"
 	"litegpu/internal/trace"
 )
@@ -234,6 +235,9 @@ func (sc *staticSched) dispatchPrefill(now float64) {
 			e.re = a
 			e.freeAt = now + dt
 			e.busy += dt
+			if sc.pool.rec != nil {
+				sc.pool.rec.Request(obs.PrefillStart, now, int32(sc.pool.idx), int32(i), int64(a.req.ID), float64(kvTokens(a)))
+			}
 			e.doneEv = sc.cs.eng.ScheduleCall(e.freeAt, prioPrefill+e.prio, sc.prefillDoneH, uint64(i))
 		}
 		for e.freeAt <= now && sc.prefillQ.Len() > 0 {
@@ -273,6 +277,9 @@ func (sc *staticSched) dispatchPrefill(now float64) {
 				r := sc.prefillQ.PopFront()
 				sc.pool.m.Dropped++
 				sc.pool.clientSettle(r.ID)
+				if sc.pool.rec != nil {
+					sc.pool.rec.Request(obs.Drop, now, int32(sc.pool.idx), int32(i), int64(r.ID), float64(r.PromptTokens))
+				}
 				e.batch = e.batch[:0]
 				continue
 			}
@@ -283,6 +290,11 @@ func (sc *staticSched) dispatchPrefill(now float64) {
 			}
 			e.freeAt = now + dt
 			e.busy += dt
+			if sc.pool.rec != nil {
+				for _, r := range e.batch {
+					sc.pool.rec.Request(obs.PrefillStart, now, int32(sc.pool.idx), int32(i), int64(r.ID), float64(n))
+				}
+			}
 			e.doneEv = sc.cs.eng.ScheduleCall(e.freeAt, prioPrefill+e.prio, sc.prefillDoneH, uint64(i))
 		}
 	}
@@ -326,6 +338,9 @@ func (sc *staticSched) finishPrefillReq(i int, r trace.Request, now float64) {
 		p.settleCancelled(r.ID, nil)
 		return
 	}
+	if p.rec != nil {
+		p.rec.Request(obs.PrefillEnd, now, int32(p.idx), int32(i), int64(r.ID), 0)
+	}
 	if sc.cs.fab == nil {
 		p.recordTTFT(now-float64(r.Arrival), r.Class)
 		sc.decodeQ.PushBack(p.newActive(r))
@@ -348,6 +363,9 @@ func (sc *staticSched) finishPrefillReq(i int, r trace.Request, now float64) {
 	rec.tid = sc.cs.fab.Start(p.epBase+i, p.epBase+dstID, rec.bytes,
 		prioTransfer+sc.decodes[dst].prio, sc.cs.xferH, packArg(p.idx, int(idx)))
 	p.liveXfers = append(p.liveXfers, idx)
+	if p.rec != nil {
+		p.rec.Request(obs.XferStart, now, int32(p.idx), int32(i), int64(r.ID), rec.bytes)
+	}
 }
 
 // pickDecodeDst rotates KV handoffs across decode instances,
@@ -403,6 +421,9 @@ func (sc *staticSched) finishReprefill(i int, a *activeReq, now float64) {
 		p.settleCancelled(a.req.ID, a)
 		return
 	}
+	if p.rec != nil {
+		p.rec.Request(obs.PrefillEnd, now, int32(p.idx), int32(i), int64(a.req.ID), 0)
+	}
 	if sc.cs.fab == nil {
 		sc.decodeQ.PushFront(a)
 		return
@@ -423,6 +444,9 @@ func (sc *staticSched) finishReprefill(i int, a *activeReq, now float64) {
 	rec.tid = sc.cs.fab.Start(p.epBase+i, p.epBase+dstID, rec.bytes,
 		prioTransfer+sc.decodes[dst].prio, sc.cs.xferH, packArg(p.idx, int(idx)))
 	p.liveXfers = append(p.liveXfers, idx)
+	if p.rec != nil {
+		p.rec.Request(obs.XferStart, now, int32(p.idx), int32(i), int64(a.req.ID), rec.bytes)
+	}
 }
 
 // swapReturn puts a preempted sequence back at the head of the decode
@@ -515,6 +539,9 @@ func (sc *staticSched) kvGrowActives(j int, now float64) {
 			return
 		}
 		// Sole occupant that cannot grow: it can never finish.
+		if p.rec != nil {
+			p.rec.Request(obs.Drop, now, int32(p.idx), int32(len(sc.prefills)+j), int64(a.req.ID), float64(a.req.PromptTokens))
+		}
 		p.kvRelease(e.al, a, now)
 		p.m.Dropped++
 		p.clientSettle(a.req.ID)
@@ -535,6 +562,9 @@ func (sc *staticSched) preempt(j int, victim *activeReq, now float64) {
 	e := &sc.decodes[j]
 	p.kvPreempt++
 	tokens := kvTokens(victim)
+	if p.rec != nil {
+		p.rec.Request(obs.KVPreempt, now, int32(p.idx), int32(len(sc.prefills)+j), int64(victim.req.ID), float64(tokens))
+	}
 	p.kvRelease(e.al, victim, now)
 	if sc.cfg.KV.Policy == kv.Swap {
 		sc.startSwap(j, victim, now, tokens)
@@ -569,6 +599,9 @@ func (sc *staticSched) startSwap(j int, a *activeReq, now float64, tokens int) {
 	rec.tid = sc.cs.fab.Start(p.epBase+dstID, 0, rec.bytes,
 		prioTransfer+sc.decodes[j].prio, sc.cs.xferH, packArg(p.idx, int(idx)))
 	p.liveXfers = append(p.liveXfers, idx)
+	if p.rec != nil {
+		p.rec.Request(obs.KVSwapOut, now, int32(p.idx), int32(dstID), int64(a.req.ID), rec.bytes)
+	}
 }
 
 //litegpu:hotpath
@@ -624,6 +657,13 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 			// queue (or is abandoned).
 			e.re = nil
 			e.busy -= e.freeAt - now
+			if p.rec != nil {
+				k := obs.Requeue
+				if drop {
+					k = obs.Drop
+				}
+				p.rec.Request(k, now, int32(p.idx), int32(id), int64(a.req.ID), 0)
+			}
 			if drop {
 				p.m.DroppedOnFailure++
 				p.clientSettle(a.req.ID)
@@ -638,6 +678,15 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 			// busy tail and put the prompts back at the head of the
 			// queue (or abandon them).
 			e.busy -= e.freeAt - now
+			if p.rec != nil {
+				k := obs.Requeue
+				if drop {
+					k = obs.Drop
+				}
+				for _, r := range e.batch {
+					p.rec.Request(k, now, int32(p.idx), int32(id), int64(r.ID), 0)
+				}
+			}
 			if drop {
 				p.m.DroppedOnFailure += len(e.batch)
 				for _, r := range e.batch {
@@ -671,6 +720,15 @@ func (sc *staticSched) fail(id int, now float64, drop bool) {
 			e.al.Reset()
 		}
 		if len(e.active) > 0 {
+			if p.rec != nil {
+				k := obs.Requeue
+				if drop {
+					k = obs.Drop
+				}
+				for _, a := range e.active {
+					p.rec.Request(k, now, int32(p.idx), int32(id), int64(a.req.ID), 0)
+				}
+			}
 			if drop {
 				p.m.DroppedOnFailure += len(e.active)
 				for _, a := range e.active {

@@ -67,12 +67,13 @@ type heapEnt struct {
 // Engine is a discrete-event simulation: a clock plus a calendar of
 // pending events. The zero value is not usable; call New.
 type Engine struct {
-	now  float64
-	seq  uint64
-	heap []heapEnt
-	slab []event
-	free []int32
-	rng  *mathx.RNG
+	now   float64
+	seq   uint64
+	fired uint64
+	heap  []heapEnt
+	slab  []event
+	free  []int32
+	rng   *mathx.RNG
 }
 
 // New returns an engine at time zero whose RNG is seeded with seed.
@@ -92,6 +93,10 @@ func (e *Engine) RNG() *mathx.RNG { return e.rng }
 
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// EventsFired returns the count of events executed so far — a cheap
+// progress measure for observability probes and heartbeats.
+func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // Next peeks at the earliest pending event time.
 func (e *Engine) Next() (at float64, ok bool) {
@@ -230,6 +235,7 @@ func (e *Engine) fireTop() {
 	h, arg := ev.h, ev.arg
 	e.removeAt(0)
 	e.now = top.at
+	e.fired++
 	h(top.at, arg)
 }
 
@@ -245,12 +251,13 @@ func (e *Engine) fireTop() {
 // exactly the planner's fork pattern: run, snapshot at the divergence
 // point, finish the run, restore, perturb one input, run again.
 type Snapshot struct {
-	now  float64
-	seq  uint64
-	heap []heapEnt
-	slab []event
-	free []int32
-	rng  uint64
+	now   float64
+	seq   uint64
+	fired uint64
+	heap  []heapEnt
+	slab  []event
+	free  []int32
+	rng   uint64
 }
 
 // Now returns the snapshot's frozen clock.
@@ -261,12 +268,13 @@ func (s *Snapshot) Now() float64 { return s.now }
 // valid (or correctly stale) after a Restore.
 func (e *Engine) Snapshot() *Snapshot {
 	return &Snapshot{
-		now:  e.now,
-		seq:  e.seq,
-		heap: append([]heapEnt(nil), e.heap...),
-		slab: append([]event(nil), e.slab...),
-		free: append([]int32(nil), e.free...),
-		rng:  e.rng.State(),
+		now:   e.now,
+		seq:   e.seq,
+		fired: e.fired,
+		heap:  append([]heapEnt(nil), e.heap...),
+		slab:  append([]event(nil), e.slab...),
+		free:  append([]int32(nil), e.free...),
+		rng:   e.rng.State(),
 	}
 }
 
@@ -276,6 +284,7 @@ func (e *Engine) Snapshot() *Snapshot {
 func (e *Engine) Restore(s *Snapshot) {
 	e.now = s.now
 	e.seq = s.seq
+	e.fired = s.fired
 	e.heap = append(e.heap[:0], s.heap...)
 	e.slab = append(e.slab[:0], s.slab...)
 	e.free = append(e.free[:0], s.free...)
